@@ -1,0 +1,55 @@
+// Ablation: durability cost. Paxos acceptors must persist promises and
+// acceptances before answering; this sweep charges a per-reply storage
+// sync and shows how commit latency absorbs it — and that DPaxos's
+// intra-zone round hides slow storage far better than Multi-Paxos's
+// majority round amortizes it (the sync adds to the CRITICAL path once,
+// not per replica, but slow devices erode DPaxos's small-quorum
+// advantage in relative terms).
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace dpaxos;
+
+namespace {
+
+double Measure(ProtocolMode mode, Duration sync_delay) {
+  ClusterOptions options = bench::PaperOptions();
+  options.replica.storage_sync_delay = sync_delay;
+  auto cluster = bench::MakePaperCluster(mode, options);
+  Replica* leader = cluster->ReplicaInZone(0);
+  bench::MustElect(*cluster, leader->id());
+
+  LoadOptions load;
+  load.batch_bytes = 1024;
+  load.duration = 5 * kSecond;
+  return RunClosedLoop(*cluster, leader, load).commit_latency.MeanMillis();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: storage sync cost per acceptor reply (California leader, "
+      "1 KB batches)",
+      "0 = async-safe, 0.1ms ~ NVMe, 1ms ~ SSD, 10ms ~ disk");
+
+  TablePrinter table({"sync delay", "DPaxos (ms)", "MultiPaxos (ms)",
+                      "DPaxos overhead", "MultiPaxos overhead"});
+  const double dpaxos_base = Measure(ProtocolMode::kLeaderZone, 0);
+  const double mp_base = Measure(ProtocolMode::kMultiPaxos, 0);
+  for (Duration d : {Duration{0}, 100 * kMicrosecond, 1 * kMillisecond,
+                     10 * kMillisecond}) {
+    const double dp = Measure(ProtocolMode::kLeaderZone, d);
+    const double mp = Measure(ProtocolMode::kMultiPaxos, d);
+    table.AddRow({DurationToString(d), Fmt(dp, 2), Fmt(mp, 2),
+                  "+" + Fmt(100 * (dp / dpaxos_base - 1), 0) + "%",
+                  "+" + Fmt(100 * (mp / mp_base - 1), 0) + "%"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe sync sits on the critical path exactly once per "
+               "round, so the absolute penalty is\nthe same for both — "
+               "which hurts the 11 ms DPaxos round far more in relative "
+               "terms.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared setup helpers for the experiment benchmarks.
+//
+// Every bench_figNN binary rebuilds one table/figure of the paper's
+// evaluation on the simulated seven-datacenter deployment (Table 1 RTTs,
+// three edge nodes per zone, 10 ms intra-zone RTT, fd=1, fz=0).
+#ifndef DPAXOS_BENCH_BENCH_COMMON_H_
+#define DPAXOS_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "harness/cluster.h"
+#include "harness/load_driver.h"
+#include "harness/table.h"
+
+namespace dpaxos {
+namespace bench {
+
+/// The paper's evaluation parameters (Section 5).
+inline ClusterOptions PaperOptions() {
+  ClusterOptions options;
+  options.ft = FaultTolerance{1, 0};  // tolerate one datacenter failure
+  options.replica.decide_policy = DecidePolicy::kQuorum;
+  return options;
+}
+
+/// Build the paper's deployment for one protocol.
+inline std::unique_ptr<Cluster> MakePaperCluster(
+    ProtocolMode mode, ClusterOptions options = PaperOptions()) {
+  return std::make_unique<Cluster>(Topology::AwsSevenZones(), mode, options);
+}
+
+/// Elect `node` the prolonged leader and abort the benchmark on failure.
+inline void MustElect(Cluster& cluster, NodeId node) {
+  Result<Duration> r = cluster.ElectLeader(node);
+  if (!r.ok()) {
+    std::cerr << "FATAL: leader election failed: " << r.status().ToString()
+              << "\n";
+    std::abort();
+  }
+}
+
+/// Banner for one experiment binary.
+inline void PrintHeader(const std::string& title, const std::string& setup) {
+  std::cout << "==================================================\n"
+            << title << "\n"
+            << setup << "\n"
+            << "==================================================\n";
+}
+
+}  // namespace bench
+}  // namespace dpaxos
+
+#endif  // DPAXOS_BENCH_BENCH_COMMON_H_

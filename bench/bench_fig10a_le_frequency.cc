@@ -1,0 +1,105 @@
+// Figure 10(a): commit latency at a California proposer while varying how
+// often a request triggers a Leader Election (0% / 50% / 100%), compared
+// with an optimal leaderless Paxos that never elects. The x-axis is the
+// location of the previous leader.
+//
+// Paper shapes to reproduce: 0% = pure Replication latency (12 ms);
+// 50% ranges 17-147 ms; 100% ranges 24-286 ms; optimal leaderless is
+// flat (152 ms in the paper). Even at 50% Leader Elections DPaxos beats
+// leaderless everywhere; at 100% leaderless wins only when the previous
+// leader is in Singapore or Mumbai.
+#include <iostream>
+#include <optional>
+
+#include "bench_common.h"
+
+using namespace dpaxos;
+
+namespace {
+
+constexpr int kRequestsPerPoint = 20;
+constexpr uint64_t kBatchBytes = 1024;
+
+// Re-install leadership at `node` without measuring it (scenario reset).
+void ResetLeadershipTo(Cluster& cluster, NodeId node) {
+  Replica* r = cluster.replica(node);
+  // Prime so the reset election succeeds in one attempt.
+  r->PrimeBallot(Ballot{r->ballot().round + 1000, 0});
+  bench::MustElect(cluster, node);
+}
+
+// Mean commit latency at a California proposer when `le_percent` of the
+// requests must first take over leadership from a leader in `prev_zone`.
+double MeasureDPaxos(ZoneId prev_zone, int le_percent) {
+  ClusterOptions options = bench::PaperOptions();
+  options.replica.initial_leader_zone = prev_zone;
+  auto cluster = bench::MakePaperCluster(ProtocolMode::kLeaderZone, options);
+
+  NodeId prev = cluster->NodeInZone(prev_zone, 0);
+  NodeId proposer = cluster->NodeInZone(0, 0);
+  if (prev == proposer) proposer = cluster->NodeInZone(0, 1);
+  ResetLeadershipTo(*cluster, prev);
+  // Requests that do NOT invoke a Leader Election run against an already
+  // prolonged California leader (the paper's 0% case): elect it once,
+  // unmeasured, before the loop.
+  cluster->replica(proposer)->PrimeBallot(cluster->replica(prev)->ballot());
+  bench::MustElect(*cluster, proposer);
+
+  Histogram latency;
+  uint64_t id = 0;
+  int accumulated = 0;  // deterministic le_percent pattern
+  for (int i = 0; i < kRequestsPerPoint; ++i) {
+    accumulated += le_percent;
+    const bool invoke_le = accumulated >= 100;
+    if (invoke_le) {
+      // Scenario reset: leadership moves back to the previous leader, so
+      // this request pays a full Leader Election round (auto-elect).
+      accumulated -= 100;
+      ResetLeadershipTo(*cluster, prev);
+      cluster->replica(proposer)->PrimeBallot(
+          cluster->replica(prev)->ballot());
+    }
+    // A request: elect if needed (auto-elect on submit), then commit.
+    Result<Duration> commit =
+        cluster->Commit(proposer, Value::Synthetic(++id, kBatchBytes));
+    if (!commit.ok()) {
+      std::cerr << "FATAL: " << commit.status().ToString() << "\n";
+      std::abort();
+    }
+    latency.Add(commit.value());
+  }
+  return latency.MeanMillis();
+}
+
+// Optimal leaderless baseline: a majority Replication round from
+// California, no Leader Election ever.
+double MeasureLeaderless() {
+  auto cluster = bench::MakePaperCluster(ProtocolMode::kLeaderless);
+  Replica* proposer = cluster->ReplicaInZone(0);
+  LoadOptions load;
+  load.batch_bytes = kBatchBytes;
+  load.duration = 5 * kSecond;
+  return RunClosedLoop(*cluster, proposer, load).commit_latency.MeanMillis();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 10(a): decision latency at California vs Leader Election "
+      "frequency",
+      "DPaxos Leader Zone quorums; x-axis = previous leader location; "
+      "leaderless = optimal majority-replication baseline");
+
+  const double leaderless = MeasureLeaderless();
+  TablePrinter table({"prev leader", "DPaxos 0% LE (ms)", "DPaxos 50% LE (ms)",
+                      "DPaxos 100% LE (ms)", "leaderless (ms)"});
+  const Topology topo = Topology::AwsSevenZones();
+  for (ZoneId z = 0; z < topo.num_zones(); ++z) {
+    table.AddRow({topo.ZoneName(z), Fmt(MeasureDPaxos(z, 0), 1),
+                  Fmt(MeasureDPaxos(z, 50), 1), Fmt(MeasureDPaxos(z, 100), 1),
+                  Fmt(leaderless, 1)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

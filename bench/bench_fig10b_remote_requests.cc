@@ -1,0 +1,110 @@
+// Figure 10(b): commit latency with remote requests. The DPaxos leader is
+// in California; 0% / 50% / 100% of requests originate at a remote zone
+// (the x-axis) and are forwarded to the leader, which replies to the
+// client after commitment. Leaderless Paxos serves every request at its
+// origin with a majority Replication round.
+//
+// Paper shapes to reproduce: DPaxos 0% = 12 ms; remote requests pay the
+// client-leader RTT on top (up to 260 ms from Mumbai); leaderless is
+// ~152 ms when local to California and 91-282 ms at the remote origins;
+// leaderless wins only in the 100%-remote Mumbai case.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace dpaxos;
+
+namespace {
+
+constexpr int kRequestsPerPoint = 20;
+constexpr uint64_t kBatchBytes = 1024;
+
+// Mean end-to-end latency when `remote_percent` of requests originate at
+// `remote_zone` and the DPaxos leader sits in California. A remote
+// request is forwarded to the leader through the real transport
+// (ForwardMsg/ForwardReplyMsg), commits, and the reply returns to the
+// origin replica.
+double MeasureDPaxos(Cluster& cluster, NodeId leader, ZoneId remote_zone,
+                     int remote_percent) {
+  Replica* origin = cluster.replica(cluster.NodeInZone(remote_zone, 2));
+  origin->set_leader_hint(leader);
+
+  Histogram latency;
+  static uint64_t id = 1'000'000;  // distinct value ids across calls
+  int accumulated = 0;
+  for (int i = 0; i < kRequestsPerPoint; ++i) {
+    accumulated += remote_percent;
+    const bool remote = accumulated >= 100;
+    if (remote) accumulated -= 100;
+    bool done = false;
+    Duration sample = 0;
+    Replica* entry = remote ? origin : cluster.replica(leader);
+    entry->SubmitOrForward(Value::Synthetic(++id, kBatchBytes),
+                           [&](const Status& st, SlotId, Duration lat) {
+                             if (!st.ok()) {
+                               std::cerr << "FATAL: " << st.ToString() << "\n";
+                               std::abort();
+                             }
+                             sample = lat;
+                             done = true;
+                           });
+    while (!done && cluster.sim().Step()) {
+    }
+    latency.Add(sample);
+  }
+  return latency.MeanMillis();
+}
+
+// Leaderless: requests are served at their origin; remote ones commit
+// from the remote zone directly (majority round from there).
+double MeasureLeaderless(ZoneId remote_zone, int remote_percent) {
+  auto cluster = bench::MakePaperCluster(ProtocolMode::kLeaderless);
+  Histogram latency;
+  uint64_t id = 0;
+  int accumulated = 0;
+  for (int i = 0; i < kRequestsPerPoint; ++i) {
+    accumulated += remote_percent;
+    const bool remote = accumulated >= 100;
+    if (remote) accumulated -= 100;
+    const NodeId origin =
+        remote ? cluster->NodeInZone(remote_zone, 2) : cluster->NodeInZone(0);
+    Result<Duration> commit =
+        cluster->Commit(origin, Value::Synthetic(++id, kBatchBytes));
+    if (!commit.ok()) {
+      std::cerr << "FATAL: " << commit.status().ToString() << "\n";
+      std::abort();
+    }
+    latency.Add(commit.value());
+  }
+  return latency.MeanMillis();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 10(b): decision latency with remote requests (leader in "
+      "California)",
+      "remote requests are forwarded to the DPaxos leader; leaderless "
+      "commits from the request origin with a majority quorum");
+
+  TablePrinter table({"remote origin", "DPaxos 0% (ms)", "DPaxos 50% (ms)",
+                      "DPaxos 100% (ms)", "leaderless 50% (ms)",
+                      "leaderless 100% (ms)"});
+  const Topology topo = Topology::AwsSevenZones();
+
+  auto cluster = bench::MakePaperCluster(ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster->NodeInZone(0);
+  bench::MustElect(*cluster, leader);
+
+  for (ZoneId z = 1; z < topo.num_zones(); ++z) {
+    table.AddRow({topo.ZoneName(z),
+                  Fmt(MeasureDPaxos(*cluster, leader, z, 0), 1),
+                  Fmt(MeasureDPaxos(*cluster, leader, z, 50), 1),
+                  Fmt(MeasureDPaxos(*cluster, leader, z, 100), 1),
+                  Fmt(MeasureLeaderless(z, 50), 1),
+                  Fmt(MeasureLeaderless(z, 100), 1)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

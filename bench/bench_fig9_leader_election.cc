@@ -1,0 +1,128 @@
+// Figure 9: Leader Election latency observed by an aspiring leader in
+// California, as a function of the previous leader's location.
+//
+// Paper shapes to reproduce:
+//   - DPaxos Leader Zone: one round to the previous leader's zone (the
+//     Leader Zone has moved there), 11 ms same-zone up to 267 ms Mumbai.
+//   - Leader Handoff: same shape (one lightweight round to the previous
+//     leader), but requires its cooperation.
+//   - DPaxos Delegate and Multi-Paxos: flat — a round to the closest
+//     majority of zones / majority of nodes (~150 ms in the paper).
+//   - Flexible Paxos: flat and most expensive — votes from all zones
+//     (262 ms in the paper, the RTT to Mumbai).
+// Crossover: Leader Zone loses to Delegate/Multi-Paxos only when the
+// previous leader is in Singapore or Mumbai.
+//
+// Per the paper's setup, prior Leader Election attempts have been garbage
+// collected: only the previous leader's intent exists, and (for Leader
+// Zone) the Leader Zone has already moved to the previous leader's zone.
+#include <iostream>
+#include <optional>
+
+#include "bench_common.h"
+
+using namespace dpaxos;
+
+namespace {
+
+// Previous leader in `prev_zone` (already holding leadership and having
+// declared its intent), aspirant = another node in California.
+double MeasureElection(ProtocolMode mode, ZoneId prev_zone,
+                       bool with_prev_leader) {
+  ClusterOptions options = bench::PaperOptions();
+  if (mode == ProtocolMode::kLeaderZone) {
+    // The Leader Zone has moved to the previous leader's zone.
+    options.replica.initial_leader_zone = prev_zone;
+  }
+  auto cluster = bench::MakePaperCluster(mode, options);
+
+  NodeId aspirant = cluster->NodeInZone(0, 0);  // California
+  if (with_prev_leader) {
+    NodeId prev = cluster->NodeInZone(prev_zone, 0);
+    if (prev == aspirant) aspirant = cluster->NodeInZone(0, 1);
+    bench::MustElect(*cluster, prev);
+    // The aspirant knows the incumbent's ballot (cluster metadata), as in
+    // the paper's measurement of a single clean election round.
+    cluster->replica(aspirant)->PrimeBallot(cluster->replica(prev)->ballot());
+  }
+
+  Result<Duration> latency = cluster->ElectLeader(aspirant);
+  if (!latency.ok()) {
+    std::cerr << "FATAL: election failed: " << latency.status().ToString()
+              << "\n";
+    std::abort();
+  }
+  return ToMillis(latency.value());
+}
+
+// Delegate with the previous leader's intent still live (not garbage
+// collected): the aspirant's first round detects it and a second round
+// expands to the previous leader's zone — the cost the paper's flat
+// Delegate curve omits (its setup collects prior intents first).
+double MeasureDelegateWithIntent(ZoneId prev_zone) {
+  auto cluster = bench::MakePaperCluster(ProtocolMode::kDelegate);
+  NodeId aspirant = cluster->NodeInZone(0, 0);
+  NodeId prev = cluster->NodeInZone(prev_zone, 0);
+  if (prev == aspirant) aspirant = cluster->NodeInZone(0, 1);
+  bench::MustElect(*cluster, prev);
+  if (!cluster->Commit(prev, Value::Synthetic(1, 1024)).ok()) std::abort();
+  cluster->replica(aspirant)->PrimeBallot(cluster->replica(prev)->ballot());
+  Result<Duration> latency = cluster->ElectLeader(aspirant);
+  if (!latency.ok()) std::abort();
+  return ToMillis(latency.value());
+}
+
+double MeasureHandoff(ZoneId prev_zone) {
+  auto cluster = bench::MakePaperCluster(ProtocolMode::kLeaderZone);
+  NodeId aspirant = cluster->NodeInZone(0, 0);
+  NodeId prev = cluster->NodeInZone(prev_zone, 0);
+  if (prev == aspirant) aspirant = cluster->NodeInZone(0, 1);
+  bench::MustElect(*cluster, prev);
+
+  std::optional<Status> done;
+  const Timestamp start = cluster->sim().Now();
+  cluster->replica(aspirant)->RequestHandoffFrom(prev, [&](const Status& st) {
+    done = st;
+  });
+  while (!done.has_value() && cluster->sim().Step()) {
+  }
+  if (!done.has_value() || !done->ok()) {
+    std::cerr << "FATAL: handoff failed\n";
+    std::abort();
+  }
+  return ToMillis(cluster->sim().Now() - start);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 9: Leader Election latency at California vs previous leader "
+      "location",
+      "prior intents garbage collected; Leader Zone moved to the previous "
+      "leader's zone");
+
+  TablePrinter table({"prev leader", "LeaderZone (ms)", "Handoff (ms)",
+                      "Delegate (ms)", "Delegate+intent (ms)",
+                      "MultiPaxos (ms)", "FPaxos (ms)"});
+  const Topology topo = Topology::AwsSevenZones();
+  for (ZoneId z = 0; z < topo.num_zones(); ++z) {
+    table.AddRow({
+        topo.ZoneName(z),
+        Fmt(MeasureElection(ProtocolMode::kLeaderZone, z, true), 1),
+        Fmt(MeasureHandoff(z), 1),
+        // Delegate / Multi-Paxos / FPaxos elections do not depend on the
+        // previous leader's location (Delegate: no live intents besides
+        // the aspirant's own after garbage collection).
+        Fmt(MeasureElection(ProtocolMode::kDelegate, z, false), 1),
+        Fmt(MeasureDelegateWithIntent(z), 1),
+        Fmt(MeasureElection(ProtocolMode::kMultiPaxos, z, true), 1),
+        Fmt(MeasureElection(ProtocolMode::kFlexiblePaxos, z, true), 1),
+    });
+  }
+  table.Print(std::cout);
+  std::cout << "\nDelegate+intent shows the expansion round the paper's "
+               "flat Delegate curve omits\n(its setup garbage-collects "
+               "prior intents; compare Figure 14).\n";
+  return 0;
+}

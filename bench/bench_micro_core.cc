@@ -1,0 +1,90 @@
+// Micro-benchmarks (google-benchmark) of the core data structures on the
+// hot paths: quorum tallying, intent bookkeeping, the event queue, the
+// transaction codec and topology queries.
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "net/topology.h"
+#include "paxos/acceptor.h"
+#include "quorum/quorum_system.h"
+#include "sim/simulator.h"
+#include "txn/transaction.h"
+#include "workload/oltp.h"
+
+namespace dpaxos {
+namespace {
+
+void BM_QuorumRuleIsSatisfied(benchmark::State& state) {
+  const Topology topo = Topology::AwsSevenZones();
+  DelegateQuorumSystem qs(&topo, FaultTolerance{1, 0});
+  const QuorumRule rule = qs.LeaderElectionRule(0, LeaderZoneView{});
+  std::set<NodeId> acks;
+  for (NodeId n = 0; n < 11; ++n) acks.insert(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rule.IsSatisfied(acks));
+  }
+}
+BENCHMARK(BM_QuorumRuleIsSatisfied);
+
+void BM_QuorumRuleMergeExpand(benchmark::State& state) {
+  const Topology topo = Topology::AwsSevenZones();
+  DelegateQuorumSystem qs(&topo, FaultTolerance{1, 0});
+  const QuorumRule base = qs.LeaderElectionRule(0, LeaderZoneView{});
+  for (auto _ : state) {
+    QuorumRule expanded = base.MergedWith(QuorumRule::Simple({9, 10}, 1));
+    benchmark::DoNotOptimize(expanded);
+  }
+}
+BENCHMARK(BM_QuorumRuleMergeExpand);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim(7);
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(static_cast<Duration>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(sim.RunUntilIdle());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_AcceptorPrepare(benchmark::State& state) {
+  uint64_t round = 1;
+  Acceptor acceptor;
+  const Intent intent{Ballot{1, 1}, 1, {1, 2}};
+  for (auto _ : state) {
+    PrepareMsg msg(0, Ballot{round++, 1}, 0, {intent}, false,
+                   LeaderZoneView{});
+    benchmark::DoNotOptimize(acceptor.OnPrepare(msg, round));
+  }
+}
+BENCHMARK(BM_AcceptorPrepare);
+
+void BM_TxnEncodeDecode(benchmark::State& state) {
+  OltpGenerator gen(OltpConfig{}, 42);
+  const std::vector<Transaction> batch =
+      gen.NextBatch(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    const std::string payload = EncodeBatch(batch);
+    auto decoded = DecodeBatch(payload);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(EncodeBatch(batch).size()));
+}
+BENCHMARK(BM_TxnEncodeDecode)->Arg(1024)->Arg(50 * 1024);
+
+void BM_TopologyProximity(benchmark::State& state) {
+  const Topology topo = Topology::AwsSevenZones();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.ZonesByProximity(6));
+  }
+}
+BENCHMARK(BM_TopologyProximity);
+
+}  // namespace
+}  // namespace dpaxos
+
+BENCHMARK_MAIN();

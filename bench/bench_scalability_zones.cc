@@ -1,0 +1,88 @@
+// Edge-scale sweep: how the protocols behave as the number of zones
+// grows (paper Section 1: "In a system with a large number of nodes,
+// such as the edge, majority-based approaches are prohibitive, since
+// they entail communication with a majority of a possibly massive
+// number of nodes for each step").
+//
+// Zones are placed on a synthetic planet (great-circle RTTs); for each
+// size we measure, at a fixed proposer:
+//   - Replication latency and messages per commit,
+//   - Leader Election latency and messages.
+// DPaxos stays flat (its quorums are zone-local); Multi-Paxos and
+// Flexible Paxos grow with the deployment.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace dpaxos;
+
+namespace {
+
+struct Point {
+  double repl_ms = 0;
+  double repl_msgs = 0;
+  double le_ms = 0;
+  uint64_t le_msgs = 0;
+};
+
+Point Measure(ProtocolMode mode, uint32_t zones) {
+  ClusterOptions options = bench::PaperOptions();
+  options.replica.le_timeout = 10 * kSecond;  // far quorums on big planets
+  auto cluster = std::make_unique<Cluster>(
+      Topology::Planet(zones, 3, /*seed=*/zones * 7 + 1), mode, options);
+
+  auto total_msgs = [&] {
+    uint64_t sum = 0;
+    for (NodeId n : cluster->topology().AllNodes()) {
+      sum += cluster->transport().StatsFor(n).messages_sent;
+    }
+    return sum;
+  };
+
+  Point point;
+  Replica* leader = cluster->ReplicaInZone(0);
+  const Timestamp t0 = cluster->sim().Now();
+  bench::MustElect(*cluster, leader->id());
+  point.le_ms = ToMillis(cluster->sim().Now() - t0);
+  point.le_msgs = total_msgs();
+
+  const uint64_t msgs_before = total_msgs();
+  LoadOptions load;
+  load.batch_bytes = 1024;
+  load.duration = 5 * kSecond;
+  const LoadResult result = RunClosedLoop(*cluster, leader, load);
+  point.repl_ms = result.commit_latency.MeanMillis();
+  if (result.committed > 0) {
+    point.repl_msgs = static_cast<double>(total_msgs() - msgs_before) /
+                      static_cast<double>(result.committed);
+  }
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Edge-scale sweep: protocol cost vs number of zones",
+      "synthetic planet topologies, 3 nodes/zone, fd=1 fz=0; proposer in "
+      "zone 0");
+
+  TablePrinter table({"zones", "nodes", "protocol", "repl (ms)",
+                      "msgs/commit", "LE (ms)", "LE msgs"});
+  for (uint32_t zones : {8u, 16u, 32u, 64u}) {
+    for (ProtocolMode mode :
+         {ProtocolMode::kLeaderZone, ProtocolMode::kDelegate,
+          ProtocolMode::kFlexiblePaxos, ProtocolMode::kMultiPaxos}) {
+      const Point p = Measure(mode, zones);
+      table.AddRow({std::to_string(zones), std::to_string(zones * 3),
+                    ProtocolModeName(mode), Fmt(p.repl_ms, 1),
+                    Fmt(p.repl_msgs, 1), Fmt(p.le_ms, 1),
+                    std::to_string(p.le_msgs)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nDPaxos replication stays at the intra-zone round and "
+               "~5 msgs/commit at every scale;\nmajority-based replication "
+               "and Flexible-Paxos elections grow with the deployment.\n";
+  return 0;
+}

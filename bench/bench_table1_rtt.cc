@@ -1,0 +1,40 @@
+// Table 1: the average round-trip times (milliseconds) between the seven
+// AWS datacenters used as zones throughout the evaluation. This binary
+// prints the configured matrix and verifies its symmetry — the other
+// benchmarks inherit the same topology.
+#include <iostream>
+
+#include "bench_common.h"
+#include "net/topology.h"
+
+using namespace dpaxos;
+
+int main() {
+  bench::PrintHeader(
+      "Table 1: RTT (ms) between the 7 datacenters (zones)",
+      "C=California O=Oregon V=Virginia T=Tokyo I=Ireland S=Singapore "
+      "M=Mumbai; intra-zone edge-node RTT = 10ms");
+
+  const Topology topo = Topology::AwsSevenZones();
+  const char* short_names = "COVTISM";
+
+  TablePrinter table({" ", "C", "O", "V", "T", "I", "S", "M"});
+  for (ZoneId a = 0; a < topo.num_zones(); ++a) {
+    std::vector<std::string> row{std::string(1, short_names[a])};
+    for (ZoneId b = 0; b < topo.num_zones(); ++b) {
+      const double ms = a == b ? 0.0 : ToMillis(topo.ZoneRtt(a, b));
+      row.push_back(Fmt(ms, 0));
+      if (topo.ZoneRtt(a, b) != topo.ZoneRtt(b, a)) {
+        std::cerr << "FATAL: RTT matrix is not symmetric\n";
+        return 1;
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nZones: " << topo.num_zones()
+            << ", nodes/zone: " << topo.nodes_in_zone(0)
+            << ", total nodes: " << topo.num_nodes() << "\n";
+  return 0;
+}

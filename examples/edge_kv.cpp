@@ -1,0 +1,136 @@
+// Edge key-value store: a partitioned, replicated store built on DPaxos
+// as its State Machine Replication component (the paper's intended use).
+//
+// Three data partitions live where their users are (California, Ireland,
+// Singapore). Each commits OLTP transaction batches through its own
+// DPaxos instance; every node applies decided batches to a per-partition
+// KvStateMachine. The example then injects a node failure, shows commits
+// surviving it, runs the intents garbage collector, and verifies that
+// all replicas converged to identical state.
+//
+//   $ ./edge_kv
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "common/histogram.h"
+#include "harness/cluster.h"
+#include "harness/table.h"
+#include "smr/kv_store.h"
+#include "smr/log_applier.h"
+#include "txn/transaction.h"
+#include "workload/oltp.h"
+
+using namespace dpaxos;
+
+int main() {
+  // Partition p lives in zone kHomeZone[p].
+  const ZoneId kHomeZone[3] = {0, 4, 5};  // California, Ireland, Singapore
+
+  ClusterOptions options;
+  options.partitions = {0, 1, 2};
+  options.replica.decide_policy = DecidePolicy::kAll;  // full SMR fan-out
+  options.replica.num_intents = 2;  // alternate quorum for fast failover
+  options.replica.propose_timeout = 300 * kMillisecond;
+  options.replica.max_propose_retries = 1;  // fast alternate-intent failover
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const Topology& topo = cluster.topology();
+
+  // One state machine per (node, partition), fed by the decide callbacks.
+  std::map<std::pair<NodeId, PartitionId>, std::unique_ptr<KvStateMachine>>
+      stores;
+  std::map<std::pair<NodeId, PartitionId>, std::unique_ptr<LogApplier>>
+      appliers;
+  for (NodeId n : topo.AllNodes()) {
+    for (PartitionId p : {0u, 1u, 2u}) {
+      auto store = std::make_unique<KvStateMachine>();
+      auto applier = std::make_unique<LogApplier>(store.get());
+      LogApplier* raw = applier.get();
+      cluster.replica(n, p)->set_decide_callback(
+          [raw](SlotId slot, const Value& value) {
+            raw->OnDecided(slot, value);
+          });
+      stores[{n, p}] = std::move(store);
+      appliers[{n, p}] = std::move(applier);
+    }
+  }
+
+  // Elect each partition's leader in its home zone.
+  for (PartitionId p : {0u, 1u, 2u}) {
+    const NodeId leader = cluster.NodeInZone(kHomeZone[p]);
+    if (!cluster.ElectLeader(leader, p).ok()) {
+      std::cerr << "election failed for partition " << p << "\n";
+      return 1;
+    }
+  }
+
+  // Commit OLTP batches on every partition from its own zone.
+  std::cout << "Committing 10 x 2KB OLTP batches per partition...\n\n";
+  TablePrinter table({"partition", "home zone", "batches", "mean commit"});
+  for (PartitionId p : {0u, 1u, 2u}) {
+    const NodeId leader = cluster.NodeInZone(kHomeZone[p]);
+    OltpGenerator gen(OltpConfig{.num_keys = 10'000}, 100 + p);
+    Histogram latency;
+    for (int i = 0; i < 10; ++i) {
+      const Value batch = Value::Of(
+          static_cast<uint64_t>(p) * 1000 + static_cast<uint64_t>(i) + 1,
+          EncodeBatch(gen.NextBatch(2048)));
+      Result<Duration> commit = cluster.Commit(leader, batch, p);
+      if (!commit.ok()) {
+        std::cerr << "commit failed: " << commit.status().ToString() << "\n";
+        return 1;
+      }
+      latency.Add(commit.value());
+    }
+    table.AddRow({std::to_string(p), topo.ZoneName(kHomeZone[p]), "10",
+                  Fmt(latency.MeanMillis(), 1) + "ms"});
+  }
+  table.Print(std::cout);
+
+  // Inject a failure: the California leader's quorum companion dies.
+  // With two declared intents the leader fails over without an election.
+  const NodeId cal_leader = cluster.NodeInZone(0);
+  NodeId companion = kInvalidNode;
+  for (NodeId n :
+       cluster.replica(cal_leader, 0)->declared_intents()[0].quorum) {
+    if (n != cal_leader) companion = n;
+  }
+  std::cout << "\nCrashing node " << companion
+            << " (partition 0's replication-quorum companion)...\n";
+  cluster.transport().Crash(companion);
+  Result<Duration> failover =
+      cluster.Commit(cal_leader, Value::Of(5001, EncodeBatch({})), 0);
+  std::cout << "Commit after crash: "
+            << (failover.ok() ? "OK in " + DurationToString(failover.value()) +
+                                    " (alternate-intent failover)"
+                              : failover.status().ToString())
+            << "\n";
+  cluster.transport().Recover(companion);
+
+  // Garbage-collect stale intents, then verify convergence.
+  GarbageCollector* gc = cluster.AddGarbageCollector(1, 0);
+  gc->SweepOnce();
+  cluster.sim().RunFor(10 * kSecond);
+
+  std::cout << "\nConvergence check (order-independent state checksums):\n";
+  bool converged = true;
+  for (PartitionId p : {0u, 1u, 2u}) {
+    const uint64_t expect = stores[{cluster.NodeInZone(kHomeZone[p]), p}]
+                                ->Checksum();
+    size_t agree = 0;
+    for (NodeId n : topo.AllNodes()) {
+      if (stores[{n, p}]->Checksum() == expect) ++agree;
+    }
+    std::cout << "  partition " << p << ": " << agree << "/"
+              << topo.num_nodes() << " replicas identical, "
+              << stores[{cluster.NodeInZone(kHomeZone[p]), p}]->size()
+              << " keys\n";
+    // The crashed-and-recovered node misses decide messages sent while it
+    // was down; every node that was up must agree.
+    if (agree < topo.num_nodes() - 1) converged = false;
+  }
+  std::cout << (converged ? "\nAll live replicas converged.\n"
+                          : "\nDIVERGENCE DETECTED\n");
+  return converged ? 0 : 1;
+}

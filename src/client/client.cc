@@ -1,0 +1,102 @@
+#include "client/client.h"
+
+#include "common/check.h"
+
+namespace dpaxos {
+
+namespace {
+// Local service time for a lease-protected read at the access replica.
+constexpr Duration kLocalReadServiceTime = 500 * kMicrosecond;
+}  // namespace
+
+Client::Client(Simulator* sim, Replica* access)
+    : Client(sim, access, Options()) {}
+
+Client::Client(Simulator* sim, Replica* access, Options options)
+    : sim_(sim),
+      access_(access),
+      options_(options),
+      batch_builder_(options.batch_target_bytes) {
+  DPAXOS_CHECK(sim != nullptr);
+  DPAXOS_CHECK(access != nullptr);
+  // Keep client-chosen value ids unique across sessions: derive the id
+  // space from the access node and a per-construction nonce.
+  next_value_id_ =
+      (static_cast<uint64_t>(access->id()) << 40) | (sim->Now() & 0xffffff);
+}
+
+void Client::Track(const Status& st, Duration latency, Callback& cb) {
+  if (st.ok()) {
+    ++committed_;
+    latency_.Add(latency);
+  } else {
+    ++failed_;
+  }
+  if (cb) cb(st, latency);
+}
+
+void Client::Execute(const Transaction& txn, Callback cb) {
+  ExecuteBatch({txn}, std::move(cb));
+}
+
+void Client::ExecuteBatch(const std::vector<Transaction>& batch,
+                          Callback cb) {
+  Value value = Value::Of(++next_value_id_, EncodeBatch(batch));
+  access_->SubmitOrForward(
+      std::move(value),
+      [this, cb = std::move(cb)](const Status& st, SlotId /*slot*/,
+                                 Duration latency) mutable {
+        Track(st, latency, cb);
+      });
+}
+
+void Client::SubmitBatched(Transaction txn, Callback cb) {
+  batch_callbacks_.push_back(std::move(cb));
+  const bool full = batch_builder_.Add(std::move(txn));
+  if (full) {
+    FlushBatch();
+    return;
+  }
+  if (flush_timer_ == 0) {
+    flush_timer_ = sim_->Schedule(options_.batch_flush_interval, [this] {
+      flush_timer_ = 0;
+      FlushBatch();
+    });
+  }
+}
+
+void Client::FlushBatch() {
+  if (flush_timer_ != 0) {
+    sim_->Cancel(flush_timer_);
+    flush_timer_ = 0;
+  }
+  if (batch_builder_.empty()) return;
+  ++batches_flushed_;
+  Value value = batch_builder_.Take(++next_value_id_);
+  auto callbacks =
+      std::make_shared<std::vector<Callback>>(std::move(batch_callbacks_));
+  batch_callbacks_.clear();
+  access_->SubmitOrForward(
+      std::move(value),
+      [this, callbacks](const Status& st, SlotId, Duration latency) {
+        for (Callback& cb : *callbacks) Track(st, latency, cb);
+      });
+}
+
+void Client::ExecuteReadOnly(const Transaction& txn, Callback cb) {
+  DPAXOS_CHECK_MSG(txn.read_only(), "transaction has writes");
+  if (access_->CanServeLocalRead() || access_->CanServeQuorumRead()) {
+    // Linearizable local read under the master lease: no replication.
+    ++local_reads_;
+    sim_->Schedule(kLocalReadServiceTime,
+                   [this, cb = std::move(cb)]() mutable {
+                     Status ok = Status::OK();
+                     Track(ok, kLocalReadServiceTime, cb);
+                   });
+    return;
+  }
+  // No lease: route like a write so the read is still linearizable.
+  ExecuteBatch({txn}, std::move(cb));
+}
+
+}  // namespace dpaxos

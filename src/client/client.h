@@ -1,0 +1,95 @@
+// Client sessions: the application-facing entry point of the store.
+//
+// A Client attaches to its nearest edge node's replica (its access
+// point). Writes (read-write transactions) are committed through the
+// replica — locally when it leads, otherwise forwarded to the leader over
+// the real (simulated) network, exactly the paper's remote-request model.
+// Reads are served from the access replica when it holds a valid master
+// lease; otherwise they are routed like writes.
+#ifndef DPAXOS_CLIENT_CLIENT_H_
+#define DPAXOS_CLIENT_CLIENT_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "paxos/replica.h"
+#include "txn/batch.h"
+#include "txn/transaction.h"
+
+namespace dpaxos {
+
+/// \brief One application session bound to an access replica.
+class Client {
+ public:
+  /// (status, commit latency as observed by this client).
+  using Callback = std::function<void(const Status&, Duration)>;
+
+  struct Options {
+    /// Transactions submitted through SubmitBatched() accumulate until
+    /// the encoded batch reaches this size...
+    uint64_t batch_target_bytes = 4 * 1024;
+    /// ...or this much virtual time passes since the first queued
+    /// transaction, whichever comes first (paper Section A.1: batching
+    /// trades latency for throughput).
+    Duration batch_flush_interval = 5 * kMillisecond;
+  };
+
+  /// `access` must outlive the client; `sim` is the shared clock.
+  Client(Simulator* sim, Replica* access);
+  Client(Simulator* sim, Replica* access, Options options);
+
+  /// Execute a read-write transaction: encode, commit through the access
+  /// replica (forwarding to the leader if needed).
+  void Execute(const Transaction& txn, Callback cb);
+
+  /// Execute a batch of transactions as one consensus value.
+  void ExecuteBatch(const std::vector<Transaction>& batch, Callback cb);
+
+  /// Execute a read-only transaction: served locally when the access
+  /// replica is a lease-holding leader (paper Section 4.5), else routed
+  /// through the commit path like a write.
+  void ExecuteReadOnly(const Transaction& txn, Callback cb);
+
+  /// Queue a transaction into the client-side batch; the batch commits
+  /// as one consensus value once it reaches batch_target_bytes or the
+  /// flush interval elapses. Every queued transaction's callback fires
+  /// with the batch's outcome.
+  void SubmitBatched(Transaction txn, Callback cb);
+
+  /// Flush any queued transactions immediately.
+  void FlushBatch();
+
+  /// Batches committed via SubmitBatched.
+  uint64_t batches_flushed() const { return batches_flushed_; }
+
+  Replica* access() const { return access_; }
+
+  // --- session statistics ---------------------------------------------
+
+  uint64_t committed() const { return committed_; }
+  uint64_t failed() const { return failed_; }
+  uint64_t local_reads() const { return local_reads_; }
+  const Histogram& latency() const { return latency_; }
+
+ private:
+  void Track(const Status& st, Duration latency, Callback& cb);
+
+  Simulator* sim_;
+  Replica* access_;
+  Options options_;
+  uint64_t next_value_id_;
+  BatchBuilder batch_builder_{4 * 1024};
+  std::vector<Callback> batch_callbacks_;
+  EventId flush_timer_ = 0;
+  uint64_t batches_flushed_ = 0;
+  uint64_t committed_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t local_reads_ = 0;
+  Histogram latency_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_CLIENT_CLIENT_H_

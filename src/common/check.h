@@ -1,0 +1,53 @@
+// Invariant-check macros. A failed check indicates a bug in the library
+// (never a recoverable runtime condition) and aborts the process with a
+// source location and message.
+#ifndef DPAXOS_COMMON_CHECK_H_
+#define DPAXOS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dpaxos {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "DPAXOS_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dpaxos
+
+#define DPAXOS_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::dpaxos::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                   \
+  } while (0)
+
+#define DPAXOS_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream _oss;                                          \
+      _oss << msg;                                                      \
+      ::dpaxos::internal::CheckFailed(__FILE__, __LINE__, #cond,        \
+                                      _oss.str());                      \
+    }                                                                   \
+  } while (0)
+
+#define DPAXOS_CHECK_EQ(a, b) DPAXOS_CHECK_MSG((a) == (b), (a) << " vs " << (b))
+#define DPAXOS_CHECK_NE(a, b) DPAXOS_CHECK_MSG((a) != (b), (a) << " vs " << (b))
+#define DPAXOS_CHECK_LT(a, b) DPAXOS_CHECK_MSG((a) < (b), (a) << " vs " << (b))
+#define DPAXOS_CHECK_LE(a, b) DPAXOS_CHECK_MSG((a) <= (b), (a) << " vs " << (b))
+#define DPAXOS_CHECK_GT(a, b) DPAXOS_CHECK_MSG((a) > (b), (a) << " vs " << (b))
+#define DPAXOS_CHECK_GE(a, b) DPAXOS_CHECK_MSG((a) >= (b), (a) << " vs " << (b))
+
+#define DPAXOS_UNREACHABLE()                                               \
+  ::dpaxos::internal::CheckFailed(__FILE__, __LINE__, "unreachable", "")
+
+#endif  // DPAXOS_COMMON_CHECK_H_

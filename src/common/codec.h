@@ -1,0 +1,107 @@
+// Little-endian byte codec primitives shared by the transaction codec
+// and the protocol wire format.
+#ifndef DPAXOS_COMMON_CODEC_H_
+#define DPAXOS_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace dpaxos {
+
+/// \brief Appends fixed-width little-endian fields to a byte string.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) {
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    out_->append(buf, 4);
+  }
+
+  void PutU64(uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out_->append(buf, 8);
+  }
+
+  void PutDouble(double v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out_->append(buf, 8);
+  }
+
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->append(s);
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// \brief Bounds-checked reader over a byte string. All Read* methods
+/// return false on truncation and leave the output untouched.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadDouble(double* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadBool(bool* v) {
+    uint8_t b = 0;
+    if (!ReadU8(&b) || b > 1) return false;
+    *v = b != 0;
+    return true;
+  }
+
+  bool ReadString(std::string* s) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    s->assign(data_, pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_COMMON_CODEC_H_

@@ -1,0 +1,76 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dpaxos {
+
+void Histogram::Add(Duration sample) {
+  samples_.push_back(sample);
+  sorted_valid_ = false;
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = true;
+}
+
+double Histogram::MeanMillis() const {
+  if (samples_.empty()) return 0.0;
+  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return ToMillis(static_cast<Duration>(sum / samples_.size()));
+}
+
+Duration Histogram::Min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+Duration Histogram::Max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Histogram::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+Duration Histogram::Percentile(double p) const {
+  DPAXOS_CHECK_GE(p, 0.0);
+  DPAXOS_CHECK_LE(p, 100.0);
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const size_t idx = static_cast<size_t>(std::llround(rank));
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.2fms p50=%.2fms p99=%.2fms max=%.2fms", count(),
+                MeanMillis(), P50Millis(), P99Millis(), ToMillis(Max()));
+  return buf;
+}
+
+double ThroughputCounter::KilobytesPerSecond() const {
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(bytes) / 1024.0 /
+         (static_cast<double>(elapsed) / static_cast<double>(kSecond));
+}
+
+double ThroughputCounter::OpsPerSecond() const {
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(operations) /
+         (static_cast<double>(elapsed) / static_cast<double>(kSecond));
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,70 @@
+// Latency histogram and throughput counters used by the experiment
+// harness and benchmarks.
+#ifndef DPAXOS_COMMON_HISTOGRAM_H_
+#define DPAXOS_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dpaxos {
+
+/// \brief Reservoir-free exact histogram of durations.
+///
+/// Stores every sample (experiments record at most a few million);
+/// percentile queries sort lazily and cache the sorted order.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(Duration sample);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Mean of all samples; 0 if empty.
+  double MeanMillis() const;
+  /// Minimum sample; 0 if empty.
+  Duration Min() const;
+  /// Maximum sample; 0 if empty.
+  Duration Max() const;
+  /// Percentile in [0, 100]; 0 if empty.
+  Duration Percentile(double p) const;
+
+  double P50Millis() const { return ToMillis(Percentile(50)); }
+  double P99Millis() const { return ToMillis(Percentile(99)); }
+
+  /// One-line summary, e.g. "n=120 mean=12.1ms p50=11.9ms p99=13.4ms".
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<Duration> samples_;
+  mutable std::vector<Duration> sorted_;
+  mutable bool sorted_valid_ = true;
+};
+
+/// \brief Bytes/operations committed over a measured virtual interval.
+struct ThroughputCounter {
+  uint64_t operations = 0;
+  uint64_t bytes = 0;
+  Duration elapsed = 0;
+
+  void Record(uint64_t ops, uint64_t nbytes) {
+    operations += ops;
+    bytes += nbytes;
+  }
+
+  /// Committed kilobytes per second of virtual time; 0 if no time elapsed.
+  double KilobytesPerSecond() const;
+  /// Committed operations per second of virtual time; 0 if no time elapsed.
+  double OpsPerSecond() const;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_COMMON_HISTOGRAM_H_

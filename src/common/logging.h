@@ -1,0 +1,49 @@
+// Minimal leveled logger. Disabled below the global threshold at runtime;
+// the DPAXOS_LOG macro avoids formatting cost when the level is filtered.
+#ifndef DPAXOS_COMMON_LOGGING_H_
+#define DPAXOS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dpaxos {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global log threshold; messages below it are dropped. Default: kWarn
+/// (the simulator is chatty at kDebug/kTrace).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+}  // namespace internal
+
+#define DPAXOS_LOG(level, expr)                                           \
+  do {                                                                    \
+    if (static_cast<int>(level) >=                                        \
+        static_cast<int>(::dpaxos::GetLogLevel())) {                      \
+      std::ostringstream _log_oss;                                        \
+      _log_oss << expr;                                                   \
+      ::dpaxos::internal::LogMessage(level, __FILE__, __LINE__,           \
+                                     _log_oss.str());                     \
+    }                                                                     \
+  } while (0)
+
+#define DPAXOS_TRACE(expr) DPAXOS_LOG(::dpaxos::LogLevel::kTrace, expr)
+#define DPAXOS_DEBUG(expr) DPAXOS_LOG(::dpaxos::LogLevel::kDebug, expr)
+#define DPAXOS_INFO(expr) DPAXOS_LOG(::dpaxos::LogLevel::kInfo, expr)
+#define DPAXOS_WARN(expr) DPAXOS_LOG(::dpaxos::LogLevel::kWarn, expr)
+#define DPAXOS_ERROR(expr) DPAXOS_LOG(::dpaxos::LogLevel::kError, expr)
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_COMMON_LOGGING_H_

@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through Rng so that a simulation run
+// is exactly reproducible from its seed. The generator is xoshiro256**,
+// seeded via SplitMix64 per the reference recommendation.
+#ifndef DPAXOS_COMMON_RANDOM_H_
+#define DPAXOS_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace dpaxos {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief Deterministic xoshiro256** generator.
+///
+/// Not thread-safe; each simulation owns one Rng (or derives child Rngs
+/// via Fork() for independent streams).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seed the generator. The same seed always yields the same stream.
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    DPAXOS_CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    DPAXOS_CHECK_LE(lo, hi);
+    return lo + NextBounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p in [0, 1].
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Derive an independent child generator (e.g. one per node).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_COMMON_RANDOM_H_

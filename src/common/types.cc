@@ -1,0 +1,21 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace dpaxos {
+
+std::string DurationToString(Duration d) {
+  char buf[32];
+  if (d < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%lluus",
+                  static_cast<unsigned long long>(d));
+  } else if (d < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ToMillis(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs",
+                  static_cast<double>(d) / static_cast<double>(kSecond));
+  }
+  return buf;
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,54 @@
+// Fundamental identifier and time types shared across the library.
+//
+// Simulated time is a virtual clock in microseconds (Timestamp/Duration).
+// Node, zone, partition and slot identifiers are small integer types with
+// explicit invalid sentinels.
+#ifndef DPAXOS_COMMON_TYPES_H_
+#define DPAXOS_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dpaxos {
+
+/// Globally unique node (replica / edge datacenter) identifier.
+using NodeId = uint32_t;
+/// Zone identifier — a zone is a disjoint set of neighboring edge nodes.
+using ZoneId = uint32_t;
+/// Data partition identifier; each partition runs its own Paxos instance.
+using PartitionId = uint32_t;
+/// Position in the replicated command log of a partition.
+using SlotId = uint64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr ZoneId kInvalidZone = std::numeric_limits<ZoneId>::max();
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+inline constexpr SlotId kInvalidSlot = std::numeric_limits<SlotId>::max();
+
+/// Virtual time in microseconds since simulation start.
+using Timestamp = uint64_t;
+/// Virtual duration in microseconds.
+using Duration = uint64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * 1000;
+
+/// Convert a virtual duration to fractional milliseconds.
+inline double ToMillis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Convert fractional milliseconds to a virtual duration.
+inline Duration FromMillis(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Pretty-print a duration, e.g. "12.35ms".
+std::string DurationToString(Duration d);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_COMMON_TYPES_H_

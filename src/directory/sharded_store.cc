@@ -1,0 +1,139 @@
+#include "directory/sharded_store.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace dpaxos {
+
+namespace {
+
+// FNV-1a: stable key -> partition hashing.
+uint64_t HashKey(const std::string& key) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ShardedStore::ShardedStore(Simulator* sim, const Topology* topology,
+                           ReplicaProvider provider, Options options)
+    : sim_(sim),
+      topology_(topology),
+      provider_(std::move(provider)),
+      options_(options),
+      advisor_(topology, options.min_improvement, options.min_weight) {
+  DPAXOS_CHECK(sim && topology);
+  DPAXOS_CHECK(provider_ != nullptr);
+  DPAXOS_CHECK_GT(options_.num_partitions, 0u);
+  for (uint32_t p = 0; p < options_.num_partitions; ++p) {
+    stats_.emplace_back(topology_->num_zones(), options_.stats_half_life);
+    leaders_.push_back(kInvalidNode);
+  }
+}
+
+PartitionId ShardedStore::PartitionOf(const std::string& key) const {
+  return static_cast<PartitionId>(HashKey(key) % options_.num_partitions);
+}
+
+NodeId ShardedStore::LeaderOf(PartitionId partition) const {
+  DPAXOS_CHECK_LT(partition, leaders_.size());
+  return leaders_[partition];
+}
+
+void ShardedStore::Steal(PartitionId partition, ZoneId zone,
+                         std::function<void(const Status&)> done) {
+  DPAXOS_CHECK_LT(partition, leaders_.size());
+  const NodeId thief = topology_->NodesInZone(zone)[0];
+  Replica* replica = provider_(thief, partition);
+  DPAXOS_CHECK(replica != nullptr);
+  if (leaders_[partition] != kInvalidNode) {
+    Replica* old = provider_(leaders_[partition], partition);
+    if (old != nullptr) replica->PrimeBallot(old->ballot());
+  }
+  replica->TryBecomeLeader(
+      [this, partition, thief, done = std::move(done)](const Status& st) {
+        if (st.ok()) {
+          leaders_[partition] = thief;
+          ++steals_;
+          DPAXOS_DEBUG("partition " << partition << " stolen by node "
+                                    << thief);
+        }
+        if (done) done(st);
+      });
+}
+
+void ShardedStore::RouteToLeader(PartitionId partition, ZoneId client_zone,
+                                 Value value, Callback cb) {
+  const NodeId leader = leaders_[partition];
+  DPAXOS_CHECK_NE(leader, kInvalidNode);
+  // The client talks to its zone-local access replica, which forwards to
+  // the leader if it is elsewhere.
+  const NodeId access_node = topology_->NodesInZone(client_zone)[0];
+  Replica* access = provider_(access_node, partition);
+  DPAXOS_CHECK(access != nullptr);
+  access->set_leader_hint(leader);
+  access->SubmitOrForward(
+      std::move(value),
+      [cb = std::move(cb)](const Status& st, SlotId, Duration latency) {
+        if (cb) cb(st, latency);
+      });
+}
+
+void ShardedStore::Execute(const Transaction& txn, ZoneId client_zone,
+                           Callback cb) {
+  DPAXOS_CHECK_LT(client_zone, topology_->num_zones());
+  if (txn.ops.empty()) {
+    cb(Status::InvalidArgument("empty transaction"), 0);
+    return;
+  }
+  const PartitionId partition = PartitionOf(txn.ops.front().key);
+  for (const Operation& op : txn.ops) {
+    if (PartitionOf(op.key) != partition) {
+      cb(Status::NotSupported(
+             "cross-partition transactions are not supported"),
+         0);
+      return;
+    }
+  }
+
+  stats_[partition].Record(client_zone, sim_->Now());
+  Value value = Value::Of(txn.id, EncodeBatch({txn}));
+
+  // First access: the client's zone claims the partition. Later, steal
+  // when the advisor says the access center moved enough.
+  bool steal_now = leaders_[partition] == kInvalidNode;
+  ZoneId target = client_zone;
+  if (!steal_now && options_.auto_steal) {
+    const ZoneId current_zone = topology_->ZoneOf(leaders_[partition]);
+    const PlacementAdvice advice =
+        advisor_.Advise(stats_[partition], current_zone, sim_->Now());
+    if (advice.should_move) {
+      steal_now = true;
+      target = advice.best_zone;
+    }
+  }
+
+  if (!steal_now) {
+    RouteToLeader(partition, client_zone, std::move(value), std::move(cb));
+    return;
+  }
+  Steal(partition, target,
+        [this, partition, client_zone, value = std::move(value),
+         cb = std::move(cb)](const Status& st) mutable {
+          if (!st.ok() && leaders_[partition] == kInvalidNode) {
+            cb(st, 0);
+            return;
+          }
+          // Stolen (or the steal lost a race but some leader exists).
+          RouteToLeader(partition, client_zone, std::move(value),
+                        std::move(cb));
+        });
+}
+
+}  // namespace dpaxos

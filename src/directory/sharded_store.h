@@ -1,0 +1,87 @@
+// Sharded multi-leader store: key-space partitioning with per-partition
+// leaders that live — and move — where their keys are accessed.
+//
+// The paper (Section B.1) notes DPaxos can adopt WPaxos's object-stealing
+// model: concurrent leaders at different locations each own data objects,
+// and a leader "steals" an object whose access locality shifted toward it
+// by running a Leader Election for it. This module provides that layer:
+// keys hash to partitions, each partition is an independent DPaxos
+// instance, and per-partition access statistics drive automatic stealing
+// through the placement advisor.
+#ifndef DPAXOS_DIRECTORY_SHARDED_STORE_H_
+#define DPAXOS_DIRECTORY_SHARDED_STORE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "net/topology.h"
+#include "paxos/replica.h"
+#include "placement/placement.h"
+#include "sim/simulator.h"
+#include "txn/transaction.h"
+
+namespace dpaxos {
+
+/// \brief Routes keyed transactions onto per-partition DPaxos instances.
+class ShardedStore {
+ public:
+  /// Resolves the replica of `partition` hosted at `node`; the store does
+  /// not own replicas (the harness/cluster does).
+  using ReplicaProvider = std::function<Replica*(NodeId, PartitionId)>;
+  /// (status, end-to-end latency).
+  using Callback = std::function<void(const Status&, Duration)>;
+
+  struct Options {
+    uint32_t num_partitions = 4;
+    /// Steal a partition only when the advisor clears these thresholds.
+    double min_improvement = 0.3;
+    double min_weight = 3.0;
+    Duration stats_half_life = 30 * kSecond;
+    /// Disable to route only (ownership fixed at first election).
+    bool auto_steal = true;
+  };
+
+  ShardedStore(Simulator* sim, const Topology* topology,
+               ReplicaProvider provider, Options options);
+
+  /// Partition owning `key` (stable hash).
+  PartitionId PartitionOf(const std::string& key) const;
+
+  /// Execute a transaction issued from `client_zone`. All keys must hash
+  /// to one partition (cross-partition transactions are out of scope and
+  /// fail with NotSupported). Routing: if stealing is due, the partition
+  /// is first stolen by the client's zone; the request then commits at
+  /// the partition's leader (forwarded if remote).
+  void Execute(const Transaction& txn, ZoneId client_zone, Callback cb);
+
+  /// Current leader of `partition` as tracked by the store
+  /// (kInvalidNode before its first access).
+  NodeId LeaderOf(PartitionId partition) const;
+
+  uint32_t num_partitions() const { return options_.num_partitions; }
+  uint64_t steals() const { return steals_; }
+
+  /// Force-steal `partition` into `zone` (manual placement override).
+  void Steal(PartitionId partition, ZoneId zone,
+             std::function<void(const Status&)> done);
+
+ private:
+  void RouteToLeader(PartitionId partition, ZoneId client_zone, Value value,
+                     Callback cb);
+
+  Simulator* sim_;
+  const Topology* topology_;
+  ReplicaProvider provider_;
+  Options options_;
+  PlacementAdvisor advisor_;
+  std::vector<AccessStats> stats_;     // per partition
+  std::vector<NodeId> leaders_;        // per partition; kInvalidNode = none
+  uint64_t steals_ = 0;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_DIRECTORY_SHARDED_STORE_H_

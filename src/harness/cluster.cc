@@ -1,0 +1,141 @@
+#include "harness/cluster.h"
+
+#include <optional>
+
+#include "common/check.h"
+#include "paxos/wire.h"
+
+namespace dpaxos {
+
+Cluster::Cluster(Topology topology, ProtocolMode mode, ClusterOptions options)
+    : topology_(std::move(topology)), options_(std::move(options)) {
+  const FaultTolerance& ft = options_.ft;
+  DPAXOS_CHECK_MSG(topology_.num_zones() >= 2 * ft.fz + 1,
+                   "need at least 2*fz+1 zones");
+  for (ZoneId z = 0; z < topology_.num_zones(); ++z) {
+    DPAXOS_CHECK_MSG(topology_.nodes_in_zone(z) >= 2 * ft.fd + 1,
+                     "zone " << z << " needs at least 2*fd+1 nodes");
+  }
+  DPAXOS_CHECK(!options_.partitions.empty());
+
+  sim_ = std::make_unique<Simulator>(options_.seed);
+  transport_ =
+      std::make_unique<SimTransport>(sim_.get(), &topology_, options_.transport);
+  if (options_.transport.validate_wire_codec) {
+    transport_->set_wire_codec(
+        [](const Message& m) { return SerializeMessage(m); },
+        [](const std::string& bytes) -> MessagePtr {
+          Result<MessagePtr> r = DeserializeMessage(bytes);
+          return r.ok() ? r.value() : nullptr;
+        });
+  }
+  quorums_ = MakeQuorumSystem(mode, &topology_, ft);
+
+  hosts_.reserve(topology_.num_nodes());
+  for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+    hosts_.push_back(
+        std::make_unique<NodeHost>(sim_.get(), transport_.get(), &topology_, n));
+    for (PartitionId p : options_.partitions) {
+      ReplicaConfig config = options_.replica;
+      config.partition = p;
+      if (mode == ProtocolMode::kLeaderless) {
+        config.leaderless_index = n;
+        config.leaderless_total = topology_.num_nodes();
+      }
+      hosts_.back()->AddReplica(quorums_.get(), config);
+    }
+  }
+}
+
+Cluster::~Cluster() {
+  for (auto& gc : collectors_) gc->Stop();
+}
+
+Replica* Cluster::replica(NodeId node, PartitionId partition) const {
+  DPAXOS_CHECK_LT(node, hosts_.size());
+  Replica* r = hosts_[node]->replica(partition);
+  DPAXOS_CHECK_MSG(r != nullptr, "no replica for partition " << partition);
+  return r;
+}
+
+NodeId Cluster::NodeInZone(ZoneId zone, uint32_t index) const {
+  const std::vector<NodeId> nodes = topology_.NodesInZone(zone);
+  DPAXOS_CHECK_LT(index, nodes.size());
+  return nodes[index];
+}
+
+Replica* Cluster::ReplicaInZone(ZoneId zone, uint32_t index,
+                                PartitionId partition) const {
+  return replica(NodeInZone(zone, index), partition);
+}
+
+const QuorumSystem* Cluster::AddPartition(
+    std::unique_ptr<QuorumSystem> quorums, ReplicaConfig config) {
+  DPAXOS_CHECK(quorums != nullptr);
+  const QuorumSystem* qs = quorums.get();
+  extra_quorums_.push_back(std::move(quorums));
+  for (auto& host : hosts_) host->AddReplica(qs, config);
+  return qs;
+}
+
+void Cluster::RestartNode(NodeId node) {
+  DPAXOS_CHECK_LT(node, hosts_.size());
+  hosts_[node]->Restart();
+}
+
+GarbageCollector* Cluster::AddGarbageCollector(NodeId host,
+                                               PartitionId partition,
+                                               Duration poll_period) {
+  auto gc = std::make_unique<GarbageCollector>(
+      sim_.get(), transport_.get(), &topology_, host, partition, poll_period);
+  GarbageCollector* ptr = gc.get();
+  DPAXOS_CHECK_LT(host, hosts_.size());
+  hosts_[host]->AttachGarbageCollector(ptr);
+  collectors_.push_back(std::move(gc));
+  return ptr;
+}
+
+Result<Duration> Cluster::ElectLeader(NodeId node, PartitionId partition) {
+  Replica* r = replica(node, partition);
+  std::optional<Status> done;
+  const Timestamp start = sim_->Now();
+  r->TryBecomeLeader([&](const Status& st) { done = st; });
+  while (!done.has_value() && sim_->Step()) {
+  }
+  if (!done.has_value()) {
+    return Status::Internal("simulation quiesced before election finished");
+  }
+  if (!done->ok()) return *done;
+  return sim_->Now() - start;
+}
+
+Result<Duration> Cluster::Commit(NodeId node, Value value,
+                                 PartitionId partition) {
+  Replica* r = replica(node, partition);
+  std::optional<Status> done;
+  Duration latency = 0;
+  r->Submit(std::move(value),
+            [&](const Status& st, SlotId /*slot*/, Duration lat) {
+              done = st;
+              latency = lat;
+            });
+  while (!done.has_value() && sim_->Step()) {
+  }
+  if (!done.has_value()) {
+    return Status::Internal("simulation quiesced before commit finished");
+  }
+  if (!done->ok()) return *done;
+  return latency;
+}
+
+bool Cluster::RunUntil(const std::function<bool()>& pred,
+                       Duration max_virtual_time) {
+  const Timestamp deadline = sim_->Now() + max_virtual_time;
+  while (!pred()) {
+    if (sim_->Now() >= deadline) return false;
+    if (!sim_->Step()) return pred();
+  }
+  return true;
+}
+
+}  // namespace dpaxos

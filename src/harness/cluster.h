@@ -1,0 +1,112 @@
+// Cluster: one-stop construction of a simulated DPaxos deployment —
+// simulator, topology, transport, quorum system, per-node hosts and
+// per-partition replicas — plus synchronous helpers that drive the
+// simulation until an asynchronous protocol action completes.
+#ifndef DPAXOS_HARNESS_CLUSTER_H_
+#define DPAXOS_HARNESS_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "net/topology.h"
+#include "net/transport.h"
+#include "paxos/garbage_collector.h"
+#include "paxos/node_host.h"
+#include "paxos/replica.h"
+#include "quorum/quorum_system.h"
+#include "sim/simulator.h"
+
+namespace dpaxos {
+
+/// Cluster-wide construction options.
+struct ClusterOptions {
+  FaultTolerance ft{1, 0};
+  SimTransportOptions transport;
+  /// Template applied to every replica; `partition` and the leaderless
+  /// striping fields are overridden per replica.
+  ReplicaConfig replica;
+  /// Partitions hosted by every node.
+  std::vector<PartitionId> partitions{0};
+  uint64_t seed = 42;
+};
+
+/// \brief A fully wired simulated deployment of one protocol.
+class Cluster {
+ public:
+  /// Validates the fault-tolerance assumptions of the paper (Section 3):
+  /// at least 2*fd+1 nodes per zone and 2*fz+1 zones.
+  Cluster(Topology topology, ProtocolMode mode, ClusterOptions options = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Simulator& sim() { return *sim_; }
+  SimTransport& transport() { return *transport_; }
+  const Topology& topology() const { return topology_; }
+  const QuorumSystem& quorums() const { return *quorums_; }
+  ProtocolMode mode() const { return quorums_->mode(); }
+  const ClusterOptions& options() const { return options_; }
+
+  /// Replica of `partition` on `node`.
+  Replica* replica(NodeId node, PartitionId partition = 0) const;
+
+  /// The `index`-th node of `zone` (by ascending node id).
+  NodeId NodeInZone(ZoneId zone, uint32_t index = 0) const;
+  Replica* ReplicaInZone(ZoneId zone, uint32_t index = 0,
+                         PartitionId partition = 0) const;
+
+  /// Add a partition at runtime with its own quorum system — e.g. a
+  /// SubsetMajorityQuorumSystem for a reconfiguration group (src/reconfig).
+  /// Replicas are created on every node (non-members of a subset system
+  /// simply never get contacted). The cluster takes ownership of the
+  /// quorum system.
+  const QuorumSystem* AddPartition(std::unique_ptr<QuorumSystem> quorums,
+                                   ReplicaConfig config);
+
+  /// Simulate a process restart of `node`: its replicas are rebuilt from
+  /// durable storage (promises/accepted values/intents survive; roles,
+  /// in-flight proposals, the decided log and all callbacks do not).
+  /// Does NOT touch the transport crash state — pair with
+  /// transport().Crash()/Recover() to model downtime.
+  void RestartNode(NodeId node);
+
+  /// Create, attach and return a garbage collector co-located at `host`.
+  /// The cluster owns it. It is NOT started.
+  GarbageCollector* AddGarbageCollector(NodeId host,
+                                        PartitionId partition = 0,
+                                        Duration poll_period = 500 *
+                                                               kMillisecond);
+
+  // --- synchronous drivers (run the simulation until completion) --------
+
+  /// Elect `node` leader of `partition`; returns the election latency.
+  Result<Duration> ElectLeader(NodeId node, PartitionId partition = 0);
+
+  /// Submit one value at `node` and wait for commitment; returns the
+  /// commit latency.
+  Result<Duration> Commit(NodeId node, Value value,
+                          PartitionId partition = 0);
+
+  /// Run the simulation until `pred()` holds, stepping events; gives up
+  /// after `max_virtual_time`. Returns false on timeout / quiescence.
+  bool RunUntil(const std::function<bool()>& pred,
+                Duration max_virtual_time = 60 * kSecond);
+
+ private:
+  Topology topology_;
+  ClusterOptions options_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<SimTransport> transport_;
+  std::unique_ptr<QuorumSystem> quorums_;
+  std::vector<std::unique_ptr<QuorumSystem>> extra_quorums_;
+  std::vector<std::unique_ptr<NodeHost>> hosts_;
+  std::vector<std::unique_ptr<GarbageCollector>> collectors_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_CLUSTER_H_

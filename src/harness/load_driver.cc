@@ -1,0 +1,183 @@
+#include "harness/load_driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "common/random.h"
+
+#include "common/check.h"
+#include "paxos/value.h"
+
+namespace dpaxos {
+
+namespace {
+
+// Service time of a lease-local read at the leader (paper Section A.2
+// reports sub-millisecond read-only latency).
+constexpr Duration kLocalReadServiceTime = 500 * kMicrosecond;
+
+// One proposer's closed loop: issues up to `window` outstanding batches
+// until the deadline, collecting results. Heap-allocated and shared with
+// the in-flight callbacks so it may outlive the launching scope.
+struct ClosedLoop : std::enable_shared_from_this<ClosedLoop> {
+  Simulator* sim = nullptr;
+  Replica* proposer = nullptr;
+  LoadOptions options;
+  Timestamp deadline = 0;
+  uint64_t replicated_bytes = 0;
+  uint64_t next_id = 0;
+  uint32_t outstanding = 0;
+  LoadResult result;
+
+  void Launch() {
+    replicated_bytes = std::max<uint64_t>(
+        1, static_cast<uint64_t>(static_cast<double>(options.batch_bytes) *
+                                 (1.0 - options.read_only_fraction)));
+    for (uint32_t i = 0; i < options.window; ++i) {
+      ++outstanding;
+      Issue();
+    }
+  }
+
+  void Issue() {
+    if (sim->Now() >= deadline) {
+      --outstanding;
+      return;
+    }
+    // The read-only share of each batch is answered from the leader's
+    // lease-protected state and never enters the Replication phase
+    // (paper Sections 4.5, A.2).
+    const bool reads_local =
+        options.read_only_fraction > 0.0 && proposer->CanServeLocalRead();
+    const uint64_t to_replicate =
+        reads_local ? replicated_bytes : options.batch_bytes;
+    if (reads_local) {
+      result.read_latency.Add(kLocalReadServiceTime);
+      ++result.reads_served;
+    }
+    auto self = shared_from_this();
+    proposer->Submit(Value::Synthetic(++next_id, to_replicate),
+                     [self](const Status& st, SlotId, Duration latency) {
+                       if (st.ok()) {
+                         self->result.commit_latency.Add(latency);
+                         ++self->result.committed;
+                         self->result.throughput.Record(
+                             1, self->options.batch_bytes);
+                       } else {
+                         ++self->result.failed;
+                       }
+                       self->Issue();
+                     });
+  }
+};
+
+}  // namespace
+
+std::vector<LoadResult> RunClosedLoops(
+    Cluster& cluster, const std::vector<Replica*>& proposers,
+    const std::vector<LoadOptions>& loops) {
+  DPAXOS_CHECK_EQ(proposers.size(), loops.size());
+  DPAXOS_CHECK(!proposers.empty());
+
+  Simulator& sim = cluster.sim();
+  const Timestamp start = sim.Now();
+  Duration max_duration = 0;
+
+  std::vector<std::shared_ptr<ClosedLoop>> clients;
+  for (size_t i = 0; i < proposers.size(); ++i) {
+    DPAXOS_CHECK(proposers[i] != nullptr);
+    DPAXOS_CHECK_GE(loops[i].window, 1u);
+    DPAXOS_CHECK_GT(loops[i].batch_bytes, 0u);
+    DPAXOS_CHECK_GE(loops[i].read_only_fraction, 0.0);
+    DPAXOS_CHECK_LE(loops[i].read_only_fraction, 1.0);
+    auto client = std::make_shared<ClosedLoop>();
+    client->sim = &sim;
+    client->proposer = proposers[i];
+    client->options = loops[i];
+    client->deadline = start + loops[i].duration;
+    clients.push_back(std::move(client));
+    max_duration = std::max(max_duration, loops[i].duration);
+  }
+  for (auto& client : clients) client->Launch();
+
+  sim.RunUntil(start + max_duration);
+  // Drain in-flight proposals (bounded: background timers may persist).
+  const Timestamp drain_deadline = start + max_duration + 30 * kSecond;
+  auto all_idle = [&] {
+    for (const auto& client : clients) {
+      if (client->outstanding > 0) return false;
+    }
+    return true;
+  };
+  while (!all_idle() && sim.Now() < drain_deadline && sim.Step()) {
+  }
+
+  std::vector<LoadResult> results;
+  results.reserve(clients.size());
+  for (auto& client : clients) {
+    client->result.throughput.elapsed = sim.Now() - start;
+    results.push_back(std::move(client->result));
+  }
+  return results;
+}
+
+LoadResult RunOpenLoop(Cluster& cluster, Replica* proposer,
+                       const OpenLoadOptions& options) {
+  DPAXOS_CHECK(proposer != nullptr);
+  DPAXOS_CHECK_GT(options.batch_bytes, 0u);
+  DPAXOS_CHECK_GT(options.arrivals_per_sec, 0.0);
+
+  Simulator& sim = cluster.sim();
+  const Timestamp start = sim.Now();
+  const Timestamp deadline = start + options.duration;
+  auto result = std::make_shared<LoadResult>();
+  auto outstanding = std::make_shared<uint32_t>(0);
+  auto rng = std::make_shared<Rng>(options.seed);
+  auto next_id = std::make_shared<uint64_t>(0);
+
+  // Exponential inter-arrival times around the offered rate.
+  auto next_gap = [rng, &options]() -> Duration {
+    const double u = std::max(1e-12, rng->NextDouble());
+    const double secs = -std::log(u) / options.arrivals_per_sec;
+    return static_cast<Duration>(secs * static_cast<double>(kSecond));
+  };
+
+  auto arrive = std::make_shared<std::function<void()>>();
+  *arrive = [&sim, proposer, options, result, outstanding, next_id, arrive,
+             next_gap, deadline] {
+    if (sim.Now() >= deadline) return;
+    ++*outstanding;
+    proposer->Submit(Value::Synthetic(++*next_id, options.batch_bytes),
+                     [result, options, outstanding](const Status& st, SlotId,
+                                                    Duration latency) {
+                       --*outstanding;
+                       if (st.ok()) {
+                         result->commit_latency.Add(latency);
+                         ++result->committed;
+                         result->throughput.Record(1, options.batch_bytes);
+                       } else {
+                         ++result->failed;
+                       }
+                     });
+    sim.Schedule(next_gap(), *arrive);
+  };
+  sim.Schedule(next_gap(), *arrive);
+
+  sim.RunUntil(deadline);
+  const Timestamp drain_deadline = deadline + 60 * kSecond;
+  while (*outstanding > 0 && sim.Now() < drain_deadline && sim.Step()) {
+  }
+  result->throughput.elapsed = sim.Now() - start;
+  return std::move(*result);
+}
+
+LoadResult RunClosedLoop(Cluster& cluster, Replica* proposer,
+                         const LoadOptions& options) {
+  std::vector<LoadResult> results =
+      RunClosedLoops(cluster, {proposer}, {options});
+  return std::move(results.front());
+}
+
+}  // namespace dpaxos

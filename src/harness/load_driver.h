@@ -1,0 +1,80 @@
+// Closed-loop load driver: keeps a configurable number of batch proposals
+// outstanding at one proposer for a span of virtual time, collecting
+// commit latency and throughput — the measurement methodology behind the
+// paper's Figures 8 and 11-13.
+#ifndef DPAXOS_HARNESS_LOAD_DRIVER_H_
+#define DPAXOS_HARNESS_LOAD_DRIVER_H_
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "harness/cluster.h"
+
+namespace dpaxos {
+
+/// Parameters of one closed-loop run.
+struct LoadOptions {
+  /// Synthetic batch size in bytes (the consensus value's wire payload).
+  uint64_t batch_bytes = 1024;
+  /// Virtual time to run (paper: each experiment runs for 1 minute).
+  Duration duration = 10 * kSecond;
+  /// Outstanding proposals (multi-programming level, Section A.3).
+  /// Must be <= the replica's configured max_inflight.
+  uint32_t window = 1;
+  /// Fraction of client requests that are read-only and served locally
+  /// when the proposer holds a read lease (Section 4.5 / A.2). Read-only
+  /// requests bypass replication; their latency is recorded separately.
+  double read_only_fraction = 0.0;
+};
+
+/// Results of one closed-loop run.
+struct LoadResult {
+  Histogram commit_latency;    ///< read-write (replicated) requests
+  Histogram read_latency;      ///< lease-served read-only requests
+  ThroughputCounter throughput;  ///< committed payload bytes
+  uint64_t committed = 0;
+  uint64_t reads_served = 0;
+  uint64_t failed = 0;
+
+  double ThroughputKBps() const { return throughput.KilobytesPerSecond(); }
+};
+
+/// Run a closed loop of synthetic batch proposals at `proposer`.
+///
+/// The proposer should already be the partition's leader (or the cluster
+/// must allow auto-election); batches are Value::Synthetic so only the
+/// bandwidth model sees their size. Read-only requests are modelled as
+/// lease-local reads: sub-millisecond service at the leader, never
+/// entering the replication pipeline (they still consume a client slot
+/// so read-heavy workloads relieve pressure exactly as in Section A.2).
+LoadResult RunClosedLoop(Cluster& cluster, Replica* proposer,
+                         const LoadOptions& options);
+
+/// Open-loop load: batches arrive at a fixed offered rate regardless of
+/// completions (exponential inter-arrival times), the standard way to
+/// measure a latency-vs-throughput curve and find the saturation knee.
+struct OpenLoadOptions {
+  uint64_t batch_bytes = 1024;
+  Duration duration = 10 * kSecond;
+  /// Offered load in batches per second of virtual time.
+  double arrivals_per_sec = 50.0;
+  uint64_t seed = 7;
+};
+
+/// Drive `proposer` open-loop; in-flight requests above the replica's
+/// multi-programming window queue at the leader, so latency inflates as
+/// the offered rate approaches service capacity.
+LoadResult RunOpenLoop(Cluster& cluster, Replica* proposer,
+                       const OpenLoadOptions& options);
+
+/// Run several closed loops CONCURRENTLY over the same simulation — the
+/// paper's Figure 8 setup, where seven partitions are each driven at
+/// their own datacenter at the same time and share the network.
+/// `loops[i]` drives `proposers[i]`; results are index-aligned.
+std::vector<LoadResult> RunClosedLoops(Cluster& cluster,
+                                       const std::vector<Replica*>& proposers,
+                                       const std::vector<LoadOptions>& loops);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_LOAD_DRIVER_H_

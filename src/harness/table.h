@@ -1,0 +1,33 @@
+// Plain-text aligned table output for the benchmark harness.
+#ifndef DPAXOS_HARNESS_TABLE_H_
+#define DPAXOS_HARNESS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dpaxos {
+
+/// \brief Collects rows and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper: Fmt(12.345, 1) == "12.3".
+std::string Fmt(double v, int precision = 1);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_TABLE_H_

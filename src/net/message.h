@@ -1,0 +1,30 @@
+// Base class for everything that travels over a Transport.
+//
+// Messages are immutable once sent (shared by sender and receiver in the
+// simulator), and expose their wire size so the bandwidth model can charge
+// transmission time.
+#ifndef DPAXOS_NET_MESSAGE_H_
+#define DPAXOS_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace dpaxos {
+
+/// \brief Abstract wire message.
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Serialized size in bytes, charged against link bandwidth.
+  virtual uint64_t SizeBytes() const = 0;
+
+  /// Stable type name for logging and tests (e.g. "prepare").
+  virtual const char* TypeName() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_NET_MESSAGE_H_

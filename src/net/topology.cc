@@ -1,0 +1,272 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace dpaxos {
+
+namespace {
+
+// Paper Table 1: average RTT in milliseconds between the seven AWS
+// datacenters — California, Oregon, Virginia, Tokyo, Ireland, Singapore,
+// Mumbai (in that order).
+constexpr double kAwsRtt[7][7] = {
+    // C    O    V    T    I    S    M
+    {0, 19, 62, 113, 134, 183, 249},    // California
+    {19, 0, 117, 104, 133, 161, 221},   // Oregon
+    {62, 117, 0, 172, 81, 244, 182},    // Virginia
+    {113, 104, 172, 0, 214, 67, 124},   // Tokyo
+    {134, 133, 81, 214, 0, 179, 120},   // Ireland
+    {183, 161, 244, 67, 179, 0, 58},    // Singapore
+    {249, 221, 182, 124, 120, 58, 0},   // Mumbai
+};
+
+const char* const kAwsZoneNames[7] = {"California", "Oregon", "Virginia",
+                                      "Tokyo",      "Ireland", "Singapore",
+                                      "Mumbai"};
+
+}  // namespace
+
+Result<Topology> Topology::Create(const TopologyConfig& config) {
+  const size_t z = config.nodes_per_zone.size();
+  if (z == 0) {
+    return Status::InvalidArgument("topology needs at least one zone");
+  }
+  if (config.zone_rtt_ms.size() != z) {
+    return Status::InvalidArgument("zone_rtt_ms must be |Z| x |Z|");
+  }
+  for (const auto& row : config.zone_rtt_ms) {
+    if (row.size() != z) {
+      return Status::InvalidArgument("zone_rtt_ms must be square");
+    }
+  }
+  for (size_t i = 0; i < z; ++i) {
+    if (config.nodes_per_zone[i] == 0) {
+      return Status::InvalidArgument("every zone needs at least one node");
+    }
+    for (size_t j = 0; j < z; ++j) {
+      if (config.zone_rtt_ms[i][j] < 0) {
+        return Status::InvalidArgument("negative RTT");
+      }
+      if (config.zone_rtt_ms[i][j] != config.zone_rtt_ms[j][i]) {
+        return Status::InvalidArgument("RTT matrix must be symmetric");
+      }
+    }
+  }
+  if (config.intra_zone_rtt_ms < 0) {
+    return Status::InvalidArgument("negative intra-zone RTT");
+  }
+
+  Topology t;
+  NodeId next = 0;
+  for (size_t i = 0; i < z; ++i) {
+    t.zone_start_.push_back(next);
+    t.zone_size_.push_back(config.nodes_per_zone[i]);
+    next += config.nodes_per_zone[i];
+    t.zone_names_.push_back("zone" + std::to_string(i));
+  }
+  t.num_nodes_ = next;
+  t.rtt_.assign(z, std::vector<Duration>(z, 0));
+  for (size_t i = 0; i < z; ++i) {
+    for (size_t j = 0; j < z; ++j) {
+      t.rtt_[i][j] = (i == j) ? FromMillis(config.intra_zone_rtt_ms)
+                              : FromMillis(config.zone_rtt_ms[i][j]);
+    }
+  }
+  return t;
+}
+
+Topology Topology::AwsSevenZones(uint32_t nodes_per_zone) {
+  TopologyConfig config;
+  config.nodes_per_zone.assign(7, nodes_per_zone);
+  config.zone_rtt_ms.assign(7, std::vector<double>(7, 0));
+  for (int i = 0; i < 7; ++i) {
+    for (int j = 0; j < 7; ++j) config.zone_rtt_ms[i][j] = kAwsRtt[i][j];
+  }
+  config.intra_zone_rtt_ms = 10.0;
+  Result<Topology> t = Create(config);
+  DPAXOS_CHECK(t.ok());
+  for (int i = 0; i < 7; ++i) t->zone_names_[i] = kAwsZoneNames[i];
+  return std::move(t).value();
+}
+
+Topology Topology::Uniform(uint32_t zones, uint32_t nodes_per_zone,
+                           double inter_zone_rtt_ms,
+                           double intra_zone_rtt_ms) {
+  TopologyConfig config;
+  config.nodes_per_zone.assign(zones, nodes_per_zone);
+  config.zone_rtt_ms.assign(zones, std::vector<double>(zones, 0));
+  for (uint32_t i = 0; i < zones; ++i) {
+    for (uint32_t j = 0; j < zones; ++j) {
+      config.zone_rtt_ms[i][j] = (i == j) ? 0 : inter_zone_rtt_ms;
+    }
+  }
+  config.intra_zone_rtt_ms = intra_zone_rtt_ms;
+  Result<Topology> t = Create(config);
+  DPAXOS_CHECK(t.ok());
+  return std::move(t).value();
+}
+
+Result<Topology> Topology::FromRttCsv(const std::string& csv,
+                                      uint32_t nodes_per_zone,
+                                      double intra_zone_rtt_ms) {
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> rows;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    const size_t eol = csv.find('\n', pos);
+    std::string line = csv.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? csv.size() + 1 : eol + 1;
+    // Strip comments and whitespace-only lines.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    std::vector<double> row;
+    std::string name;
+    size_t cell_start = 0;
+    bool first_cell = true;
+    while (cell_start <= line.size()) {
+      const size_t comma = line.find(',', cell_start);
+      std::string cell = line.substr(
+          cell_start,
+          comma == std::string::npos ? std::string::npos : comma - cell_start);
+      cell_start = comma == std::string::npos ? line.size() + 1 : comma + 1;
+      // Trim.
+      const size_t b = cell.find_first_not_of(" \t\r");
+      const size_t e = cell.find_last_not_of(" \t\r");
+      cell = b == std::string::npos ? "" : cell.substr(b, e - b + 1);
+      if (cell.empty()) continue;
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') {
+        if (first_cell) {
+          name = cell;  // leading zone label
+        } else {
+          return Status::InvalidArgument("non-numeric RTT cell: " + cell);
+        }
+      } else {
+        row.push_back(value);
+      }
+      first_cell = false;
+    }
+    names.push_back(name.empty() ? "zone" + std::to_string(rows.size())
+                                 : name);
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return Status::InvalidArgument("empty RTT csv");
+  TopologyConfig config;
+  config.nodes_per_zone.assign(rows.size(), nodes_per_zone);
+  config.zone_rtt_ms = rows;
+  config.intra_zone_rtt_ms = intra_zone_rtt_ms;
+  Result<Topology> t = Create(config);
+  if (!t.ok()) return t.status();
+  for (size_t i = 0; i < names.size(); ++i) t->zone_names_[i] = names[i];
+  return t;
+}
+
+Topology Topology::Planet(uint32_t zones, uint32_t nodes_per_zone,
+                          uint64_t seed, double intra_zone_rtt_ms) {
+  DPAXOS_CHECK_GT(zones, 0u);
+  Rng rng(seed);
+  // Uniform points on the unit sphere (Marsaglia via normalized z/phi).
+  struct Point {
+    double x, y, z;
+  };
+  std::vector<Point> points;
+  points.reserve(zones);
+  for (uint32_t i = 0; i < zones; ++i) {
+    const double z = 2.0 * rng.NextDouble() - 1.0;
+    const double phi = 2.0 * 3.14159265358979323846 * rng.NextDouble();
+    const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+    points.push_back({r * std::cos(phi), r * std::sin(phi), z});
+  }
+
+  TopologyConfig config;
+  config.nodes_per_zone.assign(zones, nodes_per_zone);
+  config.zone_rtt_ms.assign(zones, std::vector<double>(zones, 0));
+  config.intra_zone_rtt_ms = intra_zone_rtt_ms;
+  // Great-circle distance on an Earth-radius sphere; RTT = distance at
+  // ~2/3 c in fiber, doubled, plus a 6 ms fixed routing overhead.
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kFiberKmPerMs = 200.0;  // ~2/3 of light speed
+  constexpr double kOverheadMs = 6.0;
+  for (uint32_t i = 0; i < zones; ++i) {
+    for (uint32_t j = i + 1; j < zones; ++j) {
+      const Point& a = points[i];
+      const Point& b = points[j];
+      const double dot =
+          std::clamp(a.x * b.x + a.y * b.y + a.z * b.z, -1.0, 1.0);
+      const double km = kEarthRadiusKm * std::acos(dot);
+      const double rtt = 2.0 * km / kFiberKmPerMs + kOverheadMs;
+      config.zone_rtt_ms[i][j] = rtt;
+      config.zone_rtt_ms[j][i] = rtt;
+    }
+  }
+  Result<Topology> t = Create(config);
+  DPAXOS_CHECK(t.ok());
+  return std::move(t).value();
+}
+
+uint32_t Topology::nodes_in_zone(ZoneId z) const {
+  DPAXOS_CHECK_LT(z, num_zones());
+  return zone_size_[z];
+}
+
+ZoneId Topology::ZoneOf(NodeId node) const {
+  DPAXOS_CHECK_LT(node, num_nodes_);
+  // zone_start_ is sorted; find the last start <= node.
+  auto it = std::upper_bound(zone_start_.begin(), zone_start_.end(), node);
+  return static_cast<ZoneId>(it - zone_start_.begin() - 1);
+}
+
+std::vector<NodeId> Topology::NodesInZone(ZoneId zone) const {
+  DPAXOS_CHECK_LT(zone, num_zones());
+  std::vector<NodeId> out(zone_size_[zone]);
+  std::iota(out.begin(), out.end(), zone_start_[zone]);
+  return out;
+}
+
+std::vector<NodeId> Topology::AllNodes() const {
+  std::vector<NodeId> out(num_nodes_);
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+Duration Topology::Rtt(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  return ZoneRtt(ZoneOf(a), ZoneOf(b));
+}
+
+Duration Topology::ZoneRtt(ZoneId a, ZoneId b) const {
+  DPAXOS_CHECK_LT(a, num_zones());
+  DPAXOS_CHECK_LT(b, num_zones());
+  return rtt_[a][b];
+}
+
+std::vector<ZoneId> Topology::ZonesByProximity(ZoneId zone) const {
+  DPAXOS_CHECK_LT(zone, num_zones());
+  std::vector<ZoneId> order(num_zones());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](ZoneId a, ZoneId b) {
+    const Duration ra = (a == zone) ? 0 : rtt_[zone][a];
+    const Duration rb = (b == zone) ? 0 : rtt_[zone][b];
+    if (ra != rb) return ra < rb;
+    return a < b;
+  });
+  return order;
+}
+
+const std::string& Topology::ZoneName(ZoneId zone) const {
+  DPAXOS_CHECK_LT(zone, num_zones());
+  return zone_names_[zone];
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,112 @@
+// Cluster topology: zones of edge nodes with a wide-area RTT matrix.
+//
+// A zone models a collection of neighboring edge datacenters (paper
+// Section 3). Inter-zone latency comes from a configurable RTT matrix;
+// intra-zone links use a single small RTT (the paper emulates edge nodes
+// inside one AWS region with a 10 ms artificial delay).
+#ifndef DPAXOS_NET_TOPOLOGY_H_
+#define DPAXOS_NET_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace dpaxos {
+
+/// Declarative description of a cluster used to build a Topology.
+struct TopologyConfig {
+  /// Number of edge nodes in each zone; size() is the number of zones.
+  std::vector<uint32_t> nodes_per_zone;
+  /// Symmetric zone-to-zone RTT in milliseconds; diagonal entries are
+  /// ignored (intra-zone RTT is used instead).
+  std::vector<std::vector<double>> zone_rtt_ms;
+  /// RTT between two distinct nodes of the same zone, in milliseconds.
+  double intra_zone_rtt_ms = 10.0;
+};
+
+/// \brief Immutable node/zone layout plus pairwise latency.
+///
+/// Node ids are assigned densely: zone 0 holds nodes [0, n0), zone 1 holds
+/// [n0, n0+n1), and so on.
+class Topology {
+ public:
+  /// Validates the config (square symmetric matrix, non-empty zones,
+  /// non-negative latencies) and builds the topology.
+  static Result<Topology> Create(const TopologyConfig& config);
+
+  /// The paper's evaluation topology: seven zones — California, Oregon,
+  /// Virginia, Tokyo, Ireland, Singapore, Mumbai — with the Table 1 RTT
+  /// matrix, `nodes_per_zone` nodes each (paper: 3) and 10 ms intra-zone
+  /// RTT.
+  static Topology AwsSevenZones(uint32_t nodes_per_zone = 3);
+
+  /// A uniform topology: `zones` zones × `nodes_per_zone` nodes with the
+  /// same RTT between every pair of distinct zones. Useful for tests.
+  static Topology Uniform(uint32_t zones, uint32_t nodes_per_zone,
+                          double inter_zone_rtt_ms,
+                          double intra_zone_rtt_ms = 10.0);
+
+  /// Parse a zone RTT matrix from CSV text: one row per zone, columns =
+  /// RTT in milliseconds to each zone (diagonal ignored). A row may lead
+  /// with a non-numeric zone name. Blank lines and '#' comments are
+  /// skipped. Useful for loading measured matrices into dpaxos_cli.
+  static Result<Topology> FromRttCsv(const std::string& csv,
+                                     uint32_t nodes_per_zone,
+                                     double intra_zone_rtt_ms = 10.0);
+
+  /// A synthetic planet: `zones` zones placed uniformly at random on a
+  /// sphere (seeded), pairwise RTT = great-circle distance at an
+  /// effective 2/3 light speed in fiber plus a fixed overhead — the
+  /// standard first-order model of internet RTTs. Deterministic per
+  /// seed; used by the edge-scale sweeps, where the paper's argument is
+  /// that majority quorums become prohibitive as zones multiply.
+  static Topology Planet(uint32_t zones, uint32_t nodes_per_zone,
+                         uint64_t seed, double intra_zone_rtt_ms = 10.0);
+
+  uint32_t num_zones() const {
+    return static_cast<uint32_t>(zone_start_.size());
+  }
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint32_t nodes_in_zone(ZoneId z) const;
+
+  /// Zone that hosts `node`.
+  ZoneId ZoneOf(NodeId node) const;
+
+  /// All node ids in `zone`, in increasing order.
+  std::vector<NodeId> NodesInZone(ZoneId zone) const;
+
+  /// All node ids, in increasing order.
+  std::vector<NodeId> AllNodes() const;
+
+  /// Round-trip time between two nodes (0 for a node to itself).
+  Duration Rtt(NodeId a, NodeId b) const;
+
+  /// One-way propagation delay, i.e. Rtt / 2.
+  Duration OneWayDelay(NodeId a, NodeId b) const { return Rtt(a, b) / 2; }
+
+  /// Round-trip time between two zones (intra-zone RTT on the diagonal).
+  Duration ZoneRtt(ZoneId a, ZoneId b) const;
+
+  /// Zones ordered by ascending RTT from `zone` (the zone itself first).
+  /// Ties break by zone id, keeping the order deterministic.
+  std::vector<ZoneId> ZonesByProximity(ZoneId zone) const;
+
+  /// Name for a zone; defaults to "zone<i>", AwsSevenZones installs the
+  /// paper's datacenter names.
+  const std::string& ZoneName(ZoneId zone) const;
+
+ private:
+  Topology() = default;
+
+  uint32_t num_nodes_ = 0;
+  std::vector<NodeId> zone_start_;          // first node id of each zone
+  std::vector<uint32_t> zone_size_;         // nodes per zone
+  std::vector<std::vector<Duration>> rtt_;  // zone x zone, diag = intra
+  std::vector<std::string> zone_names_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_NET_TOPOLOGY_H_

@@ -1,0 +1,168 @@
+#include "net/transport.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace dpaxos {
+
+SimTransport::SimTransport(Simulator* sim, const Topology* topology,
+                           SimTransportOptions options)
+    : sim_(sim),
+      topology_(topology),
+      options_(options),
+      rng_(sim->rng().Fork()),
+      handlers_(topology->num_nodes()),
+      crashed_(topology->num_nodes(), false),
+      egress_free_at_(topology->num_nodes(), 0),
+      stats_(topology->num_nodes()) {
+  DPAXOS_CHECK(sim != nullptr);
+  DPAXOS_CHECK(topology != nullptr);
+}
+
+void SimTransport::RegisterHandler(NodeId node, Handler handler) {
+  DPAXOS_CHECK_LT(node, handlers_.size());
+  handlers_[node] = std::move(handler);
+}
+
+Duration SimTransport::ComputeEgressDelay(NodeId from, uint64_t size_bytes) {
+  if (options_.egress_bytes_per_sec == 0) return 0;
+  // Transmission time for this message on the sender's NIC.
+  const Duration tx = static_cast<Duration>(
+      static_cast<double>(size_bytes) /
+      static_cast<double>(options_.egress_bytes_per_sec) *
+      static_cast<double>(kSecond));
+  // FIFO egress: this message starts after previously queued bytes drain.
+  const Timestamp start = std::max(sim_->Now(), egress_free_at_[from]);
+  egress_free_at_[from] = start + tx;
+  return egress_free_at_[from] - sim_->Now();
+}
+
+Duration SimTransport::ComputeLinkDelay(NodeId from, NodeId to,
+                                        uint64_t size_bytes,
+                                        Timestamp earliest_start) {
+  if (options_.inter_zone_link_bytes_per_sec == 0) return 0;
+  if (topology_->ZoneOf(from) == topology_->ZoneOf(to)) return 0;
+  // The WAN link is a FIFO pipe with a TCP-like throughput cap: this
+  // transfer starts once the NIC handed it over (earliest_start) and any
+  // earlier transfer on the same directed link drained.
+  const Duration tx = static_cast<Duration>(
+      static_cast<double>(size_bytes) /
+      static_cast<double>(options_.inter_zone_link_bytes_per_sec) *
+      static_cast<double>(kSecond));
+  Timestamp& free_at = link_free_at_[{from, to}];
+  const Timestamp start = std::max(earliest_start, free_at);
+  free_at = start + tx;
+  return free_at - earliest_start;
+}
+
+void SimTransport::Send(NodeId from, NodeId to, MessagePtr msg) {
+  DPAXOS_CHECK_LT(from, handlers_.size());
+  DPAXOS_CHECK_LT(to, handlers_.size());
+  DPAXOS_CHECK(msg != nullptr);
+
+  TransportStats& st = stats_[from];
+  if (crashed_[from]) {
+    ++st.messages_dropped;
+    return;  // a crashed node sends nothing
+  }
+
+  ++st.messages_sent;
+  st.bytes_sent += msg->SizeBytes();
+
+  if (options_.validate_wire_codec && from != to) {
+    // Conformance mode: the receiver sees the re-decoded bytes, never
+    // the sender's object.
+    DPAXOS_CHECK_MSG(encode_ != nullptr && decode_ != nullptr,
+                     "validate_wire_codec requires set_wire_codec");
+    MessagePtr decoded = decode_(encode_(*msg));
+    DPAXOS_CHECK_MSG(decoded != nullptr, "wire codec rejected a message");
+    msg = std::move(decoded);
+  }
+
+  if (from == to) {
+    // Loopback skips the NIC, drops and partitions.
+    sim_->Schedule(options_.loopback_delay, [this, from, to, msg] {
+      if (crashed_[to]) return;
+      if (handlers_[to]) handlers_[to](from, msg);
+    });
+    return;
+  }
+
+  if (cut_links_.count({from, to}) > 0 ||
+      (options_.drop_probability > 0 &&
+       rng_.NextBool(options_.drop_probability))) {
+    ++st.messages_dropped;
+    return;
+  }
+
+  const Duration egress = ComputeEgressDelay(from, msg->SizeBytes());
+  const Duration link =
+      ComputeLinkDelay(from, to, msg->SizeBytes(), sim_->Now() + egress);
+  Duration delay = egress + link + topology_->OneWayDelay(from, to) +
+                   options_.processing_delay;
+  if (options_.max_jitter > 0) {
+    delay += rng_.NextBounded(options_.max_jitter + 1);
+  }
+
+  DPAXOS_TRACE("send " << msg->TypeName() << " " << from << "->" << to
+                       << " size=" << msg->SizeBytes()
+                       << " delay=" << DurationToString(delay));
+  auto deliver = [this, from, to, msg] {
+    // Crash state is evaluated at delivery time: messages in flight to a
+    // node that crashed meanwhile are lost.
+    if (crashed_[to]) return;
+    if (handlers_[to]) handlers_[to](from, msg);
+  };
+  sim_->Schedule(delay, deliver);
+  if (options_.duplicate_probability > 0 &&
+      rng_.NextBool(options_.duplicate_probability)) {
+    // The network replays the message a little later.
+    sim_->Schedule(delay + 1 + rng_.NextBounded(50 * kMillisecond), deliver);
+  }
+}
+
+void SimTransport::Crash(NodeId node) {
+  DPAXOS_CHECK_LT(node, crashed_.size());
+  crashed_[node] = true;
+}
+
+void SimTransport::Recover(NodeId node) {
+  DPAXOS_CHECK_LT(node, crashed_.size());
+  crashed_[node] = false;
+}
+
+bool SimTransport::IsCrashed(NodeId node) const {
+  DPAXOS_CHECK_LT(node, crashed_.size());
+  return crashed_[node];
+}
+
+void SimTransport::PartitionOneWay(NodeId a, NodeId b) {
+  cut_links_.insert({a, b});
+}
+
+void SimTransport::Partition(NodeId a, NodeId b) {
+  PartitionOneWay(a, b);
+  PartitionOneWay(b, a);
+}
+
+void SimTransport::Heal(NodeId a, NodeId b) {
+  cut_links_.erase({a, b});
+  cut_links_.erase({b, a});
+}
+
+void SimTransport::HealAll() { cut_links_.clear(); }
+
+const TransportStats& SimTransport::StatsFor(NodeId node) const {
+  DPAXOS_CHECK_LT(node, stats_.size());
+  return stats_[node];
+}
+
+uint64_t SimTransport::TotalBytesSent() const {
+  uint64_t total = 0;
+  for (const auto& st : stats_) total += st.bytes_sent;
+  return total;
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,151 @@
+// Transport interface and its discrete-event simulation implementation.
+//
+// SimTransport models, per message:
+//   delivery = egress serialization (size / bandwidth, FIFO per sender)
+//            + one-way propagation delay (half the topology RTT)
+//            + fixed per-hop processing overhead
+// plus failure injection: probabilistic drops, directed link partitions and
+// node crashes. All delays and drops come from the owning Simulator's
+// virtual clock and seeded RNG, so runs are reproducible.
+#ifndef DPAXOS_NET_TRANSPORT_H_
+#define DPAXOS_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "net/message.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace dpaxos {
+
+/// \brief Abstract message-passing layer between nodes.
+class Transport {
+ public:
+  /// Delivery callback: (sender, message).
+  using Handler = std::function<void(NodeId, const MessagePtr&)>;
+
+  virtual ~Transport() = default;
+
+  /// Install the delivery handler for `node`. Replaces any previous one.
+  virtual void RegisterHandler(NodeId node, Handler handler) = 0;
+
+  /// Send `msg` from `from` to `to`. Delivery is asynchronous and may
+  /// silently fail (drops, partitions, crashes) — exactly-like-UDP
+  /// semantics; Paxos tolerates this by design.
+  virtual void Send(NodeId from, NodeId to, MessagePtr msg) = 0;
+};
+
+/// Tuning knobs for SimTransport.
+struct SimTransportOptions {
+  /// Egress bandwidth per node in bytes per second; 0 = infinite.
+  uint64_t egress_bytes_per_sec = 25 * 1000 * 1000;
+  /// Per-link throughput between nodes of *different* zones, in bytes per
+  /// second; 0 = infinite. Models the congestion-window-limited rate of a
+  /// long-haul TCP connection: wide-area links move large payloads far
+  /// slower than intra-datacenter links even when the NIC is idle. Each
+  /// directed inter-zone link is a FIFO (transfers serialize), so
+  /// pipelined batches queue behind each other.
+  uint64_t inter_zone_link_bytes_per_sec = 400 * 1000;
+  /// Fixed processing overhead added to every delivery (serialization,
+  /// kernel, handler dispatch). Applied once per message.
+  Duration processing_delay = 500 * kMicrosecond;
+  /// Delivery delay for a message a node sends to itself.
+  Duration loopback_delay = 50 * kMicrosecond;
+  /// Probability that any remote message is silently dropped.
+  double drop_probability = 0.0;
+  /// Probability that a delivered remote message is delivered twice (the
+  /// duplicate arrives after an extra jittered delay). Protocol handlers
+  /// must be idempotent; property tests exercise this.
+  double duplicate_probability = 0.0;
+  /// Upper bound of uniform extra jitter added per remote message.
+  Duration max_jitter = 0;
+  /// Round-trip every message through an installed wire codec before
+  /// delivery (see SimTransport::set_wire_codec): the receiver gets the
+  /// re-decoded object, so any field the codec loses breaks the protocol
+  /// visibly. Requires a codec to be installed.
+  bool validate_wire_codec = false;
+};
+
+/// Per-node traffic counters (see SimTransport::StatsFor).
+struct TransportStats {
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t messages_dropped = 0;
+};
+
+/// \brief Simulated network on top of a Simulator and a Topology.
+class SimTransport : public Transport {
+ public:
+  /// `sim` and `topology` must outlive the transport.
+  SimTransport(Simulator* sim, const Topology* topology,
+               SimTransportOptions options = {});
+
+  void RegisterHandler(NodeId node, Handler handler) override;
+  void Send(NodeId from, NodeId to, MessagePtr msg) override;
+
+  // --- failure injection ---------------------------------------------
+
+  /// Crash `node`: all its in-flight and future traffic (both directions)
+  /// is dropped until Recover().
+  void Crash(NodeId node);
+  void Recover(NodeId node);
+  bool IsCrashed(NodeId node) const;
+
+  /// Cut the directed link a->b (messages from a to b are dropped).
+  void PartitionOneWay(NodeId a, NodeId b);
+  /// Cut both directions between a and b.
+  void Partition(NodeId a, NodeId b);
+  /// Heal both directions between a and b.
+  void Heal(NodeId a, NodeId b);
+  /// Heal every partitioned link.
+  void HealAll();
+
+  /// Change the drop probability mid-run (e.g. for failure sweeps).
+  void set_drop_probability(double p) { options_.drop_probability = p; }
+
+  /// Codec hooks for validate_wire_codec (kept as std::function so the
+  /// net layer does not depend on the protocol's message set).
+  using Encoder = std::function<std::string(const Message&)>;
+  using Decoder = std::function<MessagePtr(const std::string&)>;
+  void set_wire_codec(Encoder encode, Decoder decode) {
+    encode_ = std::move(encode);
+    decode_ = std::move(decode);
+  }
+
+  const SimTransportOptions& options() const { return options_; }
+  const TransportStats& StatsFor(NodeId node) const;
+
+  /// Sum of bytes sent by every node.
+  uint64_t TotalBytesSent() const;
+
+ private:
+  Duration ComputeEgressDelay(NodeId from, uint64_t size_bytes);
+  Duration ComputeLinkDelay(NodeId from, NodeId to, uint64_t size_bytes,
+                            Timestamp earliest_start);
+
+  Simulator* sim_;
+  const Topology* topology_;
+  SimTransportOptions options_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  std::vector<bool> crashed_;
+  std::vector<Timestamp> egress_free_at_;  // per-node FIFO NIC model
+  // Per-directed-link FIFO for the WAN throughput cap.
+  std::map<std::pair<NodeId, NodeId>, Timestamp> link_free_at_;
+  std::set<std::pair<NodeId, NodeId>> cut_links_;
+  std::vector<TransportStats> stats_;
+  Encoder encode_;
+  Decoder decode_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_NET_TRANSPORT_H_

@@ -1,0 +1,112 @@
+#include "paxos/acceptor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dpaxos {
+
+Acceptor::PrepareOutcome Acceptor::OnPrepare(const PrepareMsg& msg,
+                                             Timestamp now) {
+  PrepareOutcome out;
+
+  // A lease vote is an implicit promise not to participate in Leader
+  // Election until the lease expires (paper Section 4.5). The lease
+  // holder itself may still run elections (e.g. to raise its ballot).
+  if (rec_->lease_until > now && !rec_->lease_ballot.is_null() &&
+      msg.ballot.node != rec_->lease_ballot.node) {
+    out.promised = false;
+    out.lease_until = rec_->lease_until;
+    return out;
+  }
+
+  if (msg.ballot < rec_->promised) {
+    out.promised = false;
+    out.promised_ballot = rec_->promised;
+    return out;
+  }
+
+  // msg.ballot >= rec_->promised: promise. Equality happens on expansion
+  // rounds and retransmissions of the same attempt; re-promising is
+  // idempotent and required so an expansion-round target can vote.
+  rec_->promised = msg.ballot;
+  ++rec_->sync_writes;  // the promise is durable before we answer
+  out.promised = true;
+  for (const auto& [slot, entry] : rec_->accepted) {
+    if (slot >= msg.first_slot) out.accepted.push_back(entry);
+  }
+  // Return previously stored intents, excluding the ones this very
+  // prepare declares (the aspirant need not intersect itself).
+  for (const Intent& stored : rec_->intents) {
+    if (stored.ballot != msg.ballot) out.intents.push_back(stored);
+  }
+  // Store the newly declared intents attached to this positive promise.
+  if (store_intents_) AddIntents(msg.intents);
+  return out;
+}
+
+Acceptor::ProposeOutcome Acceptor::OnPropose(const ProposeMsg& msg,
+                                             Timestamp now) {
+  // GC polling observes every received propose, accepted or not: the
+  // sender necessarily completed a Leader Election with this ballot,
+  // which is all Theorem 3 needs.
+  rec_->max_propose_ballot = std::max(rec_->max_propose_ballot, msg.ballot);
+  if (msg.recovery_complete) {
+    rec_->max_recovered_ballot =
+        std::max(rec_->max_recovered_ballot, msg.ballot);
+  }
+
+  ProposeOutcome out;
+  const AcceptedEntry* prior = AcceptedFor(msg.slot);
+  const bool ok = leaderless_
+                      ? (prior == nullptr || msg.ballot >= prior->ballot)
+                      : (msg.ballot >= rec_->promised);
+  if (!ok) {
+    out.accepted = false;
+    out.promised_ballot = leaderless_ ? prior->ballot : rec_->promised;
+    return out;
+  }
+
+  if (!leaderless_) rec_->promised = std::max(rec_->promised, msg.ballot);
+  rec_->accepted[msg.slot] = AcceptedEntry{msg.slot, msg.ballot, msg.value};
+  ++rec_->sync_writes;  // the acceptance is durable before we answer
+  out.accepted = true;
+
+  if (msg.lease_request) {
+    // Granting the lease: an implicit promise not to answer other nodes'
+    // prepares until it expires.
+    rec_->lease_ballot = msg.ballot;
+    rec_->lease_until = std::max(rec_->lease_until, msg.lease_until);
+    out.lease_vote = true;
+    out.lease_until = rec_->lease_until;
+  }
+  (void)now;
+  return out;
+}
+
+void Acceptor::ApplyGcThreshold(const Ballot& threshold, Timestamp now) {
+  std::erase_if(rec_->intents, [&](const Intent& i) {
+    if (i.ballot >= threshold) return false;
+    // The current lease holder's intent cannot be collected while the
+    // lease is active: no other node can be elected before expiry, so
+    // the intent is by definition not obsolete (paper Section 4.5).
+    if (rec_->lease_until > now && i.ballot == rec_->lease_ballot) return false;
+    return true;
+  });
+}
+
+const AcceptedEntry* Acceptor::AcceptedFor(SlotId slot) const {
+  auto it = rec_->accepted.find(slot);
+  return it == rec_->accepted.end() ? nullptr : &it->second;
+}
+
+void Acceptor::AddIntents(const std::vector<Intent>& intents) {
+  for (const Intent& in : intents) {
+    const bool dup =
+        std::any_of(rec_->intents.begin(), rec_->intents.end(),
+                    [&](const Intent& have) { return have.ballot == in.ballot; });
+    if (!dup) rec_->intents.push_back(in);
+  }
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,146 @@
+// The Paxos acceptor role: a pure state machine with no I/O.
+//
+// The Replica feeds incoming prepare/propose messages in and turns the
+// returned outcome structs into reply messages, which keeps every
+// acceptance rule — ballot comparison, intent storage, read-lease
+// blocking, garbage collection — directly unit-testable.
+#ifndef DPAXOS_PAXOS_ACCEPTOR_H_
+#define DPAXOS_PAXOS_ACCEPTOR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "paxos/ballot.h"
+#include "paxos/messages.h"
+#include "quorum/quorum_system.h"
+#include "storage/storage.h"
+
+namespace dpaxos {
+
+/// \brief Per-partition acceptor state (paper Sections 2, 4.3, 4.5).
+class Acceptor {
+ public:
+  /// `leaderless` relaxes the single-promise discipline to per-slot
+  /// acceptance, modelling the paper's idealized leaderless baseline
+  /// (Section 5: "the optimal case ... may lead to inconsistency, but
+  /// nonetheless would provide a benchmark of the best-case performance").
+  ///
+  /// `record` points at this acceptor's durable state (promises,
+  /// accepted values, intents — everything Paxos requires to survive a
+  /// crash). Pass the node's NodeStorage record so a restarted replica
+  /// resumes from it; with nullptr the acceptor owns a private record
+  /// (volatile — convenient for unit tests).
+  explicit Acceptor(bool leaderless = false,
+                    AcceptorRecord* record = nullptr)
+      : leaderless_(leaderless), rec_(record) {
+    if (rec_ == nullptr) {
+      owned_ = std::make_unique<AcceptorRecord>();
+      rec_ = owned_.get();
+    }
+  }
+
+  /// Outcome of processing a prepare message.
+  struct PrepareOutcome {
+    bool promised = false;
+    /// On rejection: the conflicting promised ballot (null if the
+    /// rejection was lease-induced).
+    Ballot promised_ballot;
+    /// On lease-induced rejection: when the blocking lease expires.
+    Timestamp lease_until = 0;
+    /// On promise: previously accepted entries with slot >= first_slot.
+    std::vector<AcceptedEntry> accepted;
+    /// On promise: previously stored intents (excluding the ones declared
+    /// by this very prepare).
+    std::vector<Intent> intents;
+  };
+
+  /// Handle prepare(p, intents). Promises iff p >= the highest promised
+  /// ballot and no foreign read lease is active; on a positive promise,
+  /// stores the declared intents (unless intent storage is paused by a
+  /// Leader Zone transition).
+  PrepareOutcome OnPrepare(const PrepareMsg& msg, Timestamp now);
+
+  /// Outcome of processing a propose (accept-request) message.
+  struct ProposeOutcome {
+    bool accepted = false;
+    Ballot promised_ballot;  ///< on rejection: the conflicting promise
+    bool lease_vote = false;
+    Timestamp lease_until = 0;
+  };
+
+  /// Handle propose(p, v) for one slot. Accepts iff p >= the highest
+  /// promised ballot (per-slot in leaderless mode); accepting also
+  /// promises p. Grants the piggybacked lease request on acceptance.
+  ProposeOutcome OnPropose(const ProposeMsg& msg, Timestamp now);
+
+  /// Apply a GC threshold P: drop stored intents with ballot < P
+  /// (paper Algorithm 3). The active lease holder's intent survives
+  /// (Section 4.5: leases protect their intent from collection).
+  void ApplyGcThreshold(const Ballot& threshold, Timestamp now);
+
+  /// Largest ballot seen in any propose message. Independent of whether
+  /// the propose was accepted.
+  const Ballot& max_propose_ballot() const {
+    return rec_->max_propose_ballot;
+  }
+
+  /// P_i: what the garbage collector polls — the largest ballot seen in
+  /// a propose flagged recovery_complete, i.e. from a leader that had
+  /// already re-secured every adopted value. Collecting intents below
+  /// this is safe even across leader crashes mid-recovery.
+  const Ballot& gc_poll_ballot() const { return rec_->max_recovered_ballot; }
+
+  /// Record that a relinquish with `ballot` was consumed; returns false
+  /// (and consumes nothing) if one at or above it was already consumed —
+  /// duplicate handoff deliveries must not re-activate leadership.
+  bool ConsumeRelinquish(const Ballot& ballot) {
+    if (ballot <= rec_->relinquish_consumed) return false;
+    rec_->relinquish_consumed = ballot;
+    ++rec_->sync_writes;
+    return true;
+  }
+
+  const Ballot& promised() const { return rec_->promised; }
+  const std::vector<Intent>& intents() const { return rec_->intents; }
+
+  /// Highest-ballot accepted entry for `slot`, or nullptr.
+  const AcceptedEntry* AcceptedFor(SlotId slot) const;
+
+  // --- Leader Zone transition controls (paper Step 2) -----------------
+
+  /// Stop adding intents from future prepares to the stored list.
+  void PauseIntentStorage() { store_intents_ = false; }
+  void ResumeIntentStorage() { store_intents_ = true; }
+  bool intent_storage_paused() const { return !store_intents_; }
+
+  /// Merge externally transferred intents (next-Leader-Zone side).
+  void AddIntents(const std::vector<Intent>& intents);
+
+  // --- introspection for tests and metrics ----------------------------
+
+  size_t accepted_count() const { return rec_->accepted.size(); }
+  /// Largest slot with an accepted entry (kInvalidSlot when none).
+  SlotId HighestAcceptedSlot() const {
+    return rec_->accepted.empty() ? kInvalidSlot
+                                  : rec_->accepted.rbegin()->first;
+  }
+  bool HasActiveLease(Timestamp now) const {
+    return rec_->lease_until > now && !rec_->lease_ballot.is_null();
+  }
+  const Ballot& lease_ballot() const { return rec_->lease_ballot; }
+  uint64_t sync_writes() const { return rec_->sync_writes; }
+
+ private:
+  bool leaderless_;
+  AcceptorRecord* rec_;
+  std::unique_ptr<AcceptorRecord> owned_;
+  // Volatile: the Leader-Zone transition pause is re-learned from
+  // protocol traffic after a restart (storing extra intents is safe).
+  bool store_intents_ = true;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_PAXOS_ACCEPTOR_H_

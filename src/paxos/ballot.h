@@ -1,0 +1,34 @@
+// Ballots (proposal ids): totally ordered, globally unique per proposer.
+#ifndef DPAXOS_PAXOS_BALLOT_H_
+#define DPAXOS_PAXOS_BALLOT_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace dpaxos {
+
+/// \brief A Paxos proposal id: (round, proposing node).
+///
+/// Rounds start at 1; the default-constructed Ballot (round 0) is the
+/// "null" ballot, ordered below every real ballot. Ordering is
+/// lexicographic on (round, node), making concurrently chosen ballots
+/// comparable and unique.
+struct Ballot {
+  uint64_t round = 0;
+  NodeId node = 0;
+
+  constexpr bool is_null() const { return round == 0; }
+
+  friend constexpr auto operator<=>(const Ballot&, const Ballot&) = default;
+
+  std::string ToString() const {
+    return "(" + std::to_string(round) + "," + std::to_string(node) + ")";
+  }
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_PAXOS_BALLOT_H_

@@ -1,0 +1,73 @@
+#include "paxos/garbage_collector.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace dpaxos {
+
+GarbageCollector::GarbageCollector(Simulator* sim, Transport* transport,
+                                   const Topology* topology, NodeId host,
+                                   PartitionId partition,
+                                   Duration poll_period)
+    : sim_(sim),
+      transport_(transport),
+      topology_(topology),
+      host_(host),
+      partition_(partition),
+      poll_period_(poll_period) {
+  DPAXOS_CHECK(sim && transport && topology);
+  DPAXOS_CHECK_LT(host, topology->num_nodes());
+  DPAXOS_CHECK_GT(poll_period, 0u);
+}
+
+void GarbageCollector::Start() {
+  if (running_) return;
+  running_ = true;
+  PollNext();
+}
+
+void GarbageCollector::Stop() {
+  running_ = false;
+  if (timer_ != 0) {
+    sim_->Cancel(timer_);
+    timer_ = 0;
+  }
+}
+
+void GarbageCollector::PollNext() {
+  if (!running_) return;
+  const NodeId target =
+      static_cast<NodeId>(next_target_ % topology_->num_nodes());
+  next_target_ = (next_target_ + 1) % topology_->num_nodes();
+  transport_->Send(host_, target, std::make_shared<GcPollMsg>(partition_));
+  ++polls_sent_;
+  timer_ = sim_->Schedule(poll_period_, [this] {
+    timer_ = 0;
+    PollNext();
+  });
+}
+
+void GarbageCollector::SweepOnce() {
+  for (NodeId n = 0; n < topology_->num_nodes(); ++n) {
+    transport_->Send(host_, n, std::make_shared<GcPollMsg>(partition_));
+    ++polls_sent_;
+  }
+}
+
+void GarbageCollector::OnPollReply(NodeId from, const GcPollReplyMsg& msg) {
+  (void)from;
+  if (msg.partition != partition_) return;
+  if (msg.max_propose_ballot > threshold_) {
+    threshold_ = msg.max_propose_ballot;
+    DPAXOS_DEBUG("gc@" << host_ << " raises threshold to "
+                       << threshold_.ToString());
+    BroadcastThreshold();
+  }
+}
+
+void GarbageCollector::BroadcastThreshold() {
+  auto msg = std::make_shared<GcThresholdMsg>(partition_, threshold_);
+  for (NodeId n : topology_->AllNodes()) transport_->Send(host_, n, msg);
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,74 @@
+// The intents garbage-collection process (paper Section 4.3.4,
+// Algorithm 3).
+//
+// A collector is co-located with a node (it uses that node's transport
+// identity) and repeatedly: picks an acceptor round-robin, polls its
+// largest ballot seen in a propose message (P_i), raises the global
+// threshold P = max(P, P_i), and asynchronously broadcasts P to all
+// acceptors, which drop every stored intent with a lower ballot.
+// Collectors can start and stop arbitrarily, and several may coexist.
+#ifndef DPAXOS_PAXOS_GARBAGE_COLLECTOR_H_
+#define DPAXOS_PAXOS_GARBAGE_COLLECTOR_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "net/transport.h"
+#include "paxos/ballot.h"
+#include "paxos/messages.h"
+#include "sim/simulator.h"
+
+namespace dpaxos {
+
+/// \brief One garbage-collection process for one partition.
+class GarbageCollector {
+ public:
+  /// `host` is the node this collector is co-located with; polls and
+  /// threshold broadcasts are sent from its transport identity.
+  GarbageCollector(Simulator* sim, Transport* transport,
+                   const Topology* topology, NodeId host,
+                   PartitionId partition,
+                   Duration poll_period = 500 * kMillisecond);
+
+  /// Begin periodic polling. Idempotent.
+  void Start();
+  /// Stop polling; a later Start() resumes where it left off (threshold
+  /// state is retained, matching the paper's "shutdown and resumed
+  /// arbitrarily").
+  void Stop();
+  bool running() const { return running_; }
+
+  /// Poll every node once and broadcast the resulting threshold — a
+  /// deterministic full sweep used by tests and benches.
+  void SweepOnce();
+
+  /// Current threshold P.
+  const Ballot& threshold() const { return threshold_; }
+  PartitionId partition() const { return partition_; }
+  NodeId host() const { return host_; }
+  uint64_t polls_sent() const { return polls_sent_; }
+
+  /// Route for GcPollReplyMsg, invoked by the co-located NodeHost.
+  void OnPollReply(NodeId from, const GcPollReplyMsg& msg);
+
+ private:
+  void PollNext();
+  void BroadcastThreshold();
+
+  Simulator* sim_;
+  Transport* transport_;
+  const Topology* topology_;
+  NodeId host_;
+  PartitionId partition_;
+  Duration poll_period_;
+
+  bool running_ = false;
+  EventId timer_ = 0;
+  size_t next_target_ = 0;  // round-robin cursor
+  Ballot threshold_;
+  uint64_t polls_sent_ = 0;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_PAXOS_GARBAGE_COLLECTOR_H_

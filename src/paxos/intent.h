@@ -1,0 +1,51 @@
+// Replication-quorum intents (paper Section 4.3).
+//
+// An intent is the concrete replication quorum an aspiring leader declares
+// in its prepare() messages. Acceptors store intents attached to positive
+// promises; later aspiring leaders must expand their Leader Election
+// quorums to intersect every intent they are handed back.
+#ifndef DPAXOS_PAXOS_INTENT_H_
+#define DPAXOS_PAXOS_INTENT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "paxos/ballot.h"
+
+namespace dpaxos {
+
+/// \brief A declared replication quorum, keyed by the declaring ballot.
+struct Intent {
+  /// Proposal id of the leader-election attempt that declared it. Also
+  /// the garbage-collection key: an intent is obsolete once the GC
+  /// threshold P exceeds this ballot (paper Algorithm 3).
+  Ballot ballot;
+  /// The declaring (aspiring) leader.
+  NodeId leader = kInvalidNode;
+  /// Concrete replication quorum: (fd+1) x (fz+1) nodes, sorted.
+  std::vector<NodeId> quorum;
+
+  bool operator==(const Intent& o) const {
+    return ballot == o.ballot && leader == o.leader && quorum == o.quorum;
+  }
+
+  std::set<NodeId> QuorumSet() const { return {quorum.begin(), quorum.end()}; }
+
+  std::string ToString() const {
+    std::string s = "intent{b=" + ballot.ToString() + " q=[";
+    for (size_t i = 0; i < quorum.size(); ++i) {
+      if (i > 0) s += " ";
+      s += std::to_string(quorum[i]);
+    }
+    return s + "]}";
+  }
+
+  /// Approximate wire size: ballot + leader + node list.
+  uint64_t WireSize() const { return 16 + 4 + 4 * quorum.size(); }
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_PAXOS_INTENT_H_

@@ -1,0 +1,512 @@
+// Wire messages of the DPaxos protocol family.
+//
+// One partition = one Paxos instance; every message carries the partition
+// id so a NodeHost can demultiplex. SizeBytes() models serialized size
+// for the bandwidth model: a fixed header plus per-field payloads.
+#ifndef DPAXOS_PAXOS_MESSAGES_H_
+#define DPAXOS_PAXOS_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+#include "paxos/ballot.h"
+#include "paxos/intent.h"
+#include "paxos/value.h"
+#include "quorum/quorum_system.h"
+
+namespace dpaxos {
+
+/// Fixed per-message framing overhead (headers, type tag, partition id).
+inline constexpr uint64_t kMessageHeaderBytes = 64;
+
+/// \brief Common base: every protocol message belongs to a partition.
+struct PaxosMessage : Message {
+  explicit PaxosMessage(PartitionId p) : partition(p) {}
+  PartitionId partition;
+};
+
+inline uint64_t IntentsWireSize(const std::vector<Intent>& intents) {
+  uint64_t total = 0;
+  for (const Intent& i : intents) total += i.WireSize();
+  return total;
+}
+
+// ---------------------------------------------------------------------
+// Leader Election phase
+
+/// prepare(p, intents): Leader Election round (paper Algorithm 1 line 6).
+/// `expansion` marks the second round sent to detected intents' quorums;
+/// it carries the same ballot and intents as the first round.
+struct PrepareMsg final : PaxosMessage {
+  PrepareMsg(PartitionId p, Ballot b, SlotId first, std::vector<Intent> in,
+             bool exp, LeaderZoneView view)
+      : PaxosMessage(p),
+        ballot(b),
+        first_slot(first),
+        intents(std::move(in)),
+        expansion(exp),
+        lz_view(view) {}
+
+  Ballot ballot;
+  SlotId first_slot;
+  std::vector<Intent> intents;
+  bool expansion;
+  LeaderZoneView lz_view;
+
+  uint64_t SizeBytes() const override {
+    return kMessageHeaderBytes + 24 + IntentsWireSize(intents);
+  }
+  const char* TypeName() const override { return "prepare"; }
+};
+
+/// An accepted (slot, ballot, value) triple reported in a promise.
+struct AcceptedEntry {
+  SlotId slot;
+  Ballot ballot;
+  Value value;
+};
+
+/// promise(q, v_q, p, intents): positive Leader Election vote.
+struct PromiseMsg final : PaxosMessage {
+  PromiseMsg(PartitionId p, Ballot b, bool exp)
+      : PaxosMessage(p), ballot(b), expansion(exp) {}
+
+  /// The prepare ballot being answered.
+  Ballot ballot;
+  /// Echo of PrepareMsg::expansion, so the candidate can tell which round
+  /// this vote belongs to (intents from expansion-round promises may be
+  /// discarded, paper Section 4.3.1).
+  bool expansion;
+  /// Previously accepted entries for slots >= the prepare's first_slot.
+  std::vector<AcceptedEntry> accepted;
+  /// Previously stored intents (paper: "list of previously received
+  /// intents"), excluding the one just declared by this prepare.
+  std::vector<Intent> intents;
+  /// Piggybacked Leader Zone information (paper Algorithm 2 lines 5-10).
+  LeaderZoneView lz_view;
+
+  uint64_t SizeBytes() const override {
+    uint64_t sz = kMessageHeaderBytes + 16 + IntentsWireSize(intents);
+    for (const AcceptedEntry& e : accepted) sz += 32 + e.value.size_bytes;
+    return sz;
+  }
+  const char* TypeName() const override { return "promise"; }
+};
+
+/// Negative Leader Election vote: a higher ballot was already promised,
+/// a read lease blocks elections, or the aspirant's Leader Zone view is
+/// stale (redirect).
+struct PrepareNackMsg final : PaxosMessage {
+  PrepareNackMsg(PartitionId p, Ballot b) : PaxosMessage(p), ballot(b) {}
+
+  /// The prepare ballot being rejected.
+  Ballot ballot;
+  /// The conflicting promised ballot (null if rejected for another reason).
+  Ballot promised;
+  /// If a read lease blocks this election, when it expires (else 0).
+  Timestamp lease_until = 0;
+  /// The responder's Leader Zone view (redirection, paper Step 3).
+  LeaderZoneView lz_view;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 40; }
+  const char* TypeName() const override { return "prepare-nack"; }
+};
+
+// ---------------------------------------------------------------------
+// Replication phase
+
+/// propose(p, v) for one slot (the paper's accept-request).
+struct ProposeMsg final : PaxosMessage {
+  ProposeMsg(PartitionId p, Ballot b, SlotId s, Value v)
+      : PaxosMessage(p), ballot(b), slot(s), value(std::move(v)) {}
+
+  Ballot ballot;
+  SlotId slot;
+  Value value;
+  /// Piggybacked read-lease request (paper Section 4.5): an accept doubles
+  /// as a lease vote valid until `lease_until`.
+  bool lease_request = false;
+  Timestamp lease_until = 0;
+  /// True once this leader finished re-committing every value it adopted
+  /// during its Leader Election. The garbage-collection threshold only
+  /// advances on flagged proposes: collecting an intent before its
+  /// decided values were re-secured at the new leader's quorum could
+  /// lose them (a strengthening of the paper's Algorithm 3 — see
+  /// docs/PROTOCOL.md).
+  bool recovery_complete = false;
+
+  uint64_t SizeBytes() const override {
+    return kMessageHeaderBytes + 32 + value.size_bytes;
+  }
+  const char* TypeName() const override { return "propose"; }
+};
+
+/// accept(p): positive Replication vote for one slot.
+struct AcceptMsg final : PaxosMessage {
+  AcceptMsg(PartitionId p, Ballot b, SlotId s)
+      : PaxosMessage(p), ballot(b), slot(s) {}
+
+  Ballot ballot;
+  SlotId slot;
+  /// Piggybacked lease vote (paper Section 4.5).
+  bool lease_vote = false;
+  Timestamp lease_until = 0;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 32; }
+  const char* TypeName() const override { return "accept"; }
+};
+
+/// Negative Replication vote: the acceptor promised a higher ballot.
+struct AcceptNackMsg final : PaxosMessage {
+  AcceptNackMsg(PartitionId p, Ballot b, SlotId s, Ballot prom)
+      : PaxosMessage(p), ballot(b), slot(s), promised(prom) {}
+
+  Ballot ballot;
+  SlotId slot;
+  Ballot promised;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 40; }
+  const char* TypeName() const override { return "accept-nack"; }
+};
+
+/// Commit notification from the leader to learners.
+struct DecideMsg final : PaxosMessage {
+  DecideMsg(PartitionId p, SlotId s, Value v)
+      : PaxosMessage(p), slot(s), value(std::move(v)) {}
+
+  SlotId slot;
+  Value value;
+
+  uint64_t SizeBytes() const override {
+    return kMessageHeaderBytes + 16 + value.size_bytes;
+  }
+  const char* TypeName() const override { return "decide"; }
+};
+
+/// Leader liveness beacon to its replication quorum (failure detector).
+struct HeartbeatMsg final : PaxosMessage {
+  HeartbeatMsg(PartitionId p, Ballot b) : PaxosMessage(p), ballot(b) {}
+
+  Ballot ballot;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 16; }
+  const char* TypeName() const override { return "heartbeat"; }
+};
+
+// ---------------------------------------------------------------------
+// Request forwarding (remote clients, paper Section 5.3 / Figure 10b)
+
+/// A non-leader replica forwards a client value to the partition leader.
+struct ForwardMsg final : PaxosMessage {
+  ForwardMsg(PartitionId p, uint64_t id, Value v)
+      : PaxosMessage(p), request_id(id), value(std::move(v)) {}
+
+  uint64_t request_id;
+  Value value;
+
+  uint64_t SizeBytes() const override {
+    return kMessageHeaderBytes + 8 + value.size_bytes;
+  }
+  const char* TypeName() const override { return "forward"; }
+};
+
+/// Answer to a forwarded request: committed, failed, or a redirect to the
+/// node the responder believes is the leader.
+struct ForwardReplyMsg final : PaxosMessage {
+  ForwardReplyMsg(PartitionId p, uint64_t id)
+      : PaxosMessage(p), request_id(id) {}
+
+  uint64_t request_id;
+  StatusCode code = StatusCode::kOk;
+  SlotId slot = kInvalidSlot;
+  /// On kFailedPrecondition: where to retry (kInvalidNode if unknown).
+  NodeId leader_hint = kInvalidNode;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 24; }
+  const char* TypeName() const override { return "forward-reply"; }
+};
+
+// ---------------------------------------------------------------------
+// Learner catch-up and snapshot transfer
+//
+// A lagging or recovered replica pulls decided entries from a peer; if
+// the peer already truncated its log below the requested slot, the
+// requester falls back to an application snapshot.
+
+/// One decided (slot, value) pair shipped during catch-up.
+struct DecidedEntryWire {
+  SlotId slot;
+  Value value;
+};
+
+/// Ask a peer for its decided entries starting at `from_slot`.
+struct LearnRequestMsg final : PaxosMessage {
+  LearnRequestMsg(PartitionId p, SlotId from, uint32_t max)
+      : PaxosMessage(p), from_slot(from), max_entries(max) {}
+
+  SlotId from_slot;
+  uint32_t max_entries;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 12; }
+  const char* TypeName() const override { return "learn-request"; }
+};
+
+/// Catch-up answer: a page of decided entries, or a snapshot referral
+/// when the requested prefix was already truncated away.
+struct LearnReplyMsg final : PaxosMessage {
+  explicit LearnReplyMsg(PartitionId p) : PaxosMessage(p) {}
+
+  SlotId from_slot = 0;
+  std::vector<DecidedEntryWire> entries;
+  /// The responder's contiguous decided watermark.
+  SlotId peer_watermark = 0;
+  /// Lowest slot the responder can still serve; if it exceeds the request
+  /// slot, the requester needs a snapshot instead.
+  SlotId first_available = 0;
+
+  uint64_t SizeBytes() const override {
+    uint64_t sz = kMessageHeaderBytes + 24;
+    for (const DecidedEntryWire& e : entries) sz += 36 + e.value.size_bytes;
+    return sz;
+  }
+  const char* TypeName() const override { return "learn-reply"; }
+};
+
+/// Ask a peer for an application snapshot (log prefix truncated).
+struct SnapshotRequestMsg final : PaxosMessage {
+  explicit SnapshotRequestMsg(PartitionId p) : PaxosMessage(p) {}
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes; }
+  const char* TypeName() const override { return "snapshot-request"; }
+};
+
+/// Application snapshot covering all slots below `through_slot`.
+struct SnapshotReplyMsg final : PaxosMessage {
+  SnapshotReplyMsg(PartitionId p, SlotId through, std::string data)
+      : PaxosMessage(p), through_slot(through), snapshot(std::move(data)) {}
+
+  SlotId through_slot;
+  std::string snapshot;
+
+  uint64_t SizeBytes() const override {
+    return kMessageHeaderBytes + 8 + snapshot.size();
+  }
+  const char* TypeName() const override { return "snapshot-reply"; }
+};
+
+// ---------------------------------------------------------------------
+// Leader Handoff (paper Section 4.4)
+
+/// Ask the current leader to relinquish leadership to the sender.
+struct HandoffRequestMsg final : PaxosMessage {
+  explicit HandoffRequestMsg(PartitionId p) : PaxosMessage(p) {}
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes; }
+  const char* TypeName() const override { return "handoff-request"; }
+};
+
+/// relinquish(): transfers the logical leader role. Sent at most once per
+/// slot range; after sending, the old leader stops acting as a leader.
+struct RelinquishMsg final : PaxosMessage {
+  RelinquishMsg(PartitionId p, Ballot b, SlotId next,
+                std::vector<Intent> in, LeaderZoneView view)
+      : PaxosMessage(p),
+        ballot(b),
+        next_slot(next),
+        intents(std::move(in)),
+        lz_view(view) {}
+
+  /// The leadership ballot being transferred.
+  Ballot ballot;
+  /// First slot the new leader may propose to.
+  SlotId next_slot;
+  /// The declared intents; the new leader may only replicate on these
+  /// quorums (restriction when combined with Expanding Quorums).
+  std::vector<Intent> intents;
+  LeaderZoneView lz_view;
+
+  uint64_t SizeBytes() const override {
+    return kMessageHeaderBytes + 24 + IntentsWireSize(intents);
+  }
+  const char* TypeName() const override { return "relinquish"; }
+};
+
+// ---------------------------------------------------------------------
+// Intents garbage collection (paper Section 4.3.4, Algorithm 3)
+
+/// GC poll: "largest proposal id received in a propose message?"
+struct GcPollMsg final : PaxosMessage {
+  explicit GcPollMsg(PartitionId p) : PaxosMessage(p) {}
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes; }
+  const char* TypeName() const override { return "gc-poll"; }
+};
+
+/// GC poll answer.
+struct GcPollReplyMsg final : PaxosMessage {
+  GcPollReplyMsg(PartitionId p, Ballot b)
+      : PaxosMessage(p), max_propose_ballot(b) {}
+
+  /// P_i: largest ballot this acceptor has seen in a *recovery-complete*
+  /// propose message (NOT prepare messages — the distinction matters for
+  /// Theorem 3; the recovery gate is our strengthening of Algorithm 3).
+  Ballot max_propose_ballot;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 16; }
+  const char* TypeName() const override { return "gc-poll-reply"; }
+};
+
+/// Asynchronous broadcast of the new GC threshold P; receivers drop all
+/// intents with ballot < P.
+struct GcThresholdMsg final : PaxosMessage {
+  GcThresholdMsg(PartitionId p, Ballot b) : PaxosMessage(p), threshold(b) {}
+
+  Ballot threshold;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 16; }
+  const char* TypeName() const override { return "gc-threshold"; }
+};
+
+// ---------------------------------------------------------------------
+// Leader Zone migration (paper Section 4.3.2)
+//
+// Step 1 runs a dedicated synod (single-decree Paxos) among the current
+// Leader Zone's nodes — the "Leader Zone Instance" — deciding the next
+// Leader Zone for migration epoch `epoch`.
+
+/// Phase 1 of the Leader Zone Instance synod.
+struct LzPrepareMsg final : PaxosMessage {
+  LzPrepareMsg(PartitionId p, uint64_t e, Ballot b)
+      : PaxosMessage(p), epoch(e), ballot(b) {}
+
+  uint64_t epoch;
+  Ballot ballot;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 24; }
+  const char* TypeName() const override { return "lz-prepare"; }
+};
+
+struct LzPromiseMsg final : PaxosMessage {
+  LzPromiseMsg(PartitionId p, uint64_t e, Ballot b)
+      : PaxosMessage(p), epoch(e), ballot(b) {}
+
+  uint64_t epoch;
+  Ballot ballot;
+  /// Previously accepted (ballot, zone), if any.
+  Ballot accepted_ballot;
+  ZoneId accepted_zone = kInvalidZone;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 44; }
+  const char* TypeName() const override { return "lz-promise"; }
+};
+
+/// Phase 2 of the Leader Zone Instance synod: propose `next_zone`.
+struct LzProposeMsg final : PaxosMessage {
+  LzProposeMsg(PartitionId p, uint64_t e, Ballot b, ZoneId z)
+      : PaxosMessage(p), epoch(e), ballot(b), next_zone(z) {}
+
+  uint64_t epoch;
+  Ballot ballot;
+  ZoneId next_zone;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 28; }
+  const char* TypeName() const override { return "lz-propose"; }
+};
+
+struct LzAcceptMsg final : PaxosMessage {
+  LzAcceptMsg(PartitionId p, uint64_t e, Ballot b, ZoneId z)
+      : PaxosMessage(p), epoch(e), ballot(b), next_zone(z) {}
+
+  uint64_t epoch;
+  Ballot ballot;
+  ZoneId next_zone;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 28; }
+  const char* TypeName() const override { return "lz-accept"; }
+};
+
+struct LzNackMsg final : PaxosMessage {
+  LzNackMsg(PartitionId p, uint64_t e, Ballot b, Ballot prom,
+            LeaderZoneView view)
+      : PaxosMessage(p), epoch(e), ballot(b), promised(prom), lz_view(view) {}
+
+  uint64_t epoch;
+  Ballot ballot;
+  Ballot promised;
+  /// The responder's view — redirects a driver whose view is stale.
+  LeaderZoneView lz_view;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 56; }
+  const char* TypeName() const override { return "lz-nack"; }
+};
+
+/// Step 2: ask a node of the old Leader Zone to enter the transition
+/// phase — return its stored intents, stop storing new ones, and piggyback
+/// the transition in future promises.
+struct LzTransitionMsg final : PaxosMessage {
+  LzTransitionMsg(PartitionId p, uint64_t e, ZoneId z)
+      : PaxosMessage(p), epoch(e), next_zone(z) {}
+
+  uint64_t epoch;
+  ZoneId next_zone;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 12; }
+  const char* TypeName() const override { return "lz-transition"; }
+};
+
+struct LzTransitionAckMsg final : PaxosMessage {
+  LzTransitionAckMsg(PartitionId p, uint64_t e, std::vector<Intent> in)
+      : PaxosMessage(p), epoch(e), intents(std::move(in)) {}
+
+  uint64_t epoch;
+  /// The old zone node's stored intents, to be re-homed in the next zone.
+  std::vector<Intent> intents;
+
+  uint64_t SizeBytes() const override {
+    return kMessageHeaderBytes + 8 + IntentsWireSize(intents);
+  }
+  const char* TypeName() const override { return "lz-transition-ack"; }
+};
+
+/// Step 2 (continued): store the old zone's intents at the next zone.
+struct LzStoreIntentsMsg final : PaxosMessage {
+  LzStoreIntentsMsg(PartitionId p, uint64_t e, ZoneId z,
+                    std::vector<Intent> in)
+      : PaxosMessage(p), epoch(e), next_zone(z), intents(std::move(in)) {}
+
+  uint64_t epoch;
+  ZoneId next_zone;
+  std::vector<Intent> intents;
+
+  uint64_t SizeBytes() const override {
+    return kMessageHeaderBytes + 12 + IntentsWireSize(intents);
+  }
+  const char* TypeName() const override { return "lz-store-intents"; }
+};
+
+struct LzStoreAckMsg final : PaxosMessage {
+  LzStoreAckMsg(PartitionId p, uint64_t e) : PaxosMessage(p), epoch(e) {}
+
+  uint64_t epoch;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 8; }
+  const char* TypeName() const override { return "lz-store-ack"; }
+};
+
+/// Step 3: lazily broadcast announcement that the transition completed.
+struct LzAnnounceMsg final : PaxosMessage {
+  LzAnnounceMsg(PartitionId p, LeaderZoneView v)
+      : PaxosMessage(p), view(v) {}
+
+  /// The completed view: epoch bumped, current = new zone, no transition.
+  LeaderZoneView view;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 16; }
+  const char* TypeName() const override { return "lz-announce"; }
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_PAXOS_MESSAGES_H_

@@ -1,0 +1,69 @@
+// NodeHost: one physical node's endpoint on the transport, hosting one
+// Replica per partition plus optional co-located components (garbage
+// collectors). Demultiplexes incoming messages by partition.
+#ifndef DPAXOS_PAXOS_NODE_HOST_H_
+#define DPAXOS_PAXOS_NODE_HOST_H_
+
+#include <map>
+#include <memory>
+
+#include "common/types.h"
+#include "net/transport.h"
+#include "paxos/replica.h"
+#include "storage/storage.h"
+
+namespace dpaxos {
+
+class GarbageCollector;
+
+/// \brief A node: transport endpoint + per-partition replicas.
+class NodeHost {
+ public:
+  /// Registers this host as `id`'s handler on the transport.
+  NodeHost(Simulator* sim, Transport* transport, const Topology* topology,
+           NodeId id);
+
+  NodeHost(const NodeHost&) = delete;
+  NodeHost& operator=(const NodeHost&) = delete;
+
+  /// Create (and own) the replica for `config.partition` on this node.
+  /// The replica's acceptor state lives in this host's durable storage.
+  Replica* AddReplica(const QuorumSystem* quorums, const ReplicaConfig& config);
+
+  Replica* replica(PartitionId partition) const;
+
+  /// Simulate a process restart: every replica is destroyed (volatile
+  /// proposer/learner state lost, pending timers dropped) and recreated
+  /// from the durable acceptor records. The transport identity and
+  /// storage survive. Decide callbacks and snapshot hooks must be
+  /// re-wired by the caller.
+  void Restart();
+
+  /// This node's durable store (survives Restart()).
+  NodeStorage& storage() { return storage_; }
+
+  /// Attach a co-located garbage collector for one partition: GC poll
+  /// replies for that partition are routed to it instead of the replica.
+  void AttachGarbageCollector(GarbageCollector* gc);
+
+  NodeId id() const { return id_; }
+  ZoneId zone() const { return topology_->ZoneOf(id_); }
+
+ private:
+  void OnMessage(NodeId from, const MessagePtr& msg);
+
+  Simulator* sim_;
+  Transport* transport_;
+  const Topology* topology_;
+  NodeId id_;
+  NodeStorage storage_;
+  std::map<PartitionId, std::unique_ptr<Replica>> replicas_;
+  // Construction parameters retained so Restart() can rebuild replicas.
+  std::map<PartitionId, std::pair<const QuorumSystem*, ReplicaConfig>>
+      blueprints_;
+  std::map<PartitionId, GarbageCollector*> collectors_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_PAXOS_NODE_HOST_H_

@@ -1,0 +1,1589 @@
+#include "paxos/replica.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace dpaxos {
+
+namespace {
+
+// Internal commit callback for no-op / adopted-value re-proposals.
+void IgnoreCommit(const Status&, SlotId, Duration) {}
+
+}  // namespace
+
+Replica::Replica(Simulator* sim, Transport* transport,
+                 const Topology* topology, const QuorumSystem* quorums,
+                 NodeId id, ReplicaConfig config, AcceptorRecord* record)
+    : sim_(sim),
+      transport_(transport),
+      topology_(topology),
+      quorums_(quorums),
+      id_(id),
+      config_(config),
+      rng_(sim->rng().Fork()),
+      acceptor_(quorums->mode() == ProtocolMode::kLeaderless, record) {
+  DPAXOS_CHECK(sim && transport && topology && quorums);
+  lz_view_.current = config_.initial_leader_zone;
+  // A restarted acceptor remembers its promises (durable record); the
+  // proposer must never reuse a round it might have promised away.
+  ObserveBallot(acceptor_.promised());
+  ObserveBallot(acceptor_.max_propose_ballot());
+  if (quorums_->mode() == ProtocolMode::kLeaderless) {
+    DPAXOS_CHECK_GT(config_.leaderless_total, 0u);
+    DPAXOS_CHECK_LT(config_.leaderless_index, config_.leaderless_total);
+    ballot_ = Ballot{1, id_};
+    leaderless_next_ = config_.leaderless_index;
+  }
+}
+
+Replica::~Replica() { *alive_ = false; }
+
+// -----------------------------------------------------------------------
+// Helpers
+
+EventId Replica::ScheduleSafe(Duration delay, std::function<void()> fn) {
+  return sim_->Schedule(
+      delay, [alive = alive_, fn = std::move(fn)] {
+        if (*alive) fn();
+      });
+}
+
+void Replica::SendToAll(const std::vector<NodeId>& targets,
+                        const MessagePtr& msg) {
+  for (NodeId t : targets) transport_->Send(id_, t, msg);
+}
+
+void Replica::ObserveBallot(const Ballot& ballot) {
+  max_round_seen_ = std::max(max_round_seen_, ballot.round);
+}
+
+Duration Replica::BackoffFor(uint32_t attempt) {
+  const uint32_t shift = std::min(attempt, 6u);
+  const Duration base = config_.retry_backoff_base * (1ull << shift);
+  // Jitter in [0.5, 1.5) de-synchronizes dueling proposers.
+  return static_cast<Duration>(static_cast<double>(base) *
+                               (0.5 + rng_.NextDouble()));
+}
+
+SlotId Replica::DecidedWatermark() const { return watermark_; }
+
+QuorumRule Replica::CurrentLeaderElectionRule() const {
+  return quorums_->LeaderElectionRule(id_, lz_view_);
+}
+
+QuorumRule Replica::ReplicationRule() const {
+  if (quorums_->UsesIntents()) {
+    DPAXOS_CHECK(!declared_intents_.empty());
+    DPAXOS_CHECK_LT(active_intent_, declared_intents_.size());
+    return QuorumSystem::ReplicationRuleForIntent(
+        declared_intents_[active_intent_].quorum);
+  }
+  return quorums_->DefaultReplicationRule(id_);
+}
+
+std::vector<Intent> Replica::BuildIntents() const {
+  if (!quorums_->UsesIntents()) return {};
+  std::vector<Intent> intents;
+  const std::vector<NodeId> primary = quorums_->IntentQuorum(id_);
+  intents.push_back(Intent{ballot_, id_, primary});
+  // Additional intents (paper Section 4.6): alternate fd-companions from
+  // the home zone, giving the leader failover replication quorums.
+  const ZoneId home = topology_->ZoneOf(id_);
+  std::vector<NodeId> peers;
+  for (NodeId n : topology_->NodesInZone(home)) {
+    if (n != id_) peers.push_back(n);
+  }
+  const uint32_t fd = quorums_->fault_tolerance().fd;
+  for (uint32_t k = 1; k < config_.num_intents; ++k) {
+    if (peers.size() < fd) break;
+    std::vector<NodeId> quorum = primary;
+    // Swap the home-zone companions for a rotated selection.
+    std::set<NodeId> drop;
+    for (NodeId n : primary) {
+      if (topology_->ZoneOf(n) == home && n != id_) drop.insert(n);
+    }
+    std::erase_if(quorum, [&](NodeId n) { return drop.count(n) > 0; });
+    uint32_t added = 0;
+    for (uint32_t i = 0; i < peers.size() && added < fd; ++i) {
+      const NodeId candidate = peers[(k + i) % peers.size()];
+      if (std::find(quorum.begin(), quorum.end(), candidate) ==
+          quorum.end()) {
+        quorum.push_back(candidate);
+        ++added;
+      }
+    }
+    if (added < fd) break;
+    std::sort(quorum.begin(), quorum.end());
+    const bool duplicate =
+        std::any_of(intents.begin(), intents.end(), [&](const Intent& have) {
+          return have.quorum == quorum;
+        });
+    if (duplicate) continue;
+    intents.push_back(Intent{ballot_, id_, std::move(quorum)});
+  }
+  return intents;
+}
+
+// -----------------------------------------------------------------------
+// Client API
+
+void Replica::Submit(Value value, CommitCallback orig_cb) {
+  // Commit latency is measured from submission, so it includes queueing
+  // and any Leader Election the submission triggered.
+  CommitCallback cb = [this, submitted = sim_->Now(),
+                       inner = std::move(orig_cb)](
+                          const Status& st, SlotId slot, Duration) {
+    if (inner) inner(st, slot, sim_->Now() - submitted);
+  };
+  if (quorums_->mode() == ProtocolMode::kLeaderless) {
+    SubmitLeaderless(std::move(value), std::move(cb));
+    return;
+  }
+  if (role_ == Role::kLeader) {
+    if (inflight_.size() <
+        static_cast<size_t>(std::max(config_.max_inflight, 1u))) {
+      StartPropose(next_slot_++, std::move(value), std::move(cb));
+    } else {
+      pending_.emplace_back(std::move(value), std::move(cb));
+    }
+    return;
+  }
+  if (role_ == Role::kCandidate) {
+    pending_.emplace_back(std::move(value), std::move(cb));
+    return;
+  }
+  if (!config_.auto_elect_on_submit) {
+    cb(Status::FailedPrecondition("not the leader"), kInvalidSlot, 0);
+    return;
+  }
+  pending_.emplace_back(std::move(value), std::move(cb));
+  TryBecomeLeader([this](const Status& st) {
+    if (!st.ok()) {
+      // DrainPending never ran; fail queued submissions.
+      auto queued = std::move(pending_);
+      pending_.clear();
+      for (auto& [v, cb2] : queued) cb2(st, kInvalidSlot, 0);
+    }
+  });
+}
+
+void Replica::SubmitLeaderless(Value value, CommitCallback cb) {
+  if (inflight_.size() <
+      static_cast<size_t>(std::max(config_.max_inflight, 1u))) {
+    const SlotId slot = leaderless_next_;
+    leaderless_next_ += config_.leaderless_total;
+    StartPropose(slot, std::move(value), std::move(cb));
+  } else {
+    pending_.emplace_back(std::move(value), std::move(cb));
+  }
+}
+
+void Replica::TryBecomeLeader(StatusCallback cb) {
+  if (quorums_->mode() == ProtocolMode::kLeaderless) {
+    cb(Status::NotSupported("leaderless mode has no leader election"));
+    return;
+  }
+  if (role_ == Role::kLeader) {
+    cb(Status::OK());
+    return;
+  }
+  if (role_ == Role::kCandidate) {
+    cb(Status::Aborted("election already in progress"));
+    return;
+  }
+  StartElection(std::move(cb), 0);
+}
+
+void Replica::RefreshLeadership(StatusCallback cb) {
+  if (quorums_->mode() == ProtocolMode::kLeaderless) {
+    cb(Status::NotSupported("leaderless mode has no leader"));
+    return;
+  }
+  if (role_ != Role::kLeader) {
+    TryBecomeLeader(std::move(cb));
+    return;
+  }
+  if (!inflight_.empty() || !pending_.empty()) {
+    cb(Status::FailedPrecondition("in-flight proposals pending"));
+    return;
+  }
+  role_ = Role::kFollower;  // step down voluntarily, then re-elect
+  StartElection(std::move(cb), 0);
+}
+
+// -----------------------------------------------------------------------
+// Leader Election (paper Algorithms 1 and 2)
+
+void Replica::StartElection(StatusCallback cb, uint32_t attempt) {
+  DPAXOS_CHECK(role_ == Role::kFollower);
+  role_ = Role::kCandidate;
+  ballot_ = Ballot{max_round_seen_ + 1, id_};
+  max_round_seen_ = ballot_.round;
+
+  declared_intents_ = BuildIntents();
+  active_intent_ = 0;
+  ++counters_.elections_started;
+
+  election_ = std::make_unique<Election>();
+  election_->cb = std::move(cb);
+  election_->attempt = attempt;
+  election_->first_slot = DecidedWatermark();
+  election_->base_rule = CurrentLeaderElectionRule();
+  election_->effective_rule = election_->base_rule;
+
+  // First attempt: the preferred (nearest) target set. Retries fall back
+  // to every rule candidate for liveness under failures.
+  std::vector<NodeId> targets;
+  if (config_.consolidate_le_rounds) {
+    targets = topology_->AllNodes();
+  } else if (attempt == 0) {
+    targets = quorums_->LeaderElectionTargets(id_, lz_view_);
+  } else {
+    targets = election_->base_rule.Targets();
+  }
+  election_->round1_targets = targets;
+  auto prepare = std::make_shared<PrepareMsg>(
+      config_.partition, ballot_, election_->first_slot, declared_intents_,
+      /*expansion=*/false, lz_view_);
+  for (NodeId t : targets) {
+    election_->contacted.insert(t);
+    SendTo(t, prepare);
+  }
+
+  election_->timer = ScheduleSafe(config_.le_timeout, [this] {
+    if (election_ != nullptr) {
+      election_->timer = 0;
+      FailElection(Status::TimedOut("leader election timed out"),
+                   BackoffFor(election_->attempt));
+    }
+  });
+  DPAXOS_DEBUG("node " << id_ << " starts election " << ballot_.ToString()
+                       << " rule=" << election_->base_rule.ToString());
+}
+
+void Replica::OnPromise(NodeId from, const PromiseMsg& msg) {
+  ObserveBallot(msg.ballot);
+  AdoptView(msg.lz_view);
+  if (election_ == nullptr || role_ != Role::kCandidate ||
+      msg.ballot != ballot_) {
+    return;  // stale vote for an abandoned attempt
+  }
+  election_->promises.insert(from);
+
+  // Adopt previously accepted values: highest ballot wins per slot.
+  for (const AcceptedEntry& e : msg.accepted) {
+    auto it = election_->adopted.find(e.slot);
+    if (it == election_->adopted.end() || it->second.ballot < e.ballot) {
+      election_->adopted[e.slot] = e;
+    }
+  }
+
+  // Intents from expansion-round promises may be discarded (paper
+  // Section 4.3.1): their declaring leaders are guaranteed to observe
+  // our intent and defer to our higher ballot.
+  if (!msg.expansion) {
+    for (const Intent& intent : msg.intents) {
+      if (intent.ballot == ballot_) continue;  // our own declaration
+      if (election_->detected_intents.count(intent.ballot) > 0) continue;
+      election_->detected_intents[intent.ballot] = intent;
+      ++counters_.intents_detected;
+      // The LE quorum must expand to intersect this intent's replication
+      // quorum in at least one node.
+      election_->effective_rule = election_->effective_rule.MergedWith(
+          QuorumRule::Simple(intent.quorum, 1));
+      DPAXOS_DEBUG("node " << id_ << " detected " << intent.ToString());
+    }
+  }
+  CheckElectionProgress();
+}
+
+void Replica::CheckElectionProgress() {
+  DPAXOS_CHECK(election_ != nullptr);
+  if (election_->effective_rule.IsSatisfied(election_->promises)) {
+    FinishElection();
+    return;
+  }
+  // (Re)send prepares to any first-round targets we have not contacted —
+  // this happens after a Leader Zone view upgrade changed the rule.
+  std::vector<NodeId> round1;
+  for (NodeId t : election_->round1_targets) {
+    if (election_->contacted.insert(t).second) round1.push_back(t);
+  }
+  if (!round1.empty()) {
+    auto prepare = std::make_shared<PrepareMsg>(
+        config_.partition, ballot_, election_->first_slot, declared_intents_,
+        /*expansion=*/false, lz_view_);
+    SendToAll(round1, prepare);
+  }
+  // Expansion round: once the base quorum has promised, contact every
+  // detected intent's replication quorum (paper: the second round).
+  if (!election_->base_rule.IsSatisfied(election_->promises)) return;
+  std::vector<NodeId> expansion;
+  for (const auto& [b, intent] : election_->detected_intents) {
+    for (NodeId t : intent.quorum) {
+      if (election_->contacted.insert(t).second) expansion.push_back(t);
+    }
+  }
+  if (!expansion.empty()) {
+    ++expansion_rounds_;
+    election_->expanded = true;
+    auto prepare = std::make_shared<PrepareMsg>(
+        config_.partition, ballot_, election_->first_slot, declared_intents_,
+        /*expansion=*/true, lz_view_);
+    SendToAll(expansion, prepare);
+    DPAXOS_DEBUG("node " << id_ << " expands LE quorum to " << expansion.size()
+                         << " more nodes");
+  }
+}
+
+void Replica::FinishElection() {
+  DPAXOS_CHECK(election_ != nullptr);
+  if (election_->timer != 0) sim_->Cancel(election_->timer);
+  role_ = Role::kLeader;
+  ++elections_won_;
+  leader_hint_ = id_;
+  lease_votes_.clear();
+  lease_until_ = 0;
+
+  const SlotId first = election_->first_slot;
+  next_slot_ = first;
+  bool has_adopted = false;
+  SlotId max_adopted = 0;
+  for (const auto& [slot, e] : election_->adopted) {
+    if (slot < first) continue;
+    has_adopted = true;
+    max_adopted = std::max(max_adopted, slot);
+  }
+
+  StatusCallback cb = std::move(election_->cb);
+  auto adopted = std::move(election_->adopted);
+  election_.reset();
+  recovery_pending_ = 0;
+
+  if (has_adopted) {
+    // Re-propose adopted values under our ballot; fill gaps with no-ops
+    // so the log becomes contiguous (standard Multi-Paxos recovery).
+    // These are marked: until all of them commit, our proposes do not
+    // advance the GC threshold (see ProposeMsg::recovery_complete).
+    for (SlotId slot = first; slot <= max_adopted; ++slot) {
+      if (decided_.count(slot) > 0) continue;
+      auto it = adopted.find(slot);
+      Value v = (it != adopted.end()) ? it->second.value : Value::NoOp();
+      StartPropose(slot, std::move(v), IgnoreCommit,
+                   /*adopted_recovery=*/true);
+    }
+    next_slot_ = max_adopted + 1;
+  }
+  if (RecoveryComplete()) OnRecoveryProgress();
+
+  if (config_.enable_failure_detector) {
+    if (watchdog_timer_ != 0) {
+      sim_->Cancel(watchdog_timer_);
+      watchdog_timer_ = 0;
+    }
+    SendHeartbeats();
+  }
+  DPAXOS_DEBUG("node " << id_ << " elected leader " << ballot_.ToString()
+                       << " next_slot=" << next_slot_);
+  if (cb) cb(Status::OK());
+  DrainPending();
+}
+
+// --- failure detector ----------------------------------------------------
+
+void Replica::SendHeartbeats() {
+  heartbeat_timer_ = 0;
+  if (!config_.enable_failure_detector || role_ != Role::kLeader) return;
+  auto hb = std::make_shared<HeartbeatMsg>(config_.partition, ballot_);
+  for (NodeId t : ReplicationRule().Targets()) {
+    if (t != id_) SendTo(t, hb);
+  }
+  heartbeat_timer_ = ScheduleSafe(config_.heartbeat_interval,
+                                  [this] { SendHeartbeats(); });
+}
+
+void Replica::ArmWatchdog() {
+  if (!config_.enable_failure_detector) return;
+  if (watchdog_timer_ != 0) sim_->Cancel(watchdog_timer_);
+  // Randomized in [timeout, 2*timeout): staggers rival candidacies.
+  const Duration wait =
+      config_.election_timeout +
+      rng_.NextBounded(std::max<Duration>(config_.election_timeout, 1));
+  watchdog_timer_ =
+      ScheduleSafe(wait, [this] {
+        watchdog_timer_ = 0;
+        OnLeaderSilence();
+      });
+}
+
+void Replica::OnLeaderSilence() {
+  if (role_ != Role::kFollower) return;
+  DPAXOS_DEBUG("node " << id_ << " suspects the leader; electing itself");
+  TryBecomeLeader([this](const Status& st) {
+    if (!st.ok()) ArmWatchdog();  // keep watching if we lost the race
+  });
+}
+
+void Replica::OnHeartbeat(NodeId from, const HeartbeatMsg& msg) {
+  (void)from;
+  ObserveBallot(msg.ballot);
+  if (quorums_->mode() != ProtocolMode::kLeaderless) {
+    leader_hint_ = msg.ballot.node;
+  }
+  ArmWatchdog();  // the leader is alive; push the election out
+}
+
+void Replica::OnRecoveryProgress() {
+  // All adopted values are re-secured at our quorum: from here on our
+  // proposes advance the GC threshold, and the aggressive variant may
+  // broadcast the threshold outright.
+  if (config_.leader_broadcasts_gc_threshold && role_ == Role::kLeader) {
+    auto gc = std::make_shared<GcThresholdMsg>(config_.partition, ballot_);
+    SendToAll(topology_->AllNodes(), gc);
+  }
+}
+
+void Replica::FailElection(const Status& status, Duration retry_after) {
+  DPAXOS_CHECK(election_ != nullptr);
+  if (election_->timer != 0) sim_->Cancel(election_->timer);
+  StatusCallback cb = std::move(election_->cb);
+  const uint32_t attempt = election_->attempt;
+  election_.reset();
+  role_ = Role::kFollower;
+
+  if (attempt + 1 >= config_.max_le_attempts) {
+    DPAXOS_DEBUG("node " << id_ << " gives up election: "
+                         << status.ToString());
+    if (cb) cb(status);
+    return;
+  }
+  ScheduleSafe(retry_after, [this, cb = std::move(cb), attempt]() mutable {
+    if (role_ == Role::kFollower) {
+      StartElection(std::move(cb), attempt + 1);
+    } else if (cb) {
+      // Another role change intervened (e.g. a relinquish arrived).
+      cb(role_ == Role::kLeader
+             ? Status::OK()
+             : Status::Aborted("election preempted during backoff"));
+    }
+  });
+}
+
+void Replica::OnPrepare(NodeId from, const PrepareMsg& msg) {
+  ObserveBallot(msg.ballot);
+  ++counters_.prepares_received;
+
+  if (quorums_->mode() == ProtocolMode::kLeaderZone &&
+      lz_view_.epoch > msg.lz_view.epoch) {
+    // The aspirant's Leader Zone view is a whole migration behind: do not
+    // vote; redirect it to the new Leader Zone (paper Step 3).
+    auto nack = std::make_shared<PrepareNackMsg>(config_.partition, msg.ballot);
+    nack->lz_view = lz_view_;
+    ++counters_.prepare_nacks_sent;
+    SendTo(from, nack);
+    return;
+  }
+  AdoptView(msg.lz_view);
+
+  Acceptor::PrepareOutcome out = acceptor_.OnPrepare(msg, sim_->Now());
+  if (!out.promised) {
+    auto nack = std::make_shared<PrepareNackMsg>(config_.partition, msg.ballot);
+    nack->promised = out.promised_ballot;
+    nack->lease_until = out.lease_until;
+    nack->lz_view = lz_view_;
+    ++counters_.prepare_nacks_sent;
+    SendTo(from, nack);
+    return;
+  }
+  // Promising a strictly higher ballot dethrones us locally.
+  if (msg.ballot > ballot_ && role_ != Role::kFollower &&
+      msg.ballot.node != id_) {
+    StepDown(msg.ballot);
+  }
+  auto promise = std::make_shared<PromiseMsg>(config_.partition, msg.ballot,
+                                              msg.expansion);
+  promise->accepted = std::move(out.accepted);
+  promise->intents = std::move(out.intents);
+  promise->lz_view = lz_view_;
+  ++counters_.promises_sent;
+  if (config_.storage_sync_delay > 0) {
+    // The promise is durable before it is answered.
+    ScheduleSafe(config_.storage_sync_delay,
+                 [this, from, promise] { SendTo(from, promise); });
+  } else {
+    SendTo(from, promise);
+  }
+}
+
+void Replica::OnPrepareNack(NodeId from, const PrepareNackMsg& msg) {
+  (void)from;
+  ObserveBallot(msg.promised);
+  AdoptView(msg.lz_view);
+  if (election_ == nullptr || role_ != Role::kCandidate ||
+      msg.ballot != ballot_) {
+    return;
+  }
+  if (!msg.promised.is_null() && msg.promised > ballot_) {
+    // First preemption usually means our ballot was stale, not that a
+    // live contender is racing us: retry immediately with a higher ballot
+    // (we just observed the conflicting one). Repeated preemptions back
+    // off to break proposer duels.
+    const Duration wait =
+        election_->attempt == 0 ? 0 : BackoffFor(election_->attempt);
+    FailElection(Status::Aborted("preempted by " + msg.promised.ToString()),
+                 wait);
+    return;
+  }
+  if (msg.lease_until > 0) {
+    // A read lease blocks elections until it expires (paper Section 4.5).
+    const Duration wait = msg.lease_until > sim_->Now()
+                              ? msg.lease_until - sim_->Now() + kMillisecond
+                              : kMillisecond;
+    FailElection(Status::Unavailable("blocked by read lease"), wait);
+    return;
+  }
+  // Redirect nack: AdoptView above updated the rule; contact new targets.
+  CheckElectionProgress();
+}
+
+// -----------------------------------------------------------------------
+// Replication phase
+
+void Replica::StartPropose(SlotId slot, Value value, CommitCallback cb,
+                           bool adopted_recovery) {
+  DPAXOS_CHECK(role_ == Role::kLeader ||
+               quorums_->mode() == ProtocolMode::kLeaderless);
+  DPAXOS_CHECK_MSG(inflight_.count(slot) == 0, "slot " << slot);
+
+  InFlight& fl = inflight_[slot];
+  fl.value = value;
+  fl.cb = std::move(cb);
+  fl.start = sim_->Now();
+  fl.lease_requested = config_.enable_leases;
+  fl.adopted_recovery = adopted_recovery;
+  if (adopted_recovery) ++recovery_pending_;
+
+  auto propose =
+      std::make_shared<ProposeMsg>(config_.partition, ballot_, slot, value);
+  propose->recovery_complete = RecoveryComplete();
+  if (fl.lease_requested) {
+    propose->lease_request = true;
+    propose->lease_until = sim_->Now() + config_.lease_duration;
+  }
+  ++counters_.proposes_sent;
+  SendToAll(ReplicationRule().Targets(), propose);
+
+  fl.timer = ScheduleSafe(config_.propose_timeout,
+                            [this, slot] { RetransmitPropose(slot); });
+}
+
+void Replica::RetransmitPropose(SlotId slot) {
+  auto it = inflight_.find(slot);
+  if (it == inflight_.end()) return;
+  InFlight& fl = it->second;
+  fl.timer = 0;
+  ++fl.retries;
+  ++counters_.retransmits;
+  if (fl.retries > config_.max_propose_retries) {
+    // The declared replication quorum is unreachable. With multiple
+    // declared intents we fail over to an alternate quorum (paper
+    // Section 4.6); otherwise only a new Leader Election can change the
+    // quorum, so we step down.
+    if (quorums_->UsesIntents() &&
+        active_intent_ + 1 < declared_intents_.size()) {
+      ++active_intent_;
+      DPAXOS_DEBUG("node " << id_ << " fails over to intent "
+                           << active_intent_);
+      for (auto& [s, f] : inflight_) f.retries = 0;
+    } else {
+      DPAXOS_DEBUG("node " << id_ << " cannot reach replication quorum");
+      StepDown(ballot_);
+      return;
+    }
+  }
+  auto propose = std::make_shared<ProposeMsg>(config_.partition, ballot_,
+                                              slot, fl.value);
+  propose->recovery_complete = RecoveryComplete();
+  if (fl.lease_requested) {
+    propose->lease_request = true;
+    propose->lease_until = sim_->Now() + config_.lease_duration;
+  }
+  for (NodeId t : ReplicationRule().Targets()) {
+    if (fl.acks.count(t) == 0) SendTo(t, propose);
+  }
+  fl.timer = ScheduleSafe(config_.propose_timeout,
+                            [this, slot] { RetransmitPropose(slot); });
+}
+
+void Replica::OnPropose(NodeId from, const ProposeMsg& msg) {
+  ObserveBallot(msg.ballot);
+  ++counters_.proposes_received;
+  if (msg.ballot.node != id_) ArmWatchdog();  // write traffic = liveness
+  // Propose traffic reveals the acting leader — remember it for
+  // forwarding.
+  if (quorums_->mode() != ProtocolMode::kLeaderless) {
+    leader_hint_ = msg.ballot.node;
+  }
+  Acceptor::ProposeOutcome out = acceptor_.OnPropose(msg, sim_->Now());
+  if (!out.accepted) {
+    ++counters_.accept_nacks_sent;
+    SendTo(from, std::make_shared<AcceptNackMsg>(config_.partition,
+                                                 msg.ballot, msg.slot,
+                                                 out.promised_ballot));
+    return;
+  }
+  if (msg.ballot > ballot_ && role_ != Role::kFollower &&
+      msg.ballot.node != id_) {
+    StepDown(msg.ballot);
+  }
+  auto accept =
+      std::make_shared<AcceptMsg>(config_.partition, msg.ballot, msg.slot);
+  accept->lease_vote = out.lease_vote;
+  accept->lease_until = out.lease_until;
+  ++counters_.accepts_sent;
+  if (config_.storage_sync_delay > 0) {
+    // The acceptance is durable before it is answered.
+    ScheduleSafe(config_.storage_sync_delay,
+                 [this, from, accept] { SendTo(from, accept); });
+  } else {
+    SendTo(from, accept);
+  }
+}
+
+void Replica::OnAccept(NodeId from, const AcceptMsg& msg) {
+  if (msg.ballot != ballot_) return;
+  auto it = inflight_.find(msg.slot);
+  if (it == inflight_.end()) return;  // already decided or failed
+  InFlight& fl = it->second;
+  fl.acks.insert(from);
+  if (msg.lease_vote) {
+    Timestamp& have = lease_votes_[from];
+    have = std::max(have, msg.lease_until);
+    RecomputeLeaseExpiry();
+  }
+  if (ReplicationRule().IsSatisfied(fl.acks)) {
+    Decide(msg.slot);
+  }
+}
+
+void Replica::OnAcceptNack(NodeId from, const AcceptNackMsg& msg) {
+  (void)from;
+  ObserveBallot(msg.promised);
+  if (msg.ballot != ballot_) return;
+  if (inflight_.count(msg.slot) == 0) return;
+  StepDown(msg.promised);
+}
+
+void Replica::Decide(SlotId slot) {
+  auto it = inflight_.find(slot);
+  DPAXOS_CHECK(it != inflight_.end());
+  InFlight fl = std::move(it->second);
+  inflight_.erase(it);
+  if (fl.timer != 0) sim_->Cancel(fl.timer);
+  if (fl.adopted_recovery) {
+    DPAXOS_CHECK_GT(recovery_pending_, 0u);
+    if (--recovery_pending_ == 0) OnRecoveryProgress();
+  }
+
+  const Value& value = fl.value;
+  LearnDecided(slot, value);
+  if (fl.cb) fl.cb(Status::OK(), slot, sim_->Now() - fl.start);
+
+  // Commit notification to learners.
+  std::vector<NodeId> learners;
+  switch (config_.decide_policy) {
+    case DecidePolicy::kNone:
+      break;
+    case DecidePolicy::kQuorum:
+      learners = ReplicationRule().Targets();
+      break;
+    case DecidePolicy::kZone:
+      learners = topology_->NodesInZone(topology_->ZoneOf(id_));
+      break;
+    case DecidePolicy::kAll:
+      learners = topology_->AllNodes();
+      break;
+  }
+  if (!learners.empty()) {
+    auto decide = std::make_shared<DecideMsg>(config_.partition, slot, value);
+    for (NodeId t : learners) {
+      if (t != id_) SendTo(t, decide);
+    }
+  }
+  DrainPending();
+}
+
+void Replica::OnDecide(NodeId from, const DecideMsg& msg) {
+  (void)from;
+  LearnDecided(msg.slot, msg.value);
+}
+
+void Replica::LearnDecided(SlotId slot, const Value& value) {
+  if (slot < log_start_) return;  // baked into an installed snapshot
+  auto [it, inserted] = decided_.emplace(slot, value);
+  if (!inserted) {
+    // Agreement invariant: a slot can never be decided twice with
+    // different values. A violation here is a protocol bug.
+    DPAXOS_CHECK_MSG(it->second == value,
+                     "conflicting decisions in slot " << slot);
+    return;
+  }
+  while (decided_.count(watermark_) > 0) ++watermark_;
+  if (decide_cb_) decide_cb_(slot, value);
+}
+
+void Replica::DrainPending() {
+  const size_t window = std::max(config_.max_inflight, 1u);
+  while (!pending_.empty() && inflight_.size() < window &&
+         (role_ == Role::kLeader ||
+          quorums_->mode() == ProtocolMode::kLeaderless)) {
+    auto [value, cb] = std::move(pending_.front());
+    pending_.pop_front();
+    SlotId slot;
+    if (quorums_->mode() == ProtocolMode::kLeaderless) {
+      slot = leaderless_next_;
+      leaderless_next_ += config_.leaderless_total;
+    } else {
+      slot = next_slot_++;
+    }
+    StartPropose(slot, std::move(value), std::move(cb));
+  }
+}
+
+void Replica::StepDown(const Ballot& preemptor) {
+  ObserveBallot(preemptor);
+  if (quorums_->mode() == ProtocolMode::kLeaderless) return;
+  ++counters_.step_downs;
+  DPAXOS_DEBUG("node " << id_ << " steps down (preempted by "
+                       << preemptor.ToString() << ")");
+  role_ = Role::kFollower;
+  if (preemptor.node != id_ && !preemptor.is_null()) {
+    leader_hint_ = preemptor.node;
+  }
+  lease_until_ = 0;
+  lease_votes_.clear();
+  FailInFlight(Status::Aborted("leadership preempted"));
+  auto queued = std::move(pending_);
+  pending_.clear();
+  for (auto& [v, cb] : queued) cb(Status::Aborted("leadership preempted"),
+                                  kInvalidSlot, 0);
+}
+
+void Replica::FailInFlight(const Status& status) {
+  recovery_pending_ = 0;
+  auto inflight = std::move(inflight_);
+  inflight_.clear();
+  for (auto& [slot, fl] : inflight) {
+    if (fl.timer != 0) sim_->Cancel(fl.timer);
+    if (fl.cb) fl.cb(status, slot, sim_->Now() - fl.start);
+  }
+}
+
+// -----------------------------------------------------------------------
+// Read leases (paper Section 4.5)
+
+void Replica::RecomputeLeaseExpiry() {
+  // The lease holds until t iff the nodes whose lease votes extend past t
+  // satisfy the replication quorum rule. Scan vote expiries descending.
+  std::vector<Timestamp> expiries;
+  expiries.reserve(lease_votes_.size());
+  for (const auto& [n, t] : lease_votes_) expiries.push_back(t);
+  std::sort(expiries.rbegin(), expiries.rend());
+  const QuorumRule rule = ReplicationRule();
+  for (Timestamp t : expiries) {
+    std::set<NodeId> voters;
+    for (const auto& [n, exp] : lease_votes_) {
+      if (exp >= t) voters.insert(n);
+    }
+    if (rule.IsSatisfied(voters)) {
+      lease_until_ = std::max(lease_until_, t);
+      return;
+    }
+  }
+}
+
+bool Replica::CanServeLocalRead() const {
+  return role_ == Role::kLeader && config_.enable_leases &&
+         lease_until_ > sim_->Now();
+}
+
+bool Replica::CanServeQuorumRead() const {
+  if (!config_.enable_quorum_reads || !config_.enable_leases) return false;
+  if (CanServeLocalRead()) return true;  // the leader always qualifies
+  // A member that granted the active lease sees every write (the intent
+  // requires all members to accept). It may answer reads only when its
+  // learned prefix covers everything it has accepted: a write committed
+  // before this read started was accepted here earlier, so either it is
+  // below the watermark (learned, visible) or it would show up as a
+  // pending accepted entry and block the read.
+  if (!acceptor_.HasActiveLease(sim_->Now())) return false;
+  if (acceptor_.accepted_count() == 0) return watermark_ == 0;
+  return acceptor_.HighestAcceptedSlot() < watermark_;
+}
+
+// -----------------------------------------------------------------------
+// Leader Handoff (paper Section 4.4)
+
+Status Replica::HandoffTo(NodeId new_leader) {
+  if (role_ != Role::kLeader) {
+    return Status::FailedPrecondition("only a leader can relinquish");
+  }
+  if (!inflight_.empty() || !pending_.empty()) {
+    return Status::FailedPrecondition("in-flight proposals pending");
+  }
+  if (new_leader == id_) {
+    return Status::InvalidArgument("cannot hand off to self");
+  }
+  auto msg = std::make_shared<RelinquishMsg>(
+      config_.partition, ballot_, next_slot_, declared_intents_, lz_view_);
+  SendTo(new_leader, msg);
+  // After sending relinquish(), the old leader refrains from acting as a
+  // leader for the relinquished slots — even if the message is lost.
+  ++counters_.handoffs_sent;
+  role_ = Role::kFollower;
+  DPAXOS_DEBUG("node " << id_ << " relinquished leadership to "
+                       << new_leader);
+  return Status::OK();
+}
+
+void Replica::RequestHandoffFrom(NodeId old_leader, StatusCallback cb) {
+  if (role_ == Role::kLeader) {
+    cb(Status::OK());
+    return;
+  }
+  if (handoff_cb_) {
+    cb(Status::Aborted("handoff already in progress"));
+    return;
+  }
+  handoff_cb_ = std::move(cb);
+  SendTo(old_leader, std::make_shared<HandoffRequestMsg>(config_.partition));
+  handoff_timer_ = ScheduleSafe(config_.propose_timeout, [this] {
+    handoff_timer_ = 0;
+    if (handoff_cb_) {
+      // Lost request or relinquish: neither node may lead now; the
+      // caller must fall back to a Leader Election (paper Section 4.4).
+      auto cb = std::move(handoff_cb_);
+      handoff_cb_ = nullptr;
+      cb(Status::TimedOut("handoff timed out; leader election required"));
+    }
+  });
+}
+
+void Replica::OnHandoffRequest(NodeId from, const HandoffRequestMsg& msg) {
+  (void)msg;
+  if (role_ != Role::kLeader) return;
+  const Status st = HandoffTo(from);
+  if (!st.ok()) {
+    DPAXOS_DEBUG("node " << id_ << " refuses handoff: " << st.ToString());
+  }
+}
+
+void Replica::OnRelinquish(NodeId from, const RelinquishMsg& msg) {
+  (void)from;
+  ObserveBallot(msg.ballot);
+  AdoptView(msg.lz_view);
+  if (role_ == Role::kLeader) return;  // already leading; ignore
+  if (acceptor_.promised() > msg.ballot) {
+    // A higher ballot superseded this leadership line; assuming it would
+    // only produce doomed proposals.
+    return;
+  }
+  if (!acceptor_.ConsumeRelinquish(msg.ballot)) {
+    // Duplicate delivery (or a replay after we already consumed this
+    // handoff and possibly lost the role again): never re-activate.
+    return;
+  }
+  if (role_ == Role::kCandidate && election_ != nullptr) {
+    // The relinquish supersedes our own election attempt.
+    if (election_->timer != 0) sim_->Cancel(election_->timer);
+    StatusCallback cb = std::move(election_->cb);
+    election_.reset();
+    if (cb) cb(Status::OK());
+  }
+  ++counters_.handoffs_received;
+  role_ = Role::kLeader;
+  ballot_ = msg.ballot;
+  next_slot_ = msg.next_slot;
+  recovery_pending_ = 0;  // the old leader only relinquishes when idle
+  // The new leader may only use the relinquished leader's declared
+  // replication quorums (restriction under Expanding Quorums).
+  declared_intents_ = msg.intents;
+  active_intent_ = 0;
+  if (config_.enable_failure_detector) {
+    if (watchdog_timer_ != 0) {
+      sim_->Cancel(watchdog_timer_);
+      watchdog_timer_ = 0;
+    }
+    SendHeartbeats();
+  }
+  lease_votes_.clear();
+  lease_until_ = 0;
+  DPAXOS_DEBUG("node " << id_ << " received leadership via handoff, ballot "
+                       << ballot_.ToString());
+  if (handoff_cb_) {
+    if (handoff_timer_ != 0) sim_->Cancel(handoff_timer_);
+    handoff_timer_ = 0;
+    auto cb = std::move(handoff_cb_);
+    handoff_cb_ = nullptr;
+    cb(Status::OK());
+  }
+  DrainPending();
+}
+
+// -----------------------------------------------------------------------
+// Request forwarding (remote clients)
+
+void Replica::SubmitOrForward(Value value, CommitCallback cb) {
+  if (is_leader() || quorums_->mode() == ProtocolMode::kLeaderless ||
+      leader_hint_ == kInvalidNode || leader_hint_ == id_) {
+    Submit(std::move(value), std::move(cb));
+    return;
+  }
+  // Latency is end-to-end at the origin: forward + commit + reply.
+  const uint64_t request_id = next_forward_id_++;
+  PendingForward& fw = pending_forwards_[request_id];
+  fw.value = std::move(value);
+  const Timestamp submitted = sim_->Now();
+  fw.cb = [this, submitted, inner = std::move(cb)](
+              const Status& st, SlotId slot, Duration) {
+    if (inner) inner(st, slot, sim_->Now() - submitted);
+  };
+  SendForward(request_id);
+}
+
+void Replica::SendForward(uint64_t request_id) {
+  auto it = pending_forwards_.find(request_id);
+  DPAXOS_CHECK(it != pending_forwards_.end());
+  PendingForward& fw = it->second;
+  SendTo(leader_hint_, std::make_shared<ForwardMsg>(config_.partition,
+                                                    request_id, fw.value));
+  fw.timer = ScheduleSafe(config_.propose_timeout, [this, request_id] {
+    auto it2 = pending_forwards_.find(request_id);
+    if (it2 == pending_forwards_.end()) return;
+    it2->second.timer = 0;
+    if (++it2->second.attempts > config_.max_propose_retries) {
+      FinishForward(request_id,
+                    Status::TimedOut("forwarded request timed out"),
+                    kInvalidSlot);
+      return;
+    }
+    SendForward(request_id);
+  });
+}
+
+void Replica::FinishForward(uint64_t request_id, const Status& status,
+                            SlotId slot) {
+  auto it = pending_forwards_.find(request_id);
+  if (it == pending_forwards_.end()) return;
+  PendingForward fw = std::move(it->second);
+  pending_forwards_.erase(it);
+  if (fw.timer != 0) sim_->Cancel(fw.timer);
+  if (fw.cb) fw.cb(status, slot, 0);
+}
+
+void Replica::OnForward(NodeId from, const ForwardMsg& msg) {
+  const uint64_t request_id = msg.request_id;
+  if (!is_leader() && quorums_->mode() != ProtocolMode::kLeaderless &&
+      leader_hint_ != kInvalidNode && leader_hint_ != id_) {
+    // Never forward a forward (no chains): redirect to the better hint.
+    // Without one we fall through to Submit below, which elects us if
+    // the configuration allows (auto_elect_on_submit).
+    auto reply =
+        std::make_shared<ForwardReplyMsg>(config_.partition, request_id);
+    reply->code = StatusCode::kFailedPrecondition;
+    reply->leader_hint = leader_hint_;
+    ++counters_.redirects_sent;
+    SendTo(from, reply);
+    return;
+  }
+  ++counters_.forwards_handled;
+  Submit(msg.value, [this, from, request_id](const Status& st, SlotId slot,
+                                             Duration /*latency*/) {
+    auto reply =
+        std::make_shared<ForwardReplyMsg>(config_.partition, request_id);
+    reply->code = st.code();
+    reply->slot = slot;
+    reply->leader_hint = is_leader() ? id_ : leader_hint_;
+    SendTo(from, reply);
+  });
+}
+
+void Replica::OnForwardReply(NodeId from, const ForwardReplyMsg& msg) {
+  (void)from;
+  auto it = pending_forwards_.find(msg.request_id);
+  if (it == pending_forwards_.end()) return;  // duplicate / late reply
+  if (msg.code == StatusCode::kOk) {
+    FinishForward(msg.request_id, Status::OK(), msg.slot);
+    return;
+  }
+  // Redirect or transient failure: retry against the fresher hint.
+  if (msg.leader_hint != kInvalidNode && msg.leader_hint != id_) {
+    leader_hint_ = msg.leader_hint;
+  }
+  PendingForward& fw = it->second;
+  if (fw.timer != 0) sim_->Cancel(fw.timer);
+  fw.timer = 0;
+  if (++fw.attempts > config_.max_propose_retries ||
+      leader_hint_ == kInvalidNode) {
+    FinishForward(msg.request_id,
+                  Status::Unavailable("no reachable leader (last: " +
+                                      std::string(StatusCodeToString(
+                                          msg.code)) +
+                                      ")"),
+                  kInvalidSlot);
+    return;
+  }
+  if (leader_hint_ == id_) {
+    // We are supposedly the leader now; commit locally.
+    PendingForward local = std::move(fw);
+    pending_forwards_.erase(it);
+    Submit(std::move(local.value),
+           [cb = std::move(local.cb)](const Status& st, SlotId slot,
+                                      Duration d) { cb(st, slot, d); });
+    return;
+  }
+  SendForward(msg.request_id);
+}
+
+// -----------------------------------------------------------------------
+// Learner catch-up, log truncation and snapshots
+
+namespace {
+// Entries shipped per learn-reply page.
+constexpr uint32_t kCatchUpPageSize = 256;
+}  // namespace
+
+void Replica::CatchUpFrom(NodeId peer, StatusCallback cb) {
+  if (catchup_ != nullptr) {
+    cb(Status::Aborted("catch-up already in progress"));
+    return;
+  }
+  if (peer == id_) {
+    cb(Status::InvalidArgument("cannot catch up from self"));
+    return;
+  }
+  catchup_ = std::make_unique<CatchUp>();
+  catchup_->peer = peer;
+  catchup_->cb = std::move(cb);
+  CatchUpRequestNext();
+}
+
+void Replica::CatchUpRequestNext() {
+  DPAXOS_CHECK(catchup_ != nullptr);
+  CatchUp& cu = *catchup_;
+  SendTo(cu.peer, std::make_shared<LearnRequestMsg>(
+                      config_.partition, watermark_, kCatchUpPageSize));
+  cu.timer = ScheduleSafe(config_.propose_timeout, [this] {
+    if (catchup_ == nullptr) return;
+    catchup_->timer = 0;
+    if (++catchup_->attempts > config_.max_propose_retries) {
+      CatchUpFinish(Status::TimedOut("catch-up peer unresponsive"));
+      return;
+    }
+    CatchUpRequestNext();
+  });
+}
+
+void Replica::CatchUpFinish(const Status& status) {
+  DPAXOS_CHECK(catchup_ != nullptr);
+  if (catchup_->timer != 0) sim_->Cancel(catchup_->timer);
+  StatusCallback cb = std::move(catchup_->cb);
+  catchup_.reset();
+  if (cb) cb(status);
+}
+
+Status Replica::TruncateDecidedBelow(SlotId slot) {
+  if (slot > watermark_) {
+    return Status::FailedPrecondition(
+        "cannot truncate beyond the contiguous watermark");
+  }
+  if (slot > log_start_ && snapshot_provider_ == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot hooks required before truncating history");
+  }
+  decided_.erase(decided_.begin(), decided_.lower_bound(slot));
+  log_start_ = std::max(log_start_, slot);
+  return Status::OK();
+}
+
+void Replica::OnLearnRequest(NodeId from, const LearnRequestMsg& msg) {
+  auto reply = std::make_shared<LearnReplyMsg>(config_.partition);
+  reply->from_slot = msg.from_slot;
+  reply->peer_watermark = watermark_;
+  reply->first_available = log_start_;
+  if (msg.from_slot >= log_start_) {
+    uint32_t count = 0;
+    for (auto it = decided_.lower_bound(msg.from_slot);
+         it != decided_.end() && count < msg.max_entries; ++it, ++count) {
+      reply->entries.push_back(DecidedEntryWire{it->first, it->second});
+    }
+  }
+  SendTo(from, reply);
+}
+
+void Replica::OnLearnReply(NodeId from, const LearnReplyMsg& msg) {
+  if (catchup_ == nullptr || from != catchup_->peer) return;
+  if (msg.from_slot != watermark_) return;  // stale page
+  if (catchup_->timer != 0) sim_->Cancel(catchup_->timer);
+  catchup_->timer = 0;
+  catchup_->attempts = 0;
+
+  if (msg.first_available > watermark_) {
+    // The peer truncated this prefix: fall back to a snapshot.
+    if (snapshot_installer_ == nullptr) {
+      CatchUpFinish(Status::FailedPrecondition(
+          "peer truncated its log and no snapshot installer is wired"));
+      return;
+    }
+    SendTo(catchup_->peer,
+           std::make_shared<SnapshotRequestMsg>(config_.partition));
+    catchup_->timer = ScheduleSafe(config_.propose_timeout, [this] {
+      if (catchup_ == nullptr) return;
+      catchup_->timer = 0;
+      CatchUpFinish(Status::TimedOut("snapshot transfer timed out"));
+    });
+    return;
+  }
+
+  for (const DecidedEntryWire& e : msg.entries) {
+    LearnDecided(e.slot, e.value);
+  }
+  if (watermark_ >= msg.peer_watermark) {
+    CatchUpFinish(Status::OK());
+    return;
+  }
+  if (msg.entries.empty()) {
+    // The peer has a gap too; nothing more to pull from it.
+    CatchUpFinish(Status::Unavailable("peer cannot provide further slots"));
+    return;
+  }
+  CatchUpRequestNext();
+}
+
+void Replica::OnSnapshotRequest(NodeId from, const SnapshotRequestMsg& msg) {
+  (void)msg;
+  if (snapshot_provider_ == nullptr) return;  // cannot serve
+  SlotId through = 0;
+  std::string data = snapshot_provider_(&through);
+  SendTo(from, std::make_shared<SnapshotReplyMsg>(config_.partition, through,
+                                                  std::move(data)));
+}
+
+void Replica::OnSnapshotReply(NodeId from, const SnapshotReplyMsg& msg) {
+  if (catchup_ == nullptr || from != catchup_->peer) return;
+  if (catchup_->timer != 0) sim_->Cancel(catchup_->timer);
+  catchup_->timer = 0;
+  if (msg.through_slot > watermark_) {
+    DPAXOS_CHECK(snapshot_installer_ != nullptr);
+    snapshot_installer_(msg.through_slot, msg.snapshot);
+    // Everything below through_slot is baked into the snapshot.
+    decided_.erase(decided_.begin(), decided_.lower_bound(msg.through_slot));
+    log_start_ = std::max(log_start_, msg.through_slot);
+    watermark_ = std::max(watermark_, msg.through_slot);
+    while (decided_.count(watermark_) > 0) ++watermark_;
+  }
+  // Resume pulling the log tail above the snapshot.
+  CatchUpRequestNext();
+}
+
+// -----------------------------------------------------------------------
+// Intents garbage collection (paper Section 4.3.4)
+
+void Replica::OnGcPoll(NodeId from, const GcPollMsg& msg) {
+  (void)msg;
+  SendTo(from, std::make_shared<GcPollReplyMsg>(
+                   config_.partition, acceptor_.gc_poll_ballot()));
+}
+
+void Replica::OnGcThreshold(NodeId from, const GcThresholdMsg& msg) {
+  (void)from;
+  acceptor_.ApplyGcThreshold(msg.threshold, sim_->Now());
+}
+
+// -----------------------------------------------------------------------
+// Leader Zone migration (paper Section 4.3.2)
+
+void Replica::MigrateLeaderZone(ZoneId next_zone, StatusCallback cb) {
+  if (quorums_->mode() != ProtocolMode::kLeaderZone) {
+    cb(Status::NotSupported("leader zone migration requires kLeaderZone"));
+    return;
+  }
+  if (next_zone >= topology_->num_zones()) {
+    cb(Status::InvalidArgument("no such zone"));
+    return;
+  }
+  if (lz_migration_ != nullptr) {
+    cb(Status::Aborted("migration already in progress"));
+    return;
+  }
+  if (next_zone == lz_view_.current && !lz_view_.in_transition()) {
+    cb(Status::OK());
+    return;
+  }
+  lz_migration_ = std::make_unique<LzMigration>();
+  lz_migration_->cb = std::move(cb);
+  lz_migration_->epoch = lz_view_.epoch + 1;
+  lz_migration_->synod_zone = lz_view_.current;
+  lz_migration_->requested = next_zone;
+  lz_migration_->ballot = Ballot{max_round_seen_ + 1, id_};
+  max_round_seen_ = lz_migration_->ballot.round;
+  lz_migration_->step = 1;
+  LzSendCurrentStep();
+  LzArmTimer();
+}
+
+void Replica::LzSendCurrentStep() {
+  LzMigration& m = *lz_migration_;
+  const PartitionId p = config_.partition;
+  std::vector<NodeId> targets;
+  MessagePtr msg;
+  switch (m.step) {
+    case 1:
+      targets = topology_->NodesInZone(m.synod_zone);
+      msg = std::make_shared<LzPrepareMsg>(p, m.epoch, m.ballot);
+      break;
+    case 2:
+      targets = topology_->NodesInZone(m.synod_zone);
+      msg = std::make_shared<LzProposeMsg>(p, m.epoch, m.ballot, m.target);
+      break;
+    case 3:
+      targets = topology_->NodesInZone(m.synod_zone);
+      msg = std::make_shared<LzTransitionMsg>(p, m.epoch, m.target);
+      break;
+    case 4:
+      targets = topology_->NodesInZone(m.target);
+      msg = std::make_shared<LzStoreIntentsMsg>(p, m.epoch, m.target,
+                                                m.transferred);
+      break;
+    default:
+      DPAXOS_UNREACHABLE();
+  }
+  for (NodeId t : targets) {
+    if (m.acks.count(t) == 0) SendTo(t, msg);
+  }
+}
+
+void Replica::LzArmTimer() {
+  LzMigration& m = *lz_migration_;
+  m.timer = ScheduleSafe(config_.propose_timeout, [this] {
+    if (lz_migration_ == nullptr) return;
+    lz_migration_->timer = 0;
+    if (++lz_migration_->attempt > config_.max_propose_retries) {
+      LzFinish(Status::TimedOut("leader zone migration timed out"));
+      return;
+    }
+    LzSendCurrentStep();
+    LzArmTimer();
+  });
+}
+
+void Replica::LzAdvance() {
+  LzMigration& m = *lz_migration_;
+  if (m.timer != 0) sim_->Cancel(m.timer);
+  m.timer = 0;
+  m.acks.clear();
+  m.attempt = 0;
+  ++m.step;
+  if (m.step == 5) {
+    // Step 3 of the paper: the transition is complete; lazily announce
+    // the new Leader Zone to everyone.
+    LeaderZoneView view;
+    view.epoch = m.epoch;
+    view.current = m.target;
+    view.next = kInvalidZone;
+    auto announce = std::make_shared<LzAnnounceMsg>(config_.partition, view);
+    SendToAll(topology_->AllNodes(), announce);
+    const bool won = m.target == m.requested;
+    AdoptView(view);
+    LzFinish(won ? Status::OK()
+                 : Status::Aborted("another migration won the synod"));
+    return;
+  }
+  LzSendCurrentStep();
+  LzArmTimer();
+}
+
+void Replica::LzFinish(const Status& status) {
+  DPAXOS_CHECK(lz_migration_ != nullptr);
+  if (lz_migration_->timer != 0) sim_->Cancel(lz_migration_->timer);
+  StatusCallback cb = std::move(lz_migration_->cb);
+  lz_migration_.reset();
+  if (cb) cb(status);
+}
+
+void Replica::OnLzPrepare(NodeId from, const LzPrepareMsg& msg) {
+  const PartitionId p = config_.partition;
+  if (msg.epoch != lz_view_.epoch + 1 || topology_->ZoneOf(id_) != lz_view_.current) {
+    auto nack = std::make_shared<LzNackMsg>(p, msg.epoch, msg.ballot,
+                                            Ballot{}, lz_view_);
+    SendTo(from, nack);
+    return;
+  }
+  if (lz_synod_.epoch != msg.epoch) lz_synod_ = LzSynod{msg.epoch, {}, {}, kInvalidZone};
+  if (msg.ballot >= lz_synod_.promised) {
+    lz_synod_.promised = msg.ballot;
+    auto promise = std::make_shared<LzPromiseMsg>(p, msg.epoch, msg.ballot);
+    promise->accepted_ballot = lz_synod_.accepted_ballot;
+    promise->accepted_zone = lz_synod_.accepted_zone;
+    SendTo(from, promise);
+  } else {
+    SendTo(from, std::make_shared<LzNackMsg>(p, msg.epoch, msg.ballot,
+                                             lz_synod_.promised, lz_view_));
+  }
+}
+
+void Replica::OnLzPromise(NodeId from, const LzPromiseMsg& msg) {
+  if (lz_migration_ == nullptr || lz_migration_->step != 1) return;
+  LzMigration& m = *lz_migration_;
+  if (msg.epoch != m.epoch || msg.ballot != m.ballot) return;
+  m.acks.insert(from);
+  if (!msg.accepted_ballot.is_null() &&
+      msg.accepted_ballot > m.best_accepted) {
+    m.best_accepted = msg.accepted_ballot;
+    m.best_accepted_zone = msg.accepted_zone;
+  }
+  if (m.acks.size() >= MajorityOf(topology_->nodes_in_zone(m.synod_zone))) {
+    // Synod value: a previously accepted zone wins over our request.
+    m.target = (m.best_accepted_zone != kInvalidZone) ? m.best_accepted_zone
+                                                      : m.requested;
+    LzAdvance();  // -> step 2 (synod propose)
+  }
+}
+
+void Replica::OnLzPropose(NodeId from, const LzProposeMsg& msg) {
+  const PartitionId p = config_.partition;
+  if (msg.epoch != lz_view_.epoch + 1 ||
+      topology_->ZoneOf(id_) != lz_view_.current) {
+    SendTo(from, std::make_shared<LzNackMsg>(p, msg.epoch, msg.ballot,
+                                             Ballot{}, lz_view_));
+    return;
+  }
+  if (lz_synod_.epoch != msg.epoch) lz_synod_ = LzSynod{msg.epoch, {}, {}, kInvalidZone};
+  if (msg.ballot >= lz_synod_.promised) {
+    lz_synod_.promised = msg.ballot;
+    lz_synod_.accepted_ballot = msg.ballot;
+    lz_synod_.accepted_zone = msg.next_zone;
+    SendTo(from, std::make_shared<LzAcceptMsg>(p, msg.epoch, msg.ballot,
+                                               msg.next_zone));
+  } else {
+    SendTo(from, std::make_shared<LzNackMsg>(p, msg.epoch, msg.ballot,
+                                             lz_synod_.promised, lz_view_));
+  }
+}
+
+void Replica::OnLzAccept(NodeId from, const LzAcceptMsg& msg) {
+  if (lz_migration_ == nullptr || lz_migration_->step != 2) return;
+  LzMigration& m = *lz_migration_;
+  if (msg.epoch != m.epoch || msg.ballot != m.ballot ||
+      msg.next_zone != m.target) {
+    return;
+  }
+  m.acks.insert(from);
+  if (m.acks.size() >= MajorityOf(topology_->nodes_in_zone(m.synod_zone))) {
+    // The next Leader Zone is registered (paper Step 1 complete).
+    LzAdvance();  // -> step 3 (transition phase)
+  }
+}
+
+void Replica::OnLzNack(NodeId from, const LzNackMsg& msg) {
+  (void)from;
+  AdoptView(msg.lz_view);
+  if (lz_migration_ == nullptr) return;
+  LzMigration& m = *lz_migration_;
+  if (msg.epoch != m.epoch) return;
+  if (lz_view_.epoch >= m.epoch) {
+    // Migration for this epoch completed elsewhere while we were running.
+    LzFinish(lz_view_.current == m.requested
+                 ? Status::OK()
+                 : Status::Aborted("another migration won the epoch"));
+    return;
+  }
+  if (!msg.promised.is_null() && msg.promised > m.ballot && m.step <= 2) {
+    // Synod preempted: retry phase 1 with a higher ballot after backoff.
+    if (m.timer != 0) sim_->Cancel(m.timer);
+    m.timer = 0;
+    m.step = 1;
+    m.acks.clear();
+    m.best_accepted = Ballot{};
+    m.best_accepted_zone = kInvalidZone;
+    m.ballot = Ballot{std::max(max_round_seen_, msg.promised.round) + 1, id_};
+    max_round_seen_ = m.ballot.round;
+    const Duration backoff = BackoffFor(m.attempt++);
+    ScheduleSafe(backoff, [this] {
+      if (lz_migration_ != nullptr && lz_migration_->step == 1) {
+        LzSendCurrentStep();
+        LzArmTimer();
+      }
+    });
+  }
+}
+
+void Replica::OnLzTransition(NodeId from, const LzTransitionMsg& msg) {
+  if (msg.epoch == lz_view_.epoch + 1 &&
+      topology_->ZoneOf(id_) == lz_view_.current && !lz_view_.in_transition()) {
+    // Enter the transition phase: future promises piggyback the next
+    // zone; new intents are no longer stored here (paper Step 2).
+    LeaderZoneView view = lz_view_;
+    view.next = msg.next_zone;
+    AdoptView(view);
+  }
+  // Reply with our stored intents regardless (idempotent; a retransmit
+  // after completion still answers so the driver can make progress).
+  SendTo(from, std::make_shared<LzTransitionAckMsg>(
+                   config_.partition, msg.epoch,
+                   std::vector<Intent>(acceptor_.intents())));
+}
+
+void Replica::OnLzTransitionAck(NodeId from, const LzTransitionAckMsg& msg) {
+  if (lz_migration_ == nullptr || lz_migration_->step != 3) return;
+  LzMigration& m = *lz_migration_;
+  if (msg.epoch != m.epoch) return;
+  m.acks.insert(from);
+  for (const Intent& i : msg.intents) {
+    const bool dup = std::any_of(
+        m.transferred.begin(), m.transferred.end(),
+        [&](const Intent& have) { return have.ballot == i.ballot; });
+    if (!dup) m.transferred.push_back(i);
+  }
+  if (m.acks.size() >= MajorityOf(topology_->nodes_in_zone(m.synod_zone))) {
+    LzAdvance();  // -> step 4 (store intents at the next zone)
+  }
+}
+
+void Replica::OnLzStoreIntents(NodeId from, const LzStoreIntentsMsg& msg) {
+  acceptor_.AddIntents(msg.intents);
+  if (msg.epoch == lz_view_.epoch + 1 && !lz_view_.in_transition()) {
+    // Learn about the in-progress transition early.
+    LeaderZoneView view = lz_view_;
+    view.next = msg.next_zone;
+    AdoptView(view);
+  }
+  SendTo(from,
+         std::make_shared<LzStoreAckMsg>(config_.partition, msg.epoch));
+}
+
+void Replica::OnLzStoreAck(NodeId from, const LzStoreAckMsg& msg) {
+  if (lz_migration_ == nullptr || lz_migration_->step != 4) return;
+  LzMigration& m = *lz_migration_;
+  if (msg.epoch != m.epoch) return;
+  m.acks.insert(from);
+  if (m.acks.size() >= MajorityOf(topology_->nodes_in_zone(m.target))) {
+    LzAdvance();  // -> step 5 (announce completion)
+  }
+}
+
+void Replica::OnLzAnnounce(NodeId from, const LzAnnounceMsg& msg) {
+  (void)from;
+  AdoptView(msg.view);
+}
+
+void Replica::AdoptView(const LeaderZoneView& view) {
+  if (!view.IsNewerThan(lz_view_)) return;
+  lz_view_ = view;
+  // Old-Leader-Zone nodes stop storing new intents during the transition
+  // (paper Step 2); everyone else stores normally.
+  if (lz_view_.in_transition() &&
+      topology_->ZoneOf(id_) == lz_view_.current) {
+    acceptor_.PauseIntentStorage();
+  } else {
+    acceptor_.ResumeIntentStorage();
+  }
+  // A completed migration invalidates synod state for older epochs.
+  if (lz_synod_.epoch <= lz_view_.epoch) lz_synod_ = LzSynod{};
+  // An in-progress election must follow the new view: its quorum rule
+  // changes (transition requires both zones; completion moves the zone).
+  if (election_ != nullptr && role_ == Role::kCandidate) {
+    election_->base_rule = CurrentLeaderElectionRule();
+    election_->round1_targets = quorums_->LeaderElectionTargets(id_, lz_view_);
+    election_->effective_rule = election_->base_rule;
+    for (const auto& [b, intent] : election_->detected_intents) {
+      election_->effective_rule = election_->effective_rule.MergedWith(
+          QuorumRule::Simple(intent.quorum, 1));
+    }
+    CheckElectionProgress();
+  }
+}
+
+// -----------------------------------------------------------------------
+// Message dispatch
+
+void Replica::HandleMessage(NodeId from, const MessagePtr& msg) {
+  const Message* m = msg.get();
+  if (auto* p = dynamic_cast<const PrepareMsg*>(m)) return OnPrepare(from, *p);
+  if (auto* p = dynamic_cast<const PromiseMsg*>(m)) return OnPromise(from, *p);
+  if (auto* p = dynamic_cast<const PrepareNackMsg*>(m)) {
+    return OnPrepareNack(from, *p);
+  }
+  if (auto* p = dynamic_cast<const ProposeMsg*>(m)) return OnPropose(from, *p);
+  if (auto* p = dynamic_cast<const AcceptMsg*>(m)) return OnAccept(from, *p);
+  if (auto* p = dynamic_cast<const AcceptNackMsg*>(m)) {
+    return OnAcceptNack(from, *p);
+  }
+  if (auto* p = dynamic_cast<const DecideMsg*>(m)) return OnDecide(from, *p);
+  if (auto* p = dynamic_cast<const HandoffRequestMsg*>(m)) {
+    return OnHandoffRequest(from, *p);
+  }
+  if (auto* p = dynamic_cast<const HeartbeatMsg*>(m)) {
+    return OnHeartbeat(from, *p);
+  }
+  if (auto* p = dynamic_cast<const RelinquishMsg*>(m)) {
+    return OnRelinquish(from, *p);
+  }
+  if (auto* p = dynamic_cast<const ForwardMsg*>(m)) {
+    return OnForward(from, *p);
+  }
+  if (auto* p = dynamic_cast<const ForwardReplyMsg*>(m)) {
+    return OnForwardReply(from, *p);
+  }
+  if (auto* p = dynamic_cast<const LearnRequestMsg*>(m)) {
+    return OnLearnRequest(from, *p);
+  }
+  if (auto* p = dynamic_cast<const LearnReplyMsg*>(m)) {
+    return OnLearnReply(from, *p);
+  }
+  if (auto* p = dynamic_cast<const SnapshotRequestMsg*>(m)) {
+    return OnSnapshotRequest(from, *p);
+  }
+  if (auto* p = dynamic_cast<const SnapshotReplyMsg*>(m)) {
+    return OnSnapshotReply(from, *p);
+  }
+  if (auto* p = dynamic_cast<const GcPollMsg*>(m)) return OnGcPoll(from, *p);
+  if (auto* p = dynamic_cast<const GcThresholdMsg*>(m)) {
+    return OnGcThreshold(from, *p);
+  }
+  if (auto* p = dynamic_cast<const LzPrepareMsg*>(m)) {
+    return OnLzPrepare(from, *p);
+  }
+  if (auto* p = dynamic_cast<const LzPromiseMsg*>(m)) {
+    return OnLzPromise(from, *p);
+  }
+  if (auto* p = dynamic_cast<const LzProposeMsg*>(m)) {
+    return OnLzPropose(from, *p);
+  }
+  if (auto* p = dynamic_cast<const LzAcceptMsg*>(m)) {
+    return OnLzAccept(from, *p);
+  }
+  if (auto* p = dynamic_cast<const LzNackMsg*>(m)) return OnLzNack(from, *p);
+  if (auto* p = dynamic_cast<const LzTransitionMsg*>(m)) {
+    return OnLzTransition(from, *p);
+  }
+  if (auto* p = dynamic_cast<const LzTransitionAckMsg*>(m)) {
+    return OnLzTransitionAck(from, *p);
+  }
+  if (auto* p = dynamic_cast<const LzStoreIntentsMsg*>(m)) {
+    return OnLzStoreIntents(from, *p);
+  }
+  if (auto* p = dynamic_cast<const LzStoreAckMsg*>(m)) {
+    return OnLzStoreAck(from, *p);
+  }
+  if (auto* p = dynamic_cast<const LzAnnounceMsg*>(m)) {
+    return OnLzAnnounce(from, *p);
+  }
+  DPAXOS_WARN("node " << id_ << " ignores unknown message "
+                      << m->TypeName());
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,445 @@
+// The DPaxos replica: one node's participation in one partition's
+// consensus instance.
+//
+// A Replica combines
+//   - the acceptor role (delegated to the pure Acceptor state machine),
+//   - the proposer/leader role generic over a QuorumSystem — Multi-Paxos,
+//     Flexible Paxos, DPaxos Delegate, DPaxos Leader-Zone, or the
+//     leaderless baseline,
+//   - the learner role (decided log + commit notifications),
+//   - DPaxos extensions: Expanding Quorums (intent declaration, detection
+//     and LE-quorum expansion), Leader Handoff, leader-based read leases,
+//     and the Leader Zone migration protocol.
+//
+// All I/O goes through the Transport; all time through the Simulator.
+#ifndef DPAXOS_PAXOS_REPLICA_H_
+#define DPAXOS_PAXOS_REPLICA_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "net/transport.h"
+#include "paxos/acceptor.h"
+#include "paxos/messages.h"
+#include "paxos/replica_config.h"
+#include "paxos/value.h"
+#include "quorum/quorum_system.h"
+#include "sim/simulator.h"
+
+namespace dpaxos {
+
+/// \brief Per-replica protocol counters (observability; see
+/// Replica::counters). All monotonically increasing.
+struct ProtocolCounters {
+  // Acceptor side.
+  uint64_t prepares_received = 0;
+  uint64_t promises_sent = 0;
+  uint64_t prepare_nacks_sent = 0;
+  uint64_t proposes_received = 0;
+  uint64_t accepts_sent = 0;
+  uint64_t accept_nacks_sent = 0;
+  // Proposer side.
+  uint64_t elections_started = 0;
+  uint64_t proposes_sent = 0;
+  uint64_t retransmits = 0;
+  uint64_t step_downs = 0;
+  // DPaxos extensions.
+  uint64_t intents_detected = 0;
+  uint64_t handoffs_sent = 0;
+  uint64_t handoffs_received = 0;
+  uint64_t forwards_handled = 0;
+  uint64_t redirects_sent = 0;
+};
+
+/// \brief One replica of one partition.
+class Replica {
+ public:
+  /// (status, slot, commit latency). slot/latency are meaningful on OK.
+  using CommitCallback = std::function<void(const Status&, SlotId, Duration)>;
+  using StatusCallback = std::function<void(const Status&)>;
+  /// Invoked once per newly learned decided slot (possibly out of order;
+  /// see smr::LogApplier for in-order application).
+  using DecideCallback = std::function<void(SlotId, const Value&)>;
+
+  /// All pointers must outlive the replica. `quorums` must match the
+  /// protocol family the whole partition runs. `record` is the durable
+  /// acceptor state (see NodeStorage); nullptr gives the replica a
+  /// private volatile record.
+  Replica(Simulator* sim, Transport* transport, const Topology* topology,
+          const QuorumSystem* quorums, NodeId id, ReplicaConfig config,
+          AcceptorRecord* record = nullptr);
+
+  /// Cancels this replica's pending timers/closures: events scheduled by
+  /// a destroyed replica never fire (safe node restarts).
+  ~Replica();
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  // --- client API -------------------------------------------------------
+
+  /// Submit a value for commitment. If this replica leads, it replicates
+  /// (respecting the multi-programming window, queueing any excess); if
+  /// not, it either elects itself first (auto_elect_on_submit) or fails
+  /// with FailedPrecondition. In leaderless mode it proposes directly on
+  /// its next owned slot.
+  void Submit(Value value, CommitCallback cb);
+
+  /// Submit a value from a (possibly remote) client attached to this
+  /// replica: if this replica leads, it commits locally; otherwise the
+  /// value is forwarded to the known leader over the network and the
+  /// callback fires when the leader's reply returns — the paper's remote
+  /// request model (Section 5.3). Redirects and retries are handled
+  /// internally; without any leader hint this falls back to Submit().
+  void SubmitOrForward(Value value, CommitCallback cb);
+
+  /// Install/replace the leader hint used by SubmitOrForward (normally
+  /// learned from protocol traffic or cluster metadata).
+  void set_leader_hint(NodeId hint) { leader_hint_ = hint; }
+  NodeId leader_hint() const { return leader_hint_; }
+
+  /// Run a Leader Election for this replica (paper Algorithms 1 and 2).
+  /// Completes OK once the (possibly expanded) LE quorum promised, after
+  /// which is_leader() holds and adopted values are re-proposed.
+  void TryBecomeLeader(StatusCallback cb);
+
+  /// Leader Handoff, pull side: ask `old_leader` to relinquish to us with
+  /// a single round of messaging (paper Section 4.4). Fails TimedOut if
+  /// the request or relinquish message is lost (then only a Leader
+  /// Election can recover, exactly as the paper specifies).
+  void RequestHandoffFrom(NodeId old_leader, StatusCallback cb);
+
+  /// Leader Handoff, push side: relinquish our leadership to `new_leader`.
+  /// Only permitted while leading with no in-flight proposals. After the
+  /// relinquish message is sent this replica stops acting as leader even
+  /// if the message is lost.
+  Status HandoffTo(NodeId new_leader);
+
+  /// Voluntarily re-run a Leader Election while already leading, with no
+  /// in-flight proposals. Declares fresh intents for the CURRENT location
+  /// — the way a leader that received the role via handoff re-homes its
+  /// replication quorum near itself (a handoff recipient is restricted to
+  /// the relinquished intents, Section 4.4/4.6).
+  void RefreshLeadership(StatusCallback cb);
+
+  /// Migrate the Leader Zone to `next_zone` (kLeaderZone mode only):
+  /// registers the next zone through the Leader Zone Instance synod,
+  /// runs the transition phase, and lazily announces completion
+  /// (paper Section 4.3.2 Steps 1-3).
+  void MigrateLeaderZone(ZoneId next_zone, StatusCallback cb);
+
+  /// True if this replica can currently serve linearizable reads locally:
+  /// it leads and holds a quorum-confirmed read lease (Section 4.5).
+  bool CanServeLocalRead() const;
+
+  /// Quorum-lease read (enable_quorum_reads): true if this replica is a
+  /// lease-granting replication-quorum member whose learned prefix
+  /// provably contains every committed write — it granted an active
+  /// lease and has no accepted entry beyond its decided watermark.
+  /// Writes cannot commit without this member's accept, so a quiet
+  /// acceptor state implies the committed prefix is fully learned.
+  bool CanServeQuorumRead() const;
+
+  /// Feed an externally learned ballot (gossip, cluster metadata). A
+  /// primed aspirant picks its first election ballot above the hint,
+  /// avoiding one guaranteed-preempted round against a live leader whose
+  /// traffic it never observed. Purely an optimization; never unsafe.
+  void PrimeBallot(const Ballot& hint) { ObserveBallot(hint); }
+
+  // --- learner ------------------------------------------------------------
+
+  void set_decide_callback(DecideCallback cb) { decide_cb_ = std::move(cb); }
+  const std::map<SlotId, Value>& decided() const { return decided_; }
+  /// Lowest slot id not yet known decided (contiguous watermark).
+  SlotId DecidedWatermark() const;
+
+  // --- catch-up, truncation and snapshots ---------------------------------
+
+  /// Produces an application snapshot of all applied state and reports
+  /// the slot it covers (exclusive): everything below it is baked in.
+  using SnapshotProvider = std::function<std::string(SlotId* through_slot)>;
+  /// Installs a received snapshot covering slots below `through_slot`.
+  using SnapshotInstaller =
+      std::function<void(SlotId through_slot, const std::string& snapshot)>;
+
+  /// Wire the application's snapshot hooks (both or neither). Without
+  /// them, log truncation still works but peers that fell behind the
+  /// truncation point cannot recover from this replica.
+  void set_snapshot_hooks(SnapshotProvider provider,
+                          SnapshotInstaller installer) {
+    snapshot_provider_ = std::move(provider);
+    snapshot_installer_ = std::move(installer);
+  }
+
+  /// Pull decided entries (and, if needed, a snapshot) from `peer` until
+  /// this replica's watermark reaches the peer's. Used by recovered or
+  /// lagging replicas.
+  void CatchUpFrom(NodeId peer, StatusCallback cb);
+
+  /// Drop decided log entries below `slot` (which must not exceed the
+  /// contiguous watermark). After truncation this replica serves
+  /// catch-ups only from `slot` upward; earlier history requires the
+  /// snapshot hooks.
+  Status TruncateDecidedBelow(SlotId slot);
+
+  /// Lowest decided slot still retained in the log.
+  SlotId log_start() const { return log_start_; }
+
+  // --- introspection --------------------------------------------------------
+
+  NodeId id() const { return id_; }
+  ZoneId zone() const { return topology_->ZoneOf(id_); }
+  bool is_leader() const { return role_ == Role::kLeader; }
+  bool is_candidate() const { return role_ == Role::kCandidate; }
+  const Ballot& ballot() const { return ballot_; }
+  SlotId next_slot() const { return next_slot_; }
+  const LeaderZoneView& lz_view() const { return lz_view_; }
+  const Acceptor& acceptor() const { return acceptor_; }
+  const std::vector<Intent>& declared_intents() const {
+    return declared_intents_;
+  }
+  const ReplicaConfig& config() const { return config_; }
+
+  /// True once this leader has re-committed every value it adopted in
+  /// its election; until then its proposes do not advance the garbage
+  /// collection threshold (see ProposeMsg::recovery_complete).
+  bool RecoveryComplete() const { return recovery_pending_ == 0; }
+
+  /// Monotonic protocol event counters for observability.
+  const ProtocolCounters& counters() const { return counters_; }
+
+  /// Leader Election rounds this replica has completed successfully.
+  uint64_t elections_won() const { return elections_won_; }
+  /// Expansion rounds (second LE phases) this replica has issued.
+  uint64_t expansion_rounds() const { return expansion_rounds_; }
+
+  // --- wiring ---------------------------------------------------------------
+
+  /// Entry point for every message addressed to this (node, partition);
+  /// normally invoked by NodeHost.
+  void HandleMessage(NodeId from, const MessagePtr& msg);
+
+ private:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  // Per-slot leader-side replication state.
+  struct InFlight {
+    Value value;
+    std::set<NodeId> acks;
+    CommitCallback cb;
+    Timestamp start = 0;
+    uint32_t retries = 0;
+    EventId timer = 0;
+    bool lease_requested = false;
+    // True for re-proposals of values adopted during Leader Election;
+    // the leader's recovery completes when none remain.
+    bool adopted_recovery = false;
+  };
+
+  // Candidate-side election state.
+  struct Election {
+    StatusCallback cb;
+    QuorumRule base_rule;
+    QuorumRule effective_rule;  // base + detected intent intersections
+    std::vector<NodeId> round1_targets;
+    std::set<NodeId> promises;
+    std::set<NodeId> contacted;
+    std::map<Ballot, Intent> detected_intents;
+    std::map<SlotId, AcceptedEntry> adopted;
+    SlotId first_slot = 0;
+    uint32_t attempt = 0;
+    bool expanded = false;
+    EventId timer = 0;
+  };
+
+  // Leader Zone migration driver state (Steps 1-3).
+  struct LzMigration {
+    StatusCallback cb;
+    uint64_t epoch = 0;        // the epoch being decided (view.epoch + 1)
+    ZoneId synod_zone = kInvalidZone;  // the Leader Zone running the synod
+    ZoneId requested = kInvalidZone;   // what we asked for
+    ZoneId target = kInvalidZone;      // what the synod decided
+    Ballot ballot;             // synod ballot
+    int step = 1;              // 1 synod-prepare, 2 synod-propose,
+                               // 3 transition, 4 store-intents
+    std::set<NodeId> acks;
+    Ballot best_accepted;              // highest accepted synod ballot seen
+    ZoneId best_accepted_zone = kInvalidZone;
+    std::vector<Intent> transferred;   // union of old-zone intents
+    uint32_t attempt = 0;
+    EventId timer = 0;
+  };
+
+  // Synod acceptor state for the Leader Zone Instance (next epoch only).
+  struct LzSynod {
+    uint64_t epoch = 0;
+    Ballot promised;
+    Ballot accepted_ballot;
+    ZoneId accepted_zone = kInvalidZone;
+  };
+
+  // --- message handlers ---
+  void OnPrepare(NodeId from, const PrepareMsg& msg);
+  void OnPromise(NodeId from, const PromiseMsg& msg);
+  void OnPrepareNack(NodeId from, const PrepareNackMsg& msg);
+  void OnPropose(NodeId from, const ProposeMsg& msg);
+  void OnAccept(NodeId from, const AcceptMsg& msg);
+  void OnAcceptNack(NodeId from, const AcceptNackMsg& msg);
+  void OnDecide(NodeId from, const DecideMsg& msg);
+  void OnHandoffRequest(NodeId from, const HandoffRequestMsg& msg);
+  void OnHeartbeat(NodeId from, const HeartbeatMsg& msg);
+  void OnRelinquish(NodeId from, const RelinquishMsg& msg);
+  void OnForward(NodeId from, const ForwardMsg& msg);
+  void OnForwardReply(NodeId from, const ForwardReplyMsg& msg);
+  void OnLearnRequest(NodeId from, const LearnRequestMsg& msg);
+  void OnLearnReply(NodeId from, const LearnReplyMsg& msg);
+  void OnSnapshotRequest(NodeId from, const SnapshotRequestMsg& msg);
+  void OnSnapshotReply(NodeId from, const SnapshotReplyMsg& msg);
+  void OnGcPoll(NodeId from, const GcPollMsg& msg);
+  void OnGcThreshold(NodeId from, const GcThresholdMsg& msg);
+  void OnLzPrepare(NodeId from, const LzPrepareMsg& msg);
+  void OnLzPromise(NodeId from, const LzPromiseMsg& msg);
+  void OnLzPropose(NodeId from, const LzProposeMsg& msg);
+  void OnLzAccept(NodeId from, const LzAcceptMsg& msg);
+  void OnLzNack(NodeId from, const LzNackMsg& msg);
+  void OnLzTransition(NodeId from, const LzTransitionMsg& msg);
+  void OnLzTransitionAck(NodeId from, const LzTransitionAckMsg& msg);
+  void OnLzStoreIntents(NodeId from, const LzStoreIntentsMsg& msg);
+  void OnLzStoreAck(NodeId from, const LzStoreAckMsg& msg);
+  void OnLzAnnounce(NodeId from, const LzAnnounceMsg& msg);
+
+  // --- election internals ---
+  void StartElection(StatusCallback cb, uint32_t attempt);
+  void CheckElectionProgress();
+  void FinishElection();
+  void FailElection(const Status& status, Duration retry_after);
+  std::vector<Intent> BuildIntents() const;
+  QuorumRule CurrentLeaderElectionRule() const;
+
+  // --- leader internals ---
+  void StartPropose(SlotId slot, Value value, CommitCallback cb,
+                    bool adopted_recovery = false);
+  void OnRecoveryProgress();
+  void RetransmitPropose(SlotId slot);
+  void Decide(SlotId slot);
+  void LearnDecided(SlotId slot, const Value& value);
+  void DrainPending();
+  void StepDown(const Ballot& preemptor);
+  void FailInFlight(const Status& status);
+  QuorumRule ReplicationRule() const;
+  void RecomputeLeaseExpiry();
+
+  // --- leaderless ---
+  void SubmitLeaderless(Value value, CommitCallback cb);
+
+  // --- leader zone migration internals ---
+  void LzAdvance();
+  void LzSendCurrentStep();
+  void LzArmTimer();
+  void LzFinish(const Status& status);
+  void AdoptView(const LeaderZoneView& view);
+
+  // --- helpers ---
+  void SendTo(NodeId to, MessagePtr msg) {
+    transport_->Send(id_, to, std::move(msg));
+  }
+  /// Schedule a closure that is dropped if this replica is destroyed
+  /// before it fires (e.g. across a simulated process restart).
+  EventId ScheduleSafe(Duration delay, std::function<void()> fn);
+  void SendToAll(const std::vector<NodeId>& targets, const MessagePtr& msg);
+  void ObserveBallot(const Ballot& ballot);
+  Duration BackoffFor(uint32_t attempt);
+
+  Simulator* sim_;
+  Transport* transport_;
+  const Topology* topology_;
+  const QuorumSystem* quorums_;
+  const NodeId id_;
+  ReplicaConfig config_;
+  Rng rng_;
+
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  Acceptor acceptor_;
+  Role role_ = Role::kFollower;
+  Ballot ballot_;
+  uint64_t max_round_seen_ = 0;
+  LeaderZoneView lz_view_;
+  LzSynod lz_synod_;
+  std::unique_ptr<LzMigration> lz_migration_;
+
+  // Leader state.
+  SlotId next_slot_ = 0;
+  // Adopted re-proposals still in flight; recovery_complete once 0.
+  uint32_t recovery_pending_ = 0;
+  std::vector<Intent> declared_intents_;
+  size_t active_intent_ = 0;
+  std::map<SlotId, InFlight> inflight_;
+  std::deque<std::pair<Value, CommitCallback>> pending_;
+  std::map<NodeId, Timestamp> lease_votes_;
+  Timestamp lease_until_ = 0;
+
+  // Candidate state.
+  std::unique_ptr<Election> election_;
+
+  // Handoff state.
+  StatusCallback handoff_cb_;
+  EventId handoff_timer_ = 0;
+
+  // Failure detector (enable_failure_detector).
+  EventId heartbeat_timer_ = 0;   // leader side: periodic beacons
+  EventId watchdog_timer_ = 0;    // member side: election on silence
+  void SendHeartbeats();
+  void ArmWatchdog();
+  void OnLeaderSilence();
+
+  // Learner state.
+  std::map<SlotId, Value> decided_;
+  SlotId watermark_ = 0;   // lowest slot not yet known decided
+  SlotId log_start_ = 0;   // lowest retained decided slot (truncation)
+  DecideCallback decide_cb_;
+
+  // Forwarding state (origin side).
+  struct PendingForward {
+    Value value;
+    CommitCallback cb;
+    uint32_t attempts = 0;
+    EventId timer = 0;
+  };
+  NodeId leader_hint_ = kInvalidNode;
+  uint64_t next_forward_id_ = 1;
+  std::map<uint64_t, PendingForward> pending_forwards_;
+  void SendForward(uint64_t request_id);
+  void FinishForward(uint64_t request_id, const Status& status, SlotId slot);
+
+  // Catch-up state.
+  struct CatchUp {
+    NodeId peer = kInvalidNode;
+    StatusCallback cb;
+    uint32_t attempts = 0;
+    EventId timer = 0;
+  };
+  std::unique_ptr<CatchUp> catchup_;
+  SnapshotProvider snapshot_provider_;
+  SnapshotInstaller snapshot_installer_;
+  void CatchUpRequestNext();
+  void CatchUpFinish(const Status& status);
+
+  // Leaderless proposer state.
+  SlotId leaderless_next_ = 0;
+
+  // Metrics.
+  ProtocolCounters counters_;
+  uint64_t elections_won_ = 0;
+  uint64_t expansion_rounds_ = 0;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_PAXOS_REPLICA_H_

@@ -1,0 +1,114 @@
+// Per-replica protocol configuration.
+#ifndef DPAXOS_PAXOS_REPLICA_CONFIG_H_
+#define DPAXOS_PAXOS_REPLICA_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "quorum/fault_tolerance.h"
+#include "quorum/quorum_system.h"
+
+namespace dpaxos {
+
+/// Who receives DecideMsg commit notifications from the leader.
+enum class DecidePolicy {
+  kNone,    ///< nobody (pure benchmark of the decision path)
+  kQuorum,  ///< the replication quorum members (default)
+  kZone,    ///< every node in the leader's zone
+  kAll,     ///< every node (full state machine replication)
+};
+
+/// \brief Knobs shared by every replica of a partition.
+struct ReplicaConfig {
+  PartitionId partition = 0;
+
+  /// All nodes of a partition must agree on the initial Leader Zone
+  /// (kLeaderZone mode; paper Section 4.3.2 "Initial Leader Zone").
+  ZoneId initial_leader_zone = 0;
+
+  // --- Expanding Quorums ----------------------------------------------
+
+  /// Send the first Leader Election round to every node instead of only
+  /// the base quorum, consolidating the expansion round into the first
+  /// (paper Section 4.6 "Consolidate multiple rounds into a single
+  /// round"; evaluated in Figure 14 as "combined").
+  bool consolidate_le_rounds = false;
+
+  /// Number of replication-quorum intents declared per Leader Election
+  /// (paper Section 4.6 "Use of multiple intents"). Extra intents give
+  /// the leader failover quorums at the cost of larger future
+  /// intersection requirements.
+  uint32_t num_intents = 1;
+
+  // --- Read leases (paper Section 4.5) ---------------------------------
+
+  bool enable_leases = false;
+  Duration lease_duration = 10 * kSecond;
+
+  /// Quorum leases (Moraru et al., discussed as an adaptable alternative
+  /// in paper Section 4.5): every replication-quorum member that granted
+  /// the lease may serve linearizable local reads, not just the leader.
+  /// A member only answers while it has no accepted-but-unlearned slot
+  /// (all writes channel through it, so a quiet acceptor provably holds
+  /// the full committed prefix); otherwise callers fall back to the
+  /// leader path. Requires enable_leases and a decide policy that
+  /// notifies quorum members (kQuorum or wider).
+  bool enable_quorum_reads = false;
+
+  // --- Execution --------------------------------------------------------
+
+  /// Multi-programming level: slots the leader replicates concurrently
+  /// (paper Section A.3).
+  uint32_t max_inflight = 1;
+
+  DecidePolicy decide_policy = DecidePolicy::kQuorum;
+
+  /// If true, a Submit() on a non-leader follower triggers a leader
+  /// election and queues the value; if false it fails fast.
+  bool auto_elect_on_submit = true;
+
+  // --- Failure detection ---------------------------------------------------
+
+  /// Autonomous failover: the leader heartbeats its replication quorum;
+  /// a member that hears neither heartbeats nor proposals for a randomized
+  /// interval in [election_timeout, 2*election_timeout) elects itself.
+  /// Off by default (benchmarks drive leadership explicitly).
+  bool enable_failure_detector = false;
+  Duration heartbeat_interval = 500 * kMillisecond;
+  Duration election_timeout = 2 * kSecond;
+
+  // --- Liveness timers ---------------------------------------------------
+
+  Duration le_timeout = 2 * kSecond;
+  Duration propose_timeout = 2 * kSecond;
+  uint32_t max_le_attempts = 16;
+  uint32_t max_propose_retries = 8;
+  Duration retry_backoff_base = 50 * kMillisecond;
+
+  // --- Durability ---------------------------------------------------------
+
+  /// Time to persist an acceptor-state mutation before answering
+  /// (promise or accept). 0 models battery-backed/async-safe storage;
+  /// set ~100us for NVMe, ~1ms for SSD, ~5-10ms for disk. Charged once
+  /// per positive acceptor reply.
+  Duration storage_sync_delay = 0;
+
+  // --- Garbage collection -----------------------------------------------
+
+  /// Aggressive variant (paper Section 4.3.4): a newly elected leader
+  /// broadcasts its own ballot as the GC threshold, because completing
+  /// its Leader Election phase proves all lower-ballot intents obsolete.
+  bool leader_broadcasts_gc_threshold = false;
+
+  // --- Leaderless baseline ------------------------------------------------
+
+  /// Slot striping so concurrent leaderless proposers never collide
+  /// (the paper's "optimal case" idealization): this proposer owns slots
+  /// congruent to `leaderless_index` modulo `leaderless_total`.
+  uint32_t leaderless_index = 0;
+  uint32_t leaderless_total = 1;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_PAXOS_REPLICA_CONFIG_H_

@@ -1,0 +1,50 @@
+// Values decided by the consensus log.
+#ifndef DPAXOS_PAXOS_VALUE_H_
+#define DPAXOS_PAXOS_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace dpaxos {
+
+/// \brief An opaque command (or batch of commands) proposed to a slot.
+///
+/// `payload` carries serialized application commands (see src/txn); the
+/// benchmark harness often leaves it empty and sets only `size_bytes`,
+/// which is what the bandwidth model charges. id 0 is reserved for the
+/// no-op value a new leader uses to fill log gaps.
+struct Value {
+  uint64_t id = 0;
+  uint64_t size_bytes = 0;
+  std::string payload;
+
+  static Value NoOp() { return Value{}; }
+
+  static Value Of(uint64_t id, std::string payload) {
+    Value v;
+    v.id = id;
+    v.size_bytes = payload.size();
+    v.payload = std::move(payload);
+    return v;
+  }
+
+  /// A value with a synthetic size and no materialized payload; used by
+  /// benchmarks to model large batches without allocating them.
+  static Value Synthetic(uint64_t id, uint64_t size_bytes) {
+    Value v;
+    v.id = id;
+    v.size_bytes = size_bytes;
+    return v;
+  }
+
+  bool is_noop() const { return id == 0; }
+
+  bool operator==(const Value& o) const {
+    return id == o.id && size_bytes == o.size_bytes && payload == o.payload;
+  }
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_PAXOS_VALUE_H_

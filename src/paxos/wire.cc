@@ -1,0 +1,690 @@
+#include "paxos/wire.h"
+
+#include <memory>
+
+#include "common/check.h"
+#include "common/codec.h"
+#include "paxos/messages.h"
+
+namespace dpaxos {
+
+namespace {
+
+// --- field-group helpers -------------------------------------------------
+
+void PutBallot(ByteWriter& w, const Ballot& b) {
+  w.PutU64(b.round);
+  w.PutU32(b.node);
+}
+
+bool ReadBallot(ByteReader& r, Ballot* b) {
+  return r.ReadU64(&b->round) && r.ReadU32(&b->node);
+}
+
+void PutValue(ByteWriter& w, const Value& v) {
+  w.PutU64(v.id);
+  w.PutU64(v.size_bytes);
+  w.PutString(v.payload);
+}
+
+bool ReadValue(ByteReader& r, Value* v) {
+  return r.ReadU64(&v->id) && r.ReadU64(&v->size_bytes) &&
+         r.ReadString(&v->payload);
+}
+
+void PutView(ByteWriter& w, const LeaderZoneView& view) {
+  w.PutU64(view.epoch);
+  w.PutU32(view.current);
+  w.PutU32(view.next);
+}
+
+bool ReadView(ByteReader& r, LeaderZoneView* view) {
+  return r.ReadU64(&view->epoch) && r.ReadU32(&view->current) &&
+         r.ReadU32(&view->next);
+}
+
+void PutIntent(ByteWriter& w, const Intent& intent) {
+  PutBallot(w, intent.ballot);
+  w.PutU32(intent.leader);
+  w.PutU32(static_cast<uint32_t>(intent.quorum.size()));
+  for (NodeId n : intent.quorum) w.PutU32(n);
+}
+
+bool ReadIntent(ByteReader& r, Intent* intent) {
+  uint32_t size = 0;
+  if (!ReadBallot(r, &intent->ballot) || !r.ReadU32(&intent->leader) ||
+      !r.ReadU32(&size)) {
+    return false;
+  }
+  if (size > r.remaining() / 4 + 1) return false;  // hostile count
+  intent->quorum.resize(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    if (!r.ReadU32(&intent->quorum[i])) return false;
+  }
+  return true;
+}
+
+void PutIntents(ByteWriter& w, const std::vector<Intent>& intents) {
+  w.PutU32(static_cast<uint32_t>(intents.size()));
+  for (const Intent& in : intents) PutIntent(w, in);
+}
+
+bool ReadIntents(ByteReader& r, std::vector<Intent>* intents) {
+  uint32_t count = 0;
+  if (!r.ReadU32(&count)) return false;
+  if (count > r.remaining() / 20 + 1) return false;
+  intents->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!ReadIntent(r, &(*intents)[i])) return false;
+  }
+  return true;
+}
+
+void PutAcceptedEntry(ByteWriter& w, const AcceptedEntry& e) {
+  w.PutU64(e.slot);
+  PutBallot(w, e.ballot);
+  PutValue(w, e.value);
+}
+
+bool ReadAcceptedEntry(ByteReader& r, AcceptedEntry* e) {
+  return r.ReadU64(&e->slot) && ReadBallot(r, &e->ballot) &&
+         ReadValue(r, &e->value);
+}
+
+// --- per-type encoders ----------------------------------------------------
+
+void Encode(ByteWriter& w, const PrepareMsg& m) {
+  PutBallot(w, m.ballot);
+  w.PutU64(m.first_slot);
+  PutIntents(w, m.intents);
+  w.PutBool(m.expansion);
+  PutView(w, m.lz_view);
+}
+
+void Encode(ByteWriter& w, const PromiseMsg& m) {
+  PutBallot(w, m.ballot);
+  w.PutBool(m.expansion);
+  w.PutU32(static_cast<uint32_t>(m.accepted.size()));
+  for (const AcceptedEntry& e : m.accepted) PutAcceptedEntry(w, e);
+  PutIntents(w, m.intents);
+  PutView(w, m.lz_view);
+}
+
+void Encode(ByteWriter& w, const PrepareNackMsg& m) {
+  PutBallot(w, m.ballot);
+  PutBallot(w, m.promised);
+  w.PutU64(m.lease_until);
+  PutView(w, m.lz_view);
+}
+
+void Encode(ByteWriter& w, const ProposeMsg& m) {
+  PutBallot(w, m.ballot);
+  w.PutU64(m.slot);
+  PutValue(w, m.value);
+  w.PutBool(m.lease_request);
+  w.PutU64(m.lease_until);
+  w.PutBool(m.recovery_complete);
+}
+
+void Encode(ByteWriter& w, const AcceptMsg& m) {
+  PutBallot(w, m.ballot);
+  w.PutU64(m.slot);
+  w.PutBool(m.lease_vote);
+  w.PutU64(m.lease_until);
+}
+
+void Encode(ByteWriter& w, const AcceptNackMsg& m) {
+  PutBallot(w, m.ballot);
+  w.PutU64(m.slot);
+  PutBallot(w, m.promised);
+}
+
+void Encode(ByteWriter& w, const DecideMsg& m) {
+  w.PutU64(m.slot);
+  PutValue(w, m.value);
+}
+
+void Encode(ByteWriter&, const HandoffRequestMsg&) {}
+
+void Encode(ByteWriter& w, const HeartbeatMsg& m) { PutBallot(w, m.ballot); }
+
+void Encode(ByteWriter& w, const RelinquishMsg& m) {
+  PutBallot(w, m.ballot);
+  w.PutU64(m.next_slot);
+  PutIntents(w, m.intents);
+  PutView(w, m.lz_view);
+}
+
+void Encode(ByteWriter&, const GcPollMsg&) {}
+
+void Encode(ByteWriter& w, const GcPollReplyMsg& m) {
+  PutBallot(w, m.max_propose_ballot);
+}
+
+void Encode(ByteWriter& w, const GcThresholdMsg& m) {
+  PutBallot(w, m.threshold);
+}
+
+void Encode(ByteWriter& w, const LzPrepareMsg& m) {
+  w.PutU64(m.epoch);
+  PutBallot(w, m.ballot);
+}
+
+void Encode(ByteWriter& w, const LzPromiseMsg& m) {
+  w.PutU64(m.epoch);
+  PutBallot(w, m.ballot);
+  PutBallot(w, m.accepted_ballot);
+  w.PutU32(m.accepted_zone);
+}
+
+void Encode(ByteWriter& w, const LzProposeMsg& m) {
+  w.PutU64(m.epoch);
+  PutBallot(w, m.ballot);
+  w.PutU32(m.next_zone);
+}
+
+void Encode(ByteWriter& w, const LzAcceptMsg& m) {
+  w.PutU64(m.epoch);
+  PutBallot(w, m.ballot);
+  w.PutU32(m.next_zone);
+}
+
+void Encode(ByteWriter& w, const LzNackMsg& m) {
+  w.PutU64(m.epoch);
+  PutBallot(w, m.ballot);
+  PutBallot(w, m.promised);
+  PutView(w, m.lz_view);
+}
+
+void Encode(ByteWriter& w, const LzTransitionMsg& m) {
+  w.PutU64(m.epoch);
+  w.PutU32(m.next_zone);
+}
+
+void Encode(ByteWriter& w, const LzTransitionAckMsg& m) {
+  w.PutU64(m.epoch);
+  PutIntents(w, m.intents);
+}
+
+void Encode(ByteWriter& w, const LzStoreIntentsMsg& m) {
+  w.PutU64(m.epoch);
+  w.PutU32(m.next_zone);
+  PutIntents(w, m.intents);
+}
+
+void Encode(ByteWriter& w, const LzStoreAckMsg& m) { w.PutU64(m.epoch); }
+
+void Encode(ByteWriter& w, const LzAnnounceMsg& m) { PutView(w, m.view); }
+
+void Encode(ByteWriter& w, const ForwardMsg& m) {
+  w.PutU64(m.request_id);
+  PutValue(w, m.value);
+}
+
+void Encode(ByteWriter& w, const ForwardReplyMsg& m) {
+  w.PutU64(m.request_id);
+  w.PutU8(static_cast<uint8_t>(m.code));
+  w.PutU64(m.slot);
+  w.PutU32(m.leader_hint);
+}
+
+void Encode(ByteWriter& w, const LearnRequestMsg& m) {
+  w.PutU64(m.from_slot);
+  w.PutU32(m.max_entries);
+}
+
+void Encode(ByteWriter& w, const LearnReplyMsg& m) {
+  w.PutU64(m.from_slot);
+  w.PutU32(static_cast<uint32_t>(m.entries.size()));
+  for (const DecidedEntryWire& e : m.entries) {
+    w.PutU64(e.slot);
+    PutValue(w, e.value);
+  }
+  w.PutU64(m.peer_watermark);
+  w.PutU64(m.first_available);
+}
+
+void Encode(ByteWriter&, const SnapshotRequestMsg&) {}
+
+void Encode(ByteWriter& w, const SnapshotReplyMsg& m) {
+  w.PutU64(m.through_slot);
+  w.PutString(m.snapshot);
+}
+
+template <typename T>
+bool TrySerialize(const Message& msg, WireType type, ByteWriter& w,
+                  std::string* out, bool* matched) {
+  const T* typed = dynamic_cast<const T*>(&msg);
+  if (typed == nullptr) return false;
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU32(typed->partition);
+  Encode(w, *typed);
+  *matched = true;
+  (void)out;
+  return true;
+}
+
+// --- per-type decoders ------------------------------------------------------
+
+MessagePtr DecodePrepare(ByteReader& r, PartitionId p) {
+  Ballot ballot;
+  uint64_t first_slot = 0;
+  std::vector<Intent> intents;
+  bool expansion = false;
+  LeaderZoneView view;
+  if (!ReadBallot(r, &ballot) || !r.ReadU64(&first_slot) ||
+      !ReadIntents(r, &intents) || !r.ReadBool(&expansion) ||
+      !ReadView(r, &view)) {
+    return nullptr;
+  }
+  return std::make_shared<PrepareMsg>(p, ballot, first_slot,
+                                      std::move(intents), expansion, view);
+}
+
+MessagePtr DecodePromise(ByteReader& r, PartitionId p) {
+  Ballot ballot;
+  bool expansion = false;
+  if (!ReadBallot(r, &ballot) || !r.ReadBool(&expansion)) return nullptr;
+  auto msg = std::make_shared<PromiseMsg>(p, ballot, expansion);
+  uint32_t count = 0;
+  if (!r.ReadU32(&count) || count > r.remaining() / 20 + 1) return nullptr;
+  msg->accepted.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!ReadAcceptedEntry(r, &msg->accepted[i])) return nullptr;
+  }
+  if (!ReadIntents(r, &msg->intents) || !ReadView(r, &msg->lz_view)) {
+    return nullptr;
+  }
+  return msg;
+}
+
+MessagePtr DecodePrepareNack(ByteReader& r, PartitionId p) {
+  Ballot ballot;
+  if (!ReadBallot(r, &ballot)) return nullptr;
+  auto msg = std::make_shared<PrepareNackMsg>(p, ballot);
+  if (!ReadBallot(r, &msg->promised) || !r.ReadU64(&msg->lease_until) ||
+      !ReadView(r, &msg->lz_view)) {
+    return nullptr;
+  }
+  return msg;
+}
+
+MessagePtr DecodePropose(ByteReader& r, PartitionId p) {
+  Ballot ballot;
+  uint64_t slot = 0;
+  Value value;
+  if (!ReadBallot(r, &ballot) || !r.ReadU64(&slot) || !ReadValue(r, &value)) {
+    return nullptr;
+  }
+  auto msg = std::make_shared<ProposeMsg>(p, ballot, slot, std::move(value));
+  if (!r.ReadBool(&msg->lease_request) || !r.ReadU64(&msg->lease_until) ||
+      !r.ReadBool(&msg->recovery_complete)) {
+    return nullptr;
+  }
+  return msg;
+}
+
+MessagePtr DecodeAccept(ByteReader& r, PartitionId p) {
+  Ballot ballot;
+  uint64_t slot = 0;
+  if (!ReadBallot(r, &ballot) || !r.ReadU64(&slot)) return nullptr;
+  auto msg = std::make_shared<AcceptMsg>(p, ballot, slot);
+  if (!r.ReadBool(&msg->lease_vote) || !r.ReadU64(&msg->lease_until)) {
+    return nullptr;
+  }
+  return msg;
+}
+
+MessagePtr DecodeAcceptNack(ByteReader& r, PartitionId p) {
+  Ballot ballot, promised;
+  uint64_t slot = 0;
+  if (!ReadBallot(r, &ballot) || !r.ReadU64(&slot) ||
+      !ReadBallot(r, &promised)) {
+    return nullptr;
+  }
+  return std::make_shared<AcceptNackMsg>(p, ballot, slot, promised);
+}
+
+MessagePtr DecodeDecide(ByteReader& r, PartitionId p) {
+  uint64_t slot = 0;
+  Value value;
+  if (!r.ReadU64(&slot) || !ReadValue(r, &value)) return nullptr;
+  return std::make_shared<DecideMsg>(p, slot, std::move(value));
+}
+
+MessagePtr DecodeRelinquish(ByteReader& r, PartitionId p) {
+  Ballot ballot;
+  uint64_t next_slot = 0;
+  std::vector<Intent> intents;
+  LeaderZoneView view;
+  if (!ReadBallot(r, &ballot) || !r.ReadU64(&next_slot) ||
+      !ReadIntents(r, &intents) || !ReadView(r, &view)) {
+    return nullptr;
+  }
+  return std::make_shared<RelinquishMsg>(p, ballot, next_slot,
+                                         std::move(intents), view);
+}
+
+MessagePtr DecodeGcPollReply(ByteReader& r, PartitionId p) {
+  Ballot ballot;
+  if (!ReadBallot(r, &ballot)) return nullptr;
+  return std::make_shared<GcPollReplyMsg>(p, ballot);
+}
+
+MessagePtr DecodeGcThreshold(ByteReader& r, PartitionId p) {
+  Ballot ballot;
+  if (!ReadBallot(r, &ballot)) return nullptr;
+  return std::make_shared<GcThresholdMsg>(p, ballot);
+}
+
+MessagePtr DecodeLzPrepare(ByteReader& r, PartitionId p) {
+  uint64_t epoch = 0;
+  Ballot ballot;
+  if (!r.ReadU64(&epoch) || !ReadBallot(r, &ballot)) return nullptr;
+  return std::make_shared<LzPrepareMsg>(p, epoch, ballot);
+}
+
+MessagePtr DecodeLzPromise(ByteReader& r, PartitionId p) {
+  uint64_t epoch = 0;
+  Ballot ballot;
+  if (!r.ReadU64(&epoch) || !ReadBallot(r, &ballot)) return nullptr;
+  auto msg = std::make_shared<LzPromiseMsg>(p, epoch, ballot);
+  if (!ReadBallot(r, &msg->accepted_ballot) ||
+      !r.ReadU32(&msg->accepted_zone)) {
+    return nullptr;
+  }
+  return msg;
+}
+
+MessagePtr DecodeLzPropose(ByteReader& r, PartitionId p) {
+  uint64_t epoch = 0;
+  Ballot ballot;
+  uint32_t zone = 0;
+  if (!r.ReadU64(&epoch) || !ReadBallot(r, &ballot) || !r.ReadU32(&zone)) {
+    return nullptr;
+  }
+  return std::make_shared<LzProposeMsg>(p, epoch, ballot, zone);
+}
+
+MessagePtr DecodeLzAccept(ByteReader& r, PartitionId p) {
+  uint64_t epoch = 0;
+  Ballot ballot;
+  uint32_t zone = 0;
+  if (!r.ReadU64(&epoch) || !ReadBallot(r, &ballot) || !r.ReadU32(&zone)) {
+    return nullptr;
+  }
+  return std::make_shared<LzAcceptMsg>(p, epoch, ballot, zone);
+}
+
+MessagePtr DecodeLzNack(ByteReader& r, PartitionId p) {
+  uint64_t epoch = 0;
+  Ballot ballot, promised;
+  LeaderZoneView view;
+  if (!r.ReadU64(&epoch) || !ReadBallot(r, &ballot) ||
+      !ReadBallot(r, &promised) || !ReadView(r, &view)) {
+    return nullptr;
+  }
+  return std::make_shared<LzNackMsg>(p, epoch, ballot, promised, view);
+}
+
+MessagePtr DecodeLzTransition(ByteReader& r, PartitionId p) {
+  uint64_t epoch = 0;
+  uint32_t zone = 0;
+  if (!r.ReadU64(&epoch) || !r.ReadU32(&zone)) return nullptr;
+  return std::make_shared<LzTransitionMsg>(p, epoch, zone);
+}
+
+MessagePtr DecodeLzTransitionAck(ByteReader& r, PartitionId p) {
+  uint64_t epoch = 0;
+  std::vector<Intent> intents;
+  if (!r.ReadU64(&epoch) || !ReadIntents(r, &intents)) return nullptr;
+  return std::make_shared<LzTransitionAckMsg>(p, epoch, std::move(intents));
+}
+
+MessagePtr DecodeLzStoreIntents(ByteReader& r, PartitionId p) {
+  uint64_t epoch = 0;
+  uint32_t zone = 0;
+  std::vector<Intent> intents;
+  if (!r.ReadU64(&epoch) || !r.ReadU32(&zone) || !ReadIntents(r, &intents)) {
+    return nullptr;
+  }
+  return std::make_shared<LzStoreIntentsMsg>(p, epoch, zone,
+                                             std::move(intents));
+}
+
+MessagePtr DecodeLzStoreAck(ByteReader& r, PartitionId p) {
+  uint64_t epoch = 0;
+  if (!r.ReadU64(&epoch)) return nullptr;
+  return std::make_shared<LzStoreAckMsg>(p, epoch);
+}
+
+MessagePtr DecodeLzAnnounce(ByteReader& r, PartitionId p) {
+  LeaderZoneView view;
+  if (!ReadView(r, &view)) return nullptr;
+  return std::make_shared<LzAnnounceMsg>(p, view);
+}
+
+MessagePtr DecodeForward(ByteReader& r, PartitionId p) {
+  uint64_t request_id = 0;
+  Value value;
+  if (!r.ReadU64(&request_id) || !ReadValue(r, &value)) return nullptr;
+  return std::make_shared<ForwardMsg>(p, request_id, std::move(value));
+}
+
+MessagePtr DecodeForwardReply(ByteReader& r, PartitionId p) {
+  uint64_t request_id = 0;
+  if (!r.ReadU64(&request_id)) return nullptr;
+  auto msg = std::make_shared<ForwardReplyMsg>(p, request_id);
+  uint8_t code = 0;
+  if (!r.ReadU8(&code) ||
+      code > static_cast<uint8_t>(StatusCode::kInternal) ||
+      !r.ReadU64(&msg->slot) || !r.ReadU32(&msg->leader_hint)) {
+    return nullptr;
+  }
+  msg->code = static_cast<StatusCode>(code);
+  return msg;
+}
+
+MessagePtr DecodeLearnRequest(ByteReader& r, PartitionId p) {
+  uint64_t from_slot = 0;
+  uint32_t max_entries = 0;
+  if (!r.ReadU64(&from_slot) || !r.ReadU32(&max_entries)) return nullptr;
+  return std::make_shared<LearnRequestMsg>(p, from_slot, max_entries);
+}
+
+MessagePtr DecodeLearnReply(ByteReader& r, PartitionId p) {
+  auto msg = std::make_shared<LearnReplyMsg>(p);
+  uint32_t count = 0;
+  if (!r.ReadU64(&msg->from_slot) || !r.ReadU32(&count) ||
+      count > r.remaining() / 24 + 1) {
+    return nullptr;
+  }
+  msg->entries.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!r.ReadU64(&msg->entries[i].slot) ||
+        !ReadValue(r, &msg->entries[i].value)) {
+      return nullptr;
+    }
+  }
+  if (!r.ReadU64(&msg->peer_watermark) || !r.ReadU64(&msg->first_available)) {
+    return nullptr;
+  }
+  return msg;
+}
+
+MessagePtr DecodeSnapshotReply(ByteReader& r, PartitionId p) {
+  uint64_t through = 0;
+  std::string snapshot;
+  if (!r.ReadU64(&through) || !r.ReadString(&snapshot)) return nullptr;
+  return std::make_shared<SnapshotReplyMsg>(p, through, std::move(snapshot));
+}
+
+}  // namespace
+
+std::string SerializeMessage(const Message& msg) {
+  std::string out;
+  ByteWriter w(&out);
+  bool matched = false;
+  TrySerialize<PrepareMsg>(msg, WireType::kPrepare, w, &out, &matched) ||
+      TrySerialize<PromiseMsg>(msg, WireType::kPromise, w, &out, &matched) ||
+      TrySerialize<PrepareNackMsg>(msg, WireType::kPrepareNack, w, &out,
+                                   &matched) ||
+      TrySerialize<ProposeMsg>(msg, WireType::kPropose, w, &out, &matched) ||
+      TrySerialize<AcceptMsg>(msg, WireType::kAccept, w, &out, &matched) ||
+      TrySerialize<AcceptNackMsg>(msg, WireType::kAcceptNack, w, &out,
+                                  &matched) ||
+      TrySerialize<DecideMsg>(msg, WireType::kDecide, w, &out, &matched) ||
+      TrySerialize<HandoffRequestMsg>(msg, WireType::kHandoffRequest, w,
+                                      &out, &matched) ||
+      TrySerialize<RelinquishMsg>(msg, WireType::kRelinquish, w, &out,
+                                  &matched) ||
+      TrySerialize<GcPollMsg>(msg, WireType::kGcPoll, w, &out, &matched) ||
+      TrySerialize<GcPollReplyMsg>(msg, WireType::kGcPollReply, w, &out,
+                                   &matched) ||
+      TrySerialize<GcThresholdMsg>(msg, WireType::kGcThreshold, w, &out,
+                                   &matched) ||
+      TrySerialize<LzPrepareMsg>(msg, WireType::kLzPrepare, w, &out,
+                                 &matched) ||
+      TrySerialize<LzPromiseMsg>(msg, WireType::kLzPromise, w, &out,
+                                 &matched) ||
+      TrySerialize<LzProposeMsg>(msg, WireType::kLzPropose, w, &out,
+                                 &matched) ||
+      TrySerialize<LzAcceptMsg>(msg, WireType::kLzAccept, w, &out,
+                                &matched) ||
+      TrySerialize<LzNackMsg>(msg, WireType::kLzNack, w, &out, &matched) ||
+      TrySerialize<LzTransitionMsg>(msg, WireType::kLzTransition, w, &out,
+                                    &matched) ||
+      TrySerialize<LzTransitionAckMsg>(msg, WireType::kLzTransitionAck, w,
+                                       &out, &matched) ||
+      TrySerialize<LzStoreIntentsMsg>(msg, WireType::kLzStoreIntents, w,
+                                      &out, &matched) ||
+      TrySerialize<LzStoreAckMsg>(msg, WireType::kLzStoreAck, w, &out,
+                                  &matched) ||
+      TrySerialize<LzAnnounceMsg>(msg, WireType::kLzAnnounce, w, &out,
+                                  &matched) ||
+      TrySerialize<ForwardMsg>(msg, WireType::kForward, w, &out, &matched) ||
+      TrySerialize<ForwardReplyMsg>(msg, WireType::kForwardReply, w, &out,
+                                    &matched) ||
+      TrySerialize<LearnRequestMsg>(msg, WireType::kLearnRequest, w, &out,
+                                    &matched) ||
+      TrySerialize<LearnReplyMsg>(msg, WireType::kLearnReply, w, &out,
+                                  &matched) ||
+      TrySerialize<SnapshotRequestMsg>(msg, WireType::kSnapshotRequest, w,
+                                       &out, &matched) ||
+      TrySerialize<SnapshotReplyMsg>(msg, WireType::kSnapshotReply, w, &out,
+                                     &matched) ||
+      TrySerialize<HeartbeatMsg>(msg, WireType::kHeartbeat, w, &out,
+                                 &matched);
+  DPAXOS_CHECK_MSG(matched, "unserializable message " << msg.TypeName());
+  return out;
+}
+
+Result<MessagePtr> DeserializeMessage(const std::string& bytes) {
+  ByteReader r(bytes);
+  uint8_t tag = 0;
+  PartitionId partition = 0;
+  if (!r.ReadU8(&tag) || !r.ReadU32(&partition)) {
+    return Status::Corruption("truncated wire header");
+  }
+  MessagePtr msg;
+  switch (static_cast<WireType>(tag)) {
+    case WireType::kPrepare:
+      msg = DecodePrepare(r, partition);
+      break;
+    case WireType::kPromise:
+      msg = DecodePromise(r, partition);
+      break;
+    case WireType::kPrepareNack:
+      msg = DecodePrepareNack(r, partition);
+      break;
+    case WireType::kPropose:
+      msg = DecodePropose(r, partition);
+      break;
+    case WireType::kAccept:
+      msg = DecodeAccept(r, partition);
+      break;
+    case WireType::kAcceptNack:
+      msg = DecodeAcceptNack(r, partition);
+      break;
+    case WireType::kDecide:
+      msg = DecodeDecide(r, partition);
+      break;
+    case WireType::kHandoffRequest:
+      msg = std::make_shared<HandoffRequestMsg>(partition);
+      break;
+    case WireType::kRelinquish:
+      msg = DecodeRelinquish(r, partition);
+      break;
+    case WireType::kGcPoll:
+      msg = std::make_shared<GcPollMsg>(partition);
+      break;
+    case WireType::kGcPollReply:
+      msg = DecodeGcPollReply(r, partition);
+      break;
+    case WireType::kGcThreshold:
+      msg = DecodeGcThreshold(r, partition);
+      break;
+    case WireType::kLzPrepare:
+      msg = DecodeLzPrepare(r, partition);
+      break;
+    case WireType::kLzPromise:
+      msg = DecodeLzPromise(r, partition);
+      break;
+    case WireType::kLzPropose:
+      msg = DecodeLzPropose(r, partition);
+      break;
+    case WireType::kLzAccept:
+      msg = DecodeLzAccept(r, partition);
+      break;
+    case WireType::kLzNack:
+      msg = DecodeLzNack(r, partition);
+      break;
+    case WireType::kLzTransition:
+      msg = DecodeLzTransition(r, partition);
+      break;
+    case WireType::kLzTransitionAck:
+      msg = DecodeLzTransitionAck(r, partition);
+      break;
+    case WireType::kLzStoreIntents:
+      msg = DecodeLzStoreIntents(r, partition);
+      break;
+    case WireType::kLzStoreAck:
+      msg = DecodeLzStoreAck(r, partition);
+      break;
+    case WireType::kLzAnnounce:
+      msg = DecodeLzAnnounce(r, partition);
+      break;
+    case WireType::kForward:
+      msg = DecodeForward(r, partition);
+      break;
+    case WireType::kForwardReply:
+      msg = DecodeForwardReply(r, partition);
+      break;
+    case WireType::kLearnRequest:
+      msg = DecodeLearnRequest(r, partition);
+      break;
+    case WireType::kLearnReply:
+      msg = DecodeLearnReply(r, partition);
+      break;
+    case WireType::kSnapshotRequest:
+      msg = std::make_shared<SnapshotRequestMsg>(partition);
+      break;
+    case WireType::kSnapshotReply:
+      msg = DecodeSnapshotReply(r, partition);
+      break;
+    case WireType::kHeartbeat: {
+      Ballot ballot;
+      if (ReadBallot(r, &ballot)) {
+        msg = std::make_shared<HeartbeatMsg>(partition, ballot);
+      }
+      break;
+    }
+    default:
+      return Status::Corruption("unknown wire type tag");
+  }
+  if (msg == nullptr) return Status::Corruption("truncated message body");
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after message");
+  return msg;
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,63 @@
+// Wire format: serialize/deserialize every protocol message.
+//
+// The simulator passes message objects by pointer, so serialization is
+// not needed for correctness there — but a production port of Transport
+// to real sockets needs a codec, and exercising it end-to-end catches
+// fields that would silently not survive the wire. SimTransport can be
+// configured (SimTransportOptions::validate_wire_codec) to round-trip
+// every remote message through this codec, so the entire protocol test
+// suite doubles as a codec conformance test.
+#ifndef DPAXOS_PAXOS_WIRE_H_
+#define DPAXOS_PAXOS_WIRE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "net/message.h"
+
+namespace dpaxos {
+
+/// Stable one-byte tags identifying each message type on the wire.
+enum class WireType : uint8_t {
+  kPrepare = 1,
+  kPromise = 2,
+  kPrepareNack = 3,
+  kPropose = 4,
+  kAccept = 5,
+  kAcceptNack = 6,
+  kDecide = 7,
+  kHandoffRequest = 8,
+  kRelinquish = 9,
+  kGcPoll = 10,
+  kGcPollReply = 11,
+  kGcThreshold = 12,
+  kLzPrepare = 13,
+  kLzPromise = 14,
+  kLzPropose = 15,
+  kLzAccept = 16,
+  kLzNack = 17,
+  kLzTransition = 18,
+  kLzTransitionAck = 19,
+  kLzStoreIntents = 20,
+  kLzStoreAck = 21,
+  kLzAnnounce = 22,
+  kForward = 23,
+  kForwardReply = 24,
+  kLearnRequest = 25,
+  kLearnReply = 26,
+  kSnapshotRequest = 27,
+  kSnapshotReply = 28,
+  kHeartbeat = 29,
+};
+
+/// Serialize any protocol message. Aborts (DPAXOS_CHECK) on a message
+/// type outside the protocol set — a programming error.
+std::string SerializeMessage(const Message& msg);
+
+/// Parse bytes produced by SerializeMessage. Returns Corruption on any
+/// malformed input (unknown tag, truncation, trailing bytes).
+Result<MessagePtr> DeserializeMessage(const std::string& bytes);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_PAXOS_WIRE_H_

@@ -1,0 +1,88 @@
+#include "placement/placement.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dpaxos {
+
+AccessStats::AccessStats(uint32_t num_zones, Duration half_life)
+    : half_life_(half_life),
+      weights_(num_zones, 0.0),
+      updated_(num_zones, 0) {
+  DPAXOS_CHECK_GT(num_zones, 0u);
+  DPAXOS_CHECK_GT(half_life, 0u);
+}
+
+double AccessStats::Decay(double weight, Timestamp from,
+                          Timestamp now) const {
+  if (now <= from || weight == 0.0) return weight;
+  const double halves = static_cast<double>(now - from) /
+                        static_cast<double>(half_life_);
+  return weight * std::exp2(-halves);
+}
+
+void AccessStats::Record(ZoneId zone, Timestamp now) {
+  DPAXOS_CHECK_LT(zone, weights_.size());
+  weights_[zone] = Decay(weights_[zone], updated_[zone], now) + 1.0;
+  updated_[zone] = now;
+}
+
+double AccessStats::WeightAt(ZoneId zone, Timestamp now) const {
+  DPAXOS_CHECK_LT(zone, weights_.size());
+  return Decay(weights_[zone], updated_[zone], now);
+}
+
+double AccessStats::TotalWeightAt(Timestamp now) const {
+  double total = 0;
+  for (ZoneId z = 0; z < weights_.size(); ++z) total += WeightAt(z, now);
+  return total;
+}
+
+PlacementAdvisor::PlacementAdvisor(const Topology* topology,
+                                   double min_improvement, double min_weight)
+    : topology_(topology),
+      min_improvement_(min_improvement),
+      min_weight_(min_weight) {
+  DPAXOS_CHECK(topology != nullptr);
+  DPAXOS_CHECK_GE(min_improvement, 0.0);
+}
+
+double PlacementAdvisor::CostMs(const AccessStats& stats, ZoneId zone,
+                                Timestamp now) const {
+  DPAXOS_CHECK_EQ(stats.num_zones(), topology_->num_zones());
+  const double total = stats.TotalWeightAt(now);
+  if (total == 0.0) return 0.0;
+  double cost = 0;
+  for (ZoneId w = 0; w < topology_->num_zones(); ++w) {
+    const double weight = stats.WeightAt(w, now);
+    if (weight == 0.0) continue;
+    cost += weight * ToMillis(topology_->ZoneRtt(w, zone));
+  }
+  return cost / total;
+}
+
+PlacementAdvice PlacementAdvisor::Advise(const AccessStats& stats,
+                                         ZoneId current_zone,
+                                         Timestamp now) const {
+  PlacementAdvice advice;
+  advice.current_cost_ms = CostMs(stats, current_zone, now);
+  advice.best_zone = current_zone;
+  advice.best_cost_ms = advice.current_cost_ms;
+  for (ZoneId z = 0; z < topology_->num_zones(); ++z) {
+    const double cost = CostMs(stats, z, now);
+    if (cost < advice.best_cost_ms) {
+      advice.best_cost_ms = cost;
+      advice.best_zone = z;
+    }
+  }
+  // Move only with enough signal and a real improvement (hysteresis).
+  advice.should_move =
+      advice.best_zone != current_zone &&
+      stats.TotalWeightAt(now) >= min_weight_ &&
+      advice.best_cost_ms <=
+          advice.current_cost_ms * (1.0 - min_improvement_);
+  return advice;
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,87 @@
+// Workload-aware placement: where should a partition's leader and Leader
+// Zone live?
+//
+// The paper (Section 4.6 "Configuration") leaves quorum/leader placement
+// to the administrator and points to automatic placement as future work.
+// This module provides that piece: an exponentially decayed per-zone
+// access histogram and an advisor that recommends the latency-optimal
+// zone with hysteresis, so mobility-driven migrations (Leader Handoff +
+// Leader Zone migration) fire only when they pay for themselves.
+#ifndef DPAXOS_PLACEMENT_PLACEMENT_H_
+#define DPAXOS_PLACEMENT_PLACEMENT_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace dpaxos {
+
+/// \brief Exponentially decayed count of accesses per zone.
+class AccessStats {
+ public:
+  /// `half_life`: virtual time in which an unrefreshed zone's weight
+  /// halves. Must be > 0.
+  AccessStats(uint32_t num_zones, Duration half_life);
+
+  /// Record one access from `zone` at virtual time `now` (non-decreasing
+  /// across calls).
+  void Record(ZoneId zone, Timestamp now);
+
+  /// Current (decayed) weight of a zone at time `now`.
+  double WeightAt(ZoneId zone, Timestamp now) const;
+
+  /// Sum of all zone weights at `now`.
+  double TotalWeightAt(Timestamp now) const;
+
+  uint32_t num_zones() const {
+    return static_cast<uint32_t>(weights_.size());
+  }
+
+ private:
+  double Decay(double weight, Timestamp from, Timestamp now) const;
+
+  Duration half_life_;
+  std::vector<double> weights_;
+  std::vector<Timestamp> updated_;  // last update per zone
+};
+
+/// Placement recommendation for one partition.
+struct PlacementAdvice {
+  /// Zone minimizing the access-weighted client RTT.
+  ZoneId best_zone = kInvalidZone;
+  /// Expected mean RTT (ms) if the leader sits in best_zone.
+  double best_cost_ms = 0;
+  /// Expected mean RTT (ms) for the currently configured zone.
+  double current_cost_ms = 0;
+  /// True if moving is worth it under the advisor's hysteresis.
+  bool should_move = false;
+};
+
+/// \brief Latency-optimal leader/Leader-Zone placement with hysteresis.
+class PlacementAdvisor {
+ public:
+  /// `min_improvement`: relative cost reduction (e.g. 0.2 = 20%) required
+  /// before recommending a migration; suppresses ping-ponging between
+  /// nearly equivalent zones. `min_weight`: ignore advice until this much
+  /// (decayed) access weight has accumulated.
+  PlacementAdvisor(const Topology* topology, double min_improvement = 0.2,
+                   double min_weight = 5.0);
+
+  /// Access-weighted mean client-to-leader RTT (ms) if the leader were in
+  /// `zone` — clients in the leader's zone pay the intra-zone RTT.
+  double CostMs(const AccessStats& stats, ZoneId zone, Timestamp now) const;
+
+  /// Evaluate all zones and recommend.
+  PlacementAdvice Advise(const AccessStats& stats, ZoneId current_zone,
+                         Timestamp now) const;
+
+ private:
+  const Topology* topology_;
+  double min_improvement_;
+  double min_weight_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_PLACEMENT_PLACEMENT_H_

@@ -1,0 +1,27 @@
+// The paper's two-level fault-tolerance model (Section 3): the number of
+// tolerated individual datacenter (node) failures per zone, f_d, and the
+// number of tolerated zone-scale failures, f_z.
+#ifndef DPAXOS_QUORUM_FAULT_TOLERANCE_H_
+#define DPAXOS_QUORUM_FAULT_TOLERANCE_H_
+
+#include <cstdint>
+
+namespace dpaxos {
+
+/// \brief Configured fault-tolerance level.
+///
+/// The paper assumes every zone holds at least 2*fd + 1 nodes and the
+/// system has at least 2*fz + 1 zones; Cluster validates this.
+struct FaultTolerance {
+  /// Tolerated individual node (edge datacenter) failures per zone.
+  uint32_t fd = 1;
+  /// Tolerated zone-scale failures (natural disasters).
+  uint32_t fz = 0;
+
+  /// Size of the smallest replication quorum: (fd+1) nodes in (fz+1) zones.
+  uint32_t ReplicationQuorumSize() const { return (fd + 1) * (fz + 1); }
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_QUORUM_FAULT_TOLERANCE_H_

@@ -1,0 +1,166 @@
+#include "quorum/quorum_rule.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dpaxos {
+
+namespace {
+
+// Number of candidates of `req` that are not in `excluded`.
+uint32_t UsableCandidates(const QuorumRequirement& req,
+                          const std::set<NodeId>& excluded) {
+  uint32_t usable = 0;
+  for (NodeId n : req.candidates) {
+    if (excluded.count(n) == 0) ++usable;
+  }
+  return usable;
+}
+
+uint32_t CountAcks(const QuorumRequirement& req,
+                   const std::set<NodeId>& acks) {
+  uint32_t have = 0;
+  for (NodeId n : req.candidates) {
+    if (acks.count(n) > 0) ++have;
+  }
+  return have;
+}
+
+}  // namespace
+
+QuorumRule::QuorumRule(std::vector<QuorumGroup> groups)
+    : groups_(std::move(groups)) {
+  for (QuorumGroup& g : groups_) {
+    if (g.min_satisfied == 0) {
+      g.min_satisfied = static_cast<uint32_t>(g.requirements.size());
+    }
+    DPAXOS_CHECK_LE(g.min_satisfied, g.requirements.size());
+    for (QuorumRequirement& req : g.requirements) {
+      std::sort(req.candidates.begin(), req.candidates.end());
+      req.candidates.erase(
+          std::unique(req.candidates.begin(), req.candidates.end()),
+          req.candidates.end());
+      DPAXOS_CHECK_LE(req.min_acks, req.candidates.size());
+    }
+  }
+}
+
+QuorumRule QuorumRule::Simple(std::vector<NodeId> candidates,
+                              uint32_t min_acks) {
+  QuorumGroup g;
+  g.requirements.push_back({std::move(candidates), min_acks});
+  g.min_satisfied = 1;
+  return QuorumRule({g});
+}
+
+QuorumRule QuorumRule::OfGroup(std::vector<QuorumRequirement> requirements,
+                               uint32_t min_satisfied) {
+  QuorumGroup g;
+  g.requirements = std::move(requirements);
+  g.min_satisfied = min_satisfied;
+  return QuorumRule({std::move(g)});
+}
+
+std::vector<NodeId> QuorumRule::Targets() const {
+  std::set<NodeId> out;
+  for (const QuorumGroup& g : groups_) {
+    for (const QuorumRequirement& req : g.requirements) {
+      out.insert(req.candidates.begin(), req.candidates.end());
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+bool QuorumRule::IsSatisfied(const std::set<NodeId>& acks) const {
+  for (const QuorumGroup& g : groups_) {
+    uint32_t satisfied = 0;
+    for (const QuorumRequirement& req : g.requirements) {
+      if (CountAcks(req, acks) >= req.min_acks) ++satisfied;
+    }
+    if (satisfied < g.min_satisfied) return false;
+  }
+  return true;
+}
+
+bool QuorumRule::IsImpossible(const std::set<NodeId>& rejected) const {
+  for (const QuorumGroup& g : groups_) {
+    uint32_t satisfiable = 0;
+    for (const QuorumRequirement& req : g.requirements) {
+      if (UsableCandidates(req, rejected) >= req.min_acks) ++satisfiable;
+    }
+    if (satisfiable < g.min_satisfied) return true;
+  }
+  return false;
+}
+
+bool QuorumRule::AlwaysIntersects(const std::set<NodeId>& nodes) const {
+  // The rule always intersects `nodes` iff no satisfying set avoids all of
+  // them, i.e. iff treating `nodes` as rejected makes the rule impossible.
+  // Groups are independent conjuncts, so this check is exact.
+  if (groups_.empty()) return false;  // the empty rule is satisfied by {}
+  return IsImpossible(nodes);
+}
+
+std::vector<NodeId> QuorumRule::PickSatisfyingSetAvoiding(
+    const std::set<NodeId>& avoid) const {
+  if (IsImpossible(avoid)) return {};
+  std::set<NodeId> picked;
+  for (const QuorumGroup& g : groups_) {
+    uint32_t satisfied = 0;
+    for (const QuorumRequirement& req : g.requirements) {
+      if (satisfied >= g.min_satisfied) break;
+      if (UsableCandidates(req, avoid) < req.min_acks) continue;
+      uint32_t have = 0;
+      // Prefer candidates already picked for other requirements so the
+      // result stays minimal-ish.
+      for (NodeId n : req.candidates) {
+        if (have >= req.min_acks) break;
+        if (avoid.count(n) > 0) continue;
+        if (picked.count(n) > 0) ++have;
+      }
+      for (NodeId n : req.candidates) {
+        if (have >= req.min_acks) break;
+        if (avoid.count(n) > 0 || picked.count(n) > 0) continue;
+        picked.insert(n);
+        ++have;
+      }
+      DPAXOS_CHECK_GE(have, req.min_acks);
+      ++satisfied;
+    }
+    DPAXOS_CHECK_GE(satisfied, g.min_satisfied);
+  }
+  return {picked.begin(), picked.end()};
+}
+
+QuorumRule QuorumRule::MergedWith(const QuorumRule& other) const {
+  std::vector<QuorumGroup> merged = groups_;
+  merged.insert(merged.end(), other.groups_.begin(), other.groups_.end());
+  return QuorumRule(std::move(merged));
+}
+
+std::string QuorumRule::ToString() const {
+  std::ostringstream oss;
+  oss << "rule{";
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    const QuorumGroup& g = groups_[gi];
+    if (gi > 0) oss << " & ";
+    oss << g.min_satisfied << "of[";
+    for (size_t ri = 0; ri < g.requirements.size(); ++ri) {
+      const QuorumRequirement& req = g.requirements[ri];
+      if (ri > 0) oss << ",";
+      oss << req.min_acks << "/{";
+      for (size_t ci = 0; ci < req.candidates.size(); ++ci) {
+        if (ci > 0) oss << " ";
+        oss << req.candidates[ci];
+      }
+      oss << "}";
+    }
+    oss << "]";
+  }
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,102 @@
+// Quorum rules: declarative "which acknowledgements suffice" predicates.
+//
+// A QuorumRule is a conjunction of groups. Each group holds a list of
+// requirements — a candidate node set plus a minimum ack count — of which
+// at least `min_satisfied` must hold. The rule is satisfied when every
+// group is. This structure expresses every quorum in the paper:
+//
+//   majority of N nodes            -> 1 group, 1 requirement
+//                                     {all nodes, majority(N)}
+//   zone-centric replication       -> 1 group, f_z+1 zone requirements
+//                                     {zone_i, f_d+1}, all mandatory
+//   Flexible Paxos leader election -> 1 group, |Z| requirements
+//                                     {zone_i, |Z_i|-f_d}, min |Z|-f_z
+//   Delegate leader election       -> 1 group, |Z| requirements
+//                                     {zone_i, maj(|Z_i|)}, min maj(|Z|)
+//   Leader-Zone leader election    -> 1 group {leader zone, maj}
+//   expansion by detected intents  -> extra mandatory group per intent
+//                                     {intent nodes, 1}
+#ifndef DPAXOS_QUORUM_QUORUM_RULE_H_
+#define DPAXOS_QUORUM_QUORUM_RULE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dpaxos {
+
+/// Smallest integer strictly greater than half of `n`.
+inline uint32_t MajorityOf(uint32_t n) { return n / 2 + 1; }
+
+/// \brief One component of a quorum group.
+struct QuorumRequirement {
+  /// Nodes whose acks count toward this requirement (sorted, unique).
+  std::vector<NodeId> candidates;
+  /// Number of distinct candidate acks needed to satisfy it.
+  uint32_t min_acks = 0;
+};
+
+/// \brief "At least `min_satisfied` of these requirements hold."
+struct QuorumGroup {
+  std::vector<QuorumRequirement> requirements;
+  /// Defaults (when 0 at rule construction) to requirements.size().
+  uint32_t min_satisfied = 0;
+};
+
+/// \brief A predicate over acknowledgement sets: an AND of k-of-n groups.
+class QuorumRule {
+ public:
+  QuorumRule() = default;
+
+  /// Builds a rule from groups. Any group whose min_satisfied is 0 is
+  /// normalized to "all requirements mandatory".
+  explicit QuorumRule(std::vector<QuorumGroup> groups);
+
+  /// Single-group, single-requirement rule: `min_acks` of `candidates`.
+  static QuorumRule Simple(std::vector<NodeId> candidates, uint32_t min_acks);
+
+  /// Single group with `min_satisfied` of `requirements`.
+  static QuorumRule OfGroup(std::vector<QuorumRequirement> requirements,
+                            uint32_t min_satisfied = 0);
+
+  const std::vector<QuorumGroup>& groups() const { return groups_; }
+  bool empty() const { return groups_.empty(); }
+
+  /// Union of all candidate nodes (the set a proposer messages), sorted.
+  std::vector<NodeId> Targets() const;
+
+  /// True if the acks collected so far satisfy every group.
+  bool IsSatisfied(const std::set<NodeId>& acks) const;
+
+  /// True if the rule can no longer be satisfied given that every node in
+  /// `rejected` will never ack (it nacked or is known dead).
+  bool IsImpossible(const std::set<NodeId>& rejected) const;
+
+  /// True if *every* node set satisfying this rule contains at least one
+  /// node of `nodes`. Exact for this structure (decides whether a
+  /// satisfying set disjoint from `nodes` exists). Used to verify the
+  /// paper's inter-/intra-intersection conditions.
+  bool AlwaysIntersects(const std::set<NodeId>& nodes) const;
+
+  /// Greedy construction of one minimal satisfying set that avoids
+  /// `avoid`; empty vector if the rule cannot be satisfied while avoiding
+  /// those nodes (and the rule is non-empty). Test helper for
+  /// intersection properties.
+  std::vector<NodeId> PickSatisfyingSetAvoiding(
+      const std::set<NodeId>& avoid) const;
+
+  /// Conjunction: all groups of both rules must hold.
+  QuorumRule MergedWith(const QuorumRule& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<QuorumGroup> groups_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_QUORUM_QUORUM_RULE_H_

@@ -1,0 +1,275 @@
+#include "quorum/quorum_system.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dpaxos {
+
+const char* ProtocolModeName(ProtocolMode mode) {
+  switch (mode) {
+    case ProtocolMode::kMultiPaxos:
+      return "MultiPaxos";
+    case ProtocolMode::kFlexiblePaxos:
+      return "FlexiblePaxos";
+    case ProtocolMode::kDelegate:
+      return "DPaxos-Delegate";
+    case ProtocolMode::kLeaderZone:
+      return "DPaxos-LeaderZone";
+    case ProtocolMode::kLeaderless:
+      return "Leaderless";
+  }
+  return "?";
+}
+
+QuorumRule QuorumSystem::ReplicationRuleForIntent(
+    const std::vector<NodeId>& intent_nodes) {
+  DPAXOS_CHECK(!intent_nodes.empty());
+  return QuorumRule::Simple(intent_nodes,
+                            static_cast<uint32_t>(intent_nodes.size()));
+}
+
+std::vector<NodeId> SmallestReplicationQuorum(const Topology& topology,
+                                              NodeId leader,
+                                              FaultTolerance ft) {
+  const ZoneId home = topology.ZoneOf(leader);
+  std::vector<NodeId> quorum;
+  quorum.push_back(leader);
+  // fd more nodes from the leader's zone, lowest ids first.
+  for (NodeId n : topology.NodesInZone(home)) {
+    if (quorum.size() >= ft.fd + 1) break;
+    if (n != leader) quorum.push_back(n);
+  }
+  DPAXOS_CHECK_EQ(quorum.size(), ft.fd + 1);
+  // fd+1 nodes in each of the fz nearest other zones.
+  uint32_t extra_zones = 0;
+  for (ZoneId z : topology.ZonesByProximity(home)) {
+    if (extra_zones >= ft.fz) break;
+    if (z == home) continue;
+    const std::vector<NodeId> nodes = topology.NodesInZone(z);
+    DPAXOS_CHECK_GE(nodes.size(), ft.fd + 1);
+    quorum.insert(quorum.end(), nodes.begin(), nodes.begin() + ft.fd + 1);
+    ++extra_zones;
+  }
+  DPAXOS_CHECK_EQ(extra_zones, ft.fz);
+  std::sort(quorum.begin(), quorum.end());
+  return quorum;
+}
+
+std::unique_ptr<QuorumSystem> MakeQuorumSystem(ProtocolMode mode,
+                                               const Topology* topology,
+                                               FaultTolerance ft) {
+  switch (mode) {
+    case ProtocolMode::kMultiPaxos:
+    case ProtocolMode::kLeaderless:
+      return std::make_unique<MajorityQuorumSystem>(topology, ft, mode);
+    case ProtocolMode::kFlexiblePaxos:
+      return std::make_unique<ZoneCentricQuorumSystem>(topology, ft);
+    case ProtocolMode::kDelegate:
+      return std::make_unique<DelegateQuorumSystem>(topology, ft);
+    case ProtocolMode::kLeaderZone:
+      return std::make_unique<LeaderZoneQuorumSystem>(topology, ft);
+  }
+  DPAXOS_UNREACHABLE();
+}
+
+// ---------------------------------------------------------------------
+// MajorityQuorumSystem
+
+MajorityQuorumSystem::MajorityQuorumSystem(const Topology* topology,
+                                           FaultTolerance ft,
+                                           ProtocolMode mode)
+    : QuorumSystem(topology, ft), mode_(mode) {
+  DPAXOS_CHECK(mode == ProtocolMode::kMultiPaxos ||
+               mode == ProtocolMode::kLeaderless);
+}
+
+QuorumRule MajorityQuorumSystem::LeaderElectionRule(
+    NodeId /*aspirant*/, const LeaderZoneView& /*view*/) const {
+  return QuorumRule::Simple(topology_->AllNodes(),
+                            MajorityOf(topology_->num_nodes()));
+}
+
+QuorumRule MajorityQuorumSystem::DefaultReplicationRule(
+    NodeId /*leader*/) const {
+  return QuorumRule::Simple(topology_->AllNodes(),
+                            MajorityOf(topology_->num_nodes()));
+}
+
+std::vector<NodeId> MajorityQuorumSystem::IntentQuorum(
+    NodeId /*leader*/) const {
+  return {};
+}
+
+// ---------------------------------------------------------------------
+// SubsetMajorityQuorumSystem
+
+SubsetMajorityQuorumSystem::SubsetMajorityQuorumSystem(
+    const Topology* topology, FaultTolerance ft, std::vector<NodeId> members)
+    : QuorumSystem(topology, ft), members_(std::move(members)) {
+  DPAXOS_CHECK(!members_.empty());
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+  for (NodeId n : members_) DPAXOS_CHECK_LT(n, topology->num_nodes());
+}
+
+QuorumRule SubsetMajorityQuorumSystem::LeaderElectionRule(
+    NodeId /*aspirant*/, const LeaderZoneView& /*view*/) const {
+  return QuorumRule::Simple(members_,
+                            MajorityOf(static_cast<uint32_t>(members_.size())));
+}
+
+QuorumRule SubsetMajorityQuorumSystem::DefaultReplicationRule(
+    NodeId /*leader*/) const {
+  return QuorumRule::Simple(members_,
+                            MajorityOf(static_cast<uint32_t>(members_.size())));
+}
+
+std::vector<NodeId> SubsetMajorityQuorumSystem::IntentQuorum(
+    NodeId /*leader*/) const {
+  return {};
+}
+
+// ---------------------------------------------------------------------
+// ZoneCentricQuorumSystem
+
+ZoneCentricQuorumSystem::ZoneCentricQuorumSystem(const Topology* topology,
+                                                 FaultTolerance ft)
+    : QuorumSystem(topology, ft) {}
+
+QuorumRule ZoneCentricQuorumSystem::LeaderElectionRule(
+    NodeId /*aspirant*/, const LeaderZoneView& /*view*/) const {
+  // |Z| - fz zones; in zone i, |Z_i| - fd nodes: intersects every possible
+  // replication quorum of fd+1 nodes in fz+1 zones (Definition 1).
+  std::vector<QuorumRequirement> reqs;
+  for (ZoneId z = 0; z < topology_->num_zones(); ++z) {
+    const uint32_t size = topology_->nodes_in_zone(z);
+    DPAXOS_CHECK_GT(size, ft_.fd);
+    reqs.push_back({topology_->NodesInZone(z), size - ft_.fd});
+  }
+  DPAXOS_CHECK_GT(topology_->num_zones(), ft_.fz);
+  return QuorumRule::OfGroup(std::move(reqs),
+                             topology_->num_zones() - ft_.fz);
+}
+
+QuorumRule ZoneCentricQuorumSystem::DefaultReplicationRule(
+    NodeId leader) const {
+  // fd+1 nodes in each of the fz+1 zones nearest the leader (flexible
+  // within each zone: Flexible Paxos may use any fd+1 subset).
+  const ZoneId home = topology_->ZoneOf(leader);
+  std::vector<QuorumRequirement> reqs;
+  for (ZoneId z : topology_->ZonesByProximity(home)) {
+    if (reqs.size() >= ft_.fz + 1) break;
+    reqs.push_back({topology_->NodesInZone(z), ft_.fd + 1});
+  }
+  DPAXOS_CHECK_EQ(reqs.size(), ft_.fz + 1);
+  return QuorumRule::OfGroup(std::move(reqs));
+}
+
+std::vector<NodeId> ZoneCentricQuorumSystem::IntentQuorum(
+    NodeId /*leader*/) const {
+  return {};
+}
+
+// ---------------------------------------------------------------------
+// DelegateQuorumSystem
+
+DelegateQuorumSystem::DelegateQuorumSystem(const Topology* topology,
+                                           FaultTolerance ft)
+    : QuorumSystem(topology, ft) {}
+
+QuorumRule DelegateQuorumSystem::LeaderElectionRule(
+    NodeId /*aspirant*/, const LeaderZoneView& /*view*/) const {
+  // A majority of nodes in each of a majority of zones: any two such
+  // quorums share a zone, and within it a node (Definition 2).
+  std::vector<QuorumRequirement> reqs;
+  for (ZoneId z = 0; z < topology_->num_zones(); ++z) {
+    reqs.push_back(
+        {topology_->NodesInZone(z), MajorityOf(topology_->nodes_in_zone(z))});
+  }
+  return QuorumRule::OfGroup(std::move(reqs),
+                             MajorityOf(topology_->num_zones()));
+}
+
+std::vector<NodeId> DelegateQuorumSystem::LeaderElectionTargets(
+    NodeId aspirant, const LeaderZoneView& /*view*/) const {
+  // Contact the majority of zones nearest the aspirant (any majority of
+  // zones satisfies the rule; nearby zones minimize the round latency).
+  const ZoneId home = topology_->ZoneOf(aspirant);
+  const uint32_t zones_needed = MajorityOf(topology_->num_zones());
+  std::vector<NodeId> targets;
+  uint32_t picked = 0;
+  for (ZoneId z : topology_->ZonesByProximity(home)) {
+    if (picked >= zones_needed) break;
+    const std::vector<NodeId> nodes = topology_->NodesInZone(z);
+    targets.insert(targets.end(), nodes.begin(), nodes.end());
+    ++picked;
+  }
+  return targets;
+}
+
+QuorumRule DelegateQuorumSystem::DefaultReplicationRule(NodeId leader) const {
+  return ReplicationRuleForIntent(IntentQuorum(leader));
+}
+
+std::vector<NodeId> DelegateQuorumSystem::IntentQuorum(NodeId leader) const {
+  return SmallestReplicationQuorum(*topology_, leader, ft_);
+}
+
+// ---------------------------------------------------------------------
+// LeaderZoneQuorumSystem
+
+LeaderZoneQuorumSystem::LeaderZoneQuorumSystem(const Topology* topology,
+                                               FaultTolerance ft)
+    : QuorumSystem(topology, ft) {}
+
+QuorumRule LeaderZoneQuorumSystem::LeaderElectionRule(
+    NodeId /*aspirant*/, const LeaderZoneView& view) const {
+  DPAXOS_CHECK_LT(view.current, topology_->num_zones());
+  std::vector<QuorumRequirement> reqs;
+  // Tolerating fz zone failures extends the Leader Zone to the fz+1
+  // zones anchored at view.current, each contributing a node majority
+  // (paper Section 4.3.2: "It is possible to define Leader Zones to
+  // extend beyond a single zone if zone failures are to be tolerated").
+  // Every aspirant derives the same zone set from the shared view, so
+  // intra-intersection still holds. With fz of the fz+1 zones allowed to
+  // fail, a majority of the Leader Zones must answer.
+  uint32_t picked = 0;
+  for (ZoneId z : topology_->ZonesByProximity(view.current)) {
+    if (picked >= ft_.fz + 1) break;
+    reqs.push_back(
+        {topology_->NodesInZone(z), MajorityOf(topology_->nodes_in_zone(z))});
+    ++picked;
+  }
+  const uint32_t lz_needed = MajorityOf(picked);
+  if (view.in_transition()) {
+    // Transition phase (paper Step 2): an aspiring leader additionally
+    // needs promise majorities from the next Leader Zone(s).
+    DPAXOS_CHECK_LT(view.next, topology_->num_zones());
+    std::vector<QuorumRequirement> next_reqs;
+    uint32_t next_picked = 0;
+    for (ZoneId z : topology_->ZonesByProximity(view.next)) {
+      if (next_picked >= ft_.fz + 1) break;
+      next_reqs.push_back({topology_->NodesInZone(z),
+                           MajorityOf(topology_->nodes_in_zone(z))});
+      ++next_picked;
+    }
+    QuorumGroup current_group{std::move(reqs), lz_needed};
+    QuorumGroup next_group{std::move(next_reqs), MajorityOf(next_picked)};
+    return QuorumRule({current_group, next_group});
+  }
+  return QuorumRule::OfGroup(std::move(reqs), lz_needed);
+}
+
+QuorumRule LeaderZoneQuorumSystem::DefaultReplicationRule(
+    NodeId leader) const {
+  return ReplicationRuleForIntent(IntentQuorum(leader));
+}
+
+std::vector<NodeId> LeaderZoneQuorumSystem::IntentQuorum(
+    NodeId leader) const {
+  return SmallestReplicationQuorum(*topology_, leader, ft_);
+}
+
+}  // namespace dpaxos

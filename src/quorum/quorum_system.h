@@ -1,0 +1,228 @@
+// Quorum systems: the strategy objects that differentiate the protocols
+// compared in the paper. A proposer is generic over a QuorumSystem, which
+// answers three questions:
+//   - which acknowledgements elect a leader (phase 1),
+//   - which acknowledgements decide a slot (phase 2),
+//   - which concrete replication quorum to declare as an *intent*
+//     (Expanding Quorums modes only).
+#ifndef DPAXOS_QUORUM_QUORUM_SYSTEM_H_
+#define DPAXOS_QUORUM_QUORUM_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+#include "quorum/fault_tolerance.h"
+#include "quorum/quorum_rule.h"
+
+namespace dpaxos {
+
+/// Protocols evaluated in the paper (Section 5).
+enum class ProtocolMode {
+  kMultiPaxos,     ///< majority quorums for both phases
+  kFlexiblePaxos,  ///< zone-centric quorums, inter-intersection (no intents)
+  kDelegate,       ///< Expanding Quorums, majority-of-zone-majorities LE
+  kLeaderZone,     ///< Expanding Quorums, single-Leader-Zone LE
+  kLeaderless,     ///< optimal leaderless baseline: majority replication,
+                   ///< no leader election phase
+};
+
+const char* ProtocolModeName(ProtocolMode mode);
+
+/// \brief A node's view of where the Leader Zone currently is.
+///
+/// Only meaningful under ProtocolMode::kLeaderZone; carried as an argument
+/// so the (stateless) quorum system can build the right LE rule during
+/// normal operation and during a Leader Zone transition.
+struct LeaderZoneView {
+  /// Monotonic migration counter: bumped each time a Leader Zone
+  /// transition *completes*. Guards against stale announcements.
+  uint64_t epoch = 0;
+  ZoneId current = 0;
+  /// Next leader zone while a transition is in progress, else kInvalidZone.
+  ZoneId next = kInvalidZone;
+
+  bool in_transition() const { return next != kInvalidZone; }
+
+  /// True if this view reflects a strictly later migration state than `o`:
+  /// a higher epoch, or — within the same epoch — knowing about an ongoing
+  /// transition that `o` has not seen.
+  bool IsNewerThan(const LeaderZoneView& o) const {
+    if (epoch != o.epoch) return epoch > o.epoch;
+    return in_transition() && !o.in_transition();
+  }
+
+  bool operator==(const LeaderZoneView& o) const {
+    return epoch == o.epoch && current == o.current && next == o.next;
+  }
+};
+
+/// \brief Strategy interface: quorum geometry of one protocol.
+///
+/// Implementations are immutable and shared by all replicas of a cluster.
+class QuorumSystem {
+ public:
+  virtual ~QuorumSystem() = default;
+
+  virtual ProtocolMode mode() const = 0;
+
+  /// Phase-1 (prepare/promise) rule for an aspiring leader at `aspirant`.
+  /// `view` is the aspirant's Leader-Zone view (ignored by all modes
+  /// except kLeaderZone).
+  virtual QuorumRule LeaderElectionRule(NodeId aspirant,
+                                        const LeaderZoneView& view) const = 0;
+
+  /// Nodes an aspiring leader contacts in the *first* Leader Election
+  /// round. Defaults to every candidate of the rule; Delegate quorums
+  /// override this to the nearest majority of zones (the rule accepts any
+  /// majority of zones, and contacting the nearest minimizes latency —
+  /// paper Section 4.3.1). A retrying aspirant falls back to the full
+  /// candidate set for liveness.
+  virtual std::vector<NodeId> LeaderElectionTargets(
+      NodeId aspirant, const LeaderZoneView& view) const {
+    return LeaderElectionRule(aspirant, view).Targets();
+  }
+
+  /// Phase-2 (propose/accept) rule for a prolonged leader at `leader`
+  /// that has NOT declared an intent (majority and Flexible-Paxos modes).
+  /// Intent-declaring modes replicate on their declared intent instead
+  /// (see IntentQuorum and ReplicationRuleForIntent).
+  virtual QuorumRule DefaultReplicationRule(NodeId leader) const = 0;
+
+  /// Concrete replication quorum a leader at `leader` declares in its
+  /// prepare() messages; empty when the mode does not use intents.
+  virtual std::vector<NodeId> IntentQuorum(NodeId leader) const = 0;
+
+  /// Whether prepare messages declare intents and LE quorums expand to
+  /// intersect detected intents (Expanding Quorums modes).
+  virtual bool UsesIntents() const = 0;
+
+  const Topology& topology() const { return *topology_; }
+  const FaultTolerance& fault_tolerance() const { return ft_; }
+
+  /// Phase-2 rule for a declared intent: every member must accept.
+  static QuorumRule ReplicationRuleForIntent(
+      const std::vector<NodeId>& intent_nodes);
+
+ protected:
+  QuorumSystem(const Topology* topology, FaultTolerance ft)
+      : topology_(topology), ft_(ft) {}
+
+  const Topology* topology_;
+  FaultTolerance ft_;
+};
+
+/// Factory: build the quorum system for `mode`.
+std::unique_ptr<QuorumSystem> MakeQuorumSystem(ProtocolMode mode,
+                                               const Topology* topology,
+                                               FaultTolerance ft);
+
+/// The smallest fault-tolerant replication quorum for a leader: the leader
+/// itself plus fd more nodes of its zone, plus fd+1 nodes in each of the
+/// fz nearest other zones (paper Section 4.2). Deterministic.
+std::vector<NodeId> SmallestReplicationQuorum(const Topology& topology,
+                                              NodeId leader,
+                                              FaultTolerance ft);
+
+/// \brief Majority quorums for both phases (Multi-Paxos / leaderless).
+class MajorityQuorumSystem final : public QuorumSystem {
+ public:
+  MajorityQuorumSystem(const Topology* topology, FaultTolerance ft,
+                       ProtocolMode mode = ProtocolMode::kMultiPaxos);
+
+  ProtocolMode mode() const override { return mode_; }
+  QuorumRule LeaderElectionRule(NodeId aspirant,
+                                const LeaderZoneView& view) const override;
+  QuorumRule DefaultReplicationRule(NodeId leader) const override;
+  std::vector<NodeId> IntentQuorum(NodeId leader) const override;
+  bool UsesIntents() const override { return false; }
+
+ private:
+  ProtocolMode mode_;
+};
+
+/// \brief Majority quorums over a fixed member subset.
+///
+/// Models the reconfiguration-based alternative the paper discusses in
+/// Section B.1(c): deploy the instance on exactly 2*fd+1 nodes in 2*fz+1
+/// zones near the users; only members vote, and moving the deployment
+/// requires a reconfiguration (see src/reconfig) rather than a DPaxos
+/// Leader Election.
+class SubsetMajorityQuorumSystem final : public QuorumSystem {
+ public:
+  /// `members` must be non-empty, unique node ids of the topology.
+  SubsetMajorityQuorumSystem(const Topology* topology, FaultTolerance ft,
+                             std::vector<NodeId> members);
+
+  ProtocolMode mode() const override { return ProtocolMode::kMultiPaxos; }
+  QuorumRule LeaderElectionRule(NodeId aspirant,
+                                const LeaderZoneView& view) const override;
+  QuorumRule DefaultReplicationRule(NodeId leader) const override;
+  std::vector<NodeId> IntentQuorum(NodeId leader) const override;
+  bool UsesIntents() const override { return false; }
+
+  const std::vector<NodeId>& members() const { return members_; }
+
+ private:
+  std::vector<NodeId> members_;
+};
+
+/// \brief Flexible-Paxos zone-centric quorums (paper Section 4.2).
+///
+/// Replication: fd+1 nodes in each of the fz+1 zones nearest the leader.
+/// Leader Election: |Z|-fz zones, |Z_i|-fd nodes each — the
+/// inter-intersection condition (Definition 1).
+class ZoneCentricQuorumSystem final : public QuorumSystem {
+ public:
+  ZoneCentricQuorumSystem(const Topology* topology, FaultTolerance ft);
+
+  ProtocolMode mode() const override { return ProtocolMode::kFlexiblePaxos; }
+  QuorumRule LeaderElectionRule(NodeId aspirant,
+                                const LeaderZoneView& view) const override;
+  QuorumRule DefaultReplicationRule(NodeId leader) const override;
+  std::vector<NodeId> IntentQuorum(NodeId leader) const override;
+  bool UsesIntents() const override { return false; }
+};
+
+/// \brief Delegate Expanding Quorums (paper Section 4.3.1).
+///
+/// Leader Election: a majority of nodes in each of a majority of zones —
+/// satisfying the intra-intersection condition (Definition 2) — expanded
+/// at runtime by detected intents. Replication: the declared intent.
+class DelegateQuorumSystem final : public QuorumSystem {
+ public:
+  DelegateQuorumSystem(const Topology* topology, FaultTolerance ft);
+
+  ProtocolMode mode() const override { return ProtocolMode::kDelegate; }
+  QuorumRule LeaderElectionRule(NodeId aspirant,
+                                const LeaderZoneView& view) const override;
+  std::vector<NodeId> LeaderElectionTargets(
+      NodeId aspirant, const LeaderZoneView& view) const override;
+  QuorumRule DefaultReplicationRule(NodeId leader) const override;
+  std::vector<NodeId> IntentQuorum(NodeId leader) const override;
+  bool UsesIntents() const override { return true; }
+};
+
+/// \brief Leader-Zone Expanding Quorums (paper Section 4.3.2).
+///
+/// Leader Election: a majority of the (single) Leader Zone's nodes; during
+/// a transition, majorities of both the old and the next Leader Zone.
+/// All aspirants contend for the same zone, so any two LE quorums
+/// intersect. Replication: the declared intent.
+class LeaderZoneQuorumSystem final : public QuorumSystem {
+ public:
+  LeaderZoneQuorumSystem(const Topology* topology, FaultTolerance ft);
+
+  ProtocolMode mode() const override { return ProtocolMode::kLeaderZone; }
+  QuorumRule LeaderElectionRule(NodeId aspirant,
+                                const LeaderZoneView& view) const override;
+  QuorumRule DefaultReplicationRule(NodeId leader) const override;
+  std::vector<NodeId> IntentQuorum(NodeId leader) const override;
+  bool UsesIntents() const override { return true; }
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_QUORUM_QUORUM_SYSTEM_H_

@@ -1,0 +1,157 @@
+#include "reconfig/reconfigurable_group.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/codec.h"
+#include "common/logging.h"
+
+namespace dpaxos {
+
+std::string EncodeConfig(uint64_t epoch, const std::vector<NodeId>& members) {
+  std::string out;
+  ByteWriter w(&out);
+  w.PutU64(epoch);
+  w.PutU32(static_cast<uint32_t>(members.size()));
+  for (NodeId n : members) w.PutU32(n);
+  return out;
+}
+
+Result<std::pair<uint64_t, std::vector<NodeId>>> DecodeConfig(
+    const std::string& payload) {
+  ByteReader r(payload);
+  uint64_t epoch = 0;
+  uint32_t count = 0;
+  if (!r.ReadU64(&epoch) || !r.ReadU32(&count) ||
+      count > r.remaining() / 4 + 1) {
+    return Status::Corruption("bad config header");
+  }
+  std::vector<NodeId> members(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!r.ReadU32(&members[i])) return Status::Corruption("bad member");
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing config bytes");
+  return std::make_pair(epoch, std::move(members));
+}
+
+ReconfigurableGroup::ReconfigurableGroup(Cluster* cluster, Options options)
+    : cluster_(cluster), options_(options) {
+  DPAXOS_CHECK(cluster != nullptr);
+  DPAXOS_CHECK_LT(options_.aux_home_zone, cluster->topology().num_zones());
+  // The auxiliary instance: a majority group pinned to the aux zone.
+  ReplicaConfig aux_config = cluster->options().replica;
+  aux_config.partition = options_.aux_partition;
+  const QuorumSystem* aux_qs = cluster_->AddPartition(
+      std::make_unique<SubsetMajorityQuorumSystem>(
+          &cluster_->topology(), cluster->options().ft,
+          cluster_->topology().NodesInZone(options_.aux_home_zone)),
+      aux_config);
+  (void)aux_qs;
+  aux_leader_ = cluster_->replica(
+      cluster_->NodeInZone(options_.aux_home_zone), options_.aux_partition);
+}
+
+void ReconfigurableGroup::DecideConfig(
+    std::vector<NodeId> members, std::function<void(const Status&)> done) {
+  const uint64_t new_epoch = started_ ? epoch_ + 1 : 0;
+  Value config_value =
+      Value::Of(++next_value_id_, EncodeConfig(new_epoch, members));
+  // The reconfiguration is DRIVEN from the new location: the request
+  // travels to the (possibly distant) auxiliary instance over the real
+  // network — the latency the paper holds against this design.
+  const NodeId driver = members.front();
+  Replica* entry = cluster_->replica(driver, options_.aux_partition);
+  entry->set_leader_hint(aux_leader_->id());
+  entry->SubmitOrForward(std::move(config_value),
+                         [done = std::move(done)](const Status& st, SlotId,
+                                                  Duration) { done(st); });
+}
+
+void ReconfigurableGroup::InstallEpoch(uint64_t epoch,
+                                       std::vector<NodeId> members,
+                                       StatusCallback cb) {
+  ReplicaConfig config = cluster_->options().replica;
+  config.partition =
+      options_.data_partition_base + static_cast<PartitionId>(epoch);
+  cluster_->AddPartition(
+      std::make_unique<SubsetMajorityQuorumSystem>(
+          &cluster_->topology(), cluster_->options().ft, members),
+      config);
+
+  const NodeId new_leader = members.front();
+  Replica* replica = cluster_->replica(new_leader, config.partition);
+  replica->TryBecomeLeader([this, epoch, members, new_leader,
+                            cb = std::move(cb)](const Status& st) {
+    if (!st.ok()) {
+      cb(st);
+      return;
+    }
+    const uint64_t old_state = state_bytes_;
+    const NodeId old_leader = leader_;
+    epoch_ = epoch;
+    members_ = members;
+    leader_ = new_leader;
+    started_ = true;
+    if (old_state == 0) {
+      cb(Status::OK());
+      return;
+    }
+    // State transfer: the OLD location ships the accumulated state to
+    // the new leader over the wide-area network, where it is replicated
+    // as one snapshot value — the dominating cost for large states.
+    Replica* old_site = cluster_->replica(old_leader, data_partition());
+    old_site->set_leader_hint(leader_);
+    old_site->SubmitOrForward(
+        Value::Synthetic(++next_value_id_, old_state),
+        [cb, this](const Status& st2, SlotId, Duration) {
+          DPAXOS_DEBUG("reconfig state transfer: " << st2.ToString());
+          cb(st2);
+        });
+  });
+}
+
+void ReconfigurableGroup::Start(std::vector<NodeId> members,
+                                StatusCallback cb) {
+  DPAXOS_CHECK(!started_);
+  DPAXOS_CHECK(!members.empty());
+  DecideConfig(members, [this, members, cb = std::move(cb)](
+                            const Status& st) {
+    if (!st.ok()) {
+      cb(st);
+      return;
+    }
+    InstallEpoch(0, members, cb);
+  });
+}
+
+void ReconfigurableGroup::Submit(Value value, CommitCallback cb) {
+  DPAXOS_CHECK_MSG(started_, "Start() the group first");
+  const uint64_t bytes = value.size_bytes;
+  Replica* replica = cluster_->replica(leader_, data_partition());
+  replica->Submit(std::move(value),
+                  [this, bytes, cb = std::move(cb)](const Status& st,
+                                                    SlotId slot,
+                                                    Duration latency) {
+                    if (st.ok()) state_bytes_ += bytes;
+                    cb(st, slot, latency);
+                  });
+}
+
+void ReconfigurableGroup::Move(std::vector<NodeId> new_members,
+                               StatusCallback cb) {
+  DPAXOS_CHECK_MSG(started_, "Start() the group first");
+  DPAXOS_CHECK(!new_members.empty());
+  const uint64_t new_epoch = epoch_ + 1;
+  DecideConfig(new_members, [this, new_epoch, new_members,
+                             cb = std::move(cb)](const Status& st) {
+    if (!st.ok()) {
+      cb(st);
+      return;
+    }
+    // The old group is implicitly sealed: clients route by the new
+    // config; its members never receive further proposals.
+    InstallEpoch(new_epoch, new_members, cb);
+  });
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,92 @@
+// The reconfiguration-based alternative to DPaxos (paper Section B.1(c)).
+//
+// Instead of zone-centric quorums over all edge nodes, deploy each Paxos
+// instance on exactly the minimal member set (2*fd+1 nodes) near its
+// users. Mobility then requires a *reconfiguration*: an auxiliary Paxos
+// instance (here: centralized in one zone, the paper's first variant)
+// decides the new member set, a fresh data group is instantiated, state
+// is transferred, and a leader is elected in the new location. DPaxos's
+// claim — that this costs strictly more than its Leader Election /
+// Handoff — is measured in bench_ablation_reconfig.
+#ifndef DPAXOS_RECONFIG_RECONFIGURABLE_GROUP_H_
+#define DPAXOS_RECONFIG_RECONFIGURABLE_GROUP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "harness/cluster.h"
+#include "paxos/value.h"
+
+namespace dpaxos {
+
+/// \brief One logical replicated object managed by reconfiguration.
+class ReconfigurableGroup {
+ public:
+  using StatusCallback = std::function<void(const Status&)>;
+  using CommitCallback = Replica::CommitCallback;
+
+  struct Options {
+    /// Partition id of the auxiliary configuration log.
+    PartitionId aux_partition = 900;
+    /// Data groups use partition ids base+epoch.
+    PartitionId data_partition_base = 1000;
+    /// Zone hosting the (centralized) auxiliary instance.
+    ZoneId aux_home_zone = 0;
+  };
+
+  /// `cluster` must outlive the group. Creates the auxiliary instance
+  /// (a majority group over the aux zone's nodes).
+  ReconfigurableGroup(Cluster* cluster, Options options);
+
+  /// Bootstrap: register the initial member set through the auxiliary
+  /// log and elect the first data leader.
+  void Start(std::vector<NodeId> members, StatusCallback cb);
+
+  /// Commit a value through the current data group's leader.
+  void Submit(Value value, CommitCallback cb);
+
+  /// Reconfigure to `new_members`: decide the new configuration in the
+  /// auxiliary log, instantiate the new data group, transfer the
+  /// accumulated state as a snapshot value, and elect the new leader.
+  /// This is the full cost of "moving" under this design.
+  void Move(std::vector<NodeId> new_members, StatusCallback cb);
+
+  uint64_t epoch() const { return epoch_; }
+  const std::vector<NodeId>& members() const { return members_; }
+  NodeId leader() const { return leader_; }
+  PartitionId data_partition() const {
+    return options_.data_partition_base + static_cast<PartitionId>(epoch_);
+  }
+  /// Total payload bytes committed into the current group (transferred
+  /// forward as a snapshot on every Move).
+  uint64_t state_bytes() const { return state_bytes_; }
+
+ private:
+  void DecideConfig(std::vector<NodeId> members,
+                    std::function<void(const Status&)> done);
+  void InstallEpoch(uint64_t epoch, std::vector<NodeId> members,
+                    StatusCallback cb);
+
+  Cluster* cluster_;
+  Options options_;
+  Replica* aux_leader_ = nullptr;
+
+  uint64_t epoch_ = 0;
+  bool started_ = false;
+  std::vector<NodeId> members_;
+  NodeId leader_ = kInvalidNode;
+  uint64_t state_bytes_ = 0;
+  uint64_t next_value_id_ = 1;
+};
+
+/// Encode/decode a configuration value for the auxiliary log.
+std::string EncodeConfig(uint64_t epoch, const std::vector<NodeId>& members);
+Result<std::pair<uint64_t, std::vector<NodeId>>> DecodeConfig(
+    const std::string& payload);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_RECONFIG_RECONFIGURABLE_GROUP_H_

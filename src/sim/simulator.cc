@@ -1,0 +1,58 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dpaxos {
+
+EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(Timestamp when, std::function<void()> fn) {
+  DPAXOS_CHECK_GE(when, now_);
+  DPAXOS_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy cancellation: mark the id; the event is skipped when popped.
+  // We cannot tell here whether the event already ran, so callers should
+  // only cancel ids they know are pending (e.g. un-fired timers).
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;  // skip cancelled events
+    DPAXOS_CHECK_GE(ev.when, now_);
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t Simulator::RunUntil(Timestamp until) {
+  DPAXOS_CHECK_GE(until, now_);
+  size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    if (Step()) ++executed;
+  }
+  now_ = until;
+  return executed;
+}
+
+size_t Simulator::RunUntilIdle(size_t max_events) {
+  size_t executed = 0;
+  while (executed < max_events && Step()) ++executed;
+  return executed;
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,92 @@
+// Deterministic discrete-event simulation kernel.
+//
+// The Simulator owns a virtual clock (microseconds) and a priority queue of
+// events. Events with equal timestamps execute in scheduling order, so the
+// entire simulation is a pure function of its seed and inputs — the
+// property every experiment and property test in this repository relies on.
+#ifndef DPAXOS_SIM_SIMULATOR_H_
+#define DPAXOS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace dpaxos {
+
+/// Identifier of a scheduled event, usable with Simulator::Cancel().
+using EventId = uint64_t;
+
+/// \brief Single-threaded discrete-event simulator.
+///
+/// Usage: schedule closures with Schedule(), then drive with RunFor(),
+/// RunUntil() or RunUntilIdle(). Closures may schedule further events.
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Timestamp Now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` after the current virtual time.
+  /// Returns an id that can be passed to Cancel().
+  EventId Schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedule `fn` at an absolute virtual time (>= Now()).
+  EventId ScheduleAt(Timestamp when, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false if it already ran, was already
+  /// cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  /// Run all events with timestamp <= `until`, then set the clock to
+  /// `until`. Returns the number of events executed.
+  size_t RunUntil(Timestamp until);
+
+  /// Run for `d` of virtual time from now. Returns events executed.
+  size_t RunFor(Duration d) { return RunUntil(now_ + d); }
+
+  /// Run until the event queue drains or `max_events` were executed.
+  /// Returns events executed. A return value == max_events usually means
+  /// the simulation livelocked (e.g. dueling proposers without backoff).
+  size_t RunUntilIdle(size_t max_events = 50'000'000);
+
+  /// Execute exactly one event if any is pending. Returns true if one ran.
+  bool Step();
+
+  /// Number of events currently pending.
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+  /// The simulation's root random source (fork children per component).
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Event {
+    Timestamp when;
+    EventId id;  // also the tie-break sequence number
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;  // min-heap on time
+      return a.id > b.id;                            // FIFO among ties
+    }
+  };
+
+  Timestamp now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<EventId> cancelled_;
+  Rng rng_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_SIM_SIMULATOR_H_

@@ -1,0 +1,17 @@
+#include "smr/log_applier.h"
+
+namespace dpaxos {
+
+void LogApplier::OnDecided(SlotId slot, const Value& value) {
+  if (slot < next_to_apply_) return;  // duplicate learn
+  buffer_.emplace(slot, value);
+  while (true) {
+    auto it = buffer_.find(next_to_apply_);
+    if (it == buffer_.end()) break;
+    sm_->Apply(it->first, it->second.payload);
+    buffer_.erase(it);
+    ++next_to_apply_;
+  }
+}
+
+}  // namespace dpaxos

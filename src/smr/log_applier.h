@@ -1,0 +1,40 @@
+// In-order application of a (possibly out-of-order learned) decided log.
+#ifndef DPAXOS_SMR_LOG_APPLIER_H_
+#define DPAXOS_SMR_LOG_APPLIER_H_
+
+#include <map>
+
+#include "common/types.h"
+#include "paxos/value.h"
+#include "smr/state_machine.h"
+
+namespace dpaxos {
+
+/// \brief Buffers decided slots and applies them contiguously.
+///
+/// Wire it to a Replica:
+///   replica->set_decide_callback([&](SlotId s, const Value& v) {
+///     applier.OnDecided(s, v);
+///   });
+class LogApplier {
+ public:
+  /// `sm` must outlive the applier.
+  explicit LogApplier(StateMachine* sm) : sm_(sm) {}
+
+  /// Feed one decided slot; applies it (and any now-unblocked buffered
+  /// successors) if contiguous, else buffers.
+  void OnDecided(SlotId slot, const Value& value);
+
+  /// Next slot to apply (== number of contiguously applied slots).
+  SlotId applied_watermark() const { return next_to_apply_; }
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  StateMachine* sm_;
+  SlotId next_to_apply_ = 0;
+  std::map<SlotId, Value> buffer_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_SMR_LOG_APPLIER_H_

@@ -1,0 +1,28 @@
+// State Machine Replication interfaces (paper Section 1: DPaxos is the
+// SMR component of an edge data management system).
+#ifndef DPAXOS_SMR_STATE_MACHINE_H_
+#define DPAXOS_SMR_STATE_MACHINE_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace dpaxos {
+
+/// \brief Deterministic application state machine.
+///
+/// Commands are applied exactly once, in slot order, on every replica
+/// that learns the log; determinism makes all replicas converge.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Apply the decided command payload for `slot`. Empty payloads
+  /// (no-op fillers) are passed through so implementations can count
+  /// them if they wish.
+  virtual void Apply(SlotId slot, const std::string& payload) = 0;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_SMR_STATE_MACHINE_H_

@@ -1,0 +1,81 @@
+// Durable acceptor storage.
+//
+// Paxos safety depends on an acceptor never forgetting its promises or
+// accepted values across a process crash. This module models the
+// persistent store each node writes synchronously before answering:
+// AcceptorRecords survive a node restart (the Replica object — and all
+// its volatile proposer/learner state — does not; a restarted replica
+// re-learns the decided log via catch-up).
+#ifndef DPAXOS_STORAGE_STORAGE_H_
+#define DPAXOS_STORAGE_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "paxos/ballot.h"
+#include "paxos/intent.h"
+#include "paxos/messages.h"
+
+namespace dpaxos {
+
+/// \brief The state an acceptor must persist (per partition).
+struct AcceptorRecord {
+  Ballot promised;
+  std::map<SlotId, AcceptedEntry> accepted;
+  std::vector<Intent> intents;
+  /// Largest ballot seen in any propose message.
+  Ballot max_propose_ballot;
+  /// Largest ballot seen in a recovery-complete propose message — the
+  /// value the garbage collector polls (see ProposeMsg::recovery_complete).
+  Ballot max_recovered_ballot;
+  /// Highest relinquish() already consumed: a duplicated or replayed
+  /// handoff must never re-activate a dethroned leader.
+  Ballot relinquish_consumed;
+  // Read-lease promise: not answering foreign prepares until expiry is a
+  // durable obligation too (paper Section 4.5).
+  Ballot lease_ballot;
+  Timestamp lease_until = 0;
+
+  /// Count of synchronous writes ("fsyncs") this record absorbed.
+  /// Metrics only; each mutating acceptor step increments it once.
+  uint64_t sync_writes = 0;
+};
+
+/// \brief One node's persistent store, surviving process restarts.
+///
+/// Owned by the NodeHost (which outlives replica restarts). Records are
+/// created on first access.
+class NodeStorage {
+ public:
+  NodeStorage() = default;
+  NodeStorage(const NodeStorage&) = delete;
+  NodeStorage& operator=(const NodeStorage&) = delete;
+
+  /// Persistent acceptor record for `partition`; never null.
+  AcceptorRecord* RecordFor(PartitionId partition) {
+    auto& rec = records_[partition];
+    if (rec == nullptr) rec = std::make_unique<AcceptorRecord>();
+    return rec.get();
+  }
+
+  bool HasRecord(PartitionId partition) const {
+    return records_.count(partition) > 0;
+  }
+
+  /// Total synchronous writes across all partitions.
+  uint64_t TotalSyncWrites() const {
+    uint64_t total = 0;
+    for (const auto& [p, rec] : records_) total += rec->sync_writes;
+    return total;
+  }
+
+ private:
+  std::map<PartitionId, std::unique_ptr<AcceptorRecord>> records_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_STORAGE_STORAGE_H_

@@ -1,0 +1,49 @@
+// Batch assembly: accumulate transactions until a byte budget is reached,
+// then emit one consensus value (paper Section A.1 studies the batch-size
+// throughput/latency trade-off).
+#ifndef DPAXOS_TXN_BATCH_H_
+#define DPAXOS_TXN_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "paxos/value.h"
+#include "txn/transaction.h"
+
+namespace dpaxos {
+
+/// \brief Accumulates transactions into fixed-size-target batches.
+class BatchBuilder {
+ public:
+  /// `target_bytes`: emit a batch once its encoded size reaches this.
+  explicit BatchBuilder(uint64_t target_bytes)
+      : target_bytes_(target_bytes) {}
+
+  /// Add a transaction; returns true once the batch is full.
+  bool Add(Transaction txn) {
+    pending_bytes_ += EncodedSize(txn);
+    pending_.push_back(std::move(txn));
+    return pending_bytes_ >= target_bytes_;
+  }
+
+  bool empty() const { return pending_.empty(); }
+  size_t size() const { return pending_.size(); }
+  uint64_t pending_bytes() const { return pending_bytes_; }
+
+  /// Encode and clear the pending batch into a consensus value.
+  Value Take(uint64_t value_id) {
+    Value v = Value::Of(value_id, EncodeBatch(pending_));
+    pending_.clear();
+    pending_bytes_ = 0;
+    return v;
+  }
+
+ private:
+  uint64_t target_bytes_;
+  uint64_t pending_bytes_ = 0;
+  std::vector<Transaction> pending_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_TXN_BATCH_H_

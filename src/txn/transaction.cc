@@ -1,0 +1,66 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+
+namespace dpaxos {
+
+std::string EncodeBatch(const std::vector<Transaction>& batch) {
+  std::string out;
+  ByteWriter w(&out);
+  w.PutU32(static_cast<uint32_t>(batch.size()));
+  for (const Transaction& txn : batch) {
+    w.PutU64(txn.id);
+    w.PutU32(static_cast<uint32_t>(txn.ops.size()));
+    for (const Operation& op : txn.ops) {
+      w.PutU8(static_cast<uint8_t>(op.kind));
+      w.PutString(op.key);
+      w.PutString(op.value);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Transaction>> DecodeBatch(const std::string& payload) {
+  ByteReader r(payload);
+  uint32_t count = 0;
+  if (!r.ReadU32(&count)) return Status::Corruption("truncated batch header");
+  std::vector<Transaction> batch;
+  // Never trust an unvalidated count for allocation: each transaction
+  // needs at least 12 encoded bytes, so cap the reservation accordingly
+  // (a hostile count still fails cleanly during parsing).
+  batch.reserve(std::min<size_t>(count, payload.size() / 12 + 1));
+  for (uint32_t i = 0; i < count; ++i) {
+    Transaction txn;
+    uint32_t ops = 0;
+    if (!r.ReadU64(&txn.id) || !r.ReadU32(&ops)) {
+      return Status::Corruption("truncated transaction header");
+    }
+    // Same rule for the op count: an op occupies at least 9 bytes.
+    txn.ops.reserve(std::min<size_t>(ops, payload.size() / 9 + 1));
+    for (uint32_t j = 0; j < ops; ++j) {
+      Operation op;
+      uint8_t kind = 0;
+      if (!r.ReadU8(&kind) || kind > 1 || !r.ReadString(&op.key) ||
+          !r.ReadString(&op.value)) {
+        return Status::Corruption("truncated operation");
+      }
+      op.kind = static_cast<Operation::Kind>(kind);
+      txn.ops.push_back(std::move(op));
+    }
+    batch.push_back(std::move(txn));
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after batch");
+  return batch;
+}
+
+uint64_t EncodedSize(const Transaction& txn) {
+  uint64_t size = 8 + 4;  // id + op count
+  for (const Operation& op : txn.ops) {
+    size += 1 + 4 + op.key.size() + 4 + op.value.size();
+  }
+  return size;
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,69 @@
+// OLTP transactions and their wire encoding.
+//
+// The paper's evaluation workload (Section 5): each transaction has five
+// operations over one million keys, 50-byte values, half reads and half
+// writes. Transactions are batched into a single consensus value.
+#ifndef DPAXOS_TXN_TRANSACTION_H_
+#define DPAXOS_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpaxos {
+
+/// \brief One read or write of a transaction.
+struct Operation {
+  enum class Kind : uint8_t { kGet = 0, kPut = 1 };
+
+  Kind kind = Kind::kGet;
+  std::string key;
+  std::string value;  // kPut only
+
+  static Operation Get(std::string key) {
+    return Operation{Kind::kGet, std::move(key), {}};
+  }
+  static Operation Put(std::string key, std::string value) {
+    return Operation{Kind::kPut, std::move(key), std::move(value)};
+  }
+
+  bool operator==(const Operation& o) const {
+    return kind == o.kind && key == o.key && value == o.value;
+  }
+};
+
+/// \brief A transaction: a client-assigned id plus its operations.
+struct Transaction {
+  uint64_t id = 0;
+  std::vector<Operation> ops;
+
+  bool read_only() const {
+    for (const Operation& op : ops) {
+      if (op.kind == Operation::Kind::kPut) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const Transaction& o) const {
+    return id == o.id && ops == o.ops;
+  }
+};
+
+/// Serialize a batch of transactions into a consensus value payload.
+/// Format (little-endian): u32 txn count, then per transaction u64 id,
+/// u32 op count, then per op u8 kind, u32 key len, key bytes,
+/// u32 value len, value bytes.
+std::string EncodeBatch(const std::vector<Transaction>& batch);
+
+/// Parse a payload produced by EncodeBatch. Returns Corruption on any
+/// malformed input (truncation, overflow).
+Result<std::vector<Transaction>> DecodeBatch(const std::string& payload);
+
+/// Serialized size of one transaction (for batch budgeting).
+uint64_t EncodedSize(const Transaction& txn);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_TXN_TRANSACTION_H_

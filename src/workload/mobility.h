@@ -1,0 +1,94 @@
+// Mobility schedules: where a partition's users are over time.
+//
+// The paper's motivating scenario (vehicular / AR applications) has the
+// workload moving between zones; the leader — and eventually the Leader
+// Zone — must follow. A MobilitySchedule is a deterministic piecewise-
+// constant zone function of virtual time.
+#ifndef DPAXOS_WORKLOAD_MOBILITY_H_
+#define DPAXOS_WORKLOAD_MOBILITY_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/types.h"
+
+namespace dpaxos {
+
+/// \brief Piecewise-constant zone-of-time function.
+class MobilitySchedule {
+ public:
+  struct Segment {
+    Timestamp start;  ///< the user is in `zone` from this instant
+    ZoneId zone;
+  };
+
+  /// Segments must be sorted by start time, the first at time 0.
+  explicit MobilitySchedule(std::vector<Segment> segments)
+      : segments_(std::move(segments)) {
+    DPAXOS_CHECK(!segments_.empty());
+    DPAXOS_CHECK_EQ(segments_.front().start, 0u);
+    for (size_t i = 1; i < segments_.size(); ++i) {
+      DPAXOS_CHECK_LT(segments_[i - 1].start, segments_[i].start);
+    }
+  }
+
+  /// A stationary user.
+  static MobilitySchedule Stationary(ZoneId zone) {
+    return MobilitySchedule({Segment{0, zone}});
+  }
+
+  /// A round trip visiting `path` zones, `dwell` virtual time in each.
+  static MobilitySchedule Tour(const std::vector<ZoneId>& path,
+                               Duration dwell) {
+    DPAXOS_CHECK(!path.empty());
+    std::vector<Segment> segments;
+    Timestamp t = 0;
+    for (ZoneId z : path) {
+      segments.push_back(Segment{t, z});
+      t += dwell;
+    }
+    return MobilitySchedule(std::move(segments));
+  }
+
+  /// A random walk over `num_zones` zones seeded by `seed`.
+  static MobilitySchedule RandomWalk(uint32_t num_zones, uint32_t hops,
+                                     Duration dwell, uint64_t seed) {
+    DPAXOS_CHECK_GT(num_zones, 0u);
+    Rng rng(seed);
+    std::vector<Segment> segments;
+    Timestamp t = 0;
+    ZoneId zone = static_cast<ZoneId>(rng.NextBounded(num_zones));
+    for (uint32_t i = 0; i <= hops; ++i) {
+      segments.push_back(Segment{t, zone});
+      t += dwell;
+      if (num_zones > 1) {
+        ZoneId next = zone;
+        while (next == zone) {
+          next = static_cast<ZoneId>(rng.NextBounded(num_zones));
+        }
+        zone = next;
+      }
+    }
+    return MobilitySchedule(std::move(segments));
+  }
+
+  /// Zone the user occupies at time `t`.
+  ZoneId ZoneAt(Timestamp t) const {
+    ZoneId zone = segments_.front().zone;
+    for (const Segment& s : segments_) {
+      if (s.start > t) break;
+      zone = s.zone;
+    }
+    return zone;
+  }
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_WORKLOAD_MOBILITY_H_

@@ -1,0 +1,49 @@
+#include "workload/oltp.h"
+
+#include <cstdio>
+
+namespace dpaxos {
+
+std::string OltpGenerator::RandomKey() {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key%010llu",
+                static_cast<unsigned long long>(
+                    rng_.NextBounded(config_.num_keys)));
+  return buf;
+}
+
+std::string OltpGenerator::RandomValue() {
+  std::string v(config_.value_size, '\0');
+  for (char& c : v) {
+    c = static_cast<char>('a' + rng_.NextBounded(26));
+  }
+  return v;
+}
+
+Transaction OltpGenerator::Next() {
+  Transaction txn;
+  txn.id = ++next_id_;
+  const bool read_only = rng_.NextBool(config_.read_only_fraction);
+  txn.ops.reserve(config_.ops_per_txn);
+  for (uint32_t i = 0; i < config_.ops_per_txn; ++i) {
+    if (!read_only && rng_.NextBool(config_.write_op_fraction)) {
+      txn.ops.push_back(Operation::Put(RandomKey(), RandomValue()));
+    } else {
+      txn.ops.push_back(Operation::Get(RandomKey()));
+    }
+  }
+  return txn;
+}
+
+std::vector<Transaction> OltpGenerator::NextBatch(uint64_t target_bytes) {
+  std::vector<Transaction> batch;
+  uint64_t bytes = 0;
+  do {
+    Transaction txn = Next();
+    bytes += EncodedSize(txn);
+    batch.push_back(std::move(txn));
+  } while (bytes < target_bytes);
+  return batch;
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,56 @@
+// OLTP workload generator, matching the paper's evaluation workload
+// (Section 5): small transactions of five operations over one million
+// keys, 50-byte values, half reads / half writes; optionally a fraction
+// of read-only transactions (Section A.2).
+#ifndef DPAXOS_WORKLOAD_OLTP_H_
+#define DPAXOS_WORKLOAD_OLTP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "txn/transaction.h"
+
+namespace dpaxos {
+
+/// Workload parameters; defaults are the paper's.
+struct OltpConfig {
+  uint64_t num_keys = 1'000'000;
+  uint32_t ops_per_txn = 5;
+  uint32_t value_size = 50;
+  /// Probability that an operation inside a read-write transaction is a
+  /// write (paper: half reads, half writes).
+  double write_op_fraction = 0.5;
+  /// Fraction of transactions that are read-only (paper Section A.2).
+  double read_only_fraction = 0.0;
+};
+
+/// \brief Deterministic transaction stream.
+class OltpGenerator {
+ public:
+  OltpGenerator(OltpConfig config, uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  /// Generate the next transaction (ids are sequential).
+  Transaction Next();
+
+  /// Generate a batch whose encoded size is at least `target_bytes`
+  /// (one transaction minimum).
+  std::vector<Transaction> NextBatch(uint64_t target_bytes);
+
+  const OltpConfig& config() const { return config_; }
+  uint64_t generated() const { return next_id_; }
+
+ private:
+  std::string RandomKey();
+  std::string RandomValue();
+
+  OltpConfig config_;
+  Rng rng_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_WORKLOAD_OLTP_H_

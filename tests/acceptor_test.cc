@@ -1,0 +1,229 @@
+// Unit tests for the acceptor state machine: promises, acceptance,
+// intent storage/return, garbage collection and read-lease blocking.
+#include <gtest/gtest.h>
+
+#include "paxos/acceptor.h"
+
+namespace dpaxos {
+namespace {
+
+PrepareMsg MakePrepare(Ballot b, SlotId first_slot = 0,
+                       std::vector<Intent> intents = {},
+                       bool expansion = false) {
+  return PrepareMsg(0, b, first_slot, std::move(intents), expansion,
+                    LeaderZoneView{});
+}
+
+ProposeMsg MakePropose(Ballot b, SlotId slot, uint64_t value_id = 1) {
+  return ProposeMsg(0, b, slot, Value::Synthetic(value_id, 100));
+}
+
+TEST(AcceptorTest, PromisesFreshBallot) {
+  Acceptor a;
+  auto out = a.OnPrepare(MakePrepare(Ballot{1, 0}), 0);
+  EXPECT_TRUE(out.promised);
+  EXPECT_TRUE(out.accepted.empty());
+  EXPECT_TRUE(out.intents.empty());
+  EXPECT_EQ(a.promised(), (Ballot{1, 0}));
+}
+
+TEST(AcceptorTest, RejectsLowerBallot) {
+  Acceptor a;
+  a.OnPrepare(MakePrepare(Ballot{5, 0}), 0);
+  auto out = a.OnPrepare(MakePrepare(Ballot{3, 1}), 0);
+  EXPECT_FALSE(out.promised);
+  EXPECT_EQ(out.promised_ballot, (Ballot{5, 0}));
+}
+
+TEST(AcceptorTest, RepromisesEqualBallot) {
+  // Expansion rounds and retransmissions resend the same ballot.
+  Acceptor a;
+  EXPECT_TRUE(a.OnPrepare(MakePrepare(Ballot{2, 1}), 0).promised);
+  EXPECT_TRUE(a.OnPrepare(MakePrepare(Ballot{2, 1}), 0).promised);
+}
+
+TEST(AcceptorTest, NodeIdBreaksBallotTies) {
+  Acceptor a;
+  a.OnPrepare(MakePrepare(Ballot{2, 5}), 0);
+  EXPECT_FALSE(a.OnPrepare(MakePrepare(Ballot{2, 3}), 0).promised);
+  EXPECT_TRUE(a.OnPrepare(MakePrepare(Ballot{2, 7}), 0).promised);
+}
+
+TEST(AcceptorTest, AcceptsAtOrAbovePromise) {
+  Acceptor a;
+  a.OnPrepare(MakePrepare(Ballot{3, 0}), 0);
+  EXPECT_TRUE(a.OnPropose(MakePropose(Ballot{3, 0}, 7), 0).accepted);
+  EXPECT_TRUE(a.OnPropose(MakePropose(Ballot{4, 1}, 8), 0).accepted);
+  // Accepting ballot (4,1) implicitly promises it.
+  EXPECT_FALSE(a.OnPropose(MakePropose(Ballot{3, 0}, 9), 0).accepted);
+}
+
+TEST(AcceptorTest, RejectedProposeReportsPromise) {
+  Acceptor a;
+  a.OnPrepare(MakePrepare(Ballot{9, 2}), 0);
+  auto out = a.OnPropose(MakePropose(Ballot{4, 1}, 0), 0);
+  EXPECT_FALSE(out.accepted);
+  EXPECT_EQ(out.promised_ballot, (Ballot{9, 2}));
+}
+
+TEST(AcceptorTest, PromiseReturnsAcceptedEntriesFromFirstSlot) {
+  Acceptor a;
+  a.OnPrepare(MakePrepare(Ballot{1, 0}), 0);
+  a.OnPropose(MakePropose(Ballot{1, 0}, 0, 10), 0);
+  a.OnPropose(MakePropose(Ballot{1, 0}, 1, 11), 0);
+  a.OnPropose(MakePropose(Ballot{1, 0}, 5, 15), 0);
+
+  auto out = a.OnPrepare(MakePrepare(Ballot{2, 1}, /*first_slot=*/1), 0);
+  ASSERT_TRUE(out.promised);
+  ASSERT_EQ(out.accepted.size(), 2u);  // slots 1 and 5, not 0
+  EXPECT_EQ(out.accepted[0].slot, 1u);
+  EXPECT_EQ(out.accepted[0].value.id, 11u);
+  EXPECT_EQ(out.accepted[1].slot, 5u);
+}
+
+TEST(AcceptorTest, HighestBallotValueWinsPerSlot) {
+  Acceptor a;
+  a.OnPropose(MakePropose(Ballot{1, 0}, 3, 100), 0);
+  a.OnPropose(MakePropose(Ballot{2, 1}, 3, 200), 0);
+  const AcceptedEntry* e = a.AcceptedFor(3);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->value.id, 200u);
+  EXPECT_EQ(e->ballot, (Ballot{2, 1}));
+}
+
+// --- intents (paper Section 4.3) --------------------------------------
+
+TEST(AcceptorTest, StoresIntentsOnPositivePromiseOnly) {
+  Acceptor a;
+  const Intent i1{Ballot{5, 1}, 1, {1, 2}};
+  a.OnPrepare(MakePrepare(Ballot{5, 1}, 0, {i1}), 0);
+  ASSERT_EQ(a.intents().size(), 1u);
+
+  // A rejected prepare's intent must NOT be stored (paper: "Not included
+  // ... intents of unsuccessful prepare() messages").
+  const Intent i2{Ballot{3, 0}, 0, {0, 1}};
+  a.OnPrepare(MakePrepare(Ballot{3, 0}, 0, {i2}), 0);
+  EXPECT_EQ(a.intents().size(), 1u);
+}
+
+TEST(AcceptorTest, PromiseReturnsPriorIntentsNotOwn) {
+  Acceptor a;
+  const Intent i1{Ballot{1, 1}, 1, {1, 2}};
+  a.OnPrepare(MakePrepare(Ballot{1, 1}, 0, {i1}), 0);
+
+  const Intent i2{Ballot{2, 2}, 2, {2, 3}};
+  auto out = a.OnPrepare(MakePrepare(Ballot{2, 2}, 0, {i2}), 0);
+  // The second aspirant gets back i1, but not its own i2.
+  ASSERT_EQ(out.intents.size(), 1u);
+  EXPECT_EQ(out.intents[0], i1);
+  EXPECT_EQ(a.intents().size(), 2u);
+}
+
+TEST(AcceptorTest, DuplicateIntentsAreDeduplicated) {
+  Acceptor a;
+  const Intent i1{Ballot{1, 1}, 1, {1, 2}};
+  a.OnPrepare(MakePrepare(Ballot{1, 1}, 0, {i1}), 0);
+  a.OnPrepare(MakePrepare(Ballot{1, 1}, 0, {i1}), 0);  // retransmit
+  EXPECT_EQ(a.intents().size(), 1u);
+}
+
+TEST(AcceptorTest, PausedIntentStorageDropsNewIntents) {
+  Acceptor a;
+  a.PauseIntentStorage();
+  const Intent i1{Ballot{1, 1}, 1, {1, 2}};
+  auto out = a.OnPrepare(MakePrepare(Ballot{1, 1}, 0, {i1}), 0);
+  EXPECT_TRUE(out.promised);  // still votes
+  EXPECT_TRUE(a.intents().empty());
+  // Direct transfer (Leader Zone migration step 2) still works.
+  a.AddIntents({i1});
+  EXPECT_EQ(a.intents().size(), 1u);
+}
+
+TEST(AcceptorTest, GcDropsOnlyBelowThreshold) {
+  Acceptor a;
+  const Intent i1{Ballot{1, 1}, 1, {1, 2}};
+  const Intent i2{Ballot{5, 2}, 2, {2, 3}};
+  a.OnPrepare(MakePrepare(Ballot{1, 1}, 0, {i1}), 0);
+  a.OnPrepare(MakePrepare(Ballot{5, 2}, 0, {i2}), 0);
+  a.ApplyGcThreshold(Ballot{5, 2}, 0);
+  ASSERT_EQ(a.intents().size(), 1u);
+  EXPECT_EQ(a.intents()[0], i2);
+}
+
+TEST(AcceptorTest, MaxProposeBallotTracksReceivedProposes) {
+  Acceptor a;
+  EXPECT_TRUE(a.max_propose_ballot().is_null());
+  a.OnPrepare(MakePrepare(Ballot{9, 0}), 0);
+  // Prepares do NOT move it (Algorithm 3 polls propose messages only).
+  EXPECT_TRUE(a.max_propose_ballot().is_null());
+  a.OnPropose(MakePropose(Ballot{3, 1}, 0), 0);
+  // Even a REJECTED propose counts: its sender completed an election.
+  EXPECT_EQ(a.max_propose_ballot(), (Ballot{3, 1}));
+  a.OnPropose(MakePropose(Ballot{12, 1}, 1), 0);
+  EXPECT_EQ(a.max_propose_ballot(), (Ballot{12, 1}));
+}
+
+// --- read leases (paper Section 4.5) -----------------------------------
+
+TEST(AcceptorTest, LeaseVoteGrantedWithAccept) {
+  Acceptor a;
+  ProposeMsg p = MakePropose(Ballot{1, 0}, 0);
+  p.lease_request = true;
+  p.lease_until = 10'000;
+  auto out = a.OnPropose(p, 100);
+  EXPECT_TRUE(out.accepted);
+  EXPECT_TRUE(out.lease_vote);
+  EXPECT_EQ(out.lease_until, 10'000u);
+  EXPECT_TRUE(a.HasActiveLease(5'000));
+  EXPECT_FALSE(a.HasActiveLease(20'000));
+}
+
+TEST(AcceptorTest, LeaseBlocksForeignPreparesUntilExpiry) {
+  Acceptor a;
+  ProposeMsg p = MakePropose(Ballot{1, 0}, 0);
+  p.lease_request = true;
+  p.lease_until = 10'000;
+  a.OnPropose(p, 0);
+
+  // Another node cannot get a promise while the lease is active...
+  auto out = a.OnPrepare(MakePrepare(Ballot{2, 1}), 5'000);
+  EXPECT_FALSE(out.promised);
+  EXPECT_EQ(out.lease_until, 10'000u);
+  // ...the lease holder itself still can (e.g. to raise its ballot)...
+  EXPECT_TRUE(a.OnPrepare(MakePrepare(Ballot{2, 0}), 5'000).promised);
+  // ...and anyone can after expiry.
+  EXPECT_TRUE(a.OnPrepare(MakePrepare(Ballot{3, 1}), 10'001).promised);
+}
+
+TEST(AcceptorTest, GcSparesActiveLeaseholderIntent) {
+  Acceptor a;
+  const Intent lease_intent{Ballot{1, 0}, 0, {0, 1}};
+  a.OnPrepare(MakePrepare(Ballot{1, 0}, 0, {lease_intent}), 0);
+  ProposeMsg p = MakePropose(Ballot{1, 0}, 0);
+  p.lease_request = true;
+  p.lease_until = 10'000;
+  a.OnPropose(p, 0);
+
+  // Even a threshold above the lease holder's ballot must not collect its
+  // intent while the lease is active (Section 4.5).
+  a.ApplyGcThreshold(Ballot{100, 5}, 5'000);
+  ASSERT_EQ(a.intents().size(), 1u);
+  // After expiry it is collectable.
+  a.ApplyGcThreshold(Ballot{100, 5}, 20'000);
+  EXPECT_TRUE(a.intents().empty());
+}
+
+// --- leaderless mode -----------------------------------------------------
+
+TEST(AcceptorTest, LeaderlessAcceptsPerSlot) {
+  Acceptor a(/*leaderless=*/true);
+  // Two proposers with incomparable global order both succeed on their
+  // own slots (the paper's idealized optimal leaderless baseline).
+  EXPECT_TRUE(a.OnPropose(MakePropose(Ballot{1, 5}, 0), 0).accepted);
+  EXPECT_TRUE(a.OnPropose(MakePropose(Ballot{1, 2}, 1), 0).accepted);
+  // Per-slot ordering still applies.
+  EXPECT_FALSE(a.OnPropose(MakePropose(Ballot{1, 2}, 0), 0).accepted);
+}
+
+}  // namespace
+}  // namespace dpaxos

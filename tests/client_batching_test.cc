@@ -1,0 +1,110 @@
+// Tests for client-side automatic batching (SubmitBatched/FlushBatch).
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "harness/cluster.h"
+#include "workload/oltp.h"
+
+namespace dpaxos {
+namespace {
+
+struct Fixture {
+  Fixture() : cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone) {
+    leader = cluster.NodeInZone(0);
+    EXPECT_TRUE(cluster.ElectLeader(leader).ok());
+  }
+  Cluster cluster;
+  NodeId leader;
+};
+
+TEST(ClientBatchingTest, SizeTriggeredFlush) {
+  Fixture f;
+  Client::Options options;
+  options.batch_target_bytes = 400;
+  options.batch_flush_interval = 10 * kSecond;  // never by time
+  Client client(&f.cluster.sim(), f.cluster.replica(f.leader), options);
+
+  OltpGenerator gen(OltpConfig{.num_keys = 100}, 1);
+  int completed = 0;
+  // Each 5-op txn encodes to ~350 bytes: the second one crosses 400.
+  client.SubmitBatched(gen.Next(),
+                       [&](const Status& st, Duration) {
+                         EXPECT_TRUE(st.ok());
+                         ++completed;
+                       });
+  EXPECT_EQ(client.batches_flushed(), 0u);  // still queued
+  client.SubmitBatched(gen.Next(),
+                       [&](const Status& st, Duration) {
+                         EXPECT_TRUE(st.ok());
+                         ++completed;
+                       });
+  EXPECT_EQ(client.batches_flushed(), 1u);  // size tripped
+  ASSERT_TRUE(f.cluster.RunUntil([&] { return completed == 2; },
+                                 10 * kSecond));
+  // Both transactions rode one consensus value.
+  EXPECT_EQ(f.cluster.replica(f.leader)->decided().size(), 1u);
+}
+
+TEST(ClientBatchingTest, TimerTriggeredFlush) {
+  Fixture f;
+  Client::Options options;
+  options.batch_target_bytes = 1 << 20;  // never by size
+  options.batch_flush_interval = 5 * kMillisecond;
+  Client client(&f.cluster.sim(), f.cluster.replica(f.leader), options);
+
+  OltpGenerator gen(OltpConfig{.num_keys = 100}, 2);
+  int completed = 0;
+  for (int i = 0; i < 3; ++i) {
+    client.SubmitBatched(gen.Next(),
+                         [&](const Status&, Duration) { ++completed; });
+  }
+  EXPECT_EQ(client.batches_flushed(), 0u);
+  ASSERT_TRUE(f.cluster.RunUntil([&] { return completed == 3; },
+                                 10 * kSecond));
+  EXPECT_EQ(client.batches_flushed(), 1u);
+  EXPECT_EQ(client.committed(), 3u);
+}
+
+TEST(ClientBatchingTest, ManualFlush) {
+  Fixture f;
+  Client::Options options;
+  options.batch_target_bytes = 1 << 20;
+  options.batch_flush_interval = 10 * kSecond;
+  Client client(&f.cluster.sim(), f.cluster.replica(f.leader), options);
+
+  OltpGenerator gen(OltpConfig{.num_keys = 100}, 3);
+  int completed = 0;
+  client.SubmitBatched(gen.Next(),
+                       [&](const Status&, Duration) { ++completed; });
+  client.FlushBatch();
+  EXPECT_EQ(client.batches_flushed(), 1u);
+  ASSERT_TRUE(f.cluster.RunUntil([&] { return completed == 1; },
+                                 10 * kSecond));
+  // A second flush with nothing queued is a no-op.
+  client.FlushBatch();
+  EXPECT_EQ(client.batches_flushed(), 1u);
+}
+
+TEST(ClientBatchingTest, BatchingRaisesThroughputPerSlot) {
+  // 20 transactions batched consume far fewer slots than unbatched.
+  Fixture f;
+  Client::Options options;
+  options.batch_target_bytes = 4096;
+  options.batch_flush_interval = 2 * kMillisecond;
+  Client client(&f.cluster.sim(), f.cluster.replica(f.leader), options);
+
+  OltpGenerator gen(OltpConfig{.num_keys = 100}, 4);
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    client.SubmitBatched(gen.Next(),
+                         [&](const Status&, Duration) { ++completed; });
+  }
+  client.FlushBatch();
+  ASSERT_TRUE(f.cluster.RunUntil([&] { return completed == 20; },
+                                 30 * kSecond));
+  EXPECT_LT(f.cluster.replica(f.leader)->decided().size(), 10u);
+  EXPECT_EQ(client.committed(), 20u);
+}
+
+}  // namespace
+}  // namespace dpaxos

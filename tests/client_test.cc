@@ -1,0 +1,189 @@
+// Tests for request forwarding (SubmitOrForward) and the Client session
+// layer — the paper's remote-request model (Section 5.3).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "client/client.h"
+#include "harness/cluster.h"
+#include "workload/oltp.h"
+
+namespace dpaxos {
+namespace {
+
+Result<Duration> ForwardCommit(Cluster& cluster, Replica* origin,
+                               Value value) {
+  std::optional<Status> done;
+  Duration latency = 0;
+  origin->SubmitOrForward(std::move(value),
+                          [&](const Status& st, SlotId, Duration lat) {
+                            done = st;
+                            latency = lat;
+                          });
+  while (!done.has_value() && cluster.sim().Step()) {
+  }
+  if (!done.has_value()) return Status::Internal("no progress");
+  if (!done->ok()) return *done;
+  return latency;
+}
+
+TEST(ForwardingTest, RemoteRequestPaysForwardRoundTrip) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);  // California
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+
+  Replica* origin = cluster.ReplicaInZone(6);  // Mumbai
+  origin->set_leader_hint(leader);
+  Result<Duration> latency =
+      ForwardCommit(cluster, origin, Value::Synthetic(1, 1024));
+  ASSERT_TRUE(latency.ok()) << latency.status().ToString();
+  // Forward + reply = one Mumbai-California round trip (249 ms) on top of
+  // the ~11 ms local commit.
+  EXPECT_GE(latency.value(), FromMillis(249 + 11));
+  EXPECT_LE(latency.value(), FromMillis(249 + 25));
+}
+
+TEST(ForwardingTest, LeaderHandlesOwnSubmitLocally) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  Result<Duration> latency = ForwardCommit(
+      cluster, cluster.replica(leader), Value::Synthetic(1, 1024));
+  ASSERT_TRUE(latency.ok());
+  EXPECT_LE(latency.value(), FromMillis(15));
+}
+
+TEST(ForwardingTest, QuorumMembersLearnHintFromTraffic) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Synthetic(1, 64)).ok());
+  // Node 1 accepted the propose and learned who leads.
+  EXPECT_EQ(cluster.replica(1)->leader_hint(), leader);
+}
+
+TEST(ForwardingTest, StaleHintIsRedirected) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId first = cluster.NodeInZone(0, 0);
+  ASSERT_TRUE(cluster.ElectLeader(first).ok());
+  ASSERT_TRUE(cluster.Commit(first, Value::Synthetic(1, 64)).ok());
+
+  // Leadership moves to node 1 via handoff; node 0 knows the new leader.
+  const NodeId second = cluster.NodeInZone(0, 1);
+  std::optional<Status> handed;
+  cluster.replica(second)->RequestHandoffFrom(
+      first, [&](const Status& st) { handed = st; });
+  ASSERT_TRUE(cluster.RunUntil([&] { return handed.has_value(); },
+                               10 * kSecond));
+  ASSERT_TRUE(handed->ok());
+  cluster.replica(first)->set_leader_hint(second);
+
+  // A remote origin still pointing at the OLD leader gets redirected and
+  // its request commits at the new one.
+  Replica* origin = cluster.ReplicaInZone(3);
+  origin->set_leader_hint(first);
+  Result<Duration> latency =
+      ForwardCommit(cluster, origin, Value::Synthetic(2, 64));
+  ASSERT_TRUE(latency.ok()) << latency.status().ToString();
+  EXPECT_EQ(origin->leader_hint(), second);
+}
+
+TEST(ForwardingTest, FailsCleanlyWhenLeaderUnreachable) {
+  ClusterOptions options;
+  options.replica.propose_timeout = 200 * kMillisecond;
+  options.replica.max_propose_retries = 2;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  Replica* origin = cluster.ReplicaInZone(5);
+  origin->set_leader_hint(leader);
+  cluster.transport().Crash(leader);
+
+  Result<Duration> latency =
+      ForwardCommit(cluster, origin, Value::Synthetic(1, 64));
+  EXPECT_FALSE(latency.ok());
+  EXPECT_TRUE(latency.status().IsTimedOut());
+}
+
+TEST(ClientTest, ExecutesTransactionsThroughAccessReplica) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+
+  Client client(&cluster.sim(), cluster.replica(leader));
+  OltpGenerator gen(OltpConfig{.num_keys = 100}, 5);
+  bool done = false;
+  client.Execute(gen.Next(), [&](const Status& st, Duration) {
+    EXPECT_TRUE(st.ok());
+    done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done; }, 10 * kSecond));
+  EXPECT_EQ(client.committed(), 1u);
+  EXPECT_EQ(client.failed(), 0u);
+  EXPECT_NEAR(client.latency().MeanMillis(), 11.0, 3.0);
+}
+
+TEST(ClientTest, RemoteClientForwardsThroughItsAccessReplica) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+
+  Replica* access = cluster.ReplicaInZone(3);  // Tokyo user
+  access->set_leader_hint(leader);
+  Client client(&cluster.sim(), access);
+  OltpGenerator gen(OltpConfig{.num_keys = 100}, 6);
+  bool done = false;
+  client.Execute(gen.Next(), [&](const Status&, Duration) { done = true; });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done; }, 10 * kSecond));
+  // Tokyo-California RTT (113 ms) + local commit.
+  EXPECT_NEAR(client.latency().MeanMillis(), 113 + 12, 5.0);
+}
+
+TEST(ClientTest, ReadOnlyServedLocallyUnderLease) {
+  ClusterOptions options;
+  options.replica.enable_leases = true;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Synthetic(1, 64)).ok());
+
+  Client client(&cluster.sim(), cluster.replica(leader));
+  Transaction ro;
+  ro.id = 1;
+  ro.ops = {Operation::Get("a"), Operation::Get("b")};
+  bool done = false;
+  Duration lat = 0;
+  client.ExecuteReadOnly(ro, [&](const Status& st, Duration l) {
+    EXPECT_TRUE(st.ok());
+    lat = l;
+    done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done; }, 5 * kSecond));
+  EXPECT_EQ(client.local_reads(), 1u);
+  EXPECT_LT(lat, kMillisecond);  // paper: read-only < 1 ms
+}
+
+TEST(ClientTest, ReadOnlyWithoutLeaseGoesThroughConsensus) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+
+  Client client(&cluster.sim(), cluster.replica(leader));
+  Transaction ro;
+  ro.id = 1;
+  ro.ops = {Operation::Get("a")};
+  bool done = false;
+  Duration lat = 0;
+  client.ExecuteReadOnly(ro, [&](const Status&, Duration l) {
+    lat = l;
+    done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done; }, 5 * kSecond));
+  EXPECT_EQ(client.local_reads(), 0u);
+  EXPECT_GE(lat, FromMillis(10));  // replicated
+}
+
+}  // namespace
+}  // namespace dpaxos

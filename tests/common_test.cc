@@ -1,0 +1,161 @@
+// Unit tests for the common utilities: Status/Result, Rng, Histogram,
+// duration formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_EQ(st, Status::OK());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status st = Status::Aborted("lost the race");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  EXPECT_EQ(st.message(), "lost the race");
+  EXPECT_EQ(st.ToString(), "Aborted: lost the race");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const uint64_t v = rng.NextInRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.MeanMillis(), 0.0);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+}
+
+TEST(HistogramTest, PercentilesAndMean) {
+  Histogram h;
+  for (Duration d = 1; d <= 100; ++d) h.Add(d * kMillisecond);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.MeanMillis(), 50.5, 0.1);
+  EXPECT_EQ(h.Min(), 1 * kMillisecond);
+  EXPECT_EQ(h.Max(), 100 * kMillisecond);
+  EXPECT_NEAR(h.P50Millis(), 50, 1.0);
+  EXPECT_NEAR(h.P99Millis(), 99, 1.0);
+  EXPECT_EQ(h.Percentile(0), 1 * kMillisecond);
+  EXPECT_EQ(h.Percentile(100), 100 * kMillisecond);
+}
+
+TEST(HistogramTest, InterleavedAddAndQuery) {
+  Histogram h;
+  h.Add(10);
+  EXPECT_EQ(h.Percentile(50), 10u);
+  h.Add(20);
+  h.Add(30);
+  EXPECT_EQ(h.Percentile(100), 30u);  // re-sorts after new samples
+}
+
+TEST(ThroughputCounterTest, Rates) {
+  ThroughputCounter tc;
+  tc.Record(10, 10 * 1024);
+  tc.elapsed = 2 * kSecond;
+  EXPECT_NEAR(tc.KilobytesPerSecond(), 5.0, 0.01);
+  EXPECT_NEAR(tc.OpsPerSecond(), 5.0, 0.01);
+}
+
+TEST(ThroughputCounterTest, ZeroElapsedIsZeroRate) {
+  ThroughputCounter tc;
+  tc.Record(10, 1024);
+  EXPECT_EQ(tc.KilobytesPerSecond(), 0.0);
+}
+
+TEST(DurationTest, Formatting) {
+  EXPECT_EQ(DurationToString(500), "500us");
+  EXPECT_EQ(DurationToString(12'340), "12.34ms");
+  EXPECT_EQ(DurationToString(2'500'000), "2.500s");
+}
+
+TEST(DurationTest, Conversions) {
+  EXPECT_EQ(FromMillis(12.5), 12'500u);
+  EXPECT_DOUBLE_EQ(ToMillis(12'500), 12.5);
+}
+
+}  // namespace
+}  // namespace dpaxos

@@ -1,0 +1,93 @@
+// Tests for the per-replica protocol counters.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(CountersTest, ElectionAndCommitIncrementTheRightCounters) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+
+  const ProtocolCounters& lc = cluster.replica(leader)->counters();
+  EXPECT_EQ(lc.elections_started, 1u);
+  // The leader voted for itself (loopback prepare).
+  EXPECT_GE(lc.prepares_received, 1u);
+  EXPECT_GE(lc.promises_sent, 1u);
+
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "x")).ok());
+  EXPECT_EQ(lc.proposes_sent, 1u);
+  EXPECT_GE(lc.proposes_received, 1u);  // self-accept
+  EXPECT_GE(lc.accepts_sent, 1u);
+
+  // The quorum companion accepted once and never nacked.
+  const ProtocolCounters& pc = cluster.replica(1)->counters();
+  EXPECT_EQ(pc.proposes_received, 1u);
+  EXPECT_EQ(pc.accepts_sent, 1u);
+  EXPECT_EQ(pc.accept_nacks_sent, 0u);
+  EXPECT_EQ(pc.elections_started, 0u);
+}
+
+TEST(CountersTest, PreemptionCountsNacksAndStepDowns) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kMultiPaxos);
+  const NodeId first = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(first).ok());
+  ASSERT_TRUE(cluster.Commit(first, Value::Of(1, "a")).ok());
+
+  const NodeId second = cluster.NodeInZone(3);
+  ASSERT_TRUE(cluster.ElectLeader(second).ok());
+  cluster.sim().RunFor(2 * kSecond);
+  EXPECT_GE(cluster.replica(first)->counters().step_downs, 1u);
+}
+
+TEST(CountersTest, ExpansionCountsDetectedIntents) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kDelegate);
+  const NodeId mumbai = cluster.NodeInZone(6);
+  ASSERT_TRUE(cluster.ElectLeader(mumbai).ok());
+  ASSERT_TRUE(cluster.Commit(mumbai, Value::Of(1, "m")).ok());
+
+  Replica* cal = cluster.ReplicaInZone(0);
+  cal->PrimeBallot(cluster.replica(mumbai)->ballot());
+  ASSERT_TRUE(cluster.ElectLeader(cal->id()).ok());
+  EXPECT_GE(cal->counters().intents_detected, 1u);
+}
+
+TEST(CountersTest, HandoffAndForwardingCounters) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId old_leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(old_leader).ok());
+  ASSERT_TRUE(cluster.replica(old_leader)->HandoffTo(3).ok());
+  ASSERT_TRUE(cluster.RunUntil(
+      [&] { return cluster.replica(3)->is_leader(); }, 10 * kSecond));
+  EXPECT_EQ(cluster.replica(old_leader)->counters().handoffs_sent, 1u);
+  EXPECT_EQ(cluster.replica(3)->counters().handoffs_received, 1u);
+
+  Replica* origin = cluster.ReplicaInZone(5);
+  origin->set_leader_hint(3);
+  bool done = false;
+  origin->SubmitOrForward(Value::Of(2, "fwd"),
+                          [&](const Status&, SlotId, Duration) {
+                            done = true;
+                          });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done; }, 10 * kSecond));
+  EXPECT_EQ(cluster.replica(3)->counters().forwards_handled, 1u);
+}
+
+TEST(CountersTest, RetransmitsCountedUnderLoss) {
+  ClusterOptions options;
+  options.transport.drop_probability = 0.5;
+  options.replica.propose_timeout = 200 * kMillisecond;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  (void)cluster.ElectLeader(leader);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    (void)cluster.Commit(leader, Value::Synthetic(i, 64));
+  }
+  EXPECT_GT(cluster.replica(leader)->counters().retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace dpaxos

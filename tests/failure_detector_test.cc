@@ -1,0 +1,140 @@
+// Tests for autonomous failover: leader heartbeats + member watchdogs.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+
+namespace dpaxos {
+namespace {
+
+ClusterOptions DetectorOptions() {
+  ClusterOptions options;
+  options.replica.enable_failure_detector = true;
+  options.replica.heartbeat_interval = 200 * kMillisecond;
+  options.replica.election_timeout = 800 * kMillisecond;
+  options.replica.le_timeout = 1 * kSecond;
+  // The successor's default intent would include the node that just
+  // died (its zone companion): declare an alternate quorum so failover
+  // can commit without waiting for recovery (Section 4.6).
+  options.replica.num_intents = 2;
+  options.replica.propose_timeout = 300 * kMillisecond;
+  options.replica.max_propose_retries = 2;
+  return options;
+}
+
+// Count current self-declared leaders.
+int Leaders(Cluster& cluster) {
+  int n = 0;
+  for (NodeId id : cluster.topology().AllNodes()) {
+    if (cluster.replica(id)->is_leader()) ++n;
+  }
+  return n;
+}
+
+TEST(FailureDetectorTest, HealthyLeaderIsNeverDeposed) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  DetectorOptions());
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  // A long quiet period: heartbeats alone must keep the members calm.
+  cluster.sim().RunFor(30 * kSecond);
+  EXPECT_TRUE(cluster.replica(leader)->is_leader());
+  EXPECT_EQ(Leaders(cluster), 1);
+  uint64_t elections = 0;
+  for (NodeId n : cluster.topology().AllNodes()) {
+    elections += cluster.replica(n)->counters().elections_started;
+  }
+  EXPECT_EQ(elections, 1u);  // only the bootstrap election ever ran
+}
+
+TEST(FailureDetectorTest, CrashedLeaderIsReplacedAutomatically) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  DetectorOptions());
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "a")).ok());
+  cluster.sim().RunFor(2 * kSecond);
+
+  cluster.transport().Crash(leader);
+  // No harness intervention: a quorum member's watchdog fires, it elects
+  // itself, and the partition keeps serving. (The crashed process still
+  // *believes* it leads — its state is frozen, not erased.)
+  auto live_successor = [&]() -> NodeId {
+    for (NodeId n : cluster.topology().AllNodes()) {
+      if (n != leader && cluster.replica(n)->is_leader()) return n;
+    }
+    return kInvalidNode;
+  };
+  ASSERT_TRUE(cluster.RunUntil(
+      [&] { return live_successor() != kInvalidNode; }, 60 * kSecond));
+  const NodeId successor = live_successor();
+  ASSERT_NE(successor, kInvalidNode);
+  EXPECT_NE(successor, leader);
+  // The successor was a watcher of the old quorum (node 1, the
+  // companion) — the only node wired to notice.
+  EXPECT_EQ(successor, 1u);
+  Result<Duration> r = cluster.Commit(successor, Value::Of(2, "b"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The decided prefix survived the failover.
+  EXPECT_EQ(cluster.replica(successor)->decided().at(0).id, 1u);
+}
+
+TEST(FailureDetectorTest, HandoffKeepsHeartbeatsFlowing) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  DetectorOptions());
+  const NodeId a = cluster.NodeInZone(0, 0);
+  const NodeId b = cluster.NodeInZone(0, 1);
+  ASSERT_TRUE(cluster.ElectLeader(a).ok());
+  ASSERT_TRUE(cluster.replica(a)->HandoffTo(b).ok());
+  ASSERT_TRUE(cluster.RunUntil(
+      [&] { return cluster.replica(b)->is_leader(); }, 10 * kSecond));
+  // The new leader heartbeats; nobody usurps it during a quiet spell.
+  cluster.sim().RunFor(20 * kSecond);
+  EXPECT_TRUE(cluster.replica(b)->is_leader());
+  EXPECT_EQ(Leaders(cluster), 1);
+}
+
+TEST(FailureDetectorTest, RepeatedFailuresKeepRecovering) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  DetectorOptions());
+  NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Synthetic(1, 64)).ok());
+
+  for (int round = 0; round < 3; ++round) {
+    cluster.transport().Crash(leader);
+    ASSERT_TRUE(cluster.RunUntil(
+        [&] {
+          for (NodeId n : cluster.topology().AllNodes()) {
+            if (n != leader && cluster.replica(n)->is_leader()) return true;
+          }
+          return false;
+        },
+        60 * kSecond))
+        << "round " << round;
+    cluster.transport().Recover(leader);
+    cluster.RestartNode(leader);
+    for (NodeId n : cluster.topology().AllNodes()) {
+      if (cluster.replica(n)->is_leader()) leader = n;
+    }
+    ASSERT_TRUE(cluster
+                    .Commit(leader, Value::Synthetic(
+                                        10 + static_cast<uint64_t>(round), 64))
+                    .ok());
+  }
+}
+
+TEST(FailureDetectorTest, OffByDefaultNobodyWatches) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  cluster.transport().Crash(leader);
+  cluster.sim().RunFor(30 * kSecond);
+  // Nobody noticed — by design. (The dead process itself still claims
+  // the role; no LIVE node assumed it.)
+  for (NodeId n : cluster.topology().AllNodes()) {
+    if (n != leader) EXPECT_FALSE(cluster.replica(n)->is_leader());
+  }
+}
+
+}  // namespace
+}  // namespace dpaxos

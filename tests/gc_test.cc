@@ -1,0 +1,174 @@
+// Tests for the intents garbage collector (paper Section 4.3.4,
+// Algorithm 3) including the Theorem 3 safety property.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/cluster.h"
+
+namespace dpaxos {
+namespace {
+
+size_t TotalStoredIntents(Cluster& cluster) {
+  size_t total = 0;
+  for (NodeId n : cluster.topology().AllNodes()) {
+    total += cluster.replica(n)->acceptor().intents().size();
+  }
+  return total;
+}
+
+// Number of distinct intents (by declaring ballot) stored anywhere.
+size_t DistinctStoredIntents(Cluster& cluster) {
+  std::set<std::pair<uint64_t, NodeId>> ballots;
+  for (NodeId n : cluster.topology().AllNodes()) {
+    for (const Intent& in : cluster.replica(n)->acceptor().intents()) {
+      ballots.insert({in.ballot.round, in.ballot.node});
+    }
+  }
+  return ballots.size();
+}
+
+// Churn leadership across zones, leaving intents behind.
+void ChurnLeaders(Cluster& cluster, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    const ZoneId zone = static_cast<ZoneId>(i) % cluster.topology().num_zones();
+    const NodeId node = cluster.NodeInZone(zone, i % 2);
+    ASSERT_TRUE(cluster.ElectLeader(node).ok());
+    ASSERT_TRUE(cluster
+                    .Commit(node, Value::Synthetic(
+                                      1000 + static_cast<uint64_t>(i), 256))
+                    .ok());
+  }
+}
+
+TEST(GcTest, SweepCollectsObsoleteIntents) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  ChurnLeaders(cluster, 8);
+  const size_t before = TotalStoredIntents(cluster);
+  ASSERT_GT(before, 8u);  // stale intents accumulated
+
+  GarbageCollector* gc = cluster.AddGarbageCollector(0);
+  gc->SweepOnce();
+  cluster.sim().RunFor(3 * kSecond);
+
+  const size_t after = TotalStoredIntents(cluster);
+  EXPECT_LT(after, before);
+  // The threshold is the highest ballot observed in a propose message.
+  EXPECT_FALSE(gc->threshold().is_null());
+  // Only the current leader's intent (ballot == threshold) may survive at
+  // its voters; everything below the threshold is gone.
+  for (NodeId n : cluster.topology().AllNodes()) {
+    for (const Intent& in : cluster.replica(n)->acceptor().intents()) {
+      EXPECT_GE(in.ballot, gc->threshold());
+    }
+  }
+}
+
+TEST(GcTest, PeriodicPollingConverges) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  ChurnLeaders(cluster, 6);
+  GarbageCollector* gc =
+      cluster.AddGarbageCollector(5, 0, 100 * kMillisecond);
+  gc->Start();
+  // One full round-robin pass over 21 nodes at 100 ms.
+  cluster.sim().RunFor(4 * kSecond);
+  gc->Stop();
+  EXPECT_GE(gc->polls_sent(), 21u);
+  // Only the current leader's intent survives collection (copies of it
+  // remain at each of its voters).
+  EXPECT_LE(DistinctStoredIntents(cluster), 1u);
+}
+
+TEST(GcTest, StopAndResumeRetainsThreshold) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  ChurnLeaders(cluster, 3);
+  GarbageCollector* gc = cluster.AddGarbageCollector(0);
+  gc->Start();
+  cluster.sim().RunFor(2 * kSecond);
+  gc->Stop();
+  const Ballot threshold = gc->threshold();
+  EXPECT_FALSE(gc->running());
+  gc->Start();
+  EXPECT_TRUE(gc->running());
+  EXPECT_GE(gc->threshold(), threshold);
+  gc->Stop();
+}
+
+TEST(GcTest, MultipleCollectorsCoexist) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  ChurnLeaders(cluster, 5);
+  GarbageCollector* gc1 = cluster.AddGarbageCollector(0);
+  GarbageCollector* gc2 = cluster.AddGarbageCollector(12);
+  gc1->SweepOnce();
+  gc2->SweepOnce();
+  cluster.sim().RunFor(3 * kSecond);
+  EXPECT_EQ(gc1->threshold(), gc2->threshold());
+  EXPECT_LE(DistinctStoredIntents(cluster), 1u);
+}
+
+TEST(GcTest, Theorem3CollectedIntentQuorumRejectsItsBallot) {
+  // Theorem 3: once an intent is garbage collected, its replication
+  // quorum cannot accept proposals with the intent's ballot — replay the
+  // paper's delayed-propose scenario.
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId old_leader = cluster.NodeInZone(1);
+  ASSERT_TRUE(cluster.ElectLeader(old_leader).ok());
+  ASSERT_TRUE(cluster.Commit(old_leader, Value::Of(1, "a")).ok());
+  const Ballot old_ballot = cluster.replica(old_leader)->ballot();
+  const std::vector<NodeId> old_quorum =
+      cluster.replica(old_leader)->declared_intents()[0].quorum;
+
+  // A new leader takes over (intersecting the old quorum), then GC runs.
+  const NodeId new_leader = cluster.NodeInZone(4);
+  cluster.replica(new_leader)->PrimeBallot(old_ballot);
+  ASSERT_TRUE(cluster.ElectLeader(new_leader).ok());
+  ASSERT_TRUE(cluster.Commit(new_leader, Value::Of(2, "b")).ok());
+  GarbageCollector* gc = cluster.AddGarbageCollector(0);
+  gc->SweepOnce();
+  cluster.sim().RunFor(3 * kSecond);
+  ASSERT_GE(gc->threshold(), old_ballot);
+
+  // A delayed propose from the old leader's ballot arrives at its old
+  // replication quorum: at least one member must reject it.
+  auto delayed = std::make_shared<ProposeMsg>(
+      0, old_ballot, /*slot=*/7, Value::Of(99, "delayed"));
+  for (NodeId n : old_quorum) {
+    cluster.transport().Send(old_leader, n, delayed);
+  }
+  cluster.sim().RunFor(2 * kSecond);
+  bool some_rejected = false;
+  for (NodeId n : old_quorum) {
+    const AcceptedEntry* e = cluster.replica(n)->acceptor().AcceptedFor(7);
+    if (e == nullptr || e->ballot != old_ballot) some_rejected = true;
+  }
+  EXPECT_TRUE(some_rejected)
+      << "the full collected-intent quorum accepted a stale proposal";
+}
+
+TEST(GcTest, LeaderBroadcastVariantCollectsOnElection) {
+  ClusterOptions options;
+  options.replica.leader_broadcasts_gc_threshold = true;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  ChurnLeaders(cluster, 6);
+  cluster.sim().RunFor(2 * kSecond);
+  // Every election broadcast its ballot as threshold: at most the current
+  // leader's own intent remains per acceptor.
+  for (NodeId n : cluster.topology().AllNodes()) {
+    EXPECT_LE(cluster.replica(n)->acceptor().intents().size(), 1u);
+  }
+}
+
+TEST(GcTest, PollsAreRoundRobin) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  GarbageCollector* gc =
+      cluster.AddGarbageCollector(0, 0, 10 * kMillisecond);
+  gc->Start();
+  cluster.sim().RunFor(500 * kMillisecond);
+  gc->Stop();
+  // 21 nodes at one poll per 10 ms: at least two full passes in 500 ms.
+  EXPECT_GE(gc->polls_sent(), 42u);
+}
+
+}  // namespace
+}  // namespace dpaxos

@@ -1,0 +1,157 @@
+// Tests for Leader Handoff (paper Section 4.4): single-round leadership
+// transfer, loss semantics, and the interaction with Expanding Quorums.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(HandoffTest, PushTransfersLeadershipInOneMessage) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId old_leader = cluster.NodeInZone(0);
+  const NodeId new_leader = cluster.NodeInZone(3);
+  ASSERT_TRUE(cluster.ElectLeader(old_leader).ok());
+  ASSERT_TRUE(cluster.Commit(old_leader, Value::Of(1, "a")).ok());
+  const Ballot ballot = cluster.replica(old_leader)->ballot();
+
+  ASSERT_TRUE(cluster.replica(old_leader)->HandoffTo(new_leader).ok());
+  // The old leader refrains immediately, before delivery.
+  EXPECT_FALSE(cluster.replica(old_leader)->is_leader());
+  ASSERT_TRUE(cluster.RunUntil(
+      [&] { return cluster.replica(new_leader)->is_leader(); }, 10 * kSecond));
+
+  // The logical role moved: same ballot, continued slot sequence, and the
+  // new leader is restricted to the relinquished intents.
+  EXPECT_EQ(cluster.replica(new_leader)->ballot(), ballot);
+  EXPECT_EQ(cluster.replica(new_leader)->next_slot(), 1u);
+  ASSERT_EQ(cluster.replica(new_leader)->declared_intents().size(), 1u);
+  EXPECT_EQ(cluster.replica(new_leader)->declared_intents()[0].quorum,
+            (std::vector<NodeId>{0, 1}));
+
+  // The new leader commits without any election.
+  const uint64_t elections = cluster.replica(new_leader)->elections_won();
+  ASSERT_TRUE(cluster.Commit(new_leader, Value::Of(2, "b")).ok());
+  EXPECT_EQ(cluster.replica(new_leader)->elections_won(), elections);
+}
+
+TEST(HandoffTest, PullRequestLatencyIsOneRoundTrip) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId old_leader = cluster.NodeInZone(6);  // Mumbai
+  ASSERT_TRUE(cluster.ElectLeader(old_leader).ok());
+
+  Replica* requester = cluster.ReplicaInZone(0);  // California
+  Status result;
+  bool done = false;
+  const Timestamp start = cluster.sim().Now();
+  requester->RequestHandoffFrom(old_leader, [&](const Status& st) {
+    result = st;
+    done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done; }, 10 * kSecond));
+  ASSERT_TRUE(result.ok());
+  const Duration latency = cluster.sim().Now() - start;
+  // One round trip California <-> Mumbai (249 ms) plus small overheads.
+  EXPECT_GE(latency, FromMillis(249));
+  EXPECT_LE(latency, FromMillis(260));
+  EXPECT_TRUE(requester->is_leader());
+}
+
+TEST(HandoffTest, RefusedWhileProposalsInFlight) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  // Start a proposal but do not drive the simulation to completion.
+  cluster.replica(leader)->Submit(Value::Of(1, "x"),
+                                  [](const Status&, SlotId, Duration) {});
+  const Status st = cluster.replica(leader)->HandoffTo(3);
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_TRUE(cluster.replica(leader)->is_leader());
+}
+
+TEST(HandoffTest, OnlyLeadersMayRelinquish) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  EXPECT_TRUE(cluster.replica(5)->HandoffTo(6).IsFailedPrecondition());
+}
+
+TEST(HandoffTest, HandoffToSelfRejected) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  EXPECT_TRUE(cluster.replica(leader)->HandoffTo(leader).IsInvalidArgument());
+}
+
+TEST(HandoffTest, LostRelinquishLeavesNobodyLeader) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId old_leader = cluster.NodeInZone(0);
+  const NodeId new_leader = cluster.NodeInZone(3);
+  ASSERT_TRUE(cluster.ElectLeader(old_leader).ok());
+
+  // Cut the link so the relinquish message is lost.
+  cluster.transport().PartitionOneWay(old_leader, new_leader);
+  ASSERT_TRUE(cluster.replica(old_leader)->HandoffTo(new_leader).ok());
+  cluster.sim().RunFor(5 * kSecond);
+
+  // Neither node can act as leader (paper: "If the message ... is lost,
+  // then neither of them can act as the leader").
+  EXPECT_FALSE(cluster.replica(old_leader)->is_leader());
+  EXPECT_FALSE(cluster.replica(new_leader)->is_leader());
+
+  // Recovery: a Leader Election round must take place.
+  cluster.transport().HealAll();
+  Replica* recovery = cluster.ReplicaInZone(2);
+  recovery->PrimeBallot(Ballot{100, 0});
+  ASSERT_TRUE(cluster.ElectLeader(recovery->id()).ok());
+  ASSERT_TRUE(cluster.Commit(recovery->id(), Value::Of(9, "r")).ok());
+}
+
+TEST(HandoffTest, PullTimesOutWhenRequestLost) {
+  ClusterOptions options;
+  options.replica.propose_timeout = 500 * kMillisecond;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId old_leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(old_leader).ok());
+
+  Replica* requester = cluster.ReplicaInZone(3);
+  cluster.transport().Partition(requester->id(), old_leader);
+  Status result;
+  bool done = false;
+  requester->RequestHandoffFrom(old_leader, [&](const Status& st) {
+    result = st;
+    done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done; }, 30 * kSecond));
+  EXPECT_TRUE(result.IsTimedOut());
+  EXPECT_FALSE(requester->is_leader());
+  EXPECT_TRUE(cluster.replica(old_leader)->is_leader());  // never asked
+}
+
+TEST(HandoffTest, ChainedHandoffsFollowMobility) {
+  // A moving user: leadership hops across four zones without a single
+  // Leader Election after the first.
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  NodeId current = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(current).ok());
+  uint64_t value_id = 0;
+  for (ZoneId z : {ZoneId{1}, ZoneId{2}, ZoneId{4}, ZoneId{6}}) {
+    ASSERT_TRUE(
+        cluster.Commit(current, Value::Synthetic(++value_id, 512)).ok());
+    const NodeId next = cluster.NodeInZone(z);
+    ASSERT_TRUE(cluster.replica(current)->HandoffTo(next).ok());
+    ASSERT_TRUE(cluster.RunUntil(
+        [&] { return cluster.replica(next)->is_leader(); }, 10 * kSecond));
+    current = next;
+  }
+  ASSERT_TRUE(cluster.Commit(current, Value::Synthetic(99, 512)).ok());
+  // One election total; log contiguous across all hops.
+  uint64_t total_elections = 0;
+  for (NodeId n : cluster.topology().AllNodes()) {
+    total_elections += cluster.replica(n)->elections_won();
+  }
+  EXPECT_EQ(total_elections, 1u);
+  EXPECT_EQ(cluster.replica(current)->next_slot(), 5u);
+}
+
+}  // namespace
+}  // namespace dpaxos

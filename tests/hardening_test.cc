@@ -1,0 +1,128 @@
+// Regression tests for two safety hardenings beyond the paper's text,
+// both found by the randomized soak:
+//
+// 1. A duplicated/replayed relinquish() must never re-activate a
+//    dethroned leader (the paper's "sent only once per slot" assumes a
+//    non-duplicating channel; receivers must deduplicate).
+// 2. The GC threshold must only advance on proposes from leaders that
+//    finished re-committing their adopted values: a slot-agnostic
+//    threshold (paper Algorithm 3 as written) can otherwise collect an
+//    intent whose decided values were not yet re-secured, and a crash of
+//    the recovering leader then loses them.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(HardeningTest, DuplicatedRelinquishDoesNotResurrectLeadership) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId a = cluster.NodeInZone(0, 0);
+  const NodeId b = cluster.NodeInZone(0, 1);
+  ASSERT_TRUE(cluster.ElectLeader(a).ok());
+  ASSERT_TRUE(cluster.Commit(a, Value::Of(1, "x")).ok());
+
+  // A hands off to B; capture the relinquish parameters for the replay.
+  const Ballot handoff_ballot = cluster.replica(a)->ballot();
+  const SlotId handoff_next = cluster.replica(a)->next_slot();
+  const std::vector<Intent> intents = cluster.replica(a)->declared_intents();
+  ASSERT_TRUE(cluster.replica(a)->HandoffTo(b).ok());
+  ASSERT_TRUE(cluster.RunUntil(
+      [&] { return cluster.replica(b)->is_leader(); }, 10 * kSecond));
+  ASSERT_TRUE(cluster.Commit(b, Value::Of(2, "y")).ok());
+
+  // C dethrones B with a real election.
+  Replica* c = cluster.ReplicaInZone(2);
+  c->PrimeBallot(handoff_ballot);
+  ASSERT_TRUE(cluster.ElectLeader(c->id()).ok());
+  cluster.sim().RunFor(3 * kSecond);
+  ASSERT_TRUE(cluster.Commit(c->id(), Value::Of(3, "z")).ok());
+  const SlotId c_log = c->next_slot();
+
+  // The network replays the old relinquish at B: it must be ignored.
+  auto replay = std::make_shared<RelinquishMsg>(
+      0, handoff_ballot, handoff_next, intents, LeaderZoneView{});
+  cluster.transport().Send(a, b, replay);
+  cluster.sim().RunFor(2 * kSecond);
+  EXPECT_FALSE(cluster.replica(b)->is_leader());
+
+  // And even a hostile direct Submit at B cannot damage the log: C's
+  // decisions stand everywhere.
+  cluster.replica(b)->Submit(Value::Of(99, "evil"),
+                             [](const Status&, SlotId, Duration) {});
+  cluster.sim().RunFor(10 * kSecond);
+  std::map<SlotId, uint64_t> canonical;
+  for (NodeId n : cluster.topology().AllNodes()) {
+    for (const auto& [slot, value] : cluster.replica(n)->decided()) {
+      auto [it, inserted] = canonical.emplace(slot, value.id);
+      ASSERT_EQ(it->second, value.id) << "slot " << slot;
+    }
+  }
+  EXPECT_GE(c_log, 3u);
+}
+
+TEST(HardeningTest, GcThresholdWaitsForRecoveryCompletion) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId first = cluster.NodeInZone(1);
+  ASSERT_TRUE(cluster.ElectLeader(first).ok());
+  for (uint64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(cluster.Commit(first, Value::Of(i, "v")).ok());
+  }
+  const Ballot first_ballot = cluster.replica(first)->ballot();
+
+  // The new leader must adopt slots 0..2. Cut it off from its own
+  // replication quorum companion so the adopted re-proposals CANNOT
+  // commit: recovery stays pending.
+  Replica* second = cluster.ReplicaInZone(4);
+  second->PrimeBallot(first_ballot);
+  const NodeId companion = cluster.NodeInZone(4, 1);
+  cluster.transport().PartitionOneWay(second->id(), companion);
+  ASSERT_TRUE(cluster.ElectLeader(second->id()).ok());
+  // Its re-proposals are in flight but cannot complete.
+  EXPECT_FALSE(second->RecoveryComplete());
+
+  // The GC polls everyone: nobody may report the new ballot yet, so the
+  // first leader's intent — the only copy of the decided values' home —
+  // survives collection.
+  GarbageCollector* gc = cluster.AddGarbageCollector(0);
+  gc->SweepOnce();
+  cluster.sim().RunFor(2 * kSecond);
+  EXPECT_LT(gc->threshold(), second->ballot());
+  bool first_intent_alive = false;
+  for (NodeId n : cluster.topology().AllNodes()) {
+    for (const Intent& in : cluster.replica(n)->acceptor().intents()) {
+      if (in.ballot == first_ballot) first_intent_alive = true;
+    }
+  }
+  EXPECT_TRUE(first_intent_alive)
+      << "intent collected before its values were re-secured";
+
+  // Heal: recovery completes, the threshold advances, and only then is
+  // the old intent collectable.
+  cluster.transport().HealAll();
+  ASSERT_TRUE(cluster.RunUntil([&] { return second->RecoveryComplete(); },
+                               30 * kSecond));
+  ASSERT_TRUE(cluster.Commit(second->id(), Value::Of(10, "new")).ok());
+  gc->SweepOnce();
+  cluster.sim().RunFor(2 * kSecond);
+  EXPECT_GE(gc->threshold(), second->ballot());
+  // The decided values survived the whole episode.
+  for (uint64_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(second->decided().at(i - 1).id, i);
+  }
+}
+
+TEST(HardeningTest, FreshLeaderWithNothingToAdoptIsImmediatelyRecovered) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  EXPECT_TRUE(cluster.replica(leader)->RecoveryComplete());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "x")).ok());
+  // Its very first propose advances the GC poll answer.
+  EXPECT_EQ(cluster.replica(leader)->acceptor().gc_poll_ballot(),
+            cluster.replica(leader)->ballot());
+}
+
+}  // namespace
+}  // namespace dpaxos

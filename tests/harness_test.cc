@@ -1,0 +1,230 @@
+// Tests for the experiment harness: cluster construction, synchronous
+// drivers, multiple partitions, and the closed-loop load driver.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "harness/cluster.h"
+#include "harness/load_driver.h"
+#include "harness/table.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(ClusterTest, BuildsPaperDeployment) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  EXPECT_EQ(cluster.topology().num_nodes(), 21u);
+  EXPECT_EQ(cluster.mode(), ProtocolMode::kLeaderZone);
+  for (NodeId n = 0; n < 21; ++n) {
+    ASSERT_NE(cluster.replica(n), nullptr);
+    EXPECT_EQ(cluster.replica(n)->id(), n);
+  }
+}
+
+TEST(ClusterTest, NodeInZoneIndexing) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kMultiPaxos);
+  EXPECT_EQ(cluster.NodeInZone(0, 0), 0u);
+  EXPECT_EQ(cluster.NodeInZone(0, 2), 2u);
+  EXPECT_EQ(cluster.NodeInZone(6, 1), 19u);
+}
+
+TEST(ClusterTest, MultiplePartitionsAreIndependent) {
+  ClusterOptions options;
+  options.partitions = {0, 1, 2};
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  // Different partitions elect different leaders and commit concurrently.
+  ASSERT_TRUE(cluster.ElectLeader(cluster.NodeInZone(0), 0).ok());
+  ASSERT_TRUE(cluster.ElectLeader(cluster.NodeInZone(3), 1).ok());
+  ASSERT_TRUE(cluster.ElectLeader(cluster.NodeInZone(6), 2).ok());
+  ASSERT_TRUE(cluster.Commit(cluster.NodeInZone(0), Value::Of(1, "p0"), 0).ok());
+  ASSERT_TRUE(cluster.Commit(cluster.NodeInZone(3), Value::Of(2, "p1"), 1).ok());
+  ASSERT_TRUE(cluster.Commit(cluster.NodeInZone(6), Value::Of(3, "p2"), 2).ok());
+  EXPECT_EQ(cluster.replica(cluster.NodeInZone(0), 0)->decided().size(), 1u);
+  EXPECT_EQ(cluster.replica(cluster.NodeInZone(0), 1)->decided().size(), 0u);
+}
+
+TEST(ClusterTest, LeaderlessStripingIsConfiguredPerNode) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderless);
+  EXPECT_EQ(cluster.replica(5)->config().leaderless_index, 5u);
+  EXPECT_EQ(cluster.replica(5)->config().leaderless_total, 21u);
+}
+
+TEST(ClusterTest, RunUntilTimesOut) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  EXPECT_FALSE(cluster.RunUntil([] { return false; }, 100 * kMillisecond));
+}
+
+TEST(ClusterDeathTest, RejectsTooFewNodesPerZone) {
+  ClusterOptions options;
+  options.ft = FaultTolerance{2, 0};  // needs 5 nodes per zone
+  EXPECT_DEATH(Cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                       options),
+               "2\\*fd\\+1");
+}
+
+TEST(ClusterDeathTest, RejectsTooFewZones) {
+  ClusterOptions options;
+  options.ft = FaultTolerance{1, 1};  // needs 3 zones
+  EXPECT_DEATH(Cluster(Topology::Uniform(2, 3, 50.0),
+                       ProtocolMode::kLeaderZone, options),
+               "2\\*fz\\+1");
+}
+
+TEST(LoadDriverTest, ClosedLoopCommitsForDuration) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  Replica* leader = cluster.ReplicaInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader->id()).ok());
+
+  LoadOptions load;
+  load.batch_bytes = 1024;
+  load.duration = 3 * kSecond;
+  const LoadResult result = RunClosedLoop(cluster, leader, load);
+  EXPECT_EQ(result.failed, 0u);
+  // ~12 ms per 1 KB commit -> on the order of 250 commits in 3 s.
+  EXPECT_GT(result.committed, 200u);
+  EXPECT_LT(result.committed, 300u);
+  EXPECT_NEAR(result.commit_latency.MeanMillis(), 11.0, 2.0);
+  EXPECT_NEAR(result.ThroughputKBps(), 90.0, 15.0);
+}
+
+TEST(LoadDriverTest, WindowRaisesThroughput) {
+  auto run = [](uint32_t window) {
+    ClusterOptions options;
+    options.replica.max_inflight = window;
+    Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                    options);
+    Replica* leader = cluster.ReplicaInZone(0);
+    EXPECT_TRUE(cluster.ElectLeader(leader->id()).ok());
+    LoadOptions load;
+    load.batch_bytes = 1024;
+    load.duration = 3 * kSecond;
+    load.window = window;
+    return RunClosedLoop(cluster, leader, load).ThroughputKBps();
+  };
+  EXPECT_GT(run(4), 3.0 * run(1));
+}
+
+TEST(LoadDriverTest, ReadFractionServedLocally) {
+  ClusterOptions options;
+  options.replica.enable_leases = true;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  Replica* leader = cluster.ReplicaInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader->id()).ok());
+  ASSERT_TRUE(cluster.Commit(leader->id(), Value::Synthetic(1, 64)).ok());
+
+  LoadOptions load;
+  load.batch_bytes = 10 * 1024;
+  load.duration = 3 * kSecond;
+  load.read_only_fraction = 0.5;
+  const LoadResult result = RunClosedLoop(cluster, leader, load);
+  EXPECT_GT(result.reads_served, 0u);
+  EXPECT_LT(result.read_latency.MeanMillis(), 1.0);  // paper: < 1 ms
+}
+
+TEST(LoadDriverTest, ConcurrentLoopsShareTheSimulation) {
+  // The Figure 8 methodology: several partitions driven at once.
+  ClusterOptions options;
+  options.partitions = {0, 1, 2};
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  std::vector<Replica*> leaders;
+  const ZoneId zones[3] = {0, 3, 6};
+  for (PartitionId p = 0; p < 3; ++p) {
+    Replica* leader = cluster.replica(cluster.NodeInZone(zones[p]), p);
+    ASSERT_TRUE(cluster.ElectLeader(leader->id(), p).ok());
+    leaders.push_back(leader);
+  }
+  LoadOptions load;
+  load.batch_bytes = 1024;
+  load.duration = 3 * kSecond;
+  const std::vector<LoadResult> results =
+      RunClosedLoops(cluster, leaders, {load, load, load});
+  ASSERT_EQ(results.size(), 3u);
+  for (const LoadResult& r : results) {
+    EXPECT_EQ(r.failed, 0u);
+    EXPECT_GT(r.committed, 200u);  // all three progressed concurrently
+    EXPECT_NEAR(r.commit_latency.MeanMillis(), 11.0, 2.0);
+  }
+}
+
+TEST(LoadDriverTest, LeaderlessStripingAvoidsContention) {
+  // Two leaderless proposers run concurrently: slot striping keeps their
+  // logs disjoint, so neither ever aborts (the paper's "optimal case").
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderless);
+  std::vector<Replica*> proposers = {cluster.ReplicaInZone(0),
+                                     cluster.ReplicaInZone(6)};
+  LoadOptions load;
+  load.batch_bytes = 512;
+  load.duration = 3 * kSecond;
+  const std::vector<LoadResult> results =
+      RunClosedLoops(cluster, proposers, {load, load});
+  for (const LoadResult& r : results) {
+    EXPECT_EQ(r.failed, 0u);
+    EXPECT_GT(r.committed, 10u);
+  }
+  // Proposals land on disjoint stripes, so the two logs never conflict:
+  // every slot both replicas learned agrees (decide notifications spread
+  // each proposer's slots to quorum members).
+  for (const auto& [slot, value] : proposers[0]->decided()) {
+    auto it = proposers[1]->decided().find(slot);
+    if (it != proposers[1]->decided().end()) {
+      EXPECT_EQ(it->second.id, value.id) << "slot " << slot;
+    }
+  }
+}
+
+TEST(LoadDriverTest, OpenLoopTracksOfferedRate) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  Replica* leader = cluster.ReplicaInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader->id()).ok());
+
+  OpenLoadOptions load;
+  load.batch_bytes = 1024;
+  load.duration = 5 * kSecond;
+  load.arrivals_per_sec = 20.0;  // ~23% of the ~88/s service capacity
+  const LoadResult result = RunOpenLoop(cluster, leader, load);
+  EXPECT_EQ(result.failed, 0u);
+  // Poisson arrivals: expect roughly 100 +- a wide margin.
+  EXPECT_GT(result.committed, 70u);
+  EXPECT_LT(result.committed, 135u);
+  // Lightly loaded: service time plus a small M/D/1 queueing term.
+  EXPECT_NEAR(result.commit_latency.MeanMillis(), 13.0, 2.5);
+}
+
+TEST(LoadDriverTest, OpenLoopSaturationInflatesLatency) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  Replica* leader = cluster.ReplicaInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader->id()).ok());
+
+  OpenLoadOptions load;
+  load.batch_bytes = 1024;
+  load.duration = 5 * kSecond;
+  load.arrivals_per_sec = 200.0;  // ~2.3x the single-slot service rate
+  const LoadResult result = RunOpenLoop(cluster, leader, load);
+  // Queueing dominates: mean latency far above the 11 ms service time.
+  EXPECT_GT(result.commit_latency.MeanMillis(), 100.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  std::ostringstream oss;
+  table.Print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(Fmt(12.345, 1), "12.3");
+  EXPECT_EQ(Fmt(12.345, 0), "12");
+  EXPECT_EQ(Fmt(0.5, 2), "0.50");
+}
+
+}  // namespace
+}  // namespace dpaxos

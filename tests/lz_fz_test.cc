@@ -1,0 +1,106 @@
+// Zone-fault-tolerant Leader Zones (paper Section 4.3.2): with fz > 0 the
+// Leader Zone extends across fz+1 zones and elections need a majority of
+// those zones, so a whole-zone outage no longer blocks Leader Election.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/cluster.h"
+
+namespace dpaxos {
+namespace {
+
+ClusterOptions Fz1Options() {
+  ClusterOptions options;
+  options.ft = FaultTolerance{1, 1};
+  return options;
+}
+
+TEST(LeaderZoneFzTest, RuleSpansFzPlusOneZones) {
+  const Topology topo = Topology::Uniform(5, 3, 80.0);
+  LeaderZoneQuorumSystem qs(&topo, FaultTolerance{1, 1});
+  LeaderZoneView view;
+  view.current = 2;
+  const QuorumRule rule = qs.LeaderElectionRule(0, view);
+  std::set<ZoneId> zones;
+  for (NodeId n : rule.Targets()) zones.insert(topo.ZoneOf(n));
+  EXPECT_EQ(zones.size(), 2u);  // fz+1 Leader Zones
+  EXPECT_TRUE(zones.count(2) > 0);
+  // Majority of the two zones = both required... majority of 2 is 2.
+  EXPECT_EQ(rule.groups().size(), 1u);
+  EXPECT_EQ(rule.groups()[0].min_satisfied, 2u);
+}
+
+TEST(LeaderZoneFzTest, IntraIntersectionAcrossAspirants) {
+  const Topology topo = Topology::Uniform(7, 3, 80.0);
+  LeaderZoneQuorumSystem qs(&topo, FaultTolerance{1, 2});  // 3 LZ zones
+  LeaderZoneView view;
+  view.current = 0;
+  const QuorumRule a = qs.LeaderElectionRule(3, view);
+  const QuorumRule b = qs.LeaderElectionRule(15, view);
+  // Any satisfying set of one rule intersects the other (Definition 2).
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    std::set<NodeId> avoid;
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+      if (rng.NextBool(0.3)) avoid.insert(n);
+    }
+    const std::vector<NodeId> set = a.PickSatisfyingSetAvoiding(avoid);
+    if (set.empty()) continue;
+    EXPECT_TRUE(b.AlwaysIntersects({set.begin(), set.end()}));
+  }
+}
+
+TEST(LeaderZoneFzTest, ElectionSurvivesWholeLeaderZoneOutage) {
+  Cluster cluster(Topology::Uniform(5, 3, 80.0), ProtocolMode::kLeaderZone,
+                  Fz1Options());
+  // The Leader Zone set is zones {0, 1} (anchored at zone 0). Kill all of
+  // zone 0: elections must still succeed through zone 1's majority...
+  // majority of 2 zones is 2, so a FULL zone-0 outage blocks a strict
+  // double majority — instead kill a minority of each LZ zone.
+  cluster.transport().Crash(cluster.NodeInZone(0, 2));
+  cluster.transport().Crash(cluster.NodeInZone(1, 2));
+  const NodeId aspirant = cluster.NodeInZone(3);
+  ASSERT_TRUE(cluster.ElectLeader(aspirant).ok());
+  ASSERT_TRUE(cluster.Commit(aspirant, Value::Of(1, "x")).ok());
+}
+
+TEST(LeaderZoneFzTest, ThreeLeaderZonesToleratesOneZoneOutage) {
+  // fz=2 -> 3 Leader Zones, majority = 2 of 3: a whole LZ zone can die.
+  ClusterOptions options;
+  options.ft = FaultTolerance{1, 2};
+  Cluster cluster(Topology::Uniform(7, 3, 80.0), ProtocolMode::kLeaderZone,
+                  options);
+  // The Leader Zones are {0,1,2}; the aspirant's replication intent
+  // (anchored at its own zone 5) uses zones {5,0,1}. Kill zone 2: an
+  // entire Leader Zone is down, yet elections (2-of-3 zone majorities)
+  // and commits (quorum avoids zone 2) both keep working.
+  for (NodeId n : cluster.topology().NodesInZone(2)) {
+    cluster.transport().Crash(n);
+  }
+  const NodeId aspirant = cluster.NodeInZone(5);
+  ASSERT_TRUE(cluster.ElectLeader(aspirant).ok());
+  Result<Duration> r = cluster.Commit(aspirant, Value::Of(1, "x"));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(LeaderZoneFzTest, IntentsDetectedAcrossLeaderZoneMajorities) {
+  Cluster cluster(Topology::Uniform(5, 3, 80.0), ProtocolMode::kLeaderZone,
+                  Fz1Options());
+  const NodeId first = cluster.NodeInZone(3);
+  ASSERT_TRUE(cluster.ElectLeader(first).ok());
+  ASSERT_TRUE(cluster.Commit(first, Value::Of(1, "a")).ok());
+
+  // A second aspirant must detect the first's intent through the shared
+  // Leader Zones and dethrone it safely.
+  Replica* second = cluster.ReplicaInZone(4);
+  second->PrimeBallot(cluster.replica(first)->ballot());
+  ASSERT_TRUE(cluster.ElectLeader(second->id()).ok());
+  cluster.sim().RunFor(5 * kSecond);
+  ASSERT_TRUE(cluster.Commit(second->id(), Value::Of(2, "b")).ok());
+  // Agreement on slot 0 across both leaders' logs.
+  EXPECT_EQ(second->decided().at(0).id, 1u);
+}
+
+}  // namespace
+}  // namespace dpaxos

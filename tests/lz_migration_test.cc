@@ -1,0 +1,212 @@
+// Tests for the Leader Zone migration protocol (paper Section 4.3.2):
+// the Leader Zone Instance synod, the three-step transition, intent
+// transfer, lazy announcements, redirection of stale aspirants, and
+// races between concurrent migrations.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+
+namespace dpaxos {
+namespace {
+
+Status Migrate(Cluster& cluster, NodeId driver, ZoneId next) {
+  Status result = Status::Internal("never completed");
+  bool done = false;
+  cluster.replica(driver)->MigrateLeaderZone(next, [&](const Status& st) {
+    result = st;
+    done = true;
+  });
+  EXPECT_TRUE(cluster.RunUntil([&] { return done; }, 120 * kSecond));
+  return result;
+}
+
+TEST(LzMigrationTest, BasicMigrationMovesTheLeaderZone) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId driver = cluster.NodeInZone(3);
+  ASSERT_TRUE(Migrate(cluster, driver, 3).ok());
+  cluster.sim().RunFor(2 * kSecond);  // let announcements propagate
+
+  for (NodeId n : cluster.topology().AllNodes()) {
+    EXPECT_EQ(cluster.replica(n)->lz_view().current, 3u);
+    EXPECT_EQ(cluster.replica(n)->lz_view().epoch, 1u);
+    EXPECT_FALSE(cluster.replica(n)->lz_view().in_transition());
+    EXPECT_FALSE(cluster.replica(n)->acceptor().intent_storage_paused());
+  }
+}
+
+TEST(LzMigrationTest, MigrateToCurrentZoneIsNoOp) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  ASSERT_TRUE(Migrate(cluster, 5, 0).ok());
+  EXPECT_EQ(cluster.replica(5)->lz_view().epoch, 0u);
+}
+
+TEST(LzMigrationTest, RejectsInvalidZone) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  EXPECT_TRUE(Migrate(cluster, 0, 99).IsInvalidArgument());
+}
+
+TEST(LzMigrationTest, RequiresLeaderZoneMode) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kDelegate);
+  Status result;
+  cluster.replica(0)->MigrateLeaderZone(3, [&](const Status& st) {
+    result = st;
+  });
+  EXPECT_EQ(result.code(), StatusCode::kNotSupported);
+}
+
+TEST(LzMigrationTest, IntentsAreTransferredToTheNewZone) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  // A leader declares its intent into the Leader Zone (zone 0).
+  const NodeId leader = cluster.NodeInZone(2);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "a")).ok());
+  const Ballot leader_ballot = cluster.replica(leader)->ballot();
+
+  ASSERT_TRUE(Migrate(cluster, cluster.NodeInZone(4), 4).ok());
+  cluster.sim().RunFor(2 * kSecond);
+
+  // A majority of the new Leader Zone's nodes hold the old intents.
+  int holders = 0;
+  for (NodeId n : cluster.topology().NodesInZone(4)) {
+    for (const Intent& in : cluster.replica(n)->acceptor().intents()) {
+      if (in.ballot == leader_ballot) {
+        ++holders;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(holders, 2);
+}
+
+TEST(LzMigrationTest, ElectionAfterMigrationUsesNewZoneAndFindsIntents) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(2);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "a")).ok());
+  ASSERT_TRUE(Migrate(cluster, cluster.NodeInZone(4), 4).ok());
+  cluster.sim().RunFor(2 * kSecond);
+
+  // The aspirant (aware of the new view via announcements) elects through
+  // zone 4 and must still detect and intersect the zone-2 leader's intent.
+  Replica* aspirant = cluster.ReplicaInZone(5);
+  aspirant->PrimeBallot(cluster.replica(leader)->ballot());
+  ASSERT_TRUE(cluster.ElectLeader(aspirant->id()).ok());
+  EXPECT_TRUE(aspirant->is_leader());
+  EXPECT_FALSE(cluster.replica(leader)->is_leader());
+  // Log safety: the old decided value survives.
+  cluster.sim().RunFor(2 * kSecond);
+  ASSERT_TRUE(cluster.Commit(aspirant->id(), Value::Of(2, "b")).ok());
+  for (const auto& [slot, value] : cluster.replica(leader)->decided()) {
+    auto it = aspirant->decided().find(slot);
+    if (it != aspirant->decided().end()) {
+      EXPECT_EQ(it->second.id, value.id);
+    }
+  }
+}
+
+TEST(LzMigrationTest, StaleAspirantIsRedirected) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  Replica* aspirant = cluster.ReplicaInZone(6);
+
+  // Cut the aspirant off while the Leader Zone moves 0 -> 3, so it never
+  // sees the announcement.
+  for (NodeId n : cluster.topology().AllNodes()) {
+    if (n != aspirant->id()) cluster.transport().Partition(aspirant->id(), n);
+  }
+  ASSERT_TRUE(Migrate(cluster, cluster.NodeInZone(3), 3).ok());
+  cluster.sim().RunFor(2 * kSecond);
+  EXPECT_EQ(aspirant->lz_view().epoch, 0u);  // still stale
+  cluster.transport().HealAll();
+
+  // Its election starts at the old zone, which redirects (paper Step 3):
+  // it must still succeed, now through zone 3.
+  ASSERT_TRUE(cluster.ElectLeader(aspirant->id()).ok());
+  EXPECT_EQ(aspirant->lz_view().current, 3u);
+  EXPECT_TRUE(aspirant->is_leader());
+}
+
+TEST(LzMigrationTest, ConcurrentMigrationsAgreeOnOneWinner) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  Status r1 = Status::Internal("pending"), r2 = Status::Internal("pending");
+  bool d1 = false, d2 = false;
+  cluster.replica(cluster.NodeInZone(2))
+      ->MigrateLeaderZone(2, [&](const Status& st) {
+        r1 = st;
+        d1 = true;
+      });
+  cluster.replica(cluster.NodeInZone(5))
+      ->MigrateLeaderZone(5, [&](const Status& st) {
+        r2 = st;
+        d2 = true;
+      });
+  ASSERT_TRUE(cluster.RunUntil([&] { return d1 && d2; }, 120 * kSecond));
+  cluster.sim().RunFor(3 * kSecond);
+
+  // Exactly one request wins epoch 1 (the synod decides a single value);
+  // the loser is told it lost. All nodes converge on the winner.
+  EXPECT_NE(r1.ok(), r2.ok());
+  const ZoneId winner = r1.ok() ? 2 : 5;
+  for (NodeId n : cluster.topology().AllNodes()) {
+    EXPECT_GE(cluster.replica(n)->lz_view().epoch, 1u);
+    if (cluster.replica(n)->lz_view().epoch == 1) {
+      EXPECT_EQ(cluster.replica(n)->lz_view().current, winner);
+    }
+  }
+}
+
+TEST(LzMigrationTest, ChainedMigrationsBumpEpochs) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  ASSERT_TRUE(Migrate(cluster, cluster.NodeInZone(1), 1).ok());
+  cluster.sim().RunFor(2 * kSecond);
+  ASSERT_TRUE(Migrate(cluster, cluster.NodeInZone(4), 4).ok());
+  cluster.sim().RunFor(2 * kSecond);
+  ASSERT_TRUE(Migrate(cluster, cluster.NodeInZone(6), 6).ok());
+  cluster.sim().RunFor(2 * kSecond);
+  for (NodeId n : cluster.topology().AllNodes()) {
+    EXPECT_EQ(cluster.replica(n)->lz_view().epoch, 3u);
+    EXPECT_EQ(cluster.replica(n)->lz_view().current, 6u);
+  }
+  // The system is still fully operational.
+  Replica* leader = cluster.ReplicaInZone(6, 1);
+  ASSERT_TRUE(cluster.ElectLeader(leader->id()).ok());
+  ASSERT_TRUE(cluster.Commit(leader->id(), Value::Of(1, "after")).ok());
+}
+
+TEST(LzMigrationTest, MigrationFollowedByElectionDuringTransitionIsSafe) {
+  // An aspirant that runs while the transition is in flight must take
+  // double majorities (old + next zone). We approximate by racing the
+  // election against the migration and checking invariants afterwards.
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(2);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "a")).ok());
+
+  bool migration_done = false, election_done = false;
+  Status mig, elec;
+  cluster.replica(cluster.NodeInZone(4))
+      ->MigrateLeaderZone(4, [&](const Status& st) {
+        mig = st;
+        migration_done = true;
+      });
+  Replica* aspirant = cluster.ReplicaInZone(5);
+  aspirant->PrimeBallot(cluster.replica(leader)->ballot());
+  aspirant->TryBecomeLeader([&](const Status& st) {
+    elec = st;
+    election_done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil(
+      [&] { return migration_done && election_done; }, 120 * kSecond));
+  cluster.sim().RunFor(3 * kSecond);
+
+  // Decision safety across the race: every slot agrees everywhere.
+  std::map<SlotId, uint64_t> canonical;
+  for (NodeId n : cluster.topology().AllNodes()) {
+    for (const auto& [slot, value] : cluster.replica(n)->decided()) {
+      auto [it, inserted] = canonical.emplace(slot, value.id);
+      EXPECT_EQ(it->second, value.id) << "slot " << slot;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpaxos

@@ -1,0 +1,92 @@
+// Unit tests for NodeHost: partition demultiplexing, restart blueprints,
+// storage wiring and garbage-collector routing.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "paxos/node_host.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(NodeHostTest, DemultiplexesByPartition) {
+  ClusterOptions options;
+  options.partitions = {0, 7};
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  // A message for partition 7 must reach partition 7's replica only.
+  ASSERT_TRUE(cluster.ElectLeader(cluster.NodeInZone(0), 7).ok());
+  ASSERT_TRUE(
+      cluster.Commit(cluster.NodeInZone(0), Value::Of(1, "seven"), 7).ok());
+  EXPECT_EQ(cluster.replica(cluster.NodeInZone(0), 7)->decided().size(), 1u);
+  EXPECT_EQ(cluster.replica(cluster.NodeInZone(0), 0)->decided().size(), 0u);
+}
+
+TEST(NodeHostTest, MessagesForUnknownPartitionsAreDropped) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  // Partition 42 is hosted nowhere; the message must be ignored, not
+  // crash the host.
+  auto msg = std::make_shared<GcPollMsg>(42);
+  cluster.transport().Send(0, 1, msg);
+  cluster.sim().RunFor(kSecond);
+  ASSERT_TRUE(cluster.Commit(cluster.NodeInZone(0), Value::Of(1, "x")).ok());
+}
+
+TEST(NodeHostTest, RestartRebuildsEveryPartitionFromStorage) {
+  ClusterOptions options;
+  options.partitions = {0, 1};
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  for (PartitionId p : {0u, 1u}) {
+    ASSERT_TRUE(cluster.ElectLeader(cluster.NodeInZone(0), p).ok());
+    ASSERT_TRUE(
+        cluster.Commit(cluster.NodeInZone(0), Value::Of(p + 1, "v"), p).ok());
+  }
+  const Ballot p0_promised = cluster.replica(1, 0)->acceptor().promised();
+  const Ballot p1_promised = cluster.replica(1, 1)->acceptor().promised();
+
+  cluster.RestartNode(1);
+  // Both partitions exist again, each resuming its own durable record.
+  ASSERT_NE(cluster.replica(1, 0), nullptr);
+  ASSERT_NE(cluster.replica(1, 1), nullptr);
+  EXPECT_EQ(cluster.replica(1, 0)->acceptor().promised(), p0_promised);
+  EXPECT_EQ(cluster.replica(1, 1)->acceptor().promised(), p1_promised);
+}
+
+TEST(NodeHostTest, GcRepliesRouteToTheAttachedCollector) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "x")).ok());
+
+  GarbageCollector* gc = cluster.AddGarbageCollector(4);
+  gc->SweepOnce();
+  cluster.sim().RunFor(2 * kSecond);
+  // The collector (not the replica) consumed the poll replies and
+  // learned the leader's recovery-complete ballot.
+  EXPECT_EQ(gc->threshold(), cluster.replica(leader)->ballot());
+}
+
+TEST(NodeHostDeathTest, RejectsDuplicatePartitions) {
+  Simulator sim(1);
+  Topology topo = Topology::Uniform(3, 3, 50.0);
+  SimTransport transport(&sim, &topo);
+  auto quorums =
+      MakeQuorumSystem(ProtocolMode::kLeaderZone, &topo, FaultTolerance{1, 0});
+  NodeHost host(&sim, &transport, &topo, 0);
+  ReplicaConfig config;
+  config.partition = 3;
+  host.AddReplica(quorums.get(), config);
+  EXPECT_DEATH(host.AddReplica(quorums.get(), config), "already hosted");
+}
+
+TEST(NodeHostDeathTest, RejectsForeignGarbageCollector) {
+  Simulator sim(1);
+  Topology topo = Topology::Uniform(3, 3, 50.0);
+  SimTransport transport(&sim, &topo);
+  NodeHost host(&sim, &transport, &topo, 0);
+  GarbageCollector gc(&sim, &transport, &topo, /*host=*/5, 0);
+  EXPECT_DEATH(host.AttachGarbageCollector(&gc), "");
+}
+
+}  // namespace
+}  // namespace dpaxos

@@ -1,0 +1,104 @@
+// Tests for the workload-aware placement advisor.
+#include <gtest/gtest.h>
+
+#include "placement/placement.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(AccessStatsTest, RecordsAndDecays) {
+  AccessStats stats(3, /*half_life=*/10 * kSecond);
+  stats.Record(0, 0);
+  stats.Record(0, 0);
+  EXPECT_DOUBLE_EQ(stats.WeightAt(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(stats.WeightAt(1, 0), 0.0);
+  // One half-life later the weight halved.
+  EXPECT_NEAR(stats.WeightAt(0, 10 * kSecond), 1.0, 1e-9);
+  EXPECT_NEAR(stats.WeightAt(0, 20 * kSecond), 0.5, 1e-9);
+  EXPECT_NEAR(stats.TotalWeightAt(10 * kSecond), 1.0, 1e-9);
+}
+
+TEST(AccessStatsTest, RecordAfterDecayAccumulatesCorrectly) {
+  AccessStats stats(2, 10 * kSecond);
+  stats.Record(1, 0);
+  stats.Record(1, 10 * kSecond);  // 0.5 decayed + 1
+  EXPECT_NEAR(stats.WeightAt(1, 10 * kSecond), 1.5, 1e-9);
+}
+
+TEST(PlacementAdvisorTest, CostIsWeightedRtt) {
+  const Topology topo = Topology::AwsSevenZones();
+  PlacementAdvisor advisor(&topo);
+  AccessStats stats(7, kSecond * 3600);
+  // All accesses from Mumbai.
+  for (int i = 0; i < 10; ++i) stats.Record(6, 0);
+  // Leader in Mumbai: intra-zone RTT (10 ms).
+  EXPECT_NEAR(advisor.CostMs(stats, 6, 0), 10.0, 1e-9);
+  // Leader in California: Mumbai-California RTT.
+  EXPECT_NEAR(advisor.CostMs(stats, 0, 0), 249.0, 1e-9);
+}
+
+TEST(PlacementAdvisorTest, RecommendsAccessCenter) {
+  const Topology topo = Topology::AwsSevenZones();
+  PlacementAdvisor advisor(&topo);
+  AccessStats stats(7, kSecond * 3600);
+  for (int i = 0; i < 8; ++i) stats.Record(6, 0);  // Mumbai-heavy
+  for (int i = 0; i < 2; ++i) stats.Record(5, 0);  // some Singapore
+
+  const PlacementAdvice advice = advisor.Advise(stats, /*current=*/0, 0);
+  EXPECT_EQ(advice.best_zone, 6u);
+  EXPECT_TRUE(advice.should_move);
+  EXPECT_LT(advice.best_cost_ms, advice.current_cost_ms);
+}
+
+TEST(PlacementAdvisorTest, HysteresisSuppressesMarginalMoves) {
+  const Topology topo = Topology::AwsSevenZones();
+  PlacementAdvisor advisor(&topo, /*min_improvement=*/0.5);
+  AccessStats stats(7, kSecond * 3600);
+  // California and Oregon (19 ms apart) split the workload: moving
+  // between them changes little.
+  for (int i = 0; i < 5; ++i) stats.Record(0, 0);
+  for (int i = 0; i < 6; ++i) stats.Record(1, 0);
+
+  const PlacementAdvice advice = advisor.Advise(stats, /*current=*/0, 0);
+  EXPECT_FALSE(advice.should_move);
+}
+
+TEST(PlacementAdvisorTest, NeedsEnoughSignal) {
+  const Topology topo = Topology::AwsSevenZones();
+  PlacementAdvisor advisor(&topo, 0.2, /*min_weight=*/5.0);
+  AccessStats stats(7, kSecond * 3600);
+  stats.Record(6, 0);  // a single access is not a trend
+  EXPECT_FALSE(advisor.Advise(stats, 0, 0).should_move);
+  for (int i = 0; i < 10; ++i) stats.Record(6, 0);
+  EXPECT_TRUE(advisor.Advise(stats, 0, 0).should_move);
+}
+
+TEST(PlacementAdvisorTest, MobilityShiftsTheRecommendation) {
+  // A user moves California -> Mumbai; decay forgets the old location.
+  const Topology topo = Topology::AwsSevenZones();
+  PlacementAdvisor advisor(&topo);
+  AccessStats stats(7, /*half_life=*/30 * kSecond);
+  for (int i = 0; i < 20; ++i) stats.Record(0, 0);
+  EXPECT_EQ(advisor.Advise(stats, 0, 0).best_zone, 0u);
+
+  // 10 virtual minutes later the user is in Mumbai.
+  const Timestamp later = 600 * kSecond;
+  for (int i = 0; i < 10; ++i) stats.Record(6, later);
+  const PlacementAdvice advice = advisor.Advise(stats, 0, later);
+  EXPECT_EQ(advice.best_zone, 6u);
+  EXPECT_TRUE(advice.should_move);
+}
+
+TEST(PlacementAdvisorTest, StayingPutIsNeverAMove) {
+  const Topology topo = Topology::AwsSevenZones();
+  PlacementAdvisor advisor(&topo);
+  AccessStats stats(7, kSecond * 3600);
+  for (int i = 0; i < 10; ++i) stats.Record(2, 0);
+  const PlacementAdvice advice = advisor.Advise(stats, /*current=*/2, 0);
+  EXPECT_EQ(advice.best_zone, 2u);
+  EXPECT_FALSE(advice.should_move);
+  EXPECT_DOUBLE_EQ(advice.best_cost_ms, advice.current_cost_ms);
+}
+
+}  // namespace
+}  // namespace dpaxos

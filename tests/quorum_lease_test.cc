@@ -1,0 +1,146 @@
+// Tests for quorum read leases (the Moraru-style alternative the paper's
+// Section 4.5 notes can be adapted to DPaxos): replication-quorum
+// members serve linearizable local reads while they hold the lease and
+// their learned prefix is complete.
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "harness/cluster.h"
+#include "txn/transaction.h"
+
+namespace dpaxos {
+namespace {
+
+ClusterOptions QuorumLeaseOptions() {
+  ClusterOptions options;
+  options.replica.enable_leases = true;
+  options.replica.enable_quorum_reads = true;
+  options.replica.lease_duration = 10 * kSecond;
+  options.replica.decide_policy = DecidePolicy::kQuorum;
+  return options;
+}
+
+TEST(QuorumLeaseTest, QuorumMemberServesReadsWhenQuiet) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  QuorumLeaseOptions());
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "w")).ok());
+  cluster.sim().RunFor(kSecond);  // decide notification lands
+
+  // The quorum companion (node 1) granted the lease and is caught up.
+  Replica* member = cluster.replica(1);
+  EXPECT_FALSE(member->is_leader());
+  EXPECT_TRUE(member->CanServeQuorumRead());
+  // A non-member never qualifies.
+  EXPECT_FALSE(cluster.replica(5)->CanServeQuorumRead());
+}
+
+TEST(QuorumLeaseTest, DisabledWithoutTheFlag) {
+  ClusterOptions options = QuorumLeaseOptions();
+  options.replica.enable_quorum_reads = false;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "w")).ok());
+  cluster.sim().RunFor(kSecond);
+  EXPECT_FALSE(cluster.replica(1)->CanServeQuorumRead());
+  EXPECT_TRUE(cluster.replica(leader)->CanServeLocalRead());
+}
+
+TEST(QuorumLeaseTest, PendingWriteBlocksMemberReads) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  QuorumLeaseOptions());
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "w")).ok());
+  cluster.sim().RunFor(kSecond);
+  Replica* member = cluster.replica(1);
+  ASSERT_TRUE(member->CanServeQuorumRead());
+
+  // Start a write and advance only until the member ACCEPTED it but has
+  // not yet learned the decision: the member must refuse reads (it
+  // cannot know whether the write is already committed elsewhere).
+  cluster.replica(leader)->Submit(Value::Of(2, "pending"),
+                                  [](const Status&, SlotId, Duration) {});
+  cluster.sim().RunFor(6 * kMillisecond);  // one-way 5ms: accepted, no decide
+  ASSERT_GT(member->acceptor().accepted_count(),
+            member->DecidedWatermark());
+  EXPECT_FALSE(member->CanServeQuorumRead());
+
+  // Once the decide notification arrives, reads resume.
+  cluster.sim().RunFor(kSecond);
+  EXPECT_TRUE(member->CanServeQuorumRead());
+}
+
+TEST(QuorumLeaseTest, ExpiryDisqualifiesMembers) {
+  ClusterOptions options = QuorumLeaseOptions();
+  options.replica.lease_duration = 2 * kSecond;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "w")).ok());
+  cluster.sim().RunFor(kSecond);
+  EXPECT_TRUE(cluster.replica(1)->CanServeQuorumRead());
+  cluster.sim().RunFor(3 * kSecond);
+  EXPECT_FALSE(cluster.replica(1)->CanServeQuorumRead());
+}
+
+TEST(QuorumLeaseTest, ClientReadsLocallyAtAMember) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  QuorumLeaseOptions());
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "w")).ok());
+  cluster.sim().RunFor(kSecond);
+
+  Client client(&cluster.sim(), cluster.replica(1));  // at the member
+  Transaction ro;
+  ro.id = 9;
+  ro.ops = {Operation::Get("k")};
+  bool done = false;
+  Duration lat = 0;
+  client.ExecuteReadOnly(ro, [&](const Status& st, Duration l) {
+    EXPECT_TRUE(st.ok());
+    lat = l;
+    done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done; }, 5 * kSecond));
+  EXPECT_EQ(client.local_reads(), 1u);
+  EXPECT_LT(lat, kMillisecond);
+}
+
+TEST(QuorumLeaseTest, ReadsNeverMissCommittedWrites) {
+  // Linearizability probe: interleave writes and member-side read
+  // eligibility checks; whenever the member says "readable", its learned
+  // prefix must contain every commit the leader has completed.
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  QuorumLeaseOptions());
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  Replica* member = cluster.replica(1);
+
+  uint64_t committed = 0;
+  for (uint64_t i = 1; i <= 20; ++i) {
+    cluster.replica(leader)->Submit(
+        Value::Synthetic(i, 128),
+        [&committed](const Status& st, SlotId, Duration) {
+          if (st.ok()) ++committed;
+        });
+    // Probe at random virtual offsets while the write is in flight.
+    for (int probe = 0; probe < 4; ++probe) {
+      cluster.sim().RunFor(3 * kMillisecond);
+      if (member->CanServeQuorumRead()) {
+        EXPECT_GE(member->DecidedWatermark(), committed)
+            << "member would serve a stale read";
+      }
+    }
+    cluster.sim().RunFor(kSecond);
+  }
+  EXPECT_EQ(committed, 20u);
+}
+
+}  // namespace
+}  // namespace dpaxos

@@ -1,0 +1,160 @@
+// Exhaustive-oracle property tests for QuorumRule: on small node
+// universes, compare IsSatisfied / IsImpossible / AlwaysIntersects /
+// PickSatisfyingSetAvoiding against a brute-force enumeration of every
+// node subset. Any divergence in the rule algebra — the foundation under
+// every intersection argument in the protocol — shows up here.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "quorum/quorum_rule.h"
+
+namespace dpaxos {
+namespace {
+
+constexpr uint32_t kUniverse = 10;  // 2^10 subsets, fully enumerable
+
+std::set<NodeId> SubsetFromMask(uint32_t mask) {
+  std::set<NodeId> out;
+  for (NodeId n = 0; n < kUniverse; ++n) {
+    if (mask & (1u << n)) out.insert(n);
+  }
+  return out;
+}
+
+// Generate a random (but valid) rule over the small universe.
+QuorumRule RandomRule(Rng& rng) {
+  std::vector<QuorumGroup> groups;
+  const uint32_t num_groups = 1 + rng.NextBounded(3);
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    QuorumGroup group;
+    const uint32_t num_reqs = 1 + rng.NextBounded(3);
+    for (uint32_t r = 0; r < num_reqs; ++r) {
+      std::vector<NodeId> candidates;
+      for (NodeId n = 0; n < kUniverse; ++n) {
+        if (rng.NextBool(0.5)) candidates.push_back(n);
+      }
+      if (candidates.empty()) candidates.push_back(
+          static_cast<NodeId>(rng.NextBounded(kUniverse)));
+      const uint32_t min_acks =
+          static_cast<uint32_t>(rng.NextBounded(candidates.size() + 1));
+      group.requirements.push_back({std::move(candidates), min_acks});
+    }
+    group.min_satisfied =
+        1 + static_cast<uint32_t>(rng.NextBounded(group.requirements.size()));
+    groups.push_back(std::move(group));
+  }
+  return QuorumRule(std::move(groups));
+}
+
+// Reference implementation of IsSatisfied, straight from the definition.
+bool OracleSatisfied(const QuorumRule& rule, const std::set<NodeId>& acks) {
+  for (const QuorumGroup& g : rule.groups()) {
+    uint32_t satisfied = 0;
+    for (const QuorumRequirement& req : g.requirements) {
+      uint32_t have = 0;
+      for (NodeId n : req.candidates) {
+        if (acks.count(n) > 0) ++have;
+      }
+      if (have >= req.min_acks) ++satisfied;
+    }
+    if (satisfied < g.min_satisfied) return false;
+  }
+  return true;
+}
+
+TEST(QuorumRuleOracleTest, IsSatisfiedMatchesBruteForce) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 30; ++trial) {
+    const QuorumRule rule = RandomRule(rng);
+    // Spot-check 256 random subsets plus structured corners.
+    for (int s = 0; s < 256; ++s) {
+      const std::set<NodeId> acks =
+          SubsetFromMask(static_cast<uint32_t>(rng.NextBounded(1u << kUniverse)));
+      EXPECT_EQ(rule.IsSatisfied(acks), OracleSatisfied(rule, acks))
+          << rule.ToString();
+    }
+    EXPECT_EQ(rule.IsSatisfied({}), OracleSatisfied(rule, {}));
+    EXPECT_EQ(rule.IsSatisfied(SubsetFromMask((1u << kUniverse) - 1)),
+              OracleSatisfied(rule, SubsetFromMask((1u << kUniverse) - 1)));
+  }
+}
+
+TEST(QuorumRuleOracleTest, ImpossibleMatchesExhaustiveSearch) {
+  Rng rng(314159);
+  for (int trial = 0; trial < 15; ++trial) {
+    const QuorumRule rule = RandomRule(rng);
+    const std::set<NodeId> rejected = SubsetFromMask(
+        static_cast<uint32_t>(rng.NextBounded(1u << kUniverse)));
+    // Oracle: impossible iff NO subset of the non-rejected nodes works.
+    bool any_satisfies = false;
+    for (uint32_t mask = 0; mask < (1u << kUniverse); ++mask) {
+      const std::set<NodeId> acks = SubsetFromMask(mask);
+      bool overlaps = false;
+      for (NodeId n : acks) {
+        if (rejected.count(n) > 0) overlaps = true;
+      }
+      if (overlaps) continue;
+      if (OracleSatisfied(rule, acks)) {
+        any_satisfies = true;
+        break;
+      }
+    }
+    EXPECT_EQ(rule.IsImpossible(rejected), !any_satisfies)
+        << rule.ToString();
+  }
+}
+
+TEST(QuorumRuleOracleTest, AlwaysIntersectsMatchesExhaustiveSearch) {
+  Rng rng(1618);
+  for (int trial = 0; trial < 15; ++trial) {
+    const QuorumRule rule = RandomRule(rng);
+    const std::set<NodeId> target = SubsetFromMask(
+        static_cast<uint32_t>(rng.NextBounded(1u << kUniverse)));
+    // Oracle: intersects-always iff every satisfying subset overlaps.
+    bool found_disjoint_satisfier = false;
+    for (uint32_t mask = 0; mask < (1u << kUniverse); ++mask) {
+      const std::set<NodeId> acks = SubsetFromMask(mask);
+      bool overlaps = false;
+      for (NodeId n : acks) {
+        if (target.count(n) > 0) overlaps = true;
+      }
+      if (overlaps) continue;
+      if (OracleSatisfied(rule, acks)) {
+        found_disjoint_satisfier = true;
+        break;
+      }
+    }
+    const bool rule_satisfiable_at_all = !rule.IsImpossible({});
+    if (rule_satisfiable_at_all) {
+      EXPECT_EQ(rule.AlwaysIntersects(target), !found_disjoint_satisfier)
+          << rule.ToString();
+    }
+  }
+}
+
+TEST(QuorumRuleOracleTest, PickedSetsAreValidAndAvoidant) {
+  Rng rng(4669);
+  for (int trial = 0; trial < 30; ++trial) {
+    const QuorumRule rule = RandomRule(rng);
+    const std::set<NodeId> avoid = SubsetFromMask(
+        static_cast<uint32_t>(rng.NextBounded(1u << kUniverse)));
+    const std::vector<NodeId> picked = rule.PickSatisfyingSetAvoiding(avoid);
+    if (picked.empty()) {
+      // Either genuinely impossible, or the rule is satisfied by the
+      // empty set (all-zero thresholds).
+      if (!rule.IsImpossible(avoid)) {
+        EXPECT_TRUE(OracleSatisfied(rule, {})) << rule.ToString();
+      }
+      continue;
+    }
+    const std::set<NodeId> set(picked.begin(), picked.end());
+    EXPECT_TRUE(OracleSatisfied(rule, set)) << rule.ToString();
+    for (NodeId n : set) EXPECT_EQ(avoid.count(n), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dpaxos

@@ -1,0 +1,134 @@
+// Unit tests for QuorumRule: satisfaction, impossibility, intersection
+// checking and merging.
+#include <gtest/gtest.h>
+
+#include "quorum/quorum_rule.h"
+
+namespace dpaxos {
+namespace {
+
+std::set<NodeId> S(std::initializer_list<NodeId> nodes) { return nodes; }
+
+TEST(MajorityOfTest, Values) {
+  EXPECT_EQ(MajorityOf(1), 1u);
+  EXPECT_EQ(MajorityOf(2), 2u);
+  EXPECT_EQ(MajorityOf(3), 2u);
+  EXPECT_EQ(MajorityOf(4), 3u);
+  EXPECT_EQ(MajorityOf(5), 3u);
+  EXPECT_EQ(MajorityOf(21), 11u);
+}
+
+TEST(QuorumRuleTest, SimpleMajority) {
+  const QuorumRule rule = QuorumRule::Simple({0, 1, 2, 3, 4}, 3);
+  EXPECT_FALSE(rule.IsSatisfied(S({0, 1})));
+  EXPECT_TRUE(rule.IsSatisfied(S({0, 1, 2})));
+  EXPECT_TRUE(rule.IsSatisfied(S({0, 1, 2, 3, 4})));
+  // Non-candidates never count.
+  EXPECT_FALSE(rule.IsSatisfied(S({0, 1, 7})));
+}
+
+TEST(QuorumRuleTest, EmptyRuleIsTriviallySatisfied) {
+  const QuorumRule rule;
+  EXPECT_TRUE(rule.IsSatisfied({}));
+  EXPECT_FALSE(rule.IsImpossible({}));
+  EXPECT_FALSE(rule.AlwaysIntersects(S({0})));
+}
+
+TEST(QuorumRuleTest, KOfNGroups) {
+  // 2 of 3 zone requirements, each needing 2 acks.
+  const QuorumRule rule = QuorumRule::OfGroup(
+      {{{0, 1, 2}, 2}, {{3, 4, 5}, 2}, {{6, 7, 8}, 2}}, 2);
+  EXPECT_FALSE(rule.IsSatisfied(S({0, 1, 3})));      // only one zone done
+  EXPECT_TRUE(rule.IsSatisfied(S({0, 1, 3, 4})));    // two zones
+  EXPECT_TRUE(rule.IsSatisfied(S({1, 2, 7, 8})));    // any two zones
+  EXPECT_FALSE(rule.IsSatisfied(S({0, 3, 6})));      // one ack each
+}
+
+TEST(QuorumRuleTest, ConjunctionOfGroups) {
+  QuorumGroup a{{QuorumRequirement{{0, 1, 2}, 2}}, 1};
+  QuorumGroup b{{QuorumRequirement{{5, 6}, 1}}, 1};
+  const QuorumRule rule({a, b});
+  EXPECT_FALSE(rule.IsSatisfied(S({0, 1})));
+  EXPECT_FALSE(rule.IsSatisfied(S({5})));
+  EXPECT_TRUE(rule.IsSatisfied(S({0, 1, 6})));
+}
+
+TEST(QuorumRuleTest, ImpossibleWhenRejectionsBlock) {
+  const QuorumRule rule = QuorumRule::Simple({0, 1, 2}, 2);
+  EXPECT_FALSE(rule.IsImpossible(S({0})));
+  EXPECT_TRUE(rule.IsImpossible(S({0, 1})));
+}
+
+TEST(QuorumRuleTest, ImpossibleKOfN) {
+  const QuorumRule rule =
+      QuorumRule::OfGroup({{{0, 1}, 2}, {{2, 3}, 2}, {{4, 5}, 2}}, 2);
+  EXPECT_FALSE(rule.IsImpossible(S({0})));       // zones {2,3},{4,5} remain
+  EXPECT_TRUE(rule.IsImpossible(S({0, 2})));     // only one zone remains
+}
+
+TEST(QuorumRuleTest, AlwaysIntersectsSingleRequirement) {
+  // Any 2-of-3 quorum intersects {0,1} (can't pick 2 from {2} alone).
+  const QuorumRule rule = QuorumRule::Simple({0, 1, 2}, 2);
+  EXPECT_TRUE(rule.AlwaysIntersects(S({0, 1})));
+  // ...but not {0}: the quorum {1,2} avoids it.
+  EXPECT_FALSE(rule.AlwaysIntersects(S({0})));
+}
+
+TEST(QuorumRuleTest, AlwaysIntersectsKOfN) {
+  // Majority of 3 zone-majorities vs a full zone: avoidable (pick the
+  // other two zones).
+  const QuorumRule rule =
+      QuorumRule::OfGroup({{{0, 1, 2}, 2}, {{3, 4, 5}, 2}, {{6, 7, 8}, 2}}, 2);
+  EXPECT_FALSE(rule.AlwaysIntersects(S({0, 1, 2})));
+  // Two full zones cannot be avoided by a 2-of-3 zone rule.
+  EXPECT_TRUE(rule.AlwaysIntersects(S({0, 1, 2, 3, 4, 5})));
+}
+
+TEST(QuorumRuleTest, PickSatisfyingSetAvoiding) {
+  const QuorumRule rule = QuorumRule::Simple({0, 1, 2, 3}, 2);
+  const std::vector<NodeId> picked = rule.PickSatisfyingSetAvoiding(S({0}));
+  ASSERT_EQ(picked.size(), 2u);
+  std::set<NodeId> set(picked.begin(), picked.end());
+  EXPECT_EQ(set.count(0), 0u);
+  EXPECT_TRUE(rule.IsSatisfied(set));
+}
+
+TEST(QuorumRuleTest, PickSatisfyingSetAvoidingImpossible) {
+  const QuorumRule rule = QuorumRule::Simple({0, 1, 2}, 2);
+  EXPECT_TRUE(rule.PickSatisfyingSetAvoiding(S({0, 1})).empty());
+}
+
+TEST(QuorumRuleTest, PickSatisfyingSetReusesNodesAcrossGroups) {
+  QuorumGroup a{{QuorumRequirement{{0, 1, 2}, 2}}, 1};
+  QuorumGroup b{{QuorumRequirement{{1, 2, 3}, 1}}, 1};
+  const QuorumRule rule({a, b});
+  const std::vector<NodeId> picked = rule.PickSatisfyingSetAvoiding({});
+  EXPECT_LE(picked.size(), 2u);  // {0,1} satisfies both groups
+  EXPECT_TRUE(
+      rule.IsSatisfied(std::set<NodeId>(picked.begin(), picked.end())));
+}
+
+TEST(QuorumRuleTest, MergedWithIsConjunction) {
+  const QuorumRule base = QuorumRule::Simple({0, 1, 2}, 2);
+  const QuorumRule expansion = QuorumRule::Simple({5, 6}, 1);
+  const QuorumRule merged = base.MergedWith(expansion);
+  EXPECT_FALSE(merged.IsSatisfied(S({0, 1})));
+  EXPECT_FALSE(merged.IsSatisfied(S({5})));
+  EXPECT_TRUE(merged.IsSatisfied(S({0, 1, 5})));
+  EXPECT_EQ(merged.groups().size(), 2u);
+}
+
+TEST(QuorumRuleTest, TargetsAreSortedUniqueUnion) {
+  QuorumGroup a{{QuorumRequirement{{3, 1, 1}, 1}}, 1};
+  QuorumGroup b{{QuorumRequirement{{2, 3}, 1}}, 1};
+  const QuorumRule rule({a, b});
+  EXPECT_EQ(rule.Targets(), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(QuorumRuleTest, ToStringIsReadable) {
+  const QuorumRule rule = QuorumRule::Simple({0, 1}, 2);
+  EXPECT_EQ(rule.ToString(), "rule{1of[2/{0 1}]}");
+}
+
+}  // namespace
+}  // namespace dpaxos

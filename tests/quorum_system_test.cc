@@ -1,0 +1,214 @@
+// Property tests for the quorum systems: the paper's inter-intersection
+// (Definition 1) and intra-intersection (Definition 2) conditions, quorum
+// sizes, and target selection — parameterized over fault-tolerance levels
+// and topologies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/random.h"
+#include "quorum/quorum_system.h"
+
+namespace dpaxos {
+namespace {
+
+struct Scenario {
+  std::string name;
+  uint32_t zones;
+  uint32_t nodes_per_zone;
+  FaultTolerance ft;
+};
+
+std::string ScenarioName(const ::testing::TestParamInfo<Scenario>& info) {
+  return info.param.name;
+}
+
+class QuorumSystemTest : public ::testing::TestWithParam<Scenario> {
+ protected:
+  QuorumSystemTest()
+      : topo_(GetParam().zones == 7 && GetParam().nodes_per_zone == 3
+                  ? Topology::AwsSevenZones()
+                  : Topology::Uniform(GetParam().zones,
+                                      GetParam().nodes_per_zone, 100.0)),
+        ft_(GetParam().ft),
+        rng_(2024) {}
+
+  // Random subset of all nodes, used as an avoidance set to diversify the
+  // satisfying sets sampled from a rule.
+  std::set<NodeId> RandomAvoidSet() {
+    std::set<NodeId> avoid;
+    for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      if (rng_.NextBool(0.3)) avoid.insert(n);
+    }
+    return avoid;
+  }
+
+  Topology topo_;
+  FaultTolerance ft_;
+  Rng rng_;
+};
+
+TEST_P(QuorumSystemTest, SmallestReplicationQuorumSizeAndShape) {
+  for (NodeId leader = 0; leader < topo_.num_nodes(); ++leader) {
+    const std::vector<NodeId> q =
+        SmallestReplicationQuorum(topo_, leader, ft_);
+    // (fd+1) nodes in each of (fz+1) zones (paper Section 4.2).
+    EXPECT_EQ(q.size(), ft_.ReplicationQuorumSize());
+    EXPECT_NE(std::find(q.begin(), q.end(), leader), q.end());
+    std::map<ZoneId, int> per_zone;
+    for (NodeId n : q) per_zone[topo_.ZoneOf(n)]++;
+    EXPECT_EQ(per_zone.size(), ft_.fz + 1);
+    for (const auto& [zone, count] : per_zone) {
+      EXPECT_EQ(count, static_cast<int>(ft_.fd + 1));
+    }
+    // The leader's own zone is part of the quorum (access locality).
+    EXPECT_TRUE(per_zone.count(topo_.ZoneOf(leader)) > 0);
+  }
+}
+
+TEST_P(QuorumSystemTest, ZoneCentricSatisfiesInterIntersection) {
+  ZoneCentricQuorumSystem qs(&topo_, ft_);
+  const QuorumRule le = qs.LeaderElectionRule(0, LeaderZoneView{});
+  // Definition 1: the LE quorum must intersect EVERY possible replication
+  // quorum — in particular every smallest one, anywhere.
+  for (NodeId leader = 0; leader < topo_.num_nodes(); ++leader) {
+    const std::vector<NodeId> rq =
+        SmallestReplicationQuorum(topo_, leader, ft_);
+    EXPECT_TRUE(le.AlwaysIntersects({rq.begin(), rq.end()}))
+        << "LE quorum avoids replication quorum of leader " << leader;
+  }
+  // And every satisfying set of any DefaultReplicationRule.
+  for (NodeId leader = 0; leader < topo_.num_nodes(); ++leader) {
+    const QuorumRule repl = qs.DefaultReplicationRule(leader);
+    for (int i = 0; i < 10; ++i) {
+      const std::vector<NodeId> set =
+          repl.PickSatisfyingSetAvoiding(RandomAvoidSet());
+      if (set.empty()) continue;
+      EXPECT_TRUE(le.AlwaysIntersects({set.begin(), set.end()}));
+    }
+  }
+}
+
+TEST_P(QuorumSystemTest, DelegateSatisfiesIntraIntersection) {
+  DelegateQuorumSystem qs(&topo_, ft_);
+  const QuorumRule le = qs.LeaderElectionRule(0, LeaderZoneView{});
+  // Definition 2: any two LE quorums intersect. Sample minimal satisfying
+  // sets adversarially and check the other rule cannot avoid them.
+  for (int i = 0; i < 25; ++i) {
+    const std::vector<NodeId> set =
+        le.PickSatisfyingSetAvoiding(RandomAvoidSet());
+    if (set.empty()) continue;
+    EXPECT_TRUE(le.AlwaysIntersects({set.begin(), set.end()}))
+        << "two delegate LE quorums can be disjoint";
+  }
+}
+
+TEST_P(QuorumSystemTest, DelegateDoesNotInterIntersect) {
+  // The point of Expanding Quorums: a Delegate LE quorum need NOT
+  // intersect all replication quorums (it expands at runtime instead).
+  // Only observable when a replication quorum can be zone-disjoint from
+  // some majority of zones.
+  if (MajorityOf(topo_.num_zones()) + ft_.fz + 1 > topo_.num_zones()) {
+    GTEST_SKIP() << "topology too small for zone-disjoint quorums";
+  }
+  DelegateQuorumSystem qs(&topo_, ft_);
+  const QuorumRule le = qs.LeaderElectionRule(0, LeaderZoneView{});
+  bool some_avoidable = false;
+  for (NodeId leader = 0; leader < topo_.num_nodes(); ++leader) {
+    const std::vector<NodeId> rq =
+        SmallestReplicationQuorum(topo_, leader, ft_);
+    if (!le.AlwaysIntersects({rq.begin(), rq.end()})) some_avoidable = true;
+  }
+  EXPECT_TRUE(some_avoidable)
+      << "delegate LE unexpectedly intersects every replication quorum";
+}
+
+TEST_P(QuorumSystemTest, LeaderZoneSatisfiesIntraIntersection) {
+  LeaderZoneQuorumSystem qs(&topo_, ft_);
+  LeaderZoneView view;
+  view.current = topo_.num_zones() - 1;
+  const QuorumRule le = qs.LeaderElectionRule(0, view);
+  for (int i = 0; i < 25; ++i) {
+    const std::vector<NodeId> set =
+        le.PickSatisfyingSetAvoiding(RandomAvoidSet());
+    if (set.empty()) continue;
+    EXPECT_TRUE(le.AlwaysIntersects({set.begin(), set.end()}));
+  }
+}
+
+TEST_P(QuorumSystemTest, LeaderZoneTransitionIntersectsBothZones) {
+  LeaderZoneQuorumSystem qs(&topo_, ft_);
+  LeaderZoneView stable;
+  stable.current = 0;
+  LeaderZoneView transition;
+  transition.current = 0;
+  transition.next = 1;
+  const QuorumRule old_rule = qs.LeaderElectionRule(0, stable);
+  const QuorumRule trans_rule = qs.LeaderElectionRule(0, transition);
+  LeaderZoneView next_stable;
+  next_stable.epoch = 1;
+  next_stable.current = 1;
+  const QuorumRule new_rule = qs.LeaderElectionRule(0, next_stable);
+  // A transition-phase quorum (double majority) intersects quorums formed
+  // under both the old and the new view.
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<NodeId> t =
+        trans_rule.PickSatisfyingSetAvoiding(RandomAvoidSet());
+    if (t.empty()) continue;
+    EXPECT_TRUE(old_rule.AlwaysIntersects({t.begin(), t.end()}));
+    EXPECT_TRUE(new_rule.AlwaysIntersects({t.begin(), t.end()}));
+  }
+}
+
+TEST_P(QuorumSystemTest, MajorityQuorumsIntersect) {
+  MajorityQuorumSystem qs(&topo_, ft_);
+  const QuorumRule le = qs.LeaderElectionRule(0, LeaderZoneView{});
+  const QuorumRule repl = qs.DefaultReplicationRule(5 % topo_.num_nodes());
+  for (int i = 0; i < 25; ++i) {
+    const std::vector<NodeId> set =
+        repl.PickSatisfyingSetAvoiding(RandomAvoidSet());
+    if (set.empty()) continue;
+    EXPECT_TRUE(le.AlwaysIntersects({set.begin(), set.end()}));
+  }
+}
+
+TEST_P(QuorumSystemTest, DelegateTargetsAreNearestZoneMajority) {
+  DelegateQuorumSystem qs(&topo_, ft_);
+  for (NodeId aspirant : {NodeId{0}, topo_.num_nodes() - 1}) {
+    const std::vector<NodeId> targets =
+        qs.LeaderElectionTargets(aspirant, LeaderZoneView{});
+    std::set<ZoneId> zones;
+    for (NodeId n : targets) zones.insert(topo_.ZoneOf(n));
+    EXPECT_EQ(zones.size(), MajorityOf(topo_.num_zones()));
+    // The aspirant's own zone is always among the nearest.
+    EXPECT_TRUE(zones.count(topo_.ZoneOf(aspirant)) > 0);
+  }
+}
+
+TEST_P(QuorumSystemTest, FactoryProducesMatchingModes) {
+  for (ProtocolMode mode :
+       {ProtocolMode::kMultiPaxos, ProtocolMode::kFlexiblePaxos,
+        ProtocolMode::kDelegate, ProtocolMode::kLeaderZone,
+        ProtocolMode::kLeaderless}) {
+    auto qs = MakeQuorumSystem(mode, &topo_, ft_);
+    EXPECT_EQ(qs->mode(), mode);
+    const bool expect_intents = mode == ProtocolMode::kDelegate ||
+                                mode == ProtocolMode::kLeaderZone;
+    EXPECT_EQ(qs->UsesIntents(), expect_intents);
+    EXPECT_EQ(!qs->IntentQuorum(0).empty(), expect_intents);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, QuorumSystemTest,
+    ::testing::Values(Scenario{"Aws7x3_fd1_fz0", 7, 3, {1, 0}},
+                      Scenario{"Aws7x3_fd1_fz1", 7, 3, {1, 1}},
+                      Scenario{"Uniform5x5_fd1_fz0", 5, 5, {1, 0}},
+                      Scenario{"Uniform5x5_fd2_fz1", 5, 5, {2, 1}},
+                      Scenario{"Uniform3x3_fd1_fz1", 3, 3, {1, 1}},
+                      Scenario{"Uniform9x5_fd2_fz2", 9, 5, {2, 2}}),
+    ScenarioName);
+
+}  // namespace
+}  // namespace dpaxos

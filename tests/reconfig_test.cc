@@ -1,0 +1,170 @@
+// Tests for the reconfiguration-based baseline (paper Section B.1(c)).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "harness/cluster.h"
+#include "reconfig/reconfigurable_group.h"
+
+namespace dpaxos {
+namespace {
+
+Status Await(Cluster& cluster,
+             const std::function<void(ReconfigurableGroup::StatusCallback)>&
+                 go) {
+  std::optional<Status> st;
+  go([&](const Status& s) { st = s; });
+  while (!st.has_value() && cluster.sim().Step()) {
+  }
+  return st.value_or(Status::TimedOut("stuck"));
+}
+
+Result<Duration> Commit(Cluster& cluster, ReconfigurableGroup& group,
+                        Value value) {
+  std::optional<Status> st;
+  Duration latency = 0;
+  group.Submit(std::move(value), [&](const Status& s, SlotId, Duration lat) {
+    st = s;
+    latency = lat;
+  });
+  while (!st.has_value() && cluster.sim().Step()) {
+  }
+  if (!st.has_value()) return Status::Internal("no progress");
+  if (!st->ok()) return *st;
+  return latency;
+}
+
+TEST(ConfigCodecTest, RoundTripAndRejects) {
+  const std::vector<NodeId> members{3, 4, 5};
+  const std::string bytes = EncodeConfig(7, members);
+  auto decoded = DecodeConfig(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->first, 7u);
+  EXPECT_EQ(decoded->second, members);
+  EXPECT_FALSE(DecodeConfig(bytes.substr(0, 5)).ok());
+  EXPECT_FALSE(DecodeConfig(bytes + "x").ok());
+}
+
+TEST(ReconfigTest, StartServesFromInitialMembers) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  ReconfigurableGroup group(&cluster, {});
+  // Members: the three Tokyo nodes (2*fd+1 = 3 with fd=1).
+  ASSERT_TRUE(Await(cluster, [&](auto cb) {
+                group.Start(cluster.topology().NodesInZone(3), std::move(cb));
+              }).ok());
+  EXPECT_EQ(group.epoch(), 0u);
+  EXPECT_EQ(cluster.topology().ZoneOf(group.leader()), 3u);
+
+  // Commits replicate among members only: intra-zone latency.
+  Result<Duration> r = Commit(cluster, group, Value::Synthetic(1, 1024));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LT(r.value(), FromMillis(15));
+}
+
+TEST(ReconfigTest, NonMembersNeverVote) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  ReconfigurableGroup group(&cluster, {});
+  ASSERT_TRUE(Await(cluster, [&](auto cb) {
+                group.Start(cluster.topology().NodesInZone(3), std::move(cb));
+              }).ok());
+  ASSERT_TRUE(Commit(cluster, group, Value::Synthetic(1, 512)).ok());
+  // A node outside Tokyo holds nothing for the data partition.
+  const Replica* outsider =
+      cluster.replica(cluster.NodeInZone(0), group.data_partition());
+  EXPECT_EQ(outsider->acceptor().accepted_count(), 0u);
+}
+
+TEST(ReconfigTest, MoveChangesMembershipAndTransfersState) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  ReconfigurableGroup group(&cluster, {});
+  ASSERT_TRUE(Await(cluster, [&](auto cb) {
+                group.Start(cluster.topology().NodesInZone(0), std::move(cb));
+              }).ok());
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(Commit(cluster, group, Value::Synthetic(i, 2048)).ok());
+  }
+  const uint64_t state = group.state_bytes();
+  EXPECT_EQ(state, 5u * 2048u);
+  const PartitionId old_partition = group.data_partition();
+
+  // Users moved to Mumbai: reconfigure the group there.
+  ASSERT_TRUE(Await(cluster, [&](auto cb) {
+                group.Move(cluster.topology().NodesInZone(6), std::move(cb));
+              }).ok());
+  EXPECT_EQ(group.epoch(), 1u);
+  EXPECT_NE(group.data_partition(), old_partition);
+  EXPECT_EQ(cluster.topology().ZoneOf(group.leader()), 6u);
+
+  // The snapshot landed in the new group.
+  const Replica* new_leader =
+      cluster.replica(group.leader(), group.data_partition());
+  ASSERT_EQ(new_leader->decided().size(), 1u);
+  EXPECT_EQ(new_leader->decided().begin()->second.size_bytes, state);
+
+  // And the group keeps serving, locally in Mumbai.
+  Result<Duration> r = Commit(cluster, group, Value::Synthetic(99, 1024));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value(), FromMillis(15));
+}
+
+TEST(ReconfigTest, ChainedMovesBumpEpochs) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  ReconfigurableGroup group(&cluster, {});
+  ASSERT_TRUE(Await(cluster, [&](auto cb) {
+                group.Start(cluster.topology().NodesInZone(0), std::move(cb));
+              }).ok());
+  ASSERT_TRUE(Commit(cluster, group, Value::Synthetic(1, 1000)).ok());
+  for (ZoneId z : {ZoneId{2}, ZoneId{4}, ZoneId{6}}) {
+    ASSERT_TRUE(Await(cluster, [&](auto cb) {
+                  group.Move(cluster.topology().NodesInZone(z),
+                             std::move(cb));
+                }).ok());
+    ASSERT_TRUE(
+        Commit(cluster, group, Value::Synthetic(10 + z, 1000)).ok());
+  }
+  EXPECT_EQ(group.epoch(), 3u);
+  // The auxiliary log recorded every configuration (4 decided configs).
+  const Replica* aux = cluster.replica(cluster.NodeInZone(0), 900);
+  EXPECT_EQ(aux->decided().size(), 4u);
+}
+
+TEST(ReconfigTest, MoveCostsMoreThanDPaxosHandoff) {
+  // The paper's argument (B.1c): reconfiguration-based movement costs
+  // more than a DPaxos Leader Election / Handoff round. Compare the two
+  // for the same mobility event (California -> Tokyo, aux in California).
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+
+  // Reconfiguration path.
+  ReconfigurableGroup group(&cluster, {});
+  ASSERT_TRUE(Await(cluster, [&](auto cb) {
+                group.Start(cluster.topology().NodesInZone(0), std::move(cb));
+              }).ok());
+  ASSERT_TRUE(Commit(cluster, group, Value::Synthetic(1, 50 * 1024)).ok());
+  const Timestamp move_start = cluster.sim().Now();
+  ASSERT_TRUE(Await(cluster, [&](auto cb) {
+                group.Move(cluster.topology().NodesInZone(3), std::move(cb));
+              }).ok());
+  const Duration reconfig_cost = cluster.sim().Now() - move_start;
+
+  // DPaxos handoff path for the same move.
+  const NodeId old_leader = cluster.NodeInZone(0, 1);
+  ASSERT_TRUE(cluster.ElectLeader(old_leader).ok());
+  Replica* requester = cluster.ReplicaInZone(3, 1);
+  const Timestamp handoff_start = cluster.sim().Now();
+  Status handoff = Status::Internal("pending");
+  bool done = false;
+  requester->RequestHandoffFrom(old_leader, [&](const Status& st) {
+    handoff = st;
+    done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done; }, 30 * kSecond));
+  ASSERT_TRUE(handoff.ok());
+  const Duration handoff_cost = cluster.sim().Now() - handoff_start;
+
+  EXPECT_GT(reconfig_cost, 2 * handoff_cost)
+      << "reconfig " << DurationToString(reconfig_cost) << " vs handoff "
+      << DurationToString(handoff_cost);
+}
+
+}  // namespace
+}  // namespace dpaxos

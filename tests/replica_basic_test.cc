@@ -1,0 +1,85 @@
+// End-to-end commit tests for every protocol mode on the paper's
+// seven-zone topology.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "paxos/value.h"
+
+namespace dpaxos {
+namespace {
+
+class ReplicaBasicTest : public ::testing::TestWithParam<ProtocolMode> {};
+
+TEST_P(ReplicaBasicTest, ElectAndCommit) {
+  Cluster cluster(Topology::AwsSevenZones(), GetParam());
+  const NodeId proposer = cluster.NodeInZone(0);
+
+  if (GetParam() != ProtocolMode::kLeaderless) {
+    Result<Duration> elect = cluster.ElectLeader(proposer);
+    ASSERT_TRUE(elect.ok()) << elect.status().ToString();
+    EXPECT_TRUE(cluster.replica(proposer)->is_leader());
+  }
+
+  Result<Duration> commit =
+      cluster.Commit(proposer, Value::Of(1, "hello"));
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_GT(commit.value(), 0u);
+
+  // The proposer learned its own decision.
+  const auto& log = cluster.replica(proposer)->decided();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.begin()->second.payload, "hello");
+}
+
+TEST_P(ReplicaBasicTest, CommitSequence) {
+  Cluster cluster(Topology::AwsSevenZones(), GetParam());
+  const NodeId proposer = cluster.NodeInZone(2);  // Virginia
+
+  for (uint64_t i = 1; i <= 20; ++i) {
+    Result<Duration> commit = cluster.Commit(
+        proposer, Value::Of(i, "value" + std::to_string(i)));
+    ASSERT_TRUE(commit.ok()) << "i=" << i << ": " << commit.status().ToString();
+  }
+  EXPECT_EQ(cluster.replica(proposer)->decided().size(), 20u);
+  if (GetParam() == ProtocolMode::kLeaderless) {
+    // Leaderless proposers stripe slots: this one owns slots congruent to
+    // its node id modulo the node count.
+    SlotId expected = proposer;
+    for (const auto& [slot, value] : cluster.replica(proposer)->decided()) {
+      EXPECT_EQ(slot, expected);
+      expected += cluster.topology().num_nodes();
+    }
+  } else {
+    // A single prolonged leader produces a contiguous log from slot 0.
+    EXPECT_EQ(cluster.replica(proposer)->DecidedWatermark(), 20u);
+  }
+}
+
+TEST_P(ReplicaBasicTest, SecondCommitSkipsElection) {
+  if (GetParam() == ProtocolMode::kLeaderless) GTEST_SKIP();
+  Cluster cluster(Topology::AwsSevenZones(), GetParam());
+  const NodeId proposer = cluster.NodeInZone(0);
+
+  // First submit auto-elects: latency includes the Leader Election round.
+  Result<Duration> first = cluster.Commit(proposer, Value::Of(1, "a"));
+  ASSERT_TRUE(first.ok());
+  // Prolonged leader: subsequent commits bypass Leader Election.
+  Result<Duration> second = cluster.Commit(proposer, Value::Of(2, "b"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(second.value(), first.value());
+  EXPECT_EQ(cluster.replica(proposer)->elections_won(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ReplicaBasicTest,
+    ::testing::Values(ProtocolMode::kMultiPaxos, ProtocolMode::kFlexiblePaxos,
+                      ProtocolMode::kDelegate, ProtocolMode::kLeaderZone,
+                      ProtocolMode::kLeaderless),
+    [](const ::testing::TestParamInfo<ProtocolMode>& info) {
+      std::string name = ProtocolModeName(info.param);
+      std::erase(name, '-');
+      return name;
+    });
+
+}  // namespace
+}  // namespace dpaxos

@@ -1,0 +1,190 @@
+// Edge-case tests for the Replica: duplicate/stale message tolerance,
+// submission paths, multi-programming windows, decide policies, and
+// miscellaneous guards.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "harness/cluster.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(ReplicaEdgeTest, DuplicatedMessagesAreIdempotent) {
+  ClusterOptions options;
+  options.transport.duplicate_probability = 0.5;  // heavy replay
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  for (uint64_t i = 1; i <= 20; ++i) {
+    Result<Duration> r = cluster.Commit(leader, Value::Synthetic(i, 256));
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+  }
+  cluster.sim().RunFor(5 * kSecond);
+  EXPECT_EQ(cluster.replica(leader)->DecidedWatermark(), 20u);
+  // No duplicated decisions: exactly 20 slots.
+  EXPECT_EQ(cluster.replica(leader)->decided().size(), 20u);
+}
+
+TEST(ReplicaEdgeTest, DuplicationPlusLossAcrossModes) {
+  for (ProtocolMode mode : {ProtocolMode::kMultiPaxos,
+                            ProtocolMode::kDelegate,
+                            ProtocolMode::kLeaderless}) {
+    ClusterOptions options;
+    options.transport.duplicate_probability = 0.3;
+    options.transport.drop_probability = 0.05;
+    options.replica.propose_timeout = 300 * kMillisecond;
+    Cluster cluster(Topology::AwsSevenZones(), mode, options);
+    const NodeId proposer = cluster.NodeInZone(1);
+    int ok = 0;
+    for (uint64_t i = 1; i <= 10; ++i) {
+      if (cluster.Commit(proposer, Value::Synthetic(i, 128)).ok()) ++ok;
+    }
+    EXPECT_GE(ok, 9) << ProtocolModeName(mode);
+    EXPECT_EQ(cluster.replica(proposer)->decided().size(),
+              static_cast<size_t>(ok))
+        << ProtocolModeName(mode);
+  }
+}
+
+TEST(ReplicaEdgeTest, SubmitFailsFastWithoutAutoElect) {
+  ClusterOptions options;
+  options.replica.auto_elect_on_submit = false;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  Status st;
+  cluster.replica(5)->Submit(Value::Of(1, "x"),
+                             [&](const Status& s, SlotId, Duration) {
+                               st = s;
+                             });
+  EXPECT_TRUE(st.IsFailedPrecondition());
+}
+
+TEST(ReplicaEdgeTest, SubmitDuringCandidacyQueuesBehindElection) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  Replica* r = cluster.ReplicaInZone(3);
+  r->TryBecomeLeader([](const Status&) {});
+  ASSERT_TRUE(r->is_candidate());
+
+  std::optional<Status> commit;
+  r->Submit(Value::Of(1, "queued"),
+            [&](const Status& st, SlotId, Duration) { commit = st; });
+  ASSERT_TRUE(
+      cluster.RunUntil([&] { return commit.has_value(); }, 30 * kSecond));
+  EXPECT_TRUE(commit->ok());
+  EXPECT_TRUE(r->is_leader());
+}
+
+TEST(ReplicaEdgeTest, WindowOverflowQueuesAndDrains) {
+  ClusterOptions options;
+  options.replica.max_inflight = 2;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+
+  int committed = 0;
+  for (uint64_t i = 1; i <= 6; ++i) {
+    cluster.replica(leader)->Submit(
+        Value::Synthetic(i, 128),
+        [&](const Status& st, SlotId, Duration) {
+          if (st.ok()) ++committed;
+        });
+  }
+  ASSERT_TRUE(cluster.RunUntil([&] { return committed == 6; }, 30 * kSecond));
+  EXPECT_EQ(cluster.replica(leader)->next_slot(), 6u);
+}
+
+TEST(ReplicaEdgeTest, DecidePolicyAllInformsEveryNode) {
+  ClusterOptions options;
+  options.replica.decide_policy = DecidePolicy::kAll;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "x")).ok());
+  cluster.sim().RunFor(2 * kSecond);
+  for (NodeId n : cluster.topology().AllNodes()) {
+    EXPECT_EQ(cluster.replica(n)->decided().size(), 1u) << "node " << n;
+  }
+}
+
+TEST(ReplicaEdgeTest, DecidePolicyNoneInformsOnlyTheLeader) {
+  ClusterOptions options;
+  options.replica.decide_policy = DecidePolicy::kNone;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "x")).ok());
+  cluster.sim().RunFor(2 * kSecond);
+  EXPECT_EQ(cluster.replica(leader)->decided().size(), 1u);
+  EXPECT_EQ(cluster.replica(cluster.NodeInZone(0, 1))->decided().size(), 0u);
+}
+
+TEST(ReplicaEdgeTest, DecidePolicyZoneInformsLeaderZoneOnly) {
+  ClusterOptions options;
+  options.replica.decide_policy = DecidePolicy::kZone;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(2);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "x")).ok());
+  cluster.sim().RunFor(2 * kSecond);
+  for (NodeId n : cluster.topology().NodesInZone(2)) {
+    EXPECT_EQ(cluster.replica(n)->decided().size(), 1u);
+  }
+  EXPECT_EQ(cluster.replica(cluster.NodeInZone(5))->decided().size(), 0u);
+}
+
+TEST(ReplicaEdgeTest, StaleAcceptsForOldBallotsAreIgnored) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "x")).ok());
+
+  // Hand-craft an accept for a bogus old ballot: must be ignored.
+  auto stale = std::make_shared<AcceptMsg>(0, Ballot{0, 9}, 99);
+  cluster.transport().Send(3, leader, stale);
+  cluster.sim().RunFor(kSecond);
+  EXPECT_EQ(cluster.replica(leader)->decided().count(99), 0u);
+}
+
+TEST(ReplicaEdgeTest, ZeroWindowIsTreatedAsOne) {
+  ClusterOptions options;
+  options.replica.max_inflight = 0;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  EXPECT_TRUE(cluster.Commit(leader, Value::Of(1, "x")).ok());
+}
+
+TEST(ReplicaEdgeTest, RefreshLeadershipDeclinesWithWorkInFlight) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  cluster.replica(leader)->Submit(Value::Of(1, "x"),
+                                  [](const Status&, SlotId, Duration) {});
+  Status st;
+  cluster.replica(leader)->RefreshLeadership(
+      [&](const Status& s) { st = s; });
+  EXPECT_TRUE(st.IsFailedPrecondition());
+}
+
+TEST(ReplicaEdgeTest, LargeValuesSurviveThePipeline) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  std::string big(512 * 1024, 'B');
+  Result<Duration> r = cluster.Commit(leader, Value::Of(1, big));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(cluster.replica(leader)->decided().at(0).payload.size(),
+            big.size());
+  // Intra-zone replication keeps even 512 KB values fast (no WAN cap).
+  EXPECT_LT(r.value(), FromMillis(100));
+}
+
+}  // namespace
+}  // namespace dpaxos

@@ -1,0 +1,217 @@
+// Crash-restart durability tests: Paxos safety requires promises,
+// accepted values and intents to survive a process restart; everything
+// volatile (roles, in-flight proposals, the decided log) is rebuilt
+// through elections and catch-up.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/cluster.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(RestartTest, PromisesSurviveRestart) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  const Ballot promised = cluster.replica(1)->acceptor().promised();
+  ASSERT_FALSE(promised.is_null());
+
+  cluster.RestartNode(1);
+  // The durable promise survived the restart...
+  EXPECT_EQ(cluster.replica(1)->acceptor().promised(), promised);
+  // ...and still rejects lower ballots.
+  auto stale = std::make_shared<PrepareMsg>(
+      0, Ballot{0, 5}, 0, std::vector<Intent>{}, false, LeaderZoneView{});
+  cluster.transport().Send(5, 1, stale);
+  cluster.sim().RunFor(kSecond);
+  EXPECT_EQ(cluster.replica(1)->acceptor().promised(), promised);
+}
+
+TEST(RestartTest, AcceptedValuesSurviveAndGetAdopted) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  for (uint64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(cluster.Commit(leader, Value::Synthetic(i, 64)).ok());
+  }
+
+  // Restart the whole replication quorum — the decided values must
+  // still be recoverable from the durable accepted entries.
+  cluster.RestartNode(0);
+  cluster.RestartNode(1);
+  EXPECT_FALSE(cluster.replica(0)->is_leader());      // volatile role lost
+  EXPECT_EQ(cluster.replica(0)->decided().size(), 0u);  // volatile log lost
+  EXPECT_EQ(cluster.replica(0)->acceptor().accepted_count(), 3u);  // durable
+
+  // A new leader adopts the accepted values through its election.
+  Replica* successor = cluster.ReplicaInZone(2);
+  ASSERT_TRUE(cluster.ElectLeader(successor->id()).ok());
+  cluster.sim().RunFor(5 * kSecond);
+  ASSERT_GE(successor->DecidedWatermark(), 3u);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(successor->decided().at(i - 1).id, i);
+  }
+}
+
+TEST(RestartTest, IntentsSurviveRestart) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(2);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  const Ballot leader_ballot = cluster.replica(leader)->ballot();
+
+  // Restart the whole Leader Zone (zone 0): the stored intent must
+  // survive, or a future election could miss the live leader's quorum.
+  for (NodeId n : cluster.topology().NodesInZone(0)) {
+    cluster.RestartNode(n);
+  }
+  int holders = 0;
+  for (NodeId n : cluster.topology().NodesInZone(0)) {
+    for (const Intent& in : cluster.replica(n)->acceptor().intents()) {
+      if (in.ballot == leader_ballot) ++holders;
+    }
+  }
+  EXPECT_GE(holders, 2);
+
+  // And a post-restart aspirant still detects + intersects it.
+  Replica* aspirant = cluster.ReplicaInZone(5);
+  aspirant->PrimeBallot(leader_ballot);
+  ASSERT_TRUE(cluster.ElectLeader(aspirant->id()).ok());
+  EXPECT_EQ(aspirant->expansion_rounds(), 1u);
+}
+
+TEST(RestartTest, RestartedLeaderDoesNotResumeLeadership) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Synthetic(1, 64)).ok());
+
+  cluster.RestartNode(leader);
+  EXPECT_FALSE(cluster.replica(leader)->is_leader());
+  // Its next election must pick a HIGHER ballot than anything it may
+  // have promised before the crash (durable promise floor).
+  const Ballot old = cluster.replica(leader)->acceptor().promised();
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  EXPECT_GT(cluster.replica(leader)->ballot(), old);
+  ASSERT_TRUE(cluster.Commit(leader, Value::Synthetic(2, 64)).ok());
+}
+
+TEST(RestartTest, RestartPlusCatchUpRebuildsTheLog) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(cluster.Commit(leader, Value::Synthetic(i, 64)).ok());
+  }
+
+  cluster.RestartNode(1);
+  EXPECT_EQ(cluster.replica(1)->decided().size(), 0u);
+  bool done = false;
+  Status st;
+  cluster.replica(1)->CatchUpFrom(leader, [&](const Status& s) {
+    st = s;
+    done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done; }, 30 * kSecond));
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(cluster.replica(1)->DecidedWatermark(), 10u);
+}
+
+TEST(RestartTest, PendingTimersOfDeadReplicasNeverFire) {
+  // A replica with an armed election timer is restarted; the stale timer
+  // must not touch the new replica (the ScheduleSafe liveness guard).
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  Replica* r = cluster.ReplicaInZone(3);
+  // Partition it from the Leader Zone so the election hangs on a timer.
+  for (NodeId n : cluster.topology().NodesInZone(0)) {
+    cluster.transport().Partition(r->id(), n);
+  }
+  r->TryBecomeLeader([](const Status&) {});
+  ASSERT_TRUE(r->is_candidate());
+
+  cluster.RestartNode(r->id());
+  cluster.transport().HealAll();
+  // Drive past the old timer's deadline: nothing must crash, and the
+  // fresh replica is a clean follower.
+  cluster.sim().RunFor(30 * kSecond);
+  EXPECT_FALSE(cluster.replica(r->id())->is_candidate());
+  ASSERT_TRUE(cluster.ElectLeader(r->id()).ok());
+}
+
+TEST(RestartTest, LeasePromiseSurvivesRestart) {
+  ClusterOptions options;
+  options.replica.enable_leases = true;
+  options.replica.lease_duration = 10 * kSecond;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Synthetic(1, 64)).ok());
+
+  // Restart a lease-voting acceptor: the durable lease promise still
+  // blocks rival elections until expiry.
+  cluster.RestartNode(1);
+  EXPECT_TRUE(cluster.replica(1)->acceptor().HasActiveLease(
+      cluster.sim().Now()));
+  Replica* rival = cluster.ReplicaInZone(4);
+  rival->PrimeBallot(cluster.replica(leader)->ballot());
+  const Timestamp start = cluster.sim().Now();
+  ASSERT_TRUE(cluster.ElectLeader(rival->id()).ok());
+  EXPECT_GE(cluster.sim().Now() - start, 5 * kSecond);  // waited out lease
+}
+
+TEST(RestartTest, SafetyUnderRandomRestarts) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    ClusterOptions options;
+    options.seed = seed;
+    options.replica.le_timeout = 800 * kMillisecond;
+    options.replica.propose_timeout = 400 * kMillisecond;
+    Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                    options);
+    Rng rng(seed * 31 + 1);
+
+    std::set<uint64_t> submitted;
+    uint64_t id = 0;
+    for (int wave = 0; wave < 10; ++wave) {
+      const NodeId victim = static_cast<NodeId>(
+          rng.NextBounded(cluster.topology().num_nodes()));
+      cluster.RestartNode(victim);
+      const NodeId proposer = static_cast<NodeId>(
+          rng.NextBounded(cluster.topology().num_nodes()));
+      submitted.insert(++id);
+      cluster.replica(proposer)->Submit(
+          Value::Synthetic(id, 128), [](const Status&, SlotId, Duration) {});
+      cluster.sim().RunFor(rng.NextBounded(2 * kSecond));
+    }
+    cluster.sim().RunFor(30 * kSecond);
+
+    // Agreement across every replica's (possibly partial) decided log.
+    std::map<SlotId, uint64_t> canonical;
+    for (NodeId n : cluster.topology().AllNodes()) {
+      for (const auto& [slot, value] : cluster.replica(n)->decided()) {
+        auto [it, inserted] = canonical.emplace(slot, value.id);
+        ASSERT_EQ(it->second, value.id)
+            << "seed " << seed << " slot " << slot;
+        if (!value.is_noop()) {
+          ASSERT_TRUE(submitted.count(value.id) > 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(RestartTest, SyncWriteAccountingGrows) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  const uint64_t after_election =
+      cluster.replica(leader)->acceptor().sync_writes();
+  EXPECT_GE(after_election, 1u);  // the promise was durable
+  ASSERT_TRUE(cluster.Commit(leader, Value::Synthetic(1, 64)).ok());
+  EXPECT_GT(cluster.replica(leader)->acceptor().sync_writes(),
+            after_election);  // the acceptance too
+}
+
+}  // namespace
+}  // namespace dpaxos

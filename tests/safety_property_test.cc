@@ -1,0 +1,169 @@
+// Randomized safety property tests: under message loss, jitter, crashes
+// and concurrent proposers, every protocol preserves
+//   - agreement: at most one value decided per slot, across all replicas,
+//   - non-triviality: only submitted values (or no-ops) are decided.
+// Parameterized over (protocol, seed) for schedule diversity.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "harness/cluster.h"
+
+namespace dpaxos {
+namespace {
+
+struct Param {
+  ProtocolMode mode;
+  uint64_t seed;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  std::string name = ProtocolModeName(info.param.mode);
+  std::erase(name, '-');
+  return name + "_seed" + std::to_string(info.param.seed);
+}
+
+// Cross-replica agreement + non-triviality check.
+void CheckDecisionInvariants(Cluster& cluster,
+                             const std::set<uint64_t>& submitted_ids) {
+  std::map<SlotId, uint64_t> canonical;
+  for (NodeId n : cluster.topology().AllNodes()) {
+    for (const auto& [slot, value] : cluster.replica(n)->decided()) {
+      auto [it, inserted] = canonical.emplace(slot, value.id);
+      ASSERT_EQ(it->second, value.id)
+          << "agreement violated at node " << n << " slot " << slot;
+      if (!value.is_noop()) {
+        ASSERT_TRUE(submitted_ids.count(value.id) > 0)
+            << "non-triviality violated: decided unknown value " << value.id;
+      }
+    }
+  }
+}
+
+class SafetyPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SafetyPropertyTest, ConcurrentProposersUnderMessageLoss) {
+  ClusterOptions options;
+  options.seed = GetParam().seed;
+  options.transport.drop_probability = 0.10;
+  options.transport.max_jitter = 20 * kMillisecond;
+  options.replica.le_timeout = 800 * kMillisecond;
+  options.replica.propose_timeout = 400 * kMillisecond;
+  options.replica.max_le_attempts = 10;
+  Cluster cluster(Topology::AwsSevenZones(), GetParam().mode, options);
+  Rng rng(GetParam().seed * 7919 + 13);
+
+  std::set<uint64_t> submitted;
+  uint64_t next_id = 0;
+  // Fire submissions at random nodes at random times; dueling proposers
+  // preempt each other constantly.
+  for (int wave = 0; wave < 8; ++wave) {
+    const int submitters = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int s = 0; s < submitters; ++s) {
+      const NodeId node = static_cast<NodeId>(
+          rng.NextBounded(cluster.topology().num_nodes()));
+      const uint64_t id = ++next_id;
+      submitted.insert(id);
+      cluster.replica(node)->Submit(Value::Synthetic(id, 256),
+                                    [](const Status&, SlotId, Duration) {});
+    }
+    cluster.sim().RunFor(rng.NextBounded(2 * kSecond));
+  }
+  cluster.sim().RunFor(30 * kSecond);
+  CheckDecisionInvariants(cluster, submitted);
+}
+
+TEST_P(SafetyPropertyTest, RandomCrashesAndRecoveries) {
+  ClusterOptions options;
+  options.seed = GetParam().seed + 1000;
+  options.replica.le_timeout = 800 * kMillisecond;
+  options.replica.propose_timeout = 400 * kMillisecond;
+  options.replica.max_le_attempts = 8;
+  options.replica.num_intents = 2;
+  Cluster cluster(Topology::AwsSevenZones(), GetParam().mode, options);
+  Rng rng(GetParam().seed * 104729 + 7);
+
+  std::set<uint64_t> submitted;
+  uint64_t next_id = 0;
+  std::set<NodeId> crashed;
+  for (int wave = 0; wave < 10; ++wave) {
+    // Crash/recover random nodes, never exceeding fd per zone.
+    const NodeId victim = static_cast<NodeId>(
+        rng.NextBounded(cluster.topology().num_nodes()));
+    if (crashed.count(victim) > 0) {
+      cluster.transport().Recover(victim);
+      crashed.erase(victim);
+    } else {
+      // Respect the fault model: at most one down node per zone.
+      const ZoneId vz = cluster.topology().ZoneOf(victim);
+      bool zone_has_crash = false;
+      for (NodeId c : crashed) {
+        if (cluster.topology().ZoneOf(c) == vz) zone_has_crash = true;
+      }
+      if (!zone_has_crash) {
+        cluster.transport().Crash(victim);
+        crashed.insert(victim);
+      }
+    }
+    // Submit from a healthy node.
+    NodeId node;
+    do {
+      node = static_cast<NodeId>(
+          rng.NextBounded(cluster.topology().num_nodes()));
+    } while (crashed.count(node) > 0);
+    const uint64_t id = ++next_id;
+    submitted.insert(id);
+    cluster.replica(node)->Submit(Value::Synthetic(id, 256),
+                                  [](const Status&, SlotId, Duration) {});
+    cluster.sim().RunFor(rng.NextBounded(3 * kSecond));
+  }
+  for (NodeId c : crashed) cluster.transport().Recover(c);
+  cluster.sim().RunFor(30 * kSecond);
+  CheckDecisionInvariants(cluster, submitted);
+}
+
+TEST_P(SafetyPropertyTest, LivenessAfterChaosQuiets) {
+  // After the network stabilizes, some node can still commit new values.
+  ClusterOptions options;
+  options.seed = GetParam().seed + 2000;
+  options.transport.drop_probability = 0.3;
+  options.replica.le_timeout = 600 * kMillisecond;
+  options.replica.propose_timeout = 300 * kMillisecond;
+  Cluster cluster(Topology::AwsSevenZones(), GetParam().mode, options);
+  Rng rng(GetParam().seed + 5);
+
+  std::set<uint64_t> submitted;
+  for (uint64_t id = 1; id <= 5; ++id) {
+    submitted.insert(id);
+    const NodeId node =
+        static_cast<NodeId>(rng.NextBounded(cluster.topology().num_nodes()));
+    cluster.replica(node)->Submit(Value::Synthetic(id, 128),
+                                  [](const Status&, SlotId, Duration) {});
+    cluster.sim().RunFor(500 * kMillisecond);
+  }
+  cluster.sim().RunFor(20 * kSecond);
+  cluster.transport().set_drop_probability(0.0);
+
+  submitted.insert(777);
+  Result<Duration> r =
+      cluster.Commit(cluster.NodeInZone(1, 0), Value::Synthetic(777, 128));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  CheckDecisionInvariants(cluster, submitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, SafetyPropertyTest,
+    ::testing::Values(
+        Param{ProtocolMode::kMultiPaxos, 1}, Param{ProtocolMode::kMultiPaxos, 2},
+        Param{ProtocolMode::kFlexiblePaxos, 1},
+        Param{ProtocolMode::kFlexiblePaxos, 2},
+        Param{ProtocolMode::kDelegate, 1}, Param{ProtocolMode::kDelegate, 2},
+        Param{ProtocolMode::kDelegate, 3}, Param{ProtocolMode::kLeaderZone, 1},
+        Param{ProtocolMode::kLeaderZone, 2},
+        Param{ProtocolMode::kLeaderZone, 3},
+        Param{ProtocolMode::kLeaderZone, 4}),
+    ParamName);
+
+}  // namespace
+}  // namespace dpaxos

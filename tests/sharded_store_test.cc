@@ -1,0 +1,198 @@
+// Tests for the sharded multi-leader store (WPaxos-style object
+// stealing over per-partition DPaxos instances).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "directory/sharded_store.h"
+#include "harness/cluster.h"
+
+namespace dpaxos {
+namespace {
+
+constexpr uint32_t kPartitions = 4;
+
+std::unique_ptr<Cluster> MakeShardedCluster() {
+  ClusterOptions options;
+  options.partitions.clear();
+  for (uint32_t p = 0; p < kPartitions; ++p) options.partitions.push_back(p);
+  return std::make_unique<Cluster>(Topology::AwsSevenZones(),
+                                   ProtocolMode::kLeaderZone, options);
+}
+
+ShardedStore MakeStore(Cluster& cluster,
+                       ShardedStore::Options options = {}) {
+  options.num_partitions = kPartitions;
+  return ShardedStore(
+      &cluster.sim(), &cluster.topology(),
+      [&cluster](NodeId n, PartitionId p) { return cluster.replica(n, p); },
+      options);
+}
+
+// Transaction with a single op on `key`.
+Transaction TxnOn(uint64_t id, const std::string& key) {
+  Transaction txn;
+  txn.id = id;
+  txn.ops = {Operation::Put(key, "v")};
+  return txn;
+}
+
+// A key that hashes to `partition`.
+std::string KeyIn(const ShardedStore& store, PartitionId partition) {
+  for (int i = 0;; ++i) {
+    std::string key = "key" + std::to_string(i);
+    if (store.PartitionOf(key) == partition) return key;
+  }
+}
+
+Result<Duration> RunTxn(Cluster& cluster, ShardedStore& store,
+                     const Transaction& txn, ZoneId zone) {
+  std::optional<Status> done;
+  Duration latency = 0;
+  store.Execute(txn, zone, [&](const Status& st, Duration lat) {
+    done = st;
+    latency = lat;
+  });
+  while (!done.has_value() && cluster.sim().Step()) {
+  }
+  if (!done.has_value()) return Status::Internal("no progress");
+  if (!done->ok()) return *done;
+  return latency;
+}
+
+TEST(ShardedStoreTest, HashingIsStableAndCoversAllPartitions) {
+  auto cluster = MakeShardedCluster();
+  ShardedStore store = MakeStore(*cluster);
+  std::set<PartitionId> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "user" + std::to_string(i);
+    const PartitionId p = store.PartitionOf(key);
+    EXPECT_EQ(p, store.PartitionOf(key));
+    EXPECT_LT(p, kPartitions);
+    seen.insert(p);
+  }
+  EXPECT_EQ(seen.size(), kPartitions);
+}
+
+TEST(ShardedStoreTest, FirstAccessClaimsPartitionLocally) {
+  auto cluster = MakeShardedCluster();
+  ShardedStore store = MakeStore(*cluster);
+  const std::string key = KeyIn(store, 2);
+  ASSERT_TRUE(RunTxn(*cluster, store, TxnOn(1, key), /*zone=*/5).ok());
+  const NodeId leader = store.LeaderOf(2);
+  ASSERT_NE(leader, kInvalidNode);
+  EXPECT_EQ(cluster->topology().ZoneOf(leader), 5u);
+  EXPECT_EQ(store.steals(), 1u);
+  // Unaccessed partitions stay unowned.
+  EXPECT_EQ(store.LeaderOf(0) != kInvalidNode ||
+                store.PartitionOf(key) == 0,
+            store.PartitionOf(key) == 0);
+}
+
+TEST(ShardedStoreTest, SubsequentLocalAccessesAreFast) {
+  auto cluster = MakeShardedCluster();
+  ShardedStore store = MakeStore(*cluster);
+  const std::string key = KeyIn(store, 1);
+  ASSERT_TRUE(RunTxn(*cluster, store, TxnOn(1, key), 3).ok());
+  Result<Duration> second = RunTxn(*cluster, store, TxnOn(2, key), 3);
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(second.value(), FromMillis(15));  // leader is zone-local
+  EXPECT_EQ(store.steals(), 1u);
+}
+
+TEST(ShardedStoreTest, RemoteAccessesForwardWithoutStealing) {
+  auto cluster = MakeShardedCluster();
+  ShardedStore::Options options;
+  options.auto_steal = false;
+  ShardedStore store = MakeStore(*cluster, options);
+  const std::string key = KeyIn(store, 0);
+  ASSERT_TRUE(RunTxn(*cluster, store, TxnOn(1, key), 0).ok());  // California
+
+  // One-off Mumbai access: forwarded, not stolen.
+  Result<Duration> remote = RunTxn(*cluster, store, TxnOn(2, key), 6);
+  ASSERT_TRUE(remote.ok());
+  EXPECT_GE(remote.value(), FromMillis(249));
+  EXPECT_EQ(cluster->topology().ZoneOf(store.LeaderOf(0)), 0u);
+  EXPECT_EQ(store.steals(), 1u);
+}
+
+TEST(ShardedStoreTest, SustainedRemoteAccessTriggersSteal) {
+  auto cluster = MakeShardedCluster();
+  ShardedStore store = MakeStore(*cluster);
+  const std::string key = KeyIn(store, 3);
+  // Claimed by California first.
+  ASSERT_TRUE(RunTxn(*cluster, store, TxnOn(1, key), 0).ok());
+
+  // The workload moves to Mumbai; after enough accesses the advisor
+  // steals the partition there and latency collapses.
+  Duration last = 0;
+  for (uint64_t i = 2; i <= 12; ++i) {
+    cluster->sim().RunFor(kSecond);
+    Result<Duration> r = RunTxn(*cluster, store, TxnOn(i, key), 6);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    last = r.value();
+  }
+  EXPECT_EQ(cluster->topology().ZoneOf(store.LeaderOf(3)), 6u);
+  EXPECT_GE(store.steals(), 2u);
+  EXPECT_LT(last, FromMillis(20));  // now Mumbai-local
+}
+
+TEST(ShardedStoreTest, PartitionsMoveIndependently) {
+  auto cluster = MakeShardedCluster();
+  ShardedStore store = MakeStore(*cluster);
+  // Pin each partition to a different zone by first access.
+  const ZoneId zones[kPartitions] = {0, 2, 4, 6};
+  for (PartitionId p = 0; p < kPartitions; ++p) {
+    ASSERT_TRUE(
+        RunTxn(*cluster, store, TxnOn(100 + p, KeyIn(store, p)), zones[p]).ok());
+  }
+  for (PartitionId p = 0; p < kPartitions; ++p) {
+    EXPECT_EQ(cluster->topology().ZoneOf(store.LeaderOf(p)), zones[p]);
+  }
+  // Each partition's log is independent.
+  for (PartitionId p = 0; p < kPartitions; ++p) {
+    EXPECT_EQ(cluster->replica(store.LeaderOf(p), p)->decided().size(), 1u);
+  }
+}
+
+TEST(ShardedStoreTest, CrossPartitionTransactionsRejected) {
+  auto cluster = MakeShardedCluster();
+  ShardedStore store = MakeStore(*cluster);
+  // Find two keys in different partitions.
+  std::string a = KeyIn(store, 0), b = KeyIn(store, 1);
+  Transaction txn;
+  txn.id = 1;
+  txn.ops = {Operation::Put(a, "x"), Operation::Put(b, "y")};
+  Result<Duration> r = RunTxn(*cluster, store, txn, 0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(ShardedStoreTest, EmptyTransactionRejected) {
+  auto cluster = MakeShardedCluster();
+  ShardedStore store = MakeStore(*cluster);
+  Result<Duration> r = RunTxn(*cluster, store, Transaction{}, 0);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ShardedStoreTest, ManualStealOverridesPlacement) {
+  auto cluster = MakeShardedCluster();
+  ShardedStore::Options options;
+  options.auto_steal = false;
+  ShardedStore store = MakeStore(*cluster, options);
+  const std::string key = KeyIn(store, 2);
+  ASSERT_TRUE(RunTxn(*cluster, store, TxnOn(1, key), 0).ok());
+
+  std::optional<Status> stolen;
+  store.Steal(2, 5, [&](const Status& st) { stolen = st; });
+  ASSERT_TRUE(cluster->RunUntil([&] { return stolen.has_value(); },
+                                60 * kSecond));
+  ASSERT_TRUE(stolen->ok());
+  EXPECT_EQ(cluster->topology().ZoneOf(store.LeaderOf(2)), 5u);
+  // The stolen partition still serves (and adopted the old log).
+  ASSERT_TRUE(RunTxn(*cluster, store, TxnOn(2, key), 5).ok());
+}
+
+}  // namespace
+}  // namespace dpaxos

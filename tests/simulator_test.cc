@@ -1,0 +1,139 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(SimulatorTest, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.Schedule(10, chain);
+  };
+  sim.Schedule(10, chain);
+  sim.RunUntilIdle();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.Now(), 50u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(20, [&] { ++fired; });
+  sim.Schedule(30, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 20u);  // clock advances to the deadline
+  EXPECT_EQ(sim.RunUntilIdle(), 1u);
+}
+
+TEST(SimulatorTest, RunForAdvancesRelative) {
+  Simulator sim;
+  sim.RunFor(100);
+  EXPECT_EQ(sim.Now(), 100u);
+  sim.RunFor(50);
+  EXPECT_EQ(sim.Now(), 150u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.Schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelUnknownIdFails) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(0));
+  EXPECT_FALSE(sim.Cancel(12345));
+}
+
+TEST(SimulatorTest, DoubleCancelFails) {
+  Simulator sim;
+  const EventId id = sim.Schedule(10, [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  sim.RunUntilIdle();
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  Timestamp seen = 0;
+  sim.ScheduleAt(123, [&] { seen = sim.Now(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(seen, 123u);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&] { ++fired; });
+  sim.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, RunUntilIdleRespectsEventCap) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.Schedule(1, forever); };
+  sim.Schedule(1, forever);
+  EXPECT_EQ(sim.RunUntilIdle(1000), 1000u);
+}
+
+TEST(SimulatorTest, PendingEventsTracksCancellations) {
+  Simulator sim;
+  const EventId a = sim.Schedule(10, [] {});
+  sim.Schedule(20, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<uint64_t> trace;
+    for (int i = 0; i < 100; ++i) {
+      sim.Schedule(sim.rng().NextBounded(1000),
+                   [&trace, &sim] { trace.push_back(sim.Now()); });
+    }
+    sim.RunUntilIdle();
+    return trace;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace dpaxos

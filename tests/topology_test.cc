@@ -1,0 +1,156 @@
+// Unit tests for the cluster topology (zones, node layout, RTT matrix).
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(TopologyTest, AwsSevenZonesLayout) {
+  const Topology topo = Topology::AwsSevenZones();
+  EXPECT_EQ(topo.num_zones(), 7u);
+  EXPECT_EQ(topo.num_nodes(), 21u);
+  for (ZoneId z = 0; z < 7; ++z) EXPECT_EQ(topo.nodes_in_zone(z), 3u);
+  EXPECT_EQ(topo.ZoneName(0), "California");
+  EXPECT_EQ(topo.ZoneName(6), "Mumbai");
+}
+
+TEST(TopologyTest, AwsRttMatchesPaperTable1) {
+  const Topology topo = Topology::AwsSevenZones();
+  // Spot checks against Table 1 (milliseconds).
+  EXPECT_EQ(topo.ZoneRtt(0, 1), FromMillis(19));    // California-Oregon
+  EXPECT_EQ(topo.ZoneRtt(0, 6), FromMillis(249));   // California-Mumbai
+  EXPECT_EQ(topo.ZoneRtt(3, 5), FromMillis(67));    // Tokyo-Singapore
+  EXPECT_EQ(topo.ZoneRtt(2, 4), FromMillis(81));    // Virginia-Ireland
+  EXPECT_EQ(topo.ZoneRtt(5, 6), FromMillis(58));    // Singapore-Mumbai
+  // Intra-zone: the emulated 10 ms edge-node delay.
+  EXPECT_EQ(topo.ZoneRtt(2, 2), FromMillis(10));
+}
+
+TEST(TopologyTest, RttIsSymmetricAndZeroOnSelf) {
+  const Topology topo = Topology::AwsSevenZones();
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    EXPECT_EQ(topo.Rtt(a, a), 0u);
+    for (NodeId b = 0; b < topo.num_nodes(); ++b) {
+      EXPECT_EQ(topo.Rtt(a, b), topo.Rtt(b, a));
+      EXPECT_EQ(topo.OneWayDelay(a, b), topo.Rtt(a, b) / 2);
+    }
+  }
+}
+
+TEST(TopologyTest, ZoneOfAssignsDensely) {
+  const Topology topo = Topology::AwsSevenZones();
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_EQ(topo.ZoneOf(n), n / 3);
+  }
+}
+
+TEST(TopologyTest, NodesInZone) {
+  const Topology topo = Topology::AwsSevenZones();
+  EXPECT_EQ(topo.NodesInZone(0), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(topo.NodesInZone(6), (std::vector<NodeId>{18, 19, 20}));
+  EXPECT_EQ(topo.AllNodes().size(), 21u);
+}
+
+TEST(TopologyTest, ZonesByProximityFromCalifornia) {
+  const Topology topo = Topology::AwsSevenZones();
+  // C(0) O(19) V(62) T(113) I(134) S(183) M(249).
+  EXPECT_EQ(topo.ZonesByProximity(0),
+            (std::vector<ZoneId>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(TopologyTest, ZonesByProximityFromMumbai) {
+  const Topology topo = Topology::AwsSevenZones();
+  // M(0) S(58) I(120) T(124) V(182) O(221) C(249).
+  EXPECT_EQ(topo.ZonesByProximity(6),
+            (std::vector<ZoneId>{6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(TopologyTest, UniformTopology) {
+  const Topology topo = Topology::Uniform(5, 4, 100.0, 5.0);
+  EXPECT_EQ(topo.num_zones(), 5u);
+  EXPECT_EQ(topo.num_nodes(), 20u);
+  EXPECT_EQ(topo.ZoneRtt(1, 3), FromMillis(100));
+  EXPECT_EQ(topo.ZoneRtt(2, 2), FromMillis(5));
+}
+
+TEST(TopologyTest, UnevenZoneSizes) {
+  TopologyConfig config;
+  config.nodes_per_zone = {2, 5, 3};
+  config.zone_rtt_ms = {{0, 10, 20}, {10, 0, 30}, {20, 30, 0}};
+  Result<Topology> topo = Topology::Create(config);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->num_nodes(), 10u);
+  EXPECT_EQ(topo->ZoneOf(1), 0u);
+  EXPECT_EQ(topo->ZoneOf(2), 1u);
+  EXPECT_EQ(topo->ZoneOf(6), 1u);
+  EXPECT_EQ(topo->ZoneOf(7), 2u);
+  EXPECT_EQ(topo->NodesInZone(1), (std::vector<NodeId>{2, 3, 4, 5, 6}));
+}
+
+TEST(TopologyTest, FromRttCsvWithNames) {
+  const std::string csv =
+      "# measured matrix\n"
+      "east, 0, 40, 90\n"
+      "west, 40, 0, 70\n"
+      "apac, 90, 70, 0\n";
+  Result<Topology> topo = Topology::FromRttCsv(csv, 3, 5.0);
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+  EXPECT_EQ(topo->num_zones(), 3u);
+  EXPECT_EQ(topo->num_nodes(), 9u);
+  EXPECT_EQ(topo->ZoneName(0), "east");
+  EXPECT_EQ(topo->ZoneName(2), "apac");
+  EXPECT_EQ(topo->ZoneRtt(0, 2), FromMillis(90));
+  EXPECT_EQ(topo->ZoneRtt(1, 1), FromMillis(5.0));
+}
+
+TEST(TopologyTest, FromRttCsvWithoutNames) {
+  Result<Topology> topo =
+      Topology::FromRttCsv("0,25\n25,0\n", 3);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->ZoneName(0), "zone0");
+  EXPECT_EQ(topo->ZoneRtt(0, 1), FromMillis(25));
+}
+
+TEST(TopologyTest, FromRttCsvRejectsMalformedInput) {
+  EXPECT_FALSE(Topology::FromRttCsv("", 3).ok());
+  EXPECT_FALSE(Topology::FromRttCsv("0,1\n2,0\n", 3).ok());  // asymmetric
+  EXPECT_FALSE(Topology::FromRttCsv("0,1,2\n1,0\n", 3).ok());  // ragged
+  EXPECT_FALSE(Topology::FromRttCsv("a,b\nc,d\n", 3).ok());  // names only
+}
+
+TEST(TopologyTest, CreateRejectsEmptyTopology) {
+  TopologyConfig config;
+  EXPECT_FALSE(Topology::Create(config).ok());
+}
+
+TEST(TopologyTest, CreateRejectsEmptyZone) {
+  TopologyConfig config;
+  config.nodes_per_zone = {3, 0};
+  config.zone_rtt_ms = {{0, 10}, {10, 0}};
+  EXPECT_FALSE(Topology::Create(config).ok());
+}
+
+TEST(TopologyTest, CreateRejectsAsymmetricRtt) {
+  TopologyConfig config;
+  config.nodes_per_zone = {1, 1};
+  config.zone_rtt_ms = {{0, 10}, {20, 0}};
+  EXPECT_FALSE(Topology::Create(config).ok());
+}
+
+TEST(TopologyTest, CreateRejectsNonSquareMatrix) {
+  TopologyConfig config;
+  config.nodes_per_zone = {1, 1};
+  config.zone_rtt_ms = {{0, 10}};
+  EXPECT_FALSE(Topology::Create(config).ok());
+}
+
+TEST(TopologyTest, CreateRejectsNegativeRtt) {
+  TopologyConfig config;
+  config.nodes_per_zone = {1, 1};
+  config.zone_rtt_ms = {{0, -1}, {-1, 0}};
+  EXPECT_FALSE(Topology::Create(config).ok());
+}
+
+}  // namespace
+}  // namespace dpaxos

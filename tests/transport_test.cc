@@ -1,0 +1,232 @@
+// Unit tests for the simulated transport: delivery latency composition,
+// NIC egress serialization, WAN link caps, failure injection, stats.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/transport.h"
+
+namespace dpaxos {
+namespace {
+
+struct TestMsg final : Message {
+  explicit TestMsg(uint64_t size, int tag = 0) : size_bytes(size), tag(tag) {}
+  uint64_t size_bytes;
+  int tag;
+  uint64_t SizeBytes() const override { return size_bytes; }
+  const char* TypeName() const override { return "test"; }
+};
+
+struct Delivery {
+  NodeId from;
+  Timestamp at;
+  int tag;
+};
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest()
+      : topo_(Topology::Uniform(3, 3, 100.0, 10.0)), sim_(7) {}
+
+  SimTransport MakeTransport(SimTransportOptions options) {
+    return SimTransport(&sim_, &topo_, options);
+  }
+
+  void Record(SimTransport& t, NodeId node) {
+    t.RegisterHandler(node, [this, node](NodeId from, const MessagePtr& m) {
+      deliveries_.push_back(Delivery{
+          from, sim_.Now(), static_cast<const TestMsg*>(m.get())->tag});
+      (void)node;
+    });
+  }
+
+  Topology topo_;
+  Simulator sim_;
+  std::vector<Delivery> deliveries_;
+};
+
+TEST_F(TransportTest, DeliveryLatencyComposition) {
+  SimTransportOptions options;
+  options.egress_bytes_per_sec = 1'000'000;  // 1 MB/s
+  options.inter_zone_link_bytes_per_sec = 0;
+  options.processing_delay = 500;
+  SimTransport t = MakeTransport(options);
+  Record(t, 3);  // zone 1
+
+  // 1000 bytes at 1 MB/s = 1000 us egress; one-way 50 ms; +500 us proc.
+  t.Send(0, 3, std::make_shared<TestMsg>(1000));
+  sim_.RunUntilIdle();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].at, 1000u + 50'000u + 500u);
+}
+
+TEST_F(TransportTest, EgressSerializesBackToBack) {
+  SimTransportOptions options;
+  options.egress_bytes_per_sec = 1'000'000;
+  options.inter_zone_link_bytes_per_sec = 0;
+  options.processing_delay = 0;
+  SimTransport t = MakeTransport(options);
+  Record(t, 3);
+  Record(t, 4);
+
+  // Two 1000-byte messages: the second waits for the first on the NIC.
+  t.Send(0, 3, std::make_shared<TestMsg>(1000, 1));
+  t.Send(0, 4, std::make_shared<TestMsg>(1000, 2));
+  sim_.RunUntilIdle();
+  ASSERT_EQ(deliveries_.size(), 2u);
+  EXPECT_EQ(deliveries_[0].at, 1000u + 50'000u);
+  EXPECT_EQ(deliveries_[1].at, 2000u + 50'000u);
+}
+
+TEST_F(TransportTest, WanLinkCapsCrossZoneOnly) {
+  SimTransportOptions options;
+  options.egress_bytes_per_sec = 0;  // isolate the link model
+  options.inter_zone_link_bytes_per_sec = 100'000;  // 100 KB/s
+  options.processing_delay = 0;
+  SimTransport t = MakeTransport(options);
+  Record(t, 1);  // same zone as sender 0
+  Record(t, 3);  // different zone
+
+  t.Send(0, 1, std::make_shared<TestMsg>(100'000, 1));  // intra: no cap
+  t.Send(0, 3, std::make_shared<TestMsg>(100'000, 2));  // inter: 1 s transfer
+  sim_.RunUntilIdle();
+  ASSERT_EQ(deliveries_.size(), 2u);
+  EXPECT_EQ(deliveries_[0].at, 5'000u);                 // half of 10 ms
+  EXPECT_EQ(deliveries_[1].at, 1'000'000u + 50'000u);
+}
+
+TEST_F(TransportTest, WanLinkIsFifoPerDirectedLink) {
+  SimTransportOptions options;
+  options.egress_bytes_per_sec = 0;
+  options.inter_zone_link_bytes_per_sec = 100'000;
+  options.processing_delay = 0;
+  SimTransport t = MakeTransport(options);
+  Record(t, 3);
+  Record(t, 6);
+
+  // Two transfers on the same link queue; a different link is unaffected.
+  t.Send(0, 3, std::make_shared<TestMsg>(100'000, 1));
+  t.Send(0, 3, std::make_shared<TestMsg>(100'000, 2));
+  t.Send(0, 6, std::make_shared<TestMsg>(100'000, 3));
+  sim_.RunUntilIdle();
+  ASSERT_EQ(deliveries_.size(), 3u);
+  // tags 1 and 3 after 1 s transfer; tag 2 queued behind tag 1.
+  Timestamp t1 = 0, t2 = 0, t3 = 0;
+  for (const Delivery& d : deliveries_) {
+    if (d.tag == 1) t1 = d.at;
+    if (d.tag == 2) t2 = d.at;
+    if (d.tag == 3) t3 = d.at;
+  }
+  EXPECT_EQ(t1, 1'050'000u);
+  EXPECT_EQ(t2, 2'050'000u);
+  EXPECT_EQ(t3, 1'050'000u);
+}
+
+TEST_F(TransportTest, LoopbackIsFastAndImmuneToDrops) {
+  SimTransportOptions options;
+  options.drop_probability = 1.0;
+  options.loopback_delay = 50;
+  SimTransport t = MakeTransport(options);
+  Record(t, 0);
+  t.Send(0, 0, std::make_shared<TestMsg>(1000));
+  sim_.RunUntilIdle();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].at, 50u);
+}
+
+TEST_F(TransportTest, DropsLoseMessages) {
+  SimTransportOptions options;
+  options.drop_probability = 1.0;
+  SimTransport t = MakeTransport(options);
+  Record(t, 3);
+  for (int i = 0; i < 10; ++i) t.Send(0, 3, std::make_shared<TestMsg>(100));
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(deliveries_.empty());
+  EXPECT_EQ(t.StatsFor(0).messages_dropped, 10u);
+}
+
+TEST_F(TransportTest, CrashedNodeNeitherSendsNorReceives) {
+  SimTransport t = MakeTransport({});
+  Record(t, 0);
+  Record(t, 3);
+  t.Crash(3);
+  EXPECT_TRUE(t.IsCrashed(3));
+  t.Send(0, 3, std::make_shared<TestMsg>(100, 1));  // lost at delivery
+  t.Send(3, 0, std::make_shared<TestMsg>(100, 2));  // never leaves
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(deliveries_.empty());
+
+  t.Recover(3);
+  t.Send(0, 3, std::make_shared<TestMsg>(100, 3));
+  sim_.RunUntilIdle();
+  EXPECT_EQ(deliveries_.size(), 1u);
+}
+
+TEST_F(TransportTest, InFlightMessagesDieWithCrashAtDelivery) {
+  SimTransport t = MakeTransport({});
+  Record(t, 3);
+  t.Send(0, 3, std::make_shared<TestMsg>(100));
+  // Crash while the message is in flight: it is dropped on arrival.
+  sim_.RunFor(1000);
+  t.Crash(3);
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(deliveries_.empty());
+}
+
+TEST_F(TransportTest, PartitionIsDirectional) {
+  SimTransport t = MakeTransport({});
+  Record(t, 0);
+  Record(t, 3);
+  t.PartitionOneWay(0, 3);
+  t.Send(0, 3, std::make_shared<TestMsg>(100, 1));  // cut
+  t.Send(3, 0, std::make_shared<TestMsg>(100, 2));  // open
+  sim_.RunUntilIdle();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].tag, 2);
+}
+
+TEST_F(TransportTest, HealRestoresLinks) {
+  SimTransport t = MakeTransport({});
+  Record(t, 3);
+  t.Partition(0, 3);
+  t.Send(0, 3, std::make_shared<TestMsg>(100, 1));
+  t.Heal(0, 3);
+  t.Send(0, 3, std::make_shared<TestMsg>(100, 2));
+  sim_.RunUntilIdle();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].tag, 2);
+}
+
+TEST_F(TransportTest, StatsCountMessagesAndBytes) {
+  SimTransport t = MakeTransport({});
+  Record(t, 3);
+  t.Send(0, 3, std::make_shared<TestMsg>(100));
+  t.Send(0, 3, std::make_shared<TestMsg>(200));
+  sim_.RunUntilIdle();
+  EXPECT_EQ(t.StatsFor(0).messages_sent, 2u);
+  EXPECT_EQ(t.StatsFor(0).bytes_sent, 300u);
+  EXPECT_EQ(t.TotalBytesSent(), 300u);
+}
+
+TEST_F(TransportTest, JitterAddsBoundedDelay) {
+  SimTransportOptions options;
+  options.egress_bytes_per_sec = 0;
+  options.processing_delay = 0;
+  options.inter_zone_link_bytes_per_sec = 0;
+  options.max_jitter = 5'000;
+  SimTransport t = MakeTransport(options);
+  Record(t, 3);
+  for (int i = 0; i < 50; ++i) t.Send(0, 3, std::make_shared<TestMsg>(10));
+  sim_.RunUntilIdle();
+  ASSERT_EQ(deliveries_.size(), 50u);
+  bool saw_jitter = false;
+  for (const Delivery& d : deliveries_) {
+    EXPECT_GE(d.at, 50'000u);
+    EXPECT_LE(d.at, 55'000u);
+    if (d.at != 50'000u) saw_jitter = true;
+  }
+  EXPECT_TRUE(saw_jitter);
+}
+
+}  // namespace
+}  // namespace dpaxos

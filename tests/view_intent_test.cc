@@ -1,0 +1,115 @@
+// Unit tests for LeaderZoneView ordering and multi-intent construction.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "quorum/quorum_system.h"
+
+namespace dpaxos {
+namespace {
+
+LeaderZoneView V(uint64_t epoch, ZoneId current,
+                 ZoneId next = kInvalidZone) {
+  LeaderZoneView v;
+  v.epoch = epoch;
+  v.current = current;
+  v.next = next;
+  return v;
+}
+
+TEST(LeaderZoneViewTest, EpochOrdersViews) {
+  EXPECT_TRUE(V(2, 0).IsNewerThan(V(1, 5)));
+  EXPECT_FALSE(V(1, 5).IsNewerThan(V(2, 0)));
+  EXPECT_FALSE(V(1, 0).IsNewerThan(V(1, 0)));
+}
+
+TEST(LeaderZoneViewTest, TransitionIsNewerWithinAnEpoch) {
+  // Same epoch: knowing about an in-progress transition is strictly
+  // more information.
+  EXPECT_TRUE(V(1, 0, 3).IsNewerThan(V(1, 0)));
+  EXPECT_FALSE(V(1, 0).IsNewerThan(V(1, 0, 3)));
+  // But a completed later epoch beats any transition of an earlier one.
+  EXPECT_TRUE(V(2, 3).IsNewerThan(V(1, 0, 3)));
+  // Two transitions of the same epoch are not ordered (the synod makes
+  // them agree on the same next zone anyway).
+  EXPECT_FALSE(V(1, 0, 3).IsNewerThan(V(1, 0, 3)));
+}
+
+TEST(LeaderZoneViewTest, InTransition) {
+  EXPECT_FALSE(V(0, 0).in_transition());
+  EXPECT_TRUE(V(0, 0, 1).in_transition());
+}
+
+class MultiIntentTest : public ::testing::Test {
+ protected:
+  // Elect with `num_intents` and return the declared intents.
+  static std::vector<Intent> Declare(uint32_t num_intents, uint32_t fd = 1,
+                                     uint32_t nodes_per_zone = 3) {
+    ClusterOptions options;
+    options.ft = FaultTolerance{fd, 0};
+    options.replica.num_intents = num_intents;
+    Cluster cluster(Topology::Uniform(5, nodes_per_zone, 80.0),
+                    ProtocolMode::kLeaderZone, options);
+    Replica* leader = cluster.ReplicaInZone(0);
+    EXPECT_TRUE(cluster.ElectLeader(leader->id()).ok());
+    return leader->declared_intents();
+  }
+};
+
+TEST_F(MultiIntentTest, SingleIntentIsTheSmallestQuorum) {
+  const std::vector<Intent> intents = Declare(1);
+  ASSERT_EQ(intents.size(), 1u);
+  EXPECT_EQ(intents[0].quorum.size(), 2u);  // fd+1 in one zone
+  EXPECT_EQ(intents[0].leader, 0u);
+}
+
+TEST_F(MultiIntentTest, AlternatesDifferAndShareTheLeader) {
+  const std::vector<Intent> intents = Declare(3);
+  ASSERT_GE(intents.size(), 2u);
+  for (size_t i = 0; i < intents.size(); ++i) {
+    // Every alternate contains the leader and has full quorum size.
+    EXPECT_NE(std::find(intents[i].quorum.begin(), intents[i].quorum.end(),
+                        NodeId{0}),
+              intents[i].quorum.end());
+    EXPECT_EQ(intents[i].quorum.size(), 2u);
+    for (size_t j = i + 1; j < intents.size(); ++j) {
+      EXPECT_NE(intents[i].quorum, intents[j].quorum) << i << "," << j;
+    }
+    // All intents share the election's ballot.
+    EXPECT_EQ(intents[i].ballot, intents[0].ballot);
+  }
+}
+
+TEST_F(MultiIntentTest, AlternatesCapByZonePopulation) {
+  // With 3 nodes per zone and fd=1, only 2 distinct companions exist:
+  // asking for 5 intents yields at most 2.
+  const std::vector<Intent> intents = Declare(5);
+  EXPECT_LE(intents.size(), 2u);
+}
+
+TEST_F(MultiIntentTest, Fd2QuorumsSpanThreeNodes) {
+  const std::vector<Intent> intents = Declare(2, /*fd=*/2,
+                                              /*nodes_per_zone=*/5);
+  ASSERT_GE(intents.size(), 1u);
+  EXPECT_EQ(intents[0].quorum.size(), 3u);  // fd+1
+}
+
+TEST(IntentTest, WireSizeAndEquality) {
+  const Intent a{Ballot{3, 1}, 1, {1, 2}};
+  const Intent b{Ballot{3, 1}, 1, {1, 2}};
+  const Intent c{Ballot{4, 1}, 1, {1, 2}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.WireSize(), 16u + 4u + 8u);
+  EXPECT_EQ(a.QuorumSet(), (std::set<NodeId>{1, 2}));
+}
+
+TEST(BallotTest, OrderingAndNull) {
+  EXPECT_TRUE(Ballot{}.is_null());
+  EXPECT_LT((Ballot{}), (Ballot{1, 0}));
+  EXPECT_LT((Ballot{1, 5}), (Ballot{2, 0}));   // round dominates
+  EXPECT_LT((Ballot{2, 3}), (Ballot{2, 7}));   // node breaks ties
+  EXPECT_EQ((Ballot{2, 3}).ToString(), "(2,3)");
+}
+
+}  // namespace
+}  // namespace dpaxos

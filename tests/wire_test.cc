@@ -1,0 +1,298 @@
+// Wire codec tests: round-trip every message type, fuzz the decoder, and
+// run full protocol scenarios with every message forced through the
+// codec (SimTransportOptions::validate_wire_codec).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "harness/cluster.h"
+#include "paxos/wire.h"
+
+namespace dpaxos {
+namespace {
+
+// Round-trip helper: serialize, deserialize, return the typed copy.
+template <typename T>
+std::shared_ptr<const T> RoundTrip(const T& msg) {
+  const std::string bytes = SerializeMessage(msg);
+  Result<MessagePtr> decoded = DeserializeMessage(bytes);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  if (!decoded.ok()) return nullptr;
+  auto typed = std::dynamic_pointer_cast<const T>(decoded.value());
+  EXPECT_NE(typed, nullptr) << "decoded to wrong type";
+  if (typed != nullptr) {
+    EXPECT_EQ(typed->partition, msg.partition);
+    EXPECT_STREQ(typed->TypeName(), msg.TypeName());
+  }
+  return typed;
+}
+
+Intent SampleIntent(uint64_t round, NodeId leader) {
+  return Intent{Ballot{round, leader}, leader, {leader, leader + 1}};
+}
+
+LeaderZoneView SampleView() {
+  LeaderZoneView view;
+  view.epoch = 3;
+  view.current = 2;
+  view.next = 5;
+  return view;
+}
+
+TEST(WireTest, PrepareRoundTrip) {
+  PrepareMsg msg(7, Ballot{42, 3}, 17,
+                 {SampleIntent(42, 3), SampleIntent(41, 9)}, true,
+                 SampleView());
+  auto rt = RoundTrip(msg);
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->ballot, msg.ballot);
+  EXPECT_EQ(rt->first_slot, 17u);
+  ASSERT_EQ(rt->intents.size(), 2u);
+  EXPECT_EQ(rt->intents[1], msg.intents[1]);
+  EXPECT_TRUE(rt->expansion);
+  EXPECT_EQ(rt->lz_view, msg.lz_view);
+}
+
+TEST(WireTest, PromiseRoundTrip) {
+  PromiseMsg msg(1, Ballot{9, 2}, false);
+  msg.accepted.push_back(
+      AcceptedEntry{5, Ballot{8, 1}, Value::Of(77, "payload\x00bytes")});
+  msg.intents.push_back(SampleIntent(7, 4));
+  msg.lz_view = SampleView();
+  auto rt = RoundTrip(msg);
+  ASSERT_NE(rt, nullptr);
+  ASSERT_EQ(rt->accepted.size(), 1u);
+  EXPECT_EQ(rt->accepted[0].slot, 5u);
+  EXPECT_EQ(rt->accepted[0].ballot, (Ballot{8, 1}));
+  EXPECT_EQ(rt->accepted[0].value, msg.accepted[0].value);
+  EXPECT_EQ(rt->intents[0], msg.intents[0]);
+}
+
+TEST(WireTest, ProposeAndAcceptRoundTrip) {
+  ProposeMsg propose(2, Ballot{5, 0}, 9, Value::Synthetic(123, 4096));
+  propose.lease_request = true;
+  propose.lease_until = 999'999;
+  auto p = RoundTrip(propose);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->value.size_bytes, 4096u);
+  EXPECT_TRUE(p->lease_request);
+  EXPECT_EQ(p->lease_until, 999'999u);
+
+  AcceptMsg accept(2, Ballot{5, 0}, 9);
+  accept.lease_vote = true;
+  accept.lease_until = 1'000'000;
+  auto a = RoundTrip(accept);
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->lease_vote);
+}
+
+TEST(WireTest, ControlMessagesRoundTrip) {
+  {
+    PrepareNackMsg m(0, Ballot{3, 1});
+    m.promised = Ballot{9, 9};
+    m.lease_until = 55;
+    m.lz_view = SampleView();
+    auto rt = RoundTrip(m);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->promised, m.promised);
+    EXPECT_EQ(rt->lease_until, 55u);
+  }
+  {
+    AcceptNackMsg m(0, Ballot{1, 1}, 4, Ballot{2, 2});
+    auto rt = RoundTrip(m);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->promised, (Ballot{2, 2}));
+  }
+  {
+    DecideMsg m(3, 11, Value::Of(5, "decided"));
+    auto rt = RoundTrip(m);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->value.payload, "decided");
+  }
+  RoundTrip(HandoffRequestMsg(4));
+  {
+    RelinquishMsg m(4, Ballot{6, 6}, 100, {SampleIntent(6, 6)}, SampleView());
+    auto rt = RoundTrip(m);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->next_slot, 100u);
+    EXPECT_EQ(rt->intents[0], m.intents[0]);
+  }
+}
+
+TEST(WireTest, GcMessagesRoundTrip) {
+  RoundTrip(GcPollMsg(1));
+  auto reply = RoundTrip(GcPollReplyMsg(1, Ballot{12, 3}));
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->max_propose_ballot, (Ballot{12, 3}));
+  auto thr = RoundTrip(GcThresholdMsg(1, Ballot{13, 4}));
+  ASSERT_NE(thr, nullptr);
+  EXPECT_EQ(thr->threshold, (Ballot{13, 4}));
+}
+
+TEST(WireTest, LeaderZoneMessagesRoundTrip) {
+  RoundTrip(LzPrepareMsg(0, 2, Ballot{1, 1}));
+  {
+    LzPromiseMsg m(0, 2, Ballot{1, 1});
+    m.accepted_ballot = Ballot{1, 0};
+    m.accepted_zone = 4;
+    auto rt = RoundTrip(m);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->accepted_zone, 4u);
+  }
+  RoundTrip(LzProposeMsg(0, 2, Ballot{1, 1}, 5));
+  RoundTrip(LzAcceptMsg(0, 2, Ballot{1, 1}, 5));
+  {
+    auto rt = RoundTrip(
+        LzNackMsg(0, 2, Ballot{1, 1}, Ballot{2, 2}, SampleView()));
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->lz_view, SampleView());
+  }
+  RoundTrip(LzTransitionMsg(0, 2, 6));
+  {
+    auto rt = RoundTrip(LzTransitionAckMsg(0, 2, {SampleIntent(1, 1)}));
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->intents.size(), 1u);
+  }
+  RoundTrip(LzStoreIntentsMsg(0, 2, 6, {SampleIntent(1, 1)}));
+  RoundTrip(LzStoreAckMsg(0, 2));
+  RoundTrip(LzAnnounceMsg(0, SampleView()));
+}
+
+TEST(WireTest, ForwardingAndCatchUpRoundTrip) {
+  {
+    auto rt = RoundTrip(ForwardMsg(2, 55, Value::Of(9, "fwd")));
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->request_id, 55u);
+  }
+  {
+    ForwardReplyMsg m(2, 55);
+    m.code = StatusCode::kFailedPrecondition;
+    m.slot = 3;
+    m.leader_hint = 17;
+    auto rt = RoundTrip(m);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->code, StatusCode::kFailedPrecondition);
+    EXPECT_EQ(rt->leader_hint, 17u);
+  }
+  RoundTrip(LearnRequestMsg(0, 42, 256));
+  {
+    LearnReplyMsg m(0);
+    m.from_slot = 42;
+    m.entries.push_back(DecidedEntryWire{42, Value::Of(1, "a")});
+    m.entries.push_back(DecidedEntryWire{43, Value::Of(2, "b")});
+    m.peer_watermark = 44;
+    m.first_available = 40;
+    auto rt = RoundTrip(m);
+    ASSERT_NE(rt, nullptr);
+    ASSERT_EQ(rt->entries.size(), 2u);
+    EXPECT_EQ(rt->entries[1].value.payload, "b");
+    EXPECT_EQ(rt->first_available, 40u);
+  }
+  RoundTrip(SnapshotRequestMsg(0));
+  {
+    auto rt = RoundTrip(SnapshotReplyMsg(0, 9, "snapshot-bytes"));
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->snapshot, "snapshot-bytes");
+  }
+}
+
+TEST(WireTest, DecodeRejectsTruncationEverywhere) {
+  PromiseMsg msg(1, Ballot{9, 2}, false);
+  msg.accepted.push_back(AcceptedEntry{5, Ballot{8, 1}, Value::Of(7, "x")});
+  msg.intents.push_back(SampleIntent(7, 4));
+  const std::string full = SerializeMessage(msg);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_FALSE(DeserializeMessage(full.substr(0, cut)).ok())
+        << "accepted truncation at " << cut;
+  }
+  EXPECT_FALSE(DeserializeMessage(full + "x").ok());
+}
+
+TEST(WireTest, DecodeRejectsUnknownTag) {
+  std::string bytes = SerializeMessage(GcPollMsg(0));
+  bytes[0] = '\x7f';
+  EXPECT_FALSE(DeserializeMessage(bytes).ok());
+}
+
+TEST(WireTest, DecodeFuzzNeverCrashes) {
+  Rng rng(4242);
+  for (int i = 0; i < 5000; ++i) {
+    std::string garbage(rng.NextBounded(300), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.Next());
+    auto r = DeserializeMessage(garbage);
+    if (r.ok()) {
+      // Anything that decodes must re-encode identically.
+      EXPECT_EQ(SerializeMessage(*r.value()), garbage);
+    }
+  }
+}
+
+// --- end-to-end conformance: whole protocol through the codec -----------
+
+class WireConformanceTest : public ::testing::TestWithParam<ProtocolMode> {};
+
+TEST_P(WireConformanceTest, FullProtocolThroughCodec) {
+  ClusterOptions options;
+  options.transport.validate_wire_codec = true;
+  Cluster cluster(Topology::AwsSevenZones(), GetParam(), options);
+  const NodeId proposer = cluster.NodeInZone(1);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    Result<Duration> r = cluster.Commit(
+        proposer, Value::Of(i, "payload" + std::to_string(i)));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(cluster.replica(proposer)->decided().size(), 5u);
+}
+
+TEST_P(WireConformanceTest, LeaderChangeThroughCodec) {
+  if (GetParam() == ProtocolMode::kLeaderless) GTEST_SKIP();
+  ClusterOptions options;
+  options.transport.validate_wire_codec = true;
+  Cluster cluster(Topology::AwsSevenZones(), GetParam(), options);
+  const NodeId first = cluster.NodeInZone(6);
+  ASSERT_TRUE(cluster.ElectLeader(first).ok());
+  ASSERT_TRUE(cluster.Commit(first, Value::Of(1, "a")).ok());
+  const NodeId second = cluster.NodeInZone(0);
+  cluster.replica(second)->PrimeBallot(cluster.replica(first)->ballot());
+  ASSERT_TRUE(cluster.ElectLeader(second).ok());
+  cluster.sim().RunFor(5 * kSecond);
+  ASSERT_TRUE(cluster.Commit(second, Value::Of(2, "b")).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, WireConformanceTest,
+    ::testing::Values(ProtocolMode::kMultiPaxos, ProtocolMode::kFlexiblePaxos,
+                      ProtocolMode::kDelegate, ProtocolMode::kLeaderZone,
+                      ProtocolMode::kLeaderless),
+    [](const ::testing::TestParamInfo<ProtocolMode>& info) {
+      std::string name = ProtocolModeName(info.param);
+      std::erase(name, '-');
+      return name;
+    });
+
+TEST(WireConformanceTest, LzMigrationAndHandoffThroughCodec) {
+  ClusterOptions options;
+  options.transport.validate_wire_codec = true;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "a")).ok());
+
+  bool migrated = false;
+  cluster.replica(cluster.NodeInZone(4))
+      ->MigrateLeaderZone(4, [&](const Status& st) {
+        ASSERT_TRUE(st.ok()) << st.ToString();
+        migrated = true;
+      });
+  ASSERT_TRUE(cluster.RunUntil([&] { return migrated; }, 60 * kSecond));
+
+  ASSERT_TRUE(cluster.replica(leader)->HandoffTo(5).ok());
+  ASSERT_TRUE(cluster.RunUntil(
+      [&] { return cluster.replica(5)->is_leader(); }, 10 * kSecond));
+  ASSERT_TRUE(cluster.Commit(5, Value::Of(2, "b")).ok());
+}
+
+}  // namespace
+}  // namespace dpaxos

@@ -1,0 +1,116 @@
+// Tests for the workload generators: the paper's OLTP mix and the
+// mobility schedules.
+#include <gtest/gtest.h>
+
+#include "workload/mobility.h"
+#include "workload/oltp.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(OltpTest, PaperDefaults) {
+  OltpGenerator gen(OltpConfig{}, 1);
+  const Transaction txn = gen.Next();
+  EXPECT_EQ(txn.ops.size(), 5u);  // five operations per transaction
+  for (const Operation& op : txn.ops) {
+    EXPECT_EQ(op.key.size(), 13u);  // "key" + 10 digits
+    if (op.kind == Operation::Kind::kPut) {
+      EXPECT_EQ(op.value.size(), 50u);  // 50-byte values
+    }
+  }
+}
+
+TEST(OltpTest, WriteFractionApproximatelyHalf) {
+  OltpGenerator gen(OltpConfig{}, 2);
+  int writes = 0, total = 0;
+  for (int i = 0; i < 400; ++i) {
+    for (const Operation& op : gen.Next().ops) {
+      ++total;
+      if (op.kind == Operation::Kind::kPut) ++writes;
+    }
+  }
+  const double fraction = static_cast<double>(writes) / total;
+  EXPECT_NEAR(fraction, 0.5, 0.05);
+}
+
+TEST(OltpTest, ReadOnlyFraction) {
+  OltpConfig config;
+  config.read_only_fraction = 0.95;
+  OltpGenerator gen(config, 3);
+  int read_only = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (gen.Next().read_only()) ++read_only;
+  }
+  EXPECT_NEAR(read_only / 400.0, 0.95, 0.05);
+}
+
+TEST(OltpTest, SequentialUniqueIds) {
+  OltpGenerator gen(OltpConfig{}, 4);
+  EXPECT_EQ(gen.Next().id, 1u);
+  EXPECT_EQ(gen.Next().id, 2u);
+  EXPECT_EQ(gen.generated(), 2u);
+}
+
+TEST(OltpTest, DeterministicFromSeed) {
+  OltpGenerator a(OltpConfig{}, 7), b(OltpConfig{}, 7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(OltpTest, KeysStayInRange) {
+  OltpConfig config;
+  config.num_keys = 10;
+  OltpGenerator gen(config, 5);
+  for (int i = 0; i < 100; ++i) {
+    for (const Operation& op : gen.Next().ops) {
+      EXPECT_LE(op.key, "key0000000009");
+      EXPECT_GE(op.key, "key0000000000");
+    }
+  }
+}
+
+TEST(OltpTest, NextBatchMeetsByteTarget) {
+  OltpGenerator gen(OltpConfig{}, 6);
+  const std::vector<Transaction> batch = gen.NextBatch(4096);
+  uint64_t bytes = 0;
+  for (const Transaction& txn : batch) bytes += EncodedSize(txn);
+  EXPECT_GE(bytes, 4096u);
+  // Not wildly over target: at most one extra transaction's worth.
+  EXPECT_LT(bytes, 4096u + 400u);
+}
+
+TEST(MobilityTest, StationaryNeverMoves) {
+  const MobilitySchedule m = MobilitySchedule::Stationary(3);
+  EXPECT_EQ(m.ZoneAt(0), 3u);
+  EXPECT_EQ(m.ZoneAt(1'000'000'000), 3u);
+}
+
+TEST(MobilityTest, TourVisitsInOrder) {
+  const MobilitySchedule m =
+      MobilitySchedule::Tour({0, 2, 5}, 10 * kSecond);
+  EXPECT_EQ(m.ZoneAt(0), 0u);
+  EXPECT_EQ(m.ZoneAt(9 * kSecond), 0u);
+  EXPECT_EQ(m.ZoneAt(10 * kSecond), 2u);
+  EXPECT_EQ(m.ZoneAt(25 * kSecond), 5u);
+  EXPECT_EQ(m.ZoneAt(100 * kSecond), 5u);  // stays at the end
+}
+
+TEST(MobilityTest, RandomWalkChangesZoneEveryHop) {
+  const MobilitySchedule m =
+      MobilitySchedule::RandomWalk(7, 20, kSecond, 11);
+  ASSERT_EQ(m.segments().size(), 21u);
+  for (size_t i = 1; i < m.segments().size(); ++i) {
+    EXPECT_NE(m.segments()[i].zone, m.segments()[i - 1].zone);
+    EXPECT_LT(m.segments()[i].zone, 7u);
+  }
+}
+
+TEST(MobilityTest, RandomWalkDeterministic) {
+  const MobilitySchedule a = MobilitySchedule::RandomWalk(5, 10, kSecond, 3);
+  const MobilitySchedule b = MobilitySchedule::RandomWalk(5, 10, kSecond, 3);
+  for (size_t i = 0; i < a.segments().size(); ++i) {
+    EXPECT_EQ(a.segments()[i].zone, b.segments()[i].zone);
+  }
+}
+
+}  // namespace
+}  // namespace dpaxos

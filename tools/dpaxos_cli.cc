@@ -1,0 +1,273 @@
+// dpaxos_cli: run ad-hoc DPaxos experiments from the command line.
+//
+// Examples:
+//   dpaxos_cli --experiment=load --mode=leaderzone --batch=50K \
+//              --duration=30 --window=4 --zone=2
+//   dpaxos_cli --experiment=election --mode=delegate --aws=false \
+//              --zones=9 --nodes=5 --rtt=120
+//   dpaxos_cli --experiment=load --mode=multipaxos --reads=0.5 --leases
+//
+// Prints a latency/throughput summary plus transport statistics. All
+// runs are deterministic for a given --seed.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "harness/cluster.h"
+#include "harness/load_driver.h"
+#include "harness/table.h"
+
+using namespace dpaxos;
+
+namespace {
+
+struct CliOptions {
+  std::string experiment = "load";
+  std::string mode = "leaderzone";
+  bool aws = true;
+  uint32_t zones = 7;
+  uint32_t nodes = 3;
+  double rtt_ms = 100.0;
+  uint32_t fd = 1;
+  uint32_t fz = 0;
+  ZoneId zone = 0;
+  uint64_t batch_bytes = 1024;
+  Duration duration = 10 * kSecond;
+  uint32_t window = 1;
+  double reads = 0.0;
+  bool leases = false;
+  uint64_t seed = 42;
+  std::string topology_csv;  // path to an RTT matrix, overrides --aws
+};
+
+void Usage() {
+  std::cout <<
+      "usage: dpaxos_cli [--experiment=load|election]\n"
+      "  --mode=leaderzone|delegate|fpaxos|multipaxos|leaderless\n"
+      "  --aws=true|false       paper topology (default) or uniform\n"
+      "  --topology=FILE.csv    load a zone RTT matrix (overrides --aws)\n"
+      "  --zones=N --nodes=N --rtt=MS   uniform topology shape\n"
+      "  --fd=N --fz=N          fault tolerance (default 1, 0)\n"
+      "  --zone=Z               proposer zone (default 0)\n"
+      "  --batch=BYTES[K|M]     batch size (default 1024)\n"
+      "  --duration=SECONDS     virtual run time (default 10)\n"
+      "  --window=N             multi-programming level (default 1)\n"
+      "  --reads=F              read-only fraction 0..1 (implies --leases)\n"
+      "  --leases               enable master leases\n"
+      "  --seed=N               RNG seed (default 42)\n";
+}
+
+bool ParseArgImpl(const std::string& arg, CliOptions* o) {
+  auto value_of = [&](const char* name, std::string* out) {
+    const std::string prefix = std::string(name) + "=";
+    if (arg.rfind(prefix, 0) != 0) return false;
+    *out = arg.substr(prefix.size());
+    return true;
+  };
+  std::string v;
+  if (value_of("--experiment", &v)) {
+    o->experiment = v;
+  } else if (value_of("--mode", &v)) {
+    o->mode = v;
+  } else if (value_of("--aws", &v)) {
+    o->aws = v != "false" && v != "0";
+  } else if (value_of("--topology", &v)) {
+    o->topology_csv = v;
+  } else if (value_of("--zones", &v)) {
+    o->zones = static_cast<uint32_t>(std::stoul(v));
+  } else if (value_of("--nodes", &v)) {
+    o->nodes = static_cast<uint32_t>(std::stoul(v));
+  } else if (value_of("--rtt", &v)) {
+    o->rtt_ms = std::stod(v);
+  } else if (value_of("--fd", &v)) {
+    o->fd = static_cast<uint32_t>(std::stoul(v));
+  } else if (value_of("--fz", &v)) {
+    o->fz = static_cast<uint32_t>(std::stoul(v));
+  } else if (value_of("--zone", &v)) {
+    o->zone = static_cast<ZoneId>(std::stoul(v));
+  } else if (value_of("--batch", &v)) {
+    uint64_t mult = 1;
+    if (!v.empty() && (v.back() == 'K' || v.back() == 'k')) {
+      mult = 1024;
+      v.pop_back();
+    } else if (!v.empty() && (v.back() == 'M' || v.back() == 'm')) {
+      mult = 1024 * 1024;
+      v.pop_back();
+    }
+    o->batch_bytes = std::stoull(v) * mult;
+  } else if (value_of("--duration", &v)) {
+    o->duration = static_cast<Duration>(std::stod(v) * kSecond);
+  } else if (value_of("--window", &v)) {
+    o->window = static_cast<uint32_t>(std::stoul(v));
+  } else if (value_of("--reads", &v)) {
+    o->reads = std::stod(v);
+    if (o->reads > 0) o->leases = true;
+  } else if (arg == "--leases") {
+    o->leases = true;
+  } else if (value_of("--seed", &v)) {
+    o->seed = std::stoull(v);
+  } else if (arg == "--help" || arg == "-h") {
+    Usage();
+    std::exit(0);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// std::sto* throw on malformed numbers; surface that as a usage error
+// instead of terminating.
+bool ParseArg(const std::string& arg, CliOptions* o) {
+  try {
+    return ParseArgImpl(arg, o);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+Result<ProtocolMode> ParseMode(const std::string& mode) {
+  if (mode == "leaderzone") return ProtocolMode::kLeaderZone;
+  if (mode == "delegate") return ProtocolMode::kDelegate;
+  if (mode == "fpaxos") return ProtocolMode::kFlexiblePaxos;
+  if (mode == "multipaxos") return ProtocolMode::kMultiPaxos;
+  if (mode == "leaderless") return ProtocolMode::kLeaderless;
+  return Status::InvalidArgument("unknown --mode " + mode);
+}
+
+int RunLoad(Cluster& cluster, const CliOptions& o) {
+  Replica* proposer = cluster.ReplicaInZone(o.zone);
+  if (cluster.mode() != ProtocolMode::kLeaderless) {
+    Result<Duration> elect = cluster.ElectLeader(proposer->id());
+    if (!elect.ok()) {
+      std::cerr << "election failed: " << elect.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "leader: node " << proposer->id() << " in "
+              << cluster.topology().ZoneName(o.zone) << ", elected in "
+              << DurationToString(elect.value()) << "\n";
+    if (o.leases) {
+      // Warm-up commit to acquire the lease.
+      (void)cluster.Commit(proposer->id(), Value::Synthetic(1, 128));
+    }
+  }
+
+  LoadOptions load;
+  load.batch_bytes = o.batch_bytes;
+  load.duration = o.duration;
+  load.window = o.window;
+  load.read_only_fraction = o.reads;
+  const LoadResult result = RunClosedLoop(cluster, proposer, load);
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"committed batches", std::to_string(result.committed)});
+  table.AddRow({"failed", std::to_string(result.failed)});
+  table.AddRow({"throughput", Fmt(result.ThroughputKBps(), 1) + " KB/s"});
+  table.AddRow({"commit latency mean",
+                Fmt(result.commit_latency.MeanMillis(), 2) + " ms"});
+  table.AddRow({"commit latency p50",
+                Fmt(result.commit_latency.P50Millis(), 2) + " ms"});
+  table.AddRow({"commit latency p99",
+                Fmt(result.commit_latency.P99Millis(), 2) + " ms"});
+  if (result.reads_served > 0) {
+    table.AddRow({"lease-local reads", std::to_string(result.reads_served)});
+    table.AddRow({"read latency mean",
+                  Fmt(result.read_latency.MeanMillis(), 2) + " ms"});
+  }
+  table.AddRow({"cluster bytes sent",
+                Fmt(static_cast<double>(cluster.transport().TotalBytesSent()) /
+                        1024.0 / 1024.0,
+                    2) +
+                    " MB"});
+  table.Print(std::cout);
+
+  const ProtocolCounters& pc = proposer->counters();
+  std::cout << "\nproposer protocol counters: elections="
+            << pc.elections_started << " proposes=" << pc.proposes_sent
+            << " retransmits=" << pc.retransmits
+            << " step_downs=" << pc.step_downs
+            << " intents_detected=" << pc.intents_detected << "\n";
+  return 0;
+}
+
+int RunElection(Cluster& cluster, const CliOptions& o) {
+  (void)o;
+  TablePrinter table({"aspirant zone", "election latency (ms)"});
+  for (ZoneId z = 0; z < cluster.topology().num_zones(); ++z) {
+    // Fresh ballot per zone; prior leaders get preempted.
+    Replica* aspirant = cluster.ReplicaInZone(z);
+    aspirant->PrimeBallot(Ballot{(z + 1) * 100, 0});
+    Result<Duration> latency = cluster.ElectLeader(aspirant->id());
+    table.AddRow({cluster.topology().ZoneName(z),
+                  latency.ok() ? Fmt(ToMillis(latency.value()), 1)
+                               : latency.status().ToString()});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (!ParseArg(argv[i], &options)) {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      Usage();
+      return 2;
+    }
+  }
+
+  Result<ProtocolMode> mode = ParseMode(options.mode);
+  if (!mode.ok()) {
+    std::cerr << mode.status().ToString() << "\n";
+    return 2;
+  }
+
+  ClusterOptions cluster_options;
+  cluster_options.ft = FaultTolerance{options.fd, options.fz};
+  cluster_options.seed = options.seed;
+  cluster_options.replica.max_inflight = options.window;
+  cluster_options.replica.enable_leases = options.leases;
+
+  Topology topology =
+      options.aws ? Topology::AwsSevenZones(options.nodes)
+                  : Topology::Uniform(options.zones, options.nodes,
+                                      options.rtt_ms);
+  if (!options.topology_csv.empty()) {
+    std::ifstream in(options.topology_csv);
+    if (!in) {
+      std::cerr << "cannot read " << options.topology_csv << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Result<Topology> parsed =
+        Topology::FromRttCsv(buf.str(), options.nodes);
+    if (!parsed.ok()) {
+      std::cerr << "bad topology csv: " << parsed.status().ToString()
+                << "\n";
+      return 2;
+    }
+    topology = std::move(parsed).value();
+  }
+  if (options.zone >= topology.num_zones()) {
+    std::cerr << "--zone out of range\n";
+    return 2;
+  }
+  Cluster cluster(std::move(topology), mode.value(), cluster_options);
+
+  std::cout << "== dpaxos_cli: " << options.experiment << " / "
+            << ProtocolModeName(mode.value()) << ", "
+            << cluster.topology().num_zones() << " zones x "
+            << cluster.topology().nodes_in_zone(0) << " nodes, fd="
+            << options.fd << " fz=" << options.fz << ", seed="
+            << options.seed << "\n\n";
+
+  if (options.experiment == "load") return RunLoad(cluster, options);
+  if (options.experiment == "election") return RunElection(cluster, options);
+  std::cerr << "unknown --experiment " << options.experiment << "\n";
+  return 2;
+}
