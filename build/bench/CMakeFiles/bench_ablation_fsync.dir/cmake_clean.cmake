@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fsync.dir/bench_ablation_fsync.cc.o"
+  "CMakeFiles/bench_ablation_fsync.dir/bench_ablation_fsync.cc.o.d"
+  "bench_ablation_fsync"
+  "bench_ablation_fsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_gc.cc" "bench/CMakeFiles/bench_ablation_gc.dir/bench_ablation_gc.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_gc.dir/bench_ablation_gc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dpaxos_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/dpaxos_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/dpaxos_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/dpaxos_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/dpaxos_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/dpaxos_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/smr/CMakeFiles/dpaxos_smr.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/dpaxos_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dpaxos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/dpaxos_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpaxos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpaxos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpaxos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_intents.dir/bench_ablation_intents.cc.o"
+  "CMakeFiles/bench_ablation_intents.dir/bench_ablation_intents.cc.o.d"
+  "bench_ablation_intents"
+  "bench_ablation_intents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_intents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quorum_reads.dir/bench_ablation_quorum_reads.cc.o"
+  "CMakeFiles/bench_ablation_quorum_reads.dir/bench_ablation_quorum_reads.cc.o.d"
+  "bench_ablation_quorum_reads"
+  "bench_ablation_quorum_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quorum_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

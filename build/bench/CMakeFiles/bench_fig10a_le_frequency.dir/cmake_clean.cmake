@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_le_frequency.dir/bench_fig10a_le_frequency.cc.o"
+  "CMakeFiles/bench_fig10a_le_frequency.dir/bench_fig10a_le_frequency.cc.o.d"
+  "bench_fig10a_le_frequency"
+  "bench_fig10a_le_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_le_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_read_leases.dir/bench_fig12_read_leases.cc.o"
+  "CMakeFiles/bench_fig12_read_leases.dir/bench_fig12_read_leases.cc.o.d"
+  "bench_fig12_read_leases"
+  "bench_fig12_read_leases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_read_leases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_multiprogramming.dir/bench_fig13_multiprogramming.cc.o"
+  "CMakeFiles/bench_fig13_multiprogramming.dir/bench_fig13_multiprogramming.cc.o.d"
+  "bench_fig13_multiprogramming"
+  "bench_fig13_multiprogramming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_multiprogramming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_intents.dir/bench_fig14_intents.cc.o"
+  "CMakeFiles/bench_fig14_intents.dir/bench_fig14_intents.cc.o.d"
+  "bench_fig14_intents"
+  "bench_fig14_intents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_intents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_leader_election.dir/bench_fig9_leader_election.cc.o"
+  "CMakeFiles/bench_fig9_leader_election.dir/bench_fig9_leader_election.cc.o.d"
+  "bench_fig9_leader_election"
+  "bench_fig9_leader_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_leader_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_throughput.dir/bench_latency_throughput.cc.o"
+  "CMakeFiles/bench_latency_throughput.dir/bench_latency_throughput.cc.o.d"
+  "bench_latency_throughput"
+  "bench_latency_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

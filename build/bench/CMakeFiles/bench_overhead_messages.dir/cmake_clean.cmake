@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_messages.dir/bench_overhead_messages.cc.o"
+  "CMakeFiles/bench_overhead_messages.dir/bench_overhead_messages.cc.o.d"
+  "bench_overhead_messages"
+  "bench_overhead_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

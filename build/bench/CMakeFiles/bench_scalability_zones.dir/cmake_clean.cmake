@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_zones.dir/bench_scalability_zones.cc.o"
+  "CMakeFiles/bench_scalability_zones.dir/bench_scalability_zones.cc.o.d"
+  "bench_scalability_zones"
+  "bench_scalability_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

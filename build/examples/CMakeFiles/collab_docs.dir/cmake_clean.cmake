@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collab_docs.dir/collab_docs.cpp.o"
+  "CMakeFiles/collab_docs.dir/collab_docs.cpp.o.d"
+  "collab_docs"
+  "collab_docs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collab_docs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

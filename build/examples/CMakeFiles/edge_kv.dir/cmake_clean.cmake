@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_kv.dir/edge_kv.cpp.o"
+  "CMakeFiles/edge_kv.dir/edge_kv.cpp.o.d"
+  "edge_kv"
+  "edge_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_social.dir/global_social.cpp.o"
+  "CMakeFiles/global_social.dir/global_social.cpp.o.d"
+  "global_social"
+  "global_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

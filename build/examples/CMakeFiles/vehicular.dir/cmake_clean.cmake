@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicular.dir/vehicular.cpp.o"
+  "CMakeFiles/vehicular.dir/vehicular.cpp.o.d"
+  "vehicular"
+  "vehicular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/client.cc" "src/client/CMakeFiles/dpaxos_client.dir/client.cc.o" "gcc" "src/client/CMakeFiles/dpaxos_client.dir/client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpaxos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/dpaxos_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/dpaxos_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/dpaxos_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpaxos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpaxos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_client.dir/client.cc.o"
+  "CMakeFiles/dpaxos_client.dir/client.cc.o.d"
+  "libdpaxos_client.a"
+  "libdpaxos_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_common.dir/histogram.cc.o"
+  "CMakeFiles/dpaxos_common.dir/histogram.cc.o.d"
+  "CMakeFiles/dpaxos_common.dir/logging.cc.o"
+  "CMakeFiles/dpaxos_common.dir/logging.cc.o.d"
+  "CMakeFiles/dpaxos_common.dir/status.cc.o"
+  "CMakeFiles/dpaxos_common.dir/status.cc.o.d"
+  "CMakeFiles/dpaxos_common.dir/types.cc.o"
+  "CMakeFiles/dpaxos_common.dir/types.cc.o.d"
+  "libdpaxos_common.a"
+  "libdpaxos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

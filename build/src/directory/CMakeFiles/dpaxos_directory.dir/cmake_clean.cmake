@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_directory.dir/sharded_store.cc.o"
+  "CMakeFiles/dpaxos_directory.dir/sharded_store.cc.o.d"
+  "libdpaxos_directory.a"
+  "libdpaxos_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_harness.dir/cluster.cc.o"
+  "CMakeFiles/dpaxos_harness.dir/cluster.cc.o.d"
+  "CMakeFiles/dpaxos_harness.dir/load_driver.cc.o"
+  "CMakeFiles/dpaxos_harness.dir/load_driver.cc.o.d"
+  "CMakeFiles/dpaxos_harness.dir/table.cc.o"
+  "CMakeFiles/dpaxos_harness.dir/table.cc.o.d"
+  "libdpaxos_harness.a"
+  "libdpaxos_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

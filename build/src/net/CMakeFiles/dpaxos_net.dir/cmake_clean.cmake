@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_net.dir/topology.cc.o"
+  "CMakeFiles/dpaxos_net.dir/topology.cc.o.d"
+  "CMakeFiles/dpaxos_net.dir/transport.cc.o"
+  "CMakeFiles/dpaxos_net.dir/transport.cc.o.d"
+  "libdpaxos_net.a"
+  "libdpaxos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paxos/acceptor.cc" "src/paxos/CMakeFiles/dpaxos_paxos.dir/acceptor.cc.o" "gcc" "src/paxos/CMakeFiles/dpaxos_paxos.dir/acceptor.cc.o.d"
+  "/root/repo/src/paxos/garbage_collector.cc" "src/paxos/CMakeFiles/dpaxos_paxos.dir/garbage_collector.cc.o" "gcc" "src/paxos/CMakeFiles/dpaxos_paxos.dir/garbage_collector.cc.o.d"
+  "/root/repo/src/paxos/node_host.cc" "src/paxos/CMakeFiles/dpaxos_paxos.dir/node_host.cc.o" "gcc" "src/paxos/CMakeFiles/dpaxos_paxos.dir/node_host.cc.o.d"
+  "/root/repo/src/paxos/replica.cc" "src/paxos/CMakeFiles/dpaxos_paxos.dir/replica.cc.o" "gcc" "src/paxos/CMakeFiles/dpaxos_paxos.dir/replica.cc.o.d"
+  "/root/repo/src/paxos/wire.cc" "src/paxos/CMakeFiles/dpaxos_paxos.dir/wire.cc.o" "gcc" "src/paxos/CMakeFiles/dpaxos_paxos.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpaxos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpaxos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpaxos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/dpaxos_quorum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_paxos.dir/acceptor.cc.o"
+  "CMakeFiles/dpaxos_paxos.dir/acceptor.cc.o.d"
+  "CMakeFiles/dpaxos_paxos.dir/garbage_collector.cc.o"
+  "CMakeFiles/dpaxos_paxos.dir/garbage_collector.cc.o.d"
+  "CMakeFiles/dpaxos_paxos.dir/node_host.cc.o"
+  "CMakeFiles/dpaxos_paxos.dir/node_host.cc.o.d"
+  "CMakeFiles/dpaxos_paxos.dir/replica.cc.o"
+  "CMakeFiles/dpaxos_paxos.dir/replica.cc.o.d"
+  "CMakeFiles/dpaxos_paxos.dir/wire.cc.o"
+  "CMakeFiles/dpaxos_paxos.dir/wire.cc.o.d"
+  "libdpaxos_paxos.a"
+  "libdpaxos_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_placement.dir/placement.cc.o"
+  "CMakeFiles/dpaxos_placement.dir/placement.cc.o.d"
+  "libdpaxos_placement.a"
+  "libdpaxos_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

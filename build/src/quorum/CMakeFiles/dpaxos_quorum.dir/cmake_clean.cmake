@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_quorum.dir/quorum_rule.cc.o"
+  "CMakeFiles/dpaxos_quorum.dir/quorum_rule.cc.o.d"
+  "CMakeFiles/dpaxos_quorum.dir/quorum_system.cc.o"
+  "CMakeFiles/dpaxos_quorum.dir/quorum_system.cc.o.d"
+  "libdpaxos_quorum.a"
+  "libdpaxos_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_reconfig.dir/reconfigurable_group.cc.o"
+  "CMakeFiles/dpaxos_reconfig.dir/reconfigurable_group.cc.o.d"
+  "libdpaxos_reconfig.a"
+  "libdpaxos_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_sim.dir/simulator.cc.o"
+  "CMakeFiles/dpaxos_sim.dir/simulator.cc.o.d"
+  "libdpaxos_sim.a"
+  "libdpaxos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

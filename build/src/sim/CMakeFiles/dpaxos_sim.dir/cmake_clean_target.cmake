@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpaxos_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_smr.dir/kv_store.cc.o"
+  "CMakeFiles/dpaxos_smr.dir/kv_store.cc.o.d"
+  "CMakeFiles/dpaxos_smr.dir/log_applier.cc.o"
+  "CMakeFiles/dpaxos_smr.dir/log_applier.cc.o.d"
+  "libdpaxos_smr.a"
+  "libdpaxos_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

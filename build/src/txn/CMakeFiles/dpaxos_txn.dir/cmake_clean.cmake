@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_txn.dir/transaction.cc.o"
+  "CMakeFiles/dpaxos_txn.dir/transaction.cc.o.d"
+  "libdpaxos_txn.a"
+  "libdpaxos_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_workload.dir/oltp.cc.o"
+  "CMakeFiles/dpaxos_workload.dir/oltp.cc.o.d"
+  "libdpaxos_workload.a"
+  "libdpaxos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acceptor_test.dir/acceptor_test.cc.o"
+  "CMakeFiles/acceptor_test.dir/acceptor_test.cc.o.d"
+  "acceptor_test"
+  "acceptor_test.pdb"
+  "acceptor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acceptor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catchup_test.dir/catchup_test.cc.o"
+  "CMakeFiles/catchup_test.dir/catchup_test.cc.o.d"
+  "catchup_test"
+  "catchup_test.pdb"
+  "catchup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catchup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_batching_test.dir/client_batching_test.cc.o"
+  "CMakeFiles/client_batching_test.dir/client_batching_test.cc.o.d"
+  "client_batching_test"
+  "client_batching_test.pdb"
+  "client_batching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_batching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz_fz_test.dir/lz_fz_test.cc.o"
+  "CMakeFiles/lz_fz_test.dir/lz_fz_test.cc.o.d"
+  "lz_fz_test"
+  "lz_fz_test.pdb"
+  "lz_fz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz_fz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

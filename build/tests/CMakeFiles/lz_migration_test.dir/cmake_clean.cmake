@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz_migration_test.dir/lz_migration_test.cc.o"
+  "CMakeFiles/lz_migration_test.dir/lz_migration_test.cc.o.d"
+  "lz_migration_test"
+  "lz_migration_test.pdb"
+  "lz_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

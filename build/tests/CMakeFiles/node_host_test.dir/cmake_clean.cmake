@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_host_test.dir/node_host_test.cc.o"
+  "CMakeFiles/node_host_test.dir/node_host_test.cc.o.d"
+  "node_host_test"
+  "node_host_test.pdb"
+  "node_host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

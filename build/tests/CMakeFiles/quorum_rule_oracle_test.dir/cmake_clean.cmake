@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_rule_oracle_test.dir/quorum_rule_oracle_test.cc.o"
+  "CMakeFiles/quorum_rule_oracle_test.dir/quorum_rule_oracle_test.cc.o.d"
+  "quorum_rule_oracle_test"
+  "quorum_rule_oracle_test.pdb"
+  "quorum_rule_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_rule_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

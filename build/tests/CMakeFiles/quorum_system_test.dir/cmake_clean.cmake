@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_system_test.dir/quorum_system_test.cc.o"
+  "CMakeFiles/quorum_system_test.dir/quorum_system_test.cc.o.d"
+  "quorum_system_test"
+  "quorum_system_test.pdb"
+  "quorum_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

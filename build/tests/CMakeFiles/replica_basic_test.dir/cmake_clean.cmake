@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_basic_test.dir/replica_basic_test.cc.o"
+  "CMakeFiles/replica_basic_test.dir/replica_basic_test.cc.o.d"
+  "replica_basic_test"
+  "replica_basic_test.pdb"
+  "replica_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_size_test.dir/wire_size_test.cc.o"
+  "CMakeFiles/wire_size_test.dir/wire_size_test.cc.o.d"
+  "wire_size_test"
+  "wire_size_test.pdb"
+  "wire_size_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_size_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaxos_cli.dir/dpaxos_cli.cc.o"
+  "CMakeFiles/dpaxos_cli.dir/dpaxos_cli.cc.o.d"
+  "dpaxos_cli"
+  "dpaxos_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaxos_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_load_smoke "/root/repo/build/tools/dpaxos_cli" "--experiment=load" "--mode=delegate" "--batch=10K" "--duration=2" "--zone=1")
+set_tests_properties(cli_load_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_election_smoke "/root/repo/build/tools/dpaxos_cli" "--experiment=election" "--mode=leaderzone")
+set_tests_properties(cli_election_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_leaderless_reads "/root/repo/build/tools/dpaxos_cli" "--experiment=load" "--mode=leaderzone" "--reads=0.5" "--duration=2")
+set_tests_properties(cli_leaderless_reads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
