@@ -1,5 +1,7 @@
 #include "client/client.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace dpaxos {
@@ -7,7 +9,44 @@ namespace dpaxos {
 namespace {
 // Local service time for a lease-protected read at the access replica.
 constexpr Duration kLocalReadServiceTime = 500 * kMicrosecond;
+// Poll period while waiting for the applier to cover a target slot.
+constexpr Duration kApplyPollPeriod = 500 * kMicrosecond;
+
+uint64_t NextAutoClientId() {
+  // Process-wide so every session in a test binary gets a distinct
+  // nonzero identity; determinism follows from construction order.
+  static uint64_t next = 0;
+  return ++next;
+}
 }  // namespace
+
+const char* ToString(ClientOutcome outcome) {
+  switch (outcome) {
+    case ClientOutcome::kCommitted:
+      return "committed";
+    case ClientOutcome::kFailed:
+      return "failed";
+    case ClientOutcome::kIndeterminate:
+      return "indeterminate";
+  }
+  return "unknown";
+}
+
+/// One deadline-bounded operation moving through its retry attempts.
+struct Client::PendingOp {
+  Transaction txn;
+  ResultCallback cb;
+  Timestamp invoke = 0;
+  Timestamp deadline = 0;
+  uint32_t attempts = 0;
+  uint64_t epoch = 0;  // bumped per attempt; stales old callbacks
+  bool maybe_applied = false;  // some attempt reached the network
+  bool is_read = false;
+  bool want_lease_read = false;   // prefer the local lease path
+  bool lease_attempt = false;     // current attempt used the lease path
+  bool done = false;
+  Status last_error = Status::OK();
+};
 
 Client::Client(Simulator* sim, Replica* access)
     : Client(sim, access, Options()) {}
@@ -16,6 +55,7 @@ Client::Client(Simulator* sim, Replica* access, Options options)
     : sim_(sim),
       access_(access),
       options_(options),
+      rng_(sim->rng().Fork()),
       batch_builder_(options.batch_target_bytes) {
   DPAXOS_CHECK(sim != nullptr);
   DPAXOS_CHECK(access != nullptr);
@@ -23,6 +63,28 @@ Client::Client(Simulator* sim, Replica* access, Options options)
   // space from the access node and a per-construction nonce.
   next_value_id_ =
       (static_cast<uint64_t>(access->id()) << 40) | (sim->Now() & 0xffffff);
+  if (options_.client_id == 0) options_.client_id = NextAutoClientId();
+  access_nodes_.push_back(access->id());
+  access_replicas_.push_back(access);
+}
+
+Client::~Client() { *alive_ = false; }
+
+void Client::ScheduleGuarded(Duration delay, std::function<void()> fn) {
+  sim_->Schedule(delay, [alive = alive_, fn = std::move(fn)] {
+    if (*alive) fn();
+  });
+}
+
+void Client::AddFailoverAccess(Replica* replica) {
+  DPAXOS_CHECK(replica != nullptr);
+  access_nodes_.push_back(replica->id());
+  access_replicas_.push_back(replica);
+}
+
+Replica* Client::ResolveAccess(size_t index) {
+  if (hooks_.resolve) return hooks_.resolve(access_nodes_[index]);
+  return access_replicas_[index];
 }
 
 void Client::Track(const Status& st, Duration latency, Callback& cb) {
@@ -44,9 +106,9 @@ void Client::ExecuteBatch(const std::vector<Transaction>& batch,
   Value value = Value::Of(++next_value_id_, EncodeBatch(batch));
   access_->SubmitOrForward(
       std::move(value),
-      [this, cb = std::move(cb)](const Status& st, SlotId /*slot*/,
-                                 Duration latency) mutable {
-        Track(st, latency, cb);
+      [this, alive = alive_, cb = std::move(cb)](
+          const Status& st, SlotId /*slot*/, Duration latency) mutable {
+        if (*alive) Track(st, latency, cb);
       });
 }
 
@@ -78,7 +140,9 @@ void Client::FlushBatch() {
   batch_callbacks_.clear();
   access_->SubmitOrForward(
       std::move(value),
-      [this, callbacks](const Status& st, SlotId, Duration latency) {
+      [this, alive = alive_, callbacks](const Status& st, SlotId,
+                                        Duration latency) {
+        if (!*alive) return;
         for (Callback& cb : *callbacks) Track(st, latency, cb);
       });
 }
@@ -88,15 +152,227 @@ void Client::ExecuteReadOnly(const Transaction& txn, Callback cb) {
   if (access_->CanServeLocalRead() || access_->CanServeQuorumRead()) {
     // Linearizable local read under the master lease: no replication.
     ++local_reads_;
-    sim_->Schedule(kLocalReadServiceTime,
-                   [this, cb = std::move(cb)]() mutable {
-                     Status ok = Status::OK();
-                     Track(ok, kLocalReadServiceTime, cb);
-                   });
+    ScheduleGuarded(kLocalReadServiceTime, [this, cb = std::move(cb)]() mutable {
+      Status ok = Status::OK();
+      Track(ok, kLocalReadServiceTime, cb);
+    });
     return;
   }
   // No lease: route like a write so the read is still linearizable.
   ExecuteBatch({txn}, std::move(cb));
+}
+
+// --- retry surface --------------------------------------------------------
+
+void Client::ExecuteWithRetry(Transaction txn, ResultCallback cb) {
+  auto op = std::make_shared<PendingOp>();
+  txn.client_id = options_.client_id;
+  txn.seq = ++next_seq_;
+  op->txn = std::move(txn);
+  op->cb = std::move(cb);
+  op->invoke = sim_->Now();
+  op->deadline = op->invoke + options_.request_deadline;
+  op->is_read = op->txn.read_only();
+  StartAttempt(op);
+}
+
+void Client::ExecuteReadOnlyWithRetry(Transaction txn, ResultCallback cb) {
+  DPAXOS_CHECK_MSG(txn.read_only(), "transaction has writes");
+  auto op = std::make_shared<PendingOp>();
+  txn.client_id = options_.client_id;
+  txn.seq = ++next_seq_;
+  op->txn = std::move(txn);
+  op->cb = std::move(cb);
+  op->invoke = sim_->Now();
+  op->deadline = op->invoke + options_.request_deadline;
+  op->is_read = true;
+  op->want_lease_read = true;
+  StartAttempt(op);
+}
+
+void Client::StartAttempt(const std::shared_ptr<PendingOp>& op) {
+  if (op->done) return;
+  if (sim_->Now() >= op->deadline || op->attempts >= options_.max_attempts) {
+    FinishOp(op,
+             op->maybe_applied ? ClientOutcome::kIndeterminate
+                               : ClientOutcome::kFailed,
+             op->last_error.ok() ? Status::TimedOut("request deadline")
+                                 : op->last_error);
+    return;
+  }
+  ++op->attempts;
+  if (op->attempts > 1) ++retries_;
+  Replica* access = ResolveAccess(access_index_);
+  if (access == nullptr) {
+    HandleAttemptFailure(op, Status::Unavailable("access replica down"),
+                         /*maybe_applied=*/false);
+    return;
+  }
+  const NodeId node = access_nodes_[access_index_];
+
+  if (op->want_lease_read &&
+      (access->CanServeLocalRead() || access->CanServeQuorumRead())) {
+    // Lease read: the replica's learned prefix provably contains every
+    // committed write right now; observe state once the applier covers
+    // that prefix.
+    ++local_reads_;
+    op->lease_attempt = true;
+    const SlotId want = access->DecidedWatermark();
+    ScheduleGuarded(kLocalReadServiceTime, [this, op, node, want] {
+      WaitForWatermark(op, node, want, kApplyPollPeriod,
+                       [this, op, node] { ObserveAndFinish(op, node); });
+    });
+    return;
+  }
+
+  // Commit path: the transaction occupies a log slot (reads included —
+  // that is what makes a lease-less read linearizable).
+  op->lease_attempt = false;
+  const uint64_t epoch = ++op->epoch;
+  Value value = Value::Of(++next_value_id_, EncodeBatch({op->txn}));
+  access->SubmitOrForward(
+      std::move(value),
+      [this, alive = alive_, op, node, epoch](const Status& st, SlotId slot,
+                                              Duration /*latency*/) {
+        if (!*alive || op->done) return;
+        if (!st.ok()) {
+          // A stale attempt's failure: a newer attempt owns the op now.
+          if (epoch != op->epoch) return;
+          // Any failure after submission may still commit later: the
+          // value might sit accepted at a quorum or in a forward queue.
+          HandleAttemptFailure(op, st, /*maybe_applied=*/true);
+          return;
+        }
+        if (!op->is_read) {
+          OpResult r;
+          r.outcome = ClientOutcome::kCommitted;
+          r.status = Status::OK();
+          r.latency = sim_->Now() - op->invoke;
+          r.seq = op->txn.seq;
+          r.attempts = op->attempts;
+          r.slot = slot;
+          op->done = true;
+          ++committed_;
+          latency_.Add(r.latency);
+          if (op->cb) op->cb(r);
+          return;
+        }
+        // Routed read: observe values only after the access replica has
+        // applied through the read's own slot.
+        WaitForWatermark(op, node, slot + 1, kApplyPollPeriod,
+                         [this, op, node] { ObserveAndFinish(op, node); });
+      });
+  // Watchdog: a restart of the access (or forwarding leader) node
+  // destroys its replica together with the pending callback above; the
+  // value may nonetheless have reached acceptors. Without this timer
+  // the op would hang past its deadline.
+  ScheduleGuarded(options_.attempt_timeout, [this, op, epoch] {
+    if (op->done || epoch != op->epoch) return;
+    HandleAttemptFailure(op, Status::TimedOut("attempt watchdog fired"),
+                         /*maybe_applied=*/true);
+  });
+}
+
+void Client::WaitForWatermark(const std::shared_ptr<PendingOp>& op,
+                              NodeId node, SlotId want, Duration poll,
+                              const std::function<void()>& then) {
+  if (op->done) return;
+  if (!hooks_.applied_watermark || !hooks_.get) {
+    // No observation hooks: complete with status only.
+    then();
+    return;
+  }
+  if (hooks_.applied_watermark(node) >= want) {
+    then();
+    return;
+  }
+  if (sim_->Now() + poll >= op->deadline) {
+    HandleAttemptFailure(
+        op, Status::TimedOut("applier did not reach read position"),
+        /*maybe_applied=*/false);
+    return;
+  }
+  ScheduleGuarded(poll, [this, op, node, want, poll, then] {
+    WaitForWatermark(op, node, want, poll, then);
+  });
+}
+
+void Client::ObserveAndFinish(const std::shared_ptr<PendingOp>& op,
+                              NodeId node) {
+  if (op->done) return;
+  OpResult r;
+  r.outcome = ClientOutcome::kCommitted;
+  r.status = Status::OK();
+  r.latency = sim_->Now() - op->invoke;
+  r.seq = op->txn.seq;
+  r.attempts = op->attempts;
+  r.local_read = op->lease_attempt;
+  if (hooks_.applied_watermark) r.observed_watermark =
+      hooks_.applied_watermark(node);
+  if (hooks_.get) {
+    for (const Operation& o : op->txn.ops) {
+      if (o.kind == Operation::Kind::kGet) {
+        r.reads.push_back(hooks_.get(node, o.key));
+      }
+    }
+  }
+  op->done = true;
+  ++committed_;
+  latency_.Add(r.latency);
+  if (op->cb) op->cb(r);
+}
+
+void Client::HandleAttemptFailure(const std::shared_ptr<PendingOp>& op,
+                                  const Status& st, bool maybe_applied) {
+  if (op->done) return;
+  op->last_error = st;
+  op->maybe_applied = op->maybe_applied || maybe_applied;
+  // Definite client-side rejections never commit; don't burn the budget.
+  if (st.code() == StatusCode::kInvalidArgument ||
+      st.code() == StatusCode::kNotSupported) {
+    FinishOp(op, ClientOutcome::kFailed, st);
+    return;
+  }
+  // Rotate the access point: the current one may be crashed, partitioned
+  // or pointing at a dead leader.
+  if (access_nodes_.size() > 1) {
+    access_index_ = (access_index_ + 1) % access_nodes_.size();
+  }
+  // Capped exponential backoff with [0.5x, 1.5x) jitter.
+  const uint32_t exp = std::min(op->attempts, 20u);
+  Duration backoff = options_.retry_backoff_base << (exp - 1);
+  backoff = std::min(backoff, options_.retry_backoff_cap);
+  backoff = backoff / 2 + rng_.NextBounded(backoff);
+  const Timestamp now = sim_->Now();
+  if (now + backoff >= op->deadline || op->attempts >= options_.max_attempts) {
+    FinishOp(op,
+             op->maybe_applied ? ClientOutcome::kIndeterminate
+                               : ClientOutcome::kFailed,
+             st);
+    return;
+  }
+  ScheduleGuarded(backoff, [this, op] { StartAttempt(op); });
+}
+
+void Client::FinishOp(const std::shared_ptr<PendingOp>& op,
+                      ClientOutcome outcome, const Status& st) {
+  if (op->done) return;
+  op->done = true;
+  OpResult r;
+  // Reads have no effect, so an undecided read is just a failed read.
+  r.outcome = (op->is_read && outcome == ClientOutcome::kIndeterminate)
+                  ? ClientOutcome::kFailed
+                  : outcome;
+  r.status = st;
+  r.latency = sim_->Now() - op->invoke;
+  r.seq = op->txn.seq;
+  r.attempts = op->attempts;
+  if (r.outcome == ClientOutcome::kIndeterminate) {
+    ++indeterminate_;
+  } else {
+    ++failed_;
+  }
+  if (op->cb) op->cb(r);
 }
 
 }  // namespace dpaxos

@@ -6,13 +6,29 @@
 // the real (simulated) network, exactly the paper's remote-request model.
 // Reads are served from the access replica when it holds a valid master
 // lease; otherwise they are routed like writes.
+//
+// Two submission surfaces coexist:
+//   - Execute/ExecuteBatch/ExecuteReadOnly: single-attempt, fire the
+//     legacy (Status, latency) callback. Kept for throughput drivers
+//     that manage their own redundancy.
+//   - ExecuteWithRetry/ExecuteReadOnlyWithRetry: deadline-bounded with
+//     capped exponential backoff, jittered re-submission and access
+//     failover. Every transaction is tagged with a (client_id, seq)
+//     request id so the state machine can deduplicate retries, and the
+//     final OpResult distinguishes kCommitted / kFailed /
+//     kIndeterminate honestly: kIndeterminate means at least one
+//     attempt reached the network and may commit later.
 #ifndef DPAXOS_CLIENT_CLIENT_H_
 #define DPAXOS_CLIENT_CLIENT_H_
 
 #include <functional>
+#include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/random.h"
 #include "common/status.h"
 #include "paxos/replica.h"
 #include "txn/batch.h"
@@ -20,11 +36,42 @@
 
 namespace dpaxos {
 
+/// \brief Final disposition of a retried client operation.
+enum class ClientOutcome : uint8_t {
+  kCommitted = 0,     // definitely applied exactly once
+  kFailed = 1,        // definitely not applied
+  kIndeterminate = 2  // a submission reached the network; may yet commit
+};
+
+const char* ToString(ClientOutcome outcome);
+
+/// \brief Everything the application learns about one retried operation.
+struct OpResult {
+  ClientOutcome outcome = ClientOutcome::kFailed;
+  Status status = Status::OK();  // last underlying error when not committed
+  Duration latency = 0;          // invoke-to-completion, virtual time
+  uint64_t seq = 0;              // request id assigned by the client
+  uint32_t attempts = 0;         // submission attempts performed
+  bool local_read = false;       // served under a lease, no replication
+
+  /// Commit slot for writes (when known).
+  SlotId slot = 0;
+
+  /// For reads: length of the contiguously applied log prefix at the
+  /// moment the values were observed. Comparable across nodes, so the
+  /// consistency checker can order observations.
+  SlotId observed_watermark = 0;
+
+  /// For reads: one entry per kGet operation, in transaction order.
+  std::vector<std::optional<std::string>> reads;
+};
+
 /// \brief One application session bound to an access replica.
 class Client {
  public:
   /// (status, commit latency as observed by this client).
   using Callback = std::function<void(const Status&, Duration)>;
+  using ResultCallback = std::function<void(const OpResult&)>;
 
   struct Options {
     /// Transactions submitted through SubmitBatched() accumulate until
@@ -34,14 +81,49 @@ class Client {
     /// transaction, whichever comes first (paper Section A.1: batching
     /// trades latency for throughput).
     Duration batch_flush_interval = 5 * kMillisecond;
+
+    /// Stable identity for request tagging. 0 auto-assigns a unique
+    /// nonzero id at construction.
+    uint64_t client_id = 0;
+    /// Per-request budget for the retry surface. Within the deadline the
+    /// client re-submits with backoff; at the deadline it reports
+    /// kFailed or kIndeterminate.
+    Duration request_deadline = 5 * kSecond;
+    /// First retry delay; doubles per attempt up to the cap, each delay
+    /// jittered to [0.5x, 1.5x).
+    Duration retry_backoff_base = 10 * kMillisecond;
+    Duration retry_backoff_cap = 320 * kMillisecond;
+    uint32_t max_attempts = 16;
+    /// Watchdog per submission attempt: if the commit callback has not
+    /// fired by then the attempt is treated as failed-but-maybe-applied
+    /// and retried. Necessary because a node restart destroys the
+    /// replica object along with every callback it held.
+    Duration attempt_timeout = 1 * kSecond;
+  };
+
+  /// Harness-installed hooks that let the client observe applied state
+  /// and survive node restarts. All optional; without them reads report
+  /// status only and access failover is pointer-based.
+  struct StateHooks {
+    /// Applied value of `key` at `node` (nullopt = absent).
+    std::function<std::optional<std::string>(NodeId, const std::string&)> get;
+    /// Contiguously applied log prefix length at `node`.
+    std::function<SlotId(NodeId)> applied_watermark;
+    /// Fresh replica pointer for `node` (survives NodeHost::Restart,
+    /// which destroys replica objects).
+    std::function<Replica*(NodeId)> resolve;
   };
 
   /// `access` must outlive the client; `sim` is the shared clock.
   Client(Simulator* sim, Replica* access);
   Client(Simulator* sim, Replica* access, Options options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
 
   /// Execute a read-write transaction: encode, commit through the access
-  /// replica (forwarding to the leader if needed).
+  /// replica (forwarding to the leader if needed). Single attempt.
   void Execute(const Transaction& txn, Callback cb);
 
   /// Execute a batch of transactions as one consensus value.
@@ -49,8 +131,26 @@ class Client {
 
   /// Execute a read-only transaction: served locally when the access
   /// replica is a lease-holding leader (paper Section 4.5), else routed
-  /// through the commit path like a write.
+  /// through the commit path like a write. Single attempt.
   void ExecuteReadOnly(const Transaction& txn, Callback cb);
+
+  /// Deadline-bounded write with retries, request tagging and failover.
+  /// The transaction's client_id/seq fields are overwritten with this
+  /// session's identity.
+  void ExecuteWithRetry(Transaction txn, ResultCallback cb);
+
+  /// Deadline-bounded read. Under a valid lease the values come from the
+  /// access replica's applied state once it covers the replica's decided
+  /// watermark; otherwise the read occupies a log slot like a write and
+  /// the values are observed after the access replica applies that slot.
+  void ExecuteReadOnlyWithRetry(Transaction txn, ResultCallback cb);
+
+  /// Additional access replicas to rotate through when attempts time
+  /// out (e.g. one per zone). The constructor access point is tried
+  /// first.
+  void AddFailoverAccess(Replica* replica);
+
+  void set_state_hooks(StateHooks hooks) { hooks_ = std::move(hooks); }
 
   /// Queue a transaction into the client-side batch; the batch commits
   /// as one consensus value once it reaches batch_target_bytes or the
@@ -65,27 +165,54 @@ class Client {
   uint64_t batches_flushed() const { return batches_flushed_; }
 
   Replica* access() const { return access_; }
+  uint64_t client_id() const { return options_.client_id; }
 
   // --- session statistics ---------------------------------------------
 
   uint64_t committed() const { return committed_; }
   uint64_t failed() const { return failed_; }
+  uint64_t indeterminate() const { return indeterminate_; }
+  uint64_t retries() const { return retries_; }
   uint64_t local_reads() const { return local_reads_; }
   const Histogram& latency() const { return latency_; }
 
  private:
+  struct PendingOp;
+
   void Track(const Status& st, Duration latency, Callback& cb);
+
+  // Retry-surface internals (see client.cc).
+  void StartAttempt(const std::shared_ptr<PendingOp>& op);
+  void HandleAttemptFailure(const std::shared_ptr<PendingOp>& op,
+                            const Status& st, bool maybe_applied);
+  void FinishOp(const std::shared_ptr<PendingOp>& op, ClientOutcome outcome,
+                const Status& st);
+  void ObserveAndFinish(const std::shared_ptr<PendingOp>& op, NodeId node);
+  void WaitForWatermark(const std::shared_ptr<PendingOp>& op, NodeId node,
+                        SlotId want, Duration poll,
+                        const std::function<void()>& then);
+  Replica* ResolveAccess(size_t index);
+  void ScheduleGuarded(Duration delay, std::function<void()> fn);
 
   Simulator* sim_;
   Replica* access_;
   Options options_;
+  StateHooks hooks_;
   uint64_t next_value_id_;
+  uint64_t next_seq_ = 0;
+  std::vector<NodeId> access_nodes_;      // [0] = constructor access point
+  std::vector<Replica*> access_replicas_;  // parallel; used without resolve
+  size_t access_index_ = 0;
+  Rng rng_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   BatchBuilder batch_builder_{4 * 1024};
   std::vector<Callback> batch_callbacks_;
   EventId flush_timer_ = 0;
   uint64_t batches_flushed_ = 0;
   uint64_t committed_ = 0;
   uint64_t failed_ = 0;
+  uint64_t indeterminate_ = 0;
+  uint64_t retries_ = 0;
   uint64_t local_reads_ = 0;
   Histogram latency_;
 };

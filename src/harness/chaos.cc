@@ -1,0 +1,345 @@
+#include "harness/chaos.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "client/client.h"
+#include "harness/cluster.h"
+#include "harness/history.h"
+#include "harness/nemesis.h"
+#include "net/topology.h"
+#include "smr/kv_store.h"
+#include "smr/log_applier.h"
+#include "txn/transaction.h"
+
+namespace dpaxos {
+
+namespace {
+
+HistoryOutcome ToHistoryOutcome(ClientOutcome outcome) {
+  switch (outcome) {
+    case ClientOutcome::kCommitted:
+      return HistoryOutcome::kOk;
+    case ClientOutcome::kFailed:
+      return HistoryOutcome::kFail;
+    case ClientOutcome::kIndeterminate:
+      return HistoryOutcome::kIndeterminate;
+  }
+  return HistoryOutcome::kIndeterminate;
+}
+
+// Per-node application stack (survives replica restarts: a restarted
+// node restores its state machine from local applied state and
+// re-learns the missing log suffix via catch-up).
+struct NodeApp {
+  KvStateMachine sm;
+  LogApplier applier{&sm};
+};
+
+class ChaosRun {
+ public:
+  explicit ChaosRun(const ChaosOptions& options) : options_(options) {}
+
+  ChaosReport Run();
+
+ private:
+  struct ClientCtx {
+    std::unique_ptr<Client> client;
+    Rng rng{0};
+    uint64_t ops_issued = 0;
+    bool stopped = false;
+  };
+
+  void WireNode(NodeId node);
+  void StartRepairLoop();
+  void IssueNext(size_t ci);
+  void RecordCompletion(size_t history_index, bool is_read,
+                        const OpResult& r);
+  bool Converged() const;
+
+  const ChaosOptions& options_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Nemesis> nemesis_;
+  std::vector<std::unique_ptr<NodeApp>> apps_;
+  std::vector<std::unique_ptr<ClientCtx>> clients_;
+  HistoryRecorder recorder_;
+  Timestamp workload_end_ = 0;
+  uint64_t pending_ = 0;
+};
+
+void ChaosRun::WireNode(NodeId node) {
+  NodeApp* app = apps_[node].get();
+  cluster_->replica(node)->set_decide_callback(
+      [app](SlotId slot, const Value& value) {
+        app->applier.OnDecided(slot, value);
+      });
+}
+
+void ChaosRun::StartRepairLoop() {
+  // Anti-entropy: periodically pull lagging nodes up to the most applied
+  // node. This is what lets a restarted replica (whose decided log died
+  // with the process) refill its applier.
+  cluster_->sim().Schedule(1 * kSecond, [this] {
+    NodeId best = 0;
+    SlotId best_wm = 0;
+    for (NodeId n : cluster_->topology().AllNodes()) {
+      const SlotId wm = apps_[n]->applier.applied_watermark();
+      if (wm > best_wm) {
+        best_wm = wm;
+        best = n;
+      }
+    }
+    for (NodeId n : cluster_->topology().AllNodes()) {
+      if (n == best || cluster_->transport().IsCrashed(n)) continue;
+      if (cluster_->replica(n)->DecidedWatermark() < best_wm) {
+        cluster_->replica(n)->CatchUpFrom(best, [](const Status&) {});
+      }
+    }
+    StartRepairLoop();
+  });
+}
+
+void ChaosRun::RecordCompletion(size_t history_index, bool is_read,
+                                const OpResult& r) {
+  recorder_.Complete(history_index, ToHistoryOutcome(r.outcome),
+                     cluster_->sim().Now());
+  HistoryOp& op = recorder_.op(history_index);
+  op.seq = r.seq;
+  op.slot = r.slot;
+  op.observed_watermark = r.observed_watermark;
+  op.local_read = r.local_read;
+  if (is_read) {
+    if (r.outcome == ClientOutcome::kCommitted && !r.reads.empty()) {
+      op.observed = r.reads[0];
+    } else if (r.outcome == ClientOutcome::kCommitted) {
+      // Committed but nothing observed (no hooks): useless for the
+      // checker; demote to a failed read so it constrains nothing.
+      op.outcome = HistoryOutcome::kFail;
+    }
+  }
+}
+
+void ChaosRun::IssueNext(size_t ci) {
+  ClientCtx& ctx = *clients_[ci];
+  if (ctx.stopped || cluster_->sim().Now() >= workload_end_) {
+    ctx.stopped = true;
+    return;
+  }
+  const uint64_t cid = ctx.client->client_id();
+  const std::string key =
+      "k" + std::to_string(ctx.rng.NextBounded(options_.num_keys));
+  const bool is_read = ctx.rng.NextBool(options_.read_fraction);
+  ++ctx.ops_issued;
+  ++pending_;
+  const Timestamp now = cluster_->sim().Now();
+
+  auto on_done = [this, ci, is_read](size_t history_index) {
+    return [this, ci, is_read, history_index](const OpResult& r) {
+      RecordCompletion(history_index, is_read, r);
+      --pending_;
+      ClientCtx& c = *clients_[ci];
+      const Duration think =
+          options_.think_time / 2 + c.rng.NextBounded(options_.think_time);
+      cluster_->sim().Schedule(think, [this, ci] { IssueNext(ci); });
+    };
+  };
+
+  if (is_read) {
+    Transaction txn;
+    txn.id = (cid << 32) | ctx.ops_issued;
+    txn.ops.push_back(Operation::Get(key));
+    const size_t idx =
+        recorder_.Invoke(cid, 0, /*is_read=*/true, key, "", now);
+    ctx.client->ExecuteReadOnlyWithRetry(std::move(txn), on_done(idx));
+  } else {
+    const std::string value =
+        "c" + std::to_string(cid) + "-" + std::to_string(ctx.ops_issued);
+    Transaction txn;
+    txn.id = (cid << 32) | ctx.ops_issued;
+    txn.ops.push_back(Operation::Put(key, value));
+    const size_t idx =
+        recorder_.Invoke(cid, 0, /*is_read=*/false, key, value, now);
+    ctx.client->ExecuteWithRetry(std::move(txn), on_done(idx));
+  }
+}
+
+bool ChaosRun::Converged() const {
+  const auto nodes = cluster_->topology().AllNodes();
+  const SlotId wm = apps_[nodes[0]]->applier.applied_watermark();
+  const uint64_t checksum = apps_[nodes[0]]->sm.Checksum();
+  for (NodeId n : nodes) {
+    if (apps_[n]->applier.applied_watermark() != wm) return false;
+    if (apps_[n]->sm.Checksum() != checksum) return false;
+  }
+  return true;
+}
+
+ChaosReport ChaosRun::Run() {
+  ChaosReport report;
+
+  ClusterOptions copts;
+  copts.seed = options_.seed;
+  copts.transport.drop_probability = options_.drop_probability;
+  copts.transport.duplicate_probability = options_.duplicate_probability;
+  copts.transport.max_jitter = 5 * kMillisecond;
+  copts.replica.le_timeout = 800 * kMillisecond;
+  copts.replica.propose_timeout = 400 * kMillisecond;
+  copts.replica.num_intents = 2;
+  copts.replica.storage_sync_delay = 100 * kMicrosecond;
+  copts.replica.decide_policy = DecidePolicy::kAll;
+  copts.replica.enable_leases = true;
+  copts.replica.lease_duration = 1 * kSecond;
+  copts.replica.enable_failure_detector = true;
+  copts.replica.heartbeat_interval = 300 * kMillisecond;
+  copts.replica.election_timeout = 2 * kSecond;
+  cluster_ = std::make_unique<Cluster>(
+      Topology::Uniform(options_.zones, options_.nodes_per_zone,
+                        options_.inter_zone_rtt_ms),
+      options_.mode, copts);
+
+  const uint32_t num_nodes = cluster_->topology().num_nodes();
+  apps_.resize(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    apps_[n] = std::make_unique<NodeApp>();
+    WireNode(n);
+  }
+
+  nemesis_ = std::make_unique<Nemesis>(cluster_.get(), options_.seed);
+  nemesis_->set_restart_hook([this](NodeId node) {
+    WireNode(node);  // NodeHost::Restart dropped the decide callback
+  });
+  if (options_.schedule != "none") {
+    if (!nemesis_->AddNamedSchedule(options_.schedule, 1 * kSecond,
+                                    options_.duration)) {
+      report.consistency.violations.push_back("unknown nemesis schedule '" +
+                                              options_.schedule + "'");
+      return report;
+    }
+  }
+
+  // Clients: one per zone round-robin, each with failover access points
+  // in the other zones.
+  Rng workload_rng(options_.seed * 7919 + 11);
+  for (uint32_t i = 0; i < options_.num_clients; ++i) {
+    const ZoneId zone = i % options_.zones;
+    Replica* access = cluster_->ReplicaInZone(
+        zone, (i / options_.zones) % options_.nodes_per_zone);
+    Client::Options copts_client;
+    copts_client.request_deadline = options_.request_deadline;
+    copts_client.retry_backoff_base = 20 * kMillisecond;
+    copts_client.retry_backoff_cap = 400 * kMillisecond;
+    auto ctx = std::make_unique<ClientCtx>();
+    ctx->client =
+        std::make_unique<Client>(&cluster_->sim(), access, copts_client);
+    ctx->rng = workload_rng.Fork();
+    for (uint32_t z = 1; z <= 3 && z < options_.zones; ++z) {
+      ctx->client->AddFailoverAccess(
+          cluster_->ReplicaInZone((zone + z) % options_.zones, 0));
+    }
+    Client::StateHooks hooks;
+    hooks.get = [this](NodeId node, const std::string& key) {
+      return apps_[node]->sm.Get(key);
+    };
+    hooks.applied_watermark = [this](NodeId node) {
+      return apps_[node]->applier.applied_watermark();
+    };
+    hooks.resolve = [this](NodeId node) { return cluster_->replica(node); };
+    ctx->client->set_state_hooks(std::move(hooks));
+    clients_.push_back(std::move(ctx));
+  }
+
+  StartRepairLoop();
+  (void)cluster_->ElectLeader(cluster_->NodeInZone(0, 0));
+
+  workload_end_ = cluster_->sim().Now() + options_.duration;
+  nemesis_->Arm();
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    cluster_->sim().Schedule(10 * kMillisecond * (i + 1),
+                             [this, i] { IssueNext(i); });
+  }
+  cluster_->sim().RunFor(options_.duration + 2 * kSecond);
+
+  // Quiesce: stop the faults, drain the clients, converge the appliers.
+  nemesis_->Quiesce();
+  cluster_->RunUntil([this] { return pending_ == 0; }, options_.settle);
+  // Drive one election + commit probe so the final leader's recovery
+  // fills any log holes left by interrupted proposals.
+  (void)cluster_->ElectLeader(cluster_->NodeInZone(0, 0));
+  (void)cluster_->Commit(cluster_->NodeInZone(0, 0),
+                         Value::Of(~0ULL, EncodeBatch({})));
+  cluster_->RunUntil([this] { return pending_ == 0 && Converged(); },
+                     options_.settle);
+
+  // --- report -----------------------------------------------------------
+  report.converged = Converged() && pending_ == 0;
+  report.ops_invoked = recorder_.size();
+  report.ops_committed = recorder_.CountOutcome(HistoryOutcome::kOk);
+  report.ops_failed = recorder_.CountOutcome(HistoryOutcome::kFail);
+  report.ops_indeterminate =
+      recorder_.CountOutcome(HistoryOutcome::kIndeterminate) +
+      recorder_.CountOutcome(HistoryOutcome::kPending);
+
+  NodeId best = 0;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    const NodeApp& app = *apps_[n];
+    report.duplicates_skipped += app.sm.duplicates_skipped();
+    report.max_applied_commands =
+        std::max(report.max_applied_commands, app.sm.applied_commands());
+    if (app.applier.applied_watermark() >
+        apps_[best]->applier.applied_watermark()) {
+      best = n;
+    }
+  }
+  const KvStateMachine& final_sm = apps_[best]->sm;
+  report.applied_writes = final_sm.applied_writes();
+  for (const HistoryOp& op : recorder_.ops()) {
+    if (op.is_read) continue;
+    ++report.writes_invoked;
+    if (op.outcome == HistoryOutcome::kOk) ++report.writes_committed;
+    if (op.seq != 0 && final_sm.WasApplied(op.client_id, op.seq)) {
+      ++report.writes_eventually_applied;
+    }
+  }
+  for (const auto& ctx : clients_) {
+    report.client_retries += ctx->client->retries();
+    report.local_reads += ctx->client->local_reads();
+  }
+  report.nemesis_actions = nemesis_->actions_executed();
+  report.nemesis_log = nemesis_->action_log();
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    std::ostringstream os;
+    os << "node " << n << ": applied="
+       << apps_[n]->applier.applied_watermark()
+       << " decided=" << cluster_->replica(n)->DecidedWatermark()
+       << " checksum=" << std::hex << apps_[n]->sm.Checksum();
+    report.node_states.push_back(os.str());
+  }
+  report.consistency = CheckHistory(recorder_.ops());
+  return report;
+}
+
+}  // namespace
+
+std::string ChaosReport::Summary() const {
+  std::ostringstream os;
+  os << (ok() ? "OK" : "VIOLATIONS") << ": " << ops_invoked << " ops ("
+     << ops_committed << " committed, " << ops_failed << " failed, "
+     << ops_indeterminate << " indeterminate), " << client_retries
+     << " retries, " << local_reads << " lease reads; writes "
+     << writes_eventually_applied << "/" << writes_invoked
+     << " eventually applied (" << applied_writes
+     << " puts executed); " << duplicates_skipped
+     << " duplicate applies skipped; converged="
+     << (converged ? "yes" : "no") << "; nemesis actions="
+     << nemesis_actions << "\nconsistency: " << consistency.Summary();
+  return os.str();
+}
+
+ChaosReport RunChaos(const ChaosOptions& options) {
+  ChaosRun run(options);
+  return run.Run();
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,96 @@
+// End-to-end chaos runner: a cluster with per-node state machines, a
+// pool of retrying clients issuing single-key reads/writes, a nemesis
+// executing a named fault schedule, and the history/consistency
+// checkers judging what the clients observed. Shared by
+// tests/chaos_test.cc and `dpaxos_cli chaos`.
+#ifndef DPAXOS_HARNESS_CHAOS_H_
+#define DPAXOS_HARNESS_CHAOS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "harness/lin_checker.h"
+#include "quorum/quorum_system.h"
+
+namespace dpaxos {
+
+struct ChaosOptions {
+  ProtocolMode mode = ProtocolMode::kLeaderZone;
+  /// Nemesis schedule name (see Nemesis::ScheduleNames()), or "none" to
+  /// run fault-free over the baseline transport loss model.
+  std::string schedule = "mixed";
+  uint64_t seed = 1;
+
+  uint32_t zones = 5;
+  uint32_t nodes_per_zone = 3;
+  double inter_zone_rtt_ms = 50.0;
+
+  uint32_t num_clients = 4;
+  /// Key-pool size. Keep it large enough that no single key collects
+  /// more than 63 ops — the per-key linearizability search is bitmask
+  /// based and reports over-long histories as failures.
+  uint32_t num_keys = 16;
+  double read_fraction = 0.4;
+  /// Mean think time between a client's completion and its next op.
+  Duration think_time = 100 * kMillisecond;
+
+  /// Faulty phase length (nemesis horizon and workload span).
+  Duration duration = 20 * kSecond;
+  /// Post-quiesce budget for draining clients and converging appliers.
+  Duration settle = 60 * kSecond;
+
+  Duration request_deadline = 5 * kSecond;
+
+  /// Baseline transport loss (bursts on top come from the nemesis).
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+};
+
+struct ChaosReport {
+  ConsistencyReport consistency;
+
+  uint64_t ops_invoked = 0;
+  uint64_t ops_committed = 0;
+  uint64_t ops_failed = 0;
+  uint64_t ops_indeterminate = 0;
+  uint64_t local_reads = 0;
+  uint64_t client_retries = 0;
+
+  uint64_t writes_invoked = 0;
+  uint64_t writes_committed = 0;
+  /// Writes whose (client_id, seq) is in the final applied state —
+  /// includes indeterminate writes that committed after the client gave
+  /// up. The honest "eventual commit" numerator.
+  uint64_t writes_eventually_applied = 0;
+
+  uint64_t duplicates_skipped = 0;  // summed over all state machines
+  /// Put operations actually executed on the most-applied node. With
+  /// exactly-once semantics this equals writes_eventually_applied: a
+  /// double-applied retry would push it higher.
+  uint64_t applied_writes = 0;
+  uint64_t max_applied_commands = 0;
+  bool converged = false;  // all appliers reached one identical state
+
+  uint64_t nemesis_actions = 0;
+  std::vector<std::string> nemesis_log;
+  /// Per-node "applied/decided/checksum" snapshot at the end of the run
+  /// (diagnosis aid when converged is false).
+  std::vector<std::string> node_states;
+
+  bool ok() const { return consistency.ok() && converged; }
+  double EventualCommitRate() const {
+    return writes_invoked == 0
+               ? 1.0
+               : static_cast<double>(writes_eventually_applied) /
+                     static_cast<double>(writes_invoked);
+  }
+  std::string Summary() const;
+};
+
+/// Run one fully deterministic chaos scenario.
+ChaosReport RunChaos(const ChaosOptions& options);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_CHAOS_H_

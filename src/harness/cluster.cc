@@ -78,9 +78,14 @@ const QuorumSystem* Cluster::AddPartition(
   return qs;
 }
 
-void Cluster::RestartNode(NodeId node) {
+void Cluster::RestartNode(NodeId node, bool lose_unsynced) {
   DPAXOS_CHECK_LT(node, hosts_.size());
-  hosts_[node]->Restart();
+  hosts_[node]->Restart(lose_unsynced);
+}
+
+NodeHost* Cluster::host(NodeId node) const {
+  DPAXOS_CHECK_LT(node, hosts_.size());
+  return hosts_[node].get();
 }
 
 GarbageCollector* Cluster::AddGarbageCollector(NodeId host,

@@ -71,8 +71,13 @@ class Cluster {
   /// durable storage (promises/accepted values/intents survive; roles,
   /// in-flight proposals, the decided log and all callbacks do not).
   /// Does NOT touch the transport crash state — pair with
-  /// transport().Crash()/Recover() to model downtime.
-  void RestartNode(NodeId node);
+  /// transport().Crash()/Recover() to model downtime. `lose_unsynced`
+  /// additionally rolls the acceptor records back to their last
+  /// completed sync (requires NodeStorage crash-fault mode).
+  void RestartNode(NodeId node, bool lose_unsynced = false);
+
+  /// The host of `node` (durable storage, replica demux); never null.
+  NodeHost* host(NodeId node) const;
 
   /// Create, attach and return a garbage collector co-located at `host`.
   /// The cluster owns it. It is NOT started.

@@ -1,0 +1,81 @@
+// Jepsen-style operation history: every client request is recorded as an
+// invoke event and (usually) a completion event with virtual timestamps,
+// producing the input for the linearizability and session-guarantee
+// checkers (src/harness/lin_checker.h).
+#ifndef DPAXOS_HARNESS_HISTORY_H_
+#define DPAXOS_HARNESS_HISTORY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dpaxos {
+
+/// \brief Final disposition of a recorded operation.
+enum class HistoryOutcome : uint8_t {
+  kPending = 0,       // invoked, never completed (treated as indeterminate)
+  kOk = 1,            // definitely took effect (reads: value observed)
+  kFail = 2,          // definitely did not take effect
+  kIndeterminate = 3  // may or may not have taken effect, any time later
+};
+
+/// \brief One single-key client operation, from invoke to completion.
+struct HistoryOp {
+  uint64_t client_id = 0;
+  uint64_t seq = 0;
+  bool is_read = false;
+  std::string key;
+  std::string written;  // writes: the value put
+  std::optional<std::string> observed;  // reads: the value seen (nullopt =
+                                        // key absent)
+  Timestamp invoke = 0;
+  Timestamp complete = 0;  // meaningless while outcome == kPending
+  HistoryOutcome outcome = HistoryOutcome::kPending;
+  SlotId slot = 0;                // writes: commit slot when known
+  SlotId observed_watermark = 0;  // reads: applied prefix length observed
+  bool local_read = false;        // served under a lease
+};
+
+/// \brief Append-only recorder shared by all clients of one chaos run.
+class HistoryRecorder {
+ public:
+  /// Record an invocation; returns the op's index for Complete().
+  size_t Invoke(uint64_t client_id, uint64_t seq, bool is_read,
+                std::string key, std::string written, Timestamp now) {
+    HistoryOp op;
+    op.client_id = client_id;
+    op.seq = seq;
+    op.is_read = is_read;
+    op.key = std::move(key);
+    op.written = std::move(written);
+    op.invoke = now;
+    ops_.push_back(std::move(op));
+    return ops_.size() - 1;
+  }
+
+  void Complete(size_t index, HistoryOutcome outcome, Timestamp now) {
+    HistoryOp& op = ops_[index];
+    op.outcome = outcome;
+    op.complete = now;
+  }
+
+  HistoryOp& op(size_t index) { return ops_[index]; }
+  const std::vector<HistoryOp>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+
+  uint64_t CountOutcome(HistoryOutcome o) const {
+    uint64_t n = 0;
+    for (const HistoryOp& op : ops_) n += (op.outcome == o) ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<HistoryOp> ops_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_HISTORY_H_

@@ -1,0 +1,270 @@
+#include "harness/lin_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace dpaxos {
+
+namespace {
+
+constexpr Timestamp kNever = ~0ULL;
+
+// One key's history prepared for the search.
+struct KeyHistory {
+  // Parallel arrays over the included ops.
+  std::vector<const HistoryOp*> ops;
+  std::vector<Timestamp> invoke;
+  std::vector<Timestamp> complete;  // kNever for maybe-ops
+  std::vector<bool> required;       // must appear in the linearization
+  std::vector<int> value;           // writes: value index; reads: observed
+  std::vector<bool> is_read;
+  uint64_t required_mask = 0;
+};
+
+constexpr int kAbsentValue = 0;  // index of the initial "key absent" state
+
+/// Wing–Gong search with memoization on (done-set, register value).
+class Searcher {
+ public:
+  Searcher(const KeyHistory& h, uint64_t max_states)
+      : h_(h), max_states_(max_states) {}
+
+  enum class Verdict { kLinearizable, kViolation, kExhausted };
+
+  Verdict Run() {
+    const bool found = Search(0, kAbsentValue);
+    if (found) return Verdict::kLinearizable;
+    return exhausted_ ? Verdict::kExhausted : Verdict::kViolation;
+  }
+
+ private:
+  bool Search(uint64_t done, int val) {
+    if ((done & h_.required_mask) == h_.required_mask) return true;
+    if (exhausted_) return false;
+    uint64_t& seen = visited_[done];
+    const uint64_t val_bit = 1ULL << val;
+    if (seen & val_bit) return false;
+    seen |= val_bit;
+    if (++states_ > max_states_) {
+      exhausted_ = true;
+      return false;
+    }
+    const size_t n = h_.ops.size();
+    Timestamp min_complete = kNever;
+    for (size_t i = 0; i < n; ++i) {
+      if (done & (1ULL << i)) continue;
+      min_complete = std::min(min_complete, h_.complete[i]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t bit = 1ULL << i;
+      if (done & bit) continue;
+      // Real-time order: i may go next only if no remaining op finished
+      // before i was invoked.
+      if (h_.invoke[i] > min_complete) continue;
+      int next_val = val;
+      if (h_.is_read[i]) {
+        if (h_.value[i] != val) continue;  // illegal read here
+      } else {
+        next_val = h_.value[i];
+      }
+      if (Search(done | bit, next_val)) return true;
+    }
+    return false;
+  }
+
+  const KeyHistory& h_;
+  const uint64_t max_states_;
+  uint64_t states_ = 0;
+  bool exhausted_ = false;
+  // done-mask -> bitmask of register values already explored there.
+  std::unordered_map<uint64_t, uint64_t> visited_;
+};
+
+std::string Describe(const HistoryOp& op) {
+  std::ostringstream os;
+  os << (op.is_read ? "read" : "write") << " key=" << op.key << " client="
+     << op.client_id << " seq=" << op.seq;
+  return os.str();
+}
+
+}  // namespace
+
+void ConsistencyReport::Merge(const ConsistencyReport& other) {
+  violations.insert(violations.end(), other.violations.begin(),
+                    other.violations.end());
+  keys_checked += other.keys_checked;
+  reads_checked += other.reads_checked;
+  writes_checked += other.writes_checked;
+  indeterminate_writes += other.indeterminate_writes;
+}
+
+std::string ConsistencyReport::Summary() const {
+  std::ostringstream os;
+  os << (ok() ? "PASS" : "FAIL") << ": " << keys_checked << " keys, "
+     << writes_checked << " writes (" << indeterminate_writes
+     << " indeterminate), " << reads_checked << " reads, "
+     << violations.size() << " violations";
+  for (const std::string& v : violations) os << "\n  " << v;
+  return os.str();
+}
+
+ConsistencyReport CheckLinearizability(const std::vector<HistoryOp>& ops,
+                                       uint64_t max_states_per_key) {
+  ConsistencyReport report;
+  std::map<std::string, std::vector<const HistoryOp*>> by_key;
+  for (const HistoryOp& op : ops) by_key[op.key].push_back(&op);
+
+  for (auto& [key, key_ops] : by_key) {
+    ++report.keys_checked;
+    KeyHistory h;
+    std::map<std::string, int> value_index;  // written value -> index
+    std::map<std::string, const HistoryOp*> failed_writes;
+
+    // First pass: assign value indices to every write that may take
+    // effect, and remember definitely-failed writes.
+    for (const HistoryOp* op : key_ops) {
+      if (op->is_read) continue;
+      if (op->outcome == HistoryOutcome::kFail) {
+        failed_writes[op->written] = op;
+        continue;
+      }
+      if (value_index.count(op->written)) {
+        report.violations.push_back("key " + key +
+                                    ": duplicate written value '" +
+                                    op->written +
+                                    "' breaks checker precondition");
+        continue;
+      }
+      value_index[op->written] = static_cast<int>(value_index.size()) + 1;
+    }
+
+    // Second pass: build the searchable history.
+    bool key_broken = false;
+    for (const HistoryOp* op : key_ops) {
+      if (op->is_read) {
+        if (op->outcome != HistoryOutcome::kOk) continue;  // no observation
+        ++report.reads_checked;
+        int observed;
+        if (!op->observed.has_value()) {
+          observed = kAbsentValue;
+        } else if (value_index.count(*op->observed)) {
+          observed = value_index[*op->observed];
+        } else if (failed_writes.count(*op->observed)) {
+          report.violations.push_back(
+              "key " + key + ": " + Describe(*op) +
+              " observed value of a FAILED write (client " +
+              std::to_string(failed_writes[*op->observed]->client_id) +
+              " seq " +
+              std::to_string(failed_writes[*op->observed]->seq) + ")");
+          key_broken = true;
+          continue;
+        } else {
+          report.violations.push_back("key " + key + ": " + Describe(*op) +
+                                      " observed unknown value '" +
+                                      *op->observed + "'");
+          key_broken = true;
+          continue;
+        }
+        h.ops.push_back(op);
+        h.invoke.push_back(op->invoke);
+        h.complete.push_back(op->complete);
+        h.required.push_back(true);
+        h.value.push_back(observed);
+        h.is_read.push_back(true);
+      } else {
+        if (op->outcome == HistoryOutcome::kFail) continue;
+        if (!value_index.count(op->written)) continue;  // dup, reported
+        ++report.writes_checked;
+        const bool certain = op->outcome == HistoryOutcome::kOk;
+        if (!certain) ++report.indeterminate_writes;
+        h.ops.push_back(op);
+        h.invoke.push_back(op->invoke);
+        // An indeterminate write may commit any time later — it never
+        // constrains the order, and need not appear at all.
+        h.complete.push_back(certain ? op->complete : kNever);
+        h.required.push_back(certain);
+        h.value.push_back(value_index[op->written]);
+        h.is_read.push_back(false);
+      }
+    }
+
+    if (key_broken) continue;  // already reported; the search would lie
+    if (h.ops.size() > 63 || value_index.size() > 62) {
+      report.violations.push_back(
+          "key " + key + ": history too large for the checker (" +
+          std::to_string(h.ops.size()) + " ops)");
+      continue;
+    }
+    for (size_t i = 0; i < h.ops.size(); ++i) {
+      if (h.required[i]) h.required_mask |= 1ULL << i;
+    }
+
+    Searcher searcher(h, max_states_per_key);
+    switch (searcher.Run()) {
+      case Searcher::Verdict::kLinearizable:
+        break;
+      case Searcher::Verdict::kViolation:
+        report.violations.push_back(
+            "key " + key + ": NOT linearizable (" +
+            std::to_string(h.ops.size()) + " ops)");
+        break;
+      case Searcher::Verdict::kExhausted:
+        report.violations.push_back(
+            "key " + key + ": linearizability search exhausted after " +
+            std::to_string(max_states_per_key) + " states");
+        break;
+    }
+  }
+  return report;
+}
+
+ConsistencyReport CheckSessionGuarantees(const std::vector<HistoryOp>& ops) {
+  ConsistencyReport report;
+  // Per (client, key): highest committed write slot and highest read
+  // position seen so far. Client ops are issued sequentially, so history
+  // order (invoke order) is session order.
+  struct SessionState {
+    SlotId max_write_slot = 0;
+    SlotId max_read_watermark = 0;
+  };
+  std::map<std::pair<uint64_t, std::string>, SessionState> sessions;
+
+  for (const HistoryOp& op : ops) {
+    if (op.outcome != HistoryOutcome::kOk) continue;
+    SessionState& s = sessions[{op.client_id, op.key}];
+    if (!op.is_read) {
+      if (op.slot > 0) s.max_write_slot = std::max(s.max_write_slot, op.slot);
+      continue;
+    }
+    if (op.observed_watermark == 0) continue;  // no observation hooks
+    ++report.reads_checked;
+    // Read-your-writes: the read's applied prefix must cover every
+    // committed write this client acked earlier on this key.
+    if (s.max_write_slot > 0 && op.observed_watermark <= s.max_write_slot) {
+      report.violations.push_back(
+          Describe(op) + ": read-your-writes violated (prefix " +
+          std::to_string(op.observed_watermark) + " misses own write slot " +
+          std::to_string(s.max_write_slot) + ")");
+    }
+    // Monotonic reads: successive reads never observe an older prefix.
+    if (op.observed_watermark < s.max_read_watermark) {
+      report.violations.push_back(
+          Describe(op) + ": monotonic reads violated (prefix " +
+          std::to_string(op.observed_watermark) + " after prefix " +
+          std::to_string(s.max_read_watermark) + ")");
+    }
+    s.max_read_watermark =
+        std::max(s.max_read_watermark, op.observed_watermark);
+  }
+  return report;
+}
+
+ConsistencyReport CheckHistory(const std::vector<HistoryOp>& ops) {
+  ConsistencyReport report = CheckLinearizability(ops);
+  report.Merge(CheckSessionGuarantees(ops));
+  return report;
+}
+
+}  // namespace dpaxos

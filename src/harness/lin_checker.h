@@ -1,0 +1,55 @@
+// Consistency checkers over a recorded operation history.
+//
+// CheckLinearizability runs a Wing–Gong style search per key over the
+// single-key register history: it tries to find a total order of
+// operations that (a) respects real-time precedence (an op completed
+// before another was invoked must precede it), and (b) is legal for a
+// read/write register (every read observes the latest preceding write,
+// or the initial absent state). Indeterminate operations (client gave
+// up; the value may still commit) are "maybe" ops: they may linearize at
+// any point after their invocation or never; failed writes must never be
+// observed.
+//
+// CheckSessionGuarantees verifies read-your-writes and monotonic reads
+// per client using log positions: every read carries the applied prefix
+// length it was served from, every committed write its commit slot.
+#ifndef DPAXOS_HARNESS_LIN_CHECKER_H_
+#define DPAXOS_HARNESS_LIN_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "harness/history.h"
+
+namespace dpaxos {
+
+/// \brief Checker verdict: empty `violations` means the history passed.
+struct ConsistencyReport {
+  std::vector<std::string> violations;
+  uint64_t keys_checked = 0;
+  uint64_t reads_checked = 0;
+  uint64_t writes_checked = 0;
+  uint64_t indeterminate_writes = 0;
+
+  bool ok() const { return violations.empty(); }
+  void Merge(const ConsistencyReport& other);
+  std::string Summary() const;
+};
+
+/// Per-key linearizability of the register history. Search effort is
+/// bounded (`max_states_per_key` memoized states); exceeding the bound
+/// reports a violation ("search exhausted") rather than silently
+/// passing.
+ConsistencyReport CheckLinearizability(const std::vector<HistoryOp>& ops,
+                                       uint64_t max_states_per_key = 2000000);
+
+/// Session guarantees: read-your-writes and monotonic reads, per client,
+/// via log positions.
+ConsistencyReport CheckSessionGuarantees(const std::vector<HistoryOp>& ops);
+
+/// Both checkers, merged.
+ConsistencyReport CheckHistory(const std::vector<HistoryOp>& ops);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_LIN_CHECKER_H_

@@ -1,0 +1,359 @@
+#include "harness/nemesis.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace dpaxos {
+
+Nemesis::Nemesis(Cluster* cluster, uint64_t seed)
+    : cluster_(cluster),
+      rng_(seed * 0x9e3779b97f4a7c15ULL + 1),
+      baseline_(cluster->transport().options()) {
+  DPAXOS_CHECK(cluster != nullptr);
+}
+
+Nemesis& Nemesis::Add(Duration at, Op op, double arg) {
+  DPAXOS_CHECK_MSG(!armed_, "schedule is already armed");
+  steps_.push_back(Step{at, op, arg, 0});
+  return *this;
+}
+
+Nemesis& Nemesis::Repeat(Duration start, Duration period, uint32_t count,
+                         Op op, double arg) {
+  for (uint32_t i = 0; i < count; ++i) Add(start + i * period, op, arg);
+  return *this;
+}
+
+std::vector<std::string> Nemesis::ScheduleNames() {
+  return {"mixed", "storm", "partitions", "lossy", "moves"};
+}
+
+bool Nemesis::AddNamedSchedule(const std::string& name, Duration start,
+                               Duration horizon) {
+  const auto at = [&](double f) {
+    return start + static_cast<Duration>(f * static_cast<double>(horizon));
+  };
+  if (name == "mixed") {
+    Add(at(0.05), Op::kCrashNode);
+    Add(at(0.10), Op::kLossBurst, 0.10);
+    Add(at(0.15), Op::kIsolateZone);
+    Add(at(0.20), Op::kMigrateLeaderZone);
+    Add(at(0.25), Op::kRestartNode);
+    Add(at(0.30), Op::kHealPartitions);
+    Add(at(0.35), Op::kCrashNode);
+    Add(at(0.45), Op::kHandoff);
+    Add(at(0.50), Op::kClearLoss);
+    Add(at(0.55), Op::kRestartNode);
+    Add(at(0.60), Op::kIsolateZone);
+    Add(at(0.65), Op::kMigrateLeaderZone);
+    Add(at(0.70), Op::kHealPartitions);
+    Add(at(0.75), Op::kElectLeader);
+    Add(at(0.80), Op::kRecoverAll);
+  } else if (name == "storm") {
+    Repeat(at(0.05), at(0.10) - start, 5, Op::kCrashNode);
+    Repeat(at(0.20), at(0.15) - start, 4, Op::kRestartNode);
+    Add(at(0.30), Op::kIsolateZone);
+    Add(at(0.45), Op::kHealPartitions);
+    Add(at(0.60), Op::kMigrateLeaderZone);
+    Add(at(0.80), Op::kRecoverAll);
+    Add(at(0.85), Op::kElectLeader);
+  } else if (name == "partitions") {
+    Add(at(0.10), Op::kIsolateZone);
+    Add(at(0.20), Op::kCrashNode);
+    Add(at(0.25), Op::kHealPartitions);
+    Add(at(0.30), Op::kIsolateZone);
+    Add(at(0.40), Op::kRestartNode);
+    Add(at(0.45), Op::kHealPartitions);
+    Add(at(0.50), Op::kMigrateLeaderZone);
+    Add(at(0.55), Op::kIsolateZone);
+    Add(at(0.70), Op::kHealPartitions);
+    Add(at(0.75), Op::kElectLeader);
+    Add(at(0.80), Op::kRecoverAll);
+  } else if (name == "lossy") {
+    Add(at(0.05), Op::kLossBurst, 0.15);
+    Add(at(0.05), Op::kJitterBurst, 20 * kMillisecond);
+    Add(at(0.15), Op::kCrashNode);
+    Add(at(0.30), Op::kRestartNodeLossy);
+    Add(at(0.35), Op::kClearLoss);
+    Add(at(0.40), Op::kIsolateZone);
+    Add(at(0.45), Op::kCrashNode);
+    Add(at(0.50), Op::kMigrateLeaderZone);
+    Add(at(0.55), Op::kHealPartitions);
+    Add(at(0.60), Op::kRestartNodeLossy);
+    Add(at(0.65), Op::kLossBurst, 0.08);
+    Add(at(0.75), Op::kClearLoss);
+    Add(at(0.80), Op::kRecoverAll);
+  } else if (name == "moves") {
+    Add(at(0.10), Op::kMigrateLeaderZone);
+    Add(at(0.20), Op::kHandoff);
+    Add(at(0.25), Op::kCrashNode);
+    Add(at(0.30), Op::kMigrateLeaderZone);
+    Add(at(0.35), Op::kIsolateZone);
+    Add(at(0.40), Op::kHandoff);
+    Add(at(0.45), Op::kRestartNode);
+    Add(at(0.50), Op::kHealPartitions);
+    Add(at(0.55), Op::kMigrateLeaderZone);
+    Add(at(0.65), Op::kHandoff);
+    Add(at(0.75), Op::kElectLeader);
+    Add(at(0.80), Op::kRecoverAll);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void Nemesis::Arm() {
+  DPAXOS_CHECK_MSG(!armed_, "Arm() called twice");
+  armed_ = true;
+  bool lossy = false;
+  for (const Step& s : steps_) lossy |= (s.op == Op::kRestartNodeLossy);
+  if (lossy) {
+    for (NodeId n : cluster_->topology().AllNodes()) {
+      cluster_->host(n)->storage().set_crash_faults(true);
+    }
+  }
+  for (const Step& step : steps_) {
+    cluster_->sim().Schedule(step.at, [this, step] { Execute(step); });
+  }
+}
+
+void Nemesis::Execute(const Step& step) {
+  switch (step.op) {
+    case Op::kCrashNode:
+      CrashRandomNode();
+      break;
+    case Op::kRestartNode:
+      RestartRandomCrashedNode(/*lose_unsynced=*/false);
+      break;
+    case Op::kRestartNodeLossy:
+      RestartRandomCrashedNode(/*lose_unsynced=*/true);
+      break;
+    case Op::kRecoverAll:
+      RecoverAll();
+      break;
+    case Op::kIsolateZone:
+      IsolateRandomZone();
+      break;
+    case Op::kHealPartitions:
+      HealPartitions();
+      break;
+    case Op::kLossBurst:
+      LossBurst(step.arg);
+      break;
+    case Op::kJitterBurst:
+      JitterBurst(static_cast<Duration>(step.arg));
+      break;
+    case Op::kClearLoss:
+      ClearLoss();
+      break;
+    case Op::kMigrateLeaderZone:
+      MigrateLeaderZoneRandom(step.partition);
+      break;
+    case Op::kHandoff:
+      HandoffRandom(step.partition);
+      break;
+    case Op::kElectLeader:
+      ElectRandomLeader(step.partition);
+      break;
+  }
+}
+
+void Nemesis::Note(const std::string& what) {
+  std::ostringstream os;
+  os << "[t=" << cluster_->sim().Now() / kMillisecond << "ms] " << what;
+  action_log_.push_back(os.str());
+  DPAXOS_DEBUG("nemesis " << os.str());
+}
+
+bool Nemesis::CrashRandomNode() {
+  const uint32_t budget = cluster_->options().ft.fd;
+  if (budget == 0) return false;
+  std::vector<NodeId> candidates;
+  for (NodeId n : cluster_->topology().AllNodes()) {
+    if (!IsHealthy(n)) continue;
+    uint32_t zone_crashed = 0;
+    for (NodeId c : crashed_) {
+      if (cluster_->topology().ZoneOf(c) == cluster_->topology().ZoneOf(n)) {
+        ++zone_crashed;
+      }
+    }
+    if (zone_crashed < budget) candidates.push_back(n);
+  }
+  if (candidates.empty()) return false;
+  const NodeId victim = candidates[rng_.NextBounded(candidates.size())];
+  cluster_->transport().Crash(victim);
+  crashed_.insert(victim);
+  Note("crash node " + std::to_string(victim));
+  return true;
+}
+
+bool Nemesis::RestartRandomCrashedNode(bool lose_unsynced) {
+  if (crashed_.empty()) return false;
+  auto it = crashed_.begin();
+  std::advance(it, rng_.NextBounded(crashed_.size()));
+  const NodeId node = *it;
+  crashed_.erase(it);
+  cluster_->RestartNode(node, lose_unsynced);
+  cluster_->transport().Recover(node);
+  if (restart_hook_) restart_hook_(node);
+  Note(std::string(lose_unsynced ? "lossy restart node " : "restart node ") +
+       std::to_string(node));
+  return true;
+}
+
+void Nemesis::RecoverAll() {
+  while (!crashed_.empty()) {
+    RestartRandomCrashedNode(/*lose_unsynced=*/false);
+  }
+}
+
+bool Nemesis::IsolateRandomZone() {
+  const uint32_t limit = std::max<uint32_t>(1, cluster_->options().ft.fz);
+  if (isolated_zones_.size() >= limit) return false;
+  std::vector<ZoneId> candidates;
+  for (ZoneId z = 0; z < cluster_->topology().num_zones(); ++z) {
+    if (isolated_zones_.count(z) == 0) candidates.push_back(z);
+  }
+  if (candidates.empty()) return false;
+  const ZoneId zone = candidates[rng_.NextBounded(candidates.size())];
+  for (NodeId a : cluster_->topology().NodesInZone(zone)) {
+    for (NodeId b : cluster_->topology().AllNodes()) {
+      if (cluster_->topology().ZoneOf(b) != zone) {
+        cluster_->transport().Partition(a, b);
+      }
+    }
+  }
+  isolated_zones_.insert(zone);
+  Note("isolate zone " + std::to_string(zone));
+  return true;
+}
+
+void Nemesis::HealPartitions() {
+  cluster_->transport().HealAll();
+  isolated_zones_.clear();
+  Note("heal partitions");
+}
+
+void Nemesis::LossBurst(double p) {
+  cluster_->transport().set_drop_probability(p);
+  cluster_->transport().set_duplicate_probability(p);
+  Note("loss burst p=" + std::to_string(p));
+}
+
+void Nemesis::JitterBurst(Duration max_jitter) {
+  cluster_->transport().set_max_jitter(max_jitter);
+  Note("jitter burst " + std::to_string(max_jitter / kMillisecond) + "ms");
+}
+
+void Nemesis::ClearLoss() {
+  cluster_->transport().set_drop_probability(baseline_.drop_probability);
+  cluster_->transport().set_duplicate_probability(
+      baseline_.duplicate_probability);
+  cluster_->transport().set_max_jitter(baseline_.max_jitter);
+  Note("clear loss bursts");
+}
+
+Replica* Nemesis::CurrentLeader(PartitionId partition) const {
+  for (NodeId n : cluster_->topology().AllNodes()) {
+    Replica* r = cluster_->replica(n, partition);
+    if (r != nullptr && r->is_leader() && IsHealthy(n)) return r;
+  }
+  return nullptr;
+}
+
+bool Nemesis::MigrateLeaderZoneRandom(PartitionId partition) {
+  Replica* leader = CurrentLeader(partition);
+  const ZoneId num_zones = cluster_->topology().num_zones();
+  if (num_zones < 2) return false;
+  const ZoneId from = leader != nullptr ? leader->zone() : kInvalidZone;
+  ZoneId target = static_cast<ZoneId>(rng_.NextBounded(num_zones));
+  if (target == from) target = (target + 1) % num_zones;
+  if (leader != nullptr && cluster_->mode() == ProtocolMode::kLeaderZone) {
+    // The real thing: the Leader-Zone migration synod (paper Section 4.3).
+    leader->MigrateLeaderZone(target, [](const Status&) {});
+    Note("migrate leader zone -> " + std::to_string(target));
+    return true;
+  }
+  // Other modes move leadership by electing a replica in the target zone.
+  for (NodeId n : cluster_->topology().NodesInZone(target)) {
+    if (IsHealthy(n)) {
+      cluster_->replica(n, partition)->TryBecomeLeader([](const Status&) {});
+      Note("force leader move -> node " + std::to_string(n));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Nemesis::HandoffRandom(PartitionId partition) {
+  Replica* leader = CurrentLeader(partition);
+  if (leader == nullptr) return false;
+  std::vector<NodeId> candidates;
+  for (NodeId n : cluster_->topology().AllNodes()) {
+    if (n != leader->id() && IsHealthy(n)) candidates.push_back(n);
+  }
+  if (candidates.empty()) return false;
+  const NodeId to = candidates[rng_.NextBounded(candidates.size())];
+  (void)leader->HandoffTo(to);
+  Note("handoff " + std::to_string(leader->id()) + " -> " +
+       std::to_string(to));
+  return true;
+}
+
+bool Nemesis::ElectRandomLeader(PartitionId partition) {
+  std::vector<NodeId> candidates;
+  for (NodeId n : cluster_->topology().AllNodes()) {
+    if (IsHealthy(n)) candidates.push_back(n);
+  }
+  if (candidates.empty()) return false;
+  const NodeId node = candidates[rng_.NextBounded(candidates.size())];
+  cluster_->replica(node, partition)->TryBecomeLeader([](const Status&) {});
+  Note("elect node " + std::to_string(node));
+  return true;
+}
+
+void Nemesis::Crash(NodeId node) {
+  if (!IsHealthy(node)) return;
+  cluster_->transport().Crash(node);
+  crashed_.insert(node);
+  Note("crash node " + std::to_string(node));
+}
+
+void Nemesis::Recover(NodeId node) {
+  cluster_->transport().Recover(node);
+  crashed_.erase(node);
+  Note("recover node " + std::to_string(node));
+}
+
+void Nemesis::Restart(NodeId node, bool lose_unsynced) {
+  crashed_.erase(node);
+  cluster_->RestartNode(node, lose_unsynced);
+  cluster_->transport().Recover(node);
+  if (restart_hook_) restart_hook_(node);
+  Note(std::string(lose_unsynced ? "lossy restart node " : "restart node ") +
+       std::to_string(node));
+}
+
+void Nemesis::CrashZone(ZoneId zone) {
+  for (NodeId n : cluster_->topology().NodesInZone(zone)) Crash(n);
+}
+
+void Nemesis::IsolateNodeFromZone(NodeId node, ZoneId zone) {
+  for (NodeId n : cluster_->topology().NodesInZone(zone)) {
+    if (n != node) cluster_->transport().Partition(node, n);
+  }
+  Note("isolate node " + std::to_string(node) + " from zone " +
+       std::to_string(zone));
+}
+
+void Nemesis::Quiesce() {
+  RecoverAll();
+  HealPartitions();
+  ClearLoss();
+  Note("quiesce");
+}
+
+}  // namespace dpaxos

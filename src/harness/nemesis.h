@@ -1,0 +1,143 @@
+// Nemesis: a composable, deterministic fault scheduler for a Cluster.
+//
+// Chaos tests used to hand-roll their fault choreography (crash loops in
+// failure_test, restart storms in restart_test, the kitchen-sink wave
+// machine in soak_test). The nemesis replaces that with a declarative
+// schedule: a list of (virtual time, action) steps armed on the
+// simulator, all randomness drawn from one seeded Rng so a (schedule,
+// seed) pair replays identically. Actions respect the cluster's fault
+// budget: at most `ft.fd` simultaneously crashed nodes per zone, and at
+// most `ft.fz` simultaneously isolated zones.
+#ifndef DPAXOS_HARNESS_NEMESIS_H_
+#define DPAXOS_HARNESS_NEMESIS_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "harness/cluster.h"
+
+namespace dpaxos {
+
+/// \brief Deterministic declarative fault injector.
+class Nemesis {
+ public:
+  enum class Op : uint8_t {
+    kCrashNode = 0,     // crash a random node within the per-zone budget
+    kRestartNode,       // restart + recover a random crashed node
+    kRestartNodeLossy,  // ...dropping writes newer than the last sync
+    kRecoverAll,        // restart + recover every crashed node
+    kIsolateZone,       // partition a random zone off from the rest
+    kHealPartitions,    // heal every cut link
+    kLossBurst,         // set drop AND duplicate probability to `arg`
+    kJitterBurst,       // set max link jitter to `arg` microseconds
+    kClearLoss,         // restore the cluster's baseline loss model
+    kMigrateLeaderZone, // force a Leader-Zone move to a random other zone
+    kHandoff,           // current leader hands off to a random peer
+    kElectLeader,       // a random healthy node runs Leader Election
+  };
+
+  struct Step {
+    Duration at = 0;  // relative to Arm()
+    Op op = Op::kCrashNode;
+    double arg = 0;
+    PartitionId partition = 0;
+  };
+
+  /// `cluster` must outlive the nemesis.
+  Nemesis(Cluster* cluster, uint64_t seed);
+
+  Nemesis(const Nemesis&) = delete;
+  Nemesis& operator=(const Nemesis&) = delete;
+
+  // --- schedule building ------------------------------------------------
+
+  Nemesis& Add(Duration at, Op op, double arg = 0);
+  /// `count` repetitions of `op` starting at `start`, `period` apart.
+  Nemesis& Repeat(Duration start, Duration period, uint32_t count, Op op,
+                  double arg = 0);
+
+  /// Append one of the named schedules over [start, start + horizon).
+  /// Every named schedule includes crashes, a zone partition and a
+  /// forced Leader-Zone migration; they differ in emphasis:
+  ///   "mixed"      — everything interleaved (the default)
+  ///   "storm"      — crash/restart churn
+  ///   "partitions" — repeated zone isolations
+  ///   "lossy"      — drop/duplicate/jitter bursts + lossy restarts
+  ///   "moves"      — migration and handoff churn
+  /// Returns false (and adds nothing) for an unknown name.
+  bool AddNamedSchedule(const std::string& name, Duration start,
+                        Duration horizon);
+  static std::vector<std::string> ScheduleNames();
+
+  /// Arm every step on the simulator, offsets relative to now. Steps
+  /// using lossy restarts flip the affected storages into crash-fault
+  /// mode here.
+  void Arm();
+
+  /// Undo all standing faults immediately: recover + restart crashed
+  /// nodes, heal partitions, restore the baseline loss model.
+  void Quiesce();
+
+  /// Invoked after every node restart so the harness can re-wire decide
+  /// callbacks / appliers (NodeHost::Restart drops them).
+  void set_restart_hook(std::function<void(NodeId)> hook) {
+    restart_hook_ = std::move(hook);
+  }
+
+  // --- imperative primitives (also usable directly from tests) ----------
+
+  bool CrashRandomNode();
+  bool RestartRandomCrashedNode(bool lose_unsynced);
+  void RecoverAll();
+  bool IsolateRandomZone();
+  void HealPartitions();
+  void LossBurst(double p);
+  void JitterBurst(Duration max_jitter);
+  void ClearLoss();
+  bool MigrateLeaderZoneRandom(PartitionId partition = 0);
+  bool HandoffRandom(PartitionId partition = 0);
+  bool ElectRandomLeader(PartitionId partition = 0);
+
+  // --- targeted primitives (surgical failure tests) ---------------------
+  // No randomness and no fault-budget enforcement: these trust the
+  // caller, which is exactly what a test crashing "the quorum companion"
+  // needs. They still keep the crashed-set bookkeeping and action log.
+
+  void Crash(NodeId node);
+  /// Network-level recovery only: the process (and its volatile state)
+  /// survives. Use Restart() to model a process death + reboot.
+  void Recover(NodeId node);
+  void Restart(NodeId node, bool lose_unsynced = false);
+  void CrashZone(ZoneId zone);
+  /// Cut every link between `node` and the nodes of `zone`.
+  void IsolateNodeFromZone(NodeId node, ZoneId zone);
+
+  // --- introspection ----------------------------------------------------
+
+  const std::set<NodeId>& crashed() const { return crashed_; }
+  const std::vector<std::string>& action_log() const { return action_log_; }
+  uint64_t actions_executed() const { return action_log_.size(); }
+
+ private:
+  void Execute(const Step& step);
+  Replica* CurrentLeader(PartitionId partition) const;
+  bool IsHealthy(NodeId node) const { return crashed_.count(node) == 0; }
+  void Note(const std::string& what);
+
+  Cluster* cluster_;
+  Rng rng_;
+  std::vector<Step> steps_;
+  std::set<NodeId> crashed_;
+  std::set<ZoneId> isolated_zones_;
+  SimTransportOptions baseline_;  // loss model to restore on ClearLoss
+  std::function<void(NodeId)> restart_hook_;
+  std::vector<std::string> action_log_;
+  bool armed_ = false;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_NEMESIS_H_

@@ -108,8 +108,13 @@ class SimTransport : public Transport {
   /// Heal every partitioned link.
   void HealAll();
 
-  /// Change the drop probability mid-run (e.g. for failure sweeps).
+  /// Change the loss model mid-run (e.g. for failure sweeps and nemesis
+  /// bursts).
   void set_drop_probability(double p) { options_.drop_probability = p; }
+  void set_duplicate_probability(double p) {
+    options_.duplicate_probability = p;
+  }
+  void set_max_jitter(Duration j) { options_.max_jitter = j; }
 
   /// Codec hooks for validate_wire_codec (kept as std::function so the
   /// net layer does not depend on the protocol's message set).

@@ -23,18 +23,24 @@ Replica* NodeHost::AddReplica(const QuorumSystem* quorums,
       std::make_unique<Replica>(sim_, transport_, topology_, quorums, id_,
                                 config, storage_.RecordFor(config.partition));
   Replica* ptr = replica.get();
-  replicas_[config.partition] = std::move(replica);
-  blueprints_[config.partition] = {quorums, config};
+  const PartitionId partition = config.partition;
+  ptr->set_sync_hook([this, partition] { storage_.MarkSynced(partition); });
+  replicas_[partition] = std::move(replica);
+  blueprints_[partition] = {quorums, config};
   return ptr;
 }
 
-void NodeHost::Restart() {
+void NodeHost::Restart(bool lose_unsynced) {
   replicas_.clear();  // volatile state dies with the process
+  if (lose_unsynced) storage_.DropUnsynced();
   for (const auto& [partition, blueprint] : blueprints_) {
     const auto& [quorums, config] = blueprint;
-    replicas_[partition] = std::make_unique<Replica>(
-        sim_, transport_, topology_, quorums, id_, config,
-        storage_.RecordFor(partition));
+    auto replica = std::make_unique<Replica>(sim_, transport_, topology_,
+                                             quorums, id_, config,
+                                             storage_.RecordFor(partition));
+    replica->set_sync_hook(
+        [this, partition] { storage_.MarkSynced(partition); });
+    replicas_[partition] = std::move(replica);
   }
 }
 

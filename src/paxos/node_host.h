@@ -36,8 +36,11 @@ class NodeHost {
   /// proposer/learner state lost, pending timers dropped) and recreated
   /// from the durable acceptor records. The transport identity and
   /// storage survive. Decide callbacks and snapshot hooks must be
-  /// re-wired by the caller.
-  void Restart();
+  /// re-wired by the caller. With `lose_unsynced` (requires the
+  /// storage's crash-fault mode) the acceptor records first roll back
+  /// to their last completed sync, modelling a power loss that eats the
+  /// un-fsynced write suffix.
+  void Restart(bool lose_unsynced = false);
 
   /// This node's durable store (survives Restart()).
   NodeStorage& storage() { return storage_; }

@@ -511,9 +511,12 @@ void Replica::OnPrepare(NodeId from, const PrepareMsg& msg) {
   ++counters_.promises_sent;
   if (config_.storage_sync_delay > 0) {
     // The promise is durable before it is answered.
-    ScheduleSafe(config_.storage_sync_delay,
-                 [this, from, promise] { SendTo(from, promise); });
+    ScheduleSafe(config_.storage_sync_delay, [this, from, promise] {
+      if (sync_hook_) sync_hook_();
+      SendTo(from, promise);
+    });
   } else {
+    if (sync_hook_) sync_hook_();
     SendTo(from, promise);
   }
 }
@@ -646,9 +649,12 @@ void Replica::OnPropose(NodeId from, const ProposeMsg& msg) {
   ++counters_.accepts_sent;
   if (config_.storage_sync_delay > 0) {
     // The acceptance is durable before it is answered.
-    ScheduleSafe(config_.storage_sync_delay,
-                 [this, from, accept] { SendTo(from, accept); });
+    ScheduleSafe(config_.storage_sync_delay, [this, from, accept] {
+      if (sync_hook_) sync_hook_();
+      SendTo(from, accept);
+    });
   } else {
+    if (sync_hook_) sync_hook_();
     SendTo(from, accept);
   }
 }

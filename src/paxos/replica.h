@@ -156,6 +156,13 @@ class Replica {
   // --- learner ------------------------------------------------------------
 
   void set_decide_callback(DecideCallback cb) { decide_cb_ = std::move(cb); }
+
+  /// Invoked whenever a synchronous storage write completes (i.e. just
+  /// before the durable promise/accept reply is sent). The NodeHost uses
+  /// it to checkpoint the acceptor record for crash-fault modelling.
+  void set_sync_hook(std::function<void()> hook) {
+    sync_hook_ = std::move(hook);
+  }
   const std::map<SlotId, Value>& decided() const { return decided_; }
   /// Lowest slot id not yet known decided (contiguous watermark).
   SlotId DecidedWatermark() const;
@@ -404,6 +411,7 @@ class Replica {
   SlotId watermark_ = 0;   // lowest slot not yet known decided
   SlotId log_start_ = 0;   // lowest retained decided slot (truncation)
   DecideCallback decide_cb_;
+  std::function<void()> sync_hook_;
 
   // Forwarding state (origin side).
   struct PendingForward {

@@ -34,6 +34,13 @@ void KvStateMachine::Apply(SlotId slot, const std::string& payload) {
     return;
   }
   for (const Transaction& txn : batch.value()) {
+    if (txn.client_id != 0 && !applied_seqs_[txn.client_id].Insert(txn.seq)) {
+      // A client retry that raced an earlier successful submission:
+      // the transaction is already in the log, so applying it again
+      // would violate exactly-once semantics.
+      ++duplicates_skipped_;
+      continue;
+    }
     ++applied_commands_;
     for (const Operation& op : txn.ops) {
       if (op.kind == Operation::Kind::kPut) {
@@ -42,6 +49,27 @@ void KvStateMachine::Apply(SlotId slot, const std::string& payload) {
       }
     }
   }
+}
+
+bool KvStateMachine::ClientWindow::Insert(uint64_t seq) {
+  if (Contains(seq)) return false;
+  sparse.insert(seq);
+  auto it = sparse.begin();
+  while (it != sparse.end() && *it == prefix + 1) {
+    ++prefix;
+    it = sparse.erase(it);
+  }
+  return true;
+}
+
+bool KvStateMachine::ClientWindow::Contains(uint64_t seq) const {
+  return (seq != 0 && seq <= prefix) || sparse.count(seq) > 0;
+}
+
+bool KvStateMachine::WasApplied(uint64_t client_id, uint64_t seq) const {
+  if (client_id == 0) return false;
+  auto it = applied_seqs_.find(client_id);
+  return it != applied_seqs_.end() && it->second.Contains(seq);
 }
 
 std::optional<std::string> KvStateMachine::Get(const std::string& key) const {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 
@@ -30,6 +31,12 @@ class KvStateMachine final : public StateMachine {
   size_t size() const { return data_.size(); }
   uint64_t applied_commands() const { return applied_commands_; }
   uint64_t applied_writes() const { return applied_writes_; }
+  uint64_t duplicates_skipped() const { return duplicates_skipped_; }
+
+  /// True iff a transaction tagged (client_id, seq) has already been
+  /// applied. client_id 0 marks untagged transactions and always
+  /// returns false.
+  bool WasApplied(uint64_t client_id, uint64_t seq) const;
 
   /// Order-independent checksum of the full key-value content; equal
   /// checksums on two replicas mean convergent state.
@@ -44,9 +51,24 @@ class KvStateMachine final : public StateMachine {
   Status Restore(const std::string& snapshot);
 
  private:
+  // Compact per-client dedup window: every seq <= prefix has been
+  // applied, plus a sparse set of out-of-order seqs above it. The set
+  // drains back into the prefix as gaps fill, so a well-behaved client
+  // costs O(1) amortized space.
+  struct ClientWindow {
+    uint64_t prefix = 0;
+    std::set<uint64_t> sparse;
+
+    // Records seq as applied; returns false if it was already present.
+    bool Insert(uint64_t seq);
+    bool Contains(uint64_t seq) const;
+  };
+
   std::unordered_map<std::string, std::string> data_;
+  std::unordered_map<uint64_t, ClientWindow> applied_seqs_;
   uint64_t applied_commands_ = 0;
   uint64_t applied_writes_ = 0;
+  uint64_t duplicates_skipped_ = 0;
 };
 
 }  // namespace dpaxos

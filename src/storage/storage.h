@@ -72,8 +72,48 @@ class NodeStorage {
     return total;
   }
 
+  // --- crash-fault modelling -------------------------------------------
+  //
+  // With crash faults enabled, mutations to a record are volatile until
+  // MarkSynced(partition) captures them as the durable image (the
+  // replica invokes it when a storage sync completes, i.e. when the
+  // delayed promise/accept reply is sent). DropUnsynced() then models a
+  // power-loss restart: every record rolls back to its last synced
+  // image, losing the un-fsynced write suffix. Disabled (the default),
+  // MarkSynced is a no-op and restarts keep every write.
+
+  void set_crash_faults(bool enabled) {
+    crash_faults_ = enabled;
+    // Writes performed before the mode flips on were synced under the
+    // old always-durable regime; baseline them so a later lossy restart
+    // only loses the suffix written after this point.
+    if (enabled) {
+      for (const auto& [partition, rec] : records_) synced_[partition] = *rec;
+    }
+  }
+  bool crash_faults() const { return crash_faults_; }
+
+  void MarkSynced(PartitionId partition) {
+    if (!crash_faults_) return;
+    synced_[partition] = *RecordFor(partition);
+  }
+
+  void DropUnsynced() {
+    if (!crash_faults_) return;
+    for (auto& [partition, rec] : records_) {
+      auto it = synced_.find(partition);
+      if (it != synced_.end()) {
+        *rec = it->second;
+      } else {
+        *rec = AcceptorRecord{};  // never synced: nothing survives
+      }
+    }
+  }
+
  private:
   std::map<PartitionId, std::unique_ptr<AcceptorRecord>> records_;
+  bool crash_faults_ = false;
+  std::map<PartitionId, AcceptorRecord> synced_;
 };
 
 }  // namespace dpaxos

@@ -12,6 +12,8 @@ std::string EncodeBatch(const std::vector<Transaction>& batch) {
   w.PutU32(static_cast<uint32_t>(batch.size()));
   for (const Transaction& txn : batch) {
     w.PutU64(txn.id);
+    w.PutU64(txn.client_id);
+    w.PutU64(txn.seq);
     w.PutU32(static_cast<uint32_t>(txn.ops.size()));
     for (const Operation& op : txn.ops) {
       w.PutU8(static_cast<uint8_t>(op.kind));
@@ -28,13 +30,14 @@ Result<std::vector<Transaction>> DecodeBatch(const std::string& payload) {
   if (!r.ReadU32(&count)) return Status::Corruption("truncated batch header");
   std::vector<Transaction> batch;
   // Never trust an unvalidated count for allocation: each transaction
-  // needs at least 12 encoded bytes, so cap the reservation accordingly
+  // needs at least 28 encoded bytes, so cap the reservation accordingly
   // (a hostile count still fails cleanly during parsing).
-  batch.reserve(std::min<size_t>(count, payload.size() / 12 + 1));
+  batch.reserve(std::min<size_t>(count, payload.size() / 28 + 1));
   for (uint32_t i = 0; i < count; ++i) {
     Transaction txn;
     uint32_t ops = 0;
-    if (!r.ReadU64(&txn.id) || !r.ReadU32(&ops)) {
+    if (!r.ReadU64(&txn.id) || !r.ReadU64(&txn.client_id) ||
+        !r.ReadU64(&txn.seq) || !r.ReadU32(&ops)) {
       return Status::Corruption("truncated transaction header");
     }
     // Same rule for the op count: an op occupies at least 9 bytes.
@@ -56,7 +59,7 @@ Result<std::vector<Transaction>> DecodeBatch(const std::string& payload) {
 }
 
 uint64_t EncodedSize(const Transaction& txn) {
-  uint64_t size = 8 + 4;  // id + op count
+  uint64_t size = 8 + 8 + 8 + 4;  // id + client id + seq + op count
   for (const Operation& op : txn.ops) {
     size += 1 + 4 + op.key.size() + 4 + op.value.size();
   }

@@ -35,8 +35,16 @@ struct Operation {
 };
 
 /// \brief A transaction: a client-assigned id plus its operations.
+///
+/// `client_id`/`seq` form an optional end-to-end request id: a client
+/// that retries a timed-out submission re-sends the same (client_id,
+/// seq) pair so the state machine can drop duplicate applies. A zero
+/// client_id marks an untagged (legacy) transaction that is never
+/// deduplicated.
 struct Transaction {
   uint64_t id = 0;
+  uint64_t client_id = 0;  // 0 = untagged, exempt from dedup
+  uint64_t seq = 0;        // per-client monotonically increasing
   std::vector<Operation> ops;
 
   bool read_only() const {
@@ -47,14 +55,15 @@ struct Transaction {
   }
 
   bool operator==(const Transaction& o) const {
-    return id == o.id && ops == o.ops;
+    return id == o.id && client_id == o.client_id && seq == o.seq &&
+           ops == o.ops;
   }
 };
 
 /// Serialize a batch of transactions into a consensus value payload.
 /// Format (little-endian): u32 txn count, then per transaction u64 id,
-/// u32 op count, then per op u8 kind, u32 key len, key bytes,
-/// u32 value len, value bytes.
+/// u64 client id, u64 seq, u32 op count, then per op u8 kind,
+/// u32 key len, key bytes, u32 value len, value bytes.
 std::string EncodeBatch(const std::vector<Transaction>& batch);
 
 /// Parse a payload produced by EncodeBatch. Returns Corruption on any

@@ -1,20 +1,24 @@
 // Failure-injection tests: node crashes, zone outages, partitions, and
-// recovery through elections and multi-intent failover.
+// recovery through elections and multi-intent failover. All fault
+// injection goes through the Nemesis engine's targeted primitives
+// (src/harness/nemesis.h); the tests only pick the victims.
 #include <gtest/gtest.h>
 
 #include "harness/cluster.h"
+#include "harness/nemesis.h"
 
 namespace dpaxos {
 namespace {
 
 TEST(FailureTest, LeaderCrashTriggersRecoveryElection) {
   Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kDelegate);
+  Nemesis nemesis(&cluster, /*seed=*/1);
   const NodeId leader = cluster.NodeInZone(0);
   ASSERT_TRUE(cluster.ElectLeader(leader).ok());
   for (uint64_t i = 1; i <= 3; ++i) {
     ASSERT_TRUE(cluster.Commit(leader, Value::Of(i, "v")).ok());
   }
-  cluster.transport().Crash(leader);
+  nemesis.Crash(leader);
 
   // Another node takes over and preserves the decided prefix.
   Replica* successor = cluster.ReplicaInZone(1);
@@ -33,6 +37,7 @@ TEST(FailureTest, QuorumMemberCrashStallsSingleIntentLeader) {
   options.replica.max_propose_retries = 2;
   Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
                   options);
+  Nemesis nemesis(&cluster, /*seed=*/1);
   const NodeId leader = cluster.NodeInZone(0);
   ASSERT_TRUE(cluster.ElectLeader(leader).ok());
   ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "a")).ok());
@@ -41,7 +46,7 @@ TEST(FailureTest, QuorumMemberCrashStallsSingleIntentLeader) {
   const std::vector<NodeId>& quorum =
       cluster.replica(leader)->declared_intents()[0].quorum;
   for (NodeId n : quorum) {
-    if (n != leader) cluster.transport().Crash(n);
+    if (n != leader) nemesis.Crash(n);
   }
   // With a single declared intent the leader cannot change quorums
   // without a Leader Election: the commit fails and it steps down.
@@ -65,6 +70,7 @@ TEST(FailureTest, MultiIntentLeaderFailsOverWithoutElection) {
   options.replica.max_propose_retries = 2;
   Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
                   options);
+  Nemesis nemesis(&cluster, /*seed=*/1);
   const NodeId leader = cluster.NodeInZone(0);
   ASSERT_TRUE(cluster.ElectLeader(leader).ok());
   ASSERT_EQ(cluster.replica(leader)->declared_intents().size(), 2u);
@@ -75,7 +81,7 @@ TEST(FailureTest, MultiIntentLeaderFailsOverWithoutElection) {
   for (NodeId n : cluster.replica(leader)->declared_intents()[0].quorum) {
     if (n != leader) companion = n;
   }
-  cluster.transport().Crash(companion);
+  nemesis.Crash(companion);
   const uint64_t elections = cluster.replica(leader)->elections_won();
   Result<Duration> r = cluster.Commit(leader, Value::Of(2, "b"));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -88,8 +94,9 @@ TEST(FailureTest, ToleratesFdNodeFailuresPerZone) {
   for (ProtocolMode mode :
        {ProtocolMode::kFlexiblePaxos, ProtocolMode::kDelegate}) {
     Cluster cluster(Topology::AwsSevenZones(), mode);
+    Nemesis nemesis(&cluster, /*seed=*/1);
     for (ZoneId z = 0; z < 7; ++z) {
-      cluster.transport().Crash(cluster.NodeInZone(z, 2));
+      nemesis.Crash(cluster.NodeInZone(z, 2));
     }
     const NodeId leader = cluster.NodeInZone(0);
     ASSERT_TRUE(cluster.ElectLeader(leader).ok())
@@ -105,11 +112,10 @@ TEST(FailureTest, ZoneFailureWithFz1) {
   options.ft = FaultTolerance{1, 1};
   Cluster cluster(Topology::Uniform(5, 3, 80.0), ProtocolMode::kDelegate,
                   options);
+  Nemesis nemesis(&cluster, /*seed=*/1);
   // The leader's replication quorum spans its own zone 0 and the nearest
   // other zone (1); a zone outside the quorum dies completely.
-  for (NodeId n : cluster.topology().NodesInZone(2)) {
-    cluster.transport().Crash(n);
-  }
+  nemesis.CrashZone(2);
   const NodeId leader = cluster.NodeInZone(0);
   ASSERT_TRUE(cluster.ElectLeader(leader).ok());
   Result<Duration> r = cluster.Commit(leader, Value::Of(1, "a"));
@@ -144,11 +150,10 @@ TEST(FailureTest, PartitionedLeaderZoneBlocksElectionsUntilHealed) {
   options.replica.le_timeout = 400 * kMillisecond;
   Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
                   options);
+  Nemesis nemesis(&cluster, /*seed=*/1);
   Replica* aspirant = cluster.ReplicaInZone(4);
   // Partition the aspirant from the whole Leader Zone.
-  for (NodeId n : cluster.topology().NodesInZone(0)) {
-    cluster.transport().Partition(aspirant->id(), n);
-  }
+  nemesis.IsolateNodeFromZone(aspirant->id(), 0);
   Status result;
   bool done = false;
   aspirant->TryBecomeLeader([&](const Status& st) {
@@ -158,21 +163,23 @@ TEST(FailureTest, PartitionedLeaderZoneBlocksElectionsUntilHealed) {
   ASSERT_TRUE(cluster.RunUntil([&] { return done; }, 60 * kSecond));
   EXPECT_FALSE(result.ok());
 
-  cluster.transport().HealAll();
+  nemesis.HealPartitions();
   ASSERT_TRUE(cluster.ElectLeader(aspirant->id()).ok());
 }
 
 TEST(FailureTest, CrashRecoverRejoinsAsAcceptor) {
   Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  Nemesis nemesis(&cluster, /*seed=*/1);
   const NodeId leader = cluster.NodeInZone(0);
   ASSERT_TRUE(cluster.ElectLeader(leader).ok());
   ASSERT_TRUE(cluster.Commit(leader, Value::Of(1, "a")).ok());
 
   const NodeId peer = cluster.NodeInZone(0, 1);
-  cluster.transport().Crash(peer);
+  nemesis.Crash(peer);
   // With fd=1 the leader's quorum {leader, peer}... peer IS the quorum
-  // companion, so commits stall; recover it and commits resume.
-  cluster.transport().Recover(peer);
+  // companion, so commits stall; recover it (network-level, the process
+  // survives) and commits resume.
+  nemesis.Recover(peer);
   ASSERT_TRUE(cluster.Commit(leader, Value::Of(2, "b")).ok());
   ASSERT_TRUE(cluster.Commit(leader, Value::Of(3, "c")).ok());
 }

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "harness/cluster.h"
+#include "harness/nemesis.h"
 
 namespace dpaxos {
 namespace {
@@ -162,28 +163,43 @@ TEST(RestartTest, LeasePromiseSurvivesRestart) {
 }
 
 TEST(RestartTest, SafetyUnderRandomRestarts) {
+  // Crash/restart churn through the nemesis, with crash-fault storage:
+  // every restart in the second half of the waves additionally rolls the
+  // acceptor records back to their last completed sync. Because an
+  // acceptor marks its record synced before any promise/accept reply is
+  // sent, the lost suffix was never visible to a quorum and agreement
+  // must still hold.
   for (uint64_t seed : {11u, 22u, 33u}) {
     ClusterOptions options;
     options.seed = seed;
     options.replica.le_timeout = 800 * kMillisecond;
     options.replica.propose_timeout = 400 * kMillisecond;
+    options.replica.storage_sync_delay = 100 * kMicrosecond;
     Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
                     options);
+    for (NodeId n : cluster.topology().AllNodes()) {
+      cluster.host(n)->storage().set_crash_faults(true);
+    }
+    Nemesis nemesis(&cluster, seed);
     Rng rng(seed * 31 + 1);
 
     std::set<uint64_t> submitted;
     uint64_t id = 0;
     for (int wave = 0; wave < 10; ++wave) {
-      const NodeId victim = static_cast<NodeId>(
-          rng.NextBounded(cluster.topology().num_nodes()));
-      cluster.RestartNode(victim);
+      nemesis.CrashRandomNode();
       const NodeId proposer = static_cast<NodeId>(
           rng.NextBounded(cluster.topology().num_nodes()));
-      submitted.insert(++id);
-      cluster.replica(proposer)->Submit(
-          Value::Synthetic(id, 128), [](const Status&, SlotId, Duration) {});
+      if (nemesis.crashed().count(proposer) == 0) {
+        submitted.insert(++id);
+        cluster.replica(proposer)->Submit(
+            Value::Synthetic(id, 128),
+            [](const Status&, SlotId, Duration) {});
+      }
+      cluster.sim().RunFor(rng.NextBounded(2 * kSecond));
+      nemesis.RestartRandomCrashedNode(/*lose_unsynced=*/wave >= 5);
       cluster.sim().RunFor(rng.NextBounded(2 * kSecond));
     }
+    nemesis.Quiesce();
     cluster.sim().RunFor(30 * kSecond);
 
     // Agreement across every replica's (possibly partial) decided log.
@@ -199,6 +215,37 @@ TEST(RestartTest, SafetyUnderRandomRestarts) {
       }
     }
   }
+}
+
+TEST(RestartTest, LossyRestartDropsUnsyncedWrites) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  cluster.host(1)->storage().set_crash_faults(true);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, Value::Synthetic(1, 64)).ok());
+
+  // Node 1 replied to the promise and the accept, so both mutations were
+  // synced. Now scribble an unsynced suffix straight into the record,
+  // as if the process died mid-write before the fsync completed.
+  const Ballot promised = cluster.replica(1)->acceptor().promised();
+  const size_t accepted = cluster.replica(1)->acceptor().accepted_count();
+  AcceptorRecord* rec = cluster.host(1)->storage().RecordFor(0);
+  rec->promised = Ballot{promised.round + 100, 9};
+  rec->accepted.clear();
+
+  cluster.RestartNode(1, /*lose_unsynced=*/true);
+  // The un-fsynced suffix is gone; everything the node ever replied to
+  // is intact (that is exactly what Paxos safety needs).
+  EXPECT_EQ(cluster.replica(1)->acceptor().promised(), promised);
+  EXPECT_EQ(cluster.replica(1)->acceptor().accepted_count(), accepted);
+
+  // A clean restart, by contrast, keeps even unsynced writes.
+  cluster.host(2)->storage().set_crash_faults(true);
+  AcceptorRecord* rec2 = cluster.host(2)->storage().RecordFor(0);
+  const Ballot scribble{promised.round + 7, 3};
+  rec2->promised = scribble;
+  cluster.RestartNode(2, /*lose_unsynced=*/false);
+  EXPECT_EQ(cluster.replica(2)->acceptor().promised(), scribble);
 }
 
 TEST(RestartTest, SyncWriteAccountingGrows) {

@@ -2,13 +2,15 @@
 // at once — submissions from everywhere, handoffs, Leader Zone
 // migrations, crashes, restarts, message loss/duplication, a running
 // garbage collector — then assert the core invariants still hold and
-// the system still serves.
+// the system still serves. All fault choreography goes through the
+// Nemesis engine (src/harness/nemesis.h), the test only drives load.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <set>
 
 #include "harness/cluster.h"
+#include "harness/nemesis.h"
 #include "net/topology.h"
 
 namespace dpaxos {
@@ -34,65 +36,32 @@ TEST_P(SoakTest, EverythingAtOnce) {
   GarbageCollector* gc = cluster.AddGarbageCollector(2, 0,
                                                      200 * kMillisecond);
   gc->Start();
+  Nemesis nemesis(&cluster, seed);
 
   std::set<uint64_t> submitted;
   uint64_t next_id = 0;
-  std::set<NodeId> crashed;
   uint64_t commits_acked = 0;
 
   for (int wave = 0; wave < 40; ++wave) {
     switch (rng.NextBounded(6)) {
-      case 0: {  // crash (respecting fd=1 per zone)
-        const NodeId victim = static_cast<NodeId>(rng.NextBounded(21));
-        bool zone_has_crash = false;
-        for (NodeId c : crashed) {
-          if (cluster.topology().ZoneOf(c) ==
-              cluster.topology().ZoneOf(victim)) {
-            zone_has_crash = true;
-          }
-        }
-        if (!zone_has_crash) {
-          cluster.transport().Crash(victim);
-          crashed.insert(victim);
-        }
+      case 0:  // crash (the nemesis respects fd=1 per zone)
+        nemesis.CrashRandomNode();
         break;
-      }
-      case 1: {  // recover + restart (durable state, fresh process)
-        if (!crashed.empty()) {
-          const NodeId back = *crashed.begin();
-          crashed.erase(crashed.begin());
-          cluster.RestartNode(back);
-          cluster.transport().Recover(back);
-        }
+      case 1:  // recover + restart (durable state, fresh process)
+        nemesis.RestartRandomCrashedNode(/*lose_unsynced=*/false);
         break;
-      }
-      case 2: {  // leader zone migration attempt
-        const ZoneId target = static_cast<ZoneId>(rng.NextBounded(7));
-        const NodeId driver = cluster.NodeInZone(target, 0);
-        if (crashed.count(driver) == 0) {
-          cluster.replica(driver)->MigrateLeaderZone(target,
-                                                     [](const Status&) {});
-        }
+      case 2:  // leader zone migration attempt
+        nemesis.MigrateLeaderZoneRandom();
         break;
-      }
-      case 3: {  // handoff attempt from whoever currently leads
-        for (NodeId n : cluster.topology().AllNodes()) {
-          if (cluster.replica(n)->is_leader()) {
-            const NodeId to = static_cast<NodeId>(rng.NextBounded(21));
-            if (to != n && crashed.count(to) == 0) {
-              (void)cluster.replica(n)->HandoffTo(to);
-            }
-            break;
-          }
-        }
+      case 3:  // handoff attempt from whoever currently leads
+        nemesis.HandoffRandom();
         break;
-      }
       default: {  // submissions from random healthy nodes
         for (int i = 0; i < 3; ++i) {
           NodeId node;
           do {
             node = static_cast<NodeId>(rng.NextBounded(21));
-          } while (crashed.count(node) > 0);
+          } while (nemesis.crashed().count(node) > 0);
           const uint64_t id = ++next_id;
           submitted.insert(id);
           cluster.replica(node)->Submit(
@@ -108,10 +77,7 @@ TEST_P(SoakTest, EverythingAtOnce) {
   }
 
   // Quiesce: heal everything and let the dust settle.
-  for (NodeId c : crashed) {
-    cluster.RestartNode(c);
-    cluster.transport().Recover(c);
-  }
+  nemesis.Quiesce();
   cluster.sim().RunFor(60 * kSecond);
   gc->Stop();
 

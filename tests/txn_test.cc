@@ -11,6 +11,8 @@ namespace {
 Transaction SampleTxn(uint64_t id) {
   Transaction txn;
   txn.id = id;
+  txn.client_id = 1000 + id;
+  txn.seq = id * 3 + 1;
   txn.ops = {Operation::Get("key0000000001"),
              Operation::Put("key0000000002", "forty-two"),
              Operation::Get("key0000000003")};
@@ -77,8 +79,9 @@ TEST(TransactionTest, DecodeRejectsTrailingBytes) {
 
 TEST(TransactionTest, DecodeRejectsBadOpKind) {
   std::string payload = EncodeBatch({SampleTxn(1)});
-  // The op kind byte of the first op sits right after the two headers.
-  payload[4 + 8 + 4] = 7;
+  // The op kind byte of the first op sits right after the batch header
+  // (count) and the txn header (id, client_id, seq, opcount).
+  payload[4 + 8 + 8 + 8 + 4] = 7;
   EXPECT_FALSE(DecodeBatch(payload).ok());
 }
 

@@ -1,0 +1,150 @@
+// Randomized corruption fuzzing of the protocol wire codec: flip bytes,
+// truncate, splice and extend serialized messages and assert the decoder
+// never crashes, reads out of bounds, or over-allocates — every outcome
+// is either a clean Corruption error or a structurally valid message
+// that re-serializes without aborting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "paxos/messages.h"
+#include "paxos/wire.h"
+
+namespace dpaxos {
+namespace {
+
+Intent SampleIntent(uint64_t round, NodeId leader) {
+  return Intent{Ballot{round, leader}, leader, {leader, leader + 1}};
+}
+
+// One serialized specimen per interesting message shape: nested vectors,
+// large payloads, optional sections, empty collections.
+std::vector<std::string> Corpus() {
+  std::vector<std::string> corpus;
+  LeaderZoneView view;
+  view.epoch = 3;
+  view.current = 2;
+  view.next = 5;
+
+  PrepareMsg prepare(7, Ballot{42, 3}, 17,
+                     {SampleIntent(42, 3), SampleIntent(41, 9)}, true, view);
+  corpus.push_back(SerializeMessage(prepare));
+
+  PromiseMsg promise(1, Ballot{9, 2}, false);
+  promise.accepted.push_back(
+      AcceptedEntry{5, Ballot{8, 1}, Value::Of(77, "payload\x00bytes")});
+  promise.intents.push_back(SampleIntent(7, 4));
+  promise.lz_view = view;
+  corpus.push_back(SerializeMessage(promise));
+
+  ProposeMsg propose(2, Ballot{5, 0}, 9, Value::Synthetic(123, 4096));
+  propose.lease_request = true;
+  propose.lease_until = 999'999;
+  corpus.push_back(SerializeMessage(propose));
+
+  AcceptMsg accept(2, Ballot{5, 0}, 9);
+  accept.lease_vote = true;
+  corpus.push_back(SerializeMessage(accept));
+
+  DecideMsg decide(0, 3, Value::Of(1, std::string(200, 'x')));
+  corpus.push_back(SerializeMessage(decide));
+
+  ForwardMsg forward(0, 77, Value::Of(9, "fwd"));
+  corpus.push_back(SerializeMessage(forward));
+
+  LearnReplyMsg learn(0);
+  learn.from_slot = 10;
+  learn.peer_watermark = 40;
+  for (SlotId s = 10; s < 20; ++s) {
+    learn.entries.push_back(DecidedEntryWire{s, Value::Of(s, "entry")});
+  }
+  corpus.push_back(SerializeMessage(learn));
+
+  HeartbeatMsg heartbeat(0, Ballot{4, 4});
+  corpus.push_back(SerializeMessage(heartbeat));
+
+  return corpus;
+}
+
+// Whatever decodes must also re-serialize (SerializeMessage aborts on
+// structurally invalid messages, so this asserts structural soundness).
+void DecodeMustNotCrash(const std::string& bytes) {
+  Result<MessagePtr> decoded = DeserializeMessage(bytes);
+  if (decoded.ok()) {
+    const std::string reencoded = SerializeMessage(*decoded.value());
+    EXPECT_FALSE(reencoded.empty());
+  } else {
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WireFuzzTest, EveryTruncationRejectsCleanly) {
+  for (const std::string& bytes : Corpus()) {
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      DecodeMustNotCrash(bytes.substr(0, cut));
+    }
+  }
+}
+
+TEST(WireFuzzTest, RandomByteFlips) {
+  Rng rng(0xF1E2);
+  const std::vector<std::string> corpus = Corpus();
+  for (int round = 0; round < 4000; ++round) {
+    std::string bytes = corpus[rng.NextBounded(corpus.size())];
+    const uint32_t flips = 1 + rng.NextBounded(8);
+    for (uint32_t f = 0; f < flips; ++f) {
+      bytes[rng.NextBounded(bytes.size())] =
+          static_cast<char>(rng.Next() & 0xff);
+    }
+    DecodeMustNotCrash(bytes);
+  }
+}
+
+TEST(WireFuzzTest, RandomSpliceAndExtend) {
+  Rng rng(0xBEEF);
+  const std::vector<std::string> corpus = Corpus();
+  for (int round = 0; round < 2000; ++round) {
+    const std::string& a = corpus[rng.NextBounded(corpus.size())];
+    const std::string& b = corpus[rng.NextBounded(corpus.size())];
+    // Graft a prefix of one message onto a suffix of another, then
+    // maybe append garbage.
+    std::string bytes = a.substr(0, rng.NextBounded(a.size() + 1)) +
+                        b.substr(rng.NextBounded(b.size() + 1));
+    if (rng.NextBool(0.3)) {
+      std::string tail(rng.NextBounded(32), '\0');
+      for (char& c : tail) c = static_cast<char>(rng.Next() & 0xff);
+      bytes += tail;
+    }
+    DecodeMustNotCrash(bytes);
+  }
+}
+
+TEST(WireFuzzTest, PureGarbageNeverDecodesDangerously) {
+  Rng rng(0xD00D);
+  for (int round = 0; round < 4000; ++round) {
+    std::string garbage(rng.NextBounded(256), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.Next() & 0xff);
+    DecodeMustNotCrash(garbage);
+  }
+}
+
+// Hostile length prefixes must not drive allocations: a tiny message
+// claiming a 4-billion-element vector has to fail on remaining-bytes
+// checks, not by reserving gigabytes.
+TEST(WireFuzzTest, HostileLengthPrefixes) {
+  for (const std::string& bytes : Corpus()) {
+    for (size_t pos = 0; pos + 4 <= bytes.size(); ++pos) {
+      std::string hostile = bytes;
+      hostile[pos] = '\xff';
+      hostile[pos + 1] = '\xff';
+      hostile[pos + 2] = '\xff';
+      hostile[pos + 3] = '\xff';
+      DecodeMustNotCrash(hostile);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpaxos

@@ -9,6 +9,7 @@
 //
 // Prints a latency/throughput summary plus transport statistics. All
 // runs are deterministic for a given --seed.
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -16,8 +17,10 @@
 #include <sstream>
 #include <string>
 
+#include "harness/chaos.h"
 #include "harness/cluster.h"
 #include "harness/load_driver.h"
+#include "harness/nemesis.h"
 #include "harness/table.h"
 
 using namespace dpaxos;
@@ -41,11 +44,16 @@ struct CliOptions {
   bool leases = false;
   uint64_t seed = 42;
   std::string topology_csv;  // path to an RTT matrix, overrides --aws
+
+  // --experiment=chaos only.
+  std::string schedule = "mixed";
+  uint32_t clients = 4;
+  uint32_t keys = 16;
 };
 
 void Usage() {
   std::cout <<
-      "usage: dpaxos_cli [--experiment=load|election]\n"
+      "usage: dpaxos_cli [--experiment=load|election|chaos]\n"
       "  --mode=leaderzone|delegate|fpaxos|multipaxos|leaderless\n"
       "  --aws=true|false       paper topology (default) or uniform\n"
       "  --topology=FILE.csv    load a zone RTT matrix (overrides --aws)\n"
@@ -57,7 +65,11 @@ void Usage() {
       "  --window=N             multi-programming level (default 1)\n"
       "  --reads=F              read-only fraction 0..1 (implies --leases)\n"
       "  --leases               enable master leases\n"
-      "  --seed=N               RNG seed (default 42)\n";
+      "  --seed=N               RNG seed (default 42)\n"
+      "chaos experiment (nemesis + retrying clients + checker):\n"
+      "  --schedule=NAME        mixed|storm|partitions|lossy|moves|none\n"
+      "  --clients=N            client sessions (default 4)\n"
+      "  --keys=N               key-pool size (default 16)\n";
 }
 
 bool ParseArgImpl(const std::string& arg, CliOptions* o) {
@@ -109,6 +121,12 @@ bool ParseArgImpl(const std::string& arg, CliOptions* o) {
     o->leases = true;
   } else if (value_of("--seed", &v)) {
     o->seed = std::stoull(v);
+  } else if (value_of("--schedule", &v)) {
+    o->schedule = v;
+  } else if (value_of("--clients", &v)) {
+    o->clients = static_cast<uint32_t>(std::stoul(v));
+  } else if (value_of("--keys", &v)) {
+    o->keys = static_cast<uint32_t>(std::stoul(v));
   } else if (arg == "--help" || arg == "-h") {
     Usage();
     std::exit(0);
@@ -208,6 +226,49 @@ int RunElection(Cluster& cluster, const CliOptions& o) {
   return 0;
 }
 
+int RunChaosCli(const CliOptions& o, ProtocolMode mode) {
+  if (o.schedule != "none") {
+    const auto names = Nemesis::ScheduleNames();
+    if (std::find(names.begin(), names.end(), o.schedule) == names.end()) {
+      std::cerr << "unknown --schedule " << o.schedule << "\n";
+      return 2;
+    }
+  }
+  ChaosOptions chaos;
+  chaos.mode = mode;
+  chaos.schedule = o.schedule;
+  chaos.seed = o.seed;
+  chaos.zones = o.aws ? 5 : o.zones;  // chaos always runs uniform
+  chaos.nodes_per_zone = o.nodes;
+  chaos.inter_zone_rtt_ms = o.aws ? 50.0 : o.rtt_ms;
+  chaos.num_clients = o.clients;
+  chaos.num_keys = o.keys;
+  if (o.reads > 0) chaos.read_fraction = o.reads;
+  chaos.duration = o.duration;
+
+  std::cout << "== dpaxos_cli: chaos / " << ProtocolModeName(mode)
+            << ", schedule=" << chaos.schedule << ", " << chaos.zones
+            << " zones x " << chaos.nodes_per_zone << " nodes, seed="
+            << chaos.seed << "\n\n";
+  const ChaosReport report = RunChaos(chaos);
+  if (!report.nemesis_log.empty()) {
+    std::cout << "nemesis actions:\n";
+    for (const std::string& line : report.nemesis_log) {
+      std::cout << "  " << line << "\n";
+    }
+    std::cout << "\n";
+  }
+  if (!report.converged) {
+    std::cout << "node states:\n";
+    for (const std::string& line : report.node_states) {
+      std::cout << "  " << line << "\n";
+    }
+    std::cout << "\n";
+  }
+  std::cout << report.Summary() << "\n";
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,6 +285,11 @@ int main(int argc, char** argv) {
   if (!mode.ok()) {
     std::cerr << mode.status().ToString() << "\n";
     return 2;
+  }
+
+  // Chaos builds its own cluster (with state machines and appliers).
+  if (options.experiment == "chaos") {
+    return RunChaosCli(options, mode.value());
   }
 
   ClusterOptions cluster_options;
