@@ -1,0 +1,93 @@
+// bench_simperf: wall-clock throughput of the simulation kernel.
+//
+// Runs the fixed simperf workload (src/harness/simperf.*) — the paper's
+// seven-zone deployment closed-loop at window=32 under leaderzone,
+// delegate and multipaxos, plus one chaos cell — and reports how many
+// simulator events and transport messages the host retires per second of
+// *wall* time. Writes BENCH_simperf.json with both the recorded pre-PR
+// baseline and the current build, so every future hot-path change is
+// gated against this number (see docs/perf.md).
+//
+// Flags:
+//   --smoke         short phases for per-build smoke runs (ctest -L perf)
+//   --out=PATH      JSON output path (default BENCH_simperf.json)
+//   --seed=N        workload seed (default 42)
+//   --baseline=X    override the recorded baseline events/sec
+//   --repeat=N      run the workload N times, report the fastest run
+//                   (stretches short runs for sampling profilers)
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "bench_common.h"
+#include "harness/simperf.h"
+
+using namespace dpaxos;
+
+int main(int argc, char** argv) {
+  SimperfOptions options;
+  std::string out_path = "BENCH_simperf.json";
+  uint64_t repeat = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      options.baseline_events_per_sec = std::stod(arg.substr(11));
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::max<uint64_t>(1, std::stoull(arg.substr(9)));
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  bench::PrintHeader(
+      "simperf: wall-clock kernel throughput",
+      std::string("7-zone AWS topology, window=32, 3 modes + chaos cell") +
+          (options.smoke ? " (smoke)" : ""));
+
+  SimperfReport report = RunSimperf(options);
+  for (uint64_t run = 1; run < repeat; ++run) {
+    SimperfReport next = RunSimperf(options);
+    if (next.EventsPerSec() > report.EventsPerSec()) report = std::move(next);
+  }
+
+  TablePrinter table({"phase", "wall (ms)", "events", "messages",
+                      "events/sec"});
+  for (const SimperfPhase& p : report.phases) {
+    table.AddRow({p.name, Fmt(p.wall_ms, 1), std::to_string(p.events),
+                  std::to_string(p.messages),
+                  Fmt(p.wall_ms > 0 ? p.events / (p.wall_ms / 1000.0) : 0,
+                      0)});
+  }
+  table.AddRow({"TOTAL", Fmt(report.wall_ms, 1),
+                std::to_string(report.events),
+                std::to_string(report.messages),
+                Fmt(report.EventsPerSec(), 0)});
+  table.Print(std::cout);
+
+  std::cout << "\npeak rss: " << report.peak_rss_kb << " KB\n"
+            << report.counters.ToString() << "\n"
+            << "\nbaseline " << Fmt(options.baseline_events_per_sec, 0)
+            << " events/sec -> current " << Fmt(report.EventsPerSec(), 0)
+            << " events/sec ("
+            << Fmt(report.EventsPerSec() /
+                       (options.baseline_events_per_sec > 0
+                            ? options.baseline_events_per_sec
+                            : 1),
+                   2)
+            << "x)\n";
+
+  const std::string json =
+      report.ToJson(options.baseline_events_per_sec);
+  if (!WriteSimperfJson(out_path, json)) return 1;
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

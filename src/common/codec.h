@@ -1,11 +1,18 @@
 // Little-endian byte codec primitives shared by the transaction codec
 // and the protocol wire format.
+//
+// Encoders are written once against a generic writer concept (PutU8 /
+// PutU32 / PutU64 / PutDouble / PutBool / PutString) and instantiated
+// twice: with CountingWriter to compute the exact encoded size, then
+// with ByteWriter to emit into a buffer reserved to exactly that size —
+// one allocation per message instead of amortized doubling.
 #ifndef DPAXOS_COMMON_CODEC_H_
 #define DPAXOS_COMMON_CODEC_H_
 
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 
 namespace dpaxos {
 
@@ -13,6 +20,10 @@ namespace dpaxos {
 class ByteWriter {
  public:
   explicit ByteWriter(std::string* out) : out_(out) {}
+
+  /// Pre-size the buffer for `additional` more bytes (e.g. the exact
+  /// total a CountingWriter pass computed).
+  void Reserve(size_t additional) { out_->reserve(out_->size() + additional); }
 
   void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
 
@@ -36,7 +47,7 @@ class ByteWriter {
 
   void PutBool(bool v) { PutU8(v ? 1 : 0); }
 
-  void PutString(const std::string& s) {
+  void PutString(std::string_view s) {
     PutU32(static_cast<uint32_t>(s.size()));
     out_->append(s);
   }
@@ -45,11 +56,33 @@ class ByteWriter {
   std::string* out_;
 };
 
-/// \brief Bounds-checked reader over a byte string. All Read* methods
+/// \brief Writer that emits nothing and just totals the encoded size.
+///
+/// Drop-in for ByteWriter in any templated encoder; a counting pass over
+/// a message costs a few adds and yields the exact reserve() size.
+class CountingWriter {
+ public:
+  void PutU8(uint8_t) { size_ += 1; }
+  void PutU32(uint32_t) { size_ += 4; }
+  void PutU64(uint64_t) { size_ += 8; }
+  void PutDouble(double) { size_ += 8; }
+  void PutBool(bool) { size_ += 1; }
+  void PutString(std::string_view s) { size_ += 4 + s.size(); }
+
+  size_t size() const { return size_; }
+
+ private:
+  size_t size_ = 0;
+};
+
+/// \brief Bounds-checked reader over a byte view. All Read* methods
 /// return false on truncation and leave the output untouched.
+///
+/// The reader does not own the bytes: callers must keep the underlying
+/// buffer alive, and views handed out by ReadStringView alias it.
 class ByteReader {
  public:
-  explicit ByteReader(const std::string& data) : data_(data) {}
+  explicit ByteReader(std::string_view data) : data_(data) {}
 
   bool ReadU8(uint8_t* v) {
     if (pos_ + 1 > data_.size()) return false;
@@ -85,12 +118,21 @@ class ByteReader {
     return true;
   }
 
-  bool ReadString(std::string* s) {
+  /// Zero-copy read: `s` aliases the underlying buffer.
+  bool ReadStringView(std::string_view* s) {
     uint32_t len = 0;
     if (!ReadU32(&len)) return false;
     if (pos_ + len > data_.size()) return false;
-    s->assign(data_, pos_, len);
+    *s = data_.substr(pos_, len);
     pos_ += len;
+    return true;
+  }
+
+  /// Owning read (copies the bytes out).
+  bool ReadString(std::string* s) {
+    std::string_view view;
+    if (!ReadStringView(&view)) return false;
+    s->assign(view);
     return true;
   }
 
@@ -98,7 +140,7 @@ class ByteReader {
   size_t remaining() const { return data_.size() - pos_; }
 
  private:
-  const std::string& data_;
+  std::string_view data_;
   size_t pos_ = 0;
 };
 

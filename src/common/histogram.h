@@ -40,6 +40,10 @@ class Histogram {
   /// One-line summary, e.g. "n=120 mean=12.1ms p50=11.9ms p99=13.4ms".
   std::string Summary() const;
 
+  /// Every sample in insertion order (the determinism test fingerprints
+  /// a run by these exact values).
+  const std::vector<Duration>& samples() const { return samples_; }
+
  private:
   void EnsureSorted() const;
 

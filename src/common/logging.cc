@@ -4,9 +4,11 @@
 
 namespace dpaxos {
 
-namespace {
-LogLevel g_level = LogLevel::kWarn;
+namespace internal {
+LogLevel g_log_level = LogLevel::kWarn;
+}  // namespace internal
 
+namespace {
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace:
@@ -26,9 +28,7 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) { internal::g_log_level = level; }
 
 namespace internal {
 

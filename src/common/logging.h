@@ -17,15 +17,19 @@ enum class LogLevel : int {
   kOff = 5,
 };
 
-/// Global log threshold; messages below it are dropped. Default: kWarn
-/// (the simulator is chatty at kDebug/kTrace).
-LogLevel GetLogLevel();
-void SetLogLevel(LogLevel level);
-
 namespace internal {
+/// Storage for the global threshold; read through GetLogLevel(). Exposed
+/// here only so the level check in DPAXOS_LOG inlines to a single load on
+/// the hot path.
+extern LogLevel g_log_level;
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg);
 }  // namespace internal
+
+/// Global log threshold; messages below it are dropped. Default: kWarn
+/// (the simulator is chatty at kDebug/kTrace).
+inline LogLevel GetLogLevel() { return internal::g_log_level; }
+void SetLogLevel(LogLevel level);
 
 #define DPAXOS_LOG(level, expr)                                           \
   do {                                                                    \

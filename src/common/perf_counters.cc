@@ -1,0 +1,26 @@
+#include "common/perf_counters.h"
+
+#include <sstream>
+
+namespace dpaxos {
+
+std::string PerfCounters::ToString() const {
+  std::ostringstream out;
+  out << "sim: scheduled=" << events_scheduled
+      << " executed=" << events_executed
+      << " cancelled=" << events_cancelled
+      << " stale_cancels=" << stale_cancels
+      << " heap_pushes=" << heap_pushes << " heap_pops=" << heap_pops
+      << " slab_growths=" << slab_growths
+      << " callable_heap_allocs=" << callable_heap_allocs << "\n"
+      << "net: sent=" << messages_sent
+      << " delivered=" << messages_delivered << " bytes=" << bytes_sent
+      << " coalesced=" << deliveries_coalesced
+      << " pool_growths=" << delivery_pool_growths << "\n"
+      << "wire: encodes=" << wire_encodes
+      << " encode_bytes=" << wire_encode_bytes
+      << " decodes=" << wire_decodes;
+  return out.str();
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,93 @@
+// Cheap, always-on performance counters for the simulation hot path.
+//
+// Every counter is a plain uint64_t increment on a process-wide instance
+// (the simulator is single-threaded by design), so instrumentation costs
+// one add per event — cheap enough to keep enabled in every build. The
+// counters answer two questions:
+//   1. How much work did a run do? (events, messages, bytes — the
+//      numerator of every events/sec benchmark, see bench/bench_simperf)
+//   2. Is the steady-state path allocation-free? (slab_growths,
+//      callable_heap_allocs and delivery_pool_growths must stay flat
+//      across a warm window — asserted by tests/perf_counters_test.cc)
+//
+// Counters accumulate across simulators; measure deltas with Snapshot().
+#ifndef DPAXOS_COMMON_PERF_COUNTERS_H_
+#define DPAXOS_COMMON_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dpaxos {
+
+/// \brief Process-wide hot-path counters (see GlobalPerfCounters()).
+struct PerfCounters {
+  // --- simulation kernel (src/sim/simulator.*) -----------------------
+  uint64_t events_scheduled = 0;
+  uint64_t events_executed = 0;
+  uint64_t events_cancelled = 0;  ///< live events removed by Cancel()
+  uint64_t stale_cancels = 0;     ///< Cancel() of an already-fired handle
+  uint64_t heap_pushes = 0;
+  uint64_t heap_pops = 0;
+  /// Event-slab slots taken from fresh memory instead of the free list.
+  /// Flat across a warm window == the kernel runs allocation-free.
+  uint64_t slab_growths = 0;
+  /// Closures too large for the EventFn inline buffer (heap fallback).
+  uint64_t callable_heap_allocs = 0;
+
+  // --- transport (src/net/transport.*) -------------------------------
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t bytes_sent = 0;
+  /// Same-tick deliveries folded into an already-scheduled drain.
+  uint64_t deliveries_coalesced = 0;
+  /// Delivery batches taken from fresh memory instead of the pool.
+  uint64_t delivery_pool_growths = 0;
+
+  // --- wire codec (src/paxos/wire.*) ----------------------------------
+  uint64_t wire_encodes = 0;
+  uint64_t wire_encode_bytes = 0;
+  uint64_t wire_decodes = 0;
+
+  /// Counter-wise difference (this - since); used for warm-window deltas.
+  PerfCounters DeltaSince(const PerfCounters& since) const {
+    PerfCounters d;
+    d.events_scheduled = events_scheduled - since.events_scheduled;
+    d.events_executed = events_executed - since.events_executed;
+    d.events_cancelled = events_cancelled - since.events_cancelled;
+    d.stale_cancels = stale_cancels - since.stale_cancels;
+    d.heap_pushes = heap_pushes - since.heap_pushes;
+    d.heap_pops = heap_pops - since.heap_pops;
+    d.slab_growths = slab_growths - since.slab_growths;
+    d.callable_heap_allocs =
+        callable_heap_allocs - since.callable_heap_allocs;
+    d.messages_sent = messages_sent - since.messages_sent;
+    d.messages_delivered = messages_delivered - since.messages_delivered;
+    d.bytes_sent = bytes_sent - since.bytes_sent;
+    d.deliveries_coalesced =
+        deliveries_coalesced - since.deliveries_coalesced;
+    d.delivery_pool_growths =
+        delivery_pool_growths - since.delivery_pool_growths;
+    d.wire_encodes = wire_encodes - since.wire_encodes;
+    d.wire_encode_bytes = wire_encode_bytes - since.wire_encode_bytes;
+    d.wire_decodes = wire_decodes - since.wire_decodes;
+    return d;
+  }
+
+  /// Multi-line human-readable dump (benches print this after a run).
+  std::string ToString() const;
+};
+
+/// The process-wide counter instance. All simulators, transports and
+/// codecs in this process increment the same counters; callers measure
+/// intervals by snapshotting before/after.
+inline PerfCounters& GlobalPerfCounters() {
+  static PerfCounters counters;
+  return counters;
+}
+
+/// Copy of the current counter values (for DeltaSince).
+inline PerfCounters SnapshotPerfCounters() { return GlobalPerfCounters(); }
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_COMMON_PERF_COUNTERS_H_

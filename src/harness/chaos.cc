@@ -18,6 +18,26 @@ namespace dpaxos {
 
 namespace {
 
+// One line per op, every field included: any schedule divergence between
+// two kernels shows up as a text diff of this dump.
+std::string DumpHistory(const std::vector<HistoryOp>& ops) {
+  std::ostringstream os;
+  for (const HistoryOp& op : ops) {
+    os << "c" << op.client_id << " seq=" << op.seq
+       << (op.is_read ? " r " : " w ") << op.key;
+    if (op.is_read) {
+      os << " saw=" << (op.observed.has_value() ? *op.observed : "<none>");
+    } else {
+      os << " put=" << op.written;
+    }
+    os << " invoke=" << op.invoke << " complete=" << op.complete
+       << " outcome=" << static_cast<int>(op.outcome) << " slot=" << op.slot
+       << " wm=" << op.observed_watermark
+       << " local=" << (op.local_read ? 1 : 0) << "\n";
+  }
+  return os.str();
+}
+
 HistoryOutcome ToHistoryOutcome(ClientOutcome outcome) {
   switch (outcome) {
     case ClientOutcome::kCommitted:
@@ -317,6 +337,7 @@ ChaosReport ChaosRun::Run() {
     report.node_states.push_back(os.str());
   }
   report.consistency = CheckHistory(recorder_.ops());
+  report.history_text = DumpHistory(recorder_.ops());
   return report;
 }
 

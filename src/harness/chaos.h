@@ -74,6 +74,11 @@ struct ChaosReport {
 
   uint64_t nemesis_actions = 0;
   std::vector<std::string> nemesis_log;
+  /// The full Jepsen-style operation history, one line per op with
+  /// virtual timestamps. Byte-identical across runs with equal options —
+  /// the payload of the golden determinism test
+  /// (tests/determinism_golden_test.cc).
+  std::string history_text;
   /// Per-node "applied/decided/checksum" snapshot at the end of the run
   /// (diagnosis aid when converged is false).
   std::vector<std::string> node_states;

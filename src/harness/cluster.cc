@@ -23,8 +23,10 @@ Cluster::Cluster(Topology topology, ProtocolMode mode, ClusterOptions options)
       std::make_unique<SimTransport>(sim_.get(), &topology_, options_.transport);
   if (options_.transport.validate_wire_codec) {
     transport_->set_wire_codec(
-        [](const Message& m) { return SerializeMessage(m); },
-        [](const std::string& bytes) -> MessagePtr {
+        [](const Message& m, std::string* out) {
+          SerializeMessageInto(m, out);
+        },
+        [](std::string_view bytes) -> MessagePtr {
           Result<MessagePtr> r = DeserializeMessage(bytes);
           return r.ok() ? r.value() : nullptr;
         });

@@ -1,0 +1,168 @@
+#include "harness/simperf.h"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "harness/chaos.h"
+#include "harness/cluster.h"
+#include "harness/load_driver.h"
+
+namespace dpaxos {
+
+namespace {
+
+double WallMsSince(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+long PeakRssKb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+/// Time one phase, attributing the perf-counter delta to it.
+template <typename Fn>
+void RunPhase(SimperfReport* report, const std::string& name, Fn&& body) {
+  const PerfCounters before = SnapshotPerfCounters();
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  SimperfPhase phase;
+  phase.name = name;
+  phase.wall_ms = WallMsSince(start);
+  const PerfCounters delta = SnapshotPerfCounters().DeltaSince(before);
+  phase.events = delta.events_executed;
+  phase.messages = delta.messages_sent;
+  report->phases.push_back(phase);
+}
+
+/// One closed-loop phase: the paper's seven-zone deployment driven at
+/// window=32 from zone 0 (heavy timer + message traffic; leases off so
+/// every request crosses the replication pipeline).
+void RunLoadPhase(ProtocolMode mode, const SimperfOptions& options,
+                  Duration duration) {
+  ClusterOptions cluster_options;
+  cluster_options.ft = FaultTolerance{1, 0};
+  cluster_options.seed = options.seed;
+  cluster_options.replica.max_inflight = 32;
+  cluster_options.replica.decide_policy = DecidePolicy::kQuorum;
+  Cluster cluster(Topology::AwsSevenZones(), mode, cluster_options);
+
+  Replica* proposer = cluster.ReplicaInZone(0);
+  Result<Duration> elected = cluster.ElectLeader(proposer->id());
+  if (!elected.ok()) {
+    std::cerr << "simperf: election failed for "
+              << ProtocolModeName(mode) << ": "
+              << elected.status().ToString() << "\n";
+    std::abort();
+  }
+
+  LoadOptions load;
+  load.batch_bytes = 1024;
+  load.duration = duration;
+  load.window = 32;
+  const LoadResult result = RunClosedLoop(cluster, proposer, load);
+  if (result.committed == 0) {
+    std::cerr << "simperf: no commits in " << ProtocolModeName(mode)
+              << " phase — workload broken\n";
+    std::abort();
+  }
+}
+
+/// One chaos cell: nemesis faults, retrying clients, full checker stack —
+/// the most closure- and timer-heavy path in the repo.
+void RunChaosPhase(const SimperfOptions& options, Duration duration) {
+  ChaosOptions chaos;
+  chaos.mode = ProtocolMode::kLeaderZone;
+  chaos.schedule = "mixed";
+  chaos.seed = options.seed;
+  chaos.duration = duration;
+  const ChaosReport report = RunChaos(chaos);
+  if (!report.ok()) {
+    std::cerr << "simperf: chaos cell failed consistency: "
+              << report.Summary() << "\n";
+    std::abort();
+  }
+}
+
+}  // namespace
+
+SimperfReport RunSimperf(const SimperfOptions& options) {
+  SimperfReport report;
+  const Duration load_duration =
+      options.smoke ? 2 * kSecond : 15 * kSecond;
+  const Duration chaos_duration =
+      options.smoke ? 4 * kSecond : 20 * kSecond;
+
+  const PerfCounters before = SnapshotPerfCounters();
+  const auto start = std::chrono::steady_clock::now();
+
+  for (ProtocolMode mode : {ProtocolMode::kLeaderZone,
+                            ProtocolMode::kDelegate,
+                            ProtocolMode::kMultiPaxos}) {
+    RunPhase(&report,
+             std::string("load/") + ProtocolModeName(mode) + "/w32",
+             [&] { RunLoadPhase(mode, options, load_duration); });
+  }
+  RunPhase(&report, "chaos/leaderzone/mixed",
+           [&] { RunChaosPhase(options, chaos_duration); });
+
+  report.wall_ms = WallMsSince(start);
+  report.counters = SnapshotPerfCounters().DeltaSince(before);
+  report.events = report.counters.events_executed;
+  report.messages = report.counters.messages_sent;
+  report.bytes = report.counters.bytes_sent;
+  report.peak_rss_kb = PeakRssKb();
+  return report;
+}
+
+std::string SimperfReport::ToJson(double baseline_events_per_sec) const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"baseline\": {\"events_per_sec\": " << baseline_events_per_sec
+      << "},\n";
+  out << "  \"current\": {\n"
+      << "    \"events_per_sec\": " << EventsPerSec() << ",\n"
+      << "    \"msgs_per_sec\": " << MessagesPerSec() << ",\n"
+      << "    \"wall_ms\": " << wall_ms << ",\n"
+      << "    \"peak_rss_kb\": " << peak_rss_kb << ",\n"
+      << "    \"events\": " << events << ",\n"
+      << "    \"messages\": " << messages << ",\n"
+      << "    \"bytes\": " << bytes << ",\n"
+      << "    \"slab_growths\": " << counters.slab_growths << ",\n"
+      << "    \"callable_heap_allocs\": " << counters.callable_heap_allocs
+      << ",\n"
+      << "    \"deliveries_coalesced\": " << counters.deliveries_coalesced
+      << "\n  },\n";
+  out << "  \"speedup_vs_baseline\": "
+      << (baseline_events_per_sec > 0
+              ? EventsPerSec() / baseline_events_per_sec
+              : 0)
+      << ",\n";
+  out << "  \"phases\": [\n";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const SimperfPhase& p = phases[i];
+    out << "    {\"name\": \"" << p.name << "\", \"wall_ms\": " << p.wall_ms
+        << ", \"events\": " << p.events << ", \"messages\": " << p.messages
+        << "}" << (i + 1 < phases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+bool WriteSimperfJson(const std::string& path, const std::string& json) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "simperf: cannot write " << path << "\n";
+    return false;
+  }
+  out << json;
+  return true;
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,78 @@
+// Wall-clock throughput benchmark of the simulation kernel itself.
+//
+// Unlike the bench_fig* experiments (which report *virtual-time* protocol
+// metrics), simperf measures how fast the host retires simulation events:
+// a fixed heavy workload — the paper's seven-zone topology driven closed-
+// loop at window=32 under all three protocol modes, plus one chaos cell —
+// timed with the host clock. The resulting events/sec number is the
+// repo's wall-clock baseline and the regression gate for every future
+// hot-path change (see docs/perf.md). Shared by bench/bench_simperf.cc
+// and `dpaxos_cli --experiment=simperf`.
+#ifndef DPAXOS_HARNESS_SIMPERF_H_
+#define DPAXOS_HARNESS_SIMPERF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/perf_counters.h"
+
+namespace dpaxos {
+
+/// Pre-PR kernel throughput on the reference machine, recorded when the
+/// simperf harness was introduced (copy-on-pop priority_queue kernel,
+/// per-message shared_ptr closures, RelWithDebInfo, Linux x86-64). The
+/// acceptance bar for the slab-kernel PR was >= 3x this number; keep it
+/// as the historical "baseline" field of BENCH_simperf.json so every
+/// future run shows cumulative speedup over the original kernel.
+inline constexpr double kSimperfRecordedBaselineEventsPerSec = 1185000.0;
+
+struct SimperfOptions {
+  /// Short mode for per-build smoke runs (seconds of virtual time per
+  /// phase instead of tens; same phases, same topology).
+  bool smoke = false;
+  uint64_t seed = 42;
+  /// Baseline events/sec written to the JSON "baseline" field. Defaults
+  /// to the recorded pre-PR number; override to compare two local builds.
+  double baseline_events_per_sec = kSimperfRecordedBaselineEventsPerSec;
+};
+
+/// One timed phase of the simperf workload.
+struct SimperfPhase {
+  std::string name;
+  double wall_ms = 0;
+  uint64_t events = 0;    ///< simulator events executed
+  uint64_t messages = 0;  ///< transport messages sent
+};
+
+struct SimperfReport {
+  std::vector<SimperfPhase> phases;
+  double wall_ms = 0;
+  uint64_t events = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  long peak_rss_kb = 0;
+  /// Counter delta over the whole run (allocation-freedom evidence).
+  PerfCounters counters;
+
+  double EventsPerSec() const {
+    return wall_ms > 0 ? events / (wall_ms / 1000.0) : 0;
+  }
+  double MessagesPerSec() const {
+    return wall_ms > 0 ? messages / (wall_ms / 1000.0) : 0;
+  }
+
+  /// BENCH_simperf.json body: {"baseline": .., "current": .., ...}.
+  std::string ToJson(double baseline_events_per_sec) const;
+};
+
+/// Run the fixed workload and time it. Deterministic in virtual time for
+/// a given seed; only the wall-clock figures vary across hosts.
+SimperfReport RunSimperf(const SimperfOptions& options = {});
+
+/// Write `json` to `path`; returns false (and logs) on I/O failure.
+bool WriteSimperfJson(const std::string& path, const std::string& json);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_SIMPERF_H_

@@ -21,6 +21,12 @@ class Message {
 
   /// Stable type name for logging and tests (e.g. "prepare").
   virtual const char* TypeName() const = 0;
+
+  /// Stable one-byte wire tag identifying this type to the codec, or 0
+  /// for message types with no wire representation. Serialization
+  /// dispatches on this tag (one virtual call) instead of probing the
+  /// whole message set with dynamic_cast.
+  virtual uint8_t wire_tag() const { return 0; }
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

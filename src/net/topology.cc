@@ -70,6 +70,8 @@ Result<Topology> Topology::Create(const TopologyConfig& config) {
     t.zone_size_.push_back(config.nodes_per_zone[i]);
     next += config.nodes_per_zone[i];
     t.zone_names_.push_back("zone" + std::to_string(i));
+    t.node_zone_.insert(t.node_zone_.end(), config.nodes_per_zone[i],
+                        static_cast<ZoneId>(i));
   }
   t.num_nodes_ = next;
   t.rtt_.assign(z, std::vector<Duration>(z, 0));
@@ -220,13 +222,6 @@ uint32_t Topology::nodes_in_zone(ZoneId z) const {
   return zone_size_[z];
 }
 
-ZoneId Topology::ZoneOf(NodeId node) const {
-  DPAXOS_CHECK_LT(node, num_nodes_);
-  // zone_start_ is sorted; find the last start <= node.
-  auto it = std::upper_bound(zone_start_.begin(), zone_start_.end(), node);
-  return static_cast<ZoneId>(it - zone_start_.begin() - 1);
-}
-
 std::vector<NodeId> Topology::NodesInZone(ZoneId zone) const {
   DPAXOS_CHECK_LT(zone, num_zones());
   std::vector<NodeId> out(zone_size_[zone]);
@@ -238,17 +233,6 @@ std::vector<NodeId> Topology::AllNodes() const {
   std::vector<NodeId> out(num_nodes_);
   std::iota(out.begin(), out.end(), 0);
   return out;
-}
-
-Duration Topology::Rtt(NodeId a, NodeId b) const {
-  if (a == b) return 0;
-  return ZoneRtt(ZoneOf(a), ZoneOf(b));
-}
-
-Duration Topology::ZoneRtt(ZoneId a, ZoneId b) const {
-  DPAXOS_CHECK_LT(a, num_zones());
-  DPAXOS_CHECK_LT(b, num_zones());
-  return rtt_[a][b];
 }
 
 std::vector<ZoneId> Topology::ZonesByProximity(ZoneId zone) const {

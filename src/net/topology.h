@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -71,8 +72,12 @@ class Topology {
   uint32_t num_nodes() const { return num_nodes_; }
   uint32_t nodes_in_zone(ZoneId z) const;
 
-  /// Zone that hosts `node`.
-  ZoneId ZoneOf(NodeId node) const;
+  /// Zone that hosts `node`. Called per link-delay computation, so it is
+  /// a direct table lookup rather than a search over zone boundaries.
+  ZoneId ZoneOf(NodeId node) const {
+    DPAXOS_CHECK_LT(node, num_nodes_);
+    return node_zone_[node];
+  }
 
   /// All node ids in `zone`, in increasing order.
   std::vector<NodeId> NodesInZone(ZoneId zone) const;
@@ -81,13 +86,20 @@ class Topology {
   std::vector<NodeId> AllNodes() const;
 
   /// Round-trip time between two nodes (0 for a node to itself).
-  Duration Rtt(NodeId a, NodeId b) const;
+  Duration Rtt(NodeId a, NodeId b) const {
+    if (a == b) return 0;
+    return ZoneRtt(ZoneOf(a), ZoneOf(b));
+  }
 
   /// One-way propagation delay, i.e. Rtt / 2.
   Duration OneWayDelay(NodeId a, NodeId b) const { return Rtt(a, b) / 2; }
 
   /// Round-trip time between two zones (intra-zone RTT on the diagonal).
-  Duration ZoneRtt(ZoneId a, ZoneId b) const;
+  Duration ZoneRtt(ZoneId a, ZoneId b) const {
+    DPAXOS_CHECK_LT(a, num_zones());
+    DPAXOS_CHECK_LT(b, num_zones());
+    return rtt_[a][b];
+  }
 
   /// Zones ordered by ascending RTT from `zone` (the zone itself first).
   /// Ties break by zone id, keeping the order deterministic.
@@ -103,6 +115,7 @@ class Topology {
   uint32_t num_nodes_ = 0;
   std::vector<NodeId> zone_start_;          // first node id of each zone
   std::vector<uint32_t> zone_size_;         // nodes per zone
+  std::vector<ZoneId> node_zone_;           // node id -> hosting zone
   std::vector<std::vector<Duration>> rtt_;  // zone x zone, diag = intra
   std::vector<std::string> zone_names_;
 };

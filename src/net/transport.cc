@@ -4,8 +4,13 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/perf_counters.h"
 
 namespace dpaxos {
+
+namespace {
+constexpr uint32_t kNoBatch = 0xffff'ffffu;
+}  // namespace
 
 SimTransport::SimTransport(Simulator* sim, const Topology* topology,
                            SimTransportOptions options)
@@ -16,7 +21,11 @@ SimTransport::SimTransport(Simulator* sim, const Topology* topology,
       handlers_(topology->num_nodes()),
       crashed_(topology->num_nodes(), false),
       egress_free_at_(topology->num_nodes(), 0),
-      stats_(topology->num_nodes()) {
+      link_free_at_(static_cast<size_t>(topology->num_nodes()) *
+                        topology->num_nodes(),
+                    0),
+      stats_(topology->num_nodes()),
+      open_batch_(topology->num_nodes(), kNoBatch) {
   DPAXOS_CHECK(sim != nullptr);
   DPAXOS_CHECK(topology != nullptr);
 }
@@ -51,10 +60,70 @@ Duration SimTransport::ComputeLinkDelay(NodeId from, NodeId to,
       static_cast<double>(size_bytes) /
       static_cast<double>(options_.inter_zone_link_bytes_per_sec) *
       static_cast<double>(kSecond));
-  Timestamp& free_at = link_free_at_[{from, to}];
+  Timestamp& free_at =
+      link_free_at_[static_cast<size_t>(from) * handlers_.size() + to];
   const Timestamp start = std::max(earliest_start, free_at);
   free_at = start + tx;
   return free_at - earliest_start;
+}
+
+uint32_t SimTransport::AcquireBatch() {
+  if (!free_batches_.empty()) {
+    const uint32_t index = free_batches_.back();
+    free_batches_.pop_back();
+    return index;
+  }
+  ++GlobalPerfCounters().delivery_pool_growths;
+  batches_.push_back(std::make_unique<DeliveryBatch>());
+  return static_cast<uint32_t>(batches_.size() - 1);
+}
+
+void SimTransport::EnqueueDelivery(NodeId from, NodeId to, Duration delay,
+                                   MessagePtr msg) {
+  const Timestamp at = sim_->Now() + delay;
+  const uint32_t open = open_batch_[to];
+  if (open != kNoBatch) {
+    DeliveryBatch& batch = *batches_[open];
+    // Coalescing is legal ONLY when this delivery lands on the open
+    // batch's tick AND nothing has been scheduled since that batch's
+    // drain event. Then, had each delivery been its own event, they
+    // would hold consecutive scheduling tickets at one timestamp — the
+    // kernel would run them back-to-back with nothing in between, which
+    // is exactly what the drain loop does. Any interleaving scheduled
+    // event voids the proof, so the batch closes.
+    if (batch.at == at && sim_->next_schedule_seq() == batch.seq_after) {
+      batch.items.emplace_back(from, std::move(msg));
+      ++GlobalPerfCounters().deliveries_coalesced;
+      return;
+    }
+  }
+  const uint32_t index = AcquireBatch();
+  DeliveryBatch& batch = *batches_[index];
+  batch.at = at;
+  batch.to = to;
+  batch.items.emplace_back(from, std::move(msg));
+  sim_->Schedule(delay, [this, index] { DrainBatch(index); });
+  batch.seq_after = sim_->next_schedule_seq();
+  open_batch_[to] = index;
+}
+
+void SimTransport::DrainBatch(uint32_t index) {
+  DeliveryBatch& batch = *batches_[index];
+  const NodeId to = batch.to;
+  // Close the batch before running handlers: a mid-drain Send to `to`
+  // must open a fresh batch, not append behind the cursor.
+  if (open_batch_[to] == index) open_batch_[to] = kNoBatch;
+  PerfCounters& perf = GlobalPerfCounters();
+  for (auto& [from, msg] : batch.items) {
+    // Crash state is evaluated at delivery time: messages in flight to a
+    // node that crashed meanwhile are lost.
+    if (crashed_[to]) continue;
+    if (!handlers_[to]) continue;
+    ++perf.messages_delivered;
+    handlers_[to](from, msg);
+  }
+  batch.items.clear();
+  free_batches_.push_back(index);
 }
 
 void SimTransport::Send(NodeId from, NodeId to, MessagePtr msg) {
@@ -68,38 +137,41 @@ void SimTransport::Send(NodeId from, NodeId to, MessagePtr msg) {
     return;  // a crashed node sends nothing
   }
 
+  const uint64_t size_bytes = msg->SizeBytes();
   ++st.messages_sent;
-  st.bytes_sent += msg->SizeBytes();
+  st.bytes_sent += size_bytes;
+  PerfCounters& perf = GlobalPerfCounters();
+  ++perf.messages_sent;
+  perf.bytes_sent += size_bytes;
 
   if (options_.validate_wire_codec && from != to) {
     // Conformance mode: the receiver sees the re-decoded bytes, never
     // the sender's object.
     DPAXOS_CHECK_MSG(encode_ != nullptr && decode_ != nullptr,
                      "validate_wire_codec requires set_wire_codec");
-    MessagePtr decoded = decode_(encode_(*msg));
+    codec_buffer_.clear();
+    encode_(*msg, &codec_buffer_);
+    MessagePtr decoded = decode_(codec_buffer_);
     DPAXOS_CHECK_MSG(decoded != nullptr, "wire codec rejected a message");
     msg = std::move(decoded);
   }
 
   if (from == to) {
     // Loopback skips the NIC, drops and partitions.
-    sim_->Schedule(options_.loopback_delay, [this, from, to, msg] {
-      if (crashed_[to]) return;
-      if (handlers_[to]) handlers_[to](from, msg);
-    });
+    EnqueueDelivery(from, to, options_.loopback_delay, std::move(msg));
     return;
   }
 
-  if (cut_links_.count({from, to}) > 0 ||
+  if ((!cut_links_.empty() && cut_links_.count({from, to}) > 0) ||
       (options_.drop_probability > 0 &&
        rng_.NextBool(options_.drop_probability))) {
     ++st.messages_dropped;
     return;
   }
 
-  const Duration egress = ComputeEgressDelay(from, msg->SizeBytes());
+  const Duration egress = ComputeEgressDelay(from, size_bytes);
   const Duration link =
-      ComputeLinkDelay(from, to, msg->SizeBytes(), sim_->Now() + egress);
+      ComputeLinkDelay(from, to, size_bytes, sim_->Now() + egress);
   Duration delay = egress + link + topology_->OneWayDelay(from, to) +
                    options_.processing_delay;
   if (options_.max_jitter > 0) {
@@ -107,19 +179,19 @@ void SimTransport::Send(NodeId from, NodeId to, MessagePtr msg) {
   }
 
   DPAXOS_TRACE("send " << msg->TypeName() << " " << from << "->" << to
-                       << " size=" << msg->SizeBytes()
+                       << " size=" << size_bytes
                        << " delay=" << DurationToString(delay));
-  auto deliver = [this, from, to, msg] {
-    // Crash state is evaluated at delivery time: messages in flight to a
-    // node that crashed meanwhile are lost.
-    if (crashed_[to]) return;
-    if (handlers_[to]) handlers_[to](from, msg);
-  };
-  sim_->Schedule(delay, deliver);
-  if (options_.duplicate_probability > 0 &&
-      rng_.NextBool(options_.duplicate_probability)) {
-    // The network replays the message a little later.
-    sim_->Schedule(delay + 1 + rng_.NextBounded(50 * kMillisecond), deliver);
+  const bool duplicate = options_.duplicate_probability > 0 &&
+                         rng_.NextBool(options_.duplicate_probability);
+  if (duplicate) {
+    // The network replays the message a little later. Draw the extra
+    // delay now, matching the RNG consumption order of the pre-pooling
+    // transport (one NextBounded after the duplicate coin flip).
+    const Duration extra = 1 + rng_.NextBounded(50 * kMillisecond);
+    EnqueueDelivery(from, to, delay, msg);
+    EnqueueDelivery(from, to, delay + extra, std::move(msg));
+  } else {
+    EnqueueDelivery(from, to, delay, std::move(msg));
   }
 }
 

@@ -7,14 +7,21 @@
 // plus failure injection: probabilistic drops, directed link partitions and
 // node crashes. All delays and drops come from the owning Simulator's
 // virtual clock and seeded RNG, so runs are reproducible.
+//
+// Deliveries are carried by pooled DeliveryBatch objects rather than one
+// heap-allocated closure per message, and consecutive same-tick sends to
+// one receiver fold into a single scheduled drain when (and only when)
+// the simulator proves nothing else was scheduled in between — see
+// EnqueueDelivery for why that condition preserves the schedule exactly.
 #ifndef DPAXOS_NET_TRANSPORT_H_
 #define DPAXOS_NET_TRANSPORT_H_
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <set>
-#include <unordered_map>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -117,9 +124,12 @@ class SimTransport : public Transport {
   void set_max_jitter(Duration j) { options_.max_jitter = j; }
 
   /// Codec hooks for validate_wire_codec (kept as std::function so the
-  /// net layer does not depend on the protocol's message set).
-  using Encoder = std::function<std::string(const Message&)>;
-  using Decoder = std::function<MessagePtr(const std::string&)>;
+  /// net layer does not depend on the protocol's message set). The
+  /// encoder APPENDS to `out` — the transport clears and reuses one
+  /// buffer across messages, so conformance mode does not allocate per
+  /// send; the decoder reads a view of that buffer.
+  using Encoder = std::function<void(const Message&, std::string* out)>;
+  using Decoder = std::function<MessagePtr(std::string_view)>;
   void set_wire_codec(Encoder encode, Decoder decode) {
     encode_ = std::move(encode);
     decode_ = std::move(decode);
@@ -132,9 +142,29 @@ class SimTransport : public Transport {
   uint64_t TotalBytesSent() const;
 
  private:
+  /// A set of messages for one receiver delivered by one scheduled
+  /// drain event. Pooled and recycled; pointers stay stable while the
+  /// pool grows (handlers may Send mid-drain).
+  struct DeliveryBatch {
+    Timestamp at = 0;
+    /// Simulator::next_schedule_seq() observed right after this batch's
+    /// drain event was scheduled; coalescing is only legal while it
+    /// still matches (nothing else has been scheduled since).
+    uint64_t seq_after = 0;
+    NodeId to = 0;
+    std::vector<std::pair<NodeId, MessagePtr>> items;
+  };
+
   Duration ComputeEgressDelay(NodeId from, uint64_t size_bytes);
   Duration ComputeLinkDelay(NodeId from, NodeId to, uint64_t size_bytes,
                             Timestamp earliest_start);
+  /// Hand `msg` to the delivery machinery `delay` from now: coalesce
+  /// into the receiver's open same-tick batch when provably
+  /// order-preserving, else schedule a fresh pooled batch.
+  void EnqueueDelivery(NodeId from, NodeId to, Duration delay,
+                       MessagePtr msg);
+  void DrainBatch(uint32_t index);
+  uint32_t AcquireBatch();
 
   Simulator* sim_;
   const Topology* topology_;
@@ -143,12 +173,19 @@ class SimTransport : public Transport {
   std::vector<Handler> handlers_;
   std::vector<bool> crashed_;
   std::vector<Timestamp> egress_free_at_;  // per-node FIFO NIC model
-  // Per-directed-link FIFO for the WAN throughput cap.
-  std::map<std::pair<NodeId, NodeId>, Timestamp> link_free_at_;
+  /// Per-directed-link FIFO for the WAN throughput cap, as a flat
+  /// num_nodes^2 table (the map it replaces was a hot-path lookup).
+  std::vector<Timestamp> link_free_at_;
   std::set<std::pair<NodeId, NodeId>> cut_links_;
   std::vector<TransportStats> stats_;
+  std::vector<std::unique_ptr<DeliveryBatch>> batches_;
+  std::vector<uint32_t> free_batches_;
+  /// Per receiver: index of the most recently scheduled batch (the only
+  /// coalescing candidate), or kNoBatch.
+  std::vector<uint32_t> open_batch_;
   Encoder encode_;
   Decoder decode_;
+  std::string codec_buffer_;  // reused by validate_wire_codec round-trips
 };
 
 }  // namespace dpaxos

@@ -32,9 +32,9 @@ Acceptor::PrepareOutcome Acceptor::OnPrepare(const PrepareMsg& msg,
   rec_->promised = msg.ballot;
   ++rec_->sync_writes;  // the promise is durable before we answer
   out.promised = true;
-  for (const auto& [slot, entry] : rec_->accepted) {
-    if (slot >= msg.first_slot) out.accepted.push_back(entry);
-  }
+  rec_->accepted.ForEachFrom(msg.first_slot, [&](const AcceptedEntry& entry) {
+    out.accepted.push_back(entry);
+  });
   // Return previously stored intents, excluding the ones this very
   // prepare declares (the aspirant need not intersect itself).
   for (const Intent& stored : rec_->intents) {
@@ -68,7 +68,7 @@ Acceptor::ProposeOutcome Acceptor::OnPropose(const ProposeMsg& msg,
   }
 
   if (!leaderless_) rec_->promised = std::max(rec_->promised, msg.ballot);
-  rec_->accepted[msg.slot] = AcceptedEntry{msg.slot, msg.ballot, msg.value};
+  rec_->accepted.Put(msg.slot, AcceptedEntry{msg.slot, msg.ballot, msg.value});
   ++rec_->sync_writes;  // the acceptance is durable before we answer
   out.accepted = true;
 
@@ -96,8 +96,7 @@ void Acceptor::ApplyGcThreshold(const Ballot& threshold, Timestamp now) {
 }
 
 const AcceptedEntry* Acceptor::AcceptedFor(SlotId slot) const {
-  auto it = rec_->accepted.find(slot);
-  return it == rec_->accepted.end() ? nullptr : &it->second;
+  return rec_->accepted.Find(slot);
 }
 
 void Acceptor::AddIntents(const std::vector<Intent>& intents) {

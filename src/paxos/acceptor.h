@@ -122,10 +122,7 @@ class Acceptor {
 
   size_t accepted_count() const { return rec_->accepted.size(); }
   /// Largest slot with an accepted entry (kInvalidSlot when none).
-  SlotId HighestAcceptedSlot() const {
-    return rec_->accepted.empty() ? kInvalidSlot
-                                  : rec_->accepted.rbegin()->first;
-  }
+  SlotId HighestAcceptedSlot() const { return rec_->accepted.MaxSlot(); }
   bool HasActiveLease(Timestamp now) const {
     return rec_->lease_until > now && !rec_->lease_ballot.is_null();
   }

@@ -1,0 +1,134 @@
+// The learner's decided log: a dense slot -> value window.
+//
+// Decided slots form a nearly contiguous run that only ever grows at the
+// tail and is trimmed from the front by snapshots/GC. A base-offset deque
+// of cells therefore replaces the former std::map: insert, lookup and the
+// watermark advance are O(1) with no per-entry tree nodes, while the
+// ordered iteration and lower_bound the catch-up server (and the tests)
+// rely on keep their map-like shape.
+#ifndef DPAXOS_PAXOS_DECIDED_LOG_H_
+#define DPAXOS_PAXOS_DECIDED_LOG_H_
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "paxos/value.h"
+
+namespace dpaxos {
+
+/// \brief Slot-indexed decided values with a std::map-shaped read API.
+class DecidedLog {
+ public:
+  using value_type = std::pair<SlotId, Value>;
+
+  /// Forward iterator over present entries in ascending slot order.
+  class const_iterator {
+   public:
+    const_iterator() = default;
+
+    const value_type& operator*() const { return log_->cells_[i_].kv; }
+    const value_type* operator->() const { return &log_->cells_[i_].kv; }
+
+    const_iterator& operator++() {
+      ++i_;
+      Settle();
+      return *this;
+    }
+
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    friend class DecidedLog;
+    const_iterator(const DecidedLog* log, size_t i) : log_(log), i_(i) {
+      Settle();
+    }
+    void Settle() {
+      while (i_ < log_->cells_.size() && !log_->cells_[i_].present) ++i_;
+    }
+
+    const DecidedLog* log_ = nullptr;
+    size_t i_ = 0;
+  };
+
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, cells_.size()}; }
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  bool Contains(SlotId slot) const {
+    if (cells_.empty() || slot < base_) return false;
+    const size_t idx = static_cast<size_t>(slot - base_);
+    return idx < cells_.size() && cells_[idx].present;
+  }
+  size_t count(SlotId slot) const { return Contains(slot) ? 1 : 0; }
+
+  const_iterator find(SlotId slot) const {
+    if (!Contains(slot)) return end();
+    return {this, static_cast<size_t>(slot - base_)};
+  }
+
+  /// First entry with slot >= `slot` (end() if none).
+  const_iterator lower_bound(SlotId slot) const {
+    if (cells_.empty() || slot <= base_) return begin();
+    const size_t idx = static_cast<size_t>(slot - base_);
+    return {this, idx < cells_.size() ? idx : cells_.size()};
+  }
+
+  const Value& at(SlotId slot) const {
+    const_iterator it = find(slot);
+    DPAXOS_CHECK_MSG(it != end(), "no decided value in slot " << slot);
+    return it->second;
+  }
+
+  /// Insert unless the slot is already present; mirrors map::emplace.
+  std::pair<const_iterator, bool> emplace(SlotId slot, const Value& value) {
+    if (cells_.empty()) {
+      base_ = slot;
+      cells_.emplace_back();
+    } else if (slot < base_) {
+      // Decides can arrive out of order; extend the window downward.
+      for (SlotId s = base_; s > slot; --s) cells_.emplace_front();
+      base_ = slot;
+    } else if (slot - base_ >= cells_.size()) {
+      cells_.resize(static_cast<size_t>(slot - base_) + 1);
+    }
+    const size_t idx = static_cast<size_t>(slot - base_);
+    Cell& c = cells_[idx];
+    if (c.present) return {const_iterator(this, idx), false};
+    c.present = true;
+    c.kv.first = slot;
+    c.kv.second = value;
+    ++count_;
+    return {const_iterator(this, idx), true};
+  }
+
+  /// Drop every entry with slot < `through` (a trimmed prefix never
+  /// comes back: LearnDecided ignores slots below log_start_).
+  void EraseBelow(SlotId through) {
+    while (!cells_.empty() && base_ < through) {
+      if (cells_.front().present) --count_;
+      cells_.pop_front();
+      ++base_;
+    }
+    if (cells_.empty()) base_ = through;
+  }
+
+ private:
+  struct Cell {
+    value_type kv{0, Value{}};
+    bool present = false;
+  };
+
+  SlotId base_ = 0;
+  std::deque<Cell> cells_;
+  size_t count_ = 0;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_PAXOS_DECIDED_LOG_H_

@@ -21,6 +21,41 @@ namespace dpaxos {
 /// Fixed per-message framing overhead (headers, type tag, partition id).
 inline constexpr uint64_t kMessageHeaderBytes = 64;
 
+/// Stable one-byte tags identifying each message type on the wire.
+/// Each message's wire_tag() override returns its entry; the codec
+/// (paxos/wire.h) dispatches encode and decode on it.
+enum class WireType : uint8_t {
+  kPrepare = 1,
+  kPromise = 2,
+  kPrepareNack = 3,
+  kPropose = 4,
+  kAccept = 5,
+  kAcceptNack = 6,
+  kDecide = 7,
+  kHandoffRequest = 8,
+  kRelinquish = 9,
+  kGcPoll = 10,
+  kGcPollReply = 11,
+  kGcThreshold = 12,
+  kLzPrepare = 13,
+  kLzPromise = 14,
+  kLzPropose = 15,
+  kLzAccept = 16,
+  kLzNack = 17,
+  kLzTransition = 18,
+  kLzTransitionAck = 19,
+  kLzStoreIntents = 20,
+  kLzStoreAck = 21,
+  kLzAnnounce = 22,
+  kForward = 23,
+  kForwardReply = 24,
+  kLearnRequest = 25,
+  kLearnReply = 26,
+  kSnapshotRequest = 27,
+  kSnapshotReply = 28,
+  kHeartbeat = 29,
+};
+
 /// \brief Common base: every protocol message belongs to a partition.
 struct PaxosMessage : Message {
   explicit PaxosMessage(PartitionId p) : partition(p) {}
@@ -59,6 +94,9 @@ struct PrepareMsg final : PaxosMessage {
     return kMessageHeaderBytes + 24 + IntentsWireSize(intents);
   }
   const char* TypeName() const override { return "prepare"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kPrepare);
+  }
 };
 
 /// An accepted (slot, ballot, value) triple reported in a promise.
@@ -93,6 +131,9 @@ struct PromiseMsg final : PaxosMessage {
     return sz;
   }
   const char* TypeName() const override { return "promise"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kPromise);
+  }
 };
 
 /// Negative Leader Election vote: a higher ballot was already promised,
@@ -112,6 +153,9 @@ struct PrepareNackMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 40; }
   const char* TypeName() const override { return "prepare-nack"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kPrepareNack);
+  }
 };
 
 // ---------------------------------------------------------------------
@@ -141,6 +185,9 @@ struct ProposeMsg final : PaxosMessage {
     return kMessageHeaderBytes + 32 + value.size_bytes;
   }
   const char* TypeName() const override { return "propose"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kPropose);
+  }
 };
 
 /// accept(p): positive Replication vote for one slot.
@@ -156,6 +203,9 @@ struct AcceptMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 32; }
   const char* TypeName() const override { return "accept"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kAccept);
+  }
 };
 
 /// Negative Replication vote: the acceptor promised a higher ballot.
@@ -169,6 +219,9 @@ struct AcceptNackMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 40; }
   const char* TypeName() const override { return "accept-nack"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kAcceptNack);
+  }
 };
 
 /// Commit notification from the leader to learners.
@@ -183,6 +236,9 @@ struct DecideMsg final : PaxosMessage {
     return kMessageHeaderBytes + 16 + value.size_bytes;
   }
   const char* TypeName() const override { return "decide"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kDecide);
+  }
 };
 
 /// Leader liveness beacon to its replication quorum (failure detector).
@@ -193,6 +249,9 @@ struct HeartbeatMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 16; }
   const char* TypeName() const override { return "heartbeat"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kHeartbeat);
+  }
 };
 
 // ---------------------------------------------------------------------
@@ -210,6 +269,9 @@ struct ForwardMsg final : PaxosMessage {
     return kMessageHeaderBytes + 8 + value.size_bytes;
   }
   const char* TypeName() const override { return "forward"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kForward);
+  }
 };
 
 /// Answer to a forwarded request: committed, failed, or a redirect to the
@@ -226,6 +288,9 @@ struct ForwardReplyMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 24; }
   const char* TypeName() const override { return "forward-reply"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kForwardReply);
+  }
 };
 
 // ---------------------------------------------------------------------
@@ -251,6 +316,9 @@ struct LearnRequestMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 12; }
   const char* TypeName() const override { return "learn-request"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kLearnRequest);
+  }
 };
 
 /// Catch-up answer: a page of decided entries, or a snapshot referral
@@ -272,6 +340,9 @@ struct LearnReplyMsg final : PaxosMessage {
     return sz;
   }
   const char* TypeName() const override { return "learn-reply"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kLearnReply);
+  }
 };
 
 /// Ask a peer for an application snapshot (log prefix truncated).
@@ -280,6 +351,9 @@ struct SnapshotRequestMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes; }
   const char* TypeName() const override { return "snapshot-request"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kSnapshotRequest);
+  }
 };
 
 /// Application snapshot covering all slots below `through_slot`.
@@ -294,6 +368,9 @@ struct SnapshotReplyMsg final : PaxosMessage {
     return kMessageHeaderBytes + 8 + snapshot.size();
   }
   const char* TypeName() const override { return "snapshot-reply"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kSnapshotReply);
+  }
 };
 
 // ---------------------------------------------------------------------
@@ -305,6 +382,9 @@ struct HandoffRequestMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes; }
   const char* TypeName() const override { return "handoff-request"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kHandoffRequest);
+  }
 };
 
 /// relinquish(): transfers the logical leader role. Sent at most once per
@@ -331,6 +411,9 @@ struct RelinquishMsg final : PaxosMessage {
     return kMessageHeaderBytes + 24 + IntentsWireSize(intents);
   }
   const char* TypeName() const override { return "relinquish"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kRelinquish);
+  }
 };
 
 // ---------------------------------------------------------------------
@@ -342,6 +425,9 @@ struct GcPollMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes; }
   const char* TypeName() const override { return "gc-poll"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kGcPoll);
+  }
 };
 
 /// GC poll answer.
@@ -356,6 +442,9 @@ struct GcPollReplyMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 16; }
   const char* TypeName() const override { return "gc-poll-reply"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kGcPollReply);
+  }
 };
 
 /// Asynchronous broadcast of the new GC threshold P; receivers drop all
@@ -367,6 +456,9 @@ struct GcThresholdMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 16; }
   const char* TypeName() const override { return "gc-threshold"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kGcThreshold);
+  }
 };
 
 // ---------------------------------------------------------------------
@@ -386,6 +478,9 @@ struct LzPrepareMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 24; }
   const char* TypeName() const override { return "lz-prepare"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kLzPrepare);
+  }
 };
 
 struct LzPromiseMsg final : PaxosMessage {
@@ -400,6 +495,9 @@ struct LzPromiseMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 44; }
   const char* TypeName() const override { return "lz-promise"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kLzPromise);
+  }
 };
 
 /// Phase 2 of the Leader Zone Instance synod: propose `next_zone`.
@@ -413,6 +511,9 @@ struct LzProposeMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 28; }
   const char* TypeName() const override { return "lz-propose"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kLzPropose);
+  }
 };
 
 struct LzAcceptMsg final : PaxosMessage {
@@ -425,6 +526,9 @@ struct LzAcceptMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 28; }
   const char* TypeName() const override { return "lz-accept"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kLzAccept);
+  }
 };
 
 struct LzNackMsg final : PaxosMessage {
@@ -440,6 +544,9 @@ struct LzNackMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 56; }
   const char* TypeName() const override { return "lz-nack"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kLzNack);
+  }
 };
 
 /// Step 2: ask a node of the old Leader Zone to enter the transition
@@ -454,6 +561,9 @@ struct LzTransitionMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 12; }
   const char* TypeName() const override { return "lz-transition"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kLzTransition);
+  }
 };
 
 struct LzTransitionAckMsg final : PaxosMessage {
@@ -468,6 +578,9 @@ struct LzTransitionAckMsg final : PaxosMessage {
     return kMessageHeaderBytes + 8 + IntentsWireSize(intents);
   }
   const char* TypeName() const override { return "lz-transition-ack"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kLzTransitionAck);
+  }
 };
 
 /// Step 2 (continued): store the old zone's intents at the next zone.
@@ -484,6 +597,9 @@ struct LzStoreIntentsMsg final : PaxosMessage {
     return kMessageHeaderBytes + 12 + IntentsWireSize(intents);
   }
   const char* TypeName() const override { return "lz-store-intents"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kLzStoreIntents);
+  }
 };
 
 struct LzStoreAckMsg final : PaxosMessage {
@@ -493,6 +609,9 @@ struct LzStoreAckMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 8; }
   const char* TypeName() const override { return "lz-store-ack"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kLzStoreAck);
+  }
 };
 
 /// Step 3: lazily broadcast announcement that the transition completed.
@@ -505,6 +624,9 @@ struct LzAnnounceMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override { return kMessageHeaderBytes + 16; }
   const char* TypeName() const override { return "lz-announce"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kLzAnnounce);
+  }
 };
 
 }  // namespace dpaxos

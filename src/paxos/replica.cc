@@ -74,14 +74,25 @@ QuorumRule Replica::CurrentLeaderElectionRule() const {
   return quorums_->LeaderElectionRule(id_, lz_view_);
 }
 
-QuorumRule Replica::ReplicationRule() const {
-  if (quorums_->UsesIntents()) {
-    DPAXOS_CHECK(!declared_intents_.empty());
-    DPAXOS_CHECK_LT(active_intent_, declared_intents_.size());
-    return QuorumSystem::ReplicationRuleForIntent(
-        declared_intents_[active_intent_].quorum);
+const QuorumRule& Replica::ReplicationRule() const {
+  if (!replication_rule_valid_) {
+    if (quorums_->UsesIntents()) {
+      DPAXOS_CHECK(!declared_intents_.empty());
+      DPAXOS_CHECK_LT(active_intent_, declared_intents_.size());
+      cached_replication_rule_ = QuorumSystem::ReplicationRuleForIntent(
+          declared_intents_[active_intent_].quorum);
+    } else {
+      cached_replication_rule_ = quorums_->DefaultReplicationRule(id_);
+    }
+    cached_replication_targets_ = cached_replication_rule_.Targets();
+    replication_rule_valid_ = true;
   }
-  return quorums_->DefaultReplicationRule(id_);
+  return cached_replication_rule_;
+}
+
+const std::vector<NodeId>& Replica::ReplicationTargets() const {
+  ReplicationRule();  // refresh the cache if stale
+  return cached_replication_targets_;
 }
 
 std::vector<Intent> Replica::BuildIntents() const {
@@ -225,6 +236,7 @@ void Replica::StartElection(StatusCallback cb, uint32_t attempt) {
 
   declared_intents_ = BuildIntents();
   active_intent_ = 0;
+  InvalidateReplicationRule();
   ++counters_.elections_started;
 
   election_ = std::make_unique<Election>();
@@ -398,7 +410,7 @@ void Replica::SendHeartbeats() {
   heartbeat_timer_ = 0;
   if (!config_.enable_failure_detector || role_ != Role::kLeader) return;
   auto hb = std::make_shared<HeartbeatMsg>(config_.partition, ballot_);
-  for (NodeId t : ReplicationRule().Targets()) {
+  for (NodeId t : ReplicationTargets()) {
     if (t != id_) SendTo(t, hb);
   }
   heartbeat_timer_ = ScheduleSafe(config_.heartbeat_interval,
@@ -577,7 +589,7 @@ void Replica::StartPropose(SlotId slot, Value value, CommitCallback cb,
     propose->lease_until = sim_->Now() + config_.lease_duration;
   }
   ++counters_.proposes_sent;
-  SendToAll(ReplicationRule().Targets(), propose);
+  SendToAll(ReplicationTargets(), propose);
 
   fl.timer = ScheduleSafe(config_.propose_timeout,
                             [this, slot] { RetransmitPropose(slot); });
@@ -598,6 +610,7 @@ void Replica::RetransmitPropose(SlotId slot) {
     if (quorums_->UsesIntents() &&
         active_intent_ + 1 < declared_intents_.size()) {
       ++active_intent_;
+      InvalidateReplicationRule();
       DPAXOS_DEBUG("node " << id_ << " fails over to intent "
                            << active_intent_);
       for (auto& [s, f] : inflight_) f.retries = 0;
@@ -614,8 +627,10 @@ void Replica::RetransmitPropose(SlotId slot) {
     propose->lease_request = true;
     propose->lease_until = sim_->Now() + config_.lease_duration;
   }
-  for (NodeId t : ReplicationRule().Targets()) {
-    if (fl.acks.count(t) == 0) SendTo(t, propose);
+  for (NodeId t : ReplicationTargets()) {
+    if (!std::binary_search(fl.acks.begin(), fl.acks.end(), t)) {
+      SendTo(t, propose);
+    }
   }
   fl.timer = ScheduleSafe(config_.propose_timeout,
                             [this, slot] { RetransmitPropose(slot); });
@@ -664,13 +679,14 @@ void Replica::OnAccept(NodeId from, const AcceptMsg& msg) {
   auto it = inflight_.find(msg.slot);
   if (it == inflight_.end()) return;  // already decided or failed
   InFlight& fl = it->second;
-  fl.acks.insert(from);
+  const auto pos = std::lower_bound(fl.acks.begin(), fl.acks.end(), from);
+  if (pos == fl.acks.end() || *pos != from) fl.acks.insert(pos, from);
   if (msg.lease_vote) {
     Timestamp& have = lease_votes_[from];
     have = std::max(have, msg.lease_until);
     RecomputeLeaseExpiry();
   }
-  if (ReplicationRule().IsSatisfied(fl.acks)) {
+  if (ReplicationRule().IsSatisfiedSorted(fl.acks)) {
     Decide(msg.slot);
   }
 }
@@ -704,7 +720,7 @@ void Replica::Decide(SlotId slot) {
     case DecidePolicy::kNone:
       break;
     case DecidePolicy::kQuorum:
-      learners = ReplicationRule().Targets();
+      learners = ReplicationTargets();
       break;
     case DecidePolicy::kZone:
       learners = topology_->NodesInZone(topology_->ZoneOf(id_));
@@ -737,7 +753,9 @@ void Replica::LearnDecided(SlotId slot, const Value& value) {
                      "conflicting decisions in slot " << slot);
     return;
   }
-  while (decided_.count(watermark_) > 0) ++watermark_;
+  // Advance over the contiguous decided run; each step is one O(1)
+  // window probe.
+  while (decided_.Contains(watermark_)) ++watermark_;
   if (decide_cb_) decide_cb_(slot, value);
 }
 
@@ -798,7 +816,7 @@ void Replica::RecomputeLeaseExpiry() {
   expiries.reserve(lease_votes_.size());
   for (const auto& [n, t] : lease_votes_) expiries.push_back(t);
   std::sort(expiries.rbegin(), expiries.rend());
-  const QuorumRule rule = ReplicationRule();
+  const QuorumRule& rule = ReplicationRule();
   for (Timestamp t : expiries) {
     std::set<NodeId> voters;
     for (const auto& [n, exp] : lease_votes_) {
@@ -918,6 +936,7 @@ void Replica::OnRelinquish(NodeId from, const RelinquishMsg& msg) {
   // replication quorums (restriction under Expanding Quorums).
   declared_intents_ = msg.intents;
   active_intent_ = 0;
+  InvalidateReplicationRule();
   if (config_.enable_failure_detector) {
     if (watchdog_timer_ != 0) {
       sim_->Cancel(watchdog_timer_);
@@ -1110,7 +1129,7 @@ Status Replica::TruncateDecidedBelow(SlotId slot) {
     return Status::FailedPrecondition(
         "snapshot hooks required before truncating history");
   }
-  decided_.erase(decided_.begin(), decided_.lower_bound(slot));
+  decided_.EraseBelow(slot);
   log_start_ = std::max(log_start_, slot);
   return Status::OK();
 }
@@ -1186,10 +1205,10 @@ void Replica::OnSnapshotReply(NodeId from, const SnapshotReplyMsg& msg) {
     DPAXOS_CHECK(snapshot_installer_ != nullptr);
     snapshot_installer_(msg.through_slot, msg.snapshot);
     // Everything below through_slot is baked into the snapshot.
-    decided_.erase(decided_.begin(), decided_.lower_bound(msg.through_slot));
+    decided_.EraseBelow(msg.through_slot);
     log_start_ = std::max(log_start_, msg.through_slot);
     watermark_ = std::max(watermark_, msg.through_slot);
-    while (decided_.count(watermark_) > 0) ++watermark_;
+    while (decided_.Contains(watermark_)) ++watermark_;
   }
   // Resume pulling the log tail above the snapshot.
   CatchUpRequestNext();
@@ -1517,79 +1536,71 @@ void Replica::AdoptView(const LeaderZoneView& view) {
 // Message dispatch
 
 void Replica::HandleMessage(NodeId from, const MessagePtr& msg) {
-  const Message* m = msg.get();
-  if (auto* p = dynamic_cast<const PrepareMsg*>(m)) return OnPrepare(from, *p);
-  if (auto* p = dynamic_cast<const PromiseMsg*>(m)) return OnPromise(from, *p);
-  if (auto* p = dynamic_cast<const PrepareNackMsg*>(m)) {
-    return OnPrepareNack(from, *p);
-  }
-  if (auto* p = dynamic_cast<const ProposeMsg*>(m)) return OnPropose(from, *p);
-  if (auto* p = dynamic_cast<const AcceptMsg*>(m)) return OnAccept(from, *p);
-  if (auto* p = dynamic_cast<const AcceptNackMsg*>(m)) {
-    return OnAcceptNack(from, *p);
-  }
-  if (auto* p = dynamic_cast<const DecideMsg*>(m)) return OnDecide(from, *p);
-  if (auto* p = dynamic_cast<const HandoffRequestMsg*>(m)) {
-    return OnHandoffRequest(from, *p);
-  }
-  if (auto* p = dynamic_cast<const HeartbeatMsg*>(m)) {
-    return OnHeartbeat(from, *p);
-  }
-  if (auto* p = dynamic_cast<const RelinquishMsg*>(m)) {
-    return OnRelinquish(from, *p);
-  }
-  if (auto* p = dynamic_cast<const ForwardMsg*>(m)) {
-    return OnForward(from, *p);
-  }
-  if (auto* p = dynamic_cast<const ForwardReplyMsg*>(m)) {
-    return OnForwardReply(from, *p);
-  }
-  if (auto* p = dynamic_cast<const LearnRequestMsg*>(m)) {
-    return OnLearnRequest(from, *p);
-  }
-  if (auto* p = dynamic_cast<const LearnReplyMsg*>(m)) {
-    return OnLearnReply(from, *p);
-  }
-  if (auto* p = dynamic_cast<const SnapshotRequestMsg*>(m)) {
-    return OnSnapshotRequest(from, *p);
-  }
-  if (auto* p = dynamic_cast<const SnapshotReplyMsg*>(m)) {
-    return OnSnapshotReply(from, *p);
-  }
-  if (auto* p = dynamic_cast<const GcPollMsg*>(m)) return OnGcPoll(from, *p);
-  if (auto* p = dynamic_cast<const GcThresholdMsg*>(m)) {
-    return OnGcThreshold(from, *p);
-  }
-  if (auto* p = dynamic_cast<const LzPrepareMsg*>(m)) {
-    return OnLzPrepare(from, *p);
-  }
-  if (auto* p = dynamic_cast<const LzPromiseMsg*>(m)) {
-    return OnLzPromise(from, *p);
-  }
-  if (auto* p = dynamic_cast<const LzProposeMsg*>(m)) {
-    return OnLzPropose(from, *p);
-  }
-  if (auto* p = dynamic_cast<const LzAcceptMsg*>(m)) {
-    return OnLzAccept(from, *p);
-  }
-  if (auto* p = dynamic_cast<const LzNackMsg*>(m)) return OnLzNack(from, *p);
-  if (auto* p = dynamic_cast<const LzTransitionMsg*>(m)) {
-    return OnLzTransition(from, *p);
-  }
-  if (auto* p = dynamic_cast<const LzTransitionAckMsg*>(m)) {
-    return OnLzTransitionAck(from, *p);
-  }
-  if (auto* p = dynamic_cast<const LzStoreIntentsMsg*>(m)) {
-    return OnLzStoreIntents(from, *p);
-  }
-  if (auto* p = dynamic_cast<const LzStoreAckMsg*>(m)) {
-    return OnLzStoreAck(from, *p);
-  }
-  if (auto* p = dynamic_cast<const LzAnnounceMsg*>(m)) {
-    return OnLzAnnounce(from, *p);
+  const Message& m = *msg;
+  // One virtual call picks the handler; the tag is authoritative for the
+  // concrete type (each message class returns its own WireType), so the
+  // static_casts replace the former dynamic_cast probe chain.
+  switch (static_cast<WireType>(m.wire_tag())) {
+    case WireType::kPrepare:
+      return OnPrepare(from, static_cast<const PrepareMsg&>(m));
+    case WireType::kPromise:
+      return OnPromise(from, static_cast<const PromiseMsg&>(m));
+    case WireType::kPrepareNack:
+      return OnPrepareNack(from, static_cast<const PrepareNackMsg&>(m));
+    case WireType::kPropose:
+      return OnPropose(from, static_cast<const ProposeMsg&>(m));
+    case WireType::kAccept:
+      return OnAccept(from, static_cast<const AcceptMsg&>(m));
+    case WireType::kAcceptNack:
+      return OnAcceptNack(from, static_cast<const AcceptNackMsg&>(m));
+    case WireType::kDecide:
+      return OnDecide(from, static_cast<const DecideMsg&>(m));
+    case WireType::kHandoffRequest:
+      return OnHandoffRequest(from, static_cast<const HandoffRequestMsg&>(m));
+    case WireType::kHeartbeat:
+      return OnHeartbeat(from, static_cast<const HeartbeatMsg&>(m));
+    case WireType::kRelinquish:
+      return OnRelinquish(from, static_cast<const RelinquishMsg&>(m));
+    case WireType::kForward:
+      return OnForward(from, static_cast<const ForwardMsg&>(m));
+    case WireType::kForwardReply:
+      return OnForwardReply(from, static_cast<const ForwardReplyMsg&>(m));
+    case WireType::kLearnRequest:
+      return OnLearnRequest(from, static_cast<const LearnRequestMsg&>(m));
+    case WireType::kLearnReply:
+      return OnLearnReply(from, static_cast<const LearnReplyMsg&>(m));
+    case WireType::kSnapshotRequest:
+      return OnSnapshotRequest(from, static_cast<const SnapshotRequestMsg&>(m));
+    case WireType::kSnapshotReply:
+      return OnSnapshotReply(from, static_cast<const SnapshotReplyMsg&>(m));
+    case WireType::kGcPoll:
+      return OnGcPoll(from, static_cast<const GcPollMsg&>(m));
+    case WireType::kGcThreshold:
+      return OnGcThreshold(from, static_cast<const GcThresholdMsg&>(m));
+    case WireType::kLzPrepare:
+      return OnLzPrepare(from, static_cast<const LzPrepareMsg&>(m));
+    case WireType::kLzPromise:
+      return OnLzPromise(from, static_cast<const LzPromiseMsg&>(m));
+    case WireType::kLzPropose:
+      return OnLzPropose(from, static_cast<const LzProposeMsg&>(m));
+    case WireType::kLzAccept:
+      return OnLzAccept(from, static_cast<const LzAcceptMsg&>(m));
+    case WireType::kLzNack:
+      return OnLzNack(from, static_cast<const LzNackMsg&>(m));
+    case WireType::kLzTransition:
+      return OnLzTransition(from, static_cast<const LzTransitionMsg&>(m));
+    case WireType::kLzTransitionAck:
+      return OnLzTransitionAck(from, static_cast<const LzTransitionAckMsg&>(m));
+    case WireType::kLzStoreIntents:
+      return OnLzStoreIntents(from, static_cast<const LzStoreIntentsMsg&>(m));
+    case WireType::kLzStoreAck:
+      return OnLzStoreAck(from, static_cast<const LzStoreAckMsg&>(m));
+    case WireType::kLzAnnounce:
+      return OnLzAnnounce(from, static_cast<const LzAnnounceMsg&>(m));
+    default:
+      break;  // e.g. a GC poll reply, which the replica never consumes
   }
   DPAXOS_WARN("node " << id_ << " ignores unknown message "
-                      << m->TypeName());
+              << m.TypeName());
 }
-
 }  // namespace dpaxos

@@ -27,6 +27,7 @@
 #include "common/types.h"
 #include "net/transport.h"
 #include "paxos/acceptor.h"
+#include "paxos/decided_log.h"
 #include "paxos/messages.h"
 #include "paxos/replica_config.h"
 #include "paxos/value.h"
@@ -163,7 +164,7 @@ class Replica {
   void set_sync_hook(std::function<void()> hook) {
     sync_hook_ = std::move(hook);
   }
-  const std::map<SlotId, Value>& decided() const { return decided_; }
+  const DecidedLog& decided() const { return decided_; }
   /// Lowest slot id not yet known decided (contiguous watermark).
   SlotId DecidedWatermark() const;
 
@@ -239,7 +240,7 @@ class Replica {
   // Per-slot leader-side replication state.
   struct InFlight {
     Value value;
-    std::set<NodeId> acks;
+    std::vector<NodeId> acks;  // sorted, unique (a handful of nodes)
     CommitCallback cb;
     Timestamp start = 0;
     uint32_t retries = 0;
@@ -340,7 +341,13 @@ class Replica {
   void DrainPending();
   void StepDown(const Ballot& preemptor);
   void FailInFlight(const Status& status);
-  QuorumRule ReplicationRule() const;
+  const QuorumRule& ReplicationRule() const;
+  /// ReplicationRule().Targets(), cached alongside the rule (the hot
+  /// path reads it once per propose/retransmit/heartbeat fan-out).
+  const std::vector<NodeId>& ReplicationTargets() const;
+  /// Must be called whenever declared_intents_ or active_intent_
+  /// changes; the cached rule is rebuilt on next use.
+  void InvalidateReplicationRule() { replication_rule_valid_ = false; }
   void RecomputeLeaseExpiry();
 
   // --- leaderless ---
@@ -387,6 +394,12 @@ class Replica {
   uint32_t recovery_pending_ = 0;
   std::vector<Intent> declared_intents_;
   size_t active_intent_ = 0;
+  // Cache of ReplicationRule()/Targets() for the current intent; the
+  // old code rebuilt the rule (vector-of-vectors churn) on every accept
+  // ack, which dominated the load-phase profile.
+  mutable bool replication_rule_valid_ = false;
+  mutable QuorumRule cached_replication_rule_;
+  mutable std::vector<NodeId> cached_replication_targets_;
   std::map<SlotId, InFlight> inflight_;
   std::deque<std::pair<Value, CommitCallback>> pending_;
   std::map<NodeId, Timestamp> lease_votes_;
@@ -407,7 +420,7 @@ class Replica {
   void OnLeaderSilence();
 
   // Learner state.
-  std::map<SlotId, Value> decided_;
+  DecidedLog decided_;
   SlotId watermark_ = 0;   // lowest slot not yet known decided
   SlotId log_start_ = 0;   // lowest retained decided slot (truncation)
   DecideCallback decide_cb_;

@@ -1,9 +1,11 @@
 #include "paxos/wire.h"
 
 #include <memory>
+#include <utility>
 
 #include "common/check.h"
 #include "common/codec.h"
+#include "common/perf_counters.h"
 #include "paxos/messages.h"
 
 namespace dpaxos {
@@ -11,8 +13,13 @@ namespace dpaxos {
 namespace {
 
 // --- field-group helpers -------------------------------------------------
+//
+// Every Put helper (and per-type Encode below) is templated on the writer
+// so each runs twice per message: once with CountingWriter to size the
+// output, once with ByteWriter to emit into the exactly-reserved buffer.
 
-void PutBallot(ByteWriter& w, const Ballot& b) {
+template <typename W>
+void PutBallot(W& w, const Ballot& b) {
   w.PutU64(b.round);
   w.PutU32(b.node);
 }
@@ -21,7 +28,8 @@ bool ReadBallot(ByteReader& r, Ballot* b) {
   return r.ReadU64(&b->round) && r.ReadU32(&b->node);
 }
 
-void PutValue(ByteWriter& w, const Value& v) {
+template <typename W>
+void PutValue(W& w, const Value& v) {
   w.PutU64(v.id);
   w.PutU64(v.size_bytes);
   w.PutString(v.payload);
@@ -32,7 +40,8 @@ bool ReadValue(ByteReader& r, Value* v) {
          r.ReadString(&v->payload);
 }
 
-void PutView(ByteWriter& w, const LeaderZoneView& view) {
+template <typename W>
+void PutView(W& w, const LeaderZoneView& view) {
   w.PutU64(view.epoch);
   w.PutU32(view.current);
   w.PutU32(view.next);
@@ -43,7 +52,8 @@ bool ReadView(ByteReader& r, LeaderZoneView* view) {
          r.ReadU32(&view->next);
 }
 
-void PutIntent(ByteWriter& w, const Intent& intent) {
+template <typename W>
+void PutIntent(W& w, const Intent& intent) {
   PutBallot(w, intent.ballot);
   w.PutU32(intent.leader);
   w.PutU32(static_cast<uint32_t>(intent.quorum.size()));
@@ -64,7 +74,8 @@ bool ReadIntent(ByteReader& r, Intent* intent) {
   return true;
 }
 
-void PutIntents(ByteWriter& w, const std::vector<Intent>& intents) {
+template <typename W>
+void PutIntents(W& w, const std::vector<Intent>& intents) {
   w.PutU32(static_cast<uint32_t>(intents.size()));
   for (const Intent& in : intents) PutIntent(w, in);
 }
@@ -80,7 +91,8 @@ bool ReadIntents(ByteReader& r, std::vector<Intent>* intents) {
   return true;
 }
 
-void PutAcceptedEntry(ByteWriter& w, const AcceptedEntry& e) {
+template <typename W>
+void PutAcceptedEntry(W& w, const AcceptedEntry& e) {
   w.PutU64(e.slot);
   PutBallot(w, e.ballot);
   PutValue(w, e.value);
@@ -93,7 +105,8 @@ bool ReadAcceptedEntry(ByteReader& r, AcceptedEntry* e) {
 
 // --- per-type encoders ----------------------------------------------------
 
-void Encode(ByteWriter& w, const PrepareMsg& m) {
+template <typename W>
+void Encode(W& w, const PrepareMsg& m) {
   PutBallot(w, m.ballot);
   w.PutU64(m.first_slot);
   PutIntents(w, m.intents);
@@ -101,7 +114,8 @@ void Encode(ByteWriter& w, const PrepareMsg& m) {
   PutView(w, m.lz_view);
 }
 
-void Encode(ByteWriter& w, const PromiseMsg& m) {
+template <typename W>
+void Encode(W& w, const PromiseMsg& m) {
   PutBallot(w, m.ballot);
   w.PutBool(m.expansion);
   w.PutU32(static_cast<uint32_t>(m.accepted.size()));
@@ -110,14 +124,16 @@ void Encode(ByteWriter& w, const PromiseMsg& m) {
   PutView(w, m.lz_view);
 }
 
-void Encode(ByteWriter& w, const PrepareNackMsg& m) {
+template <typename W>
+void Encode(W& w, const PrepareNackMsg& m) {
   PutBallot(w, m.ballot);
   PutBallot(w, m.promised);
   w.PutU64(m.lease_until);
   PutView(w, m.lz_view);
 }
 
-void Encode(ByteWriter& w, const ProposeMsg& m) {
+template <typename W>
+void Encode(W& w, const ProposeMsg& m) {
   PutBallot(w, m.ballot);
   w.PutU64(m.slot);
   PutValue(w, m.value);
@@ -126,114 +142,143 @@ void Encode(ByteWriter& w, const ProposeMsg& m) {
   w.PutBool(m.recovery_complete);
 }
 
-void Encode(ByteWriter& w, const AcceptMsg& m) {
+template <typename W>
+void Encode(W& w, const AcceptMsg& m) {
   PutBallot(w, m.ballot);
   w.PutU64(m.slot);
   w.PutBool(m.lease_vote);
   w.PutU64(m.lease_until);
 }
 
-void Encode(ByteWriter& w, const AcceptNackMsg& m) {
+template <typename W>
+void Encode(W& w, const AcceptNackMsg& m) {
   PutBallot(w, m.ballot);
   w.PutU64(m.slot);
   PutBallot(w, m.promised);
 }
 
-void Encode(ByteWriter& w, const DecideMsg& m) {
+template <typename W>
+void Encode(W& w, const DecideMsg& m) {
   w.PutU64(m.slot);
   PutValue(w, m.value);
 }
 
-void Encode(ByteWriter&, const HandoffRequestMsg&) {}
+template <typename W>
+void Encode(W&, const HandoffRequestMsg&) {}
 
-void Encode(ByteWriter& w, const HeartbeatMsg& m) { PutBallot(w, m.ballot); }
+template <typename W>
+void Encode(W& w, const HeartbeatMsg& m) {
+  PutBallot(w, m.ballot);
+}
 
-void Encode(ByteWriter& w, const RelinquishMsg& m) {
+template <typename W>
+void Encode(W& w, const RelinquishMsg& m) {
   PutBallot(w, m.ballot);
   w.PutU64(m.next_slot);
   PutIntents(w, m.intents);
   PutView(w, m.lz_view);
 }
 
-void Encode(ByteWriter&, const GcPollMsg&) {}
+template <typename W>
+void Encode(W&, const GcPollMsg&) {}
 
-void Encode(ByteWriter& w, const GcPollReplyMsg& m) {
+template <typename W>
+void Encode(W& w, const GcPollReplyMsg& m) {
   PutBallot(w, m.max_propose_ballot);
 }
 
-void Encode(ByteWriter& w, const GcThresholdMsg& m) {
+template <typename W>
+void Encode(W& w, const GcThresholdMsg& m) {
   PutBallot(w, m.threshold);
 }
 
-void Encode(ByteWriter& w, const LzPrepareMsg& m) {
+template <typename W>
+void Encode(W& w, const LzPrepareMsg& m) {
   w.PutU64(m.epoch);
   PutBallot(w, m.ballot);
 }
 
-void Encode(ByteWriter& w, const LzPromiseMsg& m) {
+template <typename W>
+void Encode(W& w, const LzPromiseMsg& m) {
   w.PutU64(m.epoch);
   PutBallot(w, m.ballot);
   PutBallot(w, m.accepted_ballot);
   w.PutU32(m.accepted_zone);
 }
 
-void Encode(ByteWriter& w, const LzProposeMsg& m) {
+template <typename W>
+void Encode(W& w, const LzProposeMsg& m) {
   w.PutU64(m.epoch);
   PutBallot(w, m.ballot);
   w.PutU32(m.next_zone);
 }
 
-void Encode(ByteWriter& w, const LzAcceptMsg& m) {
+template <typename W>
+void Encode(W& w, const LzAcceptMsg& m) {
   w.PutU64(m.epoch);
   PutBallot(w, m.ballot);
   w.PutU32(m.next_zone);
 }
 
-void Encode(ByteWriter& w, const LzNackMsg& m) {
+template <typename W>
+void Encode(W& w, const LzNackMsg& m) {
   w.PutU64(m.epoch);
   PutBallot(w, m.ballot);
   PutBallot(w, m.promised);
   PutView(w, m.lz_view);
 }
 
-void Encode(ByteWriter& w, const LzTransitionMsg& m) {
+template <typename W>
+void Encode(W& w, const LzTransitionMsg& m) {
   w.PutU64(m.epoch);
   w.PutU32(m.next_zone);
 }
 
-void Encode(ByteWriter& w, const LzTransitionAckMsg& m) {
+template <typename W>
+void Encode(W& w, const LzTransitionAckMsg& m) {
   w.PutU64(m.epoch);
   PutIntents(w, m.intents);
 }
 
-void Encode(ByteWriter& w, const LzStoreIntentsMsg& m) {
+template <typename W>
+void Encode(W& w, const LzStoreIntentsMsg& m) {
   w.PutU64(m.epoch);
   w.PutU32(m.next_zone);
   PutIntents(w, m.intents);
 }
 
-void Encode(ByteWriter& w, const LzStoreAckMsg& m) { w.PutU64(m.epoch); }
+template <typename W>
+void Encode(W& w, const LzStoreAckMsg& m) {
+  w.PutU64(m.epoch);
+}
 
-void Encode(ByteWriter& w, const LzAnnounceMsg& m) { PutView(w, m.view); }
+template <typename W>
+void Encode(W& w, const LzAnnounceMsg& m) {
+  PutView(w, m.view);
+}
 
-void Encode(ByteWriter& w, const ForwardMsg& m) {
+template <typename W>
+void Encode(W& w, const ForwardMsg& m) {
   w.PutU64(m.request_id);
   PutValue(w, m.value);
 }
 
-void Encode(ByteWriter& w, const ForwardReplyMsg& m) {
+template <typename W>
+void Encode(W& w, const ForwardReplyMsg& m) {
   w.PutU64(m.request_id);
   w.PutU8(static_cast<uint8_t>(m.code));
   w.PutU64(m.slot);
   w.PutU32(m.leader_hint);
 }
 
-void Encode(ByteWriter& w, const LearnRequestMsg& m) {
+template <typename W>
+void Encode(W& w, const LearnRequestMsg& m) {
   w.PutU64(m.from_slot);
   w.PutU32(m.max_entries);
 }
 
-void Encode(ByteWriter& w, const LearnReplyMsg& m) {
+template <typename W>
+void Encode(W& w, const LearnReplyMsg& m) {
   w.PutU64(m.from_slot);
   w.PutU32(static_cast<uint32_t>(m.entries.size()));
   for (const DecidedEntryWire& e : m.entries) {
@@ -244,24 +289,112 @@ void Encode(ByteWriter& w, const LearnReplyMsg& m) {
   w.PutU64(m.first_available);
 }
 
-void Encode(ByteWriter&, const SnapshotRequestMsg&) {}
+template <typename W>
+void Encode(W&, const SnapshotRequestMsg&) {}
 
-void Encode(ByteWriter& w, const SnapshotReplyMsg& m) {
+template <typename W>
+void Encode(W& w, const SnapshotReplyMsg& m) {
   w.PutU64(m.through_slot);
   w.PutString(m.snapshot);
 }
 
-template <typename T>
-bool TrySerialize(const Message& msg, WireType type, ByteWriter& w,
-                  std::string* out, bool* matched) {
-  const T* typed = dynamic_cast<const T*>(&msg);
-  if (typed == nullptr) return false;
-  w.PutU8(static_cast<uint8_t>(type));
-  w.PutU32(typed->partition);
-  Encode(w, *typed);
-  *matched = true;
-  (void)out;
-  return true;
+/// Encode the body (everything after the tag+partition header) of `msg`,
+/// whose dynamic type is identified by `type` (its wire_tag()). The tag
+/// was placed on each message by its own class, so the static_cast per
+/// case is exact — this replaces a 29-way dynamic_cast probe with one
+/// virtual call and a jump table.
+template <typename W>
+void EncodeBody(W& w, const Message& msg, WireType type) {
+  switch (type) {
+    case WireType::kPrepare:
+      Encode(w, static_cast<const PrepareMsg&>(msg));
+      return;
+    case WireType::kPromise:
+      Encode(w, static_cast<const PromiseMsg&>(msg));
+      return;
+    case WireType::kPrepareNack:
+      Encode(w, static_cast<const PrepareNackMsg&>(msg));
+      return;
+    case WireType::kPropose:
+      Encode(w, static_cast<const ProposeMsg&>(msg));
+      return;
+    case WireType::kAccept:
+      Encode(w, static_cast<const AcceptMsg&>(msg));
+      return;
+    case WireType::kAcceptNack:
+      Encode(w, static_cast<const AcceptNackMsg&>(msg));
+      return;
+    case WireType::kDecide:
+      Encode(w, static_cast<const DecideMsg&>(msg));
+      return;
+    case WireType::kHandoffRequest:
+      Encode(w, static_cast<const HandoffRequestMsg&>(msg));
+      return;
+    case WireType::kRelinquish:
+      Encode(w, static_cast<const RelinquishMsg&>(msg));
+      return;
+    case WireType::kGcPoll:
+      Encode(w, static_cast<const GcPollMsg&>(msg));
+      return;
+    case WireType::kGcPollReply:
+      Encode(w, static_cast<const GcPollReplyMsg&>(msg));
+      return;
+    case WireType::kGcThreshold:
+      Encode(w, static_cast<const GcThresholdMsg&>(msg));
+      return;
+    case WireType::kLzPrepare:
+      Encode(w, static_cast<const LzPrepareMsg&>(msg));
+      return;
+    case WireType::kLzPromise:
+      Encode(w, static_cast<const LzPromiseMsg&>(msg));
+      return;
+    case WireType::kLzPropose:
+      Encode(w, static_cast<const LzProposeMsg&>(msg));
+      return;
+    case WireType::kLzAccept:
+      Encode(w, static_cast<const LzAcceptMsg&>(msg));
+      return;
+    case WireType::kLzNack:
+      Encode(w, static_cast<const LzNackMsg&>(msg));
+      return;
+    case WireType::kLzTransition:
+      Encode(w, static_cast<const LzTransitionMsg&>(msg));
+      return;
+    case WireType::kLzTransitionAck:
+      Encode(w, static_cast<const LzTransitionAckMsg&>(msg));
+      return;
+    case WireType::kLzStoreIntents:
+      Encode(w, static_cast<const LzStoreIntentsMsg&>(msg));
+      return;
+    case WireType::kLzStoreAck:
+      Encode(w, static_cast<const LzStoreAckMsg&>(msg));
+      return;
+    case WireType::kLzAnnounce:
+      Encode(w, static_cast<const LzAnnounceMsg&>(msg));
+      return;
+    case WireType::kForward:
+      Encode(w, static_cast<const ForwardMsg&>(msg));
+      return;
+    case WireType::kForwardReply:
+      Encode(w, static_cast<const ForwardReplyMsg&>(msg));
+      return;
+    case WireType::kLearnRequest:
+      Encode(w, static_cast<const LearnRequestMsg&>(msg));
+      return;
+    case WireType::kLearnReply:
+      Encode(w, static_cast<const LearnReplyMsg&>(msg));
+      return;
+    case WireType::kSnapshotRequest:
+      Encode(w, static_cast<const SnapshotRequestMsg&>(msg));
+      return;
+    case WireType::kSnapshotReply:
+      Encode(w, static_cast<const SnapshotReplyMsg&>(msg));
+      return;
+    case WireType::kHeartbeat:
+      Encode(w, static_cast<const HeartbeatMsg&>(msg));
+      return;
+  }
+  DPAXOS_CHECK_MSG(false, "unserializable message " << msg.TypeName());
 }
 
 // --- per-type decoders ------------------------------------------------------
@@ -519,67 +652,38 @@ MessagePtr DecodeSnapshotReply(ByteReader& r, PartitionId p) {
   return std::make_shared<SnapshotReplyMsg>(p, through, std::move(snapshot));
 }
 
+/// tag (u8) + partition (u32).
+constexpr size_t kWireHeaderBytes = 5;
+
 }  // namespace
+
+void SerializeMessageInto(const Message& msg, std::string* out) {
+  const uint8_t tag = msg.wire_tag();
+  DPAXOS_CHECK_MSG(tag != 0, "unserializable message " << msg.TypeName());
+  const WireType type = static_cast<WireType>(tag);
+  // Pass 1: exact body size, so pass 2 appends into reserved capacity.
+  CountingWriter counter;
+  EncodeBody(counter, msg, type);
+  const size_t encoded = kWireHeaderBytes + counter.size();
+  out->reserve(out->size() + encoded);
+  ByteWriter w(out);
+  w.PutU8(tag);
+  // Only PaxosMessage subclasses carry non-zero wire tags.
+  w.PutU32(static_cast<const PaxosMessage&>(msg).partition);
+  EncodeBody(w, msg, type);
+  PerfCounters& perf = GlobalPerfCounters();
+  ++perf.wire_encodes;
+  perf.wire_encode_bytes += encoded;
+}
 
 std::string SerializeMessage(const Message& msg) {
   std::string out;
-  ByteWriter w(&out);
-  bool matched = false;
-  TrySerialize<PrepareMsg>(msg, WireType::kPrepare, w, &out, &matched) ||
-      TrySerialize<PromiseMsg>(msg, WireType::kPromise, w, &out, &matched) ||
-      TrySerialize<PrepareNackMsg>(msg, WireType::kPrepareNack, w, &out,
-                                   &matched) ||
-      TrySerialize<ProposeMsg>(msg, WireType::kPropose, w, &out, &matched) ||
-      TrySerialize<AcceptMsg>(msg, WireType::kAccept, w, &out, &matched) ||
-      TrySerialize<AcceptNackMsg>(msg, WireType::kAcceptNack, w, &out,
-                                  &matched) ||
-      TrySerialize<DecideMsg>(msg, WireType::kDecide, w, &out, &matched) ||
-      TrySerialize<HandoffRequestMsg>(msg, WireType::kHandoffRequest, w,
-                                      &out, &matched) ||
-      TrySerialize<RelinquishMsg>(msg, WireType::kRelinquish, w, &out,
-                                  &matched) ||
-      TrySerialize<GcPollMsg>(msg, WireType::kGcPoll, w, &out, &matched) ||
-      TrySerialize<GcPollReplyMsg>(msg, WireType::kGcPollReply, w, &out,
-                                   &matched) ||
-      TrySerialize<GcThresholdMsg>(msg, WireType::kGcThreshold, w, &out,
-                                   &matched) ||
-      TrySerialize<LzPrepareMsg>(msg, WireType::kLzPrepare, w, &out,
-                                 &matched) ||
-      TrySerialize<LzPromiseMsg>(msg, WireType::kLzPromise, w, &out,
-                                 &matched) ||
-      TrySerialize<LzProposeMsg>(msg, WireType::kLzPropose, w, &out,
-                                 &matched) ||
-      TrySerialize<LzAcceptMsg>(msg, WireType::kLzAccept, w, &out,
-                                &matched) ||
-      TrySerialize<LzNackMsg>(msg, WireType::kLzNack, w, &out, &matched) ||
-      TrySerialize<LzTransitionMsg>(msg, WireType::kLzTransition, w, &out,
-                                    &matched) ||
-      TrySerialize<LzTransitionAckMsg>(msg, WireType::kLzTransitionAck, w,
-                                       &out, &matched) ||
-      TrySerialize<LzStoreIntentsMsg>(msg, WireType::kLzStoreIntents, w,
-                                      &out, &matched) ||
-      TrySerialize<LzStoreAckMsg>(msg, WireType::kLzStoreAck, w, &out,
-                                  &matched) ||
-      TrySerialize<LzAnnounceMsg>(msg, WireType::kLzAnnounce, w, &out,
-                                  &matched) ||
-      TrySerialize<ForwardMsg>(msg, WireType::kForward, w, &out, &matched) ||
-      TrySerialize<ForwardReplyMsg>(msg, WireType::kForwardReply, w, &out,
-                                    &matched) ||
-      TrySerialize<LearnRequestMsg>(msg, WireType::kLearnRequest, w, &out,
-                                    &matched) ||
-      TrySerialize<LearnReplyMsg>(msg, WireType::kLearnReply, w, &out,
-                                  &matched) ||
-      TrySerialize<SnapshotRequestMsg>(msg, WireType::kSnapshotRequest, w,
-                                       &out, &matched) ||
-      TrySerialize<SnapshotReplyMsg>(msg, WireType::kSnapshotReply, w, &out,
-                                     &matched) ||
-      TrySerialize<HeartbeatMsg>(msg, WireType::kHeartbeat, w, &out,
-                                 &matched);
-  DPAXOS_CHECK_MSG(matched, "unserializable message " << msg.TypeName());
+  SerializeMessageInto(msg, &out);
   return out;
 }
 
-Result<MessagePtr> DeserializeMessage(const std::string& bytes) {
+Result<MessagePtr> DeserializeMessage(std::string_view bytes) {
+  ++GlobalPerfCounters().wire_decodes;
   ByteReader r(bytes);
   uint8_t tag = 0;
   PartitionId partition = 0;

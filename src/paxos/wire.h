@@ -7,56 +7,35 @@
 // configured (SimTransportOptions::validate_wire_codec) to round-trip
 // every remote message through this codec, so the entire protocol test
 // suite doubles as a codec conformance test.
+//
+// The wire tag of each type lives with the messages themselves (WireType
+// in paxos/messages.h, returned by Message::wire_tag()); this header owns
+// only the encode/decode entry points.
 #ifndef DPAXOS_PAXOS_WIRE_H_
 #define DPAXOS_PAXOS_WIRE_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
-#include "net/message.h"
+#include "paxos/messages.h"
 
 namespace dpaxos {
 
-/// Stable one-byte tags identifying each message type on the wire.
-enum class WireType : uint8_t {
-  kPrepare = 1,
-  kPromise = 2,
-  kPrepareNack = 3,
-  kPropose = 4,
-  kAccept = 5,
-  kAcceptNack = 6,
-  kDecide = 7,
-  kHandoffRequest = 8,
-  kRelinquish = 9,
-  kGcPoll = 10,
-  kGcPollReply = 11,
-  kGcThreshold = 12,
-  kLzPrepare = 13,
-  kLzPromise = 14,
-  kLzPropose = 15,
-  kLzAccept = 16,
-  kLzNack = 17,
-  kLzTransition = 18,
-  kLzTransitionAck = 19,
-  kLzStoreIntents = 20,
-  kLzStoreAck = 21,
-  kLzAnnounce = 22,
-  kForward = 23,
-  kForwardReply = 24,
-  kLearnRequest = 25,
-  kLearnReply = 26,
-  kSnapshotRequest = 27,
-  kSnapshotReply = 28,
-  kHeartbeat = 29,
-};
+/// Serialize any protocol message, appending to `*out`. The encoded size
+/// is computed up front (a counting pass over the message) and reserved
+/// in one shot, so a cleared, reused buffer never reallocates in steady
+/// state. Aborts (DPAXOS_CHECK) on a message type outside the protocol
+/// set — a programming error.
+void SerializeMessageInto(const Message& msg, std::string* out);
 
-/// Serialize any protocol message. Aborts (DPAXOS_CHECK) on a message
-/// type outside the protocol set — a programming error.
+/// Convenience wrapper returning a fresh string.
 std::string SerializeMessage(const Message& msg);
 
 /// Parse bytes produced by SerializeMessage. Returns Corruption on any
-/// malformed input (unknown tag, truncation, trailing bytes).
-Result<MessagePtr> DeserializeMessage(const std::string& bytes);
+/// malformed input (unknown tag, truncation, trailing bytes). The bytes
+/// are only read during the call; the returned message owns its data.
+Result<MessagePtr> DeserializeMessage(std::string_view bytes);
 
 }  // namespace dpaxos
 

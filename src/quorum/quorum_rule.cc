@@ -28,6 +28,19 @@ uint32_t CountAcks(const QuorumRequirement& req,
   return have;
 }
 
+// Both lists are sorted and unique; count their intersection linearly.
+uint32_t CountAcks(const QuorumRequirement& req,
+                   const std::vector<NodeId>& sorted_acks) {
+  uint32_t have = 0;
+  auto it = sorted_acks.begin();
+  for (NodeId n : req.candidates) {
+    while (it != sorted_acks.end() && *it < n) ++it;
+    if (it == sorted_acks.end()) break;
+    if (*it == n) ++have;
+  }
+  return have;
+}
+
 }  // namespace
 
 QuorumRule::QuorumRule(std::vector<QuorumGroup> groups)
@@ -78,6 +91,18 @@ bool QuorumRule::IsSatisfied(const std::set<NodeId>& acks) const {
     uint32_t satisfied = 0;
     for (const QuorumRequirement& req : g.requirements) {
       if (CountAcks(req, acks) >= req.min_acks) ++satisfied;
+    }
+    if (satisfied < g.min_satisfied) return false;
+  }
+  return true;
+}
+
+bool QuorumRule::IsSatisfiedSorted(
+    const std::vector<NodeId>& sorted_acks) const {
+  for (const QuorumGroup& g : groups_) {
+    uint32_t satisfied = 0;
+    for (const QuorumRequirement& req : g.requirements) {
+      if (CountAcks(req, sorted_acks) >= req.min_acks) ++satisfied;
     }
     if (satisfied < g.min_satisfied) return false;
   }

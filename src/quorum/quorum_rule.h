@@ -70,6 +70,9 @@ class QuorumRule {
 
   /// True if the acks collected so far satisfy every group.
   bool IsSatisfied(const std::set<NodeId>& acks) const;
+  /// Same predicate over a sorted, unique vector (the replication hot
+  /// path keeps its ack sets flat).
+  bool IsSatisfiedSorted(const std::vector<NodeId>& sorted_acks) const;
 
   /// True if the rule can no longer be satisfied given that every node in
   /// `rejected` will never ack (it nacked or is known dead).

@@ -1,0 +1,137 @@
+// Small-buffer-optimized move-only callable for simulator events.
+//
+// Every scheduled closure in the repository used to be a
+// std::function<void()>, which heap-allocates for captures over two
+// pointers — one malloc/free per event on the hottest path in the
+// simulator. EventFn stores up to kInlineBytes of capture state inline
+// in the event slab instead; typical delivery closures (this + two node
+// ids + a shared_ptr) fit with room to spare. Larger closures fall back
+// to the heap and are counted (PerfCounters::callable_heap_allocs), so
+// tests/perf_counters_test.cc can assert the steady state never pays
+// for one.
+#ifndef DPAXOS_SIM_EVENT_FN_H_
+#define DPAXOS_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/perf_counters.h"
+
+namespace dpaxos {
+
+/// \brief Move-only type-erased void() callable with inline storage.
+///
+/// Unlike std::function it cannot be copied — events run exactly once,
+/// and copyability is what forces std::function to heap-allocate
+/// non-trivial captures. Construction from any callable (including
+/// lvalue std::functions, which are copied in) is implicit so existing
+/// Schedule() call sites compile unchanged.
+class EventFn {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::ops;
+      ++GlobalPerfCounters().callable_heap_allocs;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  /// Per-callable-type vtable: three free functions instead of a
+  /// polymorphic wrapper, so an empty EventFn is a null pointer and a
+  /// move is a memcpy-sized relocate.
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-construct into dst from src, then destroy src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void Relocate(void* dst, void* src) {
+      Fn* s = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    }
+    static void Destroy(void* p) { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* Get(void* p) { return *static_cast<Fn**>(p); }
+    static void Invoke(void* p) { (*Get(p))(); }
+    static void Relocate(void* dst, void* src) {
+      ::new (dst) Fn*(Get(src));
+    }
+    static void Destroy(void* p) { delete Get(p); }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
+  };
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+static_assert(!std::is_copy_constructible_v<EventFn> &&
+                  !std::is_copy_assignable_v<EventFn>,
+              "EventFn must stay move-only: copyability is what forces "
+              "per-event heap allocation");
+static_assert(std::is_nothrow_move_constructible_v<EventFn>,
+              "slab compaction relies on noexcept relocation");
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_SIM_EVENT_FN_H_

@@ -3,46 +3,140 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/perf_counters.h"
 
 namespace dpaxos {
 
-EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
-  return ScheduleAt(now_ + delay, std::move(fn));
+namespace {
+
+constexpr uint64_t kSlotMask = 0xffff'ffffull;
+
+constexpr EventId MakeId(uint32_t generation, uint32_t slot) {
+  return (static_cast<uint64_t>(generation) << 32) | slot;
 }
 
-EventId Simulator::ScheduleAt(Timestamp when, std::function<void()> fn) {
+}  // namespace
+
+uint32_t Simulator::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  ++GlobalPerfCounters().slab_growths;
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  // Bumping the generation is what invalidates every outstanding EventId
+  // for this slot; 0 is reserved so an id can never be 0 (the "no timer"
+  // sentinel) and Cancel(0) always misses.
+  if (++s.generation == 0) s.generation = 1;
+  free_slots_.push_back(slot);
+}
+
+void Simulator::HeapPush(HeapEntry e) {
+  ++GlobalPerfCounters().heap_pushes;
+  heap_.push_back(e);
+  SiftUp(static_cast<uint32_t>(heap_.size() - 1));
+}
+
+void Simulator::HeapRemoveAt(uint32_t pos) {
+  ++GlobalPerfCounters().heap_pops;
+  const uint32_t last = static_cast<uint32_t>(heap_.size() - 1);
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    heap_.pop_back();
+    // The moved-in entry may be out of order in either direction
+    // relative to its new neighbourhood; at most one of these moves it.
+    SiftDown(pos);
+    SiftUp(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void Simulator::SiftUp(uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    const uint32_t parent = (pos - 1) / 2;
+    if (!Before(e, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos].slot].heap_pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = e;
+  slots_[e.slot].heap_pos = pos;
+}
+
+void Simulator::SiftDown(uint32_t pos) {
+  const uint32_t n = static_cast<uint32_t>(heap_.size());
+  const HeapEntry e = heap_[pos];
+  while (true) {
+    uint32_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && Before(heap_[child + 1], heap_[child])) ++child;
+    if (!Before(heap_[child], e)) break;
+    heap_[pos] = heap_[child];
+    slots_[heap_[pos].slot].heap_pos = pos;
+    pos = child;
+  }
+  heap_[pos] = e;
+  slots_[e.slot].heap_pos = pos;
+}
+
+EventId Simulator::ScheduleAt(Timestamp when, EventFn fn) {
   DPAXOS_CHECK_GE(when, now_);
-  DPAXOS_CHECK(fn != nullptr);
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
+  DPAXOS_CHECK(static_cast<bool>(fn));
+  const uint32_t slot = AcquireSlot();
+  slots_[slot].fn = std::move(fn);
+  const EventId id = MakeId(slots_[slot].generation, slot);
+  HeapPush(HeapEntry{when, next_seq_++, slot});
+  ++GlobalPerfCounters().events_scheduled;
   return id;
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Lazy cancellation: mark the id; the event is skipped when popped.
-  // We cannot tell here whether the event already ran, so callers should
-  // only cancel ids they know are pending (e.g. un-fired timers).
-  return cancelled_.insert(id).second;
+  PerfCounters& perf = GlobalPerfCounters();
+  const uint32_t slot = static_cast<uint32_t>(id & kSlotMask);
+  const uint32_t generation = static_cast<uint32_t>(id >> 32);
+  // A handle is live iff its slot exists and the generations match: the
+  // slot's generation was bumped the moment the event ran (or was
+  // cancelled), so a stale cancel costs two loads and leaves nothing
+  // behind — the unbounded tombstone set is gone.
+  if (slot >= slots_.size() || slots_[slot].generation != generation) {
+    ++perf.stale_cancels;
+    return false;
+  }
+  Slot& s = slots_[slot];
+  HeapRemoveAt(s.heap_pos);
+  s.fn = EventFn();  // destroy the closure (and its captures) eagerly
+  ReleaseSlot(slot);
+  ++perf.events_cancelled;
+  return true;
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(ev.id) > 0) continue;  // skip cancelled events
-    DPAXOS_CHECK_GE(ev.when, now_);
-    now_ = ev.when;
-    ev.fn();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_[0];
+  HeapRemoveAt(0);
+  DPAXOS_CHECK_GE(top.when, now_);
+  now_ = top.when;
+  // Move the closure out and release the slot BEFORE invoking: the
+  // closure may schedule (and even cancel) events, reusing this slot.
+  EventFn fn = std::move(slots_[top.slot].fn);
+  ReleaseSlot(top.slot);
+  ++GlobalPerfCounters().events_executed;
+  fn();
+  return true;
 }
 
 size_t Simulator::RunUntil(Timestamp until) {
   DPAXOS_CHECK_GE(until, now_);
   size_t executed = 0;
-  while (!queue_.empty() && queue_.top().when <= until) {
+  while (!heap_.empty() && heap_[0].when <= until) {
     if (Step()) ++executed;
   }
   now_ = until;

@@ -1,24 +1,37 @@
 // Deterministic discrete-event simulation kernel.
 //
-// The Simulator owns a virtual clock (microseconds) and a priority queue of
-// events. Events with equal timestamps execute in scheduling order, so the
-// entire simulation is a pure function of its seed and inputs — the
-// property every experiment and property test in this repository relies on.
+// The Simulator owns a virtual clock (microseconds) and a pending-event
+// store split into two structures:
+//
+//   * a SLAB of event slots (closure + generation + heap position),
+//     recycled through a free list so the steady state allocates nothing;
+//   * an INDEXED BINARY HEAP of 24-byte PODs {when, seq, slot} ordered by
+//     (when, seq) — seq is a monotonic scheduling ticket, so events with
+//     equal timestamps execute in scheduling order and the entire
+//     simulation is a pure function of its seed and inputs. Every
+//     experiment, property test and golden file in this repository
+//     relies on that order (see docs/perf.md before touching it).
+//
+// Slots track their heap position (maintained by every sift), which is
+// what makes Cancel() a true O(log n) removal instead of the tombstone
+// set the kernel used to carry. EventIds carry a generation tag so a
+// stale cancel — of an event that already fired, or of a recycled slot —
+// is detected and refused in O(1) without any growing side structure.
 #ifndef DPAXOS_SIM_SIMULATOR_H_
 #define DPAXOS_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/random.h"
 #include "common/types.h"
+#include "sim/event_fn.h"
 
 namespace dpaxos {
 
 /// Identifier of a scheduled event, usable with Simulator::Cancel().
+/// Encodes (generation << 32 | slot); never 0, so 0 is a safe sentinel
+/// for "no timer" (callers rely on this).
 using EventId = uint64_t;
 
 /// \brief Single-threaded discrete-event simulator.
@@ -37,13 +50,16 @@ class Simulator {
 
   /// Schedule `fn` to run `delay` after the current virtual time.
   /// Returns an id that can be passed to Cancel().
-  EventId Schedule(Duration delay, std::function<void()> fn);
+  EventId Schedule(Duration delay, EventFn fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
 
   /// Schedule `fn` at an absolute virtual time (>= Now()).
-  EventId ScheduleAt(Timestamp when, std::function<void()> fn);
+  EventId ScheduleAt(Timestamp when, EventFn fn);
 
-  /// Cancel a pending event. Returns false if it already ran, was already
-  /// cancelled, or never existed.
+  /// Cancel a pending event: O(log n) removal from the heap. Returns
+  /// false — cheaply, with no state retained — if the event already ran,
+  /// was already cancelled, or never existed (stale handle).
   bool Cancel(EventId id);
 
   /// Run all events with timestamp <= `until`, then set the clock to
@@ -61,29 +77,54 @@ class Simulator {
   /// Execute exactly one event if any is pending. Returns true if one ran.
   bool Step();
 
-  /// Number of events currently pending.
-  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  /// Number of events currently pending (cancelled events leave the
+  /// heap immediately, so this is exact).
+  size_t pending_events() const { return heap_.size(); }
+
+  /// The ticket the NEXT ScheduleAt() call will be assigned. Two reads
+  /// returning the same value bracket a span in which nothing was
+  /// scheduled — the transport uses this to prove that coalescing
+  /// same-tick deliveries cannot reorder the schedule (see
+  /// SimTransport::EnqueueDelivery).
+  uint64_t next_schedule_seq() const { return next_seq_; }
 
   /// The simulation's root random source (fork children per component).
   Rng& rng() { return rng_; }
 
  private:
-  struct Event {
+  /// Heap element: plain 24-byte POD, so sifts and pops are register
+  /// moves — the closure never travels through the heap.
+  struct HeapEntry {
     Timestamp when;
-    EventId id;  // also the tie-break sequence number
-    std::function<void()> fn;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;  // min-heap on time
-      return a.id > b.id;                            // FIFO among ties
-    }
+    uint64_t seq;   ///< scheduling ticket; unique, so (when, seq) is total
+    uint32_t slot;  ///< index into slots_
   };
 
+  /// Slab slot: owns the closure between ScheduleAt and execution.
+  struct Slot {
+    EventFn fn;
+    uint32_t generation = 1;  ///< bumped on release; 0 is never issued
+    uint32_t heap_pos = 0;    ///< current index in heap_ while pending
+  };
+
+  static bool Before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t slot);
+  void HeapPush(HeapEntry e);
+  /// Remove the entry at `pos`, restoring the heap property around it.
+  void HeapRemoveAt(uint32_t pos);
+  void SiftUp(uint32_t pos);
+  void SiftDown(uint32_t pos);
+
   Timestamp now_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_set<EventId> cancelled_;
+  uint64_t next_seq_ = 1;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
   Rng rng_;
 };
 

@@ -1,0 +1,104 @@
+// Slot-indexed accepted-entry storage for the acceptor record.
+//
+// Accepted slots are log positions: they arrive almost densely from a
+// low base and are never erased individually. A base-offset vector
+// therefore beats a tree map on every acceptor operation — O(1) find
+// and insert with no per-entry node allocation, and the ordered scan
+// OnPrepare needs starts directly at the requested slot instead of
+// walking the whole container.
+#ifndef DPAXOS_STORAGE_ACCEPTED_LOG_H_
+#define DPAXOS_STORAGE_ACCEPTED_LOG_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "paxos/messages.h"
+
+namespace dpaxos {
+
+/// \brief Accepted (slot -> entry) storage, dense in slot.
+///
+/// Pointers returned by Find() are invalidated by the next Put() —
+/// callers use them immediately (the acceptor reads the prior entry
+/// before overwriting it, never across a mutation).
+class AcceptedLog {
+ public:
+  /// Entry for `slot`, or nullptr.
+  const AcceptedEntry* Find(SlotId slot) const {
+    if (entries_.empty() || slot < base_) return nullptr;
+    const size_t idx = static_cast<size_t>(slot - base_);
+    if (idx >= entries_.size()) return nullptr;
+    const Cell& c = entries_[idx];
+    return c.present ? &c.entry : nullptr;
+  }
+
+  /// Insert or overwrite the entry for `slot`.
+  void Put(SlotId slot, AcceptedEntry entry) {
+    if (entries_.empty()) {
+      base_ = slot;
+    } else if (slot < base_) {
+      // Rare: an older slot shows up after a higher one (e.g. catch-up
+      // proposes arriving out of order). Re-base by prepending gaps.
+      entries_.insert(entries_.begin(), static_cast<size_t>(base_ - slot),
+                      Cell{});
+      base_ = slot;
+    }
+    const size_t idx = static_cast<size_t>(slot - base_);
+    if (idx >= entries_.size()) entries_.resize(idx + 1);
+    Cell& c = entries_[idx];
+    if (!c.present) {
+      c.present = true;
+      ++count_;
+    }
+    c.entry = std::move(entry);
+  }
+
+  /// Visit entries with slot >= first_slot in ascending slot order.
+  template <typename F>
+  void ForEachFrom(SlotId first_slot, F&& f) const {
+    size_t i = 0;
+    if (!entries_.empty() && first_slot > base_) {
+      const size_t skip = static_cast<size_t>(first_slot - base_);
+      if (skip >= entries_.size()) return;
+      i = skip;
+    }
+    for (; i < entries_.size(); ++i) {
+      if (entries_[i].present) f(entries_[i].entry);
+    }
+  }
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Largest slot with an entry (kInvalidSlot when empty). The tail cell
+  /// is always present — Put never leaves a trailing gap — so this is
+  /// O(1) in practice; the loop only guards the general case.
+  SlotId MaxSlot() const {
+    for (size_t i = entries_.size(); i > 0; --i) {
+      if (entries_[i - 1].present) return base_ + (i - 1);
+    }
+    return kInvalidSlot;
+  }
+
+  void clear() {
+    entries_.clear();
+    count_ = 0;
+    base_ = 0;
+  }
+
+ private:
+  struct Cell {
+    AcceptedEntry entry;
+    bool present = false;
+  };
+
+  SlotId base_ = 0;
+  std::vector<Cell> entries_;
+  size_t count_ = 0;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_STORAGE_ACCEPTED_LOG_H_

@@ -18,13 +18,14 @@
 #include "paxos/ballot.h"
 #include "paxos/intent.h"
 #include "paxos/messages.h"
+#include "storage/accepted_log.h"
 
 namespace dpaxos {
 
 /// \brief The state an acceptor must persist (per partition).
 struct AcceptorRecord {
   Ballot promised;
-  std::map<SlotId, AcceptedEntry> accepted;
+  AcceptedLog accepted;
   std::vector<Intent> intents;
   /// Largest ballot seen in any propose message.
   Ballot max_propose_ballot;

@@ -4,44 +4,82 @@
 #ifndef DPAXOS_TXN_BATCH_H_
 #define DPAXOS_TXN_BATCH_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <utility>
 
+#include "common/codec.h"
 #include "paxos/value.h"
 #include "txn/transaction.h"
 
 namespace dpaxos {
 
 /// \brief Accumulates transactions into fixed-size-target batches.
+///
+/// Transactions are encoded as they arrive instead of being stored and
+/// re-encoded at emit time: the builder appends each one to a growing
+/// payload whose leading count word is patched in Take(), and the payload
+/// is then moved — not copied — into the emitted value. The output is
+/// byte-identical to EncodeBatch() over the same transactions.
 class BatchBuilder {
  public:
   /// `target_bytes`: emit a batch once its encoded size reaches this.
   explicit BatchBuilder(uint64_t target_bytes)
-      : target_bytes_(target_bytes) {}
+      : target_bytes_(target_bytes) {
+    ResetBuffer();
+  }
 
   /// Add a transaction; returns true once the batch is full.
-  bool Add(Transaction txn) {
-    pending_bytes_ += EncodedSize(txn);
-    pending_.push_back(std::move(txn));
+  bool Add(const Transaction& txn) {
+    const uint64_t sz = EncodedSize(txn);
+    ByteWriter w(&encoded_);
+    w.Reserve(static_cast<size_t>(sz));
+    w.PutU64(txn.id);
+    w.PutU64(txn.client_id);
+    w.PutU64(txn.seq);
+    w.PutU32(static_cast<uint32_t>(txn.ops.size()));
+    for (const Operation& op : txn.ops) {
+      w.PutU8(static_cast<uint8_t>(op.kind));
+      w.PutString(op.key);
+      w.PutString(op.value);
+    }
+    pending_bytes_ += sz;
+    ++count_;
     return pending_bytes_ >= target_bytes_;
   }
 
-  bool empty() const { return pending_.empty(); }
-  size_t size() const { return pending_.size(); }
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  /// Encoded bytes of the pending transactions (excluding the count
+  /// header), i.e. the sum of their EncodedSize() — what the byte target
+  /// is compared against.
   uint64_t pending_bytes() const { return pending_bytes_; }
 
   /// Encode and clear the pending batch into a consensus value.
   Value Take(uint64_t value_id) {
-    Value v = Value::Of(value_id, EncodeBatch(pending_));
-    pending_.clear();
+    // Patch the count header in place (little-endian, matching ByteWriter).
+    const uint32_t n = static_cast<uint32_t>(count_);
+    for (int i = 0; i < 4; ++i) {
+      encoded_[static_cast<size_t>(i)] =
+          static_cast<char>((n >> (8 * i)) & 0xff);
+    }
+    Value v = Value::Of(value_id, std::move(encoded_));
+    ResetBuffer();
     pending_bytes_ = 0;
+    count_ = 0;
     return v;
   }
 
  private:
+  void ResetBuffer() {
+    encoded_.clear();
+    encoded_.append(4, '\0');  // count placeholder, patched by Take()
+  }
+
   uint64_t target_bytes_;
   uint64_t pending_bytes_ = 0;
-  std::vector<Transaction> pending_;
+  size_t count_ = 0;
+  std::string encoded_;
 };
 
 }  // namespace dpaxos

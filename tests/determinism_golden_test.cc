@@ -1,0 +1,155 @@
+// Golden-file determinism tests: the observable schedule of a run —
+// operation history, commit latencies, virtual clock, wire traffic — is
+// a pure function of the seed, and must stay BYTE-IDENTICAL across
+// kernel/transport/codec rewrites. The goldens in tests/golden/ were
+// captured from the original copy-on-pop priority_queue kernel; any
+// hot-path change that alters them has changed the simulated schedule,
+// not just its wall-clock cost (see docs/perf.md).
+//
+// To regenerate after an INTENTIONAL schedule change (e.g. a new fault
+// schedule), run the test once with DPAXOS_REGEN_GOLDEN=1 and commit the
+// updated files together with an explanation of why the schedule moved.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/chaos.h"
+#include "harness/cluster.h"
+#include "harness/load_driver.h"
+
+#ifndef DPAXOS_GOLDEN_DIR
+#error "build must define DPAXOS_GOLDEN_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace dpaxos {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(DPAXOS_GOLDEN_DIR) + "/" + name;
+}
+
+bool RegenRequested() {
+  const char* v = std::getenv("DPAXOS_REGEN_GOLDEN");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+/// Compare `actual` against the named golden file, or rewrite the file
+/// when DPAXOS_REGEN_GOLDEN is set. On mismatch, report the first
+/// differing line — a raw two-string diff of a multi-thousand-line
+/// history is unreadable.
+void CompareOrRegen(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (RegenRequested()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path << " (" << actual.size()
+                 << " bytes)";
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — capture it with DPAXOS_REGEN_GOLDEN=1 on a known-good build";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+  if (expected == actual) return;
+
+  std::istringstream want(expected), got(actual);
+  std::string want_line, got_line;
+  size_t line = 0;
+  while (true) {
+    ++line;
+    const bool more_want = static_cast<bool>(std::getline(want, want_line));
+    const bool more_got = static_cast<bool>(std::getline(got, got_line));
+    if (!more_want && !more_got) break;  // diff is in trailing bytes
+    if (!more_want || !more_got || want_line != got_line) {
+      FAIL() << "schedule diverged from golden " << name << " at line "
+             << line << "\n  golden: "
+             << (more_want ? want_line : std::string("<eof>"))
+             << "\n  actual: "
+             << (more_got ? got_line : std::string("<eof>"))
+             << "\n(sizes: golden=" << expected.size()
+             << " actual=" << actual.size() << " bytes)";
+    }
+  }
+  FAIL() << "golden " << name << " differs (sizes: golden="
+         << expected.size() << " actual=" << actual.size() << " bytes)";
+}
+
+/// Fingerprint of one closed-loop load run: everything a bench would
+/// report, down to each individual latency sample in completion order.
+/// Deliberately excludes perf counters and pending_events() — those
+/// describe the kernel's internals, which optimisations MAY change.
+std::string LoadFingerprint(ProtocolMode mode) {
+  ClusterOptions options;
+  options.ft = FaultTolerance{1, 0};
+  options.seed = 42;
+  options.replica.max_inflight = 8;
+  options.replica.decide_policy = DecidePolicy::kQuorum;
+  Cluster cluster(Topology::AwsSevenZones(), mode, options);
+
+  Replica* proposer = cluster.ReplicaInZone(0);
+  Result<Duration> elected = cluster.ElectLeader(proposer->id());
+  EXPECT_TRUE(elected.ok());
+
+  LoadOptions load;
+  load.batch_bytes = 512;
+  load.duration = 5 * kSecond;
+  load.window = 8;
+  const LoadResult result = RunClosedLoop(cluster, proposer, load);
+
+  std::ostringstream out;
+  out << "mode=" << ProtocolModeName(mode)
+      << " committed=" << result.committed << " failed=" << result.failed
+      << " reads=" << result.reads_served << "\n";
+  out << "throughput ops=" << result.throughput.operations
+      << " bytes=" << result.throughput.bytes
+      << " elapsed=" << result.throughput.elapsed << "\n";
+  out << "now=" << cluster.sim().Now()
+      << " bytes_sent=" << cluster.transport().TotalBytesSent() << "\n";
+  for (Duration sample : result.commit_latency.samples()) {
+    out << "lat " << sample << "\n";
+  }
+  return out.str();
+}
+
+TEST(DeterminismGolden, LoadLeaderZone) {
+  CompareOrRegen("load_leaderzone_w8_seed42.txt",
+                 LoadFingerprint(ProtocolMode::kLeaderZone));
+}
+
+TEST(DeterminismGolden, LoadDelegate) {
+  CompareOrRegen("load_delegate_w8_seed42.txt",
+                 LoadFingerprint(ProtocolMode::kDelegate));
+}
+
+// The chaos cell exercises every hot path at once — nemesis timers and
+// their cancellations, client retries, duplicated and dropped messages —
+// and its per-op history (invoke/complete virtual timestamps included)
+// is the strictest schedule fingerprint the harness can produce.
+TEST(DeterminismGolden, ChaosLeaderZoneMixed) {
+  ChaosOptions options;
+  options.mode = ProtocolMode::kLeaderZone;
+  options.schedule = "mixed";
+  options.seed = 5;
+  options.duration = 10 * kSecond;
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+
+  std::ostringstream out;
+  out << "invoked=" << report.ops_invoked
+      << " committed=" << report.ops_committed
+      << " failed=" << report.ops_failed
+      << " indeterminate=" << report.ops_indeterminate
+      << " retries=" << report.client_retries
+      << " nemesis=" << report.nemesis_actions << "\n";
+  out << report.history_text;
+  CompareOrRegen("chaos_leaderzone_mixed_seed5.txt", out.str());
+}
+
+}  // namespace
+}  // namespace dpaxos

@@ -84,6 +84,43 @@ TEST(SimulatorTest, DoubleCancelFails) {
   sim.RunUntilIdle();
 }
 
+TEST(SimulatorTest, CancelAfterFireFails) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.Schedule(5, [&] { fired = true; });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(fired);
+  // The handle died the moment the event ran; cancelling is a stale no-op.
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, HandleReuseAcrossMillionEvents) {
+  Simulator sim;
+  uint64_t fired = 0;
+  std::vector<EventId> stale;
+  constexpr int kEvents = 1'000'000;
+  for (int i = 0; i < kEvents; ++i) {
+    const EventId id = sim.Schedule(1, [&] { ++fired; });
+    if (stale.size() < 100) stale.push_back(id);
+    ASSERT_TRUE(sim.Step());
+  }
+  EXPECT_EQ(fired, static_cast<uint64_t>(kEvents));
+
+  // The retained handles' slots have been reused ~a million times each;
+  // generation tagging must keep every old handle dead.
+  for (EventId id : stale) EXPECT_FALSE(sim.Cancel(id));
+
+  // A stale cancel must also never kill the *current* occupant of the
+  // reused slot: schedule a fresh event, cancel an old handle, and the
+  // fresh event still fires.
+  bool late_fired = false;
+  sim.Schedule(1, [&] { late_fired = true; });
+  EXPECT_FALSE(sim.Cancel(stale.front()));
+  sim.RunUntilIdle();
+  EXPECT_TRUE(late_fired);
+}
+
 TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
   Simulator sim;
   Timestamp seen = 0;

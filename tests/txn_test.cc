@@ -135,5 +135,36 @@ TEST(BatchBuilderTest, ValueSizeMatchesPayload) {
   EXPECT_EQ(v.size_bytes, v.payload.size());
 }
 
+// The incremental encoder must be byte-identical to EncodeBatch over the
+// same transactions, and its running byte count must match the sum of
+// the per-transaction EncodedSize the budget check uses.
+TEST(BatchBuilderTest, IncrementalEncodeMatchesEncodeBatch) {
+  BatchBuilder builder(1 << 20);  // large target: nothing auto-emits
+  std::vector<Transaction> reference;
+  uint64_t expected_bytes = 0;
+  for (uint64_t i = 0; i < 17; ++i) {
+    Transaction txn = SampleTxn(i);
+    if (i % 3 == 0) txn.ops.clear();  // empty-op transactions encode too
+    expected_bytes += EncodedSize(txn);
+    reference.push_back(txn);
+    builder.Add(txn);
+    EXPECT_EQ(builder.pending_bytes(), expected_bytes);
+    EXPECT_EQ(builder.size(), reference.size());
+  }
+  const Value v = builder.Take(9);
+  EXPECT_EQ(v.payload, EncodeBatch(reference));
+
+  // The builder is reusable after Take and stays byte-compatible.
+  EXPECT_TRUE(builder.empty());
+  builder.Add(SampleTxn(99));
+  EXPECT_EQ(builder.Take(10).payload,
+            EncodeBatch({SampleTxn(99)}));
+}
+
+TEST(BatchBuilderTest, EmptyBatchMatchesEncodeBatch) {
+  BatchBuilder builder(64);
+  EXPECT_EQ(builder.Take(1).payload, EncodeBatch({}));
+}
+
 }  // namespace
 }  // namespace dpaxos

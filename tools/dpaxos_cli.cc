@@ -21,6 +21,7 @@
 #include "harness/cluster.h"
 #include "harness/load_driver.h"
 #include "harness/nemesis.h"
+#include "harness/simperf.h"
 #include "harness/table.h"
 
 using namespace dpaxos;
@@ -49,11 +50,15 @@ struct CliOptions {
   std::string schedule = "mixed";
   uint32_t clients = 4;
   uint32_t keys = 16;
+
+  // --experiment=simperf only.
+  bool smoke = false;
+  std::string out = "BENCH_simperf.json";
 };
 
 void Usage() {
   std::cout <<
-      "usage: dpaxos_cli [--experiment=load|election|chaos]\n"
+      "usage: dpaxos_cli [--experiment=load|election|chaos|simperf]\n"
       "  --mode=leaderzone|delegate|fpaxos|multipaxos|leaderless\n"
       "  --aws=true|false       paper topology (default) or uniform\n"
       "  --topology=FILE.csv    load a zone RTT matrix (overrides --aws)\n"
@@ -69,7 +74,10 @@ void Usage() {
       "chaos experiment (nemesis + retrying clients + checker):\n"
       "  --schedule=NAME        mixed|storm|partitions|lossy|moves|none\n"
       "  --clients=N            client sessions (default 4)\n"
-      "  --keys=N               key-pool size (default 16)\n";
+      "  --keys=N               key-pool size (default 16)\n"
+      "simperf experiment (wall-clock kernel throughput):\n"
+      "  --smoke                short phases (per-build smoke run)\n"
+      "  --out=PATH             JSON output (default BENCH_simperf.json)\n";
 }
 
 bool ParseArgImpl(const std::string& arg, CliOptions* o) {
@@ -127,6 +135,10 @@ bool ParseArgImpl(const std::string& arg, CliOptions* o) {
     o->clients = static_cast<uint32_t>(std::stoul(v));
   } else if (value_of("--keys", &v)) {
     o->keys = static_cast<uint32_t>(std::stoul(v));
+  } else if (arg == "--smoke") {
+    o->smoke = true;
+  } else if (value_of("--out", &v)) {
+    o->out = v;
   } else if (arg == "--help" || arg == "-h") {
     Usage();
     std::exit(0);
@@ -269,6 +281,36 @@ int RunChaosCli(const CliOptions& o, ProtocolMode mode) {
   return report.ok() ? 0 : 1;
 }
 
+int RunSimperfCli(const CliOptions& o) {
+  SimperfOptions options;
+  options.smoke = o.smoke;
+  options.seed = o.seed;
+  std::cout << "== dpaxos_cli: simperf"
+            << (options.smoke ? " (smoke)" : "") << ", seed="
+            << options.seed << "\n\n";
+  const SimperfReport report = RunSimperf(options);
+  TablePrinter table({"phase", "wall (ms)", "events", "events/sec"});
+  for (const auto& p : report.phases) {
+    table.AddRow({p.name, Fmt(p.wall_ms, 1), std::to_string(p.events),
+                  Fmt(p.wall_ms > 0 ? p.events / (p.wall_ms / 1000.0) : 0,
+                      0)});
+  }
+  table.AddRow({"TOTAL", Fmt(report.wall_ms, 1),
+                std::to_string(report.events),
+                Fmt(report.EventsPerSec(), 0)});
+  table.Print(std::cout);
+  std::cout << "\n" << report.counters.ToString() << "\n"
+            << "baseline " << Fmt(options.baseline_events_per_sec, 0)
+            << " -> current " << Fmt(report.EventsPerSec(), 0)
+            << " events/sec\n";
+  if (!WriteSimperfJson(o.out, report.ToJson(
+                                   options.baseline_events_per_sec))) {
+    return 1;
+  }
+  std::cout << "wrote " << o.out << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -287,9 +329,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Chaos builds its own cluster (with state machines and appliers).
+  // Chaos and simperf build their own clusters.
   if (options.experiment == "chaos") {
     return RunChaosCli(options, mode.value());
+  }
+  if (options.experiment == "simperf") {
+    return RunSimperfCli(options);
   }
 
   ClusterOptions cluster_options;
