@@ -4,32 +4,61 @@
 // seven-zone deployment closed-loop at window=32 under leaderzone,
 // delegate and multipaxos, plus one chaos cell — and reports how many
 // simulator events and transport messages the host retires per second of
-// *wall* time. Writes BENCH_simperf.json with both the recorded pre-PR
-// baseline and the current build, so every future hot-path change is
-// gated against this number (see docs/perf.md).
+// *wall* time. Then runs the shard-parallel workload (32 partitions
+// split over --shards independent clusters) at a sweep of thread counts,
+// recording the aggregate throughput scaling and verifying that every
+// simulated number is byte-identical regardless of the thread count.
+// Writes BENCH_simperf.json with the recorded pre-PR baseline, the
+// current build, and the scaling section, so every future hot-path
+// change is gated against these numbers (see docs/perf.md).
 //
 // Flags:
-//   --smoke         short phases for per-build smoke runs (ctest -L perf)
+//   --smoke         short phases for per-build smoke runs (ctest -L perf);
+//                   runs the sharded workload only when --shards is given
 //   --out=PATH      JSON output path (default BENCH_simperf.json)
 //   --seed=N        workload seed (default 42)
 //   --baseline=X    override the recorded baseline events/sec
 //   --repeat=N      run the workload N times, report the fastest run
 //                   (stretches short runs for sampling profilers)
+//   --shards=K      shard count for the parallel workload (default 8)
+//   --threads=T     max worker threads for the scaling sweep
+//                   (default: hardware concurrency)
+//   --partitions=P  total partitions across shards (default 32)
+//   --window=W      closed-loop clients per partition (default 8)
+//   --no-sharded    skip the shard-parallel workload entirely
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "bench_common.h"
 #include "harness/simperf.h"
+#include "sim/shard_runner.h"
 
 using namespace dpaxos;
+
+namespace {
+
+// Thread counts for the scaling sweep: 1, 2, 4, ... up to `max_threads`,
+// always ending on max_threads itself.
+std::vector<uint32_t> SweepThreadCounts(uint32_t max_threads) {
+  std::vector<uint32_t> counts;
+  for (uint32_t t = 1; t < max_threads; t *= 2) counts.push_back(t);
+  counts.push_back(max_threads);
+  return counts;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   SimperfOptions options;
   std::string out_path = "BENCH_simperf.json";
   uint64_t repeat = 1;
+  bool run_sharded = true;
+  bool shards_given = false;
+  uint32_t max_threads = ShardSet::HardwareThreads();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -42,11 +71,28 @@ int main(int argc, char** argv) {
       options.baseline_events_per_sec = std::stod(arg.substr(11));
     } else if (arg.rfind("--repeat=", 0) == 0) {
       repeat = std::max<uint64_t>(1, std::stoull(arg.substr(9)));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      options.shards = static_cast<uint32_t>(std::stoul(arg.substr(9)));
+      shards_given = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      max_threads = std::max(
+          1u, static_cast<uint32_t>(std::stoul(arg.substr(10))));
+    } else if (arg.rfind("--partitions=", 0) == 0) {
+      options.partitions =
+          static_cast<uint32_t>(std::stoul(arg.substr(13)));
+    } else if (arg.rfind("--window=", 0) == 0) {
+      options.window = static_cast<uint32_t>(std::stoul(arg.substr(9)));
+    } else if (arg == "--no-sharded") {
+      run_sharded = false;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return 2;
     }
   }
+  // Smoke runs stay minimal unless the sharded workload was asked for
+  // explicitly (the perf-smoke ctest passes --shards=4 --threads=2).
+  if (options.smoke && !shards_given) run_sharded = false;
+  options.partitions = std::max(options.partitions, options.shards);
 
   bench::PrintHeader(
       "simperf: wall-clock kernel throughput",
@@ -54,8 +100,11 @@ int main(int argc, char** argv) {
           (options.smoke ? " (smoke)" : ""));
 
   SimperfReport report = RunSimperf(options);
+  double best_events_per_sec = report.EventsPerSec();
   for (uint64_t run = 1; run < repeat; ++run) {
     SimperfReport next = RunSimperf(options);
+    best_events_per_sec =
+        std::max(best_events_per_sec, next.EventsPerSec());
     if (next.EventsPerSec() > report.EventsPerSec()) report = std::move(next);
   }
 
@@ -83,10 +132,67 @@ int main(int argc, char** argv) {
                             ? options.baseline_events_per_sec
                             : 1),
                    2)
+            << "x), best of " << repeat << ": "
+            << Fmt(best_events_per_sec, 0) << " events/sec ("
+            << Fmt(best_events_per_sec /
+                       (options.baseline_events_per_sec > 0
+                            ? options.baseline_events_per_sec
+                            : 1),
+                   2)
             << "x)\n";
 
+  SimperfJsonExtras extras;
+  extras.repeat = repeat;
+  extras.best_events_per_sec = best_events_per_sec;
+
+  ShardedSimperfReport sharded;
+  SimperfScaling scaling;
+  if (run_sharded) {
+    const std::vector<uint32_t> sweep = SweepThreadCounts(max_threads);
+    std::cout << "\n== shard-parallel workload: " << options.shards
+              << " shards x " << options.partitions << " partitions, "
+              << "window=" << options.window << "/partition, sweeping "
+              << sweep.size() << " thread counts (hardware: "
+              << ShardSet::HardwareThreads() << ")\n\n";
+    scaling = RunSimperfScaling(options, sweep);
+
+    TablePrinter sweep_table(
+        {"threads", "wall (ms)", "events/sec", "speedup vs t=1"});
+    for (const SimperfScalingPoint& p : scaling.points) {
+      sweep_table.AddRow({std::to_string(p.threads), Fmt(p.wall_ms, 1),
+                          Fmt(p.events_per_sec, 0),
+                          Fmt(p.speedup_vs_one_thread, 2) + "x"});
+    }
+    sweep_table.Print(std::cout);
+    std::cout << "byte-identical across thread counts: "
+              << (scaling.deterministic_across_threads ? "yes" : "NO")
+              << " (fingerprint " << scaling.fingerprint << ")\n\n";
+
+    // The per-shard report written to JSON comes from the widest point.
+    SimperfOptions full = options;
+    full.threads = max_threads;
+    sharded = RunSimperfSharded(full);
+    TablePrinter shard_table({"shard", "partitions", "wall (ms)", "events",
+                              "committed", "steals", "migrations"});
+    for (const SimperfShard& s : sharded.per_shard) {
+      shard_table.AddRow({std::to_string(s.shard_id),
+                          std::to_string(s.partitions), Fmt(s.wall_ms, 1),
+                          std::to_string(s.events),
+                          std::to_string(s.committed),
+                          std::to_string(s.steals),
+                          std::to_string(s.migrations)});
+    }
+    shard_table.Print(std::cout);
+    std::cout << "aggregate: " << Fmt(sharded.EventsPerSec(), 0)
+              << " events/sec over " << Fmt(sharded.wall_ms, 1)
+              << " ms, slab_growths=" << sharded.counters.slab_growths
+              << "\n";
+    extras.sharded = &sharded;
+    extras.scaling = &scaling;
+  }
+
   const std::string json =
-      report.ToJson(options.baseline_events_per_sec);
+      SimperfJson(report, options.baseline_events_per_sec, extras);
   if (!WriteSimperfJson(out_path, json)) return 1;
   std::cout << "wrote " << out_path << "\n";
   return 0;

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the shard-parallel runner.
+#
+# Builds the repo with -DDPAXOS_SANITIZE=thread and runs the two targets
+# that exercise real worker threads: shard_runner_test (pool mechanics +
+# thread-count invariance) and the sharded bench smoke. Any data race in
+# the ShardSet claim loop, the counter fold-back, or a shard body that
+# leaks shared state fails the script.
+#
+# Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DDPAXOS_SANITIZE=thread
+cmake --build "$BUILD_DIR" --target shard_runner_test bench_simperf -j"$(nproc)"
+
+# halt_on_error so the first race fails the gate instead of scrolling by.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+"$BUILD_DIR/tests/shard_runner_test"
+"$BUILD_DIR/bench/bench_simperf" --smoke --shards=4 --threads=4 \
+    --out="$BUILD_DIR/BENCH_simperf_tsan_smoke.json"
+
+echo "tsan_check: PASS (no data races reported)"

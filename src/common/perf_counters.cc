@@ -19,7 +19,9 @@ std::string PerfCounters::ToString() const {
       << " pool_growths=" << delivery_pool_growths << "\n"
       << "wire: encodes=" << wire_encodes
       << " encode_bytes=" << wire_encode_bytes
-      << " decodes=" << wire_decodes;
+      << " decodes=" << wire_decodes << "\n"
+      << "store: steals=" << store_steals
+      << " migrations=" << store_partition_migrations;
   return out.str();
 }
 

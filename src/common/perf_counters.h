@@ -1,14 +1,23 @@
 // Cheap, always-on performance counters for the simulation hot path.
 //
-// Every counter is a plain uint64_t increment on a process-wide instance
-// (the simulator is single-threaded by design), so instrumentation costs
-// one add per event — cheap enough to keep enabled in every build. The
-// counters answer two questions:
+// Every counter is a plain uint64_t increment on a THREAD-LOCAL instance
+// (each simulation shard runs confined to one thread; see
+// src/sim/shard_runner.h), so instrumentation costs one add per event —
+// no atomics, no false sharing, cheap enough to keep enabled in every
+// build. The counters answer two questions:
 //   1. How much work did a run do? (events, messages, bytes — the
 //      numerator of every events/sec benchmark, see bench/bench_simperf)
 //   2. Is the steady-state path allocation-free? (slab_growths,
 //      callable_heap_allocs and delivery_pool_growths must stay flat
 //      across a warm window — asserted by tests/perf_counters_test.cc)
+//
+// Threading model: a Simulator and everything attached to it (transport,
+// replicas, stores) must be driven from ONE thread at a time; that
+// thread's counters record the work. The ShardSet runner snapshots the
+// worker thread's counters around each shard and folds the per-shard
+// deltas back into the launching thread IN SHARD-ID ORDER, so aggregate
+// numbers are a pure function of the workload — bit-identical regardless
+// of how many worker threads carried it.
 //
 // Counters accumulate across simulators; measure deltas with Snapshot().
 #ifndef DPAXOS_COMMON_PERF_COUNTERS_H_
@@ -19,7 +28,29 @@
 
 namespace dpaxos {
 
-/// \brief Process-wide hot-path counters (see GlobalPerfCounters()).
+/// Every counter field, for generated fieldwise operations (DeltaSince,
+/// Add). Keep in sync with the member declarations below.
+#define DPAXOS_PERF_COUNTER_FIELDS(X) \
+  X(events_scheduled)                 \
+  X(events_executed)                  \
+  X(events_cancelled)                 \
+  X(stale_cancels)                    \
+  X(heap_pushes)                      \
+  X(heap_pops)                        \
+  X(slab_growths)                     \
+  X(callable_heap_allocs)             \
+  X(messages_sent)                    \
+  X(messages_delivered)               \
+  X(bytes_sent)                       \
+  X(deliveries_coalesced)             \
+  X(delivery_pool_growths)            \
+  X(wire_encodes)                     \
+  X(wire_encode_bytes)                \
+  X(wire_decodes)                     \
+  X(store_steals)                     \
+  X(store_partition_migrations)
+
+/// \brief Per-thread hot-path counters (see ThreadPerfCounters()).
 struct PerfCounters {
   // --- simulation kernel (src/sim/simulator.*) -----------------------
   uint64_t events_scheduled = 0;
@@ -29,7 +60,9 @@ struct PerfCounters {
   uint64_t heap_pushes = 0;
   uint64_t heap_pops = 0;
   /// Event-slab slots taken from fresh memory instead of the free list.
-  /// Flat across a warm window == the kernel runs allocation-free.
+  /// Flat across a warm window == the kernel runs allocation-free; zero
+  /// over a whole run == the workload hint (Simulator::Reserve) covered
+  /// the peak event population.
   uint64_t slab_growths = 0;
   /// Closures too large for the EventFn inline buffer (heap fallback).
   uint64_t callable_heap_allocs = 0;
@@ -48,45 +81,46 @@ struct PerfCounters {
   uint64_t wire_encode_bytes = 0;
   uint64_t wire_decodes = 0;
 
+  // --- sharded store (src/directory/sharded_store.*) -------------------
+  /// Successful WPaxos-style steal elections (includes first claims).
+  uint64_t store_steals = 0;
+  /// Steals that moved a partition away from an existing leader in a
+  /// different zone — true placement migrations.
+  uint64_t store_partition_migrations = 0;
+
   /// Counter-wise difference (this - since); used for warm-window deltas.
   PerfCounters DeltaSince(const PerfCounters& since) const {
     PerfCounters d;
-    d.events_scheduled = events_scheduled - since.events_scheduled;
-    d.events_executed = events_executed - since.events_executed;
-    d.events_cancelled = events_cancelled - since.events_cancelled;
-    d.stale_cancels = stale_cancels - since.stale_cancels;
-    d.heap_pushes = heap_pushes - since.heap_pushes;
-    d.heap_pops = heap_pops - since.heap_pops;
-    d.slab_growths = slab_growths - since.slab_growths;
-    d.callable_heap_allocs =
-        callable_heap_allocs - since.callable_heap_allocs;
-    d.messages_sent = messages_sent - since.messages_sent;
-    d.messages_delivered = messages_delivered - since.messages_delivered;
-    d.bytes_sent = bytes_sent - since.bytes_sent;
-    d.deliveries_coalesced =
-        deliveries_coalesced - since.deliveries_coalesced;
-    d.delivery_pool_growths =
-        delivery_pool_growths - since.delivery_pool_growths;
-    d.wire_encodes = wire_encodes - since.wire_encodes;
-    d.wire_encode_bytes = wire_encode_bytes - since.wire_encode_bytes;
-    d.wire_decodes = wire_decodes - since.wire_decodes;
+#define DPAXOS_PERF_DELTA(field) d.field = field - since.field;
+    DPAXOS_PERF_COUNTER_FIELDS(DPAXOS_PERF_DELTA)
+#undef DPAXOS_PERF_DELTA
     return d;
+  }
+
+  /// Counter-wise accumulation; used to fold per-shard deltas into an
+  /// aggregate (always in shard-id order, so reports are deterministic).
+  void Add(const PerfCounters& other) {
+#define DPAXOS_PERF_ADD(field) field += other.field;
+    DPAXOS_PERF_COUNTER_FIELDS(DPAXOS_PERF_ADD)
+#undef DPAXOS_PERF_ADD
   }
 
   /// Multi-line human-readable dump (benches print this after a run).
   std::string ToString() const;
 };
 
-/// The process-wide counter instance. All simulators, transports and
-/// codecs in this process increment the same counters; callers measure
-/// intervals by snapshotting before/after.
-inline PerfCounters& GlobalPerfCounters() {
-  static PerfCounters counters;
+/// The calling thread's counter instance. All simulators, transports and
+/// codecs driven by this thread increment the same counters; callers
+/// measure intervals by snapshotting before/after. Worker threads (shard
+/// runners) start from zero; their deltas are folded back into the
+/// launching thread by ShardSet::Run.
+inline PerfCounters& ThreadPerfCounters() {
+  thread_local PerfCounters counters;
   return counters;
 }
 
-/// Copy of the current counter values (for DeltaSince).
-inline PerfCounters SnapshotPerfCounters() { return GlobalPerfCounters(); }
+/// Copy of the calling thread's current counter values (for DeltaSince).
+inline PerfCounters SnapshotPerfCounters() { return ThreadPerfCounters(); }
 
 }  // namespace dpaxos
 

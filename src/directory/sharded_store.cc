@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/perf_counters.h"
 
 namespace dpaxos {
 
@@ -52,20 +53,47 @@ void ShardedStore::Steal(PartitionId partition, ZoneId zone,
   const NodeId thief = topology_->NodesInZone(zone)[0];
   Replica* replica = provider_(thief, partition);
   DPAXOS_CHECK(replica != nullptr);
-  if (leaders_[partition] != kInvalidNode) {
-    Replica* old = provider_(leaders_[partition], partition);
+  const NodeId previous = leaders_[partition];
+  if (previous != kInvalidNode) {
+    Replica* old = provider_(previous, partition);
     if (old != nullptr) replica->PrimeBallot(old->ballot());
   }
-  replica->TryBecomeLeader(
-      [this, partition, thief, done = std::move(done)](const Status& st) {
-        if (st.ok()) {
-          leaders_[partition] = thief;
-          ++steals_;
-          DPAXOS_DEBUG("partition " << partition << " stolen by node "
-                                    << thief);
-        }
-        if (done) done(st);
-      });
+  // A steal away from an existing leader in another zone is a true
+  // placement migration; a first claim is not.
+  const bool migrates =
+      previous != kInvalidNode && topology_->ZoneOf(previous) != zone;
+
+  auto elect = [this, partition, thief, migrates,
+                done = std::move(done)](Replica* r) {
+    r->TryBecomeLeader([this, partition, thief, migrates,
+                        done = std::move(done)](const Status& st) {
+      if (st.ok()) {
+        leaders_[partition] = thief;
+        ++steals_;
+        PerfCounters& perf = ThreadPerfCounters();
+        ++perf.store_steals;
+        if (migrates) ++perf.store_partition_migrations;
+        DPAXOS_DEBUG("partition " << partition << " stolen by node "
+                                  << thief);
+      }
+      if (done) done(st);
+    });
+  };
+
+  if (previous == kInvalidNode) {
+    // First claim: nothing decided yet, elect over the empty log.
+    elect(replica);
+    return;
+  }
+  // Migration: pull the decided log from the incumbent BEFORE the
+  // election, so the prepare round recovers only the undecided tail
+  // instead of re-replicating the whole history through the promises.
+  // Catch-up failure (e.g. incumbent crashed) is not fatal — the
+  // election can still recover everything, just expensively.
+  replica->CatchUpFrom(previous,
+                       [replica, elect = std::move(elect)](const Status&) {
+                         elect(replica);
+                       });
 }
 
 void ShardedStore::RouteToLeader(PartitionId partition, ZoneId client_zone,

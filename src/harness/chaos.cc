@@ -201,6 +201,12 @@ ChaosReport ChaosRun::Run() {
 
   ClusterOptions copts;
   copts.seed = options_.seed;
+  // Chaos is the most timer-heavy workload in the repo (failure
+  // detectors, leases, nemesis schedules, retrying clients); pre-size
+  // the event slab and delivery pool so even this cell runs with zero
+  // pool growth (see docs/perf.md, "Pre-sizing from workload hints").
+  copts.expected_pending_events = 4096;
+  copts.transport.initial_delivery_batches = 4096;
   copts.transport.drop_probability = options_.drop_probability;
   copts.transport.duplicate_probability = options_.duplicate_probability;
   copts.transport.max_jitter = 5 * kMillisecond;

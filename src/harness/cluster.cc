@@ -19,6 +19,9 @@ Cluster::Cluster(Topology topology, ProtocolMode mode, ClusterOptions options)
   DPAXOS_CHECK(!options_.partitions.empty());
 
   sim_ = std::make_unique<Simulator>(options_.seed);
+  if (options_.expected_pending_events > 0) {
+    sim_->Reserve(options_.expected_pending_events);
+  }
   transport_ =
       std::make_unique<SimTransport>(sim_.get(), &topology_, options_.transport);
   if (options_.transport.validate_wire_codec) {

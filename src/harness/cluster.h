@@ -31,6 +31,11 @@ struct ClusterOptions {
   /// Partitions hosted by every node.
   std::vector<PartitionId> partitions{0};
   uint64_t seed = 42;
+  /// Workload hint: peak simultaneously pending simulator events. When
+  /// non-zero the event slab is pre-sized (Simulator::Reserve) so the
+  /// whole run reports slab_growths == 0; pair with
+  /// transport.initial_delivery_batches for the delivery pool.
+  size_t expected_pending_events = 0;
 };
 
 /// \brief A fully wired simulated deployment of one protocol.

@@ -123,6 +123,17 @@ std::vector<LoadResult> RunClosedLoops(
   return results;
 }
 
+std::vector<LoadOptions> SplitLoad(const LoadOptions& base, uint32_t loops) {
+  DPAXOS_CHECK_GE(loops, 1u);
+  std::vector<LoadOptions> split(loops, base);
+  const uint32_t each = base.window / loops;
+  const uint32_t remainder = base.window % loops;
+  for (uint32_t i = 0; i < loops; ++i) {
+    split[i].window = std::max<uint32_t>(1, each + (i < remainder ? 1 : 0));
+  }
+  return split;
+}
+
 LoadResult RunOpenLoop(Cluster& cluster, Replica* proposer,
                        const OpenLoadOptions& options) {
   DPAXOS_CHECK(proposer != nullptr);

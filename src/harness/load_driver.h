@@ -75,6 +75,15 @@ std::vector<LoadResult> RunClosedLoops(Cluster& cluster,
                                        const std::vector<Replica*>& proposers,
                                        const std::vector<LoadOptions>& loops);
 
+/// Split one aggregate closed-loop client population across `loops`
+/// concurrent drivers (e.g. one per partition of a simulation shard):
+/// `base.window` is divided as evenly as possible, remainder to the
+/// lowest-indexed loops, every loop getting at least one client — so a
+/// shard's total multiprogramming level scales with the population hint,
+/// not with how many partitions it happens to host. All other options
+/// are copied unchanged. Deterministic (pure arithmetic).
+std::vector<LoadOptions> SplitLoad(const LoadOptions& base, uint32_t loops);
+
 }  // namespace dpaxos
 
 #endif  // DPAXOS_HARNESS_LOAD_DRIVER_H_

@@ -5,11 +5,15 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
+#include "common/check.h"
+#include "directory/sharded_store.h"
 #include "harness/chaos.h"
 #include "harness/cluster.h"
 #include "harness/load_driver.h"
+#include "sim/shard_runner.h"
 
 namespace dpaxos {
 
@@ -24,6 +28,14 @@ long PeakRssKb() {
   struct rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
   return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+/// Workload hints for every simperf cluster: peaks measured empirically
+/// with margin, so a full run reports zero slab/pool growth (asserted by
+/// tests/perf_counters_test.cc).
+void PresizeForSimperf(ClusterOptions* options, uint32_t partitions) {
+  options->expected_pending_events = 16384 + 2048 * partitions;
+  options->transport.initial_delivery_batches = 8192 + 512 * partitions;
 }
 
 /// Time one phase, attributing the perf-counter delta to it.
@@ -51,6 +63,7 @@ void RunLoadPhase(ProtocolMode mode, const SimperfOptions& options,
   cluster_options.seed = options.seed;
   cluster_options.replica.max_inflight = 32;
   cluster_options.replica.decide_policy = DecidePolicy::kQuorum;
+  PresizeForSimperf(&cluster_options, 1);
   Cluster cluster(Topology::AwsSevenZones(), mode, cluster_options);
 
   Replica* proposer = cluster.ReplicaInZone(0);
@@ -90,6 +103,181 @@ void RunChaosPhase(const SimperfOptions& options, Duration duration) {
   }
 }
 
+// --- shard-parallel workload -------------------------------------------
+
+/// FNV-1a, the repo's stable fingerprint primitive.
+struct Fnv {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+};
+
+/// Deterministic results a shard body reports beside its counter delta.
+struct ShardWork {
+  uint32_t partitions = 0;
+  uint64_t committed = 0;
+  Timestamp virtual_end = 0;
+};
+
+/// Contiguous [first, first+count) slice of the global partition space
+/// owned by `shard_id`, remainder spread over the lowest shard ids.
+void ShardPartitionRange(const SimperfOptions& options, uint32_t shard_id,
+                         uint32_t* first, uint32_t* count) {
+  const uint32_t base = options.partitions / options.shards;
+  const uint32_t remainder = options.partitions % options.shards;
+  *count = base + (shard_id < remainder ? 1 : 0);
+  *first = shard_id * base + std::min(shard_id, remainder);
+}
+
+/// Deterministic key that ShardedStore hashes onto `partition`.
+std::string KeyForPartition(const ShardedStore& store,
+                            PartitionId partition) {
+  for (uint64_t i = 0;; ++i) {
+    std::string key = "k" + std::to_string(i);
+    if (store.PartitionOf(key) == partition) return key;
+  }
+}
+
+/// One shard: a full seven-zone cluster hosting this shard's partitions,
+/// (1) leaders claimed through the ShardedStore (spread across zones),
+/// (2) every partition driven closed-loop concurrently, (3) rounds of
+/// keyed transactions from rotating zones so the WPaxos-style stealing
+/// layer migrates partitions. Everything below is a pure function of
+/// ctx.seed and the workload shape.
+void RunShardWorkload(const SimperfOptions& options, const ShardContext& ctx,
+                      ShardWork* out) {
+  uint32_t first = 0;
+  uint32_t count = 0;
+  ShardPartitionRange(options, ctx.shard_id, &first, &count);
+  DPAXOS_CHECK_GT(count, 0u);
+  out->partitions = count;
+
+  const Duration load_duration =
+      options.smoke ? 1 * kSecond : 4 * kSecond;
+
+  ClusterOptions cluster_options;
+  cluster_options.ft = FaultTolerance{1, 0};
+  cluster_options.seed = ctx.seed;
+  cluster_options.replica.max_inflight = std::max(32u, options.window);
+  cluster_options.replica.decide_policy = DecidePolicy::kQuorum;
+  // Steal elections after the load phase recover the undecided tail of
+  // a long log (the store catches the thief up first, but the in-flight
+  // window still crosses the WAN in the promises); at the default 2s
+  // le_timeout a slow recovery fails mid-flight, preempting the
+  // incumbent's ballot and leaving the partition leaderless. Give the
+  // elections room instead — the bound only matters on actual failure.
+  cluster_options.replica.le_timeout = 30 * kSecond;
+  cluster_options.partitions.clear();
+  for (uint32_t p = 0; p < count; ++p) {
+    cluster_options.partitions.push_back(first + p);
+  }
+  PresizeForSimperf(&cluster_options, count);
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  cluster_options);
+  const uint32_t zones = cluster.topology().num_zones();
+
+  ShardedStore::Options store_options;
+  store_options.num_partitions = count;
+  store_options.min_improvement = 0.2;
+  store_options.min_weight = 2.0;
+  ShardedStore store(
+      &cluster.sim(), &cluster.topology(),
+      [&cluster, first](NodeId n, PartitionId p) {
+        return cluster.replica(n, first + p);
+      },
+      store_options);
+
+  // Keys are a function of the hash and partition count only — identical
+  // across shards of equal size, which is fine: clusters are disjoint.
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (uint32_t p = 0; p < count; ++p) {
+    keys.push_back(KeyForPartition(store, p));
+  }
+
+  uint64_t txn_id = 0;
+  // Execute one keyed put synchronously (drives the shard's simulator).
+  auto run_txn = [&](uint32_t local_partition, ZoneId zone) {
+    Transaction txn;
+    txn.id = ++txn_id;
+    txn.ops = {Operation::Put(keys[local_partition], "v")};
+    std::optional<Status> done;
+    store.Execute(txn, zone, [&](const Status& st, Duration) { done = st; });
+    while (!done.has_value() && cluster.sim().Step()) {
+    }
+    if (done.has_value() && done->ok()) ++out->committed;
+  };
+
+  // Phase 1 — claim: each partition's first access comes from a zone
+  // spread by shard id and partition index, so ownership starts scattered
+  // across the deployment like a real multi-tenant key space.
+  for (uint32_t p = 0; p < count; ++p) {
+    run_txn(p, static_cast<ZoneId>((ctx.shard_id + p) % zones));
+  }
+
+  // Phase 2 — closed-loop load at every partition's owner concurrently.
+  // The aggregate client population is window * count, split by
+  // SplitLoad so it scales with the shard's slice of the key space.
+  std::vector<Replica*> proposers;
+  proposers.reserve(count);
+  for (uint32_t p = 0; p < count; ++p) {
+    const NodeId owner = store.LeaderOf(p);
+    DPAXOS_CHECK_NE(owner, kInvalidNode);
+    proposers.push_back(cluster.replica(owner, first + p));
+  }
+  LoadOptions base;
+  base.batch_bytes = 1024;
+  base.duration = load_duration;
+  base.window = options.window * count;
+  const std::vector<LoadResult> results =
+      RunClosedLoops(cluster, proposers, SplitLoad(base, count));
+  for (const LoadResult& r : results) out->committed += r.committed;
+
+  // Phase 3 — stealing: rounds of accesses from rotating zones shift
+  // each partition's access locality until the placement advisor moves
+  // it (store_steals / store_partition_migrations counters).
+  // Enough rotated-zone accesses to outweigh the (duration-scaled)
+  // owner-zone history the closed-loop phase left in the stats.
+  const uint32_t rounds = 3;
+  const uint32_t accesses_per_round = options.smoke ? 4 : 16;
+  for (uint32_t r = 0; r < rounds; ++r) {
+    for (uint32_t p = 0; p < count; ++p) {
+      const ZoneId zone =
+          static_cast<ZoneId>((ctx.shard_id + p + 2 * (r + 1)) % zones);
+      for (uint32_t a = 0; a < accesses_per_round; ++a) run_txn(p, zone);
+    }
+  }
+
+  out->virtual_end = cluster.sim().Now();
+}
+
+uint64_t ShardFingerprint(const SimperfShard& shard,
+                          const PerfCounters& counters) {
+  Fnv fnv;
+  fnv.Mix(shard.shard_id);
+  fnv.Mix(shard.seed);
+  fnv.Mix(shard.partitions);
+  fnv.Mix(shard.committed);
+  fnv.Mix(shard.virtual_end);
+#define DPAXOS_PERF_MIX(field) fnv.Mix(counters.field);
+  DPAXOS_PERF_COUNTER_FIELDS(DPAXOS_PERF_MIX)
+#undef DPAXOS_PERF_MIX
+  return fnv.h;
+}
+
+void AppendShardLine(std::ostringstream& out, const SimperfShard& s) {
+  out << "shard " << s.shard_id << ": seed=" << s.seed
+      << " partitions=" << s.partitions << " events=" << s.events
+      << " messages=" << s.messages << " bytes=" << s.bytes
+      << " committed=" << s.committed << " steals=" << s.steals
+      << " migrations=" << s.migrations << " virtual_end=" << s.virtual_end
+      << " fp=" << s.fingerprint << "\n";
+}
+
 }  // namespace
 
 SimperfReport RunSimperf(const SimperfOptions& options) {
@@ -121,38 +309,233 @@ SimperfReport RunSimperf(const SimperfOptions& options) {
   return report;
 }
 
-std::string SimperfReport::ToJson(double baseline_events_per_sec) const {
+ShardedSimperfReport RunSimperfSharded(const SimperfOptions& options) {
+  DPAXOS_CHECK_GT(options.shards, 0u);
+  DPAXOS_CHECK_GE(options.partitions, options.shards);
+  DPAXOS_CHECK_GE(options.window, 1u);
+
+  ShardedSimperfReport report;
+  report.shards = options.shards;
+  report.partitions = options.partitions;
+  report.window = options.window;
+
+  ShardSetOptions pool;
+  pool.shards = options.shards;
+  pool.threads = options.threads;
+  pool.master_seed = options.seed;
+  ShardSet set(pool);
+  report.threads = set.threads();
+
+  std::vector<ShardWork> work(options.shards);
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<ShardResult> results = set.Run(
+      [&options, &work](const ShardContext& ctx) {
+        RunShardWorkload(options, ctx, &work[ctx.shard_id]);
+      });
+  report.wall_ms = WallMsSince(start);
+
+  report.per_shard.reserve(options.shards);
+  for (uint32_t i = 0; i < options.shards; ++i) {
+    const ShardResult& r = results[i];
+    SimperfShard shard;
+    shard.shard_id = r.shard_id;
+    shard.seed = r.seed;
+    shard.partitions = work[i].partitions;
+    shard.wall_ms = r.wall_ms;
+    shard.events = r.counters.events_executed;
+    shard.messages = r.counters.messages_sent;
+    shard.bytes = r.counters.bytes_sent;
+    shard.committed = work[i].committed;
+    shard.steals = r.counters.store_steals;
+    shard.migrations = r.counters.store_partition_migrations;
+    shard.virtual_end = work[i].virtual_end;
+    shard.fingerprint = ShardFingerprint(shard, r.counters);
+    report.per_shard.push_back(shard);
+
+    report.counters.Add(r.counters);
+    report.events += shard.events;
+    report.messages += shard.messages;
+    report.bytes += shard.bytes;
+    report.committed += shard.committed;
+    report.steals += shard.steals;
+    report.migrations += shard.migrations;
+  }
+  report.peak_rss_kb = PeakRssKb();
+  return report;
+}
+
+uint64_t ShardedSimperfReport::Fingerprint() const {
+  Fnv fnv;
+  for (const SimperfShard& s : per_shard) fnv.Mix(s.fingerprint);
+  return fnv.h;
+}
+
+std::string ShardedSimperfReport::DeterminismString() const {
+  std::ostringstream out;
+  out << "sharded-simperf v1 shards=" << shards
+      << " partitions=" << partitions << " window=" << window << "\n";
+  for (const SimperfShard& s : per_shard) AppendShardLine(out, s);
+  out << "aggregate: events=" << events << " messages=" << messages
+      << " bytes=" << bytes << " committed=" << committed
+      << " steals=" << steals << " migrations=" << migrations
+      << " fp=" << Fingerprint() << "\n";
+  return out.str();
+}
+
+double SimperfScaling::SpeedupAt(uint32_t t) const {
+  for (const SimperfScalingPoint& p : points) {
+    if (p.threads == t) return p.speedup_vs_one_thread;
+  }
+  return 0;
+}
+
+SimperfScaling RunSimperfScaling(
+    const SimperfOptions& options,
+    const std::vector<uint32_t>& thread_counts) {
+  DPAXOS_CHECK(!thread_counts.empty());
+  SimperfScaling scaling;
+  scaling.shards = options.shards;
+  scaling.partitions = options.partitions;
+  scaling.window = options.window;
+  scaling.hardware_threads = ShardSet::HardwareThreads();
+  scaling.deterministic_across_threads = true;
+
+  std::string golden;
+  for (uint32_t threads : thread_counts) {
+    SimperfOptions point_options = options;
+    point_options.threads = threads;
+    const ShardedSimperfReport report = RunSimperfSharded(point_options);
+    if (golden.empty()) {
+      golden = report.DeterminismString();
+      scaling.fingerprint = report.Fingerprint();
+    } else if (report.DeterminismString() != golden) {
+      // Thread-count invariance is a hard engine guarantee, not a
+      // statistical property — a mismatch means cross-shard state leaked.
+      scaling.deterministic_across_threads = false;
+      DPAXOS_CHECK_MSG(false,
+                       "sharded simperf diverged at threads="
+                           << report.threads
+                           << " — shard isolation is broken");
+    }
+    SimperfScalingPoint point;
+    point.threads = report.threads;
+    point.wall_ms = report.wall_ms;
+    point.events_per_sec = report.EventsPerSec();
+    scaling.points.push_back(point);
+  }
+  const double base = scaling.points.front().events_per_sec;
+  for (SimperfScalingPoint& p : scaling.points) {
+    p.speedup_vs_one_thread = base > 0 ? p.events_per_sec / base : 0;
+  }
+  return scaling;
+}
+
+std::string SimperfJson(const SimperfReport& report,
+                        double baseline_events_per_sec,
+                        const SimperfJsonExtras& extras) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"baseline\": {\"events_per_sec\": " << baseline_events_per_sec
       << "},\n";
   out << "  \"current\": {\n"
-      << "    \"events_per_sec\": " << EventsPerSec() << ",\n"
-      << "    \"msgs_per_sec\": " << MessagesPerSec() << ",\n"
-      << "    \"wall_ms\": " << wall_ms << ",\n"
-      << "    \"peak_rss_kb\": " << peak_rss_kb << ",\n"
-      << "    \"events\": " << events << ",\n"
-      << "    \"messages\": " << messages << ",\n"
-      << "    \"bytes\": " << bytes << ",\n"
-      << "    \"slab_growths\": " << counters.slab_growths << ",\n"
-      << "    \"callable_heap_allocs\": " << counters.callable_heap_allocs
-      << ",\n"
-      << "    \"deliveries_coalesced\": " << counters.deliveries_coalesced
-      << "\n  },\n";
+      << "    \"events_per_sec\": " << report.EventsPerSec() << ",\n"
+      << "    \"msgs_per_sec\": " << report.MessagesPerSec() << ",\n"
+      << "    \"wall_ms\": " << report.wall_ms << ",\n"
+      << "    \"peak_rss_kb\": " << report.peak_rss_kb << ",\n"
+      << "    \"events\": " << report.events << ",\n"
+      << "    \"messages\": " << report.messages << ",\n"
+      << "    \"bytes\": " << report.bytes << ",\n"
+      << "    \"slab_growths\": " << report.counters.slab_growths << ",\n"
+      << "    \"callable_heap_allocs\": "
+      << report.counters.callable_heap_allocs << ",\n"
+      << "    \"deliveries_coalesced\": "
+      << report.counters.deliveries_coalesced << "\n  },\n";
+  // Always recomputed from the "current" section at write time, so the
+  // two can never disagree (the stale-speedup bug this replaces).
   out << "  \"speedup_vs_baseline\": "
       << (baseline_events_per_sec > 0
-              ? EventsPerSec() / baseline_events_per_sec
+              ? report.EventsPerSec() / baseline_events_per_sec
               : 0)
       << ",\n";
+  const double best = extras.best_events_per_sec > 0
+                          ? extras.best_events_per_sec
+                          : report.EventsPerSec();
+  out << "  \"repeat\": " << (extras.repeat > 0 ? extras.repeat : 1)
+      << ",\n"
+      << "  \"best\": {\"events_per_sec\": " << best
+      << ", \"speedup_vs_baseline\": "
+      << (baseline_events_per_sec > 0 ? best / baseline_events_per_sec : 0)
+      << "},\n";
   out << "  \"phases\": [\n";
-  for (size_t i = 0; i < phases.size(); ++i) {
-    const SimperfPhase& p = phases[i];
+  for (size_t i = 0; i < report.phases.size(); ++i) {
+    const SimperfPhase& p = report.phases[i];
     out << "    {\"name\": \"" << p.name << "\", \"wall_ms\": " << p.wall_ms
         << ", \"events\": " << p.events << ", \"messages\": " << p.messages
-        << "}" << (i + 1 < phases.size() ? "," : "") << "\n";
+        << "}" << (i + 1 < report.phases.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ]";
+
+  if (extras.sharded != nullptr) {
+    const ShardedSimperfReport& s = *extras.sharded;
+    out << ",\n  \"sharded\": {\n"
+        << "    \"shards\": " << s.shards << ",\n"
+        << "    \"threads\": " << s.threads << ",\n"
+        << "    \"partitions\": " << s.partitions << ",\n"
+        << "    \"window_per_partition\": " << s.window << ",\n"
+        << "    \"wall_ms\": " << s.wall_ms << ",\n"
+        << "    \"events\": " << s.events << ",\n"
+        << "    \"messages\": " << s.messages << ",\n"
+        << "    \"bytes\": " << s.bytes << ",\n"
+        << "    \"events_per_sec\": " << s.EventsPerSec() << ",\n"
+        << "    \"msgs_per_sec\": " << s.MessagesPerSec() << ",\n"
+        << "    \"peak_rss_kb\": " << s.peak_rss_kb << ",\n"
+        << "    \"committed\": " << s.committed << ",\n"
+        << "    \"steals\": " << s.steals << ",\n"
+        << "    \"partition_migrations\": " << s.migrations << ",\n"
+        << "    \"slab_growths\": " << s.counters.slab_growths << ",\n"
+        << "    \"fingerprint\": \"" << s.Fingerprint() << "\",\n"
+        << "    \"per_shard\": [\n";
+    for (size_t i = 0; i < s.per_shard.size(); ++i) {
+      const SimperfShard& sh = s.per_shard[i];
+      out << "      {\"shard\": " << sh.shard_id << ", \"seed\": "
+          << sh.seed << ", \"partitions\": " << sh.partitions
+          << ", \"wall_ms\": " << sh.wall_ms << ", \"events\": "
+          << sh.events << ", \"messages\": " << sh.messages
+          << ", \"committed\": " << sh.committed << ", \"steals\": "
+          << sh.steals << ", \"migrations\": " << sh.migrations
+          << ", \"fingerprint\": \"" << sh.fingerprint << "\"}"
+          << (i + 1 < s.per_shard.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n  }";
+  }
+
+  if (extras.scaling != nullptr) {
+    const SimperfScaling& sc = *extras.scaling;
+    out << ",\n  \"scaling\": {\n"
+        << "    \"shards\": " << sc.shards << ",\n"
+        << "    \"partitions\": " << sc.partitions << ",\n"
+        << "    \"window_per_partition\": " << sc.window << ",\n"
+        << "    \"hardware_threads\": " << sc.hardware_threads << ",\n"
+        << "    \"deterministic_across_threads\": "
+        << (sc.deterministic_across_threads ? "true" : "false") << ",\n"
+        << "    \"fingerprint\": \"" << sc.fingerprint << "\",\n"
+        << "    \"points\": [\n";
+    for (size_t i = 0; i < sc.points.size(); ++i) {
+      const SimperfScalingPoint& p = sc.points[i];
+      out << "      {\"threads\": " << p.threads << ", \"wall_ms\": "
+          << p.wall_ms << ", \"events_per_sec\": " << p.events_per_sec
+          << ", \"speedup_vs_one_thread\": " << p.speedup_vs_one_thread
+          << "}" << (i + 1 < sc.points.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n  }";
+  }
+
+  out << "\n}\n";
   return out.str();
+}
+
+std::string SimperfReport::ToJson(double baseline_events_per_sec) const {
+  return SimperfJson(*this, baseline_events_per_sec, {});
 }
 
 bool WriteSimperfJson(const std::string& path, const std::string& json) {

@@ -1,13 +1,21 @@
 // Wall-clock throughput benchmark of the simulation kernel itself.
 //
 // Unlike the bench_fig* experiments (which report *virtual-time* protocol
-// metrics), simperf measures how fast the host retires simulation events:
-// a fixed heavy workload — the paper's seven-zone topology driven closed-
-// loop at window=32 under all three protocol modes, plus one chaos cell —
-// timed with the host clock. The resulting events/sec number is the
-// repo's wall-clock baseline and the regression gate for every future
-// hot-path change (see docs/perf.md). Shared by bench/bench_simperf.cc
-// and `dpaxos_cli --experiment=simperf`.
+// metrics), simperf measures how fast the host retires simulation events.
+// Two workloads share this harness:
+//
+//   * the LEGACY single-shard workload — the paper's seven-zone topology
+//     driven closed-loop at window=32 under all three protocol modes,
+//     plus one chaos cell — timed with the host clock. Its events/sec
+//     number is the repo's historical wall-clock baseline and the
+//     regression gate for every hot-path change (see docs/perf.md);
+//   * the SHARD-PARALLEL workload — K independent cluster shards
+//     covering a 32-partition key space, driven concurrently across a
+//     fixed worker pool (src/sim/shard_runner.h). Aggregate events/sec
+//     scales with cores while every per-shard number stays bit-identical
+//     for any thread count.
+//
+// Shared by bench/bench_simperf.cc and `dpaxos_cli --experiment=simperf`.
 #ifndef DPAXOS_HARNESS_SIMPERF_H_
 #define DPAXOS_HARNESS_SIMPERF_H_
 
@@ -16,6 +24,7 @@
 #include <vector>
 
 #include "common/perf_counters.h"
+#include "common/types.h"
 
 namespace dpaxos {
 
@@ -35,6 +44,19 @@ struct SimperfOptions {
   /// Baseline events/sec written to the JSON "baseline" field. Defaults
   /// to the recorded pre-PR number; override to compare two local builds.
   double baseline_events_per_sec = kSimperfRecordedBaselineEventsPerSec;
+
+  // --- shard-parallel workload (RunSimperfSharded) --------------------
+  /// Independent cluster shards; the `partitions` key space is split
+  /// contiguously across them. Must be <= partitions.
+  uint32_t shards = 8;
+  /// Worker threads driving the shards (0 = hardware concurrency).
+  /// Changes wall-clock numbers ONLY — never any simulated result.
+  uint32_t threads = 1;
+  /// Total partitions across all shards (the "32-partition workload").
+  uint32_t partitions = 32;
+  /// Closed-loop clients per partition; a shard's client population is
+  /// window * its partition count (see SplitLoad in load_driver.h).
+  uint32_t window = 8;
 };
 
 /// One timed phase of the simperf workload.
@@ -63,12 +85,120 @@ struct SimperfReport {
   }
 
   /// BENCH_simperf.json body: {"baseline": .., "current": .., ...}.
+  /// Equivalent to SimperfJson(*this, baseline_events_per_sec, {}).
   std::string ToJson(double baseline_events_per_sec) const;
 };
 
-/// Run the fixed workload and time it. Deterministic in virtual time for
-/// a given seed; only the wall-clock figures vary across hosts.
+/// Run the fixed legacy workload and time it. Deterministic in virtual
+/// time for a given seed; only the wall-clock figures vary across hosts.
 SimperfReport RunSimperf(const SimperfOptions& options = {});
+
+// --- shard-parallel workload -----------------------------------------
+
+/// Everything one shard produced. All fields except `wall_ms` are pure
+/// functions of (seed, workload shape) — identical for any thread count.
+struct SimperfShard {
+  uint32_t shard_id = 0;
+  uint64_t seed = 0;
+  uint32_t partitions = 0;  ///< partitions this shard hosts
+  double wall_ms = 0;       ///< host time on this shard's worker thread
+  uint64_t events = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t committed = 0;   ///< load batches + store transactions
+  uint64_t steals = 0;      ///< ShardedStore steal elections
+  uint64_t migrations = 0;  ///< steals away from a live remote leader
+  Timestamp virtual_end = 0;
+  /// FNV-1a over every deterministic field above (wall_ms excluded).
+  uint64_t fingerprint = 0;
+};
+
+/// Aggregate + per-shard outcome of one shard-parallel run.
+struct ShardedSimperfReport {
+  uint32_t shards = 0;
+  uint32_t threads = 0;  ///< pool size actually used (wall-clock only)
+  uint32_t partitions = 0;
+  uint32_t window = 0;
+  std::vector<SimperfShard> per_shard;  ///< shard-id order
+  double wall_ms = 0;                   ///< whole-pool wall time
+  long peak_rss_kb = 0;
+  PerfCounters counters;  ///< per-shard deltas summed in shard-id order
+  uint64_t events = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t committed = 0;
+  uint64_t steals = 0;
+  uint64_t migrations = 0;
+
+  double EventsPerSec() const {
+    return wall_ms > 0 ? events / (wall_ms / 1000.0) : 0;
+  }
+  double MessagesPerSec() const {
+    return wall_ms > 0 ? messages / (wall_ms / 1000.0) : 0;
+  }
+  /// Combined per-shard fingerprints, folded in shard-id order.
+  uint64_t Fingerprint() const;
+  /// Canonical text of every deterministic field (no wall-clock, no
+  /// thread count). Byte-identical across `threads` values — the golden
+  /// the determinism tests and the scaling sweep compare.
+  std::string DeterminismString() const;
+};
+
+/// Run the shard-parallel workload: options.shards independent clusters
+/// covering options.partitions partitions, each shard seeded from
+/// (options.seed, shard_id), driven closed-loop plus a ShardedStore
+/// object-stealing phase, across options.threads workers.
+ShardedSimperfReport RunSimperfSharded(const SimperfOptions& options);
+
+/// One sweep point of the thread-scaling experiment.
+struct SimperfScalingPoint {
+  uint32_t threads = 0;
+  double wall_ms = 0;
+  double events_per_sec = 0;
+  double speedup_vs_one_thread = 0;
+};
+
+/// The "scaling" section of BENCH_simperf.json: the same sharded
+/// workload at increasing thread counts.
+struct SimperfScaling {
+  uint32_t shards = 0;
+  uint32_t partitions = 0;
+  uint32_t window = 0;
+  uint32_t hardware_threads = 0;  ///< what this host exposes
+  /// True when every sweep point produced a byte-identical
+  /// DeterminismString (also CHECKed at run time).
+  bool deterministic_across_threads = false;
+  uint64_t fingerprint = 0;
+  std::vector<SimperfScalingPoint> points;
+
+  /// Speedup recorded at `threads`, or 0 if that point was not run.
+  double SpeedupAt(uint32_t threads) const;
+};
+
+/// Run the sharded workload once per entry of `thread_counts` (first
+/// entry should be 1 so speedups have a base) and record the sweep.
+SimperfScaling RunSimperfScaling(const SimperfOptions& options,
+                                 const std::vector<uint32_t>& thread_counts);
+
+// --- JSON --------------------------------------------------------------
+
+/// Optional sections of BENCH_simperf.json beyond baseline/current.
+struct SimperfJsonExtras {
+  /// How many full runs the reported numbers were selected from, and the
+  /// best events/sec among them (0 = single run; the report itself is
+  /// already the best run). Written so the JSON is self-describing —
+  /// `speedup_vs_baseline` is always recomputed from the `current`
+  /// section at write time, never copied from an earlier run.
+  uint64_t repeat = 1;
+  double best_events_per_sec = 0;
+  const ShardedSimperfReport* sharded = nullptr;
+  const SimperfScaling* scaling = nullptr;
+};
+
+/// Render the full BENCH_simperf.json body.
+std::string SimperfJson(const SimperfReport& report,
+                        double baseline_events_per_sec,
+                        const SimperfJsonExtras& extras = {});
 
 /// Write `json` to `path`; returns false (and logs) on I/O failure.
 bool WriteSimperfJson(const std::string& path, const std::string& json);

@@ -28,6 +28,16 @@ SimTransport::SimTransport(Simulator* sim, const Topology* topology,
       open_batch_(topology->num_nodes(), kNoBatch) {
   DPAXOS_CHECK(sim != nullptr);
   DPAXOS_CHECK(topology != nullptr);
+  batches_.reserve(options_.initial_delivery_batches);
+  free_batches_.reserve(options_.initial_delivery_batches);
+  // Populate the free list back-to-front so batches are handed out in
+  // ascending index order, matching what on-demand growth would do.
+  for (uint32_t i = options_.initial_delivery_batches; i > 0; --i) {
+    batches_.push_back(std::make_unique<DeliveryBatch>());
+  }
+  for (uint32_t i = options_.initial_delivery_batches; i > 0; --i) {
+    free_batches_.push_back(i - 1);
+  }
 }
 
 void SimTransport::RegisterHandler(NodeId node, Handler handler) {
@@ -73,7 +83,7 @@ uint32_t SimTransport::AcquireBatch() {
     free_batches_.pop_back();
     return index;
   }
-  ++GlobalPerfCounters().delivery_pool_growths;
+  ++ThreadPerfCounters().delivery_pool_growths;
   batches_.push_back(std::make_unique<DeliveryBatch>());
   return static_cast<uint32_t>(batches_.size() - 1);
 }
@@ -93,7 +103,7 @@ void SimTransport::EnqueueDelivery(NodeId from, NodeId to, Duration delay,
     // event voids the proof, so the batch closes.
     if (batch.at == at && sim_->next_schedule_seq() == batch.seq_after) {
       batch.items.emplace_back(from, std::move(msg));
-      ++GlobalPerfCounters().deliveries_coalesced;
+      ++ThreadPerfCounters().deliveries_coalesced;
       return;
     }
   }
@@ -113,7 +123,7 @@ void SimTransport::DrainBatch(uint32_t index) {
   // Close the batch before running handlers: a mid-drain Send to `to`
   // must open a fresh batch, not append behind the cursor.
   if (open_batch_[to] == index) open_batch_[to] = kNoBatch;
-  PerfCounters& perf = GlobalPerfCounters();
+  PerfCounters& perf = ThreadPerfCounters();
   for (auto& [from, msg] : batch.items) {
     // Crash state is evaluated at delivery time: messages in flight to a
     // node that crashed meanwhile are lost.
@@ -140,7 +150,7 @@ void SimTransport::Send(NodeId from, NodeId to, MessagePtr msg) {
   const uint64_t size_bytes = msg->SizeBytes();
   ++st.messages_sent;
   st.bytes_sent += size_bytes;
-  PerfCounters& perf = GlobalPerfCounters();
+  PerfCounters& perf = ThreadPerfCounters();
   ++perf.messages_sent;
   perf.bytes_sent += size_bytes;
 

@@ -74,6 +74,11 @@ struct SimTransportOptions {
   double duplicate_probability = 0.0;
   /// Upper bound of uniform extra jitter added per remote message.
   Duration max_jitter = 0;
+  /// Pre-allocate this many pooled DeliveryBatch objects at
+  /// construction, so a correctly hinted workload reports
+  /// `delivery_pool_growths == 0` over the whole run (the growth
+  /// counter only tracks demand the hint failed to cover).
+  uint32_t initial_delivery_batches = 0;
   /// Round-trip every message through an installed wire codec before
   /// delivery (see SimTransport::set_wire_codec): the receiver gets the
   /// re-decoded object, so any field the codec loses breaks the protocol

@@ -671,7 +671,7 @@ void SerializeMessageInto(const Message& msg, std::string* out) {
   // Only PaxosMessage subclasses carry non-zero wire tags.
   w.PutU32(static_cast<const PaxosMessage&>(msg).partition);
   EncodeBody(w, msg, type);
-  PerfCounters& perf = GlobalPerfCounters();
+  PerfCounters& perf = ThreadPerfCounters();
   ++perf.wire_encodes;
   perf.wire_encode_bytes += encoded;
 }
@@ -683,7 +683,7 @@ std::string SerializeMessage(const Message& msg) {
 }
 
 Result<MessagePtr> DeserializeMessage(std::string_view bytes) {
-  ++GlobalPerfCounters().wire_decodes;
+  ++ThreadPerfCounters().wire_decodes;
   ByteReader r(bytes);
   uint8_t tag = 0;
   PartitionId partition = 0;

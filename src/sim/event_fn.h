@@ -48,7 +48,7 @@ class EventFn {
     } else {
       ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
       ops_ = &HeapOps<Fn>::ops;
-      ++GlobalPerfCounters().callable_heap_allocs;
+      ++ThreadPerfCounters().callable_heap_allocs;
     }
   }
 

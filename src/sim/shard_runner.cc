@@ -1,0 +1,71 @@
+#include "sim/shard_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+
+namespace dpaxos {
+
+ShardSet::ShardSet(ShardSetOptions options) : options_(options) {
+  DPAXOS_CHECK_GT(options_.shards, 0u);
+  threads_ = options_.threads == 0 ? HardwareThreads() : options_.threads;
+  if (threads_ > options_.shards) threads_ = options_.shards;
+  if (threads_ == 0) threads_ = 1;
+}
+
+uint32_t ShardSet::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<uint32_t>(n);
+}
+
+std::vector<ShardResult> ShardSet::Run(const Body& body) const {
+  DPAXOS_CHECK(static_cast<bool>(body));
+  std::vector<ShardResult> results(options_.shards);
+
+  // Workers claim whole shards; a claimed shard runs start-to-finish on
+  // its worker. Each worker writes only results[i] for the i it claimed,
+  // so the vector needs no lock. Shards always run on pool workers (even
+  // with threads_ == 1) so the launching thread's counters advance
+  // exactly once — by the ordered fold below, never by the bodies.
+  std::atomic<uint32_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= options_.shards) return;
+      ShardContext ctx;
+      ctx.shard_id = i;
+      ctx.shard_count = options_.shards;
+      ctx.seed = ShardSeed(options_.master_seed, i);
+      const PerfCounters before = SnapshotPerfCounters();
+      const auto start = std::chrono::steady_clock::now();
+      body(ctx);
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      ShardResult& r = results[i];
+      r.shard_id = i;
+      r.seed = ctx.seed;
+      r.wall_ms =
+          std::chrono::duration<double, std::milli>(elapsed).count();
+      r.counters = SnapshotPerfCounters().DeltaSince(before);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads_);
+  for (uint32_t t = 0; t < threads_; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  // Deterministic aggregation: shard-id order, on the launching thread.
+  ThreadPerfCounters().Add(AggregateShardCounters(results));
+  return results;
+}
+
+PerfCounters AggregateShardCounters(
+    const std::vector<ShardResult>& results) {
+  PerfCounters total;
+  for (const ShardResult& r : results) total.Add(r.counters);
+  return total;
+}
+
+}  // namespace dpaxos

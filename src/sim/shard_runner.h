@@ -1,0 +1,101 @@
+// ShardSet: run K independent simulation shards across a fixed-size
+// worker pool, bit-deterministically.
+//
+// DPaxos partitions are independent Paxos instances (paper Section B.1,
+// realized by src/directory/sharded_store.*), so a multi-partition
+// workload decomposes into shards that share NOTHING: each shard owns
+// its own Simulator, transport, cluster and RNG stream, seeded as a pure
+// function of (master_seed, shard_id). The runner's only job is to carry
+// those closed worlds across threads without letting the thread count
+// leak into any result:
+//
+//   * a shard never migrates mid-run — one worker drives it start to
+//     finish, so its event order is exactly the single-threaded order;
+//   * workers claim WHOLE shards from an atomic cursor (load balancing
+//     without cross-shard work stealing, which is forbidden — see
+//     docs/perf.md);
+//   * per-shard PerfCounters deltas are captured from the worker's
+//     thread-local counters around each shard body, then folded into
+//     the launching thread IN SHARD-ID ORDER after the pool joins.
+//
+// Consequence: every field of every ShardResult, and the launching
+// thread's counter totals, are byte-identical for any `threads` value —
+// only wall-clock fields vary. tests/shard_runner_test.cc asserts this.
+#ifndef DPAXOS_SIM_SHARD_RUNNER_H_
+#define DPAXOS_SIM_SHARD_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/perf_counters.h"
+#include "common/random.h"
+
+namespace dpaxos {
+
+/// Seed of shard `shard_id` under `master_seed`: a SplitMix64 mix, so
+/// shard streams are decorrelated and stable across runs and machines.
+inline uint64_t ShardSeed(uint64_t master_seed, uint32_t shard_id) {
+  uint64_t state = master_seed + 0x632be59bd9b4e019ULL * (shard_id + 1);
+  return SplitMix64(state);
+}
+
+/// Pool shape for one ShardSet run.
+struct ShardSetOptions {
+  uint32_t shards = 1;
+  /// Worker threads; 0 = one per hardware thread. Clamped to [1, shards].
+  /// MUST NOT affect any result bit — only wall-clock time.
+  uint32_t threads = 1;
+  uint64_t master_seed = 42;
+};
+
+/// What a shard body learns about its identity.
+struct ShardContext {
+  uint32_t shard_id = 0;
+  uint32_t shard_count = 1;
+  uint64_t seed = 0;  ///< ShardSeed(master_seed, shard_id)
+};
+
+/// Per-shard outcome, returned in shard-id order.
+struct ShardResult {
+  uint32_t shard_id = 0;
+  uint64_t seed = 0;
+  double wall_ms = 0;      ///< host time the shard body took on its worker
+  PerfCounters counters;   ///< thread-local counter delta of the body
+};
+
+/// \brief Fixed-pool executor of independent simulation shards.
+class ShardSet {
+ public:
+  using Body = std::function<void(const ShardContext&)>;
+
+  explicit ShardSet(ShardSetOptions options);
+
+  /// Run `body` once per shard across the pool and block until all
+  /// shards finish. The body must confine itself to the state it builds
+  /// from its ShardContext (no shared mutable state); it runs exactly
+  /// once per shard, entirely on one worker thread.
+  ///
+  /// On return the launching thread's ThreadPerfCounters() have advanced
+  /// by the sum of all shard deltas (added in shard-id order), so outer
+  /// Snapshot/DeltaSince measurement brackets keep working unchanged.
+  std::vector<ShardResult> Run(const Body& body) const;
+
+  /// Worker threads the pool will actually use.
+  uint32_t threads() const { return threads_; }
+  uint32_t shards() const { return options_.shards; }
+
+  /// Hardware concurrency with a floor of 1.
+  static uint32_t HardwareThreads();
+
+ private:
+  ShardSetOptions options_;
+  uint32_t threads_ = 1;
+};
+
+/// Sum of per-shard counter deltas, accumulated in shard-id order.
+PerfCounters AggregateShardCounters(const std::vector<ShardResult>& results);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_SIM_SHARD_RUNNER_H_

@@ -17,13 +17,26 @@ constexpr EventId MakeId(uint32_t generation, uint32_t slot) {
 
 }  // namespace
 
+void Simulator::Reserve(size_t event_capacity) {
+  if (slots_.size() >= event_capacity) return;
+  heap_.reserve(event_capacity);
+  free_slots_.reserve(event_capacity);
+  const size_t old_size = slots_.size();
+  slots_.resize(event_capacity);
+  // Free slots pop from the back, so push high indices first: slots are
+  // handed out in ascending order while the slab is cold (locality).
+  for (size_t i = event_capacity; i > old_size; --i) {
+    free_slots_.push_back(static_cast<uint32_t>(i - 1));
+  }
+}
+
 uint32_t Simulator::AcquireSlot() {
   if (!free_slots_.empty()) {
     const uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
     return slot;
   }
-  ++GlobalPerfCounters().slab_growths;
+  ++ThreadPerfCounters().slab_growths;
   slots_.emplace_back();
   return static_cast<uint32_t>(slots_.size() - 1);
 }
@@ -38,13 +51,13 @@ void Simulator::ReleaseSlot(uint32_t slot) {
 }
 
 void Simulator::HeapPush(HeapEntry e) {
-  ++GlobalPerfCounters().heap_pushes;
+  ++ThreadPerfCounters().heap_pushes;
   heap_.push_back(e);
   SiftUp(static_cast<uint32_t>(heap_.size() - 1));
 }
 
 void Simulator::HeapRemoveAt(uint32_t pos) {
-  ++GlobalPerfCounters().heap_pops;
+  ++ThreadPerfCounters().heap_pops;
   const uint32_t last = static_cast<uint32_t>(heap_.size() - 1);
   if (pos != last) {
     heap_[pos] = heap_[last];
@@ -94,12 +107,12 @@ EventId Simulator::ScheduleAt(Timestamp when, EventFn fn) {
   slots_[slot].fn = std::move(fn);
   const EventId id = MakeId(slots_[slot].generation, slot);
   HeapPush(HeapEntry{when, next_seq_++, slot});
-  ++GlobalPerfCounters().events_scheduled;
+  ++ThreadPerfCounters().events_scheduled;
   return id;
 }
 
 bool Simulator::Cancel(EventId id) {
-  PerfCounters& perf = GlobalPerfCounters();
+  PerfCounters& perf = ThreadPerfCounters();
   const uint32_t slot = static_cast<uint32_t>(id & kSlotMask);
   const uint32_t generation = static_cast<uint32_t>(id >> 32);
   // A handle is live iff its slot exists and the generations match: the
@@ -128,7 +141,7 @@ bool Simulator::Step() {
   // closure may schedule (and even cancel) events, reusing this slot.
   EventFn fn = std::move(slots_[top.slot].fn);
   ReleaseSlot(top.slot);
-  ++GlobalPerfCounters().events_executed;
+  ++ThreadPerfCounters().events_executed;
   fn();
   return true;
 }

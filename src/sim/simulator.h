@@ -57,6 +57,13 @@ class Simulator {
   /// Schedule `fn` at an absolute virtual time (>= Now()).
   EventId ScheduleAt(Timestamp when, EventFn fn);
 
+  /// Pre-size the event slab, free list and heap for a peak pending
+  /// population of `event_capacity`. Sizing from a workload hint up
+  /// front (instead of growing on demand) keeps `slab_growths` at zero
+  /// for the WHOLE run, not just the warm tail — the property
+  /// tests/perf_counters_test.cc asserts. Idempotent; never shrinks.
+  void Reserve(size_t event_capacity);
+
   /// Cancel a pending event: O(log n) removal from the heap. Returns
   /// false — cheaply, with no state retained — if the event already ran,
   /// was already cancelled, or never existed (stale handle).

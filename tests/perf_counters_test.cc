@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/cluster.h"
+#include "harness/load_driver.h"
 #include "sim/simulator.h"
 
 namespace dpaxos {
@@ -80,6 +82,44 @@ TEST(PerfCountersTest, WarmWindowDoesNotGrowSlab) {
   // Move/POD-only pops: each executed or cancelled event is exactly one
   // heap pop; nothing is copied back or re-popped.
   EXPECT_EQ(d.heap_pops, d.events_executed + d.events_cancelled);
+}
+
+// Zero-growth FROM COLD (ISSUE satellite): when the workload shape is
+// known up front, the cluster hints (expected_pending_events +
+// initial_delivery_batches) pre-size the event slab and the transport
+// delivery pool so a full closed-loop run never grows either — not even
+// during warm-up. The hints mirror PresizeForSimperf in
+// src/harness/simperf.cc; if this test trips after a workload change,
+// re-measure the peaks and bump both places.
+TEST(PerfCountersTest, PresizedClusterRunsWithZeroGrowth) {
+  ClusterOptions options;
+  options.ft = FaultTolerance{1, 0};
+  options.seed = 42;
+  options.replica.max_inflight = 32;
+  options.replica.decide_policy = DecidePolicy::kQuorum;
+  options.expected_pending_events = 2048 + 512;
+  options.transport.initial_delivery_batches = 4096 + 256;
+
+  const PerfCounters before = SnapshotPerfCounters();
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  Replica* proposer = cluster.ReplicaInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(proposer->id()).ok());
+
+  LoadOptions load;
+  load.batch_bytes = 1024;
+  load.duration = 1 * kSecond;  // past warm-up into steady state
+  load.window = 32;
+  const LoadResult result = RunClosedLoop(cluster, proposer, load);
+  ASSERT_GT(result.committed, 0u);
+
+  const PerfCounters d = SnapshotPerfCounters().DeltaSince(before);
+  EXPECT_GT(d.events_executed, 10'000u) << "load never ramped up";
+  EXPECT_EQ(d.slab_growths, 0u)
+      << "expected_pending_events hint under-sized the event slab";
+  EXPECT_EQ(d.delivery_pool_growths, 0u)
+      << "initial_delivery_batches hint under-sized the delivery pool";
+  EXPECT_EQ(d.callable_heap_allocs, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,169 @@
+// Tests for the shard-parallel runner (src/sim/shard_runner.*): the
+// worker pool must never let its thread count leak into any simulated
+// result. Every shard body runs exactly once on exactly one worker, the
+// per-shard counter deltas fold back into the launching thread in
+// shard-id order, and the full sharded simperf workload produces a
+// byte-identical DeterminismString whether it runs on 1 thread or 8.
+#include "sim/shard_runner.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/simperf.h"
+#include "sim/simulator.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(ShardSeedTest, StableAndDistinct) {
+  // Stable: the mix must never change — per-shard schedules are seeded
+  // from it, and the golden determinism tests pin those schedules.
+  EXPECT_EQ(ShardSeed(42, 0), ShardSeed(42, 0));
+  std::set<uint64_t> seeds;
+  for (uint32_t shard = 0; shard < 64; ++shard) {
+    seeds.insert(ShardSeed(42, shard));
+    EXPECT_NE(ShardSeed(42, shard), 42u) << "seed leaked through unmixed";
+  }
+  EXPECT_EQ(seeds.size(), 64u) << "shard seeds collided";
+  EXPECT_NE(ShardSeed(42, 0), ShardSeed(43, 0));
+}
+
+TEST(ShardSetTest, RunsEveryShardExactlyOnceInShardIdOrder) {
+  ShardSetOptions options;
+  options.shards = 16;
+  options.threads = 4;
+  options.master_seed = 7;
+  const ShardSet set(options);
+  EXPECT_EQ(set.shards(), 16u);
+  EXPECT_LE(set.threads(), 4u);
+
+  std::mutex mu;
+  std::vector<uint32_t> seen;
+  const std::vector<ShardResult> results = set.Run([&](const ShardContext& ctx) {
+    EXPECT_EQ(ctx.shard_count, 16u);
+    EXPECT_EQ(ctx.seed, ShardSeed(7, ctx.shard_id));
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(ctx.shard_id);
+  });
+
+  EXPECT_EQ(seen.size(), 16u);
+  EXPECT_EQ(std::set<uint32_t>(seen.begin(), seen.end()).size(), 16u);
+  ASSERT_EQ(results.size(), 16u);
+  for (uint32_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].shard_id, i) << "results not in shard-id order";
+    EXPECT_EQ(results[i].seed, ShardSeed(7, i));
+  }
+}
+
+TEST(ShardSetTest, ThreadsClampedToShardCount) {
+  ShardSetOptions options;
+  options.shards = 3;
+  options.threads = 64;
+  const ShardSet set(options);
+  EXPECT_EQ(set.threads(), 3u);
+
+  options.threads = 0;  // hardware concurrency, still clamped
+  EXPECT_LE(ShardSet(options).threads(), 3u);
+  EXPECT_GE(ShardSet(options).threads(), 1u);
+}
+
+TEST(ShardSetTest, ShardNeverMigratesMidRun) {
+  ShardSetOptions options;
+  options.shards = 8;
+  options.threads = 4;
+  const ShardSet set(options);
+  std::atomic<bool> migrated{false};
+  set.Run([&](const ShardContext&) {
+    const std::thread::id start = std::this_thread::get_id();
+    Simulator sim(1);
+    for (int i = 0; i < 100; ++i) {
+      sim.Schedule(i, [&] {
+        if (std::this_thread::get_id() != start) migrated = true;
+      });
+    }
+    sim.RunUntilIdle();
+  });
+  EXPECT_FALSE(migrated) << "a shard body hopped threads mid-run";
+}
+
+// The core invariant: per-shard counter deltas and their fold-back into
+// the launching thread are identical for every thread count.
+TEST(ShardSetTest, CountersIdenticalAcrossThreadCounts) {
+  const auto body = [](const ShardContext& ctx) {
+    Simulator sim(ctx.seed);
+    Rng rng(ctx.seed);
+    // Shard-dependent load so the deltas differ per shard.
+    const int n = 50 + static_cast<int>(ctx.shard_id) * 13;
+    for (int i = 0; i < n; ++i) {
+      sim.Schedule(1 + rng.NextBounded(100), [] {});
+    }
+    sim.RunUntilIdle();
+  };
+
+  std::vector<std::vector<ShardResult>> runs;
+  std::vector<PerfCounters> folded;
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    ShardSetOptions options;
+    options.shards = 8;
+    options.threads = threads;
+    options.master_seed = 42;
+    const PerfCounters before = SnapshotPerfCounters();
+    runs.push_back(ShardSet(options).Run(body));
+    folded.push_back(SnapshotPerfCounters().DeltaSince(before));
+  }
+
+  for (size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (size_t s = 0; s < runs[0].size(); ++s) {
+      const PerfCounters& a = runs[0][s].counters;
+      const PerfCounters& b = runs[run][s].counters;
+#define DPAXOS_EXPECT_FIELD_EQ(field) \
+  EXPECT_EQ(a.field, b.field) << "shard " << s << " diverged on " #field;
+      DPAXOS_PERF_COUNTER_FIELDS(DPAXOS_EXPECT_FIELD_EQ)
+#undef DPAXOS_EXPECT_FIELD_EQ
+    }
+    // Fold-back totals seen by the launching thread match too.
+#define DPAXOS_EXPECT_FOLD_EQ(field) \
+  EXPECT_EQ(folded[0].field, folded[run].field) << "fold-back " #field;
+    DPAXOS_PERF_COUNTER_FIELDS(DPAXOS_EXPECT_FOLD_EQ)
+#undef DPAXOS_EXPECT_FOLD_EQ
+  }
+  // And the fold-back equals the shard-id-order aggregate of the results.
+  const PerfCounters agg = AggregateShardCounters(runs[0]);
+  EXPECT_EQ(folded[0].events_executed, agg.events_executed);
+  EXPECT_EQ(folded[0].events_scheduled, agg.events_scheduled);
+}
+
+// The golden thread-invariance test (ISSUE acceptance): the full sharded
+// simperf workload — clusters, closed loops, ShardedStore stealing — at
+// --shards=8 --threads=1 versus --threads=8 renders a byte-identical
+// DeterminismString. Everything simulated is a pure function of the seed;
+// the thread count touches wall-clock fields only (excluded from the
+// string).
+TEST(ShardSetTest, ShardedSimperfByteIdenticalAcrossThreadCounts) {
+  SimperfOptions options;
+  options.smoke = true;
+  options.shards = 8;
+  options.partitions = 16;
+  options.window = 4;
+
+  options.threads = 1;
+  const ShardedSimperfReport one = RunSimperfSharded(options);
+  options.threads = 8;
+  const ShardedSimperfReport eight = RunSimperfSharded(options);
+
+  EXPECT_EQ(one.DeterminismString(), eight.DeterminismString())
+      << "thread count leaked into a simulated result";
+  EXPECT_EQ(one.Fingerprint(), eight.Fingerprint());
+  EXPECT_GT(one.events, 0u);
+  EXPECT_GT(one.committed, 0u);
+  EXPECT_GT(one.steals, 0u) << "steal phase never fired";
+}
+
+}  // namespace
+}  // namespace dpaxos

@@ -54,6 +54,12 @@ struct CliOptions {
   // --experiment=simperf only.
   bool smoke = false;
   std::string out = "BENCH_simperf.json";
+  /// 0 = legacy single-shard workload; >0 runs the shard-parallel
+  /// workload instead (see src/sim/shard_runner.h).
+  uint32_t shards = 0;
+  uint32_t threads = 1;
+  uint32_t partitions = 32;
+  uint32_t sim_window = 8;  // clients per partition (sharded workload)
 };
 
 void Usage() {
@@ -77,7 +83,13 @@ void Usage() {
       "  --keys=N               key-pool size (default 16)\n"
       "simperf experiment (wall-clock kernel throughput):\n"
       "  --smoke                short phases (per-build smoke run)\n"
-      "  --out=PATH             JSON output (default BENCH_simperf.json)\n";
+      "  --out=PATH             JSON output (default BENCH_simperf.json)\n"
+      "  --shards=K             run the shard-parallel workload on K\n"
+      "                         independent cluster shards (0 = legacy)\n"
+      "  --threads=T            worker threads for the shard pool\n"
+      "                         (0 = hardware; results identical for any T)\n"
+      "  --partitions=P         total partitions across shards "
+      "(default 32)\n";
 }
 
 bool ParseArgImpl(const std::string& arg, CliOptions* o) {
@@ -139,6 +151,12 @@ bool ParseArgImpl(const std::string& arg, CliOptions* o) {
     o->smoke = true;
   } else if (value_of("--out", &v)) {
     o->out = v;
+  } else if (value_of("--shards", &v)) {
+    o->shards = static_cast<uint32_t>(std::stoul(v));
+  } else if (value_of("--threads", &v)) {
+    o->threads = static_cast<uint32_t>(std::stoul(v));
+  } else if (value_of("--partitions", &v)) {
+    o->partitions = static_cast<uint32_t>(std::stoul(v));
   } else if (arg == "--help" || arg == "-h") {
     Usage();
     std::exit(0);
@@ -281,7 +299,64 @@ int RunChaosCli(const CliOptions& o, ProtocolMode mode) {
   return report.ok() ? 0 : 1;
 }
 
+/// Shard-parallel simperf: per-shard table (including the ShardedStore
+/// steal/migration counters) plus the aggregate, written to JSON with the
+/// "sharded" section. Results are bit-identical for any --threads value.
+int RunSimperfShardedCli(const CliOptions& o) {
+  SimperfOptions options;
+  options.smoke = o.smoke;
+  options.seed = o.seed;
+  options.shards = o.shards;
+  options.threads = o.threads;
+  options.partitions = std::max(o.partitions, o.shards);
+  options.window = o.sim_window;
+  std::cout << "== dpaxos_cli: simperf sharded"
+            << (options.smoke ? " (smoke)" : "") << ", shards="
+            << options.shards << " threads=" << options.threads
+            << " partitions=" << options.partitions << ", seed="
+            << options.seed << "\n\n";
+  const ShardedSimperfReport report = RunSimperfSharded(options);
+  TablePrinter table({"shard", "partitions", "wall (ms)", "events",
+                      "events/sec", "committed", "steals", "migrations"});
+  for (const SimperfShard& s : report.per_shard) {
+    table.AddRow({std::to_string(s.shard_id), std::to_string(s.partitions),
+                  Fmt(s.wall_ms, 1), std::to_string(s.events),
+                  Fmt(s.wall_ms > 0 ? s.events / (s.wall_ms / 1000.0) : 0,
+                      0),
+                  std::to_string(s.committed), std::to_string(s.steals),
+                  std::to_string(s.migrations)});
+  }
+  table.AddRow({"TOTAL", std::to_string(report.partitions),
+                Fmt(report.wall_ms, 1), std::to_string(report.events),
+                Fmt(report.EventsPerSec(), 0),
+                std::to_string(report.committed),
+                std::to_string(report.steals),
+                std::to_string(report.migrations)});
+  table.Print(std::cout);
+  std::cout << "\n" << report.counters.ToString() << "\n"
+            << "aggregate " << Fmt(report.EventsPerSec(), 0)
+            << " events/sec on " << report.threads
+            << " threads, fingerprint " << report.Fingerprint() << "\n";
+
+  // The legacy single-shard workload still provides the baseline/current
+  // sections so the JSON shape stays stable for downstream tooling.
+  SimperfOptions legacy;
+  legacy.smoke = o.smoke;
+  legacy.seed = o.seed;
+  const SimperfReport current = RunSimperf(legacy);
+  SimperfJsonExtras extras;
+  extras.sharded = &report;
+  if (!WriteSimperfJson(
+          o.out, SimperfJson(current, legacy.baseline_events_per_sec,
+                             extras))) {
+    return 1;
+  }
+  std::cout << "wrote " << o.out << "\n";
+  return 0;
+}
+
 int RunSimperfCli(const CliOptions& o) {
+  if (o.shards > 0) return RunSimperfShardedCli(o);
   SimperfOptions options;
   options.smoke = o.smoke;
   options.seed = o.seed;
