@@ -21,7 +21,9 @@ std::string PerfCounters::ToString() const {
       << " encode_bytes=" << wire_encode_bytes
       << " decodes=" << wire_decodes << "\n"
       << "store: steals=" << store_steals
-      << " migrations=" << store_partition_migrations;
+      << " migrations=" << store_partition_migrations
+      << " snapshot_transfers=" << store_snapshot_transfers
+      << " snapshot_bytes=" << store_snapshot_bytes;
   return out.str();
 }
 

@@ -48,7 +48,9 @@ namespace dpaxos {
   X(wire_encode_bytes)                \
   X(wire_decodes)                     \
   X(store_steals)                     \
-  X(store_partition_migrations)
+  X(store_partition_migrations)       \
+  X(store_snapshot_transfers)         \
+  X(store_snapshot_bytes)
 
 /// \brief Per-thread hot-path counters (see ThreadPerfCounters()).
 struct PerfCounters {
@@ -87,6 +89,10 @@ struct PerfCounters {
   /// Steals that moved a partition away from an existing leader in a
   /// different zone — true placement migrations.
   uint64_t store_partition_migrations = 0;
+  /// Handovers that shipped a checksummed snapshot instead of paging the
+  /// incumbent's full decided log, and the chunk payload bytes moved.
+  uint64_t store_snapshot_transfers = 0;
+  uint64_t store_snapshot_bytes = 0;
 
   /// Counter-wise difference (this - since); used for warm-window deltas.
   PerfCounters DeltaSince(const PerfCounters& since) const {

@@ -85,11 +85,37 @@ void ShardedStore::Steal(PartitionId partition, ZoneId zone,
     elect(replica);
     return;
   }
-  // Migration: pull the decided log from the incumbent BEFORE the
-  // election, so the prepare round recovers only the undecided tail
-  // instead of re-replicating the whole history through the promises.
-  // Catch-up failure (e.g. incumbent crashed) is not fatal — the
-  // election can still recover everything, just expensively.
+  // Migration: pull the incumbent's state BEFORE the election, so the
+  // prepare round recovers only the undecided tail instead of
+  // re-replicating the whole history through the promises. Catch-up
+  // failure (e.g. incumbent crashed) is not fatal — the election can
+  // still recover everything, just expensively.
+  //
+  // Long logs ship as a checksummed snapshot + residual tail instead of
+  // page-by-page replay, when both ends have snapshot hooks wired.
+  Replica* incumbent = provider_(previous, partition);
+  const bool snapshot_handover =
+      options_.prefer_snapshot && incumbent != nullptr &&
+      incumbent->snapshot_serve_ready() && replica->snapshot_transfer_ready() &&
+      incumbent->decided().size() > replica->decided().size() &&
+      incumbent->decided().size() - replica->decided().size() >=
+          options_.snapshot_handover_min_slots;
+  if (snapshot_handover) {
+    const uint64_t bytes_before =
+        replica->counters().snapshot_bytes_received;
+    replica->CatchUpViaSnapshot(
+        {previous},
+        [replica, bytes_before, elect = std::move(elect)](const Status& st) {
+          if (st.ok()) {
+            PerfCounters& perf = ThreadPerfCounters();
+            ++perf.store_snapshot_transfers;
+            perf.store_snapshot_bytes +=
+                replica->counters().snapshot_bytes_received - bytes_before;
+          }
+          elect(replica);
+        });
+    return;
+  }
   replica->CatchUpFrom(previous,
                        [replica, elect = std::move(elect)](const Status&) {
                          elect(replica);

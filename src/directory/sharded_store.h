@@ -42,6 +42,13 @@ class ShardedStore {
     Duration stats_half_life = 30 * kSecond;
     /// Disable to route only (ownership fixed at first election).
     bool auto_steal = true;
+    /// Migration handover: ship a checksummed state snapshot instead of
+    /// paging the incumbent's decided log when the log is at least
+    /// `snapshot_handover_min_slots` long and both replicas have
+    /// snapshot hooks wired. Counted in PerfCounters as
+    /// store_snapshot_transfers / store_snapshot_bytes.
+    bool prefer_snapshot = true;
+    uint64_t snapshot_handover_min_slots = 512;
   };
 
   ShardedStore(Simulator* sim, const Topology* topology,

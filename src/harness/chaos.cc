@@ -1,6 +1,7 @@
 #include "harness/chaos.h"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "net/topology.h"
 #include "smr/kv_store.h"
 #include "smr/log_applier.h"
+#include "smr/snapshot.h"
 #include "txn/transaction.h"
 
 namespace dpaxos {
@@ -73,7 +75,10 @@ class ChaosRun {
   };
 
   void WireNode(NodeId node);
+  void OnNodeRestart(NodeId node);
   void StartRepairLoop();
+  void CompactionSweep();
+  void StartCompactionLoop();
   void IssueNext(size_t ci);
   void RecordCompletion(size_t history_index, bool is_read,
                         const OpResult& r);
@@ -91,10 +96,53 @@ class ChaosRun {
 
 void ChaosRun::WireNode(NodeId node) {
   NodeApp* app = apps_[node].get();
-  cluster_->replica(node)->set_decide_callback(
-      [app](SlotId slot, const Value& value) {
-        app->applier.OnDecided(slot, value);
+  Replica* replica = cluster_->replica(node);
+  replica->set_decide_callback([app](SlotId slot, const Value& value) {
+    app->applier.OnDecided(slot, value);
+  });
+  if (!options_.enable_compaction) return;
+  // Snapshot hooks close over `this` + node, not the NodeApp pointer:
+  // a restart replaces the app, and a stale capture would serve (or
+  // install into) the dead instance.
+  replica->set_snapshot_hooks(
+      [this, node](SlotId* through) {
+        NodeApp& a = *apps_[node];
+        *through = a.applier.applied_watermark();
+        return EncodeSnapshot(*through, a.sm.SerializeFull());
+      },
+      [this, node](SlotId through, const std::string& envelope) {
+        Result<Snapshot> snap = DecodeSnapshot(envelope);
+        if (!snap.ok()) return snap.status();
+        NodeApp& a = *apps_[node];
+        Status st = a.sm.RestoreFull(snap->payload);
+        if (!st.ok()) return st;
+        a.applier.FastForwardTo(through);
+        return Status::OK();
       });
+}
+
+void ChaosRun::OnNodeRestart(NodeId node) {
+  if (options_.enable_compaction) {
+    // Model a true process death: the volatile applied state is gone.
+    // Rebuild from the node's own durable snapshot, re-verifying its
+    // CRC — a torn install must surface as Corruption here, never as
+    // silently wrong state. On failure the replica sheds the snapshot
+    // and recovers from its peers instead.
+    apps_[node] = std::make_unique<NodeApp>();
+    Replica* replica = cluster_->replica(node);
+    const std::string& durable = replica->acceptor().snapshot_bytes();
+    if (!durable.empty()) {
+      Result<Snapshot> snap = DecodeSnapshot(durable);
+      Status st = snap.ok() ? apps_[node]->sm.RestoreFull(snap->payload)
+                            : snap.status();
+      if (st.ok()) {
+        apps_[node]->applier.FastForwardTo(replica->acceptor().snapshot_through());
+      } else {
+        replica->DropInstalledSnapshot();
+      }
+    }
+  }
+  WireNode(node);  // NodeHost::Restart dropped the decide callback
 }
 
 void ChaosRun::StartRepairLoop() {
@@ -102,22 +150,61 @@ void ChaosRun::StartRepairLoop() {
   // node. This is what lets a restarted replica (whose decided log died
   // with the process) refill its applier.
   cluster_->sim().Schedule(1 * kSecond, [this] {
-    NodeId best = 0;
-    SlotId best_wm = 0;
+    NodeId best = 0, second = 0;
+    SlotId best_wm = 0, second_wm = 0;
     for (NodeId n : cluster_->topology().AllNodes()) {
       const SlotId wm = apps_[n]->applier.applied_watermark();
       if (wm > best_wm) {
+        second_wm = best_wm;
+        second = best;
         best_wm = wm;
         best = n;
+      } else if (wm > second_wm) {
+        second_wm = wm;
+        second = n;
       }
     }
     for (NodeId n : cluster_->topology().AllNodes()) {
       if (n == best || cluster_->transport().IsCrashed(n)) continue;
       if (cluster_->replica(n)->DecidedWatermark() < best_wm) {
-        cluster_->replica(n)->CatchUpFrom(best, [](const Status&) {});
+        if (options_.enable_compaction && second != best && second != n &&
+            second_wm > 0) {
+          // Failover list: a corrupted or unresponsive snapshot source
+          // must not strand the laggard until the next sweep.
+          cluster_->replica(n)->CatchUpFrom(std::vector<NodeId>{best, second},
+                                            [](const Status&) {});
+        } else {
+          cluster_->replica(n)->CatchUpFrom(best, [](const Status&) {});
+        }
       }
     }
     StartRepairLoop();
+  });
+}
+
+void ChaosRun::CompactionSweep() {
+  // Quorum applied watermark: the (majority)-th highest applier
+  // watermark. Every slot below it is applied by a majority, so with the
+  // retained suffix subtracted the remaining log still lets any minority
+  // laggard catch up without a snapshot (see docs/PROTOCOL.md).
+  std::vector<SlotId> wms;
+  for (NodeId n : cluster_->topology().AllNodes()) {
+    wms.push_back(apps_[n]->applier.applied_watermark());
+  }
+  std::sort(wms.begin(), wms.end(), std::greater<SlotId>());
+  const SlotId quorum_wm = wms[wms.size() / 2];
+  if (quorum_wm <= options_.compaction_retained_suffix) return;
+  const SlotId point = quorum_wm - options_.compaction_retained_suffix;
+  for (NodeId n : cluster_->topology().AllNodes()) {
+    if (cluster_->transport().IsCrashed(n)) continue;
+    (void)cluster_->replica(n)->Compact(point);
+  }
+}
+
+void ChaosRun::StartCompactionLoop() {
+  cluster_->sim().Schedule(options_.compaction_interval, [this] {
+    CompactionSweep();
+    StartCompactionLoop();
   });
 }
 
@@ -220,6 +307,12 @@ ChaosReport ChaosRun::Run() {
   copts.replica.enable_failure_detector = true;
   copts.replica.heartbeat_interval = 300 * kMillisecond;
   copts.replica.election_timeout = 2 * kSecond;
+  copts.replica.enable_compaction = options_.enable_compaction;
+  copts.replica.compaction_retained_suffix =
+      options_.compaction_retained_suffix;
+  if (options_.enable_compaction) {
+    copts.replica.snapshot_chunk_bytes = options_.snapshot_chunk_bytes;
+  }
   cluster_ = std::make_unique<Cluster>(
       Topology::Uniform(options_.zones, options_.nodes_per_zone,
                         options_.inter_zone_rtt_ms),
@@ -233,9 +326,10 @@ ChaosReport ChaosRun::Run() {
   }
 
   nemesis_ = std::make_unique<Nemesis>(cluster_.get(), options_.seed);
-  nemesis_->set_restart_hook([this](NodeId node) {
-    WireNode(node);  // NodeHost::Restart dropped the decide callback
-  });
+  nemesis_->set_restart_hook([this](NodeId node) { OnNodeRestart(node); });
+  if (options_.enable_compaction) {
+    nemesis_->set_compaction_hook([this] { CompactionSweep(); });
+  }
   if (options_.schedule != "none") {
     if (!nemesis_->AddNamedSchedule(options_.schedule, 1 * kSecond,
                                     options_.duration)) {
@@ -253,6 +347,10 @@ ChaosReport ChaosRun::Run() {
     Replica* access = cluster_->ReplicaInZone(
         zone, (i / options_.zones) % options_.nodes_per_zone);
     Client::Options copts_client;
+    // Pin client ids per run: the auto-allocator is process-global, and
+    // the golden history (tests/determinism_golden_test.cc) must not
+    // depend on how many clients earlier runs in the process created.
+    copts_client.client_id = i + 1;
     copts_client.request_deadline = options_.request_deadline;
     copts_client.retry_backoff_base = 20 * kMillisecond;
     copts_client.retry_backoff_cap = 400 * kMillisecond;
@@ -277,6 +375,7 @@ ChaosReport ChaosRun::Run() {
   }
 
   StartRepairLoop();
+  if (options_.enable_compaction) StartCompactionLoop();
   (void)cluster_->ElectLeader(cluster_->NodeInZone(0, 0));
 
   workload_end_ = cluster_->sim().Now() + options_.duration;
@@ -335,6 +434,14 @@ ChaosReport ChaosRun::Run() {
   report.nemesis_actions = nemesis_->actions_executed();
   report.nemesis_log = nemesis_->action_log();
   for (NodeId n = 0; n < num_nodes; ++n) {
+    const ProtocolCounters& pc = cluster_->replica(n)->counters();
+    report.snapshots_served += pc.snapshots_served;
+    report.snapshots_installed += pc.snapshots_installed;
+    report.snapshot_corruptions_detected += pc.snapshot_corruptions_detected;
+    report.log_compactions += pc.log_compactions;
+    report.catchup_failovers += pc.catchup_failovers;
+    report.max_resident_decided = std::max<uint64_t>(
+        report.max_resident_decided, cluster_->replica(n)->decided().size());
     std::ostringstream os;
     os << "node " << n << ": applied="
        << apps_[n]->applier.applied_watermark()
@@ -360,7 +467,16 @@ std::string ChaosReport::Summary() const {
      << " puts executed); " << duplicates_skipped
      << " duplicate applies skipped; converged="
      << (converged ? "yes" : "no") << "; nemesis actions="
-     << nemesis_actions << "\nconsistency: " << consistency.Summary();
+     << nemesis_actions;
+  if (log_compactions > 0 || snapshots_installed > 0 ||
+      snapshot_corruptions_detected > 0) {
+    os << "; compactions=" << log_compactions << " snapshots served/installed="
+       << snapshots_served << "/" << snapshots_installed
+       << " corruptions detected=" << snapshot_corruptions_detected
+       << " catch-up failovers=" << catchup_failovers
+       << " max resident decided=" << max_resident_decided;
+  }
+  os << "\nconsistency: " << consistency.Summary();
   return os.str();
 }
 

@@ -45,6 +45,21 @@ struct ChaosOptions {
   /// Baseline transport loss (bursts on top come from the nemesis).
   double drop_probability = 0.0;
   double duplicate_probability = 0.0;
+
+  // --- log compaction + snapshot recovery (default off: legacy
+  // behaviour and the golden schedules are bit-preserved) ---------------
+
+  /// Run a periodic compaction sweep: snapshot each node's applied state
+  /// and truncate the log up to (quorum applied watermark − retained
+  /// suffix). Restarted nodes then recover through checksummed snapshot
+  /// transfers instead of full log replay, and a process restart rebuilds
+  /// the state machine from the node's own durable snapshot.
+  bool enable_compaction = false;
+  uint64_t compaction_retained_suffix = 64;
+  Duration compaction_interval = 2 * kSecond;
+  /// Snapshot transfer chunk size (small values force multi-chunk
+  /// reassembly under fire).
+  uint64_t snapshot_chunk_bytes = 4096;
 };
 
 struct ChaosReport {
@@ -71,6 +86,18 @@ struct ChaosReport {
   uint64_t applied_writes = 0;
   uint64_t max_applied_commands = 0;
   bool converged = false;  // all appliers reached one identical state
+
+  /// Snapshot + compaction activity, summed over all live replicas at
+  /// the end of the run (a restart resets that node's counters, so these
+  /// are lower bounds under crash schedules).
+  uint64_t snapshots_served = 0;
+  uint64_t snapshots_installed = 0;
+  uint64_t snapshot_corruptions_detected = 0;
+  uint64_t log_compactions = 0;
+  uint64_t catchup_failovers = 0;
+  /// Largest decided-log size observed across nodes at the end: with
+  /// compaction on, bounded by the retained suffix + churn slack.
+  uint64_t max_resident_decided = 0;
 
   uint64_t nemesis_actions = 0;
   std::vector<std::string> nemesis_log;

@@ -28,7 +28,7 @@ Nemesis& Nemesis::Repeat(Duration start, Duration period, uint32_t count,
 }
 
 std::vector<std::string> Nemesis::ScheduleNames() {
-  return {"mixed", "storm", "partitions", "lossy", "moves"};
+  return {"mixed", "storm", "partitions", "lossy", "moves", "recovery"};
 }
 
 bool Nemesis::AddNamedSchedule(const std::string& name, Duration start,
@@ -99,6 +99,25 @@ bool Nemesis::AddNamedSchedule(const std::string& name, Duration start,
     Add(at(0.65), Op::kHandoff);
     Add(at(0.75), Op::kElectLeader);
     Add(at(0.80), Op::kRecoverAll);
+  } else if (name == "recovery") {
+    // Exercise the snapshot + compaction + recovery path: logs are
+    // repeatedly compacted away, so restarted nodes are forced through
+    // snapshot transfers, including corrupted and torn ones.
+    Add(at(0.05), Op::kForceCompaction);
+    Add(at(0.10), Op::kCrashNode);
+    Add(at(0.15), Op::kCorruptSnapshot);
+    Add(at(0.20), Op::kRestartNodeLossy);
+    Add(at(0.25), Op::kForceCompaction);
+    Add(at(0.30), Op::kCrashDuringInstall);
+    Add(at(0.40), Op::kIsolateZone);
+    Add(at(0.45), Op::kForceCompaction);
+    Add(at(0.50), Op::kHealPartitions);
+    Add(at(0.55), Op::kCrashNode);
+    Add(at(0.60), Op::kCorruptSnapshot);
+    Add(at(0.65), Op::kRestartNodeLossy);
+    Add(at(0.70), Op::kForceCompaction);
+    Add(at(0.75), Op::kElectLeader);
+    Add(at(0.80), Op::kRecoverAll);
   } else {
     return false;
   }
@@ -109,7 +128,9 @@ void Nemesis::Arm() {
   DPAXOS_CHECK_MSG(!armed_, "Arm() called twice");
   armed_ = true;
   bool lossy = false;
-  for (const Step& s : steps_) lossy |= (s.op == Op::kRestartNodeLossy);
+  for (const Step& s : steps_) {
+    lossy |= (s.op == Op::kRestartNodeLossy || s.op == Op::kCrashDuringInstall);
+  }
   if (lossy) {
     for (NodeId n : cluster_->topology().AllNodes()) {
       cluster_->host(n)->storage().set_crash_faults(true);
@@ -158,6 +179,24 @@ void Nemesis::Execute(const Step& step) {
     case Op::kElectLeader:
       ElectRandomLeader(step.partition);
       break;
+    case Op::kForceCompaction:
+      ForceCompaction();
+      break;
+    case Op::kCorruptSnapshot:
+      CorruptRandomSnapshot(step.partition);
+      break;
+    case Op::kCrashDuringInstall: {
+      // Tear a node mid-recovery: crash it now, then bring it back with
+      // a lossy restart so in-flight snapshot installs lose whatever
+      // was not synced. The delay defaults to 100ms.
+      if (!CrashRandomNode()) break;
+      const Duration delay =
+          step.arg > 0 ? static_cast<Duration>(step.arg) : 100 * kMillisecond;
+      cluster_->sim().Schedule(delay, [this] {
+        RestartRandomCrashedNode(/*lose_unsynced=*/true);
+      });
+      break;
+    }
   }
 }
 
@@ -312,6 +351,28 @@ bool Nemesis::ElectRandomLeader(PartitionId partition) {
   const NodeId node = candidates[rng_.NextBounded(candidates.size())];
   cluster_->replica(node, partition)->TryBecomeLeader([](const Status&) {});
   Note("elect node " + std::to_string(node));
+  return true;
+}
+
+void Nemesis::ForceCompaction() {
+  if (!compaction_hook_) return;
+  compaction_hook_();
+  Note("force compaction sweep");
+}
+
+bool Nemesis::CorruptRandomSnapshot(PartitionId partition) {
+  std::vector<Replica*> candidates;
+  for (NodeId n : cluster_->topology().AllNodes()) {
+    Replica* r = cluster_->replica(n, partition);
+    if (r != nullptr && IsHealthy(n)) candidates.push_back(r);
+  }
+  if (candidates.empty()) return false;
+  Replica* victim = candidates[rng_.NextBounded(candidates.size())];
+  const bool flip = rng_.NextBounded(2) == 0;
+  victim->InjectSnapshotFault(flip ? Replica::SnapshotFault::kBitFlip
+                                   : Replica::SnapshotFault::kTruncate);
+  Note(std::string(flip ? "arm bit-flip" : "arm truncation") +
+       " on next snapshot served by node " + std::to_string(victim->id()));
   return true;
 }
 

@@ -37,6 +37,11 @@ class Nemesis {
     kMigrateLeaderZone, // force a Leader-Zone move to a random other zone
     kHandoff,           // current leader hands off to a random peer
     kElectLeader,       // a random healthy node runs Leader Election
+    kForceCompaction,   // trigger the harness's compaction sweep now
+    kCorruptSnapshot,   // next snapshot served by a random node is corrupt
+    kCrashDuringInstall,// crash a node, then lossy-restart it `arg` us later
+                        // (default 100ms) — tears any in-flight snapshot
+                        // install and drops its unsynced writes
   };
 
   struct Step {
@@ -67,6 +72,8 @@ class Nemesis {
   ///   "partitions" — repeated zone isolations
   ///   "lossy"      — drop/duplicate/jitter bursts + lossy restarts
   ///   "moves"      — migration and handoff churn
+  ///   "recovery"   — compaction sweeps, corrupted snapshots, lossy
+  ///                  restarts and crash-during-install tears
   /// Returns false (and adds nothing) for an unknown name.
   bool AddNamedSchedule(const std::string& name, Duration start,
                         Duration horizon);
@@ -87,6 +94,12 @@ class Nemesis {
     restart_hook_ = std::move(hook);
   }
 
+  /// Invoked by kForceCompaction: the harness owns the compaction policy
+  /// (quorum watermark, retained suffix), the nemesis only picks when.
+  void set_compaction_hook(std::function<void()> hook) {
+    compaction_hook_ = std::move(hook);
+  }
+
   // --- imperative primitives (also usable directly from tests) ----------
 
   bool CrashRandomNode();
@@ -100,6 +113,10 @@ class Nemesis {
   bool MigrateLeaderZoneRandom(PartitionId partition = 0);
   bool HandoffRandom(PartitionId partition = 0);
   bool ElectRandomLeader(PartitionId partition = 0);
+  void ForceCompaction();
+  /// Arms a one-shot fault on a random healthy node: the next snapshot
+  /// it serves is corrupted (bit flip or truncation, coin-flipped).
+  bool CorruptRandomSnapshot(PartitionId partition = 0);
 
   // --- targeted primitives (surgical failure tests) ---------------------
   // No randomness and no fault-budget enforcement: these trust the
@@ -134,6 +151,7 @@ class Nemesis {
   std::set<ZoneId> isolated_zones_;
   SimTransportOptions baseline_;  // loss model to restore on ClearLoss
   std::function<void(NodeId)> restart_hook_;
+  std::function<void()> compaction_hook_;
   std::vector<std::string> action_log_;
   bool armed_ = false;
 };

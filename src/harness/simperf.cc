@@ -274,7 +274,10 @@ void AppendShardLine(std::ostringstream& out, const SimperfShard& s) {
       << " partitions=" << s.partitions << " events=" << s.events
       << " messages=" << s.messages << " bytes=" << s.bytes
       << " committed=" << s.committed << " steals=" << s.steals
-      << " migrations=" << s.migrations << " virtual_end=" << s.virtual_end
+      << " migrations=" << s.migrations
+      << " snapshot_transfers=" << s.snapshot_transfers
+      << " snapshot_bytes=" << s.snapshot_bytes
+      << " virtual_end=" << s.virtual_end
       << " fp=" << s.fingerprint << "\n";
 }
 
@@ -348,6 +351,8 @@ ShardedSimperfReport RunSimperfSharded(const SimperfOptions& options) {
     shard.committed = work[i].committed;
     shard.steals = r.counters.store_steals;
     shard.migrations = r.counters.store_partition_migrations;
+    shard.snapshot_transfers = r.counters.store_snapshot_transfers;
+    shard.snapshot_bytes = r.counters.store_snapshot_bytes;
     shard.virtual_end = work[i].virtual_end;
     shard.fingerprint = ShardFingerprint(shard, r.counters);
     report.per_shard.push_back(shard);
@@ -359,6 +364,8 @@ ShardedSimperfReport RunSimperfSharded(const SimperfOptions& options) {
     report.committed += shard.committed;
     report.steals += shard.steals;
     report.migrations += shard.migrations;
+    report.snapshot_transfers += shard.snapshot_transfers;
+    report.snapshot_bytes += shard.snapshot_bytes;
   }
   report.peak_rss_kb = PeakRssKb();
   return report;
@@ -378,6 +385,8 @@ std::string ShardedSimperfReport::DeterminismString() const {
   out << "aggregate: events=" << events << " messages=" << messages
       << " bytes=" << bytes << " committed=" << committed
       << " steals=" << steals << " migrations=" << migrations
+      << " snapshot_transfers=" << snapshot_transfers
+      << " snapshot_bytes=" << snapshot_bytes
       << " fp=" << Fingerprint() << "\n";
   return out.str();
 }
@@ -492,6 +501,8 @@ std::string SimperfJson(const SimperfReport& report,
         << "    \"committed\": " << s.committed << ",\n"
         << "    \"steals\": " << s.steals << ",\n"
         << "    \"partition_migrations\": " << s.migrations << ",\n"
+        << "    \"snapshot_transfers\": " << s.snapshot_transfers << ",\n"
+        << "    \"snapshot_bytes\": " << s.snapshot_bytes << ",\n"
         << "    \"slab_growths\": " << s.counters.slab_growths << ",\n"
         << "    \"fingerprint\": \"" << s.Fingerprint() << "\",\n"
         << "    \"per_shard\": [\n";

@@ -108,6 +108,8 @@ struct SimperfShard {
   uint64_t committed = 0;   ///< load batches + store transactions
   uint64_t steals = 0;      ///< ShardedStore steal elections
   uint64_t migrations = 0;  ///< steals away from a live remote leader
+  uint64_t snapshot_transfers = 0;  ///< handovers shipped as snapshots
+  uint64_t snapshot_bytes = 0;      ///< snapshot chunk payload bytes
   Timestamp virtual_end = 0;
   /// FNV-1a over every deterministic field above (wall_ms excluded).
   uint64_t fingerprint = 0;
@@ -129,6 +131,8 @@ struct ShardedSimperfReport {
   uint64_t committed = 0;
   uint64_t steals = 0;
   uint64_t migrations = 0;
+  uint64_t snapshot_transfers = 0;
+  uint64_t snapshot_bytes = 0;
 
   double EventsPerSec() const {
     return wall_ms > 0 ? events / (wall_ms / 1000.0) : 0;

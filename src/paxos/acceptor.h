@@ -9,6 +9,8 @@
 
 #include <map>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -117,6 +119,39 @@ class Acceptor {
 
   /// Merge externally transferred intents (next-Leader-Zone side).
   void AddIntents(const std::vector<Intent>& intents);
+
+  // --- snapshot + log compaction (docs/PROTOCOL.md) -------------------
+
+  /// Persist a verified snapshot envelope covering slots [0, through).
+  /// Step 1 of the crash-consistent install order; the caller must sync
+  /// before releasing any log prefix.
+  void StoreSnapshot(SlotId through, std::string bytes) {
+    rec_->snapshot_through = through;
+    rec_->snapshot_bytes = std::move(bytes);
+    ++rec_->sync_writes;
+  }
+
+  /// Release accepted entries below `through` and record the durable
+  /// compaction watermark future promises must advertise. Step 2; only
+  /// legal once a snapshot with snapshot_through >= through is durable.
+  void ReleaseAcceptedBelow(SlotId through) {
+    rec_->accepted.ReleaseBelow(through);
+    if (through > rec_->compacted_through) rec_->compacted_through = through;
+    ++rec_->sync_writes;
+  }
+
+  /// Discard the stored snapshot (e.g. it failed its CRC after a lossy
+  /// restart). The compaction watermark survives: the log prefix is
+  /// still gone, so promises must keep advertising it.
+  void DropStoredSnapshot() {
+    rec_->snapshot_through = 0;
+    rec_->snapshot_bytes.clear();
+    ++rec_->sync_writes;
+  }
+
+  SlotId snapshot_through() const { return rec_->snapshot_through; }
+  const std::string& snapshot_bytes() const { return rec_->snapshot_bytes; }
+  SlotId compacted_through() const { return rec_->compacted_through; }
 
   // --- introspection for tests and metrics ----------------------------
 

@@ -107,6 +107,9 @@ class DecidedLog {
     return {const_iterator(this, idx), true};
   }
 
+  /// Compaction alias: drop the prefix a snapshot now covers.
+  void TruncateTo(SlotId through) { EraseBelow(through); }
+
   /// Drop every entry with slot < `through` (a trimmed prefix never
   /// comes back: LearnDecided ignores slots below log_start_).
   void EraseBelow(SlotId through) {

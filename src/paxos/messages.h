@@ -52,8 +52,10 @@ enum class WireType : uint8_t {
   kLearnRequest = 25,
   kLearnReply = 26,
   kSnapshotRequest = 27,
-  kSnapshotReply = 28,
+  // 28 was the single-message kSnapshotReply, superseded by chunked
+  // transfer; the tag is retired (decodes as unknown), never reused.
   kHeartbeat = 29,
+  kSnapshotChunk = 30,
 };
 
 /// \brief Common base: every protocol message belongs to a partition.
@@ -124,10 +126,18 @@ struct PromiseMsg final : PaxosMessage {
   std::vector<Intent> intents;
   /// Piggybacked Leader Zone information (paper Algorithm 2 lines 5-10).
   LeaderZoneView lz_view;
+  /// The acceptor's durable compaction watermark: it has released every
+  /// accepted entry below this slot (all covered by its snapshot). A
+  /// candidate must not treat those slots as undecided holes — see the
+  /// compaction rule in docs/PROTOCOL.md.
+  SlotId compacted_through = 0;
 
   uint64_t SizeBytes() const override {
     uint64_t sz = kMessageHeaderBytes + 16 + IntentsWireSize(intents);
     for (const AcceptedEntry& e : accepted) sz += 32 + e.value.size_bytes;
+    // Modeled only when compaction is active, so compaction-off runs keep
+    // their historical bandwidth schedule bit-for-bit.
+    if (compacted_through != 0) sz += 8;
     return sz;
   }
   const char* TypeName() const override { return "promise"; }
@@ -345,31 +355,49 @@ struct LearnReplyMsg final : PaxosMessage {
   }
 };
 
-/// Ask a peer for an application snapshot (log prefix truncated).
+/// Ask a peer for an application snapshot (log prefix truncated),
+/// starting at byte `offset` of the peer's current snapshot image.
+/// offset 0 starts a fresh transfer; the peer regenerates its image.
 struct SnapshotRequestMsg final : PaxosMessage {
-  explicit SnapshotRequestMsg(PartitionId p) : PaxosMessage(p) {}
+  explicit SnapshotRequestMsg(PartitionId p, uint64_t off = 0)
+      : PaxosMessage(p), offset(off) {}
 
-  uint64_t SizeBytes() const override { return kMessageHeaderBytes; }
+  uint64_t offset;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 8; }
   const char* TypeName() const override { return "snapshot-request"; }
   uint8_t wire_tag() const override {
     return static_cast<uint8_t>(WireType::kSnapshotRequest);
   }
 };
 
-/// Application snapshot covering all slots below `through_slot`.
-struct SnapshotReplyMsg final : PaxosMessage {
-  SnapshotReplyMsg(PartitionId p, SlotId through, std::string data)
-      : PaxosMessage(p), through_slot(through), snapshot(std::move(data)) {}
+/// One chunk of a checksummed snapshot envelope (smr/snapshot.h)
+/// covering all slots below `through_slot`. The requester reassembles
+/// chunks by offset until `total_bytes` arrive, then verifies the CRC of
+/// the whole envelope before installing anything.
+struct SnapshotChunkMsg final : PaxosMessage {
+  SnapshotChunkMsg(PartitionId p, SlotId through, uint64_t off,
+                   uint64_t total, std::string bytes)
+      : PaxosMessage(p),
+        through_slot(through),
+        offset(off),
+        total_bytes(total),
+        data(std::move(bytes)) {}
 
   SlotId through_slot;
-  std::string snapshot;
+  /// Byte position of `data` within the envelope.
+  uint64_t offset;
+  /// Size of the full envelope; the last chunk satisfies
+  /// offset + data.size() == total_bytes.
+  uint64_t total_bytes;
+  std::string data;
 
   uint64_t SizeBytes() const override {
-    return kMessageHeaderBytes + 8 + snapshot.size();
+    return kMessageHeaderBytes + 24 + data.size();
   }
-  const char* TypeName() const override { return "snapshot-reply"; }
+  const char* TypeName() const override { return "snapshot-chunk"; }
   uint8_t wire_tag() const override {
-    return static_cast<uint8_t>(WireType::kSnapshotReply);
+    return static_cast<uint8_t>(WireType::kSnapshotChunk);
   }
 };
 

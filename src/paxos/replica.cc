@@ -24,13 +24,26 @@ Replica::Replica(Simulator* sim, Transport* transport,
       id_(id),
       config_(config),
       rng_(sim->rng().Fork()),
-      acceptor_(quorums->mode() == ProtocolMode::kLeaderless, record) {
+      acceptor_(quorums->mode() == ProtocolMode::kLeaderless, record),
+      // A pure function of (node, partition): never forked from rng_ or
+      // sim->rng(), whose draw sequences existing schedules depend on.
+      catchup_rng_(0x9e3779b97f4a7c15ULL * (id + 1) + config.partition) {
   DPAXOS_CHECK(sim && transport && topology && quorums);
   lz_view_.current = config_.initial_leader_zone;
   // A restarted acceptor remembers its promises (durable record); the
   // proposer must never reuse a round it might have promised away.
   ObserveBallot(acceptor_.promised());
   ObserveBallot(acceptor_.max_propose_ballot());
+  // A durable snapshot means the log prefix it covers was released:
+  // resume the learner at the snapshot boundary. The slot bound is
+  // trusted because records only ever store CRC-verified envelopes (the
+  // harness re-verifies the bytes and calls DropInstalledSnapshot() if
+  // the image at rest rotted).
+  if (acceptor_.snapshot_through() > 0) {
+    log_start_ = acceptor_.snapshot_through();
+    watermark_ = acceptor_.snapshot_through();
+    decided_.EraseBelow(log_start_);
+  }
   if (quorums_->mode() == ProtocolMode::kLeaderless) {
     DPAXOS_CHECK_GT(config_.leaderless_total, 0u);
     DPAXOS_CHECK_LT(config_.leaderless_index, config_.leaderless_total);
@@ -285,6 +298,12 @@ void Replica::OnPromise(NodeId from, const PromiseMsg& msg) {
   }
   election_->promises.insert(from);
 
+  // A promise from a compacted acceptor: slots below its watermark were
+  // released because its durable snapshot covers them (all decided), so
+  // the election must not treat them as undecided holes.
+  election_->max_compacted =
+      std::max(election_->max_compacted, msg.compacted_through);
+
   // Adopt previously accepted values: highest ballot wins per slot.
   for (const AcceptedEntry& e : msg.accepted) {
     auto it = election_->adopted.find(e.slot);
@@ -360,7 +379,12 @@ void Replica::FinishElection() {
   lease_votes_.clear();
   lease_until_ = 0;
 
-  const SlotId first = election_->first_slot;
+  // Fast-forward past the highest compaction watermark any voter
+  // advertised: those slots are decided-and-released, and filling them
+  // with no-ops would conflict with the decided history (safe by quorum
+  // intersection — see docs/PROTOCOL.md "Log compaction").
+  const SlotId first =
+      std::max(election_->first_slot, election_->max_compacted);
   next_slot_ = first;
   bool has_adopted = false;
   SlotId max_adopted = 0;
@@ -520,6 +544,9 @@ void Replica::OnPrepare(NodeId from, const PrepareMsg& msg) {
   promise->accepted = std::move(out.accepted);
   promise->intents = std::move(out.intents);
   promise->lz_view = lz_view_;
+  // Advertise the durable compaction watermark (0 until the first
+  // compaction, keeping legacy message sizes bit-identical).
+  promise->compacted_through = acceptor_.compacted_through();
   ++counters_.promises_sent;
   if (config_.storage_sync_delay > 0) {
     // The promise is durable before it is answered.
@@ -1082,34 +1109,114 @@ constexpr uint32_t kCatchUpPageSize = 256;
 }  // namespace
 
 void Replica::CatchUpFrom(NodeId peer, StatusCallback cb) {
+  CatchUpFrom(std::vector<NodeId>{peer}, std::move(cb));
+}
+
+void Replica::CatchUpFrom(std::vector<NodeId> peers, StatusCallback cb) {
   if (catchup_ != nullptr) {
     cb(Status::Aborted("catch-up already in progress"));
     return;
   }
-  if (peer == id_) {
+  std::erase(peers, id_);
+  if (peers.empty()) {
     cb(Status::InvalidArgument("cannot catch up from self"));
     return;
   }
   catchup_ = std::make_unique<CatchUp>();
-  catchup_->peer = peer;
+  catchup_->peers = std::move(peers);
   catchup_->cb = std::move(cb);
+  CatchUpRequestNext();
+}
+
+void Replica::CatchUpViaSnapshot(std::vector<NodeId> peers, StatusCallback cb) {
+  if (snapshot_installer_ == nullptr) {
+    // No installer wired: degrade to the ordinary log-page path.
+    CatchUpFrom(std::move(peers), std::move(cb));
+    return;
+  }
+  if (catchup_ != nullptr) {
+    cb(Status::Aborted("catch-up already in progress"));
+    return;
+  }
+  std::erase(peers, id_);
+  if (peers.empty()) {
+    cb(Status::InvalidArgument("cannot catch up from self"));
+    return;
+  }
+  catchup_ = std::make_unique<CatchUp>();
+  catchup_->peers = std::move(peers);
+  catchup_->cb = std::move(cb);
+  catchup_->snapshotting = true;
   CatchUpRequestNext();
 }
 
 void Replica::CatchUpRequestNext() {
   DPAXOS_CHECK(catchup_ != nullptr);
   CatchUp& cu = *catchup_;
-  SendTo(cu.peer, std::make_shared<LearnRequestMsg>(
-                      config_.partition, watermark_, kCatchUpPageSize));
-  cu.timer = ScheduleSafe(config_.propose_timeout, [this] {
+  if (cu.snapshotting) {
+    SendTo(cu.peer(), std::make_shared<SnapshotRequestMsg>(
+                          config_.partition, cu.snap_buffer.size()));
+  } else {
+    SendTo(cu.peer(), std::make_shared<LearnRequestMsg>(
+                          config_.partition, watermark_, kCatchUpPageSize));
+  }
+  CatchUpArmTimer();
+}
+
+void Replica::CatchUpArmTimer() {
+  catchup_->timer =
+      ScheduleSafe(config_.propose_timeout, [this] { CatchUpTimeout(); });
+}
+
+void Replica::CatchUpTimeout() {
+  if (catchup_ == nullptr) return;
+  CatchUp& cu = *catchup_;
+  cu.timer = 0;
+  if (++cu.attempts > config_.catchup_retry_limit) {
+    CatchUpFailover(Status::TimedOut("catch-up peer unresponsive"));
+    return;
+  }
+  if (config_.catchup_backoff_base == 0) {
+    // Legacy spacing: the propose_timeout wait itself paces retries.
+    CatchUpRequestNext();
+    return;
+  }
+  // Jittered exponential backoff from the dedicated catch-up stream
+  // (rng_ draws would shift every schedule that shares it).
+  const uint32_t shift = std::min(cu.attempts - 1, 6u);
+  Duration wait = config_.catchup_backoff_base * (1ull << shift);
+  wait = static_cast<Duration>(static_cast<double>(wait) *
+                               (1.0 + catchup_rng_.NextDouble()));
+  wait = std::min(wait, config_.catchup_backoff_cap);
+  cu.timer = ScheduleSafe(wait, [this] {
     if (catchup_ == nullptr) return;
     catchup_->timer = 0;
-    if (++catchup_->attempts > config_.max_propose_retries) {
-      CatchUpFinish(Status::TimedOut("catch-up peer unresponsive"));
-      return;
-    }
     CatchUpRequestNext();
   });
+}
+
+void Replica::CatchUpFailover(const Status& status) {
+  DPAXOS_CHECK(catchup_ != nullptr);
+  CatchUp& cu = *catchup_;
+  if (cu.timer != 0) {
+    sim_->Cancel(cu.timer);
+    cu.timer = 0;
+  }
+  if (cu.index + 1 >= cu.peers.size()) {
+    CatchUpFinish(status);
+    return;
+  }
+  ++cu.index;
+  cu.attempts = 0;
+  // Any half-reassembled snapshot belonged to the old peer's image.
+  cu.snapshotting = false;
+  cu.snap_buffer.clear();
+  cu.snap_through = 0;
+  cu.snap_total = 0;
+  ++counters_.catchup_failovers;
+  DPAXOS_DEBUG("node " << id_ << " catch-up fails over to node " << cu.peer()
+                       << " after: " << status.ToString());
+  CatchUpRequestNext();
 }
 
 void Replica::CatchUpFinish(const Status& status) {
@@ -1134,6 +1241,42 @@ Status Replica::TruncateDecidedBelow(SlotId slot) {
   return Status::OK();
 }
 
+Status Replica::Compact(SlotId through) {
+  if (!config_.enable_compaction) {
+    return Status::FailedPrecondition("compaction is disabled");
+  }
+  if (snapshot_provider_ == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot hooks required before compacting history");
+  }
+  // Snapshot first: everything we drop must be covered by a durable,
+  // CRC-protected image. The provider reports the true coverage slot,
+  // which may exceed the requested compaction point.
+  SlotId covered = 0;
+  std::string envelope = snapshot_provider_(&covered);
+  const SlotId point = std::min({through, watermark_, covered});
+  if (point <= log_start_) return Status::OK();  // nothing new to release
+  acceptor_.StoreSnapshot(covered, std::move(envelope));
+  if (sync_hook_) sync_hook_();
+  // Snapshot durable: releasing the prefix is now crash-safe.
+  decided_.TruncateTo(point);
+  log_start_ = point;
+  acceptor_.ReleaseAcceptedBelow(point);
+  if (sync_hook_) sync_hook_();
+  ++counters_.log_compactions;
+  return Status::OK();
+}
+
+void Replica::DropInstalledSnapshot() {
+  acceptor_.DropStoredSnapshot();
+  if (sync_hook_) sync_hook_();
+  // The compaction watermark survives: the prefix is gone either way,
+  // so this replica must relearn state from its peers.
+  decided_ = DecidedLog();
+  log_start_ = 0;
+  watermark_ = 0;
+}
+
 void Replica::OnLearnRequest(NodeId from, const LearnRequestMsg& msg) {
   auto reply = std::make_shared<LearnReplyMsg>(config_.partition);
   reply->from_slot = msg.from_slot;
@@ -1150,26 +1293,27 @@ void Replica::OnLearnRequest(NodeId from, const LearnRequestMsg& msg) {
 }
 
 void Replica::OnLearnReply(NodeId from, const LearnReplyMsg& msg) {
-  if (catchup_ == nullptr || from != catchup_->peer) return;
+  if (catchup_ == nullptr || from != catchup_->peer() ||
+      catchup_->snapshotting) {
+    return;
+  }
   if (msg.from_slot != watermark_) return;  // stale page
   if (catchup_->timer != 0) sim_->Cancel(catchup_->timer);
   catchup_->timer = 0;
   catchup_->attempts = 0;
 
   if (msg.first_available > watermark_) {
-    // The peer truncated this prefix: fall back to a snapshot.
+    // The peer compacted this prefix away: fall back to a snapshot.
     if (snapshot_installer_ == nullptr) {
       CatchUpFinish(Status::FailedPrecondition(
           "peer truncated its log and no snapshot installer is wired"));
       return;
     }
-    SendTo(catchup_->peer,
-           std::make_shared<SnapshotRequestMsg>(config_.partition));
-    catchup_->timer = ScheduleSafe(config_.propose_timeout, [this] {
-      if (catchup_ == nullptr) return;
-      catchup_->timer = 0;
-      CatchUpFinish(Status::TimedOut("snapshot transfer timed out"));
-    });
+    catchup_->snapshotting = true;
+    catchup_->snap_buffer.clear();
+    catchup_->snap_through = 0;
+    catchup_->snap_total = 0;
+    CatchUpRequestNext();
     return;
   }
 
@@ -1189,28 +1333,101 @@ void Replica::OnLearnReply(NodeId from, const LearnReplyMsg& msg) {
 }
 
 void Replica::OnSnapshotRequest(NodeId from, const SnapshotRequestMsg& msg) {
-  (void)msg;
   if (snapshot_provider_ == nullptr) return;  // cannot serve
-  SlotId through = 0;
-  std::string data = snapshot_provider_(&through);
-  SendTo(from, std::make_shared<SnapshotReplyMsg>(config_.partition, through,
-                                                  std::move(data)));
+  if (msg.offset == 0 || snapshot_cache_.bytes.empty()) {
+    // Fresh transfer: regenerate, so every later chunk comes from one
+    // consistent image.
+    SlotId through = 0;
+    snapshot_cache_.bytes = snapshot_provider_(&through);
+    snapshot_cache_.through = through;
+    ++counters_.snapshots_served;
+    // Nemesis fault injection: corrupt the image we are about to serve.
+    // The requester's CRC check must catch either mutation.
+    if (snapshot_fault_ == SnapshotFault::kBitFlip &&
+        !snapshot_cache_.bytes.empty()) {
+      snapshot_cache_.bytes[snapshot_cache_.bytes.size() / 2] ^= 0x01;
+      snapshot_fault_ = SnapshotFault::kNone;
+    } else if (snapshot_fault_ == SnapshotFault::kTruncate) {
+      const size_t torn = snapshot_cache_.bytes.size() / 2;
+      snapshot_cache_.bytes.resize(torn);
+      snapshot_fault_ = SnapshotFault::kNone;
+    }
+  }
+  if (msg.offset >= snapshot_cache_.bytes.size()) return;  // stale offset
+  const uint64_t chunk = std::max<uint64_t>(config_.snapshot_chunk_bytes, 1);
+  auto reply = std::make_shared<SnapshotChunkMsg>(
+      config_.partition, snapshot_cache_.through, msg.offset,
+      snapshot_cache_.bytes.size(),
+      snapshot_cache_.bytes.substr(msg.offset, chunk));
+  ++counters_.snapshot_chunks_sent;
+  SendTo(from, reply);
 }
 
-void Replica::OnSnapshotReply(NodeId from, const SnapshotReplyMsg& msg) {
-  if (catchup_ == nullptr || from != catchup_->peer) return;
-  if (catchup_->timer != 0) sim_->Cancel(catchup_->timer);
-  catchup_->timer = 0;
-  if (msg.through_slot > watermark_) {
-    DPAXOS_CHECK(snapshot_installer_ != nullptr);
-    snapshot_installer_(msg.through_slot, msg.snapshot);
-    // Everything below through_slot is baked into the snapshot.
-    decided_.EraseBelow(msg.through_slot);
-    log_start_ = std::max(log_start_, msg.through_slot);
-    watermark_ = std::max(watermark_, msg.through_slot);
-    while (decided_.Contains(watermark_)) ++watermark_;
+void Replica::OnSnapshotChunk(NodeId from, const SnapshotChunkMsg& msg) {
+  if (catchup_ == nullptr || !catchup_->snapshotting ||
+      from != catchup_->peer()) {
+    return;
   }
-  // Resume pulling the log tail above the snapshot.
+  CatchUp& cu = *catchup_;
+  if (msg.offset == 0) {
+    // First chunk (or the peer regenerated its image): start over.
+    cu.snap_buffer.clear();
+    cu.snap_through = msg.through_slot;
+    cu.snap_total = msg.total_bytes;
+  } else if (msg.through_slot != cu.snap_through ||
+             msg.total_bytes != cu.snap_total ||
+             msg.offset != cu.snap_buffer.size()) {
+    // Duplicate, reordered or cross-image chunk: ignore; the retry
+    // timer re-requests from our current offset.
+    return;
+  }
+  if (cu.timer != 0) sim_->Cancel(cu.timer);
+  cu.timer = 0;
+  cu.attempts = 0;
+  cu.snap_buffer.append(msg.data);
+  counters_.snapshot_bytes_received += msg.data.size();
+  if (cu.snap_buffer.size() < cu.snap_total) {
+    CatchUpRequestNext();
+    return;
+  }
+  InstallReassembledSnapshot();
+}
+
+void Replica::InstallReassembledSnapshot() {
+  DPAXOS_CHECK(catchup_ != nullptr && snapshot_installer_ != nullptr);
+  CatchUp& cu = *catchup_;
+  const SlotId through = cu.snap_through;
+  std::string envelope = std::move(cu.snap_buffer);
+  cu.snapshotting = false;
+  cu.snap_buffer.clear();
+  cu.snap_through = 0;
+  cu.snap_total = 0;
+
+  // The installer verifies the envelope CRC before touching any state;
+  // a corrupt transfer must never be applied silently.
+  const Status st = snapshot_installer_(through, envelope);
+  if (!st.ok()) {
+    ++counters_.snapshot_corruptions_detected;
+    DPAXOS_WARN("node " << id_ << " rejected snapshot through " << through
+                        << ": " << st.ToString());
+    CatchUpFailover(st);
+    return;
+  }
+  ++counters_.snapshots_installed;
+  if (through > watermark_) {
+    // Crash-consistent install: persist the verified envelope, sync,
+    // THEN truncate. A lossy restart between the two syncs keeps the
+    // snapshot and merely re-releases the prefix.
+    acceptor_.StoreSnapshot(through, std::move(envelope));
+    if (sync_hook_) sync_hook_();
+    decided_.TruncateTo(through);
+    log_start_ = std::max(log_start_, through);
+    watermark_ = std::max(watermark_, through);
+    while (decided_.Contains(watermark_)) ++watermark_;
+    acceptor_.ReleaseAcceptedBelow(through);
+    if (sync_hook_) sync_hook_();
+  }
+  // Resume pulling the residual log tail above the snapshot.
   CatchUpRequestNext();
 }
 
@@ -1571,8 +1788,8 @@ void Replica::HandleMessage(NodeId from, const MessagePtr& msg) {
       return OnLearnReply(from, static_cast<const LearnReplyMsg&>(m));
     case WireType::kSnapshotRequest:
       return OnSnapshotRequest(from, static_cast<const SnapshotRequestMsg&>(m));
-    case WireType::kSnapshotReply:
-      return OnSnapshotReply(from, static_cast<const SnapshotReplyMsg&>(m));
+    case WireType::kSnapshotChunk:
+      return OnSnapshotChunk(from, static_cast<const SnapshotChunkMsg&>(m));
     case WireType::kGcPoll:
       return OnGcPoll(from, static_cast<const GcPollMsg&>(m));
     case WireType::kGcThreshold:

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -57,6 +58,14 @@ struct ProtocolCounters {
   uint64_t handoffs_received = 0;
   uint64_t forwards_handled = 0;
   uint64_t redirects_sent = 0;
+  // Snapshot transfer & log compaction (docs/fault_model.md).
+  uint64_t snapshots_served = 0;     ///< full envelopes generated for peers
+  uint64_t snapshot_chunks_sent = 0;
+  uint64_t snapshot_bytes_received = 0;  ///< chunk payload bytes accepted
+  uint64_t snapshots_installed = 0;  ///< CRC-verified installs completed
+  uint64_t snapshot_corruptions_detected = 0;
+  uint64_t catchup_failovers = 0;    ///< catch-ups retargeted to a new peer
+  uint64_t log_compactions = 0;      ///< successful Compact() truncations
 };
 
 /// \brief One replica of one partition.
@@ -170,12 +179,16 @@ class Replica {
 
   // --- catch-up, truncation and snapshots ---------------------------------
 
-  /// Produces an application snapshot of all applied state and reports
-  /// the slot it covers (exclusive): everything below it is baked in.
+  /// Produces a checksummed snapshot envelope (smr/snapshot.h format) of
+  /// all applied state and reports the slot it covers (exclusive):
+  /// everything below it is baked in.
   using SnapshotProvider = std::function<std::string(SlotId* through_slot)>;
-  /// Installs a received snapshot covering slots below `through_slot`.
+  /// Verifies and installs a received snapshot envelope covering slots
+  /// below `through_slot`. Must return Status::Corruption (and leave the
+  /// application state untouched) when the envelope fails its CRC; the
+  /// replica then fails over to another peer instead of applying it.
   using SnapshotInstaller =
-      std::function<void(SlotId through_slot, const std::string& snapshot)>;
+      std::function<Status(SlotId through_slot, const std::string& snapshot)>;
 
   /// Wire the application's snapshot hooks (both or neither). Without
   /// them, log truncation still works but peers that fell behind the
@@ -191,14 +204,55 @@ class Replica {
   /// lagging replicas.
   void CatchUpFrom(NodeId peer, StatusCallback cb);
 
+  /// Catch up with failover: peers are tried in order, each with its own
+  /// catchup_retry_limit budget; a timeout or corrupted snapshot moves on
+  /// to the next peer. Fails with the last peer's status when the list is
+  /// exhausted.
+  void CatchUpFrom(std::vector<NodeId> peers, StatusCallback cb);
+
+  /// Like CatchUpFrom, but opens with a snapshot transfer instead of log
+  /// pages — cheaper when the peer's log is long relative to its state
+  /// (e.g. a partition handover). Requires the snapshot installer; the
+  /// residual log above the snapshot is still paged afterwards.
+  void CatchUpViaSnapshot(std::vector<NodeId> peers, StatusCallback cb);
+
+  /// True when this replica can install snapshots from peers.
+  bool snapshot_transfer_ready() const {
+    return snapshot_installer_ != nullptr;
+  }
+  /// True when this replica can serve snapshots to peers.
+  bool snapshot_serve_ready() const { return snapshot_provider_ != nullptr; }
+
   /// Drop decided log entries below `slot` (which must not exceed the
   /// contiguous watermark). After truncation this replica serves
   /// catch-ups only from `slot` upward; earlier history requires the
   /// snapshot hooks.
   Status TruncateDecidedBelow(SlotId slot);
 
+  /// Log compaction (enable_compaction): snapshot the applied state via
+  /// the provider, persist the envelope durably, then truncate the
+  /// decided log and release the accepted prefix below
+  /// min(through, provider coverage, contiguous watermark), keeping
+  /// compaction_retained_suffix entries of slack for ordinary laggards.
+  /// The crash-consistent order is write-snapshot -> sync -> release ->
+  /// sync (see docs/PROTOCOL.md). No-op OK when nothing can be released.
+  Status Compact(SlotId through);
+
+  /// Discard the durable snapshot persisted by Compact()/installs —
+  /// the harness calls this when the envelope at rest fails its CRC
+  /// after a restart. Resets the learner to slot 0 so recovery refetches
+  /// everything from peers; the acceptor's compaction watermark stays.
+  void DropInstalledSnapshot();
+
+  /// One-shot fault injection: corrupt the NEXT snapshot envelope this
+  /// replica generates for a peer (nemesis CorruptSnapshot action).
+  enum class SnapshotFault { kNone, kBitFlip, kTruncate };
+  void InjectSnapshotFault(SnapshotFault fault) { snapshot_fault_ = fault; }
+
   /// Lowest decided slot still retained in the log.
   SlotId log_start() const { return log_start_; }
+  /// Durable compaction watermark (accepted prefix released below this).
+  SlotId compacted_through() const { return acceptor_.compacted_through(); }
 
   // --- introspection --------------------------------------------------------
 
@@ -262,6 +316,10 @@ class Replica {
     std::map<Ballot, Intent> detected_intents;
     std::map<SlotId, AcceptedEntry> adopted;
     SlotId first_slot = 0;
+    /// Highest compaction watermark advertised by any promise: slots
+    /// below it were released by a quorum member because its snapshot
+    /// covers them, so the new leader must not fill them as holes.
+    SlotId max_compacted = 0;
     uint32_t attempt = 0;
     bool expanded = false;
     EventId timer = 0;
@@ -309,7 +367,7 @@ class Replica {
   void OnLearnRequest(NodeId from, const LearnRequestMsg& msg);
   void OnLearnReply(NodeId from, const LearnReplyMsg& msg);
   void OnSnapshotRequest(NodeId from, const SnapshotRequestMsg& msg);
-  void OnSnapshotReply(NodeId from, const SnapshotReplyMsg& msg);
+  void OnSnapshotChunk(NodeId from, const SnapshotChunkMsg& msg);
   void OnGcPoll(NodeId from, const GcPollMsg& msg);
   void OnGcThreshold(NodeId from, const GcThresholdMsg& msg);
   void OnLzPrepare(NodeId from, const LzPrepareMsg& msg);
@@ -441,16 +499,41 @@ class Replica {
 
   // Catch-up state.
   struct CatchUp {
-    NodeId peer = kInvalidNode;
+    std::vector<NodeId> peers;  // failover order; peers[index] is current
+    size_t index = 0;
     StatusCallback cb;
-    uint32_t attempts = 0;
+    uint32_t attempts = 0;  // retries against the CURRENT peer
     EventId timer = 0;
+    // Snapshot reassembly (chunked transfer).
+    bool snapshotting = false;
+    std::string snap_buffer;
+    SlotId snap_through = 0;
+    uint64_t snap_total = 0;
+
+    NodeId peer() const { return peers[index]; }
   };
   std::unique_ptr<CatchUp> catchup_;
   SnapshotProvider snapshot_provider_;
   SnapshotInstaller snapshot_installer_;
+  // Serving-side cache of the envelope a peer is currently fetching:
+  // regenerated on every offset-0 request so later chunks come from one
+  // consistent image.
+  struct SnapshotServe {
+    SlotId through = 0;
+    std::string bytes;
+  };
+  SnapshotServe snapshot_cache_;
+  SnapshotFault snapshot_fault_ = SnapshotFault::kNone;
+  // Dedicated deterministic stream for catch-up backoff jitter, seeded as
+  // a pure function of (node, partition) — never forked from rng_, whose
+  // draw sequence legacy golden schedules depend on.
+  Rng catchup_rng_;
   void CatchUpRequestNext();
+  void CatchUpArmTimer();
+  void CatchUpTimeout();
+  void CatchUpFailover(const Status& status);
   void CatchUpFinish(const Status& status);
+  void InstallReassembledSnapshot();
 
   // Leaderless proposer state.
   SlotId leaderless_next_ = 0;

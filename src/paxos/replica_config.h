@@ -85,6 +85,37 @@ struct ReplicaConfig {
   uint32_t max_propose_retries = 8;
   Duration retry_backoff_base = 50 * kMillisecond;
 
+  // --- Catch-up & snapshot transfer ---------------------------------------
+
+  /// Retry budget for one catch-up attempt against one peer (timeouts of
+  /// learn pages or snapshot chunks). Matches the historical behaviour of
+  /// borrowing max_propose_retries.
+  uint32_t catchup_retry_limit = 8;
+
+  /// Base of the jittered exponential backoff between catch-up retries.
+  /// 0 keeps the legacy fixed spacing of `propose_timeout` per retry with
+  /// no jitter (and no RNG draws — existing schedules are bit-preserved);
+  /// nonzero waits backoff * 2^attempt * [1.0, 2.0) jitter, capped at
+  /// catchup_backoff_cap, drawn from a dedicated deterministic stream.
+  Duration catchup_backoff_base = 0;
+  Duration catchup_backoff_cap = 2 * kSecond;
+
+  /// Snapshot transfer chunk size. Small values force multi-chunk
+  /// reassembly (exercised by tests); the default moves typical KV
+  /// snapshots in a handful of messages.
+  uint64_t snapshot_chunk_bytes = 32768;
+
+  // --- Log compaction (default off; docs/PROTOCOL.md) ----------------------
+
+  /// Allow Compact() to truncate the decided log and release the
+  /// accepted prefix once a snapshot is durable. Off preserves the
+  /// unbounded-log legacy behaviour (and its golden schedules).
+  bool enable_compaction = false;
+
+  /// Decided entries retained behind the compaction point, so ordinary
+  /// laggards catch up from the log without a snapshot transfer.
+  uint64_t compaction_retained_suffix = 64;
+
   // --- Durability ---------------------------------------------------------
 
   /// Time to persist an acceptor-state mutation before answering

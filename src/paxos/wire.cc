@@ -122,6 +122,7 @@ void Encode(W& w, const PromiseMsg& m) {
   for (const AcceptedEntry& e : m.accepted) PutAcceptedEntry(w, e);
   PutIntents(w, m.intents);
   PutView(w, m.lz_view);
+  w.PutU64(m.compacted_through);
 }
 
 template <typename W>
@@ -290,12 +291,16 @@ void Encode(W& w, const LearnReplyMsg& m) {
 }
 
 template <typename W>
-void Encode(W&, const SnapshotRequestMsg&) {}
+void Encode(W& w, const SnapshotRequestMsg& m) {
+  w.PutU64(m.offset);
+}
 
 template <typename W>
-void Encode(W& w, const SnapshotReplyMsg& m) {
+void Encode(W& w, const SnapshotChunkMsg& m) {
   w.PutU64(m.through_slot);
-  w.PutString(m.snapshot);
+  w.PutU64(m.offset);
+  w.PutU64(m.total_bytes);
+  w.PutString(m.data);
 }
 
 /// Encode the body (everything after the tag+partition header) of `msg`,
@@ -387,8 +392,8 @@ void EncodeBody(W& w, const Message& msg, WireType type) {
     case WireType::kSnapshotRequest:
       Encode(w, static_cast<const SnapshotRequestMsg&>(msg));
       return;
-    case WireType::kSnapshotReply:
-      Encode(w, static_cast<const SnapshotReplyMsg&>(msg));
+    case WireType::kSnapshotChunk:
+      Encode(w, static_cast<const SnapshotChunkMsg&>(msg));
       return;
     case WireType::kHeartbeat:
       Encode(w, static_cast<const HeartbeatMsg&>(msg));
@@ -425,7 +430,8 @@ MessagePtr DecodePromise(ByteReader& r, PartitionId p) {
   for (uint32_t i = 0; i < count; ++i) {
     if (!ReadAcceptedEntry(r, &msg->accepted[i])) return nullptr;
   }
-  if (!ReadIntents(r, &msg->intents) || !ReadView(r, &msg->lz_view)) {
+  if (!ReadIntents(r, &msg->intents) || !ReadView(r, &msg->lz_view) ||
+      !r.ReadU64(&msg->compacted_through)) {
     return nullptr;
   }
   return msg;
@@ -645,11 +651,21 @@ MessagePtr DecodeLearnReply(ByteReader& r, PartitionId p) {
   return msg;
 }
 
-MessagePtr DecodeSnapshotReply(ByteReader& r, PartitionId p) {
-  uint64_t through = 0;
-  std::string snapshot;
-  if (!r.ReadU64(&through) || !r.ReadString(&snapshot)) return nullptr;
-  return std::make_shared<SnapshotReplyMsg>(p, through, std::move(snapshot));
+MessagePtr DecodeSnapshotRequest(ByteReader& r, PartitionId p) {
+  uint64_t offset = 0;
+  if (!r.ReadU64(&offset)) return nullptr;
+  return std::make_shared<SnapshotRequestMsg>(p, offset);
+}
+
+MessagePtr DecodeSnapshotChunk(ByteReader& r, PartitionId p) {
+  uint64_t through = 0, offset = 0, total = 0;
+  std::string data;
+  if (!r.ReadU64(&through) || !r.ReadU64(&offset) || !r.ReadU64(&total) ||
+      !r.ReadString(&data)) {
+    return nullptr;
+  }
+  return std::make_shared<SnapshotChunkMsg>(p, through, offset, total,
+                                            std::move(data));
 }
 
 /// tag (u8) + partition (u32).
@@ -771,10 +787,10 @@ Result<MessagePtr> DeserializeMessage(std::string_view bytes) {
       msg = DecodeLearnReply(r, partition);
       break;
     case WireType::kSnapshotRequest:
-      msg = std::make_shared<SnapshotRequestMsg>(partition);
+      msg = DecodeSnapshotRequest(r, partition);
       break;
-    case WireType::kSnapshotReply:
-      msg = DecodeSnapshotReply(r, partition);
+    case WireType::kSnapshotChunk:
+      msg = DecodeSnapshotChunk(r, partition);
       break;
     case WireType::kHeartbeat: {
       Ballot ballot;

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/logging.h"
 #include "txn/transaction.h"
 
@@ -106,6 +107,76 @@ Status KvStateMachine::Restore(const std::string& snapshot) {
     }
     data_[op.key] = op.value;
   }
+  return Status::OK();
+}
+
+std::string KvStateMachine::SerializeFull() const {
+  std::string out;
+  ByteWriter w(&out);
+  std::vector<std::pair<std::string, std::string>> pairs(data_.begin(),
+                                                         data_.end());
+  std::sort(pairs.begin(), pairs.end());
+  w.PutU64(pairs.size());
+  for (const auto& [k, v] : pairs) {
+    w.PutString(k);
+    w.PutString(v);
+  }
+  std::vector<uint64_t> clients;
+  clients.reserve(applied_seqs_.size());
+  for (const auto& [id, window] : applied_seqs_) clients.push_back(id);
+  std::sort(clients.begin(), clients.end());
+  w.PutU64(clients.size());
+  for (uint64_t id : clients) {
+    const ClientWindow& window = applied_seqs_.at(id);
+    w.PutU64(id);
+    w.PutU64(window.prefix);
+    w.PutU64(window.sparse.size());
+    for (uint64_t seq : window.sparse) w.PutU64(seq);
+  }
+  w.PutU64(applied_commands_);
+  w.PutU64(applied_writes_);
+  w.PutU64(duplicates_skipped_);
+  return out;
+}
+
+Status KvStateMachine::RestoreFull(const std::string& snapshot) {
+  ByteReader r(snapshot);
+  std::unordered_map<std::string, std::string> data;
+  std::unordered_map<uint64_t, ClientWindow> seqs;
+  uint64_t pairs = 0;
+  if (!r.ReadU64(&pairs)) return Status::Corruption("kv snapshot truncated");
+  for (uint64_t i = 0; i < pairs; ++i) {
+    std::string k, v;
+    if (!r.ReadString(&k) || !r.ReadString(&v)) {
+      return Status::Corruption("kv snapshot truncated");
+    }
+    data[std::move(k)] = std::move(v);
+  }
+  uint64_t clients = 0;
+  if (!r.ReadU64(&clients)) return Status::Corruption("kv snapshot truncated");
+  for (uint64_t i = 0; i < clients; ++i) {
+    uint64_t id = 0, sparse = 0;
+    ClientWindow window;
+    if (!r.ReadU64(&id) || !r.ReadU64(&window.prefix) || !r.ReadU64(&sparse)) {
+      return Status::Corruption("kv snapshot truncated");
+    }
+    for (uint64_t j = 0; j < sparse; ++j) {
+      uint64_t seq = 0;
+      if (!r.ReadU64(&seq)) return Status::Corruption("kv snapshot truncated");
+      window.sparse.insert(seq);
+    }
+    seqs[id] = std::move(window);
+  }
+  uint64_t commands = 0, writes = 0, dups = 0;
+  if (!r.ReadU64(&commands) || !r.ReadU64(&writes) || !r.ReadU64(&dups) ||
+      !r.AtEnd()) {
+    return Status::Corruption("kv snapshot malformed");
+  }
+  data_ = std::move(data);
+  applied_seqs_ = std::move(seqs);
+  applied_commands_ = commands;
+  applied_writes_ = writes;
+  duplicates_skipped_ = dups;
   return Status::OK();
 }
 

@@ -50,6 +50,16 @@ class KvStateMachine final : public StateMachine {
   /// Corruption on malformed input, leaving the state unchanged.
   Status Restore(const std::string& snapshot);
 
+  /// Like Serialize(), but also captures the per-client dedup windows
+  /// and apply counters. Snapshot-installing a replica needs these:
+  /// without the windows a client retry straddling the snapshot point
+  /// would be applied twice during residual log replay.
+  std::string SerializeFull() const;
+
+  /// Counterpart of SerializeFull(). Returns Corruption on malformed
+  /// input, leaving the state unchanged.
+  Status RestoreFull(const std::string& snapshot);
+
  private:
   // Compact per-client dedup window: every seq <= prefix has been
   // applied, plus a sparse set of out-of-order seqs above it. The set

@@ -5,6 +5,10 @@ namespace dpaxos {
 void LogApplier::OnDecided(SlotId slot, const Value& value) {
   if (slot < next_to_apply_) return;  // duplicate learn
   buffer_.emplace(slot, value);
+  DrainBuffered();
+}
+
+void LogApplier::DrainBuffered() {
   while (true) {
     auto it = buffer_.find(next_to_apply_);
     if (it == buffer_.end()) break;

@@ -29,7 +29,20 @@ class LogApplier {
   SlotId applied_watermark() const { return next_to_apply_; }
   size_t buffered() const { return buffer_.size(); }
 
+  /// Skip ahead after a snapshot install: slots below `slot` are covered
+  /// by the restored state and must not be re-applied. Buffered entries
+  /// below the new watermark are dropped; ones at/above it stay and
+  /// drain as usual.
+  void FastForwardTo(SlotId slot) {
+    if (slot <= next_to_apply_) return;
+    next_to_apply_ = slot;
+    buffer_.erase(buffer_.begin(), buffer_.lower_bound(slot));
+    DrainBuffered();
+  }
+
  private:
+  void DrainBuffered();
+
   StateMachine* sm_;
   SlotId next_to_apply_ = 0;
   std::map<SlotId, Value> buffer_;

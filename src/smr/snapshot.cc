@@ -1,0 +1,79 @@
+#include "smr/snapshot.h"
+
+#include <array>
+
+#include "common/codec.h"
+
+namespace dpaxos {
+
+namespace {
+
+// Table-driven CRC-32 (IEEE 802.3 polynomial 0xEDB88320, reflected).
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : bytes) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeSnapshot(SlotId through_slot, std::string_view payload) {
+  std::string out;
+  out.reserve(4 + 4 + 8 + 4 + payload.size() + 4);
+  ByteWriter w(&out);
+  w.PutU32(kSnapshotMagic);
+  w.PutU32(kSnapshotVersion);
+  w.PutU64(through_slot);
+  w.PutString(payload);
+  w.PutU32(Crc32(out));
+  return out;
+}
+
+Result<Snapshot> DecodeSnapshot(std::string_view bytes) {
+  // The CRC trails the envelope: everything before it is covered.
+  if (bytes.size() < 4 + 4 + 8 + 4 + 4) {
+    return Status::Corruption("snapshot envelope truncated");
+  }
+  ByteReader r(bytes);
+  uint32_t magic = 0, version = 0;
+  Snapshot snap;
+  if (!r.ReadU32(&magic) || magic != kSnapshotMagic) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  if (!r.ReadU32(&version) || version != kSnapshotVersion) {
+    return Status::Corruption("unsupported snapshot version");
+  }
+  uint64_t through = 0;
+  std::string_view payload;
+  if (!r.ReadU64(&through) || !r.ReadStringView(&payload)) {
+    return Status::Corruption("snapshot envelope truncated");
+  }
+  uint32_t stored_crc = 0;
+  if (!r.ReadU32(&stored_crc) || !r.AtEnd()) {
+    return Status::Corruption("snapshot envelope truncated");
+  }
+  const uint32_t actual = Crc32(bytes.substr(0, bytes.size() - 4));
+  if (actual != stored_crc) {
+    return Status::Corruption("snapshot checksum mismatch");
+  }
+  snap.through_slot = through;
+  snap.payload.assign(payload);
+  return snap;
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,58 @@
+// Versioned, CRC-checksummed snapshot envelope for state transfer.
+//
+// A snapshot carries an opaque state-machine payload (KvStateMachine::
+// SerializeFull today) together with the slot it covers: every decided
+// slot < through_slot is reflected in the payload, so an installer can
+// truncate its log below that point and replay only the residual tail.
+// The envelope exists because snapshots travel further than ordinary
+// wire messages — across lossy restarts via NodeStorage and across the
+// network in chunks — so corruption (bit flips, torn writes, truncated
+// reassembly) must be detected at install time, never applied silently.
+//
+// Layout (little-endian, matching common/codec.h):
+//   magic    u32   'DPSS'
+//   version  u32   kSnapshotVersion
+//   through  u64   slots [0, through) are covered by the payload
+//   payload  u32 length + bytes
+//   crc32    u32   CRC-32 (IEEE 802.3) over everything above
+//
+// DecodeSnapshot returns Status::Corruption for any bad magic, unknown
+// version, truncation, trailing garbage, or checksum mismatch.
+#ifndef DPAXOS_SMR_SNAPSHOT_H_
+#define DPAXOS_SMR_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace dpaxos {
+
+inline constexpr uint32_t kSnapshotMagic = 0x53535044;  // "DPSS"
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// \brief A decoded (verified) snapshot.
+struct Snapshot {
+  /// Every slot < through_slot is reflected in `payload`.
+  SlotId through_slot = 0;
+  /// Opaque state-machine bytes (KvStateMachine::SerializeFull).
+  std::string payload;
+};
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) — the checksum
+/// the envelope embeds. Exposed so tests can forge/verify checksums.
+uint32_t Crc32(std::string_view bytes);
+
+/// Wrap `payload` (covering slots [0, through_slot)) in the envelope.
+std::string EncodeSnapshot(SlotId through_slot, std::string_view payload);
+
+/// Verify and unwrap an envelope. Status::Corruption on any bit flip,
+/// truncation, bad magic, or unknown version — the payload is only
+/// returned when the checksum proves it intact.
+Result<Snapshot> DecodeSnapshot(std::string_view bytes);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_SMR_SNAPSHOT_H_

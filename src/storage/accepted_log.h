@@ -9,6 +9,7 @@
 #ifndef DPAXOS_STORAGE_ACCEPTED_LOG_H_
 #define DPAXOS_STORAGE_ACCEPTED_LOG_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -80,6 +81,20 @@ class AcceptedLog {
       if (entries_[i - 1].present) return base_ + (i - 1);
     }
     return kInvalidSlot;
+  }
+
+  /// Release every entry with slot < `through` (log compaction: the
+  /// prefix is covered by a durable snapshot). Keeps the base aligned so
+  /// later Puts at higher slots stay O(1).
+  void ReleaseBelow(SlotId through) {
+    if (entries_.empty() || through <= base_) return;
+    const size_t drop =
+        std::min(static_cast<size_t>(through - base_), entries_.size());
+    for (size_t i = 0; i < drop; ++i) {
+      if (entries_[i].present) --count_;
+    }
+    entries_.erase(entries_.begin(), entries_.begin() + drop);
+    base_ += drop;
   }
 
   void clear() {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -39,6 +40,23 @@ struct AcceptorRecord {
   // durable obligation too (paper Section 4.5).
   Ballot lease_ballot;
   Timestamp lease_until = 0;
+
+  // --- snapshot + compaction (docs/PROTOCOL.md "Log compaction") -------
+  //
+  // Install order is write-snapshot -> sync -> release-prefix -> sync:
+  // a crash between the two syncs leaves a snapshot with an unreleased
+  // log prefix, which is consistent (just unreclaimed space). Because
+  // MarkSynced/DropUnsynced copy whole records, these fields follow the
+  // same crash-fault model as promises and accepted entries.
+
+  /// The verified snapshot envelope at rest (smr/snapshot.h format),
+  /// empty when none. Only ever written AFTER its CRC checked out.
+  std::string snapshot_bytes;
+  /// Slot bound of snapshot_bytes: slots [0, snapshot_through) covered.
+  SlotId snapshot_through = 0;
+  /// Accepted entries below this slot have been released; a promise must
+  /// advertise it so elections never mistake the gap for undecided holes.
+  SlotId compacted_through = 0;
 
   /// Count of synchronous writes ("fsyncs") this record absorbed.
   /// Metrics only; each mutating acceptor step increments it once.

@@ -1,11 +1,15 @@
 // Tests for learner catch-up, log truncation and snapshot transfer.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "harness/cluster.h"
 #include "smr/kv_store.h"
 #include "smr/log_applier.h"
+#include "smr/snapshot.h"
 #include "txn/transaction.h"
 
 namespace dpaxos {
@@ -24,6 +28,35 @@ Status AwaitCatchUp(Cluster& cluster, Replica* replica, NodeId peer) {
   while (!result.has_value() && cluster.sim().Step()) {
   }
   return result.value_or(Status::TimedOut("no progress"));
+}
+
+Status AwaitCatchUpFrom(Cluster& cluster, Replica* replica,
+                        std::vector<NodeId> peers) {
+  std::optional<Status> result;
+  replica->CatchUpFrom(std::move(peers),
+                       [&](const Status& st) { result = st; });
+  while (!result.has_value() && cluster.sim().Step()) {
+  }
+  return result.value_or(Status::TimedOut("no progress"));
+}
+
+// Standard snapshot hook pair: the provider wraps the serialized KV
+// state in a CRC-checksummed envelope; the installer verifies it before
+// restoring and fast-forwards the applier past the covered prefix.
+void WireSnapshotHooks(Replica* r, KvStateMachine* kv, LogApplier* applier) {
+  r->set_snapshot_hooks(
+      [kv, applier](SlotId* through) {
+        *through = applier->applied_watermark();
+        return EncodeSnapshot(*through, kv->SerializeFull());
+      },
+      [kv, applier](SlotId through, const std::string& envelope) {
+        Result<Snapshot> snap = DecodeSnapshot(envelope);
+        if (!snap.ok()) return snap.status();
+        Status st = kv->RestoreFull(snap->payload);
+        if (!st.ok()) return st;
+        applier->FastForwardTo(through);
+        return Status::OK();
+      });
 }
 
 TEST(CatchUpTest, RecoveredReplicaPullsMissedSlots) {
@@ -93,9 +126,13 @@ TEST(CatchUpTest, TruncationGuards) {
   r->set_snapshot_hooks(
       [&](SlotId* through) {
         *through = r->DecidedWatermark();
-        return kv.Serialize();
+        return EncodeSnapshot(*through, kv.SerializeFull());
       },
-      [&](SlotId, const std::string& snap) { (void)kv.Restore(snap); });
+      [&](SlotId, const std::string& envelope) {
+        Result<Snapshot> snap = DecodeSnapshot(envelope);
+        if (!snap.ok()) return snap.status();
+        return kv.RestoreFull(snap->payload);
+      });
   ASSERT_TRUE(r->TruncateDecidedBelow(3).ok());
   EXPECT_EQ(r->log_start(), 3u);
   EXPECT_EQ(r->decided().size(), 2u);
@@ -113,12 +150,7 @@ TEST(CatchUpTest, SnapshotFallbackAfterTruncation) {
   LogApplier leader_applier(&leader_kv);
   cluster.replica(leader)->set_decide_callback(
       [&](SlotId s, const Value& v) { leader_applier.OnDecided(s, v); });
-  cluster.replica(leader)->set_snapshot_hooks(
-      [&](SlotId* through) {
-        *through = leader_applier.applied_watermark();
-        return leader_kv.Serialize();
-      },
-      [](SlotId, const std::string&) {});
+  WireSnapshotHooks(cluster.replica(leader), &leader_kv, &leader_applier);
 
   for (uint64_t i = 1; i <= 8; ++i) {
     ASSERT_TRUE(cluster
@@ -134,41 +166,151 @@ TEST(CatchUpTest, SnapshotFallbackAfterTruncation) {
   // The recovering replica wires a KV installer + applier.
   Replica* fresh = cluster.ReplicaInZone(6, 1);
   KvStateMachine fresh_kv;
-  auto fresh_applier = std::make_unique<LogApplier>(&fresh_kv);
+  LogApplier fresh_applier(&fresh_kv);
   fresh->set_decide_callback(
-      [&](SlotId s, const Value& v) { fresh_applier->OnDecided(s, v); });
-  fresh->set_snapshot_hooks(
-      [](SlotId* through) {
-        *through = 0;
-        return std::string();
-      },
-      [&](SlotId through, const std::string& snap) {
-        ASSERT_TRUE(fresh_kv.Restore(snap).ok());
-        fresh_applier = std::make_unique<LogApplier>(&fresh_kv);
-        // Applied state now covers everything below `through`; continue
-        // applying from there.
-        for (SlotId s = 0; s < through; ++s) {
-          // LogApplier has no skip API; replay no-ops to advance it.
-          fresh_applier->OnDecided(s, Value::NoOp());
-        }
-      });
+      [&](SlotId s, const Value& v) { fresh_applier.OnDecided(s, v); });
+  WireSnapshotHooks(fresh, &fresh_kv, &fresh_applier);
 
   ASSERT_TRUE(AwaitCatchUp(cluster, fresh, leader).ok());
   cluster.sim().RunFor(kSecond);
   EXPECT_EQ(fresh->DecidedWatermark(), 12u);
   EXPECT_EQ(fresh_kv.Checksum(), leader_kv.Checksum());
+  EXPECT_GT(fresh->counters().snapshots_installed, 0u);
   EXPECT_EQ(fresh_kv.Get("key3"), "value3");  // came from the snapshot
   EXPECT_EQ(fresh_kv.Get("tail"), "t");       // came from the log tail
+}
+
+TEST(CatchUpTest, MultiChunkSnapshotTransfer) {
+  // Force the snapshot to cross many chunks: tiny chunk size, fat values.
+  ClusterOptions options;
+  options.replica.snapshot_chunk_bytes = 64;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+
+  KvStateMachine leader_kv;
+  LogApplier leader_applier(&leader_kv);
+  cluster.replica(leader)->set_decide_callback(
+      [&](SlotId s, const Value& v) { leader_applier.OnDecided(s, v); });
+  WireSnapshotHooks(cluster.replica(leader), &leader_kv, &leader_applier);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(cluster
+                    .Commit(leader, PutValue(i, "key" + std::to_string(i),
+                                             std::string(100, 'x')))
+                    .ok());
+  }
+  ASSERT_TRUE(cluster.replica(leader)->TruncateDecidedBelow(10).ok());
+
+  Replica* fresh = cluster.ReplicaInZone(5, 1);
+  KvStateMachine fresh_kv;
+  LogApplier fresh_applier(&fresh_kv);
+  fresh->set_decide_callback(
+      [&](SlotId s, const Value& v) { fresh_applier.OnDecided(s, v); });
+  WireSnapshotHooks(fresh, &fresh_kv, &fresh_applier);
+
+  ASSERT_TRUE(AwaitCatchUp(cluster, fresh, leader).ok());
+  EXPECT_EQ(fresh_kv.Checksum(), leader_kv.Checksum());
+  EXPECT_GT(cluster.replica(leader)->counters().snapshot_chunks_sent, 10u);
+}
+
+TEST(CatchUpTest, CorruptSnapshotTriggersFailoverToHealthyPeer) {
+  // The first peer serves a bit-flipped snapshot; the CRC check must
+  // reject it (never applying it silently) and the catch-up must fail
+  // over to the second peer and still converge.
+  ClusterOptions options;
+  options.replica.decide_policy = DecidePolicy::kAll;  // bad_peer learns too
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+
+  const NodeId bad_peer = cluster.NodeInZone(1, 0);
+  std::vector<Replica*> sources = {cluster.replica(bad_peer),
+                                   cluster.replica(leader)};
+  std::vector<KvStateMachine> kvs(2);
+  std::vector<std::unique_ptr<LogApplier>> appliers;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    appliers.push_back(std::make_unique<LogApplier>(&kvs[i]));
+    LogApplier* a = appliers.back().get();
+    sources[i]->set_decide_callback(
+        [a](SlotId s, const Value& v) { a->OnDecided(s, v); });
+    WireSnapshotHooks(sources[i], &kvs[i], a);
+  }
+
+  // The recovering node is down while the history is committed (and
+  // later compacted away), so it must come back through a snapshot.
+  const NodeId fresh_node = cluster.NodeInZone(6, 0);
+  cluster.transport().Crash(fresh_node);
+  for (uint64_t i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(cluster.Commit(leader, PutValue(i, "k" + std::to_string(i),
+                                                "v"))
+                    .ok());
+  }
+  cluster.sim().RunFor(kSecond);  // let decides propagate to bad_peer
+  ASSERT_TRUE(cluster.replica(bad_peer)->TruncateDecidedBelow(8).ok());
+  ASSERT_TRUE(cluster.replica(leader)->TruncateDecidedBelow(8).ok());
+  cluster.replica(bad_peer)->InjectSnapshotFault(
+      Replica::SnapshotFault::kBitFlip);
+  cluster.transport().Recover(fresh_node);
+
+  Replica* fresh = cluster.replica(fresh_node);
+  KvStateMachine fresh_kv;
+  LogApplier fresh_applier(&fresh_kv);
+  fresh->set_decide_callback(
+      [&](SlotId s, const Value& v) { fresh_applier.OnDecided(s, v); });
+  WireSnapshotHooks(fresh, &fresh_kv, &fresh_applier);
+
+  ASSERT_TRUE(AwaitCatchUpFrom(cluster, fresh, {bad_peer, leader}).ok());
+  EXPECT_GE(fresh->counters().snapshot_corruptions_detected, 1u);
+  EXPECT_GE(fresh->counters().catchup_failovers, 1u);
+  EXPECT_GT(fresh->counters().snapshots_installed, 0u);
+  EXPECT_EQ(fresh_kv.Checksum(), kvs[1].Checksum());
+  EXPECT_EQ(fresh_kv.Get("k3"), "v");
 }
 
 TEST(CatchUpTest, TimesOutAgainstDeadPeer) {
   ClusterOptions options;
   options.replica.propose_timeout = 200 * kMillisecond;
-  options.replica.max_propose_retries = 2;
+  options.replica.catchup_retry_limit = 2;
   Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
                   options);
   cluster.transport().Crash(0);
   Status st = AwaitCatchUp(cluster, cluster.replica(5), 0);
+  EXPECT_TRUE(st.IsTimedOut());
+}
+
+TEST(CatchUpTest, BackoffAndFailoverPastDeadPeers) {
+  // Jittered exponential backoff enabled; first two peers are dead, the
+  // third is healthy. The retry budget must drain per peer and the
+  // catch-up must still land on the live one.
+  ClusterOptions options;
+  options.replica.propose_timeout = 100 * kMillisecond;
+  options.replica.catchup_retry_limit = 2;
+  options.replica.catchup_backoff_base = 20 * kMillisecond;
+  options.replica.catchup_backoff_cap = 500 * kMillisecond;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  for (uint64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(cluster.Commit(leader, PutValue(i, "k", "v")).ok());
+  }
+  const NodeId dead1 = cluster.NodeInZone(1, 0);
+  const NodeId dead2 = cluster.NodeInZone(2, 0);
+  cluster.transport().Crash(dead1);
+  cluster.transport().Crash(dead2);
+
+  Replica* fresh = cluster.ReplicaInZone(6, 2);
+  ASSERT_TRUE(
+      AwaitCatchUpFrom(cluster, fresh, {dead1, dead2, leader}).ok());
+  EXPECT_EQ(fresh->counters().catchup_failovers, 2u);
+  EXPECT_EQ(fresh->DecidedWatermark(), 4u);
+
+  // All peers dead: the overall catch-up surfaces the timeout.
+  cluster.transport().Crash(leader);
+  Replica* other = cluster.ReplicaInZone(6, 1);
+  Status st = AwaitCatchUpFrom(cluster, other, {dead1, dead2, leader});
   EXPECT_TRUE(st.IsTimedOut());
 }
 

@@ -79,6 +79,74 @@ INSTANTIATE_TEST_SUITE_P(
         ChaosCase{ProtocolMode::kMultiPaxos, "moves", 12}),
     CaseName);
 
+// Snapshot-based recovery under fire: compaction bounds the logs while
+// the "recovery" schedule crashes nodes, forces compaction sweeps,
+// corrupts in-flight snapshots, and crashes nodes mid-install. Laggards
+// must recover through checksummed snapshot transfer + residual replay
+// and still converge to one identical state in every protocol mode.
+class ChaosRecoveryTest : public testing::TestWithParam<ProtocolMode> {};
+
+TEST_P(ChaosRecoveryTest, SnapshotRecoveryConverges) {
+  ChaosOptions options;
+  options.mode = GetParam();
+  options.schedule = "recovery";
+  options.seed = 13;
+  options.enable_compaction = true;
+  options.compaction_retained_suffix = 32;
+  options.compaction_interval = 1 * kSecond;
+  options.snapshot_chunk_bytes = 256;  // force multi-chunk reassembly
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.consistency.ok()) << report.Summary();
+  EXPECT_TRUE(report.converged) << report.Summary();
+  EXPECT_GT(report.nemesis_actions, 5u) << report.Summary();
+  EXPECT_GT(report.ops_committed, 50u) << report.Summary();
+  // Compaction ran and laggards actually recovered via snapshots.
+  EXPECT_GT(report.log_compactions, 0u) << report.Summary();
+  EXPECT_GT(report.snapshots_installed, 0u) << report.Summary();
+  // Exactly-once survives snapshot install + residual replay.
+  EXPECT_EQ(report.applied_writes, report.writes_eventually_applied)
+      << report.Summary();
+}
+
+// The snapshot-fault cell: at seed 13 under MultiPaxos the nemesis
+// corrupts a snapshot that a laggard is actively pulling. The CRC must
+// catch it (surfaced as Status::Corruption, counted in
+// snapshot_corruptions_detected), the laggard must fail over to a
+// healthy peer, and the run must still end converged — the corrupted
+// payload is never applied silently.
+TEST(ChaosRecoveryFaultTest, CorruptedSnapshotDetectedAndRecovered) {
+  ChaosOptions options;
+  options.mode = ProtocolMode::kMultiPaxos;
+  options.schedule = "recovery";
+  options.seed = 13;
+  options.enable_compaction = true;
+  options.compaction_retained_suffix = 32;
+  options.compaction_interval = 1 * kSecond;
+  options.snapshot_chunk_bytes = 256;
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.snapshot_corruptions_detected, 1u) << report.Summary();
+  EXPECT_GE(report.catchup_failovers, 1u) << report.Summary();
+  EXPECT_GT(report.snapshots_installed, 0u) << report.Summary();
+  EXPECT_EQ(report.applied_writes, report.writes_eventually_applied)
+      << report.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ChaosRecoveryTest,
+                         testing::Values(ProtocolMode::kMultiPaxos,
+                                         ProtocolMode::kFlexiblePaxos,
+                                         ProtocolMode::kLeaderZone),
+                         [](const testing::TestParamInfo<ProtocolMode>& i) {
+                           switch (i.param) {
+                             case ProtocolMode::kMultiPaxos:
+                               return std::string("MultiPaxos");
+                             case ProtocolMode::kFlexiblePaxos:
+                               return std::string("FPaxos");
+                             default:
+                               return std::string("LeaderZone");
+                           }
+                         });
+
 // A schedule name unknown to the nemesis is reported, not silently run
 // fault-free.
 TEST(ChaosTest, UnknownScheduleIsReported) {

@@ -151,5 +151,41 @@ TEST(DeterminismGolden, ChaosLeaderZoneMixed) {
   CompareOrRegen("chaos_leaderzone_mixed_seed5.txt", out.str());
 }
 
+// Compaction-enabled schedule: the "recovery" nemesis forces compaction
+// sweeps, corrupts snapshots mid-transfer and crashes nodes during
+// install, so this golden pins the whole snapshot-recovery stack —
+// chunked transfer timers, CRC rejection, retry backoff draws and
+// failover ordering — not just the legacy consensus paths. Captured
+// when the subsystem landed; regenerate only with an intentional
+// schedule change.
+TEST(DeterminismGolden, ChaosLeaderZoneRecoveryCompaction) {
+  ChaosOptions options;
+  options.mode = ProtocolMode::kLeaderZone;
+  options.schedule = "recovery";
+  options.seed = 13;
+  options.duration = 10 * kSecond;
+  options.enable_compaction = true;
+  options.compaction_retained_suffix = 32;
+  options.compaction_interval = 1 * kSecond;
+  options.snapshot_chunk_bytes = 256;
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.log_compactions, 0u) << report.Summary();
+
+  std::ostringstream out;
+  out << "invoked=" << report.ops_invoked
+      << " committed=" << report.ops_committed
+      << " failed=" << report.ops_failed
+      << " indeterminate=" << report.ops_indeterminate
+      << " retries=" << report.client_retries
+      << " nemesis=" << report.nemesis_actions << "\n";
+  out << "compactions=" << report.log_compactions
+      << " installed=" << report.snapshots_installed
+      << " corruptions=" << report.snapshot_corruptions_detected
+      << " max_resident=" << report.max_resident_decided << "\n";
+  out << report.history_text;
+  CompareOrRegen("chaos_leaderzone_recovery_seed13.txt", out.str());
+}
+
 }  // namespace
 }  // namespace dpaxos

@@ -124,20 +124,21 @@ TEST(RestartTest, PendingTimersOfDeadReplicasNeverFire) {
   // must not touch the new replica (the ScheduleSafe liveness guard).
   Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
   Replica* r = cluster.ReplicaInZone(3);
+  const NodeId node = r->id();  // r itself dies with the restart below
   // Partition it from the Leader Zone so the election hangs on a timer.
   for (NodeId n : cluster.topology().NodesInZone(0)) {
-    cluster.transport().Partition(r->id(), n);
+    cluster.transport().Partition(node, n);
   }
   r->TryBecomeLeader([](const Status&) {});
   ASSERT_TRUE(r->is_candidate());
 
-  cluster.RestartNode(r->id());
+  cluster.RestartNode(node);
   cluster.transport().HealAll();
   // Drive past the old timer's deadline: nothing must crash, and the
   // fresh replica is a clean follower.
   cluster.sim().RunFor(30 * kSecond);
-  EXPECT_FALSE(cluster.replica(r->id())->is_candidate());
-  ASSERT_TRUE(cluster.ElectLeader(r->id()).ok());
+  EXPECT_FALSE(cluster.replica(node)->is_candidate());
+  ASSERT_TRUE(cluster.ElectLeader(node).ok());
 }
 
 TEST(RestartTest, LeasePromiseSurvivesRestart) {

@@ -9,6 +9,7 @@
 #include <map>
 #include <set>
 
+#include "harness/chaos.h"
 #include "harness/cluster.h"
 #include "harness/nemesis.h"
 #include "net/topology.h"
@@ -131,6 +132,35 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest,
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });
+
+// Bounded memory under sustained load: with periodic compaction on, the
+// resident decided log must stay near the retained suffix instead of
+// growing with the run length. Without compaction every committed write
+// stays resident forever, so the bound below would be impossible.
+TEST(SoakCompactionTest, ResidentDecidedLogStaysBounded) {
+  ChaosOptions options;
+  options.mode = ProtocolMode::kLeaderZone;
+  options.schedule = "none";
+  options.seed = 77;
+  options.duration = 40 * kSecond;
+  // Long run: spread ops over more keys so no per-key history exceeds
+  // the linearizability checker's 63-op bitmask limit.
+  options.num_keys = 64;
+  options.enable_compaction = true;
+  options.compaction_retained_suffix = 64;
+  options.compaction_interval = 1 * kSecond;
+  const ChaosReport report = RunChaos(options);
+  ASSERT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.log_compactions, 0u) << report.Summary();
+  // Enough commits that an unbounded log would dwarf the bound below.
+  EXPECT_GT(report.ops_committed, 600u) << report.Summary();
+  // Retained suffix + churn slack (slots decided since the last sweep
+  // plus applier lag). The run commits well over 600 slots; resident
+  // state must stay an order of magnitude below that.
+  EXPECT_LE(report.max_resident_decided,
+            options.compaction_retained_suffix + 256u)
+      << report.Summary();
+}
 
 TEST(PlanetTopologyTest, DeterministicAndPlausible) {
   const Topology a = Topology::Planet(16, 3, 99);

@@ -65,6 +65,14 @@ std::vector<std::string> Corpus() {
   HeartbeatMsg heartbeat(0, Ballot{4, 4});
   corpus.push_back(SerializeMessage(heartbeat));
 
+  SnapshotRequestMsg snap_req(3, /*offset=*/65536);
+  corpus.push_back(SerializeMessage(snap_req));
+
+  SnapshotChunkMsg snap_chunk(3, /*through_slot=*/500, /*offset=*/4096,
+                              /*total_bytes=*/1 << 20,
+                              std::string(512, '\xAB'));
+  corpus.push_back(SerializeMessage(snap_chunk));
+
   return corpus;
 }
 

@@ -94,7 +94,8 @@ TEST(WireSizeTest, AllMessageTypes) {
     CheckSize(m);
   }
   CheckSize(SnapshotRequestMsg(1));
-  CheckSize(SnapshotReplyMsg(1, 40, std::string(4096, 's')));
+  CheckSize(SnapshotRequestMsg(1, 8192));
+  CheckSize(SnapshotChunkMsg(1, 40, 8192, 65536, std::string(4096, 's')));
 }
 
 TEST(WireSizeTest, SyntheticValuesKeepTheirModelledSize) {

@@ -189,11 +189,18 @@ TEST(WireTest, ForwardingAndCatchUpRoundTrip) {
     EXPECT_EQ(rt->entries[1].value.payload, "b");
     EXPECT_EQ(rt->first_available, 40u);
   }
-  RoundTrip(SnapshotRequestMsg(0));
   {
-    auto rt = RoundTrip(SnapshotReplyMsg(0, 9, "snapshot-bytes"));
+    auto rt = RoundTrip(SnapshotRequestMsg(0, 4096));
     ASSERT_NE(rt, nullptr);
-    EXPECT_EQ(rt->snapshot, "snapshot-bytes");
+    EXPECT_EQ(rt->offset, 4096u);
+  }
+  {
+    auto rt = RoundTrip(SnapshotChunkMsg(0, 9, 128, 512, "snapshot-bytes"));
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->through_slot, 9u);
+    EXPECT_EQ(rt->offset, 128u);
+    EXPECT_EQ(rt->total_bytes, 512u);
+    EXPECT_EQ(rt->data, "snapshot-bytes");
   }
 }
 

@@ -50,6 +50,8 @@ struct CliOptions {
   std::string schedule = "mixed";
   uint32_t clients = 4;
   uint32_t keys = 16;
+  bool compaction = false;
+  uint64_t retained = 64;
 
   // --experiment=simperf only.
   bool smoke = false;
@@ -78,9 +80,12 @@ void Usage() {
       "  --leases               enable master leases\n"
       "  --seed=N               RNG seed (default 42)\n"
       "chaos experiment (nemesis + retrying clients + checker):\n"
-      "  --schedule=NAME        mixed|storm|partitions|lossy|moves|none\n"
+      "  --schedule=NAME        mixed|storm|partitions|lossy|moves|\n"
+      "                         recovery|none\n"
       "  --clients=N            client sessions (default 4)\n"
       "  --keys=N               key-pool size (default 16)\n"
+      "  --compaction           enable log compaction + snapshot recovery\n"
+      "  --retained=N           compaction retained suffix (default 64)\n"
       "simperf experiment (wall-clock kernel throughput):\n"
       "  --smoke                short phases (per-build smoke run)\n"
       "  --out=PATH             JSON output (default BENCH_simperf.json)\n"
@@ -147,6 +152,10 @@ bool ParseArgImpl(const std::string& arg, CliOptions* o) {
     o->clients = static_cast<uint32_t>(std::stoul(v));
   } else if (value_of("--keys", &v)) {
     o->keys = static_cast<uint32_t>(std::stoul(v));
+  } else if (arg == "--compaction") {
+    o->compaction = true;
+  } else if (value_of("--retained", &v)) {
+    o->retained = std::stoull(v);
   } else if (arg == "--smoke") {
     o->smoke = true;
   } else if (value_of("--out", &v)) {
@@ -275,11 +284,14 @@ int RunChaosCli(const CliOptions& o, ProtocolMode mode) {
   chaos.num_keys = o.keys;
   if (o.reads > 0) chaos.read_fraction = o.reads;
   chaos.duration = o.duration;
+  chaos.enable_compaction = o.compaction;
+  chaos.compaction_retained_suffix = o.retained;
 
   std::cout << "== dpaxos_cli: chaos / " << ProtocolModeName(mode)
             << ", schedule=" << chaos.schedule << ", " << chaos.zones
             << " zones x " << chaos.nodes_per_zone << " nodes, seed="
-            << chaos.seed << "\n\n";
+            << chaos.seed
+            << (o.compaction ? ", compaction on" : "") << "\n\n";
   const ChaosReport report = RunChaos(chaos);
   if (!report.nemesis_log.empty()) {
     std::cout << "nemesis actions:\n";
