@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the real-network runtime: a 2-zone / 4-node
+# multi-process cluster on 127.0.0.1, driven through the CLI's realnet
+# experiment. Per protocol mode (DPaxos leader-zone, delegate,
+# MultiPaxos) it commits >=10k commands over TCP, SIGKILLs a node,
+# commits 500 more while it is down, restarts it, and requires a
+# snapshot catch-up plus a state-machine checksum match before a clean
+# SIGTERM shutdown of every child. The experiment exits nonzero if any
+# of that fails, so this script is just plumbing around it.
+#
+# Usage: scripts/real_cluster_smoke.sh [requests]   (default: 10000)
+# Env:   DPAXOS_CLI     path to dpaxos_cli (default: build/tools/dpaxos_cli)
+#        SMOKE_OUT_DIR  where BENCH_realnet.json and node logs go
+#                       (default: a fresh temp dir, removed on success)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REQUESTS="${1:-10000}"
+CLI="${DPAXOS_CLI:-build/tools/dpaxos_cli}"
+
+if [[ ! -x "$CLI" ]]; then
+  echo "real_cluster_smoke: $CLI not found or not executable" >&2
+  echo "build it first: cmake --build build --target dpaxos_cli" >&2
+  exit 1
+fi
+
+CLEANUP_OUT=""
+if [[ -z "${SMOKE_OUT_DIR:-}" ]]; then
+  SMOKE_OUT_DIR="$(mktemp -d /tmp/dpaxos_smoke.XXXXXX)"
+  CLEANUP_OUT="$SMOKE_OUT_DIR"
+fi
+mkdir -p "$SMOKE_OUT_DIR"
+
+echo "real_cluster_smoke: $REQUESTS requests/mode, logs in $SMOKE_OUT_DIR"
+"$CLI" --experiment=realnet \
+  --requests="$REQUESTS" \
+  --logdir="$SMOKE_OUT_DIR" \
+  --out="$SMOKE_OUT_DIR/BENCH_realnet.json"
+
+echo "real_cluster_smoke: PASS"
+cat "$SMOKE_OUT_DIR/BENCH_realnet.json"
+if [[ -n "$CLEANUP_OUT" ]]; then rm -rf "$CLEANUP_OUT"; fi

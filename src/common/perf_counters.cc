@@ -23,7 +23,12 @@ std::string PerfCounters::ToString() const {
       << "store: steals=" << store_steals
       << " migrations=" << store_partition_migrations
       << " snapshot_transfers=" << store_snapshot_transfers
-      << " snapshot_bytes=" << store_snapshot_bytes;
+      << " snapshot_bytes=" << store_snapshot_bytes << "\n"
+      << "tcp: bytes_in=" << tcp_bytes_in << " bytes_out=" << tcp_bytes_out
+      << " frames_in=" << tcp_frames_in << " frames_out=" << tcp_frames_out
+      << " frames_dropped=" << tcp_frames_dropped
+      << " reconnects=" << tcp_reconnects << " accepts=" << tcp_accepts
+      << " malformed=" << tcp_malformed_frames;
   return out.str();
 }
 

@@ -50,7 +50,15 @@ namespace dpaxos {
   X(store_steals)                     \
   X(store_partition_migrations)       \
   X(store_snapshot_transfers)         \
-  X(store_snapshot_bytes)
+  X(store_snapshot_bytes)             \
+  X(tcp_bytes_in)                     \
+  X(tcp_bytes_out)                    \
+  X(tcp_frames_in)                    \
+  X(tcp_frames_out)                   \
+  X(tcp_frames_dropped)               \
+  X(tcp_reconnects)                   \
+  X(tcp_accepts)                      \
+  X(tcp_malformed_frames)
 
 /// \brief Per-thread hot-path counters (see ThreadPerfCounters()).
 struct PerfCounters {
@@ -93,6 +101,21 @@ struct PerfCounters {
   /// incumbent's full decided log, and the chunk payload bytes moved.
   uint64_t store_snapshot_transfers = 0;
   uint64_t store_snapshot_bytes = 0;
+
+  // --- real-network transport (src/net/tcp/*) --------------------------
+  uint64_t tcp_bytes_in = 0;   ///< frame bytes read off sockets
+  uint64_t tcp_bytes_out = 0;  ///< frame bytes written to sockets
+  uint64_t tcp_frames_in = 0;
+  uint64_t tcp_frames_out = 0;
+  /// Sends discarded by drop-oldest outbound-queue overflow or because
+  /// the peer connection died with frames still queued (both are within
+  /// the Transport::Send may-drop contract).
+  uint64_t tcp_frames_dropped = 0;
+  uint64_t tcp_reconnects = 0;  ///< outbound connection (re)establishments
+  uint64_t tcp_accepts = 0;
+  /// Inbound protocol violations (oversized/zero-length/undecodable
+  /// frames); each one closes its connection.
+  uint64_t tcp_malformed_frames = 0;
 
   /// Counter-wise difference (this - since); used for warm-window deltas.
   PerfCounters DeltaSince(const PerfCounters& since) const {

@@ -1,0 +1,250 @@
+#include "harness/node_server.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "paxos/wire.h"
+#include "smr/snapshot.h"
+#include "txn/transaction.h"
+
+namespace dpaxos {
+
+namespace {
+
+// Signal -> loop bridge. Handlers may only do async-signal-safe work, so
+// they record the signal and write the loop's eventfd; Run() picks the
+// flag up after the poll wakes.
+volatile sig_atomic_t g_signal_received = 0;
+int g_signal_wakeup_fd = -1;
+
+void HandleStopSignal(int signo) {
+  g_signal_received = signo;
+  if (g_signal_wakeup_fd >= 0) {
+    const uint64_t one = 1;
+    // Best effort: a full eventfd counter still wakes the loop.
+    ssize_t ignored = write(g_signal_wakeup_fd, &one, sizeof(one));
+    (void)ignored;
+  }
+}
+
+}  // namespace
+
+NodeServer::NodeServer(NodeServerOptions options)
+    : options_(std::move(options)), loop_(options_.seed) {
+  DPAXOS_CHECK(!options_.cluster.empty());
+  DPAXOS_CHECK_LT(options_.node, options_.cluster.size());
+  DPAXOS_CHECK(options_.zones > 0 &&
+               options_.cluster.size() % options_.zones == 0);
+}
+
+NodeServer::~NodeServer() = default;
+
+Status NodeServer::Start() {
+  DPAXOS_CHECK(!started_);
+  started_ = true;
+
+  // Latencies in the topology only matter to the simulator; the quorum
+  // construction just needs the zone layout.
+  const uint32_t nodes_per_zone =
+      static_cast<uint32_t>(options_.cluster.size()) / options_.zones;
+  topology_ = Topology::Uniform(options_.zones, nodes_per_zone,
+                                /*inter_zone_rtt_ms=*/1.0,
+                                /*intra_zone_rtt_ms=*/1.0);
+  quorums_ = MakeQuorumSystem(options_.mode, &*topology_, options_.ft);
+
+  transport_ = std::make_unique<TcpTransport>(&loop_, options_.node,
+                                              options_.cluster, options_.tcp);
+  transport_->set_wire_codec(
+      [](const Message& m, std::string* out) { SerializeMessageInto(m, out); },
+      [](std::string_view bytes) -> MessagePtr {
+        Result<MessagePtr> r = DeserializeMessage(bytes);
+        return r.ok() ? r.value() : nullptr;
+      });
+  Status st = transport_->Listen();
+  if (!st.ok()) return st;
+
+  host_ = std::make_unique<NodeHost>(&loop_, transport_.get(), &*topology_,
+                                     options_.node);
+  ReplicaConfig config = options_.replica;
+  // Every node applies the full log locally (serves reads + snapshots).
+  config.decide_policy = DecidePolicy::kAll;
+  if (options_.mode == ProtocolMode::kLeaderless) {
+    config.leaderless_index = options_.node;
+    config.leaderless_total = topology_->num_nodes();
+  }
+  replica_ = host_->AddReplica(quorums_.get(), config);
+  replica_->set_decide_callback(
+      [this](SlotId slot, const Value& value) { applier_.OnDecided(slot, value); });
+  replica_->set_snapshot_hooks(
+      [this](SlotId* through) {
+        *through = applier_.applied_watermark();
+        return EncodeSnapshot(*through, kv_.SerializeFull());
+      },
+      [this](SlotId through, const std::string& envelope) {
+        Result<Snapshot> snap = DecodeSnapshot(envelope);
+        if (!snap.ok()) return snap.status();
+        Status restored = kv_.RestoreFull(snap->payload);
+        if (!restored.ok()) return restored;
+        applier_.FastForwardTo(through);
+        return Status::OK();
+      });
+  if (options_.leader_hint != kInvalidNode) {
+    replica_->set_leader_hint(options_.leader_hint);
+  }
+
+  transport_->set_client_request_handler(
+      [this](uint64_t conn, uint64_t client_id, const ClientRequest& req) {
+        OnClientRequest(conn, client_id, req);
+      });
+
+  if (options_.catchup_on_start) {
+    loop_.Schedule(options_.catchup_delay, [this] { StartCatchUp(); });
+  }
+  if (options_.compaction_interval > 0 && config.enable_compaction) {
+    ScheduleCompactionSweep();
+  }
+  DPAXOS_INFO("node " << options_.node << " serving "
+                      << ProtocolModeName(options_.mode) << " on port "
+                      << transport_->listen_port());
+  return Status::OK();
+}
+
+void NodeServer::OnClientRequest(uint64_t conn, uint64_t client_id,
+                                 const ClientRequest& req) {
+  switch (req.op) {
+    case ClientOp::kPut: {
+      Transaction txn;
+      txn.id = ((static_cast<uint64_t>(options_.node) + 1) << 40) |
+               next_value_id_++;
+      txn.client_id = client_id;
+      txn.seq = req.request_id;
+      txn.ops.push_back(Operation::Put(req.key, req.value));
+      Value value = Value::Of(txn.id, EncodeBatch({txn}));
+      const uint64_t request_id = req.request_id;
+      replica_->SubmitOrForward(
+          std::move(value),
+          [this, conn, request_id](const Status& st, SlotId slot, Duration) {
+            ClientReply reply;
+            reply.request_id = request_id;
+            reply.status_code = static_cast<uint8_t>(st.code());
+            reply.value = st.ok() ? std::to_string(slot) : st.ToString();
+            transport_->SendClientReply(conn, reply);
+          });
+      return;
+    }
+    case ClientOp::kGet: {
+      ClientReply reply;
+      reply.request_id = req.request_id;
+      std::optional<std::string> found = kv_.Get(req.key);
+      if (found.has_value()) {
+        reply.status_code = static_cast<uint8_t>(StatusCode::kOk);
+        reply.value = std::move(*found);
+      } else {
+        reply.status_code = static_cast<uint8_t>(StatusCode::kNotFound);
+      }
+      transport_->SendClientReply(conn, reply);
+      return;
+    }
+    case ClientOp::kStats: {
+      ClientReply reply;
+      reply.request_id = req.request_id;
+      reply.status_code = static_cast<uint8_t>(StatusCode::kOk);
+      reply.value = StatsString();
+      transport_->SendClientReply(conn, reply);
+      return;
+    }
+  }
+  // Unknown op byte: framing-level validation rejects it before we get
+  // here, but answer defensively rather than dropping the request.
+  ClientReply reply;
+  reply.request_id = req.request_id;
+  reply.status_code = static_cast<uint8_t>(StatusCode::kInvalidArgument);
+  transport_->SendClientReply(conn, reply);
+}
+
+void NodeServer::StartCatchUp() {
+  std::vector<NodeId> peers;
+  for (NodeId n = 0; n < topology_->num_nodes(); ++n) {
+    if (n != options_.node) peers.push_back(n);
+  }
+  if (peers.empty()) return;
+  replica_->CatchUpViaSnapshot(peers, [this](const Status& st) {
+    if (st.ok()) {
+      ++catchups_completed_;
+      DPAXOS_INFO("node " << options_.node << " caught up; watermark="
+                          << applier_.applied_watermark());
+    } else {
+      // Normal on a fresh cluster (peers have nothing yet): log and move
+      // on; ordinary decide traffic keeps us current from here.
+      DPAXOS_INFO("node " << options_.node
+                          << " catch-up did not complete: " << st.ToString());
+    }
+  });
+}
+
+void NodeServer::ScheduleCompactionSweep() {
+  loop_.Schedule(options_.compaction_interval, [this] {
+    const SlotId watermark = applier_.applied_watermark();
+    const uint64_t retained = options_.replica.compaction_retained_suffix;
+    if (watermark > retained) {
+      Status st = replica_->Compact(watermark - retained);
+      if (!st.ok() && !st.IsFailedPrecondition()) {
+        DPAXOS_WARN("compaction failed: " << st.ToString());
+      }
+    }
+    ScheduleCompactionSweep();
+  });
+}
+
+std::string NodeServer::StatsString() const {
+  const ProtocolCounters& pc = replica_->counters();
+  const TcpTransportStats& ts = transport_->stats();
+  std::string out;
+  out += "node=" + std::to_string(options_.node);
+  out += " mode=";
+  out += ProtocolModeName(options_.mode);
+  out += " is_leader=" + std::to_string(replica_->is_leader() ? 1 : 0);
+  out += " watermark=" + std::to_string(applier_.applied_watermark());
+  out += " applied=" + std::to_string(kv_.applied_commands());
+  out += " keys=" + std::to_string(kv_.size());
+  out += " checksum=" + std::to_string(kv_.Checksum());
+  out += " snapshots_installed=" + std::to_string(pc.snapshots_installed);
+  out += " log_compactions=" + std::to_string(pc.log_compactions);
+  out += " catchups=" + std::to_string(catchups_completed_);
+  out += " tcp_bytes_in=" + std::to_string(ts.bytes_in);
+  out += " tcp_bytes_out=" + std::to_string(ts.bytes_out);
+  out += " tcp_reconnects=" + std::to_string(ts.reconnects);
+  out += " tcp_frames_dropped=" + std::to_string(ts.frames_dropped);
+  out += " tcp_accepts=" + std::to_string(ts.accepts);
+  return out;
+}
+
+void NodeServer::InstallSignalHandlers() {
+  g_signal_received = 0;
+  g_signal_wakeup_fd = loop_.wakeup_fd();
+  struct sigaction sa = {};
+  sa.sa_handler = HandleStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+int NodeServer::Run() {
+  DPAXOS_CHECK(started_);
+  while (!loop_.stopped() && g_signal_received == 0) {
+    loop_.PollOnce(1 * kSecond);
+  }
+  const int signo = g_signal_received;
+  if (signo != 0) {
+    DPAXOS_INFO("node " << options_.node << " stopping on signal " << signo);
+  }
+  return signo;
+}
+
+void NodeServer::Shutdown() { loop_.Stop(); }
+
+}  // namespace dpaxos

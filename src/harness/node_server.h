@@ -1,0 +1,118 @@
+// NodeServer: one DPaxos replica hosted in one real OS process.
+//
+// Composition (the real-network mirror of harness/Cluster, minus the
+// simulator): EventLoop (real clock) + TcpTransport (real sockets) +
+// NodeHost/Replica (partition 0) + KvStateMachine behind a LogApplier,
+// with the same snapshot hooks and (client_id, seq) exactly-once dedup
+// the chaos harness wires in the simulator tier.
+//
+// Lifecycle:
+//   NodeServer server(options);
+//   server.Start();                  // bind, wire, schedule catch-up
+//   server.InstallSignalHandlers();  // SIGTERM/SIGINT -> graceful stop
+//   server.Run();                    // blocks until Shutdown()/signal
+//
+// A (re)started server assumes nothing survived: storage is in-memory,
+// so Start() schedules CatchUpViaSnapshot from its peers — over real
+// sockets — which is exactly how a killed-and-restarted process rejoins
+// (tests/real_cluster_test.cc proves the full cycle).
+#ifndef DPAXOS_HARNESS_NODE_SERVER_H_
+#define DPAXOS_HARNESS_NODE_SERVER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "net/tcp/event_loop.h"
+#include "net/tcp/tcp_transport.h"
+#include "net/topology.h"
+#include "paxos/node_host.h"
+#include "paxos/replica.h"
+#include "quorum/quorum_system.h"
+#include "smr/kv_store.h"
+#include "smr/log_applier.h"
+
+namespace dpaxos {
+
+struct NodeServerOptions {
+  NodeId node = 0;
+  /// cluster[n] = node n's listen endpoint; size = cluster size.
+  std::vector<HostPort> cluster;
+  uint32_t zones = 1;
+  ProtocolMode mode = ProtocolMode::kMultiPaxos;
+  FaultTolerance ft{0, 0};
+  uint64_t seed = 1;
+  /// Where SubmitOrForward routes client writes before any protocol
+  /// traffic reveals a leader. kInvalidNode = no hint (first write
+  /// triggers self-election via auto_elect_on_submit).
+  NodeId leader_hint = kInvalidNode;
+  ReplicaConfig replica;  ///< decide_policy is forced to kAll (full SMR)
+  TcpTransportOptions tcp;
+  /// Pull state from peers shortly after start (snapshot-first).
+  bool catchup_on_start = true;
+  Duration catchup_delay = 300 * kMillisecond;
+  /// Periodic Compact() sweep; 0 disables. Requires
+  /// replica.enable_compaction.
+  Duration compaction_interval = 0;
+};
+
+/// \brief One-process replica server speaking the net/tcp framing.
+class NodeServer {
+ public:
+  explicit NodeServer(NodeServerOptions options);
+  ~NodeServer();
+
+  NodeServer(const NodeServer&) = delete;
+  NodeServer& operator=(const NodeServer&) = delete;
+
+  /// Bind the listener and wire replica <-> state machine <-> clients.
+  Status Start();
+
+  /// Route SIGTERM/SIGINT to a graceful Shutdown() of THIS server (one
+  /// live NodeServer per process).
+  void InstallSignalHandlers();
+
+  /// Drive the loop until Shutdown() (or a routed signal). Returns the
+  /// signal number that stopped it, or 0 for a programmatic stop.
+  int Run();
+
+  /// Stop the loop after the current dispatch round. Loop-thread safe;
+  /// for cross-thread/signal use, the handlers installed above.
+  void Shutdown();
+
+  EventLoop& loop() { return loop_; }
+  TcpTransport& transport() { return *transport_; }
+  Replica* replica() { return replica_; }
+  const KvStateMachine& kv() const { return kv_; }
+  uint16_t listen_port() const { return transport_->listen_port(); }
+
+  /// Key=value introspection line, also served to clients as the
+  /// "stats" op (see docs/realnet.md for the fields).
+  std::string StatsString() const;
+
+ private:
+  void OnClientRequest(uint64_t conn, uint64_t client_id,
+                       const ClientRequest& req);
+  void StartCatchUp();
+  void ScheduleCompactionSweep();
+
+  NodeServerOptions options_;
+  EventLoop loop_;
+  std::optional<Topology> topology_;  ///< set by Start()
+  std::unique_ptr<QuorumSystem> quorums_;
+  std::unique_ptr<TcpTransport> transport_;
+  std::unique_ptr<NodeHost> host_;
+  Replica* replica_ = nullptr;
+  KvStateMachine kv_;
+  LogApplier applier_{&kv_};
+  uint64_t next_value_id_ = 1;
+  uint64_t catchups_completed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_NODE_SERVER_H_

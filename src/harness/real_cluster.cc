@@ -1,0 +1,246 @@
+#include "harness/real_cluster.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "net/tcp/tcp_client.h"
+
+namespace dpaxos {
+
+namespace {
+
+// CLI spelling of a protocol mode (ParseMode in tools/dpaxos_cli.cc).
+const char* ModeFlag(ProtocolMode mode) {
+  switch (mode) {
+    case ProtocolMode::kLeaderZone:
+      return "leaderzone";
+    case ProtocolMode::kDelegate:
+      return "delegate";
+    case ProtocolMode::kFlexiblePaxos:
+      return "fpaxos";
+    case ProtocolMode::kMultiPaxos:
+      return "multipaxos";
+    case ProtocolMode::kLeaderless:
+      return "leaderless";
+  }
+  return "leaderzone";
+}
+
+Timestamp NowMillis() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<Timestamp>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+void SleepMillis(uint64_t ms) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+std::string StatsField(const std::string& stats, const std::string& key) {
+  const std::string needle = key + "=";
+  size_t pos = 0;
+  while (pos < stats.size()) {
+    size_t end = stats.find(' ', pos);
+    if (end == std::string::npos) end = stats.size();
+    if (stats.compare(pos, needle.size(), needle) == 0) {
+      return stats.substr(pos + needle.size(), end - pos - needle.size());
+    }
+    pos = end + 1;
+  }
+  return "";
+}
+
+RealCluster::RealCluster(RealClusterOptions options)
+    : options_(std::move(options)) {
+  DPAXOS_CHECK(!options_.server_binary.empty());
+  pids_.assign(num_nodes(), -1);
+}
+
+RealCluster::~RealCluster() {
+  for (NodeId n = 0; n < pids_.size(); ++n) {
+    if (pids_[n] > 0) {
+      kill(pids_[n], SIGKILL);
+      waitpid(pids_[n], nullptr, 0);
+      pids_[n] = -1;
+    }
+  }
+}
+
+std::vector<std::string> RealCluster::BuildArgv(NodeId node) const {
+  std::string cluster_csv;
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    if (i > 0) cluster_csv += ",";
+    cluster_csv += endpoints_[i].ToString();
+  }
+  std::vector<std::string> argv;
+  argv.push_back(options_.server_binary);
+  argv.push_back("--serve");
+  argv.push_back("--node=" + std::to_string(node));
+  argv.push_back("--cluster=" + cluster_csv);
+  argv.push_back("--zones=" + std::to_string(options_.zones));
+  argv.push_back(std::string("--mode=") + ModeFlag(options_.mode));
+  argv.push_back("--seed=" +
+                 std::to_string(options_.seed + 1000 * (node + 1)));
+  argv.push_back("--hint=" + std::to_string(options_.leader_hint));
+  argv.push_back("--catchup-delay-ms=" +
+                 std::to_string(options_.catchup_delay / kMillisecond));
+  if (options_.enable_compaction) {
+    argv.push_back("--compaction-interval-ms=" +
+                   std::to_string(options_.compaction_interval / kMillisecond));
+    argv.push_back("--compaction-retain=" +
+                   std::to_string(options_.compaction_retained_suffix));
+  }
+  for (const std::string& extra : options_.extra_args) argv.push_back(extra);
+  return argv;
+}
+
+Status RealCluster::SpawnNode(NodeId node) {
+  std::vector<std::string> argv = BuildArgv(node);
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (std::string& arg : argv) cargv.push_back(arg.data());
+  cargv.push_back(nullptr);
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    return Status::Unavailable(std::string("fork: ") + strerror(errno));
+  }
+  if (pid == 0) {
+    if (!options_.log_dir.empty()) {
+      const std::string path =
+          options_.log_dir + "/node" + std::to_string(node) + ".log";
+      int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd >= 0) {
+        dup2(fd, STDOUT_FILENO);
+        dup2(fd, STDERR_FILENO);
+        close(fd);
+      }
+    }
+    execv(cargv[0], cargv.data());
+    // Only reached on exec failure; _exit avoids running parent atexit
+    // hooks twice.
+    fprintf(stderr, "execv %s: %s\n", cargv[0], strerror(errno));
+    _exit(127);
+  }
+  pids_[node] = pid;
+  return Status::OK();
+}
+
+Status RealCluster::WaitReady(NodeId node, Duration timeout) {
+  const Timestamp deadline = NowMillis() + timeout / kMillisecond;
+  while (NowMillis() < deadline) {
+    // Fail fast if the child already died (bad flags, port stolen, ...).
+    int wstatus = 0;
+    pid_t reaped = waitpid(pids_[node], &wstatus, WNOHANG);
+    if (reaped == pids_[node]) {
+      pids_[node] = -1;
+      return Status::Unavailable("node " + std::to_string(node) +
+                                 " exited during startup (status " +
+                                 std::to_string(wstatus) + ")");
+    }
+    TcpClient probe(/*client_id=*/0xFEED0000 + node);
+    if (probe.Connect(endpoints_[node], 500 * kMillisecond).ok() &&
+        probe.Stats(500 * kMillisecond).ok()) {
+      return Status::OK();
+    }
+    SleepMillis(50);
+  }
+  return Status::TimedOut("node " + std::to_string(node) +
+                          " not ready in time");
+}
+
+Status RealCluster::Start(Duration ready_timeout) {
+  DPAXOS_CHECK(endpoints_.empty());
+  Result<std::vector<uint16_t>> ports = PickFreeLoopbackPorts(num_nodes());
+  if (!ports.ok()) return ports.status();
+  endpoints_.reserve(num_nodes());
+  for (uint16_t port : ports.value()) {
+    endpoints_.push_back(HostPort{"127.0.0.1", port});
+  }
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    Status st = SpawnNode(n);
+    if (!st.ok()) return st;
+  }
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    Status st = WaitReady(n, ready_timeout);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status RealCluster::Kill(NodeId node) {
+  DPAXOS_CHECK_LT(node, pids_.size());
+  if (pids_[node] <= 0) {
+    return Status::FailedPrecondition("node not running");
+  }
+  kill(pids_[node], SIGKILL);
+  waitpid(pids_[node], nullptr, 0);
+  pids_[node] = -1;
+  return Status::OK();
+}
+
+Status RealCluster::Restart(NodeId node, Duration ready_timeout) {
+  DPAXOS_CHECK_LT(node, pids_.size());
+  if (pids_[node] > 0) {
+    return Status::FailedPrecondition("node still running");
+  }
+  Status st = SpawnNode(node);
+  if (!st.ok()) return st;
+  return WaitReady(node, ready_timeout);
+}
+
+Result<std::string> RealCluster::Stats(NodeId node, Duration timeout) {
+  TcpClient client(/*client_id=*/0xFEED1000 + node);
+  Status st = client.Connect(endpoints_[node], timeout);
+  if (!st.ok()) return st;
+  return client.Stats(timeout);
+}
+
+Status RealCluster::ShutdownAll(Duration grace) {
+  Status result = Status::OK();
+  for (NodeId n = 0; n < pids_.size(); ++n) {
+    if (pids_[n] > 0) kill(pids_[n], SIGTERM);
+  }
+  const Timestamp deadline = NowMillis() + grace / kMillisecond;
+  for (NodeId n = 0; n < pids_.size(); ++n) {
+    if (pids_[n] <= 0) continue;
+    int wstatus = 0;
+    for (;;) {
+      pid_t reaped = waitpid(pids_[n], &wstatus, WNOHANG);
+      if (reaped == pids_[n]) {
+        if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+          result = Status::Internal("node " + std::to_string(n) +
+                                    " exited uncleanly (status " +
+                                    std::to_string(wstatus) + ")");
+        }
+        break;
+      }
+      if (NowMillis() >= deadline) {
+        kill(pids_[n], SIGKILL);
+        waitpid(pids_[n], nullptr, 0);
+        result = Status::TimedOut("node " + std::to_string(n) +
+                                  " ignored SIGTERM; killed");
+        break;
+      }
+      SleepMillis(20);
+    }
+    pids_[n] = -1;
+  }
+  return result;
+}
+
+}  // namespace dpaxos

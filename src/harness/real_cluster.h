@@ -1,0 +1,97 @@
+// RealCluster: fork/exec harness for a multi-process DPaxos cluster on
+// loopback. Each node is one `dpaxos_cli --serve` child process; the
+// harness owns their lifecycle (spawn, kill -9, respawn with identical
+// argv, graceful SIGTERM shutdown) so tests and the realnet benchmark
+// can exercise crash/recovery over real sockets.
+#ifndef DPAXOS_HARNESS_REAL_CLUSTER_H_
+#define DPAXOS_HARNESS_REAL_CLUSTER_H_
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "net/tcp/socket_util.h"
+#include "quorum/quorum_system.h"
+
+namespace dpaxos {
+
+struct RealClusterOptions {
+  /// Path to the server binary (dpaxos_cli). Tests compile it in via
+  /// DPAXOS_CLI_PATH; the CLI's own realnet experiment uses
+  /// /proc/self/exe.
+  std::string server_binary;
+  uint32_t zones = 2;
+  uint32_t nodes_per_zone = 2;
+  ProtocolMode mode = ProtocolMode::kLeaderZone;
+  uint64_t seed = 1;
+  /// Forwarding hint handed to every node (writes to a follower forward
+  /// here instead of triggering a competing election).
+  NodeId leader_hint = 0;
+  /// Enable periodic server-side compaction so a restarted node must
+  /// catch up via snapshot transfer, not log replay.
+  bool enable_compaction = true;
+  uint64_t compaction_retained_suffix = 64;
+  Duration compaction_interval = 200 * kMillisecond;
+  Duration catchup_delay = 200 * kMillisecond;
+  /// Extra `--flag=value` style args appended to every child's argv.
+  std::vector<std::string> extra_args;
+  /// Where child stdout/stderr goes: empty = inherit (interleaved on
+  /// the test's output), else one `<dir>/node<N>.log` per child.
+  std::string log_dir;
+};
+
+/// \brief Owns N `dpaxos_cli --serve` child processes on 127.0.0.1.
+class RealCluster {
+ public:
+  explicit RealCluster(RealClusterOptions options);
+  /// Kills (SIGKILL) any children still alive.
+  ~RealCluster();
+
+  RealCluster(const RealCluster&) = delete;
+  RealCluster& operator=(const RealCluster&) = delete;
+
+  /// Pick ports, spawn every node, and wait until all answer a Stats
+  /// round-trip (or `ready_timeout` expires).
+  Status Start(Duration ready_timeout = 10 * kSecond);
+
+  uint32_t num_nodes() const {
+    return options_.zones * options_.nodes_per_zone;
+  }
+  const HostPort& endpoint(NodeId node) const { return endpoints_[node]; }
+  bool alive(NodeId node) const { return pids_[node] > 0; }
+  pid_t pid(NodeId node) const { return pids_[node]; }
+
+  /// SIGKILL one node (crash fault: no shutdown path runs).
+  Status Kill(NodeId node);
+
+  /// Respawn a previously killed node with its original argv — same
+  /// identity, same port, empty state. Its server pulls a snapshot from
+  /// the survivors on startup.
+  Status Restart(NodeId node, Duration ready_timeout = 10 * kSecond);
+
+  /// Blocking Stats round-trip against one node.
+  Result<std::string> Stats(NodeId node, Duration timeout = 2 * kSecond);
+
+  /// SIGTERM every child and reap it. Fails if any child did not exit
+  /// cleanly (nonzero status or forced SIGKILL after `grace`).
+  Status ShutdownAll(Duration grace = 5 * kSecond);
+
+ private:
+  Status SpawnNode(NodeId node);
+  Status WaitReady(NodeId node, Duration timeout);
+  std::vector<std::string> BuildArgv(NodeId node) const;
+
+  RealClusterOptions options_;
+  std::vector<HostPort> endpoints_;
+  std::vector<pid_t> pids_;
+};
+
+/// Parse one `key=value ...` stats line (as served by the kStats op)
+/// into the value for `key`, or "" if absent.
+std::string StatsField(const std::string& stats, const std::string& key);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_REAL_CLUSTER_H_

@@ -1,0 +1,223 @@
+#include "harness/realnet_bench.h"
+
+#include <time.h>
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "harness/real_cluster.h"
+#include "net/tcp/tcp_client.h"
+
+namespace dpaxos {
+
+namespace {
+
+Timestamp NowMicros() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<Timestamp>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+void SleepMillis(uint64_t ms) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+  nanosleep(&ts, nullptr);
+}
+
+uint64_t StatsU64(const std::string& stats, const std::string& key) {
+  const std::string field = StatsField(stats, key);
+  return field.empty() ? 0 : strtoull(field.c_str(), nullptr, 10);
+}
+
+// Commit `count` puts through `client`, recording latency. Retries each
+// request until it commits (leader elections and forwards surface as
+// transient errors the first few times).
+Status CommitPuts(TcpClient& client, uint64_t count, uint64_t key_base,
+                  Histogram* latency, uint64_t* committed) {
+  for (uint64_t i = 0; i < count; ++i) {
+    const std::string key = "k" + std::to_string((key_base + i) % 512);
+    const std::string value = "v" + std::to_string(key_base + i);
+    const Timestamp start = NowMicros();
+    Status st;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      st = client.Put(key, value, 2 * kSecond);
+      if (st.ok()) break;
+      SleepMillis(20 + 10 * attempt);
+    }
+    if (!st.ok()) {
+      return Status::Unavailable("put " + std::to_string(key_base + i) +
+                                 " never committed: " + st.ToString());
+    }
+    if (latency != nullptr) latency->Add(NowMicros() - start);
+    ++(*committed);
+  }
+  return Status::OK();
+}
+
+// Poll `node`'s stats until its watermark reaches `target` and it
+// reports at least one snapshot install.
+Result<std::string> AwaitCatchUp(RealCluster& cluster, NodeId node,
+                                 uint64_t target, Duration timeout) {
+  const Timestamp deadline = NowMicros() + timeout;
+  std::string last;
+  while (NowMicros() < deadline) {
+    Result<std::string> stats = cluster.Stats(node);
+    if (stats.ok()) {
+      last = stats.value();
+      if (StatsU64(last, "watermark") >= target &&
+          StatsU64(last, "snapshots_installed") >= 1) {
+        return last;
+      }
+    }
+    SleepMillis(100);
+  }
+  return Status::TimedOut("node " + std::to_string(node) +
+                          " did not catch up; last stats: " + last);
+}
+
+Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
+                                  ProtocolMode mode) {
+  RealClusterOptions copts;
+  copts.server_binary = options.server_binary;
+  copts.zones = 2;
+  copts.nodes_per_zone = 2;
+  copts.mode = mode;
+  copts.seed = options.seed;
+  copts.leader_hint = 0;
+  copts.enable_compaction = true;
+  copts.log_dir = options.log_dir;
+  RealCluster cluster(copts);
+  Status st = cluster.Start();
+  if (!st.ok()) return st;
+
+  RealnetModeResult result;
+  result.mode = mode;
+
+  TcpClient client(/*client_id=*/7001);
+  st = client.Connect(cluster.endpoint(0), 2 * kSecond);
+  if (!st.ok()) return st;
+
+  // Phase 1: measured load against a healthy 4-node cluster.
+  const Timestamp load_start = NowMicros();
+  st = CommitPuts(client, options.requests, 0, &result.latency,
+                  &result.committed);
+  if (!st.ok()) return st;
+  result.elapsed_seconds =
+      static_cast<double>(NowMicros() - load_start) / 1e6;
+  result.throughput_ops = result.elapsed_seconds > 0
+                              ? static_cast<double>(result.committed) /
+                                    result.elapsed_seconds
+                              : 0;
+
+  // Phase 2: SIGKILL the last follower (zone 1 keeps a live node, so
+  // ft{0,0} quorums in every mode survive), keep committing.
+  const NodeId victim = cluster.num_nodes() - 1;
+  st = cluster.Kill(victim);
+  if (!st.ok()) return st;
+  st = CommitPuts(client, options.requests_while_down, options.requests,
+                  nullptr, &result.committed);
+  if (!st.ok()) return st;
+
+  // Phase 3: restart it with empty state. Compaction on the survivors
+  // has truncated the log past what replay could serve, so rejoining
+  // requires a genuine snapshot transfer over TCP.
+  st = cluster.Restart(victim);
+  if (!st.ok()) return st;
+  Result<std::string> leader_stats = cluster.Stats(0);
+  if (!leader_stats.ok()) return leader_stats.status();
+  result.leader_watermark = StatsU64(leader_stats.value(), "watermark");
+  Result<std::string> caught = AwaitCatchUp(cluster, victim,
+                                            result.leader_watermark,
+                                            30 * kSecond);
+  if (!caught.ok()) return caught.status();
+  result.snapshots_installed = StatsU64(caught.value(), "snapshots_installed");
+  result.restarted_watermark = StatsU64(caught.value(), "watermark");
+  // Re-read the leader AFTER the rejoin so both checksums cover the
+  // same committed prefix (commits stopped before the restart).
+  leader_stats = cluster.Stats(0);
+  if (!leader_stats.ok()) return leader_stats.status();
+  result.checksum_match =
+      !StatsField(caught.value(), "checksum").empty() &&
+              StatsField(caught.value(), "checksum") ==
+                  StatsField(leader_stats.value(), "checksum")
+          ? 1
+          : 0;
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    Result<std::string> stats = cluster.Stats(n);
+    if (!stats.ok()) continue;
+    result.tcp_reconnects += StatsU64(stats.value(), "tcp_reconnects");
+    result.tcp_frames_dropped += StatsU64(stats.value(), "tcp_frames_dropped");
+    result.tcp_bytes_out += StatsU64(stats.value(), "tcp_bytes_out");
+  }
+
+  client.Close();
+  st = cluster.ShutdownAll();
+  if (!st.ok()) return st;
+  return result;
+}
+
+}  // namespace
+
+Result<RealnetBenchReport> RunRealnetBench(const RealnetBenchOptions& options) {
+  RealnetBenchReport report;
+  for (ProtocolMode mode : options.modes) {
+    DPAXOS_INFO("realnet: running mode " << ProtocolModeName(mode));
+    Result<RealnetModeResult> result = RunMode(options, mode);
+    if (!result.ok()) {
+      return Status::Internal(std::string(ProtocolModeName(mode)) + ": " +
+                              result.status().ToString());
+    }
+    report.results.push_back(std::move(result.value()));
+  }
+  return report;
+}
+
+std::string RealnetReportToJson(const RealnetBenchOptions& options,
+                                const RealnetBenchReport& report) {
+  char buf[256];
+  std::string out = "{\n  \"benchmark\": \"realnet\",\n";
+  snprintf(buf, sizeof(buf),
+           "  \"requests_per_mode\": %llu,\n  \"modes\": [\n",
+           static_cast<unsigned long long>(options.requests));
+  out += buf;
+  for (size_t i = 0; i < report.results.size(); ++i) {
+    const RealnetModeResult& r = report.results[i];
+    snprintf(buf, sizeof(buf),
+             "    {\"mode\": \"%s\", \"committed\": %llu, "
+             "\"elapsed_s\": %.3f, \"throughput_ops\": %.1f,\n",
+             ProtocolModeName(r.mode),
+             static_cast<unsigned long long>(r.committed), r.elapsed_seconds,
+             r.throughput_ops);
+    out += buf;
+    snprintf(buf, sizeof(buf),
+             "     \"latency_ms\": {\"mean\": %.3f, \"p50\": %.3f, "
+             "\"p99\": %.3f, \"max\": %.3f},\n",
+             r.latency.MeanMillis(), r.latency.P50Millis(),
+             r.latency.P99Millis(), ToMillis(r.latency.Max()));
+    out += buf;
+    snprintf(buf, sizeof(buf),
+             "     \"recovery\": {\"snapshots_installed\": %llu, "
+             "\"restarted_watermark\": %llu, \"leader_watermark\": %llu, "
+             "\"checksum_match\": %llu},\n",
+             static_cast<unsigned long long>(r.snapshots_installed),
+             static_cast<unsigned long long>(r.restarted_watermark),
+             static_cast<unsigned long long>(r.leader_watermark),
+             static_cast<unsigned long long>(r.checksum_match));
+    out += buf;
+    snprintf(buf, sizeof(buf),
+             "     \"tcp\": {\"reconnects\": %llu, \"frames_dropped\": %llu, "
+             "\"bytes_out\": %llu}}%s\n",
+             static_cast<unsigned long long>(r.tcp_reconnects),
+             static_cast<unsigned long long>(r.tcp_frames_dropped),
+             static_cast<unsigned long long>(r.tcp_bytes_out),
+             i + 1 < report.results.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ],\n";
+  out += std::string("  \"clean_shutdown\": ") +
+         (report.clean_shutdown ? "true" : "false") + "\n}\n";
+  return out;
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,66 @@
+// Realnet benchmark: drives a real multi-process cluster (RealCluster)
+// through each protocol mode over loopback TCP, measures per-request
+// commit latency and throughput from a blocking client, then exercises
+// the crash path (SIGKILL a follower, keep committing, restart it,
+// verify it rejoins via snapshot transfer) and a clean SIGTERM
+// shutdown. Results land in BENCH_realnet.json.
+#ifndef DPAXOS_HARNESS_REALNET_BENCH_H_
+#define DPAXOS_HARNESS_REALNET_BENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "quorum/quorum_system.h"
+
+namespace dpaxos {
+
+struct RealnetBenchOptions {
+  /// Server binary to exec (dpaxos_cli; the CLI passes /proc/self/exe).
+  std::string server_binary;
+  /// Committed puts measured per mode (before the kill phase).
+  uint64_t requests = 10000;
+  /// Additional puts committed while the killed node is down.
+  uint64_t requests_while_down = 500;
+  uint64_t seed = 1;
+  std::vector<ProtocolMode> modes = {ProtocolMode::kLeaderZone,
+                                     ProtocolMode::kDelegate,
+                                     ProtocolMode::kMultiPaxos};
+  /// Output path; empty skips the file.
+  std::string json_path = "BENCH_realnet.json";
+  /// Directory for per-node server logs; empty inherits stdio.
+  std::string log_dir;
+};
+
+struct RealnetModeResult {
+  ProtocolMode mode = ProtocolMode::kLeaderZone;
+  uint64_t committed = 0;
+  double elapsed_seconds = 0;
+  double throughput_ops = 0;
+  Histogram latency;  ///< per-request commit latency
+  uint64_t snapshots_installed = 0;  ///< on the restarted node
+  uint64_t restarted_watermark = 0;
+  uint64_t leader_watermark = 0;
+  uint64_t checksum_match = 0;  ///< 1 iff restarted node converged
+  uint64_t tcp_reconnects = 0;  ///< summed over surviving nodes
+  uint64_t tcp_frames_dropped = 0;
+  uint64_t tcp_bytes_out = 0;
+};
+
+struct RealnetBenchReport {
+  std::vector<RealnetModeResult> results;
+  bool clean_shutdown = true;
+};
+
+/// Run the full benchmark. Returns the report, or the first hard error
+/// (a mode that cannot start, a node that cannot rejoin, ...).
+Result<RealnetBenchReport> RunRealnetBench(const RealnetBenchOptions& options);
+
+/// Serialize a report to the BENCH_realnet.json schema.
+std::string RealnetReportToJson(const RealnetBenchOptions& options,
+                                const RealnetBenchReport& report);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_REALNET_BENCH_H_

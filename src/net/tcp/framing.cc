@@ -1,0 +1,159 @@
+#include "net/tcp/framing.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/codec.h"
+
+namespace dpaxos {
+
+void AppendFrame(std::string_view body, std::string* out) {
+  ByteWriter writer(out);
+  writer.Reserve(4 + body.size());
+  writer.PutU32(static_cast<uint32_t>(body.size()));
+  out->append(body);
+}
+
+void AppendNodeMessageFrame(std::string_view wire_bytes, std::string* out) {
+  ByteWriter writer(out);
+  writer.Reserve(4 + 1 + wire_bytes.size());
+  writer.PutU32(static_cast<uint32_t>(1 + wire_bytes.size()));
+  writer.PutU8(static_cast<uint8_t>(FrameType::kNodeMessage));
+  out->append(wire_bytes);
+}
+
+std::string EncodeHelloFrame(const Hello& hello) {
+  std::string body;
+  ByteWriter writer(&body);
+  writer.PutU8(static_cast<uint8_t>(FrameType::kHello));
+  writer.PutU8(static_cast<uint8_t>(hello.kind));
+  writer.PutU64(hello.id);
+  std::string frame;
+  AppendFrame(body, &frame);
+  return frame;
+}
+
+std::string EncodeClientRequestFrame(const ClientRequest& req) {
+  std::string body;
+  ByteWriter writer(&body);
+  writer.PutU8(static_cast<uint8_t>(FrameType::kClientRequest));
+  writer.PutU64(req.request_id);
+  writer.PutU8(static_cast<uint8_t>(req.op));
+  writer.PutString(req.key);
+  writer.PutString(req.value);
+  std::string frame;
+  AppendFrame(body, &frame);
+  return frame;
+}
+
+std::string EncodeClientReplyFrame(const ClientReply& reply) {
+  std::string body;
+  ByteWriter writer(&body);
+  writer.PutU8(static_cast<uint8_t>(FrameType::kClientReply));
+  writer.PutU64(reply.request_id);
+  writer.PutU8(reply.status_code);
+  writer.PutString(reply.value);
+  std::string frame;
+  AppendFrame(body, &frame);
+  return frame;
+}
+
+namespace {
+
+Status FrameCorruption(const char* what) {
+  return Status::Corruption(std::string("frame: ") + what);
+}
+
+bool ReadType(ByteReader* reader, FrameType expected) {
+  uint8_t type = 0;
+  return reader->ReadU8(&type) &&
+         type == static_cast<uint8_t>(expected);
+}
+
+}  // namespace
+
+Result<Hello> ParseHello(std::string_view body) {
+  ByteReader reader(body);
+  if (!ReadType(&reader, FrameType::kHello)) {
+    return FrameCorruption("bad hello type");
+  }
+  uint8_t kind = 0;
+  Hello hello;
+  if (!reader.ReadU8(&kind) || kind > 1 || !reader.ReadU64(&hello.id) ||
+      !reader.AtEnd()) {
+    return FrameCorruption("malformed hello");
+  }
+  hello.kind = static_cast<PeerKind>(kind);
+  return hello;
+}
+
+Result<ClientRequest> ParseClientRequest(std::string_view body) {
+  ByteReader reader(body);
+  if (!ReadType(&reader, FrameType::kClientRequest)) {
+    return FrameCorruption("bad request type");
+  }
+  ClientRequest req;
+  uint8_t op = 0;
+  if (!reader.ReadU64(&req.request_id) || !reader.ReadU8(&op) || op < 1 ||
+      op > 3 || !reader.ReadString(&req.key) ||
+      !reader.ReadString(&req.value) || !reader.AtEnd()) {
+    return FrameCorruption("malformed client request");
+  }
+  req.op = static_cast<ClientOp>(op);
+  return req;
+}
+
+Result<ClientReply> ParseClientReply(std::string_view body) {
+  ByteReader reader(body);
+  if (!ReadType(&reader, FrameType::kClientReply)) {
+    return FrameCorruption("bad reply type");
+  }
+  ClientReply reply;
+  if (!reader.ReadU64(&reply.request_id) ||
+      !reader.ReadU8(&reply.status_code) || !reader.ReadString(&reply.value) ||
+      !reader.AtEnd()) {
+    return FrameCorruption("malformed client reply");
+  }
+  return reply;
+}
+
+void FrameDecoder::Fail(std::string message) {
+  failed_ = true;
+  error_ = std::move(message);
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (failed_) return;
+  // Compact the consumed prefix before appending so the buffer stays
+  // bounded by (one partial frame + one read chunk) regardless of how
+  // long the stream runs.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > 64 * 1024)) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+FrameDecoder::Next FrameDecoder::Pop(std::string_view* body) {
+  if (failed_) return Next::kError;
+  const size_t available = buffer_.size() - pos_;
+  if (available < 4) return Next::kNeedMore;
+  uint32_t length = 0;
+  std::memcpy(&length, buffer_.data() + pos_, 4);
+  // Validate the prefix before using it for anything: a hostile length
+  // must not cause a reserve, a wait for gigabytes, or an overflow.
+  if (length == 0) {
+    Fail("zero-length frame");
+    return Next::kError;
+  }
+  if (length > max_frame_bytes_) {
+    Fail("frame exceeds max size");
+    return Next::kError;
+  }
+  if (available - 4 < length) return Next::kNeedMore;
+  *body = std::string_view(buffer_).substr(pos_ + 4, length);
+  pos_ += 4 + static_cast<size_t>(length);
+  return Next::kFrame;
+}
+
+}  // namespace dpaxos

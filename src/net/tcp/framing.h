@@ -1,0 +1,133 @@
+// Length-prefixed framing for the real-network runtime.
+//
+// Stream layout:  repeated [ u32 LE body_length | body ]
+// Body layout:    [ u8 FrameType | type-specific fields ]  (LE codec from
+// common/codec.h, same primitives as the protocol wire format).
+//
+// Frame types:
+//   kHello          — first frame on every connection; declares whether
+//                     the peer is a cluster node or an external client
+//                     and its id. Node-message frames carry no sender
+//                     field: the sender is the connection's HELLO id.
+//   kNodeMessage    — one protocol message, encoded by the installed
+//                     wire codec (the framing layer never interprets it).
+//   kClientRequest  — put/get/stats from an external client.
+//   kClientReply    — response matched to the request by request_id.
+//
+// Defensive decoding: FrameDecoder enforces a max-frame cap and rejects
+// zero-length bodies *before* trusting the length prefix — a hostile
+// 0xFFFFFFFF prefix can neither drive an allocation nor make the decoder
+// read past its buffer. A decoder error is terminal for the stream
+// (callers close the connection); this mirrors the protocol codec's
+// "clean Corruption, never crash" contract fuzzed in wire_fuzz_test.
+#ifndef DPAXOS_NET_TCP_FRAMING_H_
+#define DPAXOS_NET_TCP_FRAMING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dpaxos {
+
+/// Upper bound on a frame body. Generously above the largest legitimate
+/// frame (snapshot chunks are ~32 KiB); anything bigger is hostile or
+/// corrupt and closes the connection.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 8u << 20;
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kNodeMessage = 2,
+  kClientRequest = 3,
+  kClientReply = 4,
+};
+
+enum class PeerKind : uint8_t {
+  kNode = 0,
+  kClient = 1,
+};
+
+/// First frame on every connection.
+struct Hello {
+  PeerKind kind = PeerKind::kNode;
+  uint64_t id = 0;  ///< NodeId for nodes, client id for clients
+};
+
+/// Client operation codes (ClientRequest::op).
+enum class ClientOp : uint8_t {
+  kPut = 1,    ///< replicate key=value through consensus
+  kGet = 2,    ///< read the key from the serving node's state machine
+  kStats = 3,  ///< server/runtime introspection (key/value unused)
+};
+
+struct ClientRequest {
+  uint64_t request_id = 0;  ///< echoed in the reply; unique per connection
+  ClientOp op = ClientOp::kPut;
+  std::string key;
+  std::string value;
+};
+
+struct ClientReply {
+  uint64_t request_id = 0;
+  uint8_t status_code = 0;  ///< StatusCode cast to a byte (0 == OK)
+  std::string value;
+};
+
+/// Append [length | body] to `out` (body supplied whole).
+void AppendFrame(std::string_view body, std::string* out);
+
+/// Append a kNodeMessage frame wrapping already-wire-encoded bytes.
+void AppendNodeMessageFrame(std::string_view wire_bytes, std::string* out);
+
+std::string EncodeHelloFrame(const Hello& hello);
+std::string EncodeClientRequestFrame(const ClientRequest& req);
+std::string EncodeClientReplyFrame(const ClientReply& reply);
+
+/// Parsers take a complete frame BODY (including the leading type byte)
+/// and return Corruption on any structural violation, including a
+/// mismatched frame type or trailing bytes.
+Result<Hello> ParseHello(std::string_view body);
+Result<ClientRequest> ParseClientRequest(std::string_view body);
+Result<ClientReply> ParseClientReply(std::string_view body);
+
+/// \brief Incremental frame splitter over an arbitrary byte stream.
+///
+/// Pure (no sockets), so the fuzzer drives it directly. Feed() appends
+/// received bytes; Pop() yields complete frame bodies in order. Once
+/// failed() the decoder stays failed — the caller must drop the
+/// connection, since resynchronizing an untrusted stream is hopeless.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(std::string_view bytes);
+
+  enum class Next {
+    kFrame,     ///< *body holds the next complete frame body
+    kNeedMore,  ///< partial frame buffered; Feed() more bytes
+    kError,     ///< stream is poisoned (see error()); close the connection
+  };
+
+  /// On kFrame, `*body` views the decoder's internal buffer and stays
+  /// valid until the next Feed() or Pop().
+  Next Pop(std::string_view* body);
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  void Fail(std::string message);
+
+  uint32_t max_frame_bytes_;
+  std::string buffer_;
+  size_t pos_ = 0;  ///< consumed prefix of buffer_
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_NET_TCP_FRAMING_H_

@@ -1,0 +1,54 @@
+// Small POSIX socket helpers shared by the TCP transport, the blocking
+// client and the process harness. Everything returns Status/Result —
+// no exceptions, no errno leaks past these functions.
+#ifndef DPAXOS_NET_TCP_SOCKET_UTIL_H_
+#define DPAXOS_NET_TCP_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpaxos {
+
+/// A "host:port" endpoint (IPv4 dotted quad or "localhost").
+struct HostPort {
+  std::string host;
+  uint16_t port = 0;
+
+  static Result<HostPort> Parse(std::string_view spec);
+  std::string ToString() const;
+};
+
+/// Parse "host:port,host:port,..." (one endpoint per cluster node, in
+/// NodeId order).
+Result<std::vector<HostPort>> ParseClusterSpec(std::string_view csv);
+
+/// Set O_NONBLOCK and FD_CLOEXEC.
+Status SetNonBlocking(int fd);
+
+/// Disable Nagle (consensus rounds are latency-bound small frames).
+void SetNoDelay(int fd);
+
+/// Create, bind and listen a non-blocking TCP socket. Port 0 binds an
+/// ephemeral port; read it back with BoundPort().
+Result<int> OpenListener(const HostPort& addr, int backlog);
+
+/// The locally bound port of a socket (after OpenListener with port 0).
+Result<uint16_t> BoundPort(int fd);
+
+/// Start a non-blocking connect. Returns the socket; completion is
+/// signalled by writability (check SO_ERROR).
+Result<int> StartConnect(const HostPort& addr);
+
+/// Reserve `n` distinct free loopback ports by binding ephemeral
+/// listeners, recording their ports, then closing them. Racy by nature
+/// (another process could grab a port before it is reused) but reliable
+/// enough for single-host test harnesses.
+Result<std::vector<uint16_t>> PickFreeLoopbackPorts(size_t n);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_NET_TCP_SOCKET_UTIL_H_

@@ -1,0 +1,159 @@
+#include "net/tcp/tcp_client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dpaxos {
+
+Timestamp TcpClient::NowMillis() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<Timestamp>(ts.tv_sec) * 1000 +
+         static_cast<Timestamp>(ts.tv_nsec) / 1'000'000;
+}
+
+Status TcpClient::Connect(const HostPort& addr, Duration timeout) {
+  Close();
+  Result<int> fd = StartConnect(addr);
+  if (!fd.ok()) return fd.status();
+  pollfd pfd{fd.value(), POLLOUT, 0};
+  const int rc = poll(&pfd, 1, static_cast<int>(timeout / kMillisecond));
+  if (rc <= 0) {
+    close(fd.value());
+    return Status::TimedOut("connect " + addr.ToString());
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (getsockopt(fd.value(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+      err != 0) {
+    close(fd.value());
+    return Status::Unavailable("connect " + addr.ToString() + ": " +
+                               std::strerror(err));
+  }
+  fd_ = fd.value();
+  decoder_ = FrameDecoder();
+  Hello hello;
+  hello.kind = PeerKind::kClient;
+  hello.id = client_id_;
+  Status st = SendAll(EncodeHelloFrame(hello),
+                      NowMillis() + timeout / kMillisecond);
+  if (!st.ok()) Close();
+  return st;
+}
+
+void TcpClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpClient::SendAll(std::string_view bytes, Timestamp deadline_ms) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const Timestamp now = NowMillis();
+    if (now >= deadline_ms) return Status::TimedOut("send");
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int rc = poll(&pfd, 1, static_cast<int>(deadline_ms - now));
+    if (rc <= 0) return Status::TimedOut("send");
+    const ssize_t n = send(fd_, bytes.data() + off, bytes.size() - off,
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;
+    }
+    return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<ClientReply> TcpClient::Call(ClientOp op, std::string_view key,
+                                    std::string_view value, Duration timeout) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  ClientRequest req;
+  req.request_id = next_request_id_++;
+  req.op = op;
+  req.key = std::string(key);
+  req.value = std::string(value);
+  const Timestamp deadline_ms = NowMillis() + timeout / kMillisecond;
+  Status st = SendAll(EncodeClientRequestFrame(req), deadline_ms);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  char buf[65536];
+  for (;;) {
+    // Drain any buffered frames first.
+    std::string_view body;
+    for (;;) {
+      const FrameDecoder::Next next = decoder_.Pop(&body);
+      if (next == FrameDecoder::Next::kError) {
+        Close();
+        return Status::Corruption("client stream: " + decoder_.error());
+      }
+      if (next == FrameDecoder::Next::kNeedMore) break;
+      Result<ClientReply> reply = ParseClientReply(body);
+      if (!reply.ok()) {
+        Close();
+        return reply.status();
+      }
+      // Replies to requests we gave up on are skipped, not errors.
+      if (reply->request_id == req.request_id) return reply;
+    }
+    const Timestamp now = NowMillis();
+    if (now >= deadline_ms) return Status::TimedOut("call");
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = poll(&pfd, 1, static_cast<int>(deadline_ms - now));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return Status::TimedOut("call");
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;
+    }
+    Close();
+    return Status::Unavailable("connection closed by server");
+  }
+}
+
+Status TcpClient::Put(std::string_view key, std::string_view value,
+                      Duration timeout) {
+  Result<ClientReply> reply = Call(ClientOp::kPut, key, value, timeout);
+  if (!reply.ok()) return reply.status();
+  if (reply->status_code != 0) {
+    return Status::Unavailable("put failed: server status " +
+                               std::to_string(reply->status_code) +
+                               (reply->value.empty() ? "" : ": ") +
+                               reply->value);
+  }
+  return Status::OK();
+}
+
+Result<std::string> TcpClient::Get(std::string_view key, Duration timeout) {
+  Result<ClientReply> reply = Call(ClientOp::kGet, key, "", timeout);
+  if (!reply.ok()) return reply.status();
+  if (reply->status_code != 0) {
+    return Status::NotFound("get failed: server status " +
+                            std::to_string(reply->status_code));
+  }
+  return reply->value;
+}
+
+Result<std::string> TcpClient::Stats(Duration timeout) {
+  Result<ClientReply> reply = Call(ClientOp::kStats, "", "", timeout);
+  if (!reply.ok()) return reply.status();
+  return reply->value;
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,60 @@
+// Minimal blocking client for the real-network runtime: one TCP
+// connection speaking the net/tcp framing, synchronous request/reply.
+// Used by `dpaxos_cli --client`, the realnet benchmark driver and the
+// multi-process tests — it deliberately has no event loop so it can
+// live on the far side of a fork/exec boundary from the servers.
+#ifndef DPAXOS_NET_TCP_TCP_CLIENT_H_
+#define DPAXOS_NET_TCP_TCP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "net/tcp/framing.h"
+#include "net/tcp/socket_util.h"
+
+namespace dpaxos {
+
+/// \brief Blocking framing-level client. Not thread-safe.
+class TcpClient {
+ public:
+  /// `client_id` is carried in the HELLO and tags Put transactions for
+  /// server-side exactly-once dedup; pick a distinct id per client.
+  explicit TcpClient(uint64_t client_id) : client_id_(client_id) {}
+  ~TcpClient() { Close(); }
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Connect and send the HELLO. Retries nothing: callers own retry
+  /// policy (the harness polls WaitReady around it).
+  Status Connect(const HostPort& addr, Duration timeout);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  uint64_t client_id() const { return client_id_; }
+
+  /// Send one request and block for its reply (matched by request_id;
+  /// stale replies from timed-out predecessors are skipped).
+  Result<ClientReply> Call(ClientOp op, std::string_view key,
+                           std::string_view value, Duration timeout);
+
+  // Convenience wrappers; non-OK server status codes surface as errors.
+  Status Put(std::string_view key, std::string_view value, Duration timeout);
+  Result<std::string> Get(std::string_view key, Duration timeout);
+  Result<std::string> Stats(Duration timeout);
+
+ private:
+  Status SendAll(std::string_view bytes, Timestamp deadline_ms);
+  static Timestamp NowMillis();
+
+  uint64_t client_id_;
+  uint64_t next_request_id_ = 1;
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_NET_TCP_TCP_CLIENT_H_

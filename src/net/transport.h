@@ -44,9 +44,28 @@ class Transport {
   /// Install the delivery handler for `node`. Replaces any previous one.
   virtual void RegisterHandler(NodeId node, Handler handler) = 0;
 
-  /// Send `msg` from `from` to `to`. Delivery is asynchronous and may
-  /// silently fail (drops, partitions, crashes) — exactly-like-UDP
-  /// semantics; Paxos tolerates this by design.
+  /// Send `msg` from `from` to `to`, asynchronously, under the weakest
+  /// useful delivery contract — exactly-like-UDP semantics, which Paxos
+  /// tolerates by design:
+  ///
+  ///   * MAY DROP: delivery can silently fail at any point (simulated
+  ///     drops/partitions/crashes; in the TCP implementation: bounded
+  ///     outbound queues evicting their oldest frame, frames queued or
+  ///     half-written on a connection that dies, messages sent while a
+  ///     peer is unreachable).
+  ///   * MAY DUPLICATE: a message can be delivered more than once
+  ///     (simulated duplicate injection; TCP retransmission after an
+  ///     ambiguous connection loss). Handlers must be idempotent.
+  ///   * UNORDERED ACROSS PEERS: messages from different senders
+  ///     interleave arbitrarily. Within one (from, to) pair an
+  ///     implementation may preserve order (TCP does while a single
+  ///     connection lives) but callers must not rely on it — a
+  ///     reconnect, retransmit or drop reorders the survivors.
+  ///   * NEVER INVENTS: everything delivered to `to`'s handler was
+  ///     previously passed to Send by the named sender.
+  ///
+  /// transport_test asserts TcpTransport stays inside this contract
+  /// under forced disconnects and queue overflow.
   virtual void Send(NodeId from, NodeId to, MessagePtr msg) = 0;
 };
 

@@ -5,7 +5,7 @@
 
 namespace dpaxos {
 
-GarbageCollector::GarbageCollector(Simulator* sim, Transport* transport,
+GarbageCollector::GarbageCollector(EventScheduler* sim, Transport* transport,
                                    const Topology* topology, NodeId host,
                                    PartitionId partition,
                                    Duration poll_period)

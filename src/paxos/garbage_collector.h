@@ -16,7 +16,7 @@
 #include "net/transport.h"
 #include "paxos/ballot.h"
 #include "paxos/messages.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace dpaxos {
 
@@ -25,7 +25,7 @@ class GarbageCollector {
  public:
   /// `host` is the node this collector is co-located with; polls and
   /// threshold broadcasts are sent from its transport identity.
-  GarbageCollector(Simulator* sim, Transport* transport,
+  GarbageCollector(EventScheduler* sim, Transport* transport,
                    const Topology* topology, NodeId host,
                    PartitionId partition,
                    Duration poll_period = 500 * kMillisecond);
@@ -55,7 +55,7 @@ class GarbageCollector {
   void PollNext();
   void BroadcastThreshold();
 
-  Simulator* sim_;
+  EventScheduler* sim_;
   Transport* transport_;
   const Topology* topology_;
   NodeId host_;

@@ -6,7 +6,7 @@
 
 namespace dpaxos {
 
-NodeHost::NodeHost(Simulator* sim, Transport* transport,
+NodeHost::NodeHost(EventScheduler* sim, Transport* transport,
                    const Topology* topology, NodeId id)
     : sim_(sim), transport_(transport), topology_(topology), id_(id) {
   DPAXOS_CHECK(sim && transport && topology);

@@ -20,7 +20,7 @@ class GarbageCollector;
 class NodeHost {
  public:
   /// Registers this host as `id`'s handler on the transport.
-  NodeHost(Simulator* sim, Transport* transport, const Topology* topology,
+  NodeHost(EventScheduler* sim, Transport* transport, const Topology* topology,
            NodeId id);
 
   NodeHost(const NodeHost&) = delete;
@@ -55,7 +55,7 @@ class NodeHost {
  private:
   void OnMessage(NodeId from, const MessagePtr& msg);
 
-  Simulator* sim_;
+  EventScheduler* sim_;
   Transport* transport_;
   const Topology* topology_;
   NodeId id_;

@@ -14,7 +14,7 @@ void IgnoreCommit(const Status&, SlotId, Duration) {}
 
 }  // namespace
 
-Replica::Replica(Simulator* sim, Transport* transport,
+Replica::Replica(EventScheduler* sim, Transport* transport,
                  const Topology* topology, const QuorumSystem* quorums,
                  NodeId id, ReplicaConfig config, AcceptorRecord* record)
     : sim_(sim),

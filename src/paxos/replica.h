@@ -11,7 +11,8 @@
 //     and LE-quorum expansion), Leader Handoff, leader-based read leases,
 //     and the Leader Zone migration protocol.
 //
-// All I/O goes through the Transport; all time through the Simulator.
+// All I/O goes through the Transport; all time through the EventScheduler
+// (virtual-clock Simulator or the real-clock net/tcp EventLoop).
 #ifndef DPAXOS_PAXOS_REPLICA_H_
 #define DPAXOS_PAXOS_REPLICA_H_
 
@@ -33,7 +34,7 @@
 #include "paxos/replica_config.h"
 #include "paxos/value.h"
 #include "quorum/quorum_system.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace dpaxos {
 
@@ -82,7 +83,7 @@ class Replica {
   /// protocol family the whole partition runs. `record` is the durable
   /// acceptor state (see NodeStorage); nullptr gives the replica a
   /// private volatile record.
-  Replica(Simulator* sim, Transport* transport, const Topology* topology,
+  Replica(EventScheduler* sim, Transport* transport, const Topology* topology,
           const QuorumSystem* quorums, NodeId id, ReplicaConfig config,
           AcceptorRecord* record = nullptr);
 
@@ -429,7 +430,7 @@ class Replica {
   void ObserveBallot(const Ballot& ballot);
   Duration BackoffFor(uint32_t attempt);
 
-  Simulator* sim_;
+  EventScheduler* sim_;
   Transport* transport_;
   const Topology* topology_;
   const QuorumSystem* quorums_;

@@ -1,0 +1,65 @@
+// Clock/timer abstraction shared by the deterministic simulator and the
+// real-network event loop.
+//
+// Every protocol component (Replica, GarbageCollector, NodeHost) drives
+// its timers through this interface instead of the concrete Simulator, so
+// the exact same protocol code runs either on the virtual clock (tier-1
+// deterministic tests, goldens) or on the monotonic wall clock inside
+// net/tcp/EventLoop (the production execution tier). The two
+// implementations share EventId semantics: ids encode
+// (generation << 32 | slot), are never 0 (0 is the universal "no timer"
+// sentinel), and Cancel() of a stale id is detected and refused in O(1).
+#ifndef DPAXOS_SIM_SCHEDULER_H_
+#define DPAXOS_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "sim/event_fn.h"
+
+namespace dpaxos {
+
+/// Identifier of a scheduled event, usable with EventScheduler::Cancel().
+/// Encodes (generation << 32 | slot); never 0, so 0 is a safe sentinel
+/// for "no timer" (callers rely on this).
+using EventId = uint64_t;
+
+/// \brief Clock + one-shot timer service.
+///
+/// Implementations: Simulator (virtual microsecond clock, deterministic)
+/// and EventLoop (epoll + monotonic clock, src/net/tcp/event_loop.h).
+/// Single-threaded: all calls must come from the thread driving the
+/// scheduler; scheduled closures run on that same thread.
+class EventScheduler {
+ public:
+  virtual ~EventScheduler() = default;
+
+  /// Current time in microseconds. Virtual time for the simulator,
+  /// monotonic time since loop construction for the real event loop.
+  virtual Timestamp Now() const = 0;
+
+  /// Schedule `fn` at an absolute time. A `when` in the past fires as
+  /// soon as possible. Returns an id that can be passed to Cancel().
+  virtual EventId ScheduleAt(Timestamp when, EventFn fn) = 0;
+
+  /// Cancel a pending event. Returns false — cheaply, with no state
+  /// retained — if the event already ran, was already cancelled, or
+  /// never existed (stale handle).
+  virtual bool Cancel(EventId id) = 0;
+
+  /// Root random source (fork children per component). Seeded and
+  /// deterministic for the simulator; seeded per-process for the real
+  /// event loop.
+  virtual Rng& rng() = 0;
+
+  /// Schedule `fn` to run `delay` after the current time.
+  EventId Schedule(Duration delay, EventFn fn) {
+    return ScheduleAt(Now() + delay, std::move(fn));
+  }
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_SIM_SCHEDULER_H_

@@ -26,19 +26,17 @@
 #include "common/random.h"
 #include "common/types.h"
 #include "sim/event_fn.h"
+#include "sim/scheduler.h"
 
 namespace dpaxos {
 
-/// Identifier of a scheduled event, usable with Simulator::Cancel().
-/// Encodes (generation << 32 | slot); never 0, so 0 is a safe sentinel
-/// for "no timer" (callers rely on this).
-using EventId = uint64_t;
-
 /// \brief Single-threaded discrete-event simulator.
 ///
+/// Implements EventScheduler on a virtual clock (protocol components
+/// hold EventScheduler* so they also run on the real-clock EventLoop).
 /// Usage: schedule closures with Schedule(), then drive with RunFor(),
 /// RunUntil() or RunUntilIdle(). Closures may schedule further events.
-class Simulator {
+class Simulator final : public EventScheduler {
  public:
   explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
 
@@ -46,16 +44,10 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time.
-  Timestamp Now() const { return now_; }
-
-  /// Schedule `fn` to run `delay` after the current virtual time.
-  /// Returns an id that can be passed to Cancel().
-  EventId Schedule(Duration delay, EventFn fn) {
-    return ScheduleAt(now_ + delay, std::move(fn));
-  }
+  Timestamp Now() const override { return now_; }
 
   /// Schedule `fn` at an absolute virtual time (>= Now()).
-  EventId ScheduleAt(Timestamp when, EventFn fn);
+  EventId ScheduleAt(Timestamp when, EventFn fn) override;
 
   /// Pre-size the event slab, free list and heap for a peak pending
   /// population of `event_capacity`. Sizing from a workload hint up
@@ -67,7 +59,7 @@ class Simulator {
   /// Cancel a pending event: O(log n) removal from the heap. Returns
   /// false — cheaply, with no state retained — if the event already ran,
   /// was already cancelled, or never existed (stale handle).
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) override;
 
   /// Run all events with timestamp <= `until`, then set the clock to
   /// `until`. Returns the number of events executed.
@@ -96,7 +88,7 @@ class Simulator {
   uint64_t next_schedule_seq() const { return next_seq_; }
 
   /// The simulation's root random source (fork children per component).
-  Rng& rng() { return rng_; }
+  Rng& rng() override { return rng_; }
 
  private:
   /// Heap element: plain 24-byte POD, so sifts and pops are register

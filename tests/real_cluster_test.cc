@@ -1,0 +1,154 @@
+// Multi-process cluster tests (realnet tier): fork/exec a 2-zone,
+// 4-node `dpaxos_cli --serve` cluster on 127.0.0.1, drive it with the
+// blocking TcpClient, and exercise the paths that only exist with real
+// processes — crash via SIGKILL, restart with empty state, snapshot
+// catch-up over TCP, graceful SIGTERM shutdown.
+//
+// Labeled `realnet` and excluded from the tier-1 default: these tests
+// spawn processes and depend on wall-clock pacing. The CLI path is
+// stamped in by CMake as DPAXOS_CLI_PATH.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "harness/real_cluster.h"
+#include "net/tcp/tcp_client.h"
+
+namespace dpaxos {
+namespace {
+
+#ifndef DPAXOS_CLI_PATH
+#define DPAXOS_CLI_PATH ""
+#endif
+
+constexpr Duration kCallTimeout = 5 * kSecond;
+
+RealClusterOptions BaseOptions(ProtocolMode mode, uint64_t seed) {
+  RealClusterOptions options;
+  options.server_binary = DPAXOS_CLI_PATH;
+  options.mode = mode;
+  options.seed = seed;
+  const char* log_dir = std::getenv("DPAXOS_TEST_LOG_DIR");
+  if (log_dir != nullptr) options.log_dir = log_dir;
+  return options;
+}
+
+// Commits `n` puts through `node` and returns how many succeeded; each
+// put retries briefly because leadership may still be settling.
+int CommitPuts(TcpClient& client, int n, const std::string& key_prefix) {
+  int committed = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::string key = key_prefix + std::to_string(i % 64);
+    const std::string value = "v" + std::to_string(i);
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      if (client.Put(key, value, kCallTimeout).ok()) {
+        ++committed;
+        break;
+      }
+      usleep(25 * 1000);
+    }
+  }
+  return committed;
+}
+
+TEST(RealClusterTest, CommitsThroughEveryProtocolMode) {
+  const ProtocolMode modes[] = {ProtocolMode::kLeaderZone,
+                                ProtocolMode::kDelegate,
+                                ProtocolMode::kMultiPaxos};
+  uint64_t seed = 100;
+  for (ProtocolMode mode : modes) {
+    SCOPED_TRACE(ProtocolModeName(mode));
+    RealCluster cluster(BaseOptions(mode, seed++));
+    ASSERT_TRUE(cluster.Start().ok());
+
+    TcpClient client(0xC0FFEE);
+    ASSERT_TRUE(client.Connect(cluster.endpoint(0), kCallTimeout).ok());
+    EXPECT_EQ(CommitPuts(client, 50, "m"), 50);
+    Result<std::string> got = client.Get("m0", kCallTimeout);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    // Keys cycle mod 64, so with 50 puts key m0 holds its first write.
+    EXPECT_EQ(got.value(), "v0");
+
+    // Every node converges to the same state machine contents.
+    std::string checksum;
+    for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+      std::string node_sum;
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        Result<std::string> stats = cluster.Stats(n);
+        ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+        node_sum = StatsField(stats.value(), "checksum");
+        if (n == 0 || node_sum == checksum) break;
+        usleep(50 * 1000);
+      }
+      if (n == 0) {
+        checksum = node_sum;
+      } else {
+        EXPECT_EQ(node_sum, checksum) << "node " << n << " diverged";
+      }
+    }
+    Status down = cluster.ShutdownAll();
+    EXPECT_TRUE(down.ok()) << down.ToString();
+  }
+}
+
+TEST(RealClusterTest, KillRestartCatchesUpViaSnapshotOverTcp) {
+  RealClusterOptions options = BaseOptions(ProtocolMode::kLeaderZone, 7);
+  RealCluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  TcpClient client(0xBADCAB);
+  ASSERT_TRUE(client.Connect(cluster.endpoint(0), kCallTimeout).ok());
+  ASSERT_EQ(CommitPuts(client, 100, "a"), 100);
+
+  // Crash the last node (never quorum-critical for ft={0,0}), keep
+  // committing so the survivors compact past the victim's log position,
+  // then bring it back with empty state.
+  const NodeId victim = cluster.num_nodes() - 1;
+  ASSERT_TRUE(cluster.Kill(victim).ok());
+  EXPECT_FALSE(cluster.alive(victim));
+  ASSERT_EQ(CommitPuts(client, 150, "b"), 150);
+  ASSERT_TRUE(cluster.Restart(victim).ok());
+
+  // The restarted node must reach the leader's watermark via snapshot
+  // transfer (compaction made plain log replay impossible).
+  std::string leader_sum, victim_sum, snapshots;
+  bool converged = false;
+  for (int attempt = 0; attempt < 300 && !converged; ++attempt) {
+    Result<std::string> leader_stats = cluster.Stats(0);
+    Result<std::string> victim_stats = cluster.Stats(victim);
+    if (leader_stats.ok() && victim_stats.ok()) {
+      leader_sum = StatsField(leader_stats.value(), "checksum");
+      victim_sum = StatsField(victim_stats.value(), "checksum");
+      snapshots = StatsField(victim_stats.value(), "snapshots_installed");
+      converged = !leader_sum.empty() && leader_sum == victim_sum &&
+                  snapshots != "0" && !snapshots.empty();
+    }
+    if (!converged) usleep(100 * 1000);
+  }
+  EXPECT_TRUE(converged) << "victim checksum=" << victim_sum
+                         << " leader checksum=" << leader_sum
+                         << " snapshots_installed=" << snapshots;
+
+  Status down = cluster.ShutdownAll();
+  EXPECT_TRUE(down.ok()) << down.ToString();
+}
+
+TEST(RealClusterTest, SigtermShutdownIsClean) {
+  RealCluster cluster(BaseOptions(ProtocolMode::kMultiPaxos, 21));
+  ASSERT_TRUE(cluster.Start().ok());
+  TcpClient client(0xD00D);
+  ASSERT_TRUE(client.Connect(cluster.endpoint(0), kCallTimeout).ok());
+  ASSERT_GT(CommitPuts(client, 10, "s"), 0);
+  // ShutdownAll asserts every child exits 0 on SIGTERM within the grace
+  // period — a hung loop or crash-on-exit fails here.
+  Status down = cluster.ShutdownAll();
+  EXPECT_TRUE(down.ok()) << down.ToString();
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    EXPECT_FALSE(cluster.alive(n));
+  }
+}
+
+}  // namespace
+}  // namespace dpaxos

@@ -9,7 +9,10 @@
 //
 // Prints a latency/throughput summary plus transport statistics. All
 // runs are deterministic for a given --seed.
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -17,12 +20,22 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "harness/chaos.h"
 #include "harness/cluster.h"
 #include "harness/load_driver.h"
 #include "harness/nemesis.h"
+#include "harness/node_server.h"
+#include "harness/real_cluster.h"
+#include "harness/realnet_bench.h"
 #include "harness/simperf.h"
 #include "harness/table.h"
+#include "net/tcp/tcp_client.h"
+
+#ifndef DPAXOS_VERSION
+#define DPAXOS_VERSION "unknown"
+#endif
 
 using namespace dpaxos;
 
@@ -56,17 +69,41 @@ struct CliOptions {
   // --experiment=simperf only.
   bool smoke = false;
   std::string out = "BENCH_simperf.json";
+  bool out_set = false;  // --out given explicitly (realnet default differs)
   /// 0 = legacy single-shard workload; >0 runs the shard-parallel
   /// workload instead (see src/sim/shard_runner.h).
   uint32_t shards = 0;
   uint32_t threads = 1;
   uint32_t partitions = 32;
   uint32_t sim_window = 8;  // clients per partition (sharded workload)
+
+  // --serve (real-network node server; docs/realnet.md).
+  bool serve = false;
+  NodeId node = 0;
+  std::string cluster_spec;  // host:port,host:port,...
+  NodeId hint = 0;
+  Duration catchup_delay = 300 * kMillisecond;
+  Duration compaction_interval = 0;  // 0 = compaction off
+  uint64_t compaction_retain = 64;
+
+  // --client (blocking TCP client against a --serve node).
+  bool client = false;
+  std::string connect_spec;  // host:port
+  uint64_t client_id = 0;    // 0 = derive from pid
+  /// Ops in argv order: {"put", "K=V"}, {"get", "K"}, {"stats", ""},
+  /// {"bench", "N"}.
+  std::vector<std::pair<std::string, std::string>> client_ops;
+
+  // --experiment=realnet only.
+  uint64_t requests = 10000;
+  std::string log_dir;
 };
 
 void Usage() {
   std::cout <<
-      "usage: dpaxos_cli [--experiment=load|election|chaos|simperf]\n"
+      "usage: dpaxos_cli [--experiment=load|election|chaos|simperf|realnet]\n"
+      "       dpaxos_cli --serve --node=N --cluster=HOST:PORT,...\n"
+      "       dpaxos_cli --client --connect=HOST:PORT [ops...]\n"
       "  --mode=leaderzone|delegate|fpaxos|multipaxos|leaderless\n"
       "  --aws=true|false       paper topology (default) or uniform\n"
       "  --topology=FILE.csv    load a zone RTT matrix (overrides --aws)\n"
@@ -94,7 +131,22 @@ void Usage() {
       "  --threads=T            worker threads for the shard pool\n"
       "                         (0 = hardware; results identical for any T)\n"
       "  --partitions=P         total partitions across shards "
-      "(default 32)\n";
+      "(default 32)\n"
+      "realnet experiment (multi-process cluster over loopback TCP):\n"
+      "  --requests=N           measured puts per mode (default 10000)\n"
+      "  --logdir=DIR           per-node server logs (default: inherit)\n"
+      "  --out=PATH             JSON output (default BENCH_realnet.json)\n"
+      "real-network server (see docs/realnet.md):\n"
+      "  --serve --node=N --cluster=HOST:PORT,...   run one node\n"
+      "  --zones=Z              zone count (nodes split evenly)\n"
+      "  --hint=N               leader hint for forwarded writes\n"
+      "  --catchup-delay-ms=MS  snapshot catch-up delay after start\n"
+      "  --compaction-interval-ms=MS   periodic compaction (0 = off)\n"
+      "  --compaction-retain=N  decided suffix kept behind compaction\n"
+      "real-network client:\n"
+      "  --client --connect=HOST:PORT [--id=N]\n"
+      "  --put=K=V --get=K --stats --bench=N   ops, run in argv order\n"
+      "  --version              print build version\n";
 }
 
 bool ParseArgImpl(const std::string& arg, CliOptions* o) {
@@ -160,6 +212,42 @@ bool ParseArgImpl(const std::string& arg, CliOptions* o) {
     o->smoke = true;
   } else if (value_of("--out", &v)) {
     o->out = v;
+    o->out_set = true;
+  } else if (arg == "--serve") {
+    o->serve = true;
+  } else if (value_of("--node", &v)) {
+    o->node = static_cast<NodeId>(std::stoul(v));
+  } else if (value_of("--cluster", &v)) {
+    o->cluster_spec = v;
+  } else if (value_of("--hint", &v)) {
+    o->hint = static_cast<NodeId>(std::stoul(v));
+  } else if (value_of("--catchup-delay-ms", &v)) {
+    o->catchup_delay = std::stoull(v) * kMillisecond;
+  } else if (value_of("--compaction-interval-ms", &v)) {
+    o->compaction_interval = std::stoull(v) * kMillisecond;
+  } else if (value_of("--compaction-retain", &v)) {
+    o->compaction_retain = std::stoull(v);
+  } else if (arg == "--client") {
+    o->client = true;
+  } else if (value_of("--connect", &v)) {
+    o->connect_spec = v;
+  } else if (value_of("--id", &v)) {
+    o->client_id = std::stoull(v);
+  } else if (value_of("--put", &v)) {
+    o->client_ops.emplace_back("put", v);
+  } else if (value_of("--get", &v)) {
+    o->client_ops.emplace_back("get", v);
+  } else if (arg == "--stats") {
+    o->client_ops.emplace_back("stats", "");
+  } else if (value_of("--bench", &v)) {
+    o->client_ops.emplace_back("bench", v);
+  } else if (value_of("--requests", &v)) {
+    o->requests = std::stoull(v);
+  } else if (value_of("--logdir", &v)) {
+    o->log_dir = v;
+  } else if (arg == "--version") {
+    std::cout << "dpaxos_cli " << DPAXOS_VERSION << "\n";
+    std::exit(0);
   } else if (value_of("--shards", &v)) {
     o->shards = static_cast<uint32_t>(std::stoul(v));
   } else if (value_of("--threads", &v)) {
@@ -367,6 +455,156 @@ int RunSimperfShardedCli(const CliOptions& o) {
   return 0;
 }
 
+int RunServe(const CliOptions& o, ProtocolMode mode) {
+  Result<std::vector<HostPort>> cluster = ParseClusterSpec(o.cluster_spec);
+  if (!cluster.ok()) {
+    std::cerr << "bad --cluster: " << cluster.status().ToString() << "\n";
+    return 2;
+  }
+  if (cluster->empty() || o.node >= cluster->size()) {
+    std::cerr << "--node must index into --cluster\n";
+    return 2;
+  }
+  if (o.zones == 0 || cluster->size() % o.zones != 0) {
+    std::cerr << "--zones must evenly divide the cluster size\n";
+    return 2;
+  }
+  NodeServerOptions server;
+  server.node = o.node;
+  server.cluster = std::move(cluster).value();
+  server.zones = o.zones;
+  server.mode = mode;
+  server.ft = FaultTolerance{0, 0};  // a 2x2 cluster admits nothing more
+  server.seed = o.seed;
+  server.leader_hint = o.hint;
+  server.catchup_delay = o.catchup_delay;
+  server.compaction_interval = o.compaction_interval;
+  server.replica.enable_compaction = o.compaction_interval > 0;
+  server.replica.compaction_retained_suffix = o.compaction_retain;
+  NodeServer node(std::move(server));
+  Status st = node.Start();
+  if (!st.ok()) {
+    std::cerr << "serve failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  node.InstallSignalHandlers();
+  node.Run();
+  std::cout << node.StatsString() << "\n";
+  return 0;
+}
+
+int RunClient(const CliOptions& o) {
+  Result<HostPort> addr = HostPort::Parse(o.connect_spec);
+  if (!addr.ok()) {
+    std::cerr << "bad --connect: " << addr.status().ToString() << "\n";
+    return 2;
+  }
+  const uint64_t id =
+      o.client_id != 0 ? o.client_id : static_cast<uint64_t>(getpid());
+  TcpClient client(id);
+  Status st = client.Connect(addr.value(), 2 * kSecond);
+  if (!st.ok()) {
+    std::cerr << "connect failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  if (o.client_ops.empty()) {
+    std::cerr << "--client needs at least one of --put/--get/--stats/--bench\n";
+    return 2;
+  }
+  for (const auto& [op, arg] : o.client_ops) {
+    if (op == "put") {
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "--put wants K=V\n";
+        return 2;
+      }
+      st = client.Put(arg.substr(0, eq), arg.substr(eq + 1), 5 * kSecond);
+      if (!st.ok()) {
+        std::cerr << "put failed: " << st.ToString() << "\n";
+        return 1;
+      }
+      std::cout << "OK\n";
+    } else if (op == "get") {
+      Result<std::string> value = client.Get(arg, 5 * kSecond);
+      if (!value.ok()) {
+        std::cerr << "get failed: " << value.status().ToString() << "\n";
+        return 1;
+      }
+      std::cout << value.value() << "\n";
+    } else if (op == "stats") {
+      Result<std::string> stats = client.Stats(5 * kSecond);
+      if (!stats.ok()) {
+        std::cerr << "stats failed: " << stats.status().ToString() << "\n";
+        return 1;
+      }
+      std::cout << stats.value() << "\n";
+    } else {  // bench
+      const uint64_t n = std::stoull(arg);
+      Histogram latency;
+      for (uint64_t i = 0; i < n; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        st = client.Put("bench" + std::to_string(i % 128),
+                        std::to_string(i), 5 * kSecond);
+        if (!st.ok()) {
+          std::cerr << "bench put " << i << " failed: " << st.ToString()
+                    << "\n";
+          return 1;
+        }
+        latency.Add(static_cast<Duration>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+      }
+      std::cout << "bench " << n << " puts: " << latency.Summary() << "\n";
+    }
+  }
+  return 0;
+}
+
+int RunRealnetCli(const CliOptions& o) {
+  RealnetBenchOptions bench;
+  bench.server_binary = "/proc/self/exe";
+  bench.requests = o.requests;
+  bench.seed = o.seed;
+  bench.json_path = o.out_set ? o.out : "BENCH_realnet.json";
+  bench.log_dir = o.log_dir;
+  std::cout << "== dpaxos_cli: realnet, 2 zones x 2 nodes on loopback, "
+            << bench.requests << " requests/mode, seed=" << bench.seed
+            << "\n\n";
+  Result<RealnetBenchReport> report = RunRealnetBench(bench);
+  if (!report.ok()) {
+    std::cerr << "realnet failed: " << report.status().ToString() << "\n";
+    return 1;
+  }
+  TablePrinter table({"mode", "committed", "ops/sec", "p50 (ms)", "p99 (ms)",
+                      "snap installs", "checksum match"});
+  for (const RealnetModeResult& r : report->results) {
+    table.AddRow({ProtocolModeName(r.mode), std::to_string(r.committed),
+                  Fmt(r.throughput_ops, 1), Fmt(r.latency.P50Millis(), 2),
+                  Fmt(r.latency.P99Millis(), 2),
+                  std::to_string(r.snapshots_installed),
+                  r.checksum_match ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  for (const RealnetModeResult& r : report->results) {
+    if (r.snapshots_installed == 0 || r.checksum_match == 0) {
+      std::cerr << "\nrecovery check failed for "
+                << ProtocolModeName(r.mode) << "\n";
+      return 1;
+    }
+  }
+  if (!bench.json_path.empty()) {
+    std::ofstream out_file(bench.json_path);
+    if (!out_file) {
+      std::cerr << "cannot write " << bench.json_path << "\n";
+      return 1;
+    }
+    out_file << RealnetReportToJson(bench, report.value());
+    std::cout << "\nwrote " << bench.json_path << "\n";
+  }
+  return 0;
+}
+
 int RunSimperfCli(const CliOptions& o) {
   if (o.shards > 0) return RunSimperfShardedCli(o);
   SimperfOptions options;
@@ -416,12 +654,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Chaos and simperf build their own clusters.
+  // Server and client modes bypass the experiment dispatch entirely.
+  if (options.serve) return RunServe(options, mode.value());
+  if (options.client) return RunClient(options);
+
+  // Validate the experiment name up front, before any cluster is built
+  // or output produced — a typo must not half-run something else.
+  if (options.experiment != "load" && options.experiment != "election" &&
+      options.experiment != "chaos" && options.experiment != "simperf" &&
+      options.experiment != "realnet") {
+    std::cerr << "unknown --experiment " << options.experiment << "\n";
+    Usage();
+    return 2;
+  }
+
+  // Chaos, simperf and realnet build their own clusters.
   if (options.experiment == "chaos") {
     return RunChaosCli(options, mode.value());
   }
   if (options.experiment == "simperf") {
     return RunSimperfCli(options);
+  }
+  if (options.experiment == "realnet") {
+    return RunRealnetCli(options);
   }
 
   ClusterOptions cluster_options;
@@ -465,7 +720,5 @@ int main(int argc, char** argv) {
             << options.seed << "\n\n";
 
   if (options.experiment == "load") return RunLoad(cluster, options);
-  if (options.experiment == "election") return RunElection(cluster, options);
-  std::cerr << "unknown --experiment " << options.experiment << "\n";
-  return 2;
+  return RunElection(cluster, options);
 }
