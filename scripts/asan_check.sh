@@ -18,7 +18,8 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DDPAXOS_SANITIZE=address
 cmake --build "$BUILD_DIR" \
     --target snapshot_test wire_fuzz_test wire_test catchup_test \
-             restart_test chaos_test soak_test -j"$(nproc)"
+             restart_test chaos_test soak_test \
+             chaos_proxy_test real_chaos_test dpaxos_cli -j"$(nproc)"
 
 # abort_on_error so the first report fails the gate instead of running on
 # poisoned state; detect_leaks covers the long-lived harness allocations.
@@ -31,5 +32,10 @@ export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1 ${ASAN_OPTIONS:-}"
 "$BUILD_DIR/tests/restart_test"
 "$BUILD_DIR/tests/chaos_test" --gtest_filter='*Recovery*'
 "$BUILD_DIR/tests/soak_test" --gtest_filter='*Compaction*'
+# Realnet chaos path: the fault-injecting proxy shuffles and corrupts
+# raw frame bytes (prime OOB territory), and the failover client's
+# SIGSTOP rotation exercises partial-read teardown.
+"$BUILD_DIR/tests/chaos_proxy_test"
+"$BUILD_DIR/tests/real_chaos_test" --gtest_filter='*Failover*'
 
 echo "asan_check: PASS (no memory errors reported)"

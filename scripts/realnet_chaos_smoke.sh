@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Real-network chaos smoke: one `dpaxos_cli --experiment=realchaos` pass —
+# a 2-zone / 4-node multi-process cluster behind the fault-injecting
+# ChaosProxy, the "mixed" nemesis schedule (partition, pause, kill +
+# restart, corruption burst, drop burst), a pool of failover clients
+# recording a history, and the linearizability + session-guarantee
+# checkers over the result. The experiment exits nonzero on any checker
+# violation or if the cluster fails to reconverge, so this script only
+# adds two sanity gates: faults were actually injected, and the chaos
+# section landed in BENCH_realnet.json.
+#
+# Usage: scripts/realnet_chaos_smoke.sh [duration-seconds]  (default: 8)
+# Env:   DPAXOS_CLI     path to dpaxos_cli (default: build/tools/dpaxos_cli)
+#        SMOKE_OUT_DIR  where BENCH_realnet.json and node logs go
+#                       (default: a fresh temp dir, removed on success)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+DURATION="${1:-8}"
+CLI="${DPAXOS_CLI:-build/tools/dpaxos_cli}"
+
+if [[ ! -x "$CLI" ]]; then
+  echo "realnet_chaos_smoke: $CLI not found or not executable" >&2
+  echo "build it first: cmake --build build --target dpaxos_cli" >&2
+  exit 1
+fi
+
+CLEANUP_OUT=""
+if [[ -z "${SMOKE_OUT_DIR:-}" ]]; then
+  SMOKE_OUT_DIR="$(mktemp -d /tmp/dpaxos_chaos.XXXXXX)"
+  CLEANUP_OUT="$SMOKE_OUT_DIR"
+fi
+mkdir -p "$SMOKE_OUT_DIR"
+OUT_JSON="$SMOKE_OUT_DIR/BENCH_realnet.json"
+
+echo "realnet_chaos_smoke: ${DURATION}s mixed schedule, logs in $SMOKE_OUT_DIR"
+LOG="$SMOKE_OUT_DIR/realchaos.out"
+"$CLI" --experiment=realchaos \
+  --schedule=mixed \
+  --duration="$DURATION" \
+  --seed=7 \
+  --logdir="$SMOKE_OUT_DIR" \
+  --out="$OUT_JSON" | tee "$LOG"
+
+grep -q "REALCHAOS OK" "$LOG" || {
+  echo "realnet_chaos_smoke: FAIL (no REALCHAOS OK in output)" >&2
+  exit 1
+}
+grep -q "proxy faults=[1-9]" "$LOG" || {
+  echo "realnet_chaos_smoke: FAIL (proxy injected no faults)" >&2
+  exit 1
+}
+grep -q '"chaos":' "$OUT_JSON" || {
+  echo "realnet_chaos_smoke: FAIL (no chaos section in $OUT_JSON)" >&2
+  exit 1
+}
+
+echo "realnet_chaos_smoke: PASS"
+if [[ -n "$CLEANUP_OUT" ]]; then rm -rf "$CLEANUP_OUT"; fi

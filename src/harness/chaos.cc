@@ -113,6 +113,9 @@ void ChaosRun::WireNode(NodeId node) {
       [this, node](SlotId through, const std::string& envelope) {
         Result<Snapshot> snap = DecodeSnapshot(envelope);
         if (!snap.ok()) return snap.status();
+        if (snap->through_slot != through) {
+          return Status::Corruption("snapshot coverage mismatch");
+        }
         NodeApp& a = *apps_[node];
         Status st = a.sm.RestoreFull(snap->payload);
         if (!st.ok()) return st;

@@ -3,6 +3,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -87,6 +88,13 @@ Status NodeServer::Start() {
       [this](SlotId through, const std::string& envelope) {
         Result<Snapshot> snap = DecodeSnapshot(envelope);
         if (!snap.ok()) return snap.status();
+        // `through` rode the chunk messages unauthenticated; the copy
+        // inside the envelope is CRC-protected. A mismatch means a
+        // corrupted through_slot field — installing would teleport the
+        // watermark to a fiction.
+        if (snap->through_slot != through) {
+          return Status::Corruption("snapshot coverage mismatch");
+        }
         Status restored = kv_.RestoreFull(snap->payload);
         if (!restored.ok()) return restored;
         applier_.FastForwardTo(through);
@@ -106,6 +114,9 @@ Status NodeServer::Start() {
   }
   if (options_.compaction_interval > 0 && config.enable_compaction) {
     ScheduleCompactionSweep();
+  }
+  if (options_.anti_entropy_interval > 0 && options_.cluster.size() > 1) {
+    ScheduleAntiEntropySweep();
   }
   DPAXOS_INFO("node " << options_.node << " serving "
                       << ProtocolModeName(options_.mode) << " on port "
@@ -132,21 +143,38 @@ void NodeServer::OnClientRequest(uint64_t conn, uint64_t client_id,
             reply.request_id = request_id;
             reply.status_code = static_cast<uint8_t>(st.code());
             reply.value = st.ok() ? std::to_string(slot) : st.ToString();
+            reply.watermark = st.ok() ? slot : 0;
             transport_->SendClientReply(conn, reply);
           });
       return;
     }
     case ClientOp::kGet: {
-      ClientReply reply;
-      reply.request_id = req.request_id;
-      std::optional<std::string> found = kv_.Get(req.key);
-      if (found.has_value()) {
-        reply.status_code = static_cast<uint8_t>(StatusCode::kOk);
-        reply.value = std::move(*found);
-      } else {
-        reply.status_code = static_cast<uint8_t>(StatusCode::kNotFound);
-      }
-      transport_->SendClientReply(conn, reply);
+      // Linearizable read: commit an empty-batch barrier through
+      // consensus and answer only after the local applier has crossed the
+      // barrier's slot. A dirty local read would serve stale state from a
+      // lagging follower after failover — exactly the violation the
+      // chaos checkers exist to catch.
+      Value barrier =
+          Value::Of(((static_cast<uint64_t>(options_.node) + 1) << 40) |
+                        next_value_id_++,
+                    EncodeBatch({}));
+      const uint64_t request_id = req.request_id;
+      std::string key = req.key;
+      replica_->SubmitOrForward(
+          std::move(barrier),
+          [this, conn, request_id, key = std::move(key)](
+              const Status& st, SlotId slot, Duration) mutable {
+            if (!st.ok()) {
+              ClientReply reply;
+              reply.request_id = request_id;
+              reply.status_code = static_cast<uint8_t>(st.code());
+              reply.value = st.ToString();
+              transport_->SendClientReply(conn, reply);
+              return;
+            }
+            AnswerReadAtSlot(conn, request_id, std::move(key), slot,
+                             loop_.Now() + 5 * kSecond);
+          });
       return;
     }
     case ClientOp::kStats: {
@@ -164,6 +192,41 @@ void NodeServer::OnClientRequest(uint64_t conn, uint64_t client_id,
   reply.request_id = req.request_id;
   reply.status_code = static_cast<uint8_t>(StatusCode::kInvalidArgument);
   transport_->SendClientReply(conn, reply);
+}
+
+void NodeServer::AnswerReadAtSlot(uint64_t conn, uint64_t request_id,
+                                  std::string key, SlotId slot,
+                                  Timestamp deadline) {
+  if (applier_.applied_watermark() >= slot) {
+    ClientReply reply;
+    reply.request_id = request_id;
+    std::optional<std::string> found = kv_.Get(key);
+    if (found.has_value()) {
+      reply.status_code = static_cast<uint8_t>(StatusCode::kOk);
+      reply.value = std::move(*found);
+    } else {
+      reply.status_code = static_cast<uint8_t>(StatusCode::kNotFound);
+    }
+    reply.watermark = applier_.applied_watermark();
+    transport_->SendClientReply(conn, reply);
+    return;
+  }
+  if (loop_.Now() >= deadline) {
+    // The applier never crossed the barrier (log hole, lost decide
+    // traffic): let the client fail over to a healthier replica.
+    ClientReply reply;
+    reply.request_id = request_id;
+    reply.status_code = static_cast<uint8_t>(StatusCode::kTimedOut);
+    reply.value = "read barrier not applied";
+    transport_->SendClientReply(conn, reply);
+    return;
+  }
+  loop_.Schedule(2 * kMillisecond,
+                 [this, conn, request_id, key = std::move(key), slot,
+                  deadline]() mutable {
+                   AnswerReadAtSlot(conn, request_id, std::move(key), slot,
+                                    deadline);
+                 });
 }
 
 void NodeServer::StartCatchUp() {
@@ -200,6 +263,32 @@ void NodeServer::ScheduleCompactionSweep() {
   });
 }
 
+void NodeServer::ScheduleAntiEntropySweep() {
+  loop_.Schedule(options_.anti_entropy_interval, [this] {
+    const SlotId watermark = applier_.applied_watermark();
+    if (watermark == last_sweep_watermark_) {
+      // No progress for a whole interval: either the cluster is idle (the
+      // pull returns empty and costs one round trip) or we are wedged on a
+      // log hole and the pull is what unwedges us. CatchUpFrom rejects
+      // re-entry with Aborted, so firing every sweep is safe.
+      std::vector<NodeId> peers;
+      for (NodeId n = 0; n < topology_->num_nodes(); ++n) {
+        if (n != options_.node) peers.push_back(n);
+      }
+      if (!peers.empty()) {
+        std::rotate(peers.begin(),
+                    peers.begin() + (sweep_count_ % peers.size()),
+                    peers.end());
+        ++catchup_repairs_;
+        replica_->CatchUpFrom(peers, [](const Status&) {});
+      }
+    }
+    last_sweep_watermark_ = applier_.applied_watermark();
+    ++sweep_count_;
+    ScheduleAntiEntropySweep();
+  });
+}
+
 std::string NodeServer::StatsString() const {
   const ProtocolCounters& pc = replica_->counters();
   const TcpTransportStats& ts = transport_->stats();
@@ -215,10 +304,13 @@ std::string NodeServer::StatsString() const {
   out += " snapshots_installed=" + std::to_string(pc.snapshots_installed);
   out += " log_compactions=" + std::to_string(pc.log_compactions);
   out += " catchups=" + std::to_string(catchups_completed_);
+  out += " catchup_repairs=" + std::to_string(catchup_repairs_);
+  out += " suspect_msgs=" + std::to_string(pc.suspect_msgs_rejected);
   out += " tcp_bytes_in=" + std::to_string(ts.bytes_in);
   out += " tcp_bytes_out=" + std::to_string(ts.bytes_out);
   out += " tcp_reconnects=" + std::to_string(ts.reconnects);
   out += " tcp_frames_dropped=" + std::to_string(ts.frames_dropped);
+  out += " tcp_malformed_frames=" + std::to_string(ts.malformed_frames);
   out += " tcp_accepts=" + std::to_string(ts.accepts);
   return out;
 }

@@ -57,6 +57,12 @@ struct NodeServerOptions {
   /// Periodic Compact() sweep; 0 disables. Requires
   /// replica.enable_compaction.
   Duration compaction_interval = 0;
+  /// Anti-entropy: when the applied watermark makes no progress across
+  /// one interval, pull decided entries from a peer (rotating). This is
+  /// what heals log holes torn by dropped decide traffic — without it a
+  /// follower that lost frames during a partition stays wedged forever
+  /// once the fault clears. 0 disables.
+  Duration anti_entropy_interval = 1 * kSecond;
 };
 
 /// \brief One-process replica server speaking the net/tcp framing.
@@ -96,8 +102,13 @@ class NodeServer {
  private:
   void OnClientRequest(uint64_t conn, uint64_t client_id,
                        const ClientRequest& req);
+  /// Serve a read once the local applier reaches `slot` (the read
+  /// barrier's commit position); polls the applier until `deadline`.
+  void AnswerReadAtSlot(uint64_t conn, uint64_t request_id, std::string key,
+                        SlotId slot, Timestamp deadline);
   void StartCatchUp();
   void ScheduleCompactionSweep();
+  void ScheduleAntiEntropySweep();
 
   NodeServerOptions options_;
   EventLoop loop_;
@@ -110,6 +121,9 @@ class NodeServer {
   LogApplier applier_{&kv_};
   uint64_t next_value_id_ = 1;
   uint64_t catchups_completed_ = 0;
+  SlotId last_sweep_watermark_ = 0;
+  uint64_t sweep_count_ = 0;
+  uint64_t catchup_repairs_ = 0;
   bool started_ = false;
 };
 

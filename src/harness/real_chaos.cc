@@ -1,0 +1,451 @@
+#include "harness/real_chaos.h"
+
+#include <time.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "harness/real_cluster.h"
+#include "harness/real_nemesis.h"
+#include "net/tcp/tcp_client.h"
+
+namespace dpaxos {
+
+namespace {
+
+Timestamp NowMicros() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<Timestamp>(ts.tv_sec) * kSecond + ts.tv_nsec / 1000;
+}
+
+void SleepMicros(Duration us) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(us / kSecond);
+  ts.tv_nsec = static_cast<long>((us % kSecond) * 1000);
+  nanosleep(&ts, nullptr);
+}
+
+uint64_t StatsU64(const std::string& stats, const std::string& key) {
+  const std::string field = StatsField(stats, key);
+  return field.empty() ? 0 : strtoull(field.c_str(), nullptr, 10);
+}
+
+/// One client thread: issue ops against the proxied cluster until told
+/// to stop, recording every invocation/completion in the shared history.
+struct ClientCtx {
+  uint64_t client_id = 0;
+  Rng rng{1};
+  FailoverTcpClient* client = nullptr;
+  uint64_t next_op = 1;
+};
+
+struct SharedState {
+  std::mutex mu;  // guards recorder + latency (HistoryRecorder is not
+                  // thread-safe; contention is think-time bounded)
+  HistoryRecorder recorder;
+  Histogram latency;
+  std::atomic<bool> stop{false};
+};
+
+void ClientLoop(const RealChaosOptions& options, ClientCtx* ctx,
+                SharedState* shared) {
+  while (!shared->stop.load(std::memory_order_relaxed)) {
+    const bool is_read = ctx->rng.NextBool(options.read_fraction);
+    const std::string key =
+        "k" + std::to_string(ctx->rng.NextBounded(options.num_keys));
+    // Written values are unique per (client, op) — the linearizability
+    // search requires distinguishable writes per key.
+    const std::string value =
+        is_read ? ""
+                : "c" + std::to_string(ctx->client_id) + "-" +
+                      std::to_string(ctx->next_op);
+    ++ctx->next_op;
+
+    size_t index;
+    const Timestamp invoked = NowMicros();
+    {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      index = shared->recorder.Invoke(ctx->client_id, ctx->next_op, is_read,
+                                      key, value, invoked);
+    }
+    FailoverTcpClient::CallResult result = ctx->client->Call(
+        is_read ? ClientOp::kGet : ClientOp::kPut, key, value);
+    const Timestamp completed = NowMicros();
+    {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      HistoryOp& op = shared->recorder.op(index);
+      if (result.status.ok()) {
+        const StatusCode code =
+            static_cast<StatusCode>(result.reply.status_code);
+        if (is_read) {
+          if (code == StatusCode::kOk) op.observed = result.reply.value;
+          // kNotFound leaves observed == nullopt: a definite "absent".
+          op.observed_watermark = result.reply.watermark;
+        } else {
+          op.slot = result.reply.watermark;
+        }
+        shared->recorder.Complete(index, HistoryOutcome::kOk, completed);
+        shared->latency.Add(completed - invoked);
+      } else if (is_read || !result.ever_sent) {
+        // Reads have no effect; writes that never reached a live
+        // connection definitely did not happen.
+        shared->recorder.Complete(index, HistoryOutcome::kFail, completed);
+      } else {
+        // The write reached a server and no definitive answer came
+        // back — it may commit any time later.
+        shared->recorder.Complete(index, HistoryOutcome::kIndeterminate,
+                                  completed);
+      }
+    }
+    if (shared->stop.load(std::memory_order_relaxed)) break;
+    const Duration think =
+        options.think_time / 2 + ctx->rng.NextBounded(options.think_time);
+    SleepMicros(think);
+  }
+}
+
+/// Poll direct (non-proxied) stats until every node reports the same
+/// checksum at the same watermark.
+bool AwaitConvergence(RealCluster& cluster, Duration budget,
+                      std::string* detail) {
+  const Timestamp deadline = NowMicros() + budget;
+  while (NowMicros() < deadline) {
+    std::string first_checksum;
+    uint64_t min_watermark = ~0ull, max_watermark = 0;
+    bool all_answered = true, checksums_match = true;
+    std::string states;
+    for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+      Result<std::string> stats = cluster.Stats(n);
+      if (!stats.ok()) {
+        all_answered = false;
+        states += " node" + std::to_string(n) + "=unreachable";
+        continue;
+      }
+      const std::string checksum = StatsField(stats.value(), "checksum");
+      const uint64_t watermark = StatsU64(stats.value(), "watermark");
+      if (first_checksum.empty()) {
+        first_checksum = checksum;
+      } else if (checksum != first_checksum) {
+        checksums_match = false;
+      }
+      if (watermark < min_watermark) min_watermark = watermark;
+      if (watermark > max_watermark) max_watermark = watermark;
+      states += " node" + std::to_string(n) + "=w" +
+                std::to_string(watermark) + "/" + checksum;
+    }
+    *detail = states;
+    if (all_answered && checksums_match && min_watermark == max_watermark) {
+      return true;
+    }
+    SleepMicros(200 * kMillisecond);
+  }
+  return false;
+}
+
+}  // namespace
+
+RealChaosReport RunRealChaos(const RealChaosOptions& options) {
+  RealChaosReport report;
+  auto fail = [&report](const std::string& what) -> RealChaosReport& {
+    report.error = what;
+    DPAXOS_WARN("realchaos: " << what);
+    return report;
+  };
+
+  const uint32_t num_nodes = options.zones * options.nodes_per_zone;
+
+  // Keep every key's op count under the checker's 63-op bitmask bound:
+  // expected ops ~= clients * duration / think_time, and ~2x headroom
+  // against think-time jitter and fast retries.
+  uint32_t num_keys = options.num_keys;
+  if (options.think_time > 0) {
+    const uint64_t expected_ops = options.num_clients *
+                                  (options.duration / options.think_time + 1);
+    const uint32_t floor_keys =
+        static_cast<uint32_t>(expected_ops / 24 + 1);
+    if (num_keys < floor_keys) num_keys = floor_keys;
+  }
+
+  // 1. Real endpoints first, so the proxy can wrap them before spawn.
+  Result<std::vector<uint16_t>> ports = PickFreeLoopbackPorts(num_nodes);
+  if (!ports.ok()) return fail("ports: " + ports.status().ToString());
+  std::vector<HostPort> real_endpoints;
+  for (uint16_t port : ports.value()) {
+    real_endpoints.push_back(HostPort{"127.0.0.1", port});
+  }
+
+  ChaosProxyOptions popts;
+  popts.upstreams = real_endpoints;
+  popts.zones = options.zones;
+  popts.seed = options.seed;
+  ChaosProxy proxy(popts);
+  Status st = proxy.Start();
+  if (!st.ok()) return fail("proxy: " + st.ToString());
+
+  // 2. Cluster: every node binds its real endpoint but dials peers (and
+  // is dialed by clients) through the proxy.
+  RealClusterOptions copts;
+  copts.server_binary = options.server_binary;
+  copts.zones = options.zones;
+  copts.nodes_per_zone = options.nodes_per_zone;
+  copts.mode = options.mode;
+  copts.seed = options.seed;
+  copts.leader_hint = 0;
+  copts.enable_compaction = true;
+  copts.log_dir = options.log_dir;
+  copts.listen_endpoints = real_endpoints;
+  copts.peer_view = proxy.endpoints();
+  RealCluster cluster(copts);
+  st = cluster.Start();
+  if (!st.ok()) return fail("cluster: " + st.ToString());
+
+  // 3. Nemesis schedule (validated before any thread starts).
+  RealNemesis nemesis(&cluster, &proxy, options.seed);
+  if (options.schedule != "none" &&
+      !nemesis.AddNamedSchedule(options.schedule, 0, options.duration)) {
+    return fail("unknown schedule '" + options.schedule + "'");
+  }
+
+  // 4. Clients against the PROXIED endpoints, so client links share the
+  // cluster's fault surface.
+  SharedState shared;
+  std::vector<ClientCtx> ctxs(options.num_clients);
+  std::vector<std::unique_ptr<FailoverTcpClient>> clients;
+  RealChaosOptions effective = options;
+  effective.num_keys = num_keys;
+  FailoverTcpClient::Options fopts;
+  fopts.overall_timeout = options.op_timeout;
+  for (uint32_t c = 0; c < options.num_clients; ++c) {
+    ctxs[c].client_id = c + 1;
+    ctxs[c].rng = Rng(options.seed + 7919 * (c + 1));
+    clients.push_back(std::make_unique<FailoverTcpClient>(
+        ctxs[c].client_id, proxy.endpoints(), fopts));
+    ctxs[c].client = clients.back().get();
+  }
+  std::vector<std::thread> client_threads;
+  for (uint32_t c = 0; c < options.num_clients; ++c) {
+    client_threads.emplace_back(ClientLoop, std::cref(effective), &ctxs[c],
+                                &shared);
+  }
+  std::thread nemesis_thread([&nemesis] { nemesis.Run(); });
+
+  // 5. Let the faulty phase run its course, then drain.
+  SleepMicros(options.duration);
+  nemesis_thread.join();
+  shared.stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : client_threads) t.join();
+  for (auto& client : clients) client->Close();
+
+  // 6. Heal the world and wait for one identical state everywhere.
+  nemesis.Quiesce();
+  std::string converge_detail;
+  report.converged =
+      AwaitConvergence(cluster, options.settle, &converge_detail);
+  if (!report.converged) {
+    DPAXOS_WARN("realchaos: no convergence:" << converge_detail);
+  }
+
+  // 7. Node-side damage counters (direct, not proxied).
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    Result<std::string> stats = cluster.Stats(n);
+    if (!stats.ok()) continue;
+    report.tcp_reconnects += StatsU64(stats.value(), "tcp_reconnects");
+    report.tcp_dropped_frames += StatsU64(stats.value(), "tcp_frames_dropped");
+    report.tcp_malformed_frames +=
+        StatsU64(stats.value(), "tcp_malformed_frames");
+  }
+
+  // 8. Verdicts.
+  report.consistency = CheckHistory(shared.recorder.ops());
+  report.ops_invoked = shared.recorder.size();
+  report.ops_committed = shared.recorder.CountOutcome(HistoryOutcome::kOk);
+  report.ops_failed = shared.recorder.CountOutcome(HistoryOutcome::kFail);
+  report.ops_indeterminate =
+      shared.recorder.CountOutcome(HistoryOutcome::kIndeterminate);
+  report.latency = shared.latency;
+  for (const auto& client : clients) {
+    report.client_failovers += client->total_failovers();
+  }
+  report.proxy = proxy.stats();
+  report.nemesis_actions = nemesis.actions_executed();
+  report.nemesis_partitions = nemesis.partitions();
+  report.nemesis_pauses = nemesis.pauses();
+  report.nemesis_kills = nemesis.kills();
+  report.nemesis_restarts = nemesis.restarts();
+  report.nemesis_corrupt_bursts = nemesis.corrupt_bursts();
+  report.nemesis_log = nemesis.action_log();
+
+  st = cluster.ShutdownAll();
+  if (!st.ok() && report.error.empty()) {
+    report.error = "shutdown: " + st.ToString();
+  }
+  proxy.Stop();
+  return report;
+}
+
+std::string RealChaosReport::Summary() const {
+  char buf[160];
+  std::string out;
+  snprintf(buf, sizeof(buf),
+           "ops=%llu ok=%llu fail=%llu indet=%llu failovers=%llu\n",
+           static_cast<unsigned long long>(ops_invoked),
+           static_cast<unsigned long long>(ops_committed),
+           static_cast<unsigned long long>(ops_failed),
+           static_cast<unsigned long long>(ops_indeterminate),
+           static_cast<unsigned long long>(client_failovers));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "latency under fault: p50=%.1fms p99=%.1fms max=%.1fms\n",
+           latency.P50Millis(), latency.P99Millis(), ToMillis(latency.Max()));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "proxy faults=%llu (dropped=%llu blackholed=%llu corrupted=%llu "
+           "delayed=%llu cut=%llu)\n",
+           static_cast<unsigned long long>(proxy.total_faults()),
+           static_cast<unsigned long long>(proxy.frames_dropped),
+           static_cast<unsigned long long>(proxy.frames_blackholed),
+           static_cast<unsigned long long>(proxy.frames_corrupted),
+           static_cast<unsigned long long>(proxy.frames_delayed),
+           static_cast<unsigned long long>(proxy.links_closed));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "nemesis actions=%llu (partitions=%llu pauses=%llu kills=%llu "
+           "restarts=%llu corrupt-bursts=%llu)\n",
+           static_cast<unsigned long long>(nemesis_actions),
+           static_cast<unsigned long long>(nemesis_partitions),
+           static_cast<unsigned long long>(nemesis_pauses),
+           static_cast<unsigned long long>(nemesis_kills),
+           static_cast<unsigned long long>(nemesis_restarts),
+           static_cast<unsigned long long>(nemesis_corrupt_bursts));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "node tcp: reconnects=%llu dropped=%llu malformed=%llu\n",
+           static_cast<unsigned long long>(tcp_reconnects),
+           static_cast<unsigned long long>(tcp_dropped_frames),
+           static_cast<unsigned long long>(tcp_malformed_frames));
+  out += buf;
+  out += consistency.Summary();
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  out += converged ? "converged: yes\n" : "converged: NO\n";
+  if (!error.empty()) out += "error: " + error + "\n";
+  out += ok() ? "REALCHAOS OK\n" : "REALCHAOS FAILED\n";
+  return out;
+}
+
+std::string RealChaosSectionJson(const RealChaosOptions& options,
+                                 const RealChaosReport& report) {
+  char buf[192];
+  std::string out = "{\n";
+  snprintf(buf, sizeof(buf),
+           "    \"mode\": \"%s\", \"schedule\": \"%s\", \"seed\": %llu, "
+           "\"duration_s\": %.1f,\n",
+           ProtocolModeName(options.mode), options.schedule.c_str(),
+           static_cast<unsigned long long>(options.seed),
+           static_cast<double>(options.duration) / 1e6);
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "    \"ops\": {\"invoked\": %llu, \"ok\": %llu, \"failed\": %llu, "
+           "\"indeterminate\": %llu, \"failovers\": %llu},\n",
+           static_cast<unsigned long long>(report.ops_invoked),
+           static_cast<unsigned long long>(report.ops_committed),
+           static_cast<unsigned long long>(report.ops_failed),
+           static_cast<unsigned long long>(report.ops_indeterminate),
+           static_cast<unsigned long long>(report.client_failovers));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "    \"latency_under_fault_ms\": {\"p50\": %.3f, \"p99\": %.3f, "
+           "\"max\": %.3f},\n",
+           report.latency.P50Millis(), report.latency.P99Millis(),
+           ToMillis(report.latency.Max()));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "    \"faults\": {\"total\": %llu, \"dropped\": %llu, "
+           "\"blackholed\": %llu, \"corrupted\": %llu, \"delayed\": %llu, "
+           "\"links_cut\": %llu,\n",
+           static_cast<unsigned long long>(report.proxy.total_faults()),
+           static_cast<unsigned long long>(report.proxy.frames_dropped),
+           static_cast<unsigned long long>(report.proxy.frames_blackholed),
+           static_cast<unsigned long long>(report.proxy.frames_corrupted),
+           static_cast<unsigned long long>(report.proxy.frames_delayed),
+           static_cast<unsigned long long>(report.proxy.links_closed));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "      \"partitions\": %llu, \"pauses\": %llu, \"kills\": %llu, "
+           "\"restarts\": %llu, \"corrupt_bursts\": %llu},\n",
+           static_cast<unsigned long long>(report.nemesis_partitions),
+           static_cast<unsigned long long>(report.nemesis_pauses),
+           static_cast<unsigned long long>(report.nemesis_kills),
+           static_cast<unsigned long long>(report.nemesis_restarts),
+           static_cast<unsigned long long>(report.nemesis_corrupt_bursts));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "    \"tcp\": {\"reconnects\": %llu, \"dropped_frames\": %llu, "
+           "\"malformed_frames\": %llu},\n",
+           static_cast<unsigned long long>(report.tcp_reconnects),
+           static_cast<unsigned long long>(report.tcp_dropped_frames),
+           static_cast<unsigned long long>(report.tcp_malformed_frames));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "    \"checkers\": {\"violations\": %llu, \"keys_checked\": %llu, "
+           "\"reads_checked\": %llu, \"writes_checked\": %llu},\n",
+           static_cast<unsigned long long>(report.consistency.violations.size()),
+           static_cast<unsigned long long>(report.consistency.keys_checked),
+           static_cast<unsigned long long>(report.consistency.reads_checked),
+           static_cast<unsigned long long>(report.consistency.writes_checked));
+  out += buf;
+  out += std::string("    \"converged\": ") +
+         (report.converged ? "true" : "false") + ",\n";
+  out += std::string("    \"ok\": ") + (report.ok() ? "true" : "false") +
+         "\n  }";
+  return out;
+}
+
+std::string MergeChaosIntoBenchJson(const std::string& existing,
+                                    const std::string& chaos_section) {
+  const std::string entry = "  \"chaos\": " + chaos_section;
+  // No (usable) existing document: emit a fresh one.
+  const size_t close = existing.rfind('}');
+  if (close == std::string::npos) {
+    return "{\n" + entry + "\n}\n";
+  }
+  std::string head = existing.substr(0, close);
+  // Strip a previous chaos section: from its key through its balanced
+  // closing brace (and one trailing comma/newline run, if present).
+  const size_t key = head.find("\"chaos\":");
+  if (key != std::string::npos) {
+    size_t start = head.find_last_not_of(" \t", key - 1);
+    start = (start == std::string::npos) ? 0 : start + 1;
+    size_t pos = head.find('{', key);
+    if (pos != std::string::npos) {
+      int depth = 0;
+      size_t end = pos;
+      for (; end < head.size(); ++end) {
+        if (head[end] == '{') ++depth;
+        if (head[end] == '}' && --depth == 0) break;
+      }
+      if (depth == 0) {
+        ++end;
+        while (end < head.size() &&
+               (head[end] == ',' || head[end] == '\n' || head[end] == ' ')) {
+          ++end;
+        }
+        head.erase(start, end - start);
+      }
+    }
+  }
+  // Ensure the preceding member is comma-terminated.
+  size_t last = head.find_last_not_of(" \t\n");
+  if (last != std::string::npos && head[last] != ',' && head[last] != '{') {
+    head.insert(last + 1, ",");
+  }
+  if (!head.empty() && head.back() != '\n') head += "\n";
+  return head + entry + "\n" + existing.substr(close);
+}
+
+}  // namespace dpaxos

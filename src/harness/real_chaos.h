@@ -1,0 +1,111 @@
+// End-to-end chaos for the real-network tier: a proxied multi-process
+// cluster (RealCluster behind a ChaosProxy), a pool of retrying
+// FailoverTcpClients recording a Jepsen-style history over the wall
+// clock, a RealNemesis executing a declarative fault schedule, and the
+// SAME Wing–Gong linearizability + session-guarantee checkers that
+// judge the simulator tier (src/harness/lin_checker.h). Shared by
+// tests/real_chaos_test.cc and `dpaxos_cli --experiment=realchaos`.
+#ifndef DPAXOS_HARNESS_REAL_CHAOS_H_
+#define DPAXOS_HARNESS_REAL_CHAOS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "harness/lin_checker.h"
+#include "net/tcp/chaos_proxy.h"
+#include "quorum/quorum_system.h"
+
+namespace dpaxos {
+
+struct RealChaosOptions {
+  /// Server binary to exec (tests pass DPAXOS_CLI_PATH; the CLI passes
+  /// /proc/self/exe).
+  std::string server_binary;
+  ProtocolMode mode = ProtocolMode::kLeaderZone;
+  /// RealNemesis schedule name (see RealNemesis::ScheduleNames()), or
+  /// "none" for a fault-free soak over the proxied links.
+  std::string schedule = "mixed";
+  uint64_t seed = 1;
+
+  uint32_t zones = 2;
+  uint32_t nodes_per_zone = 2;
+
+  uint32_t num_clients = 4;
+  /// Key-pool size. Sized so no key collects more than ~63 ops: the
+  /// per-key linearizability search is bitmask based and reports
+  /// over-long histories as failures (RunRealChaos widens the pool
+  /// automatically if duration/think_time would overflow it).
+  uint32_t num_keys = 32;
+  double read_fraction = 0.4;
+  /// Mean think time between a client's completion and its next op.
+  Duration think_time = 50 * kMillisecond;
+
+  /// Faulty phase length (nemesis horizon and workload span).
+  Duration duration = 10 * kSecond;
+  /// Post-quiesce budget for converging the appliers.
+  Duration settle = 30 * kSecond;
+
+  /// Per-operation failover budget (FailoverTcpClient overall timeout).
+  Duration op_timeout = 4 * kSecond;
+
+  /// Directory for per-node server logs; empty inherits stdio.
+  std::string log_dir;
+};
+
+struct RealChaosReport {
+  ConsistencyReport consistency;
+
+  uint64_t ops_invoked = 0;
+  uint64_t ops_committed = 0;
+  uint64_t ops_failed = 0;
+  uint64_t ops_indeterminate = 0;
+  uint64_t client_failovers = 0;  ///< endpoint rotations, all clients
+  Histogram latency;  ///< completed-op latency under fault (microseconds)
+
+  ChaosProxyStats proxy;       ///< fault-injection totals
+  uint64_t nemesis_actions = 0;
+  uint64_t nemesis_partitions = 0;
+  uint64_t nemesis_pauses = 0;
+  uint64_t nemesis_kills = 0;
+  uint64_t nemesis_restarts = 0;
+  uint64_t nemesis_corrupt_bursts = 0;
+  std::vector<std::string> nemesis_log;
+
+  /// Node-side TCP damage counters, summed post-quiesce (restarted
+  /// nodes reset theirs, so these are lower bounds under kill
+  /// schedules).
+  uint64_t tcp_reconnects = 0;
+  uint64_t tcp_dropped_frames = 0;
+  uint64_t tcp_malformed_frames = 0;
+
+  bool converged = false;  ///< all nodes reached one identical state
+  std::string error;       ///< non-empty if the run aborted early
+
+  bool ok() const {
+    return error.empty() && consistency.ok() && converged;
+  }
+  std::string Summary() const;
+};
+
+/// Run one real-network chaos scenario end to end.
+RealChaosReport RunRealChaos(const RealChaosOptions& options);
+
+/// The BENCH_realnet.json "chaos" section for one run (a complete JSON
+/// object value, no trailing newline).
+std::string RealChaosSectionJson(const RealChaosOptions& options,
+                                 const RealChaosReport& report);
+
+/// Splice `"chaos": <section>` into an existing BENCH_realnet.json
+/// document, replacing any previous chaos section. `existing` may be
+/// empty or unparseable — the result is then a fresh document holding
+/// only the chaos section. Pure string transform (unit-tested in
+/// tier-1); callers own file IO.
+std::string MergeChaosIntoBenchJson(const std::string& existing,
+                                    const std::string& chaos_section);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_REAL_CHAOS_H_

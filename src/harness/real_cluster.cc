@@ -67,12 +67,18 @@ std::string StatsField(const std::string& stats, const std::string& key) {
 RealCluster::RealCluster(RealClusterOptions options)
     : options_(std::move(options)) {
   DPAXOS_CHECK(!options_.server_binary.empty());
+  DPAXOS_CHECK(options_.listen_endpoints.empty() ||
+               options_.listen_endpoints.size() == num_nodes());
+  DPAXOS_CHECK(options_.peer_view.empty() ||
+               options_.peer_view.size() == num_nodes());
   pids_.assign(num_nodes(), -1);
+  paused_.assign(num_nodes(), 0);
 }
 
 RealCluster::~RealCluster() {
   for (NodeId n = 0; n < pids_.size(); ++n) {
     if (pids_[n] > 0) {
+      if (paused_[n]) kill(pids_[n], SIGCONT);
       kill(pids_[n], SIGKILL);
       waitpid(pids_[n], nullptr, 0);
       pids_[n] = -1;
@@ -81,10 +87,15 @@ RealCluster::~RealCluster() {
 }
 
 std::vector<std::string> RealCluster::BuildArgv(NodeId node) const {
+  // Each child sees its OWN slot as the real bind address; other slots
+  // come from peer_view when set (the chaos proxy's listeners), so every
+  // inter-node dial crosses the proxy while the listener stays real.
   std::string cluster_csv;
   for (size_t i = 0; i < endpoints_.size(); ++i) {
     if (i > 0) cluster_csv += ",";
-    cluster_csv += endpoints_[i].ToString();
+    const bool proxied = !options_.peer_view.empty() && i != node;
+    cluster_csv +=
+        (proxied ? options_.peer_view[i] : endpoints_[i]).ToString();
   }
   std::vector<std::string> argv;
   argv.push_back(options_.server_binary);
@@ -165,11 +176,15 @@ Status RealCluster::WaitReady(NodeId node, Duration timeout) {
 
 Status RealCluster::Start(Duration ready_timeout) {
   DPAXOS_CHECK(endpoints_.empty());
-  Result<std::vector<uint16_t>> ports = PickFreeLoopbackPorts(num_nodes());
-  if (!ports.ok()) return ports.status();
-  endpoints_.reserve(num_nodes());
-  for (uint16_t port : ports.value()) {
-    endpoints_.push_back(HostPort{"127.0.0.1", port});
+  if (!options_.listen_endpoints.empty()) {
+    endpoints_ = options_.listen_endpoints;
+  } else {
+    Result<std::vector<uint16_t>> ports = PickFreeLoopbackPorts(num_nodes());
+    if (!ports.ok()) return ports.status();
+    endpoints_.reserve(num_nodes());
+    for (uint16_t port : ports.value()) {
+      endpoints_.push_back(HostPort{"127.0.0.1", port});
+    }
   }
   for (NodeId n = 0; n < num_nodes(); ++n) {
     Status st = SpawnNode(n);
@@ -187,9 +202,40 @@ Status RealCluster::Kill(NodeId node) {
   if (pids_[node] <= 0) {
     return Status::FailedPrecondition("node not running");
   }
+  if (paused_[node]) {
+    // A stopped process still dies to SIGKILL, but clear the bookkeeping.
+    kill(pids_[node], SIGCONT);
+    paused_[node] = 0;
+  }
   kill(pids_[node], SIGKILL);
   waitpid(pids_[node], nullptr, 0);
   pids_[node] = -1;
+  return Status::OK();
+}
+
+Status RealCluster::Pause(NodeId node) {
+  DPAXOS_CHECK_LT(node, pids_.size());
+  if (pids_[node] <= 0) {
+    return Status::FailedPrecondition("node not running");
+  }
+  if (paused_[node]) return Status::AlreadyExists("node already paused");
+  if (kill(pids_[node], SIGSTOP) != 0) {
+    return Status::Unavailable(std::string("SIGSTOP: ") + strerror(errno));
+  }
+  paused_[node] = 1;
+  return Status::OK();
+}
+
+Status RealCluster::Resume(NodeId node) {
+  DPAXOS_CHECK_LT(node, pids_.size());
+  if (pids_[node] <= 0) {
+    return Status::FailedPrecondition("node not running");
+  }
+  if (!paused_[node]) return Status::FailedPrecondition("node not paused");
+  if (kill(pids_[node], SIGCONT) != 0) {
+    return Status::Unavailable(std::string("SIGCONT: ") + strerror(errno));
+  }
+  paused_[node] = 0;
   return Status::OK();
 }
 
@@ -213,6 +259,11 @@ Result<std::string> RealCluster::Stats(NodeId node, Duration timeout) {
 Status RealCluster::ShutdownAll(Duration grace) {
   Status result = Status::OK();
   for (NodeId n = 0; n < pids_.size(); ++n) {
+    // A stopped child cannot run its SIGTERM handler; wake it first.
+    if (pids_[n] > 0 && paused_[n]) {
+      kill(pids_[n], SIGCONT);
+      paused_[n] = 0;
+    }
     if (pids_[n] > 0) kill(pids_[n], SIGTERM);
   }
   const Timestamp deadline = NowMillis() + grace / kMillisecond;

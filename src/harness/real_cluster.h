@@ -40,6 +40,17 @@ struct RealClusterOptions {
   /// Where child stdout/stderr goes: empty = inherit (interleaved on
   /// the test's output), else one `<dir>/node<N>.log` per child.
   std::string log_dir;
+  /// Pre-assigned listen endpoints (one per node, in NodeId order).
+  /// Empty = Start() picks free loopback ports itself. Chaos harnesses
+  /// pre-pick so a ChaosProxy can be built around the real addresses
+  /// before any child spawns.
+  std::vector<HostPort> listen_endpoints;
+  /// What node i dials to reach node j (j != i): peer_view[j]. Empty =
+  /// the real listen endpoints. Pointing this at ChaosProxy::endpoints()
+  /// routes every inter-node link through the proxy; each node still
+  /// binds its own REAL endpoint (its own cluster slot is never
+  /// substituted).
+  std::vector<HostPort> peer_view;
 };
 
 /// \brief Owns N `dpaxos_cli --serve` child processes on 127.0.0.1.
@@ -59,12 +70,22 @@ class RealCluster {
   uint32_t num_nodes() const {
     return options_.zones * options_.nodes_per_zone;
   }
+  const RealClusterOptions& options() const { return options_; }
   const HostPort& endpoint(NodeId node) const { return endpoints_[node]; }
   bool alive(NodeId node) const { return pids_[node] > 0; }
+  bool paused(NodeId node) const { return paused_[node]; }
   pid_t pid(NodeId node) const { return pids_[node]; }
 
   /// SIGKILL one node (crash fault: no shutdown path runs).
   Status Kill(NodeId node);
+
+  /// SIGSTOP one node: the process is wedged mid-execution — sockets
+  /// stay open and accept()ed but nothing is read, which is a *hung*
+  /// server, not a dead one (clients need receive timeouts + failover
+  /// to survive it, unlike a crash's prompt RST/EOF).
+  Status Pause(NodeId node);
+  /// SIGCONT a paused node; it resumes exactly where it stopped.
+  Status Resume(NodeId node);
 
   /// Respawn a previously killed node with its original argv — same
   /// identity, same port, empty state. Its server pulls a snapshot from
@@ -86,6 +107,8 @@ class RealCluster {
   RealClusterOptions options_;
   std::vector<HostPort> endpoints_;
   std::vector<pid_t> pids_;
+  /// char, not bool: vector<bool> proxies break the &paused_[n] idiom.
+  std::vector<char> paused_;
 };
 
 /// Parse one `key=value ...` stats line (as served by the kStats op)

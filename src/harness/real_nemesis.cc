@@ -1,0 +1,258 @@
+#include "harness/real_nemesis.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace dpaxos {
+
+namespace {
+
+Timestamp NowMicros() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<Timestamp>(ts.tv_sec) * kSecond + ts.tv_nsec / 1000;
+}
+
+void SleepMicros(Duration us) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(us / kSecond);
+  ts.tv_nsec = static_cast<long>((us % kSecond) * 1000);
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+RealNemesis::RealNemesis(RealCluster* cluster, ChaosProxy* proxy,
+                         uint64_t seed)
+    : cluster_(cluster), proxy_(proxy), rng_(seed) {
+  DPAXOS_CHECK(cluster_ != nullptr);
+  DPAXOS_CHECK(proxy_ != nullptr);
+}
+
+RealNemesis& RealNemesis::Add(Duration at, Op op, double arg) {
+  steps_.push_back(Step{at, op, arg});
+  return *this;
+}
+
+std::vector<std::string> RealNemesis::ScheduleNames() {
+  return {"mixed", "partitions", "process", "lossy"};
+}
+
+bool RealNemesis::AddNamedSchedule(const std::string& name, Duration start,
+                                   Duration horizon) {
+  const uint32_t nodes = cluster_->num_nodes();
+  const uint32_t zones = cluster_->options().zones;
+  // Victims avoid node 0 (the leader hint; see the header) and the
+  // partitioned zone avoids zone 0 for the same reason.
+  const NodeId victim =
+      nodes > 1 ? 1 + static_cast<NodeId>(rng_.NextBounded(nodes - 1)) : 0;
+  const double vzone = zones > 1 ? static_cast<double>(zones - 1) : 0;
+  auto at = [&](double frac) {
+    return start + static_cast<Duration>(static_cast<double>(horizon) * frac);
+  };
+  if (name == "mixed") {
+    Add(at(0.05), Op::kDelayBurst, 15);
+    Add(at(0.15), Op::kPartitionZone, vzone);
+    Add(at(0.28), Op::kHeal);
+    Add(at(0.32), Op::kPauseNode, victim);
+    Add(at(0.44), Op::kResumeNode, victim);
+    Add(at(0.48), Op::kCloseLinks);
+    Add(at(0.52), Op::kKillNode, victim);
+    Add(at(0.58), Op::kCorruptBurst, 0.03);
+    Add(at(0.62), Op::kRestartNode, victim);  // rejoins through the burst
+    Add(at(0.74), Op::kClearFaults);
+    Add(at(0.78), Op::kDropBurst, 0.05);
+    Add(at(0.90), Op::kClearFaults);
+    return true;
+  }
+  if (name == "partitions") {
+    Add(at(0.10), Op::kPartitionZone, vzone);
+    Add(at(0.25), Op::kHeal);
+    Add(at(0.40), Op::kPartitionAsym, vzone);
+    Add(at(0.55), Op::kHeal);
+    Add(at(0.70), Op::kPartitionZone, vzone);
+    Add(at(0.85), Op::kHeal);
+    return true;
+  }
+  if (name == "process") {
+    Add(at(0.10), Op::kPauseNode, victim);
+    Add(at(0.25), Op::kResumeNode, victim);
+    Add(at(0.35), Op::kKillNode, victim);
+    Add(at(0.45), Op::kRestartNode, victim);
+    Add(at(0.60), Op::kPauseNode, victim);
+    Add(at(0.72), Op::kResumeNode, victim);
+    Add(at(0.80), Op::kCloseLinks);
+    return true;
+  }
+  if (name == "lossy") {
+    Add(at(0.05), Op::kDelayBurst, 25);
+    Add(at(0.25), Op::kDropBurst, 0.08);
+    Add(at(0.40), Op::kClearFaults);
+    Add(at(0.45), Op::kCorruptBurst, 0.05);
+    Add(at(0.60), Op::kClearFaults);
+    Add(at(0.65), Op::kThrottle, 256 * 1024);
+    Add(at(0.85), Op::kClearFaults);
+    return true;
+  }
+  return false;
+}
+
+NodeId RealNemesis::ClampNode(double arg) const {
+  const uint32_t nodes = cluster_->num_nodes();
+  NodeId node = static_cast<NodeId>(arg < 0 ? 0 : arg);
+  if (node >= nodes) node = nodes - 1;
+  return node;
+}
+
+void RealNemesis::Note(const std::string& what) {
+  action_log_.push_back(what);
+  DPAXOS_INFO("real-nemesis: " << what);
+}
+
+void RealNemesis::Execute(const Step& step) {
+  switch (step.op) {
+    case Op::kPartitionZone: {
+      const int32_t zone = static_cast<int32_t>(step.arg);
+      LinkSelector out;
+      out.src_zone = zone;
+      LinkSelector in;
+      in.dst_zone = zone;
+      LinkFault cut;
+      cut.partitioned = true;
+      partition_rules_.push_back(proxy_->AddFault(out, cut));
+      partition_rules_.push_back(proxy_->AddFault(in, cut));
+      ++partitions_;
+      Note("partition zone " + std::to_string(zone));
+      return;
+    }
+    case Op::kPartitionAsym: {
+      const int32_t zone = static_cast<int32_t>(step.arg);
+      LinkSelector in;
+      in.dst_zone = zone;
+      LinkFault cut;
+      cut.partitioned = true;
+      partition_rules_.push_back(proxy_->AddFault(in, cut));
+      ++partitions_;
+      Note("asymmetric partition into zone " + std::to_string(zone));
+      return;
+    }
+    case Op::kHeal: {
+      for (uint64_t id : partition_rules_) proxy_->RemoveFault(id);
+      partition_rules_.clear();
+      Note("heal partitions");
+      return;
+    }
+    case Op::kDelayBurst: {
+      LinkFault f;
+      f.latency = static_cast<Duration>(step.arg) * kMillisecond;
+      f.jitter = f.latency / 2;
+      proxy_->AddFault(LinkSelector{}, f);
+      Note("delay burst " + std::to_string(step.arg) + "ms");
+      return;
+    }
+    case Op::kDropBurst: {
+      LinkFault f;
+      f.drop_rate = step.arg;
+      proxy_->AddFault(LinkSelector{}, f);
+      Note("drop burst p=" + std::to_string(step.arg));
+      return;
+    }
+    case Op::kThrottle: {
+      LinkFault f;
+      f.bytes_per_sec = static_cast<uint64_t>(step.arg);
+      proxy_->AddFault(LinkSelector{}, f);
+      Note("throttle " + std::to_string(f.bytes_per_sec) + " B/s");
+      return;
+    }
+    case Op::kCorruptBurst: {
+      LinkFault f;
+      f.corrupt_rate = step.arg;
+      proxy_->AddFault(LinkSelector{}, f);
+      ++corrupt_bursts_;
+      Note("corruption burst p=" + std::to_string(step.arg));
+      return;
+    }
+    case Op::kClearFaults: {
+      proxy_->ClearFaults();
+      partition_rules_.clear();
+      Note("clear faults");
+      return;
+    }
+    case Op::kKillNode: {
+      const NodeId node = ClampNode(step.arg);
+      Status st = cluster_->Kill(node);
+      if (st.ok()) ++kills_;
+      Note("kill node " + std::to_string(node) +
+           (st.ok() ? "" : " (skipped: " + st.ToString() + ")"));
+      return;
+    }
+    case Op::kRestartNode: {
+      const NodeId node = ClampNode(step.arg);
+      // Readiness is probed on the node's REAL endpoint, so a standing
+      // proxy fault cannot make a healthy respawn look dead.
+      Status st = cluster_->Restart(node, 15 * kSecond);
+      if (st.ok()) ++restarts_;
+      Note("restart node " + std::to_string(node) +
+           (st.ok() ? "" : " (failed: " + st.ToString() + ")"));
+      return;
+    }
+    case Op::kPauseNode: {
+      const NodeId node = ClampNode(step.arg);
+      Status st = cluster_->Pause(node);
+      if (st.ok()) ++pauses_;
+      Note("pause node " + std::to_string(node) +
+           (st.ok() ? "" : " (skipped: " + st.ToString() + ")"));
+      return;
+    }
+    case Op::kResumeNode: {
+      const NodeId node = ClampNode(step.arg);
+      Status st = cluster_->Resume(node);
+      Note("resume node " + std::to_string(node) +
+           (st.ok() ? "" : " (skipped: " + st.ToString() + ")"));
+      return;
+    }
+    case Op::kCloseLinks: {
+      proxy_->CloseLinks(LinkSelector{});
+      Note("close all links");
+      return;
+    }
+  }
+}
+
+void RealNemesis::Run() {
+  std::stable_sort(
+      steps_.begin(), steps_.end(),
+      [](const Step& a, const Step& b) { return a.at < b.at; });
+  const Timestamp origin = NowMicros();
+  for (const Step& step : steps_) {
+    const Timestamp due = origin + step.at;
+    const Timestamp now = NowMicros();
+    if (due > now) SleepMicros(due - now);
+    Execute(step);
+  }
+}
+
+void RealNemesis::Quiesce() {
+  proxy_->ClearFaults();
+  partition_rules_.clear();
+  for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    if (cluster_->alive(n) && cluster_->paused(n)) {
+      cluster_->Resume(n);
+      Note("quiesce: resume node " + std::to_string(n));
+    }
+  }
+  for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    if (!cluster_->alive(n)) {
+      Status st = cluster_->Restart(n, 15 * kSecond);
+      Note("quiesce: restart node " + std::to_string(n) +
+           (st.ok() ? "" : " (failed: " + st.ToString() + ")"));
+    }
+  }
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,122 @@
+// RealNemesis: the real-network twin of harness/Nemesis.
+//
+// Drives faults against a live multi-process cluster from the same
+// declarative (at, op, arg) schedule format the sim nemesis uses —
+// network faults through a ChaosProxy (partitions, latency, loss,
+// corruption, throttling, link cuts) and process faults through the
+// RealCluster (SIGKILL + respawn, SIGSTOP/SIGCONT pauses). Unlike the
+// simulator there is no virtual clock to arm events on: Run() blocks a
+// dedicated harness thread and sleeps between steps on the wall clock,
+// so "deterministic" here means the *sequence* of actions replays
+// identically for a (schedule, seed) pair while their real timing
+// naturally wobbles.
+#ifndef DPAXOS_HARNESS_REAL_NEMESIS_H_
+#define DPAXOS_HARNESS_REAL_NEMESIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "harness/real_cluster.h"
+#include "net/tcp/chaos_proxy.h"
+
+namespace dpaxos {
+
+/// \brief Declarative fault driver for a proxied RealCluster.
+class RealNemesis {
+ public:
+  enum class Op : uint8_t {
+    kPartitionZone = 0,  // blackhole zone `arg` in both directions
+    kPartitionAsym,      // blackhole only traffic INTO zone `arg`
+    kHeal,               // remove standing partition rules (bursts stay)
+    kDelayBurst,         // +arg ms latency (plus arg/2 ms jitter), all links
+    kDropBurst,          // drop_rate = arg on all links
+    kThrottle,           // bytes_per_sec = arg on all links
+    kCorruptBurst,       // corrupt_rate = arg on all links (bit flips the
+                         // receiving FrameDecoder must reject)
+    kClearFaults,        // remove every proxy rule
+    kKillNode,           // SIGKILL node `arg` (stays down until restarted)
+    kRestartNode,        // respawn node `arg` (snapshot catch-up rejoin)
+    kPauseNode,          // SIGSTOP node `arg` (hung, not dead)
+    kResumeNode,         // SIGCONT node `arg`
+    kCloseLinks,         // hard-close every live proxied connection
+  };
+
+  struct Step {
+    Duration at = 0;  // relative to Run()
+    Op op = Op::kHeal;
+    double arg = 0;
+  };
+
+  /// `cluster` and `proxy` must outlive the nemesis. The proxy must be
+  /// the one carrying the cluster's peer_view links.
+  RealNemesis(RealCluster* cluster, ChaosProxy* proxy, uint64_t seed);
+
+  RealNemesis(const RealNemesis&) = delete;
+  RealNemesis& operator=(const RealNemesis&) = delete;
+
+  // --- schedule building ------------------------------------------------
+
+  RealNemesis& Add(Duration at, Op op, double arg = 0);
+
+  /// Append a named schedule over [start, start + horizon). All named
+  /// schedules spare node 0: the harness points every node's leader hint
+  /// there and runs without a failure detector, so impairing the hinted
+  /// leader would stall writes for the whole horizon instead of
+  /// exercising failover. Schedules:
+  ///   "mixed"      — one of everything: partition + heal, a pause, a
+  ///                  kill + restart with a corruption burst laid over
+  ///                  the rejoin, link churn, a drop burst (default)
+  ///   "partitions" — repeated zone isolation / heal cycles, one asym
+  ///   "process"    — kill/restart + pause/resume churn
+  ///   "lossy"      — latency, drop, corruption and throttle bursts
+  /// Returns false (and adds nothing) for an unknown name.
+  bool AddNamedSchedule(const std::string& name, Duration start,
+                        Duration horizon);
+  static std::vector<std::string> ScheduleNames();
+
+  // --- driving ----------------------------------------------------------
+
+  /// Execute every step in `at` order, sleeping on the wall clock
+  /// between them. Blocks until the last step ran; call from a dedicated
+  /// thread while clients run elsewhere.
+  void Run();
+
+  /// Undo standing faults: SIGCONT anything paused, respawn anything
+  /// dead, clear every proxy rule. Call after Run()'s thread is joined.
+  void Quiesce();
+
+  // --- introspection (read after the Run() thread is joined) ------------
+
+  const std::vector<std::string>& action_log() const { return action_log_; }
+  uint64_t actions_executed() const { return action_log_.size(); }
+  uint64_t partitions() const { return partitions_; }
+  uint64_t pauses() const { return pauses_; }
+  uint64_t kills() const { return kills_; }
+  uint64_t restarts() const { return restarts_; }
+  uint64_t corrupt_bursts() const { return corrupt_bursts_; }
+
+ private:
+  void Execute(const Step& step);
+  void Note(const std::string& what);
+  NodeId ClampNode(double arg) const;
+
+  RealCluster* cluster_;
+  ChaosProxy* proxy_;
+  Rng rng_;
+  std::vector<Step> steps_;
+  /// Standing partition rule ids, removed by kHeal.
+  std::vector<uint64_t> partition_rules_;
+  std::vector<std::string> action_log_;
+
+  uint64_t partitions_ = 0;
+  uint64_t pauses_ = 0;
+  uint64_t kills_ = 0;
+  uint64_t restarts_ = 0;
+  uint64_t corrupt_bursts_ = 0;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_REAL_NEMESIS_H_

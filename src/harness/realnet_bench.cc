@@ -148,6 +148,8 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
     if (!stats.ok()) continue;
     result.tcp_reconnects += StatsU64(stats.value(), "tcp_reconnects");
     result.tcp_frames_dropped += StatsU64(stats.value(), "tcp_frames_dropped");
+    result.tcp_malformed_frames +=
+        StatsU64(stats.value(), "tcp_malformed_frames");
     result.tcp_bytes_out += StatsU64(stats.value(), "tcp_bytes_out");
   }
 
@@ -207,9 +209,10 @@ std::string RealnetReportToJson(const RealnetBenchOptions& options,
     out += buf;
     snprintf(buf, sizeof(buf),
              "     \"tcp\": {\"reconnects\": %llu, \"frames_dropped\": %llu, "
-             "\"bytes_out\": %llu}}%s\n",
+             "\"malformed_frames\": %llu, \"bytes_out\": %llu}}%s\n",
              static_cast<unsigned long long>(r.tcp_reconnects),
              static_cast<unsigned long long>(r.tcp_frames_dropped),
+             static_cast<unsigned long long>(r.tcp_malformed_frames),
              static_cast<unsigned long long>(r.tcp_bytes_out),
              i + 1 < report.results.size() ? "," : "");
     out += buf;

@@ -45,6 +45,7 @@ struct RealnetModeResult {
   uint64_t checksum_match = 0;  ///< 1 iff restarted node converged
   uint64_t tcp_reconnects = 0;  ///< summed over surviving nodes
   uint64_t tcp_frames_dropped = 0;
+  uint64_t tcp_malformed_frames = 0;
   uint64_t tcp_bytes_out = 0;
 };
 

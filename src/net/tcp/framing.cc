@@ -53,6 +53,7 @@ std::string EncodeClientReplyFrame(const ClientReply& reply) {
   writer.PutU64(reply.request_id);
   writer.PutU8(reply.status_code);
   writer.PutString(reply.value);
+  writer.PutU64(reply.watermark);
   std::string frame;
   AppendFrame(body, &frame);
   return frame;
@@ -111,7 +112,7 @@ Result<ClientReply> ParseClientReply(std::string_view body) {
   ClientReply reply;
   if (!reader.ReadU64(&reply.request_id) ||
       !reader.ReadU8(&reply.status_code) || !reader.ReadString(&reply.value) ||
-      !reader.AtEnd()) {
+      !reader.ReadU64(&reply.watermark) || !reader.AtEnd()) {
     return FrameCorruption("malformed client reply");
   }
   return reply;

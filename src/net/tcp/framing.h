@@ -57,7 +57,7 @@ struct Hello {
 /// Client operation codes (ClientRequest::op).
 enum class ClientOp : uint8_t {
   kPut = 1,    ///< replicate key=value through consensus
-  kGet = 2,    ///< read the key from the serving node's state machine
+  kGet = 2,    ///< linearizable read (consensus barrier at the server)
   kStats = 3,  ///< server/runtime introspection (key/value unused)
 };
 
@@ -72,6 +72,10 @@ struct ClientReply {
   uint64_t request_id = 0;
   uint8_t status_code = 0;  ///< StatusCode cast to a byte (0 == OK)
   std::string value;
+  /// Applied-prefix length the serving node observed when answering.
+  /// Reads: the watermark the value was read at (session-guarantee
+  /// checking). Writes: the commit slot, 0 on failure.
+  uint64_t watermark = 0;
 };
 
 /// Append [length | body] to `out` (body supplied whole).

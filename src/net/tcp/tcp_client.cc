@@ -77,9 +77,16 @@ Status TcpClient::SendAll(std::string_view bytes, Timestamp deadline_ms) {
 
 Result<ClientReply> TcpClient::Call(ClientOp op, std::string_view key,
                                     std::string_view value, Duration timeout) {
+  return CallWithId(next_request_id_++, op, key, value, timeout);
+}
+
+Result<ClientReply> TcpClient::CallWithId(uint64_t request_id, ClientOp op,
+                                          std::string_view key,
+                                          std::string_view value,
+                                          Duration timeout) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
   ClientRequest req;
-  req.request_id = next_request_id_++;
+  req.request_id = request_id;
   req.op = op;
   req.key = std::string(key);
   req.value = std::string(value);
@@ -154,6 +161,100 @@ Result<std::string> TcpClient::Stats(Duration timeout) {
   Result<ClientReply> reply = Call(ClientOp::kStats, "", "", timeout);
   if (!reply.ok()) return reply.status();
   return reply->value;
+}
+
+namespace {
+
+Timestamp MonotonicMillis() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<Timestamp>(ts.tv_sec) * 1000 +
+         static_cast<Timestamp>(ts.tv_nsec) / 1'000'000;
+}
+
+void SleepMicros(Duration us) {
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(us / kSecond);
+  ts.tv_nsec = static_cast<long>((us % kSecond) * 1000);
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+FailoverTcpClient::FailoverTcpClient(uint64_t client_id,
+                                     std::vector<HostPort> endpoints)
+    : FailoverTcpClient(client_id, std::move(endpoints), Options()) {}
+
+FailoverTcpClient::FailoverTcpClient(uint64_t client_id,
+                                     std::vector<HostPort> endpoints,
+                                     Options options)
+    : endpoints_(std::move(endpoints)),
+      options_(options),
+      client_(client_id) {}
+
+FailoverTcpClient::CallResult FailoverTcpClient::Call(ClientOp op,
+                                                      std::string_view key,
+                                                      std::string_view value) {
+  CallResult result;
+  if (endpoints_.empty()) {
+    result.status = Status::FailedPrecondition("no endpoints");
+    return result;
+  }
+  const uint64_t request_id = next_request_id_++;
+  const Timestamp deadline_ms =
+      MonotonicMillis() + options_.overall_timeout / kMillisecond;
+  Status last = Status::Unavailable("never attempted");
+  auto rotate = [this, &result] {
+    client_.Close();
+    current_ = (current_ + 1) % endpoints_.size();
+    ++result.failovers;
+    ++total_failovers_;
+  };
+  for (;;) {
+    const Timestamp now = MonotonicMillis();
+    if (now >= deadline_ms) break;
+    const Duration remaining = (deadline_ms - now) * kMillisecond;
+    ++result.attempts;
+    if (!client_.connected()) {
+      const Duration budget = options_.connect_timeout < remaining
+                                  ? options_.connect_timeout
+                                  : remaining;
+      Status st = client_.Connect(endpoints_[current_], budget);
+      if (!st.ok()) {
+        last = st;
+        rotate();
+        SleepMicros(options_.retry_backoff);
+        continue;
+      }
+    }
+    const Duration budget =
+        options_.attempt_timeout < remaining ? options_.attempt_timeout
+                                             : remaining;
+    Result<ClientReply> reply =
+        client_.CallWithId(request_id, op, key, value, budget);
+    // The connection was live, so the request (re)send at least reached
+    // the kernel: from here on a lost reply is indeterminate, not failed.
+    result.ever_sent = true;
+    if (reply.ok()) {
+      const StatusCode code = static_cast<StatusCode>(reply->status_code);
+      if (code == StatusCode::kOk ||
+          (op == ClientOp::kGet && code == StatusCode::kNotFound)) {
+        result.reply = std::move(reply).value();
+        result.status = Status::OK();
+        return result;
+      }
+      // Definitive server-side error (preempted proposal, forward
+      // failure, ...): another replica may fare better.
+      last = Status::Unavailable("server status " +
+                                 std::to_string(reply->status_code));
+    } else {
+      last = reply.status();
+    }
+    rotate();
+    SleepMicros(options_.retry_backoff);
+  }
+  result.status = last.ok() ? Status::TimedOut("call") : last;
+  return result;
 }
 
 }  // namespace dpaxos

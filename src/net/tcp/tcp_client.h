@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -40,6 +41,14 @@ class TcpClient {
   Result<ClientReply> Call(ClientOp op, std::string_view key,
                            std::string_view value, Duration timeout);
 
+  /// Call() with a caller-chosen request id. A retried write MUST reuse
+  /// its original id: the server dedups on (client_id, request_id), so a
+  /// resend after a timeout acks the original commit instead of applying
+  /// twice (FailoverTcpClient relies on this across replica failover).
+  Result<ClientReply> CallWithId(uint64_t request_id, ClientOp op,
+                                 std::string_view key, std::string_view value,
+                                 Duration timeout);
+
   // Convenience wrappers; non-OK server status codes surface as errors.
   Status Put(std::string_view key, std::string_view value, Duration timeout);
   Result<std::string> Get(std::string_view key, Duration timeout);
@@ -53,6 +62,69 @@ class TcpClient {
   uint64_t next_request_id_ = 1;
   int fd_ = -1;
   FrameDecoder decoder_;
+};
+
+/// \brief Retry-next-replica wrapper around TcpClient.
+///
+/// A plain TcpClient pointed at a hung server (SIGSTOP'd process, black-
+/// holed link) burns its whole timeout against one replica. This wrapper
+/// owns an endpoint list and one connection: every per-attempt timeout,
+/// connect failure or retryable server error closes the connection and
+/// rotates to the next endpoint until the overall deadline expires.
+/// Writes keep the SAME request id across every attempt, so the server's
+/// (client_id, seq) dedup turns at-least-once delivery into exactly-once
+/// application. Not thread-safe.
+class FailoverTcpClient {
+ public:
+  struct Options {
+    Duration connect_timeout = 1 * kSecond;
+    /// Per-attempt reply wait before rotating to the next endpoint.
+    Duration attempt_timeout = 1 * kSecond;
+    /// Whole-operation budget across all attempts and endpoints.
+    Duration overall_timeout = 8 * kSecond;
+    /// Pause between consecutive failed attempts (keeps a dead cluster
+    /// from being hammered in a hot loop).
+    Duration retry_backoff = 25 * kMillisecond;
+  };
+
+  /// Everything a caller (and a history recorder) needs to know about
+  /// one operation's fate.
+  struct CallResult {
+    Status status = Status::OK();
+    ClientReply reply;       ///< valid iff status.ok()
+    uint32_t attempts = 0;
+    uint32_t failovers = 0;  ///< endpoint rotations performed
+    /// True once any attempt reached a live connection: the request may
+    /// have taken effect even if no reply came back (indeterminate, not
+    /// failed, for history purposes).
+    bool ever_sent = false;
+  };
+
+  FailoverTcpClient(uint64_t client_id, std::vector<HostPort> endpoints);
+  FailoverTcpClient(uint64_t client_id, std::vector<HostPort> endpoints,
+                    Options options);
+
+  FailoverTcpClient(const FailoverTcpClient&) = delete;
+  FailoverTcpClient& operator=(const FailoverTcpClient&) = delete;
+
+  /// One operation, retried across replicas until success or the overall
+  /// deadline. A kGet answered with kNotFound is a successful read of an
+  /// absent key, not a retryable error.
+  CallResult Call(ClientOp op, std::string_view key, std::string_view value);
+
+  void Close() { client_.Close(); }
+  uint64_t client_id() const { return client_.client_id(); }
+  uint64_t total_failovers() const { return total_failovers_; }
+  /// Endpoint index the next attempt will dial (test introspection).
+  size_t current_endpoint() const { return current_; }
+
+ private:
+  std::vector<HostPort> endpoints_;
+  Options options_;
+  TcpClient client_;
+  size_t current_ = 0;
+  uint64_t next_request_id_ = 1;
+  uint64_t total_failovers_ = 0;
 };
 
 }  // namespace dpaxos

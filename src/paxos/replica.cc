@@ -770,14 +770,35 @@ void Replica::OnDecide(NodeId from, const DecideMsg& msg) {
   LearnDecided(msg.slot, msg.value);
 }
 
+// Upper bound on how far beyond the local watermark a decide slot may
+// land. Legitimate run-ahead is the in-flight window (tens of slots);
+// anything past this is a corrupt-but-parseable slot field, and feeding
+// it to DecidedLog would force an allocation proportional to the gap.
+constexpr SlotId kMaxDecideHorizon = 1u << 20;
+
 void Replica::LearnDecided(SlotId slot, const Value& value) {
   if (slot < log_start_) return;  // baked into an installed snapshot
+  if (slot > watermark_ && slot - watermark_ > kMaxDecideHorizon) {
+    // Reached from OnDecide/OnLearnReply with unauthenticated fields: a
+    // bit flip in the slot can clear any bound. Dropping a real decide
+    // is always safe (the anti-entropy sweep re-learns it); crashing on
+    // a deque resize of 2^50 cells is not.
+    ++counters_.suspect_msgs_rejected;
+    DPAXOS_WARN("node " << id_ << " rejected decide in implausible slot "
+                        << slot << " (watermark " << watermark_ << ")");
+    return;
+  }
   auto [it, inserted] = decided_.emplace(slot, value);
   if (!inserted) {
-    // Agreement invariant: a slot can never be decided twice with
-    // different values. A violation here is a protocol bug.
-    DPAXOS_CHECK_MSG(it->second == value,
-                     "conflicting decisions in slot " << slot);
+    if (it->second != value) {
+      // Either an agreement violation (protocol bug) or a corrupted
+      // value field on the wire — indistinguishable here, so drop and
+      // count rather than abort; the harnesses' cluster-checksum
+      // convergence check is the agreement oracle for both tiers.
+      ++counters_.suspect_msgs_rejected;
+      DPAXOS_WARN("node " << id_ << " dropped conflicting decision in slot "
+                          << slot);
+    }
     return;
   }
   // Advance over the contiguous decided run; each step is one O(1)

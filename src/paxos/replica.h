@@ -67,6 +67,10 @@ struct ProtocolCounters {
   uint64_t snapshot_corruptions_detected = 0;
   uint64_t catchup_failovers = 0;    ///< catch-ups retargeted to a new peer
   uint64_t log_compactions = 0;      ///< successful Compact() truncations
+  /// Structurally valid messages dropped as semantically implausible
+  /// (decide slot beyond the horizon, value conflict on a decided slot).
+  /// Nonzero under on-the-wire corruption; see LearnDecided.
+  uint64_t suspect_msgs_rejected = 0;
 };
 
 /// \brief One replica of one partition.

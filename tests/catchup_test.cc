@@ -314,6 +314,46 @@ TEST(CatchUpTest, BackoffAndFailoverPastDeadPeers) {
   EXPECT_TRUE(st.IsTimedOut());
 }
 
+// Corrupt-but-parseable messages (realnet bit flips survive the codec
+// when they land in value bytes or integer fields): the replica must
+// drop them, never abort or allocate proportionally to a forged slot.
+TEST(CatchUpTest, ImplausibleDecideSlotIsRejectedNotAllocated) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, PutValue(1, "a", "1")).ok());
+
+  Replica* follower = cluster.ReplicaInZone(3, 0);
+  const SlotId before = follower->DecidedWatermark();
+  // A bit flip high in the slot field: feeding this to the decided log
+  // would resize it by ~2^50 cells.
+  follower->HandleMessage(
+      leader, std::make_shared<DecideMsg>(0, SlotId{1} << 50,
+                                          PutValue(99, "k", "v")));
+  EXPECT_EQ(follower->DecidedWatermark(), before);
+  EXPECT_EQ(follower->counters().suspect_msgs_rejected, 1u);
+  EXPECT_EQ(follower->decided().count(SlotId{1} << 50), 0u);
+}
+
+TEST(CatchUpTest, ConflictingDecideIsDroppedNotFatal) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  ASSERT_TRUE(cluster.Commit(leader, PutValue(1, "a", "1")).ok());
+
+  // The leader learned its own decide; forge a conflicting one at it
+  // from any peer.
+  Replica* learner = cluster.replica(leader);
+  ASSERT_FALSE(learner->decided().empty());
+  const auto [slot, original] = *learner->decided().begin();
+
+  // Same slot, different value — a flipped value byte on the wire.
+  learner->HandleMessage(
+      cluster.NodeInZone(1), std::make_shared<DecideMsg>(0, slot, PutValue(2, "a", "X")));
+  EXPECT_EQ(learner->counters().suspect_msgs_rejected, 1u);
+  EXPECT_TRUE(learner->decided().at(slot) == original);
+}
+
 TEST(CatchUpTest, KvSnapshotRoundTrip) {
   KvStateMachine a;
   Transaction txn;

@@ -6,7 +6,10 @@
 #include <sstream>
 
 #include "harness/cluster.h"
+#include "harness/history.h"
+#include "harness/lin_checker.h"
 #include "harness/load_driver.h"
+#include "harness/real_chaos.h"
 #include "harness/table.h"
 
 namespace dpaxos {
@@ -224,6 +227,131 @@ TEST(TablePrinterTest, FmtPrecision) {
   EXPECT_EQ(Fmt(12.345, 1), "12.3");
   EXPECT_EQ(Fmt(12.345, 0), "12");
   EXPECT_EQ(Fmt(0.5, 2), "0.50");
+}
+
+// --- Consistency checkers against hand-crafted histories -------------
+//
+// The chaos tiers only ever feed the checkers histories a correct
+// system produced, so "the checkers pass" would also be true of
+// checkers that never flag anything. These pin the other half of the
+// contract: a known-bad history MUST come back with violations.
+
+HistoryOp Write(uint64_t client, uint64_t seq, const std::string& key,
+                const std::string& value, Timestamp invoke,
+                Timestamp complete, SlotId slot) {
+  HistoryOp op;
+  op.client_id = client;
+  op.seq = seq;
+  op.key = key;
+  op.written = value;
+  op.invoke = invoke;
+  op.complete = complete;
+  op.outcome = HistoryOutcome::kOk;
+  op.slot = slot;
+  return op;
+}
+
+HistoryOp Read(uint64_t client, uint64_t seq, const std::string& key,
+               std::optional<std::string> observed, Timestamp invoke,
+               Timestamp complete, SlotId watermark) {
+  HistoryOp op;
+  op.client_id = client;
+  op.seq = seq;
+  op.is_read = true;
+  op.key = key;
+  op.observed = std::move(observed);
+  op.invoke = invoke;
+  op.complete = complete;
+  op.outcome = HistoryOutcome::kOk;
+  op.observed_watermark = watermark;
+  return op;
+}
+
+// The classic partition scenario: v2 is acknowledged before the read
+// starts, but a replica that missed the decide traffic during the
+// partition still serves v1 after the heal. Real-time precedence makes
+// that non-linearizable.
+TEST(LinCheckerTest, StaleReadAfterPartitionHealIsFlagged) {
+  std::vector<HistoryOp> ops;
+  ops.push_back(Write(1, 1, "k", "v1", 0, 10, 5));
+  ops.push_back(Write(1, 2, "k", "v2", 20, 30, 6));
+  ops.push_back(Read(2, 1, "k", "v1", 40, 50, 5));  // stale!
+  ConsistencyReport report = CheckHistory(ops);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.keys_checked, 1u);
+}
+
+// The same interleaving where the read genuinely overlaps the second
+// write is fine: the read may linearize before it.
+TEST(LinCheckerTest, ConcurrentReadMayObserveEitherValue) {
+  std::vector<HistoryOp> ops;
+  ops.push_back(Write(1, 1, "k", "v1", 0, 10, 5));
+  ops.push_back(Write(1, 2, "k", "v2", 20, 40, 6));
+  ops.push_back(Read(2, 1, "k", "v1", 25, 35, 5));  // concurrent with v2
+  EXPECT_TRUE(CheckHistory(ops).ok());
+}
+
+TEST(LinCheckerTest, ObservedFailedWriteIsFlagged) {
+  std::vector<HistoryOp> ops;
+  HistoryOp failed = Write(1, 1, "k", "ghost", 0, 10, 0);
+  failed.outcome = HistoryOutcome::kFail;
+  ops.push_back(failed);
+  ops.push_back(Read(2, 1, "k", "ghost", 20, 30, 3));
+  EXPECT_FALSE(CheckHistory(ops).ok());
+}
+
+TEST(LinCheckerTest, ReadYourWritesViolationIsFlagged) {
+  std::vector<HistoryOp> ops;
+  ops.push_back(Write(1, 1, "k", "v1", 0, 10, 15));
+  // Same client's next read served from an applied prefix that predates
+  // its own acked write: failover to a lagging replica.
+  ops.push_back(Read(1, 2, "k", std::nullopt, 20, 30, 10));
+  ConsistencyReport report = CheckSessionGuarantees(ops);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_NE(report.violations[0].find("read-your-writes"), std::string::npos);
+}
+
+TEST(LinCheckerTest, MonotonicReadsViolationIsFlagged) {
+  std::vector<HistoryOp> ops;
+  ops.push_back(Read(1, 1, "k", "v5", 0, 10, 50));
+  ops.push_back(Read(1, 2, "k", "v3", 20, 30, 30));  // older prefix
+  ConsistencyReport report = CheckSessionGuarantees(ops);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations[0].find("monotonic reads"), std::string::npos);
+}
+
+// --- BENCH_realnet.json chaos-section splicing -----------------------
+
+TEST(RealChaosJsonTest, MergeIntoEmptyDocumentCreatesFreshOne) {
+  std::string merged = MergeChaosIntoBenchJson("", "{\"ok\": true}");
+  EXPECT_NE(merged.find("\"chaos\": {\"ok\": true}"), std::string::npos);
+  EXPECT_EQ(merged.front(), '{');
+  EXPECT_EQ(merged[merged.size() - 2], '}');  // trailing newline after }
+}
+
+TEST(RealChaosJsonTest, MergePreservesExistingMembers) {
+  const std::string existing =
+      "{\n  \"suite\": \"realnet\",\n  \"modes\": [1, 2]\n}\n";
+  std::string merged = MergeChaosIntoBenchJson(existing, "{\"a\": 1}");
+  EXPECT_NE(merged.find("\"suite\": \"realnet\""), std::string::npos);
+  EXPECT_NE(merged.find("\"modes\": [1, 2],"), std::string::npos)
+      << "comma not added before spliced section:\n" << merged;
+  EXPECT_NE(merged.find("\"chaos\": {\"a\": 1}"), std::string::npos);
+}
+
+TEST(RealChaosJsonTest, MergeReplacesPriorChaosSection) {
+  const std::string existing =
+      "{\n  \"suite\": \"realnet\",\n  \"chaos\": {\"old\": {\"x\": 1}}\n}\n";
+  std::string merged = MergeChaosIntoBenchJson(existing, "{\"new\": 2}");
+  EXPECT_EQ(merged.find("\"old\""), std::string::npos)
+      << "stale chaos section survived:\n" << merged;
+  EXPECT_NE(merged.find("\"chaos\": {\"new\": 2}"), std::string::npos);
+  EXPECT_NE(merged.find("\"suite\": \"realnet\""), std::string::npos);
+  // Merging twice is idempotent modulo the section payload.
+  std::string again = MergeChaosIntoBenchJson(merged, "{\"new\": 3}");
+  EXPECT_EQ(again.find("\"new\": 2"), std::string::npos);
+  EXPECT_NE(again.find("\"chaos\": {\"new\": 3}"), std::string::npos);
 }
 
 }  // namespace

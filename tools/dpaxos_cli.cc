@@ -27,7 +27,9 @@
 #include "harness/load_driver.h"
 #include "harness/nemesis.h"
 #include "harness/node_server.h"
+#include "harness/real_chaos.h"
 #include "harness/real_cluster.h"
+#include "harness/real_nemesis.h"
 #include "harness/realnet_bench.h"
 #include "harness/simperf.h"
 #include "harness/table.h"
@@ -101,7 +103,8 @@ struct CliOptions {
 
 void Usage() {
   std::cout <<
-      "usage: dpaxos_cli [--experiment=load|election|chaos|simperf|realnet]\n"
+      "usage: dpaxos_cli [--experiment=load|election|chaos|simperf|realnet|\n"
+      "                    realchaos]\n"
       "       dpaxos_cli --serve --node=N --cluster=HOST:PORT,...\n"
       "       dpaxos_cli --client --connect=HOST:PORT [ops...]\n"
       "  --mode=leaderzone|delegate|fpaxos|multipaxos|leaderless\n"
@@ -136,6 +139,12 @@ void Usage() {
       "  --requests=N           measured puts per mode (default 10000)\n"
       "  --logdir=DIR           per-node server logs (default: inherit)\n"
       "  --out=PATH             JSON output (default BENCH_realnet.json)\n"
+      "realchaos experiment (proxied cluster + nemesis + checkers):\n"
+      "  --schedule=NAME        mixed|partitions|process|lossy|none\n"
+      "  --clients=N --keys=N --reads=F --duration=SECONDS\n"
+      "  --logdir=DIR           per-node server logs (default: inherit)\n"
+      "  --out=PATH             BENCH json to merge the chaos section\n"
+      "                         into (default BENCH_realnet.json)\n"
       "real-network server (see docs/realnet.md):\n"
       "  --serve --node=N --cluster=HOST:PORT,...   run one node\n"
       "  --zones=Z              zone count (nodes split evenly)\n"
@@ -605,6 +614,67 @@ int RunRealnetCli(const CliOptions& o) {
   return 0;
 }
 
+int RunRealChaosCli(const CliOptions& o, ProtocolMode mode) {
+  if (o.schedule != "none") {
+    const auto names = RealNemesis::ScheduleNames();
+    if (std::find(names.begin(), names.end(), o.schedule) == names.end()) {
+      std::cerr << "unknown --schedule " << o.schedule
+                << " (realchaos schedules: mixed|partitions|process|lossy)\n";
+      return 2;
+    }
+  }
+  RealChaosOptions chaos;
+  chaos.server_binary = "/proc/self/exe";
+  chaos.mode = mode;
+  chaos.schedule = o.schedule;
+  chaos.seed = o.seed;
+  chaos.num_clients = o.clients;
+  chaos.num_keys = std::max(o.keys, 32u);
+  if (o.reads > 0) chaos.read_fraction = o.reads;
+  chaos.duration = o.duration;
+  chaos.log_dir = o.log_dir;
+  std::cout << "== dpaxos_cli: realchaos / " << ProtocolModeName(mode)
+            << ", schedule=" << chaos.schedule << ", " << chaos.zones
+            << " zones x " << chaos.nodes_per_zone
+            << " proxied nodes, seed=" << chaos.seed << "\n\n";
+  const RealChaosReport report = RunRealChaos(chaos);
+  if (!report.nemesis_log.empty()) {
+    std::cout << "nemesis actions:\n";
+    for (const std::string& line : report.nemesis_log) {
+      std::cout << "  " << line << "\n";
+    }
+    std::cout << "\n";
+  }
+  for (const std::string& violation : report.consistency.violations) {
+    std::cout << "VIOLATION: " << violation << "\n";
+  }
+  std::cout << report.Summary() << "\n";
+
+  // The chaos soak cell rides in BENCH_realnet.json next to the perf
+  // rows rather than overwriting them.
+  const std::string json_path = o.out_set ? o.out : "BENCH_realnet.json";
+  if (!json_path.empty()) {
+    std::string existing;
+    {
+      std::ifstream in(json_path);
+      if (in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        existing = buf.str();
+      }
+    }
+    std::ofstream out_file(json_path);
+    if (!out_file) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out_file << MergeChaosIntoBenchJson(
+        existing, RealChaosSectionJson(chaos, report));
+    std::cout << "merged chaos section into " << json_path << "\n";
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int RunSimperfCli(const CliOptions& o) {
   if (o.shards > 0) return RunSimperfShardedCli(o);
   SimperfOptions options;
@@ -662,7 +732,8 @@ int main(int argc, char** argv) {
   // or output produced — a typo must not half-run something else.
   if (options.experiment != "load" && options.experiment != "election" &&
       options.experiment != "chaos" && options.experiment != "simperf" &&
-      options.experiment != "realnet") {
+      options.experiment != "realnet" &&
+      options.experiment != "realchaos") {
     std::cerr << "unknown --experiment " << options.experiment << "\n";
     Usage();
     return 2;
@@ -677,6 +748,9 @@ int main(int argc, char** argv) {
   }
   if (options.experiment == "realnet") {
     return RunRealnetCli(options);
+  }
+  if (options.experiment == "realchaos") {
+    return RunRealChaosCli(options, mode.value());
   }
 
   ClusterOptions cluster_options;
