@@ -19,7 +19,8 @@ cmake -B "$BUILD_DIR" -S . -DDPAXOS_SANITIZE=address
 cmake --build "$BUILD_DIR" \
     --target snapshot_test wire_fuzz_test wire_test catchup_test \
              restart_test chaos_test soak_test \
-             chaos_proxy_test real_chaos_test dpaxos_cli -j"$(nproc)"
+             chaos_proxy_test real_chaos_test mpsc_queue_test \
+             transport_test dpaxos_cli -j"$(nproc)"
 
 # abort_on_error so the first report fails the gate instead of running on
 # poisoned state; detect_leaks covers the long-lived harness allocations.
@@ -37,5 +38,10 @@ export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1 ${ASAN_OPTIONS:-}"
 # SIGSTOP rotation exercises partial-read teardown.
 "$BUILD_DIR/tests/chaos_proxy_test"
 "$BUILD_DIR/tests/real_chaos_test" --gtest_filter='*Failover*'
+# Serving-path plumbing: the MPSC queue behind PostTask (node lifetime
+# across producer/consumer threads) and the writev gather path (iovec
+# construction over the outbound frame deque, partial-write walks).
+"$BUILD_DIR/tests/mpsc_queue_test"
+"$BUILD_DIR/tests/transport_test" --gtest_filter='TcpTransportTest.*'
 
 echo "asan_check: PASS (no memory errors reported)"

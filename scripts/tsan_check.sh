@@ -14,7 +14,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DDPAXOS_SANITIZE=thread
-cmake --build "$BUILD_DIR" --target shard_runner_test bench_simperf -j"$(nproc)"
+cmake --build "$BUILD_DIR" \
+    --target shard_runner_test bench_simperf mpsc_queue_test -j"$(nproc)"
 
 # halt_on_error so the first race fails the gate instead of scrolling by.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -22,5 +23,8 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/shard_runner_test"
 "$BUILD_DIR/bench/bench_simperf" --smoke --shards=4 --threads=4 \
     --out="$BUILD_DIR/BENCH_simperf_tsan_smoke.json"
+# Multi-producer contention on the queue behind EventLoop::PostTask —
+# the reactor pool's inbound handoff rides entirely on its ordering.
+"$BUILD_DIR/tests/mpsc_queue_test"
 
 echo "tsan_check: PASS (no data races reported)"

@@ -36,6 +36,7 @@ class Histogram {
 
   double P50Millis() const { return ToMillis(Percentile(50)); }
   double P99Millis() const { return ToMillis(Percentile(99)); }
+  double P999Millis() const { return ToMillis(Percentile(99.9)); }
 
   /// One-line summary, e.g. "n=120 mean=12.1ms p50=11.9ms p99=13.4ms".
   std::string Summary() const;

@@ -28,7 +28,11 @@ std::string PerfCounters::ToString() const {
       << " frames_in=" << tcp_frames_in << " frames_out=" << tcp_frames_out
       << " frames_dropped=" << tcp_frames_dropped
       << " reconnects=" << tcp_reconnects << " accepts=" << tcp_accepts
-      << " malformed=" << tcp_malformed_frames;
+      << " malformed=" << tcp_malformed_frames
+      << " writev_calls=" << tcp_writev_calls
+      << " frames_coalesced=" << tcp_frames_coalesced << "\n"
+      << "reactor: rounds_busy=" << reactor_rounds_busy
+      << " rounds_idle=" << reactor_rounds_idle;
   return out.str();
 }
 

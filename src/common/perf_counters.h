@@ -58,7 +58,11 @@ namespace dpaxos {
   X(tcp_frames_dropped)               \
   X(tcp_reconnects)                   \
   X(tcp_accepts)                      \
-  X(tcp_malformed_frames)
+  X(tcp_malformed_frames)             \
+  X(tcp_writev_calls)                 \
+  X(tcp_frames_coalesced)             \
+  X(reactor_rounds_busy)              \
+  X(reactor_rounds_idle)
 
 /// \brief Per-thread hot-path counters (see ThreadPerfCounters()).
 struct PerfCounters {
@@ -116,6 +120,18 @@ struct PerfCounters {
   /// Inbound protocol violations (oversized/zero-length/undecodable
   /// frames); each one closes its connection.
   uint64_t tcp_malformed_frames = 0;
+  /// Gather-write syscalls (sendmsg with an iovec batch). The ratio
+  /// tcp_frames_out / tcp_writev_calls is the frames-per-syscall metric
+  /// the realnet bench tracks.
+  uint64_t tcp_writev_calls = 0;
+  /// Frames that shared a gather-write syscall with at least one other
+  /// frame (counted as batch_size - 1 per syscall, mirroring the sim
+  /// transport's deliveries_coalesced).
+  uint64_t tcp_frames_coalesced = 0;
+  /// Reactor-thread poll rounds that dispatched work vs. slept (the
+  /// busy-vs-idle split for multi-reactor NodeServers).
+  uint64_t reactor_rounds_busy = 0;
+  uint64_t reactor_rounds_idle = 0;
 
   /// Counter-wise difference (this - since); used for warm-window deltas.
   PerfCounters DeltaSince(const PerfCounters& since) const {

@@ -1,0 +1,78 @@
+// Open-loop asynchronous client driver for the real-network tier.
+//
+// The blocking TcpClient measures a closed loop of depth 1: each request
+// waits for its predecessor, so the reported "throughput" is really
+// 1/latency and percentiles hide every queueing effect. LoadGen instead
+// drives an EventLoop with many connections, each pipelining hundreds of
+// in-flight puts, in one of two modes:
+//
+//   rate == 0  closed-loop at the configured pipeline depth: every reply
+//              immediately funds the next request. Measures capacity
+//              (the saturation throughput of the serving path).
+//   rate  > 0  open-loop at `rate` ops/s: arrivals follow the clock, NOT
+//              the server. Latency is measured from each request's
+//              INTENDED arrival time, so coordinated omission shows up
+//              as queueing delay instead of silently vanishing — the
+//              honest p50/p99/p999 the bench records.
+//
+// Connection errors fail the in-flight requests (counted, not retried)
+// and redial with a short backoff, which is what lets the soak cell run
+// through RealNemesis fault schedules without wedging.
+#ifndef DPAXOS_HARNESS_LOAD_GEN_H_
+#define DPAXOS_HARNESS_LOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "net/tcp/socket_util.h"
+
+namespace dpaxos {
+
+struct LoadGenOptions {
+  /// Target endpoints; connections are spread round-robin across them.
+  std::vector<HostPort> endpoints;
+  uint32_t connections = 4;
+  /// Closed-loop depth per connection (rate == 0), and the top-up bound
+  /// that keeps an open-loop run from buffering unboundedly when the
+  /// server falls behind for the whole run.
+  uint32_t pipeline = 256;
+  /// Offered load in ops/s across all connections; 0 = closed loop.
+  double rate = 0;
+  /// Stop after this many completed (ok + failed) ops. 0 = run for
+  /// `duration` instead.
+  uint64_t total_ops = 10000;
+  /// Wall-clock run length for duration mode (total_ops == 0).
+  Duration duration = 0;
+  /// Hard overall deadline; expiring marks the result !completed.
+  Duration timeout = 60 * kSecond;
+  std::string key_prefix = "k";
+  uint32_t key_space = 512;
+  /// HELLO client ids are client_id_base + connection index; keep ranges
+  /// disjoint from other clients sharing the cluster (dedup keys on it).
+  uint64_t client_id_base = 7100;
+  uint64_t seed = 1;
+};
+
+struct LoadGenResult {
+  uint64_t ops_ok = 0;
+  uint64_t ops_failed = 0;   ///< error replies + ops failed by dead conns
+  uint64_t conn_errors = 0;  ///< connection-level failures observed
+  double elapsed_seconds = 0;
+  double achieved_ops = 0;  ///< ops_ok / elapsed
+  double offered_ops = 0;   ///< the configured rate (0 for closed loop)
+  Histogram latency;        ///< from intended arrival to reply
+  /// False when the overall timeout expired before the workload did.
+  bool completed = false;
+};
+
+/// Run the workload to completion on the calling thread (it owns an
+/// internal EventLoop for the duration of the call).
+Result<LoadGenResult> RunLoadGen(const LoadGenOptions& options);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_HARNESS_LOAD_GEN_H_

@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "net/tcp/event_loop.h"
+#include "net/tcp/reactor_pool.h"
 #include "net/tcp/tcp_transport.h"
 #include "net/topology.h"
 #include "paxos/node_host.h"
@@ -63,6 +64,10 @@ struct NodeServerOptions {
   /// follower that lost frames during a partition stays wedged forever
   /// once the fault clears. 0 disables.
   Duration anti_entropy_interval = 1 * kSecond;
+  /// Reactor threads serving accepted connections (see
+  /// net/tcp/reactor_pool.h). 0 = single-threaded: every socket lives on
+  /// the replica's own loop, exactly the pre-multi-reactor behavior.
+  uint32_t reactors = 0;
 };
 
 /// \brief One-process replica server speaking the net/tcp framing.
@@ -102,6 +107,9 @@ class NodeServer {
  private:
   void OnClientRequest(uint64_t conn, uint64_t client_id,
                        const ClientRequest& req);
+  /// Route a reply to whoever owns the connection: reactor tokens go to
+  /// the pool, plain ids to the transport.
+  void SendReply(uint64_t conn, const ClientReply& reply);
   /// Serve a read once the local applier reaches `slot` (the read
   /// barrier's commit position); polls the applier until `deadline`.
   void AnswerReadAtSlot(uint64_t conn, uint64_t request_id, std::string key,
@@ -125,6 +133,9 @@ class NodeServer {
   uint64_t sweep_count_ = 0;
   uint64_t catchup_repairs_ = 0;
   bool started_ = false;
+  /// Declared LAST: destroyed first, which joins the reactor threads
+  /// while the loop and transport they post to are still alive.
+  std::unique_ptr<ReactorPool> reactors_;
 };
 
 }  // namespace dpaxos

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "harness/load_gen.h"
 #include "harness/real_cluster.h"
 #include "harness/real_nemesis.h"
 #include "net/tcp/tcp_client.h"
@@ -235,12 +236,47 @@ RealChaosReport RunRealChaos(const RealChaosOptions& options) {
   }
   std::thread nemesis_thread([&nemesis] { nemesis.Run(); });
 
+  // 4b. Optional sustained-load soak: the open-loop async driver runs
+  // against the same proxied endpoints for the whole faulty phase, on a
+  // disjoint key prefix and client-id range so the checked history stays
+  // untouched. It redials through kills/partitions on its own.
+  Result<LoadGenResult> soak = LoadGenResult{};
+  std::thread soak_thread;
+  if (options.soak_connections > 0) {
+    LoadGenOptions sopts;
+    sopts.endpoints = proxy.endpoints();
+    sopts.connections = options.soak_connections;
+    sopts.pipeline = options.soak_pipeline;
+    sopts.rate = options.soak_rate;
+    sopts.total_ops = 0;
+    sopts.duration = options.duration;
+    sopts.timeout = options.duration + 30 * kSecond;
+    sopts.key_prefix = "soak";
+    sopts.key_space = 64;
+    sopts.client_id_base = 500;
+    sopts.seed = options.seed + 104729;
+    soak_thread = std::thread(
+        [&soak, sopts] { soak = RunLoadGen(sopts); });
+  }
+
   // 5. Let the faulty phase run its course, then drain.
   SleepMicros(options.duration);
   nemesis_thread.join();
   shared.stop.store(true, std::memory_order_relaxed);
   for (std::thread& t : client_threads) t.join();
   for (auto& client : clients) client->Close();
+  if (soak_thread.joinable()) {
+    soak_thread.join();
+    if (soak.ok()) {
+      report.soak_ops_ok = soak->ops_ok;
+      report.soak_ops_failed = soak->ops_failed;
+      report.soak_conn_errors = soak->conn_errors;
+      report.soak_achieved_ops = soak->achieved_ops;
+      report.soak_p99_ms = soak->latency.P99Millis();
+    } else if (report.error.empty()) {
+      report.error = "soak: " + soak.status().ToString();
+    }
+  }
 
   // 6. Heal the world and wait for one identical state everywhere.
   nemesis.Quiesce();
@@ -330,6 +366,16 @@ std::string RealChaosReport::Summary() const {
            static_cast<unsigned long long>(tcp_dropped_frames),
            static_cast<unsigned long long>(tcp_malformed_frames));
   out += buf;
+  if (soak_ops_ok + soak_ops_failed > 0) {
+    snprintf(buf, sizeof(buf),
+             "soak: ok=%llu failed=%llu conn_errors=%llu achieved=%.1f/s "
+             "p99=%.1fms\n",
+             static_cast<unsigned long long>(soak_ops_ok),
+             static_cast<unsigned long long>(soak_ops_failed),
+             static_cast<unsigned long long>(soak_conn_errors),
+             soak_achieved_ops, soak_p99_ms);
+    out += buf;
+  }
   out += consistency.Summary();
   if (!out.empty() && out.back() != '\n') out += '\n';
   out += converged ? "converged: yes\n" : "converged: NO\n";
@@ -398,6 +444,16 @@ std::string RealChaosSectionJson(const RealChaosOptions& options,
            static_cast<unsigned long long>(report.consistency.keys_checked),
            static_cast<unsigned long long>(report.consistency.reads_checked),
            static_cast<unsigned long long>(report.consistency.writes_checked));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "    \"soak\": {\"connections\": %u, \"rate_ops\": %.1f, "
+           "\"ok\": %llu, \"failed\": %llu, \"conn_errors\": %llu, "
+           "\"achieved_ops\": %.1f, \"p99_ms\": %.3f},\n",
+           options.soak_connections, options.soak_rate,
+           static_cast<unsigned long long>(report.soak_ops_ok),
+           static_cast<unsigned long long>(report.soak_ops_failed),
+           static_cast<unsigned long long>(report.soak_conn_errors),
+           report.soak_achieved_ops, report.soak_p99_ms);
   out += buf;
   out += std::string("    \"converged\": ") +
          (report.converged ? "true" : "false") + ",\n";

@@ -51,6 +51,15 @@ struct RealChaosOptions {
   /// Per-operation failover budget (FailoverTcpClient overall timeout).
   Duration op_timeout = 4 * kSecond;
 
+  /// Sustained-load soak riding alongside the checked workload: an
+  /// open-loop LoadGen (harness/load_gen.h) against the proxied
+  /// endpoints for the whole faulty phase. 0 connections disables. Soak
+  /// traffic uses its own key prefix ("soak") and client-id range, so it
+  /// pressures the serving path without polluting the checked history.
+  uint32_t soak_connections = 0;
+  uint32_t soak_pipeline = 64;
+  double soak_rate = 500;  ///< offered ops/s across soak connections
+
   /// Directory for per-node server logs; empty inherits stdio.
   std::string log_dir;
 };
@@ -80,6 +89,13 @@ struct RealChaosReport {
   uint64_t tcp_reconnects = 0;
   uint64_t tcp_dropped_frames = 0;
   uint64_t tcp_malformed_frames = 0;
+
+  /// Soak-driver results (zero when the soak was disabled).
+  uint64_t soak_ops_ok = 0;
+  uint64_t soak_ops_failed = 0;
+  uint64_t soak_conn_errors = 0;
+  double soak_achieved_ops = 0;
+  double soak_p99_ms = 0;
 
   bool converged = false;  ///< all nodes reached one identical state
   std::string error;       ///< non-empty if the run aborted early

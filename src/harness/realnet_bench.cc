@@ -3,8 +3,10 @@
 #include <time.h>
 
 #include <cstdio>
+#include <thread>
 
 #include "common/logging.h"
+#include "harness/load_gen.h"
 #include "harness/real_cluster.h"
 #include "net/tcp/tcp_client.h"
 
@@ -30,15 +32,15 @@ uint64_t StatsU64(const std::string& stats, const std::string& key) {
   return field.empty() ? 0 : strtoull(field.c_str(), nullptr, 10);
 }
 
-// Commit `count` puts through `client`, recording latency. Retries each
-// request until it commits (leader elections and forwards surface as
-// transient errors the first few times).
+// Commit `count` puts through `client`, retrying each request until it
+// commits (leader elections and forwards surface as transient errors the
+// first few times). Used for warmup and the degraded-cluster phase; the
+// measured phase runs LoadGen instead.
 Status CommitPuts(TcpClient& client, uint64_t count, uint64_t key_base,
-                  Histogram* latency, uint64_t* committed) {
+                  uint64_t* committed) {
   for (uint64_t i = 0; i < count; ++i) {
     const std::string key = "k" + std::to_string((key_base + i) % 512);
     const std::string value = "v" + std::to_string(key_base + i);
-    const Timestamp start = NowMicros();
     Status st;
     for (int attempt = 0; attempt < 50; ++attempt) {
       st = client.Put(key, value, 2 * kSecond);
@@ -49,8 +51,7 @@ Status CommitPuts(TcpClient& client, uint64_t count, uint64_t key_base,
       return Status::Unavailable("put " + std::to_string(key_base + i) +
                                  " never committed: " + st.ToString());
     }
-    if (latency != nullptr) latency->Add(NowMicros() - start);
-    ++(*committed);
+    if (committed != nullptr) ++(*committed);
   }
   return Status::OK();
 }
@@ -87,6 +88,10 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
   copts.leader_hint = 0;
   copts.enable_compaction = true;
   copts.log_dir = options.log_dir;
+  if (options.reactors > 0) {
+    copts.extra_args.push_back("--reactors=" +
+                               std::to_string(options.reactors));
+  }
   RealCluster cluster(copts);
   Status st = cluster.Start();
   if (!st.ok()) return st;
@@ -94,21 +99,37 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
   RealnetModeResult result;
   result.mode = mode;
 
+  // Warmup with a blocking client: absorb the initial leader election so
+  // the measured phase starts against a settled cluster.
   TcpClient client(/*client_id=*/7001);
   st = client.Connect(cluster.endpoint(0), 2 * kSecond);
   if (!st.ok()) return st;
-
-  // Phase 1: measured load against a healthy 4-node cluster.
-  const Timestamp load_start = NowMicros();
-  st = CommitPuts(client, options.requests, 0, &result.latency,
-                  &result.committed);
+  st = CommitPuts(client, 8, 900000, nullptr);
   if (!st.ok()) return st;
-  result.elapsed_seconds =
-      static_cast<double>(NowMicros() - load_start) / 1e6;
-  result.throughput_ops = result.elapsed_seconds > 0
-                              ? static_cast<double>(result.committed) /
-                                    result.elapsed_seconds
-                              : 0;
+
+  // Phase 1: measured open-loop async load against the leader.
+  LoadGenOptions lg;
+  lg.endpoints = {cluster.endpoint(0)};
+  lg.connections = options.connections;
+  lg.pipeline = options.pipeline;
+  lg.rate = options.rate;
+  lg.total_ops = options.requests;
+  lg.timeout = 180 * kSecond;
+  lg.client_id_base = 7100;
+  lg.seed = options.seed;
+  Result<LoadGenResult> load = RunLoadGen(lg);
+  if (!load.ok()) return load.status();
+  if (!load->completed || load->ops_ok == 0) {
+    return Status::Unavailable(
+        "measured phase did not complete: ok=" + std::to_string(load->ops_ok) +
+        " failed=" + std::to_string(load->ops_failed));
+  }
+  result.measured_ops = load->ops_ok;
+  result.measured_ops_failed = load->ops_failed;
+  result.elapsed_seconds = load->elapsed_seconds;
+  result.throughput_ops = load->achieved_ops;
+  result.offered_ops = load->offered_ops;
+  result.latency = std::move(load->latency);
 
   // Phase 2: SIGKILL the last follower (zone 1 keeps a live node, so
   // ft{0,0} quorums in every mode survive), keep committing.
@@ -116,7 +137,7 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
   st = cluster.Kill(victim);
   if (!st.ok()) return st;
   st = CommitPuts(client, options.requests_while_down, options.requests,
-                  nullptr, &result.committed);
+                  &result.ops_while_down);
   if (!st.ok()) return st;
 
   // Phase 3: restart it with empty state. Compaction on the survivors
@@ -151,6 +172,9 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
     result.tcp_malformed_frames +=
         StatsU64(stats.value(), "tcp_malformed_frames");
     result.tcp_bytes_out += StatsU64(stats.value(), "tcp_bytes_out");
+    result.tcp_writev_calls += StatsU64(stats.value(), "tcp_writev_calls");
+    result.tcp_frames_coalesced +=
+        StatsU64(stats.value(), "tcp_frames_coalesced");
   }
 
   client.Close();
@@ -177,26 +201,36 @@ Result<RealnetBenchReport> RunRealnetBench(const RealnetBenchOptions& options) {
 
 std::string RealnetReportToJson(const RealnetBenchOptions& options,
                                 const RealnetBenchReport& report) {
-  char buf[256];
+  char buf[320];
   std::string out = "{\n  \"benchmark\": \"realnet\",\n";
   snprintf(buf, sizeof(buf),
-           "  \"requests_per_mode\": %llu,\n  \"modes\": [\n",
-           static_cast<unsigned long long>(options.requests));
+           "  \"requests_per_mode\": %llu,\n"
+           "  \"hardware_threads\": %u,\n  \"reactors\": %u,\n"
+           "  \"open_loop\": {\"connections\": %u, \"pipeline\": %u, "
+           "\"rate_ops\": %.1f},\n  \"modes\": [\n",
+           static_cast<unsigned long long>(options.requests),
+           std::thread::hardware_concurrency(), options.reactors,
+           options.connections, options.pipeline, options.rate);
   out += buf;
   for (size_t i = 0; i < report.results.size(); ++i) {
     const RealnetModeResult& r = report.results[i];
     snprintf(buf, sizeof(buf),
-             "    {\"mode\": \"%s\", \"committed\": %llu, "
-             "\"elapsed_s\": %.3f, \"throughput_ops\": %.1f,\n",
+             "    {\"mode\": \"%s\", \"measured_ops\": %llu, "
+             "\"measured_ops_failed\": %llu, \"ops_while_down\": %llu,\n"
+             "     \"elapsed_s\": %.3f, \"throughput_ops\": %.1f, "
+             "\"offered_ops\": %.1f,\n",
              ProtocolModeName(r.mode),
-             static_cast<unsigned long long>(r.committed), r.elapsed_seconds,
-             r.throughput_ops);
+             static_cast<unsigned long long>(r.measured_ops),
+             static_cast<unsigned long long>(r.measured_ops_failed),
+             static_cast<unsigned long long>(r.ops_while_down),
+             r.elapsed_seconds, r.throughput_ops, r.offered_ops);
     out += buf;
     snprintf(buf, sizeof(buf),
              "     \"latency_ms\": {\"mean\": %.3f, \"p50\": %.3f, "
-             "\"p99\": %.3f, \"max\": %.3f},\n",
+             "\"p99\": %.3f, \"p999\": %.3f, \"max\": %.3f},\n",
              r.latency.MeanMillis(), r.latency.P50Millis(),
-             r.latency.P99Millis(), ToMillis(r.latency.Max()));
+             r.latency.P99Millis(), r.latency.P999Millis(),
+             ToMillis(r.latency.Max()));
     out += buf;
     snprintf(buf, sizeof(buf),
              "     \"recovery\": {\"snapshots_installed\": %llu, "
@@ -207,14 +241,23 @@ std::string RealnetReportToJson(const RealnetBenchOptions& options,
              static_cast<unsigned long long>(r.leader_watermark),
              static_cast<unsigned long long>(r.checksum_match));
     out += buf;
+    const double frames_per_writev =
+        r.tcp_writev_calls > 0
+            ? static_cast<double>(r.tcp_writev_calls + r.tcp_frames_coalesced) /
+                  static_cast<double>(r.tcp_writev_calls)
+            : 0;
     snprintf(buf, sizeof(buf),
              "     \"tcp\": {\"reconnects\": %llu, \"frames_dropped\": %llu, "
-             "\"malformed_frames\": %llu, \"bytes_out\": %llu}}%s\n",
+             "\"malformed_frames\": %llu, \"bytes_out\": %llu,\n"
+             "      \"writev_calls\": %llu, \"frames_coalesced\": %llu, "
+             "\"frames_per_writev\": %.2f}}%s\n",
              static_cast<unsigned long long>(r.tcp_reconnects),
              static_cast<unsigned long long>(r.tcp_frames_dropped),
              static_cast<unsigned long long>(r.tcp_malformed_frames),
              static_cast<unsigned long long>(r.tcp_bytes_out),
-             i + 1 < report.results.size() ? "," : "");
+             static_cast<unsigned long long>(r.tcp_writev_calls),
+             static_cast<unsigned long long>(r.tcp_frames_coalesced),
+             frames_per_writev, i + 1 < report.results.size() ? "," : "");
     out += buf;
   }
   out += "  ],\n";

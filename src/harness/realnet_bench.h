@@ -1,9 +1,10 @@
 // Realnet benchmark: drives a real multi-process cluster (RealCluster)
-// through each protocol mode over loopback TCP, measures per-request
-// commit latency and throughput from a blocking client, then exercises
-// the crash path (SIGKILL a follower, keep committing, restart it,
-// verify it rejoins via snapshot transfer) and a clean SIGTERM
-// shutdown. Results land in BENCH_realnet.json.
+// through each protocol mode over loopback TCP. The measured phase runs
+// the open-loop async LoadGen (pipelined connections, honest
+// p50/p99/p999 from intended arrival times) against the leader; then the
+// crash path is exercised with a blocking client (SIGKILL a follower,
+// keep committing, restart it, verify it rejoins via snapshot transfer)
+// and a clean SIGTERM shutdown. Results land in BENCH_realnet.json.
 #ifndef DPAXOS_HARNESS_REALNET_BENCH_H_
 #define DPAXOS_HARNESS_REALNET_BENCH_H_
 
@@ -19,14 +20,22 @@ namespace dpaxos {
 struct RealnetBenchOptions {
   /// Server binary to exec (dpaxos_cli; the CLI passes /proc/self/exe).
   std::string server_binary;
-  /// Committed puts measured per mode (before the kill phase).
+  /// Client ops completed in the measured phase per mode.
   uint64_t requests = 10000;
-  /// Additional puts committed while the killed node is down.
+  /// Additional puts committed while the killed node is down (blocking
+  /// client, retried — this phase probes recovery, not throughput).
   uint64_t requests_while_down = 500;
   uint64_t seed = 1;
   std::vector<ProtocolMode> modes = {ProtocolMode::kLeaderZone,
                                      ProtocolMode::kDelegate,
                                      ProtocolMode::kMultiPaxos};
+  /// Measured-phase driver shape (see harness/load_gen.h).
+  uint32_t connections = 4;
+  uint32_t pipeline = 256;
+  /// Offered ops/s; 0 = closed loop at the pipeline depth.
+  double rate = 0;
+  /// Reactor threads per server process (passed as --reactors).
+  uint32_t reactors = 2;
   /// Output path; empty skips the file.
   std::string json_path = "BENCH_realnet.json";
   /// Directory for per-node server logs; empty inherits stdio.
@@ -35,18 +44,26 @@ struct RealnetBenchOptions {
 
 struct RealnetModeResult {
   ProtocolMode mode = ProtocolMode::kLeaderZone;
-  uint64_t committed = 0;
+  /// Client ops acknowledged OK in the measured (healthy-cluster) phase.
+  /// Separate from any internal/recovery traffic by construction.
+  uint64_t measured_ops = 0;
+  uint64_t measured_ops_failed = 0;
+  /// Blocking-client puts committed during the kill phase.
+  uint64_t ops_while_down = 0;
   double elapsed_seconds = 0;
-  double throughput_ops = 0;
-  Histogram latency;  ///< per-request commit latency
+  double throughput_ops = 0;  ///< measured_ops / elapsed_seconds
+  double offered_ops = 0;     ///< configured open-loop rate (0 = closed)
+  Histogram latency;          ///< measured phase, intended-arrival based
   uint64_t snapshots_installed = 0;  ///< on the restarted node
   uint64_t restarted_watermark = 0;
   uint64_t leader_watermark = 0;
   uint64_t checksum_match = 0;  ///< 1 iff restarted node converged
-  uint64_t tcp_reconnects = 0;  ///< summed over surviving nodes
+  uint64_t tcp_reconnects = 0;  ///< summed over all nodes at mode end
   uint64_t tcp_frames_dropped = 0;
   uint64_t tcp_malformed_frames = 0;
   uint64_t tcp_bytes_out = 0;
+  uint64_t tcp_writev_calls = 0;
+  uint64_t tcp_frames_coalesced = 0;
 };
 
 struct RealnetBenchReport {

@@ -109,11 +109,11 @@ void EventLoop::RecomputeNextDeadline() {
   }
 }
 
-void EventLoop::FireDueTimers() {
+size_t EventLoop::FireDueTimers() {
   const Timestamp now = Now();
   if (pending_timers_ == 0) {
     wheel_cursor_ = now / kTickMicros;
-    return;
+    return 0;
   }
   const uint64_t target = now / kTickMicros;
   const uint64_t first =
@@ -142,13 +142,14 @@ void EventLoop::FireDueTimers() {
     cell.resize(kept);
   }
   wheel_cursor_ = target;
-  if (due.empty()) return;
+  if (due.empty()) return 0;
   // Fire in (deadline, scheduling ticket) order — the simulator's total
   // order, so tie handling matches the deterministic tier.
   std::sort(due.begin(), due.end(), [](const Due& a, const Due& b) {
     if (a.when != b.when) return a.when < b.when;
     return a.seq < b.seq;
   });
+  size_t fired = 0;
   for (const Due& d : due) {
     const uint32_t slot = static_cast<uint32_t>(d.id & 0xffffffffu);
     const uint32_t generation = static_cast<uint32_t>(d.id >> 32);
@@ -159,9 +160,28 @@ void EventLoop::FireDueTimers() {
     ReleaseSlot(slot);
     --pending_timers_;
     ++ThreadPerfCounters().events_executed;
+    ++fired;
     fn();
   }
   RecomputeNextDeadline();
+  return fired;
+}
+
+void EventLoop::PostTask(std::function<void()> task) {
+  posted_tasks_.Push(std::move(task));
+  // The Wakeup follows the queue link (release store inside Push), so a
+  // consumer woken by this write always observes the healed chain.
+  Wakeup();
+}
+
+size_t EventLoop::DrainPostedTasks() {
+  size_t ran = 0;
+  std::function<void()> task;
+  while (posted_tasks_.TryPop(&task)) {
+    task();
+    ++ran;
+  }
+  return ran;
 }
 
 int EventLoop::EpollTimeoutMs() const {
@@ -173,12 +193,13 @@ int EventLoop::EpollTimeoutMs() const {
   return static_cast<int>(std::min<uint64_t>(delta_ms, 60'000));
 }
 
-void EventLoop::PollOnce(Duration max_wait) {
-  FireDueTimers();
+bool EventLoop::PollOnce(Duration max_wait) {
+  size_t did_work = FireDueTimers() + DrainPostedTasks();
   int timeout_ms = EpollTimeoutMs();
   const int cap_ms = static_cast<int>(
       std::min<Duration>(max_wait / kMillisecond, 60'000));
   if (timeout_ms < 0 || timeout_ms > cap_ms) timeout_ms = cap_ms;
+  if (did_work > 0) timeout_ms = 0;  // don't sleep with work already done
   epoll_event events[128];
   const int n = epoll_wait(epoll_fd_, events, 128, timeout_ms);
   for (int i = 0; i < n; ++i) {
@@ -196,8 +217,15 @@ void EventLoop::PollOnce(Duration max_wait) {
     if (it == fd_handlers_.end()) continue;
     FdHandler handler = it->second;
     handler(events[i].events);
+    ++did_work;
   }
-  FireDueTimers();
+  // Tasks posted while we slept in epoll_wait (the Wakeup path), then
+  // timers the dispatched handlers armed at 0 delay — this is what makes
+  // the 0-delay flush timer coalesce a whole dispatch round into one
+  // gather write before the loop sleeps again.
+  did_work += DrainPostedTasks();
+  did_work += FireDueTimers();
+  return did_work > 0;
 }
 
 Status EventLoop::WatchFd(int fd, uint32_t events, FdHandler handler) {

@@ -25,6 +25,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "net/tcp/mpsc_queue.h"
 #include "sim/scheduler.h"
 
 namespace dpaxos {
@@ -61,14 +62,26 @@ class EventLoop final : public EventScheduler {
   /// inside any fd handler, including the fd's own.
   void UnwatchFd(int fd);
 
+  // --- cross-thread work ----------------------------------------------
+
+  /// Enqueue `task` to run on the loop thread and wake the loop. The
+  /// ONLY EventLoop entry point (besides Stop/Wakeup) that is safe from
+  /// other threads; tasks run between dispatch phases of PollOnce, in
+  /// push order per producer. This is the reactor->replica submission
+  /// path of the multi-reactor NodeServer (lock-free MPSC underneath,
+  /// see net/tcp/mpsc_queue.h).
+  void PostTask(std::function<void()> task);
+
   // --- driving --------------------------------------------------------
 
   /// Dispatch events until Stop(). Re-entrant calls are a bug.
   void Run();
   /// Run until `pred()` is true or `timeout` elapses. Returns pred().
   bool RunUntil(const std::function<bool()>& pred, Duration timeout);
-  /// One poll + dispatch round, blocking at most `max_wait`.
-  void PollOnce(Duration max_wait);
+  /// One poll + dispatch round, blocking at most `max_wait`. Returns
+  /// true if any timer fired, fd handler ran or posted task executed
+  /// (the busy-vs-idle signal reactor threads account with).
+  bool PollOnce(Duration max_wait);
 
   /// Make Run() return after the current dispatch round. Thread-safe.
   void Stop();
@@ -95,7 +108,10 @@ class EventLoop final : public EventScheduler {
 
   uint32_t AcquireSlot();
   void ReleaseSlot(uint32_t slot);
-  void FireDueTimers();
+  /// Returns the number of timers fired.
+  size_t FireDueTimers();
+  /// Drain cross-thread tasks; returns the number executed.
+  size_t DrainPostedTasks();
   /// Recompute next_deadline_ by scanning pending slab entries (timer
   /// populations here are tens, not thousands — a replica keeps a
   /// handful of timers alive).
@@ -117,6 +133,7 @@ class EventLoop final : public EventScheduler {
   std::vector<TimerSlot> slots_;
   std::vector<uint32_t> free_slots_;
   std::unordered_map<int, FdHandler> fd_handlers_;
+  MpscQueue<std::function<void()>> posted_tasks_;
   Rng rng_;
 
   static constexpr Timestamp kNoDeadline = ~Timestamp{0};

@@ -2,7 +2,10 @@
 
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
+
+#include <algorithm>
 
 #include <cerrno>
 #include <utility>
@@ -12,6 +15,16 @@
 #include "common/perf_counters.h"
 
 namespace dpaxos {
+
+namespace {
+
+/// Gather-write batch limits: at most this many frames per sendmsg, and
+/// refill from the peer queue stops once this many bytes are staged (one
+/// flush cannot buffer an unbounded burst in user space).
+constexpr size_t kMaxIovPerWrite = 64;
+constexpr size_t kFlushSliceBytes = 64 * 1024;
+
+}  // namespace
 
 TcpTransport::TcpTransport(EventLoop* loop, NodeId self,
                            std::vector<HostPort> cluster,
@@ -88,7 +101,9 @@ void TcpTransport::Send(NodeId from, NodeId to, MessagePtr msg) {
   peer.queue.push_back(std::move(frame));
   EnsureConnected(to);
   Conn* conn = FindConn(peer.conn_id);
-  if (conn != nullptr && conn->established) FlushConn(conn);
+  // Flush via a timer instead of inline so every Send of the current
+  // dispatch round lands in one gather write (the coalescing window).
+  if (conn != nullptr && conn->established) ScheduleFlush(conn);
 }
 
 void TcpTransport::SendClientReply(uint64_t conn_id,
@@ -97,10 +112,13 @@ void TcpTransport::SendClientReply(uint64_t conn_id,
   if (conn == nullptr || !conn->inbound || conn->kind != PeerKind::kClient) {
     return;  // client went away; nothing to do
   }
-  conn->outbuf += EncodeClientReplyFrame(reply);
-  ++stats_.frames_out;
-  ++ThreadPerfCounters().tcp_frames_out;
-  FlushConn(conn);
+  StageFrame(conn, EncodeClientReplyFrame(reply));
+  ScheduleFlush(conn);
+}
+
+void TcpTransport::InjectDelivery(NodeId from, const MessagePtr& msg) {
+  ++ThreadPerfCounters().messages_delivered;
+  if (handler_) handler_(from, msg);
 }
 
 void TcpTransport::UpdatePeerAddress(NodeId node, HostPort addr) {
@@ -132,6 +150,12 @@ void TcpTransport::AcceptReady() {
       return;
     }
     SetNoDelay(fd);
+    if (accept_handoff_) {
+      ++stats_.accepts;
+      ++ThreadPerfCounters().tcp_accepts;
+      accept_handoff_(fd);
+      continue;
+    }
     auto conn = std::make_unique<Conn>();
     conn->id = next_conn_id_++;
     conn->fd = fd;
@@ -212,10 +236,31 @@ void TcpTransport::OnOutboundUp(Conn* conn) {
   Hello hello;
   hello.kind = PeerKind::kNode;
   hello.id = self_;
-  conn->outbuf += EncodeHelloFrame(hello);
+  StageFrame(conn, EncodeHelloFrame(hello));
+  // Flush inline: the HELLO (plus everything queued while dialing) should
+  // hit the wire the moment the connect completes, not a timer later.
+  FlushConn(conn);
+}
+
+void TcpTransport::StageFrame(Conn* conn, std::string frame) {
+  conn->outq_bytes += frame.size();
+  conn->outq.push_back(std::move(frame));
   ++stats_.frames_out;
   ++ThreadPerfCounters().tcp_frames_out;
-  FlushConn(conn);
+}
+
+void TcpTransport::ScheduleFlush(Conn* conn) {
+  if (conn->flush_scheduled) return;
+  conn->flush_scheduled = true;
+  std::shared_ptr<bool> alive = alive_;
+  const uint64_t conn_id = conn->id;
+  loop_->Schedule(options_.flush_delay, [this, alive, conn_id]() {
+    if (!*alive) return;
+    Conn* c = FindConn(conn_id);
+    if (c == nullptr) return;
+    c->flush_scheduled = false;
+    if (c->established) FlushConn(c);
+  });
 }
 
 void TcpTransport::ConnEvent(uint64_t conn_id, uint32_t events) {
@@ -346,29 +391,55 @@ void TcpTransport::FlushConn(Conn* conn) {
     if (peer != nullptr) {
       // Refill in bounded slices so one flush cannot buffer an unbounded
       // burst in user space.
-      while (!peer->queue.empty() &&
-             conn->outbuf.size() - conn->outpos < 64 * 1024) {
-        conn->outbuf += peer->queue.front();
+      while (!peer->queue.empty() && conn->outq_bytes < kFlushSliceBytes) {
+        std::string frame = std::move(peer->queue.front());
         peer->queue.pop_front();
-        ++stats_.frames_out;
-        ++pc.tcp_frames_out;
+        StageFrame(conn, std::move(frame));
       }
     }
-    if (conn->outpos == conn->outbuf.size()) {
-      conn->outbuf.clear();
-      conn->outpos = 0;
-      break;
+    if (conn->outq.empty()) break;
+    // One gather write covers up to kMaxIovPerWrite staged frames; the
+    // front iovec resumes at outpos after a previous partial write.
+    // Frames leave the deque strictly front-to-back, so coalescing can
+    // never reorder what Send queued (transport_test asserts this).
+    iovec iov[kMaxIovPerWrite];
+    size_t niov = 0;
+    for (const std::string& frame : conn->outq) {
+      if (niov == kMaxIovPerWrite) break;
+      const size_t skip = niov == 0 ? conn->outpos : 0;
+      iov[niov].iov_base = const_cast<char*>(frame.data()) + skip;
+      iov[niov].iov_len = frame.size() - skip;
+      ++niov;
     }
-    const ssize_t n =
-        send(conn->fd, conn->outbuf.data() + conn->outpos,
-             conn->outbuf.size() - conn->outpos, MSG_NOSIGNAL);
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    // sendmsg, not writev: the flags argument carries MSG_NOSIGNAL.
+    const ssize_t n = sendmsg(conn->fd, &mh, MSG_NOSIGNAL);
     if (n > 0) {
-      conn->outpos += static_cast<size_t>(n);
+      ++stats_.writev_calls;
+      ++pc.tcp_writev_calls;
       stats_.bytes_out += static_cast<uint64_t>(n);
       pc.tcp_bytes_out += static_cast<uint64_t>(n);
-      if (conn->outpos == conn->outbuf.size()) {
-        conn->outbuf.clear();
-        conn->outpos = 0;
+      size_t remaining = static_cast<size_t>(n);
+      size_t covered = 0;  // frames this syscall touched
+      while (remaining > 0) {
+        std::string& front = conn->outq.front();
+        const size_t left = front.size() - conn->outpos;
+        ++covered;
+        if (remaining >= left) {
+          remaining -= left;
+          conn->outq_bytes -= front.size();
+          conn->outpos = 0;
+          conn->outq.pop_front();
+        } else {
+          conn->outpos += remaining;
+          remaining = 0;
+        }
+      }
+      if (covered > 1) {
+        stats_.frames_coalesced += covered - 1;
+        pc.tcp_frames_coalesced += covered - 1;
       }
       continue;
     }
@@ -399,11 +470,11 @@ void TcpTransport::OnConnError(uint64_t conn_id) {
   if (conn == nullptr) return;
   const bool outbound_node = !conn->inbound && conn->kind == PeerKind::kNode;
   const NodeId peer_node = conn->peer_node;
-  // Anything queued at or below the socket dies with it — within the
+  // Anything staged at or below the socket dies with it — within the
   // Send contract (may drop).
-  if (conn->outpos < conn->outbuf.size()) {
-    ++stats_.frames_dropped;
-    ++ThreadPerfCounters().tcp_frames_dropped;
+  if (!conn->outq.empty()) {
+    stats_.frames_dropped += conn->outq.size();
+    ThreadPerfCounters().tcp_frames_dropped += conn->outq.size();
   }
   CloseConn(conn_id);
   if (outbound_node) {

@@ -1,0 +1,128 @@
+// Unit tests for the Vyukov intrusive MPSC queue behind
+// EventLoop::PostTask: FIFO per producer, loss-free under multi-producer
+// contention, and safe teardown with items still queued.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "net/tcp/mpsc_queue.h"
+
+namespace dpaxos {
+namespace {
+
+TEST(MpscQueueTest, StartsEmpty) {
+  MpscQueue<int> q;
+  EXPECT_TRUE(q.Empty());
+  int out = 0;
+  EXPECT_FALSE(q.TryPop(&out));
+}
+
+TEST(MpscQueueTest, SingleThreadFifo) {
+  MpscQueue<int> q;
+  for (int i = 0; i < 100; ++i) q.Push(i);
+  EXPECT_FALSE(q.Empty());
+  for (int i = 0; i < 100; ++i) {
+    int out = -1;
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(q.Empty());
+  int out = -1;
+  EXPECT_FALSE(q.TryPop(&out));
+}
+
+TEST(MpscQueueTest, InterleavedPushPop) {
+  MpscQueue<int> q;
+  int next_expected = 0;
+  for (int round = 0; round < 50; ++round) {
+    q.Push(2 * round);
+    q.Push(2 * round + 1);
+    int out = -1;
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, next_expected++);
+  }
+  // Drain the backlog (one element left per round).
+  int out = -1;
+  while (q.TryPop(&out)) {
+    EXPECT_EQ(out, next_expected++);
+  }
+  EXPECT_EQ(next_expected, 100);
+}
+
+TEST(MpscQueueTest, MovesPayloads) {
+  MpscQueue<std::unique_ptr<int>> q;
+  q.Push(std::make_unique<int>(42));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.TryPop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(MpscQueueTest, MultiProducerLosesNothing) {
+  // 4 producers x 10k items; the consumer polls concurrently. Per-producer
+  // order must hold and every value must arrive exactly once.
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 10000;
+  MpscQueue<uint64_t> q;
+  std::atomic<int> live_producers{kProducers};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &live_producers, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        q.Push((static_cast<uint64_t>(p) << 32) | i);
+      }
+      live_producers.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  std::vector<uint64_t> last_seen(kProducers, 0);
+  std::vector<uint64_t> count(kProducers, 0);
+  uint64_t total = 0;
+  while (total < kProducers * kPerProducer) {
+    uint64_t item;
+    if (!q.TryPop(&item)) {
+      // The queue may look momentarily empty mid-push (the consistency
+      // window); only producers being done makes "empty" meaningful.
+      if (live_producers.load(std::memory_order_acquire) == 0 && q.Empty() &&
+          !q.TryPop(&item)) {
+        continue;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    const int p = static_cast<int>(item >> 32);
+    const uint64_t seq = item & 0xffffffffu;
+    ASSERT_LT(p, kProducers);
+    if (count[p] > 0) {
+      EXPECT_GT(seq, last_seen[p]) << "producer " << p << " reordered";
+    }
+    last_seen[p] = seq;
+    ++count[p];
+    ++total;
+  }
+  for (std::thread& t : producers) t.join();
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(count[p], kPerProducer) << "producer " << p;
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(MpscQueueTest, DestructorDrainsPendingItems) {
+  // Leak-checked under ASan: destruction with queued payloads must free
+  // both nodes and payloads.
+  auto q = std::make_unique<MpscQueue<std::shared_ptr<int>>>();
+  auto payload = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = payload;
+  q->Push(std::move(payload));
+  q->Push(std::make_shared<int>(8));
+  q.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+}  // namespace
+}  // namespace dpaxos

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/tcp/event_loop.h"
+#include "net/tcp/framing.h"
 #include "net/tcp/socket_util.h"
 #include "net/tcp/tcp_transport.h"
 #include "net/transport.h"
@@ -414,6 +415,115 @@ TEST_F(TcpTransportTest, OverflowEvictsOldestWithoutBlocking) {
   loop.RunUntil([&] { return false; }, 20 * kMillisecond);
   // 50 sends through a 4-deep queue: at least 46 evictions, newest kept.
   EXPECT_GE(a.stats().frames_dropped, 46u);
+}
+
+TEST_F(TcpTransportTest, CoalescesFramesWithoutReordering) {
+  EventLoop loop(16);
+  std::vector<std::pair<NodeId, int>> received;
+  Pair pair = MakePair(loop, &received);
+  // First message establishes the connection.
+  pair.a->Send(0, 1, std::make_shared<TestMsg>(64, 0));
+  ASSERT_TRUE(loop.RunUntil([&] { return received.size() >= 1; }, kWait));
+
+  // Burst: everything below is staged before the flush timer fires, so
+  // the whole batch moves in a handful of gather writes.
+  for (int tag = 1; tag <= 200; ++tag) {
+    pair.a->Send(0, 1, std::make_shared<TestMsg>(64, tag));
+  }
+  ASSERT_TRUE(loop.RunUntil([&] { return received.size() >= 201; }, kWait));
+
+  // Determinism: coalescing must never reorder — the per-connection
+  // queue is FIFO and iovecs preserve stage order.
+  ASSERT_EQ(received.size(), 201u);
+  for (int tag = 0; tag <= 200; ++tag) {
+    EXPECT_EQ(received[tag].first, 0u);
+    EXPECT_EQ(received[tag].second, tag);
+  }
+  const TcpTransportStats stats = pair.a->stats();
+  EXPECT_GT(stats.frames_coalesced, 0u);
+  EXPECT_LT(stats.writev_calls, stats.frames_out);
+}
+
+TEST_F(TcpTransportTest, SlowReaderPartialWritevResumes) {
+  EventLoop loop(17);
+  // Raw peer that reads only in small sips: the sender's socket buffer
+  // fills mid-frame, forcing short writev results and EPOLLOUT
+  // resumption across frame boundaries.
+  Result<int> listener = OpenListener(HostPort{"127.0.0.1", 0}, 1);
+  ASSERT_TRUE(listener.ok());
+  Result<uint16_t> port = BoundPort(listener.value());
+  ASSERT_TRUE(port.ok());
+
+  const std::vector<HostPort> any = {HostPort{"127.0.0.1", 0},
+                                     HostPort{"127.0.0.1", 0}};
+  TcpTransport a(&loop, 0, any, {});
+  // Pad each message to its declared size so single frames dwarf what one
+  // writev can move into a full socket buffer.
+  constexpr uint64_t kPad = 48 * 1024;
+  a.set_wire_codec(
+      [](const Message& m, std::string* out) {
+        const TestMsg& msg = static_cast<const TestMsg&>(m);
+        const uint64_t fields[2] = {msg.size_bytes,
+                                    static_cast<uint64_t>(msg.tag)};
+        out->append(reinterpret_cast<const char*>(fields), sizeof(fields));
+        out->append(msg.size_bytes, 'x');
+      },
+      [](std::string_view) -> MessagePtr { return nullptr; });
+  ASSERT_TRUE(a.Listen().ok());
+  a.UpdatePeerAddress(1, HostPort{"127.0.0.1", port.value()});
+
+  constexpr int kFrames = 64;
+  for (int tag = 0; tag < kFrames; ++tag) {
+    a.Send(0, 1, std::make_shared<TestMsg>(kPad, tag));
+  }
+
+  int peer_fd = -1;
+  for (int i = 0; i < 200 && peer_fd < 0; ++i) {
+    loop.RunUntil([&] { return false; }, 10 * kMillisecond);
+    peer_fd = accept(listener.value(), nullptr, nullptr);
+  }
+  ASSERT_GE(peer_fd, 0);
+  ASSERT_TRUE(SetNonBlocking(peer_fd).ok());
+
+  // Drain in 4 KB sips interleaved with loop polls; every byte of every
+  // frame must come out intact and in order.
+  FrameDecoder decoder;
+  std::vector<int> tags;
+  bool saw_hello = false;
+  for (int spin = 0;
+       static_cast<int>(tags.size()) < kFrames && spin < 20000; ++spin) {
+    loop.RunUntil([&] { return false; }, 1 * kMillisecond);
+    char buf[4096];
+    const ssize_t n = recv(peer_fd, buf, sizeof(buf), 0);
+    if (n <= 0) continue;
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    std::string_view body;
+    while (decoder.Pop(&body) == FrameDecoder::Next::kFrame) {
+      ASSERT_FALSE(body.empty());
+      if (!saw_hello) {
+        EXPECT_EQ(static_cast<FrameType>(body[0]), FrameType::kHello);
+        saw_hello = true;
+        continue;
+      }
+      ASSERT_EQ(static_cast<FrameType>(body[0]), FrameType::kNodeMessage);
+      ASSERT_EQ(body.size(), 1 + 16 + kPad);
+      uint64_t fields[2];
+      memcpy(fields, body.data() + 1, sizeof(fields));
+      EXPECT_EQ(fields[0], kPad);
+      tags.push_back(static_cast<int>(fields[1]));
+      for (size_t i = 17; i < body.size(); i += 4097) {
+        ASSERT_EQ(body[i], 'x') << "payload corrupted at offset " << i;
+      }
+    }
+    ASSERT_FALSE(decoder.failed()) << decoder.error();
+  }
+  ASSERT_EQ(tags.size(), static_cast<size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) EXPECT_EQ(tags[i], i);
+  // 3 MB through a never-empty queue cannot fit one syscall: the flush
+  // path must have resumed after partial writes.
+  EXPECT_GT(a.stats().writev_calls, 1u);
+  close(peer_fd);
+  close(listener.value());
 }
 
 TEST_F(TcpTransportTest, HostileLengthPrefixClosesConnectionNotProcess) {

@@ -98,7 +98,19 @@ struct CliOptions {
 
   // --experiment=realnet only.
   uint64_t requests = 10000;
+  uint32_t connections = 4;  // open-loop driver shape
+  uint32_t pipeline = 256;
+  double rate = 0;  // offered ops/s, 0 = closed loop
   std::string log_dir;
+
+  // --reactors serves double duty: reactor threads for --serve (0 =
+  // single-threaded loop) and the per-node override for realnet
+  // (which defaults to 2 when the flag is absent).
+  uint32_t reactors = 0;
+  bool reactors_set = false;
+
+  // --experiment=realchaos only.
+  uint32_t soak_connections = 0;
 };
 
 void Usage() {
@@ -136,17 +148,24 @@ void Usage() {
       "  --partitions=P         total partitions across shards "
       "(default 32)\n"
       "realnet experiment (multi-process cluster over loopback TCP):\n"
-      "  --requests=N           measured puts per mode (default 10000)\n"
+      "  --requests=N           measured ops per mode (default 10000)\n"
+      "  --connections=N        open-loop driver connections (default 4)\n"
+      "  --pipeline=N           in-flight ops per connection (default 256)\n"
+      "  --rate=OPS             offered ops/s; 0 = closed loop (default)\n"
+      "  --reactors=N           reactor threads per node (default 2)\n"
       "  --logdir=DIR           per-node server logs (default: inherit)\n"
       "  --out=PATH             JSON output (default BENCH_realnet.json)\n"
       "realchaos experiment (proxied cluster + nemesis + checkers):\n"
       "  --schedule=NAME        mixed|partitions|process|lossy|none\n"
       "  --clients=N --keys=N --reads=F --duration=SECONDS\n"
+      "  --soak-connections=N   open-loop soak alongside the checked\n"
+      "                         workload (default 0 = off)\n"
       "  --logdir=DIR           per-node server logs (default: inherit)\n"
       "  --out=PATH             BENCH json to merge the chaos section\n"
       "                         into (default BENCH_realnet.json)\n"
       "real-network server (see docs/realnet.md):\n"
       "  --serve --node=N --cluster=HOST:PORT,...   run one node\n"
+      "  --reactors=N           reactor threads (0 = single-threaded)\n"
       "  --zones=Z              zone count (nodes split evenly)\n"
       "  --hint=N               leader hint for forwarded writes\n"
       "  --catchup-delay-ms=MS  snapshot catch-up delay after start\n"
@@ -252,6 +271,17 @@ bool ParseArgImpl(const std::string& arg, CliOptions* o) {
     o->client_ops.emplace_back("bench", v);
   } else if (value_of("--requests", &v)) {
     o->requests = std::stoull(v);
+  } else if (value_of("--connections", &v)) {
+    o->connections = static_cast<uint32_t>(std::stoul(v));
+  } else if (value_of("--pipeline", &v)) {
+    o->pipeline = static_cast<uint32_t>(std::stoul(v));
+  } else if (value_of("--rate", &v)) {
+    o->rate = std::stod(v);
+  } else if (value_of("--reactors", &v)) {
+    o->reactors = static_cast<uint32_t>(std::stoul(v));
+    o->reactors_set = true;
+  } else if (value_of("--soak-connections", &v)) {
+    o->soak_connections = static_cast<uint32_t>(std::stoul(v));
   } else if (value_of("--logdir", &v)) {
     o->log_dir = v;
   } else if (arg == "--version") {
@@ -488,6 +518,7 @@ int RunServe(const CliOptions& o, ProtocolMode mode) {
   server.leader_hint = o.hint;
   server.catchup_delay = o.catchup_delay;
   server.compaction_interval = o.compaction_interval;
+  server.reactors = o.reactors;
   server.replica.enable_compaction = o.compaction_interval > 0;
   server.replica.compaction_retained_suffix = o.compaction_retain;
   NodeServer node(std::move(server));
@@ -575,22 +606,37 @@ int RunRealnetCli(const CliOptions& o) {
   bench.server_binary = "/proc/self/exe";
   bench.requests = o.requests;
   bench.seed = o.seed;
+  bench.connections = o.connections;
+  bench.pipeline = o.pipeline;
+  bench.rate = o.rate;
+  if (o.reactors_set) bench.reactors = o.reactors;
   bench.json_path = o.out_set ? o.out : "BENCH_realnet.json";
   bench.log_dir = o.log_dir;
   std::cout << "== dpaxos_cli: realnet, 2 zones x 2 nodes on loopback, "
-            << bench.requests << " requests/mode, seed=" << bench.seed
+            << bench.requests << " ops/mode over " << bench.connections
+            << " conns x " << bench.pipeline << " pipeline"
+            << (bench.rate > 0 ? " @" + Fmt(bench.rate, 0) + " ops/s"
+                               : " (closed loop)")
+            << ", reactors=" << bench.reactors << ", seed=" << bench.seed
             << "\n\n";
   Result<RealnetBenchReport> report = RunRealnetBench(bench);
   if (!report.ok()) {
     std::cerr << "realnet failed: " << report.status().ToString() << "\n";
     return 1;
   }
-  TablePrinter table({"mode", "committed", "ops/sec", "p50 (ms)", "p99 (ms)",
-                      "snap installs", "checksum match"});
+  TablePrinter table({"mode", "ops", "ops/sec", "p50 (ms)", "p99 (ms)",
+                      "p999 (ms)", "frames/writev", "snap installs",
+                      "checksum match"});
   for (const RealnetModeResult& r : report->results) {
-    table.AddRow({ProtocolModeName(r.mode), std::to_string(r.committed),
+    const double frames_per_writev =
+        r.tcp_writev_calls > 0
+            ? static_cast<double>(r.tcp_writev_calls + r.tcp_frames_coalesced) /
+                  static_cast<double>(r.tcp_writev_calls)
+            : 0;
+    table.AddRow({ProtocolModeName(r.mode), std::to_string(r.measured_ops),
                   Fmt(r.throughput_ops, 1), Fmt(r.latency.P50Millis(), 2),
                   Fmt(r.latency.P99Millis(), 2),
+                  Fmt(r.latency.P999Millis(), 2), Fmt(frames_per_writev, 2),
                   std::to_string(r.snapshots_installed),
                   r.checksum_match ? "yes" : "NO"});
   }
@@ -632,6 +678,7 @@ int RunRealChaosCli(const CliOptions& o, ProtocolMode mode) {
   chaos.num_keys = std::max(o.keys, 32u);
   if (o.reads > 0) chaos.read_fraction = o.reads;
   chaos.duration = o.duration;
+  chaos.soak_connections = o.soak_connections;
   chaos.log_dir = o.log_dir;
   std::cout << "== dpaxos_cli: realchaos / " << ProtocolModeName(mode)
             << ", schedule=" << chaos.schedule << ", " << chaos.zones
