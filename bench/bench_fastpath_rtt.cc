@@ -1,0 +1,127 @@
+// Fast-path commits on the Table 1 RTT matrix (leader in California).
+//
+// For each remote origin zone, one write is driven through three paths:
+//   classic   SubmitOrForward at the origin, forwarded to the leader,
+//             which runs the Accept round and replies after commitment —
+//             pays RTT(origin, leader) + the leader's replication round.
+//   fast      the same entry point with enable_fast_path: the origin
+//             drives the leader's fast quorum directly and commits on
+//             unanimity — the forward/accept round trip collapses into
+//             one origin->quorum exchange (docs/PROTOCOL.md §fast-path).
+//   ideal     leaderless Paxos committing at the origin with a majority
+//             round: the no-coordination lower bound the fast path is
+//             measured against.
+//
+// Shapes to expect: fast tracks classic minus the leader's replication
+// round (~10 ms intra-zone for LeaderZone, a cross-zone majority for
+// MultiPaxos), and sits between classic and the leaderless ideal
+// everywhere.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace dpaxos;
+
+namespace {
+
+constexpr int kRequestsPerPoint = 20;
+constexpr uint64_t kBatchBytes = 1024;
+
+// Mean end-to-end latency of writes entered at `remote_zone`'s edge
+// replica via SubmitOrForward (classic forward or fast path, depending
+// on the cluster's config).
+double MeasureOrigin(Cluster& cluster, NodeId leader, ZoneId remote_zone) {
+  Replica* origin = cluster.replica(cluster.NodeInZone(remote_zone, 2));
+  origin->set_leader_hint(leader);
+
+  Histogram latency;
+  static uint64_t id = 5'000'000;  // distinct value ids across calls
+  for (int i = 0; i < kRequestsPerPoint; ++i) {
+    bool done = false;
+    Duration sample = 0;
+    origin->SubmitOrForward(Value::Synthetic(++id, kBatchBytes),
+                            [&](const Status& st, SlotId, Duration lat) {
+                              if (!st.ok()) {
+                                std::cerr << "FATAL: " << st.ToString()
+                                          << "\n";
+                                std::abort();
+                              }
+                              sample = lat;
+                              done = true;
+                            });
+    while (!done && cluster.sim().Step()) {
+    }
+    latency.Add(sample);
+  }
+  return latency.MeanMillis();
+}
+
+std::unique_ptr<Cluster> MakeCluster(ProtocolMode mode, bool fast_path,
+                                     NodeId* leader) {
+  ClusterOptions options = bench::PaperOptions();
+  options.replica.enable_fast_path = fast_path;
+  auto cluster = bench::MakePaperCluster(mode, options);
+  *leader = cluster->NodeInZone(0);
+  bench::MustElect(*cluster, *leader);
+  // Let the FastGrant broadcast reach every origin before measuring —
+  // a grantless origin silently falls back to the classic forward.
+  cluster->RunUntil([] { return false; }, 2 * kSecond);
+  return cluster;
+}
+
+// Leaderless idealization: the origin zone's replica commits with a
+// majority round from where the request lands, no leader involved.
+double MeasureLeaderless(Cluster& cluster, ZoneId remote_zone) {
+  Histogram latency;
+  static uint64_t id = 0;
+  for (int i = 0; i < kRequestsPerPoint; ++i) {
+    Result<Duration> commit =
+        cluster.Commit(cluster.NodeInZone(remote_zone, 2),
+                       Value::Synthetic(++id, kBatchBytes));
+    if (!commit.ok()) {
+      std::cerr << "FATAL: " << commit.status().ToString() << "\n";
+      std::abort();
+    }
+    latency.Add(commit.value());
+  }
+  return latency.MeanMillis();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Fast-path commits: per-origin write latency (leader in California)",
+      "classic = forward to leader + accept round; fast = origin drives "
+      "the fast quorum directly; ideal = leaderless majority from the "
+      "origin");
+
+  const Topology topo = Topology::AwsSevenZones();
+
+  NodeId lz_leader = 0, lzf_leader = 0, mp_leader = 0, mpf_leader = 0;
+  auto lz_classic = MakeCluster(ProtocolMode::kLeaderZone, false, &lz_leader);
+  auto lz_fast = MakeCluster(ProtocolMode::kLeaderZone, true, &lzf_leader);
+  auto mp_classic = MakeCluster(ProtocolMode::kMultiPaxos, false, &mp_leader);
+  auto mp_fast = MakeCluster(ProtocolMode::kMultiPaxos, true, &mpf_leader);
+  auto leaderless = bench::MakePaperCluster(ProtocolMode::kLeaderless);
+
+  TablePrinter table({"origin", "LZ classic (ms)", "LZ fast (ms)",
+                      "MP classic (ms)", "MP fast (ms)",
+                      "leaderless ideal (ms)"});
+  for (ZoneId z = 1; z < topo.num_zones(); ++z) {
+    table.AddRow({topo.ZoneName(z),
+                  Fmt(MeasureOrigin(*lz_classic, lz_leader, z), 1),
+                  Fmt(MeasureOrigin(*lz_fast, lzf_leader, z), 1),
+                  Fmt(MeasureOrigin(*mp_classic, mp_leader, z), 1),
+                  Fmt(MeasureOrigin(*mp_fast, mpf_leader, z), 1),
+                  Fmt(MeasureLeaderless(*leaderless, z), 1)});
+  }
+  table.Print(std::cout);
+
+  const ProtocolCounters& fast_counters =
+      lz_fast->replica(lz_fast->NodeInZone(1, 2))->counters();
+  std::cout << "\nLZ fast origin (Oregon edge): fast_commits="
+            << fast_counters.fast_commits
+            << " fast_fallbacks=" << fast_counters.fast_fallbacks << "\n";
+  return 0;
+}

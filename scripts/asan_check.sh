@@ -18,7 +18,7 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DDPAXOS_SANITIZE=address
 cmake --build "$BUILD_DIR" \
     --target snapshot_test wire_fuzz_test wire_test catchup_test \
-             restart_test chaos_test soak_test \
+             restart_test chaos_test soak_test fast_path_test \
              chaos_proxy_test real_chaos_test mpsc_queue_test \
              transport_test dpaxos_cli -j"$(nproc)"
 
@@ -31,8 +31,12 @@ export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1 ${ASAN_OPTIONS:-}"
 "$BUILD_DIR/tests/wire_test"
 "$BUILD_DIR/tests/catchup_test"
 "$BUILD_DIR/tests/restart_test"
-"$BUILD_DIR/tests/chaos_test" --gtest_filter='*Recovery*'
+"$BUILD_DIR/tests/chaos_test" --gtest_filter='*Recovery*:*FastPath*'
 "$BUILD_DIR/tests/soak_test" --gtest_filter='*Compaction*'
+# Fast-path commits: vote tracking moves Values between the attempt,
+# slot-tracker, and deferred-ack maps (move-heavy, callback-retaining),
+# and elections adopt fast entries out of promise vectors.
+"$BUILD_DIR/tests/fast_path_test"
 # Realnet chaos path: the fault-injecting proxy shuffles and corrupts
 # raw frame bytes (prime OOB territory), and the failover client's
 # SIGSTOP rotation exercises partial-read teardown.

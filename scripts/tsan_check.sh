@@ -15,7 +15,8 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DDPAXOS_SANITIZE=thread
 cmake --build "$BUILD_DIR" \
-    --target shard_runner_test bench_simperf mpsc_queue_test -j"$(nproc)"
+    --target shard_runner_test bench_simperf mpsc_queue_test \
+             transport_test fast_path_test -j"$(nproc)"
 
 # halt_on_error so the first race fails the gate instead of scrolling by.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -26,5 +27,10 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # Multi-producer contention on the queue behind EventLoop::PostTask —
 # the reactor pool's inbound handoff rides entirely on its ordering.
 "$BUILD_DIR/tests/mpsc_queue_test"
+# Reactor threads vs the main loop: the delayed reply-flush timer races
+# enqueue against the coalescing flush, and fast-path message fan-in
+# lands on the pool's handoff queue from every reactor at once.
+"$BUILD_DIR/tests/transport_test" --gtest_filter='*ReactorPool*'
+"$BUILD_DIR/tests/fast_path_test"
 
 echo "tsan_check: PASS (no data races reported)"

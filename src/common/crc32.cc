@@ -1,0 +1,33 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace dpaxos {
+
+namespace {
+
+// Table-driven CRC-32 (IEEE 802.3 polynomial 0xEDB88320, reflected).
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : bytes) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dpaxos

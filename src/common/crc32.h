@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF).
+//
+// Shared by every integrity envelope in the tree: the snapshot envelope
+// (smr/snapshot.h) and the TCP frame header (net/tcp/framing.h). Lives
+// in common/ so net does not have to link smr just for a checksum.
+#ifndef DPAXOS_COMMON_CRC32_H_
+#define DPAXOS_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dpaxos {
+
+uint32_t Crc32(std::string_view bytes);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_COMMON_CRC32_H_

@@ -310,6 +310,7 @@ ChaosReport ChaosRun::Run() {
   copts.replica.enable_failure_detector = true;
   copts.replica.heartbeat_interval = 300 * kMillisecond;
   copts.replica.election_timeout = 2 * kSecond;
+  copts.replica.enable_fast_path = options_.enable_fast_path;
   copts.replica.enable_compaction = options_.enable_compaction;
   copts.replica.compaction_retained_suffix =
       options_.compaction_retained_suffix;
@@ -439,6 +440,8 @@ ChaosReport ChaosRun::Run() {
   for (NodeId n = 0; n < num_nodes; ++n) {
     const ProtocolCounters& pc = cluster_->replica(n)->counters();
     report.snapshots_served += pc.snapshots_served;
+    report.fast_commits += pc.fast_commits;
+    report.fast_fallbacks += pc.fast_fallbacks;
     report.snapshots_installed += pc.snapshots_installed;
     report.snapshot_corruptions_detected += pc.snapshot_corruptions_detected;
     report.log_compactions += pc.log_compactions;
@@ -471,6 +474,10 @@ std::string ChaosReport::Summary() const {
      << " duplicate applies skipped; converged="
      << (converged ? "yes" : "no") << "; nemesis actions="
      << nemesis_actions;
+  if (fast_commits > 0 || fast_fallbacks > 0) {
+    os << "; fast commits/fallbacks=" << fast_commits << "/"
+       << fast_fallbacks;
+  }
   if (log_compactions > 0 || snapshots_installed > 0 ||
       snapshot_corruptions_detected > 0) {
     os << "; compactions=" << log_compactions << " snapshots served/installed="

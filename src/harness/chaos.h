@@ -60,6 +60,12 @@ struct ChaosOptions {
   /// Snapshot transfer chunk size (small values force multi-chunk
   /// reassembly under fire).
   uint64_t snapshot_chunk_bytes = 4096;
+
+  /// Run the fast commit path (docs/PROTOCOL.md §fast-path): follower
+  /// origins drive the leader's fast quorum directly and fall back to
+  /// classic forwarding on conflict/timeout. Default off: the golden
+  /// schedules are bit-preserved.
+  bool enable_fast_path = false;
 };
 
 struct ChaosReport {
@@ -98,6 +104,13 @@ struct ChaosReport {
   /// Largest decided-log size observed across nodes at the end: with
   /// compaction on, bounded by the retained suffix + churn slack.
   uint64_t max_resident_decided = 0;
+
+  /// Fast-path activity summed over live replicas at the end (zero with
+  /// enable_fast_path off). Under faults, fast_fallbacks > 0 is the
+  /// evidence the classic fallback actually ran — not that the schedule
+  /// simply never contended.
+  uint64_t fast_commits = 0;
+  uint64_t fast_fallbacks = 0;
 
   uint64_t nemesis_actions = 0;
   std::vector<std::string> nemesis_log;

@@ -115,6 +115,7 @@ Status NodeServer::Start() {
     rp.max_frame_bytes = options_.tcp.max_frame_bytes;
     rp.num_nodes = options_.cluster.size();
     rp.seed = options_.seed;
+    rp.reply_flush_delay = options_.reply_flush_delay;
     reactors_ = std::make_unique<ReactorPool>(&loop_, rp);
     reactors_->set_wire_decoder([](std::string_view bytes) -> MessagePtr {
       Result<MessagePtr> r = DeserializeMessage(bytes);
@@ -338,6 +339,10 @@ std::string NodeServer::StatsString() const {
   out += " catchups=" + std::to_string(catchups_completed_);
   out += " catchup_repairs=" + std::to_string(catchup_repairs_);
   out += " suspect_msgs=" + std::to_string(pc.suspect_msgs_rejected);
+  out += " fast_commits=" + std::to_string(pc.fast_commits);
+  out += " fast_fallbacks=" + std::to_string(pc.fast_fallbacks);
+  out += " fast_votes=" + std::to_string(pc.fast_votes);
+  out += " fast_conflicts=" + std::to_string(pc.fast_conflicts);
   out += " tcp_bytes_in=" + std::to_string(ts.bytes_in);
   out += " tcp_bytes_out=" + std::to_string(ts.bytes_out);
   out += " tcp_reconnects=" + std::to_string(ts.reconnects);

@@ -68,6 +68,9 @@ struct NodeServerOptions {
   /// net/tcp/reactor_pool.h). 0 = single-threaded: every socket lives on
   /// the replica's own loop, exactly the pre-multi-reactor behavior.
   uint32_t reactors = 0;
+  /// Reply-batch hold time forwarded to the reactor pool (ignored when
+  /// reactors == 0); see ReactorPoolOptions::reply_flush_delay.
+  Duration reply_flush_delay = 0;
 };
 
 /// \brief One-process replica server speaking the net/tcp framing.

@@ -2,6 +2,7 @@
 
 #include <time.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <memory>
@@ -202,6 +203,7 @@ RealChaosReport RunRealChaos(const RealChaosOptions& options) {
   copts.log_dir = options.log_dir;
   copts.listen_endpoints = real_endpoints;
   copts.peer_view = proxy.endpoints();
+  if (options.fast_path) copts.extra_args.push_back("--fast-path");
   RealCluster cluster(copts);
   st = cluster.Start();
   if (!st.ok()) return fail("cluster: " + st.ToString());
@@ -225,8 +227,15 @@ RealChaosReport RunRealChaos(const RealChaosOptions& options) {
   for (uint32_t c = 0; c < options.num_clients; ++c) {
     ctxs[c].client_id = c + 1;
     ctxs[c].rng = Rng(options.seed + 7919 * (c + 1));
+    // With the fast path on, stagger each client's home replica (the
+    // zone-local entry DPaxos optimizes for): a client parked on the
+    // leader never drives a fast round, it just submits classically.
+    std::vector<HostPort> eps = proxy.endpoints();
+    if (options.fast_path) {
+      std::rotate(eps.begin(), eps.begin() + (c % eps.size()), eps.end());
+    }
     clients.push_back(std::make_unique<FailoverTcpClient>(
-        ctxs[c].client_id, proxy.endpoints(), fopts));
+        ctxs[c].client_id, std::move(eps), fopts));
     ctxs[c].client = clients.back().get();
   }
   std::vector<std::thread> client_threads;
@@ -295,6 +304,8 @@ RealChaosReport RunRealChaos(const RealChaosOptions& options) {
     report.tcp_dropped_frames += StatsU64(stats.value(), "tcp_frames_dropped");
     report.tcp_malformed_frames +=
         StatsU64(stats.value(), "tcp_malformed_frames");
+    report.fast_commits += StatsU64(stats.value(), "fast_commits");
+    report.fast_fallbacks += StatsU64(stats.value(), "fast_fallbacks");
   }
 
   // 8. Verdicts.
@@ -366,6 +377,12 @@ std::string RealChaosReport::Summary() const {
            static_cast<unsigned long long>(tcp_dropped_frames),
            static_cast<unsigned long long>(tcp_malformed_frames));
   out += buf;
+  if (fast_commits > 0 || fast_fallbacks > 0) {
+    snprintf(buf, sizeof(buf), "fast path: commits=%llu fallbacks=%llu\n",
+             static_cast<unsigned long long>(fast_commits),
+             static_cast<unsigned long long>(fast_fallbacks));
+    out += buf;
+  }
   if (soak_ops_ok + soak_ops_failed > 0) {
     snprintf(buf, sizeof(buf),
              "soak: ok=%llu failed=%llu conn_errors=%llu achieved=%.1f/s "
@@ -390,10 +407,11 @@ std::string RealChaosSectionJson(const RealChaosOptions& options,
   std::string out = "{\n";
   snprintf(buf, sizeof(buf),
            "    \"mode\": \"%s\", \"schedule\": \"%s\", \"seed\": %llu, "
-           "\"duration_s\": %.1f,\n",
+           "\"duration_s\": %.1f, \"fast_path\": %s,\n",
            ProtocolModeName(options.mode), options.schedule.c_str(),
            static_cast<unsigned long long>(options.seed),
-           static_cast<double>(options.duration) / 1e6);
+           static_cast<double>(options.duration) / 1e6,
+           options.fast_path ? "true" : "false");
   out += buf;
   snprintf(buf, sizeof(buf),
            "    \"ops\": {\"invoked\": %llu, \"ok\": %llu, \"failed\": %llu, "
@@ -436,6 +454,11 @@ std::string RealChaosSectionJson(const RealChaosOptions& options,
            static_cast<unsigned long long>(report.tcp_reconnects),
            static_cast<unsigned long long>(report.tcp_dropped_frames),
            static_cast<unsigned long long>(report.tcp_malformed_frames));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "    \"fast\": {\"commits\": %llu, \"fallbacks\": %llu},\n",
+           static_cast<unsigned long long>(report.fast_commits),
+           static_cast<unsigned long long>(report.fast_fallbacks));
   out += buf;
   snprintf(buf, sizeof(buf),
            "    \"checkers\": {\"violations\": %llu, \"keys_checked\": %llu, "

@@ -33,6 +33,12 @@ struct RealChaosOptions {
   uint32_t zones = 2;
   uint32_t nodes_per_zone = 2;
 
+  /// Run the servers with --fast-path: follower origins drive the fast
+  /// quorum directly and fall back to classic forwarding on conflict or
+  /// timeout (docs/PROTOCOL.md §fast-path). The checkers judge the
+  /// resulting history exactly as in classic runs.
+  bool fast_path = false;
+
   uint32_t num_clients = 4;
   /// Key-pool size. Sized so no key collects more than ~63 ops: the
   /// per-key linearizability search is bitmask based and reports
@@ -89,6 +95,11 @@ struct RealChaosReport {
   uint64_t tcp_reconnects = 0;
   uint64_t tcp_dropped_frames = 0;
   uint64_t tcp_malformed_frames = 0;
+
+  /// Fast-path counters summed post-quiesce (same lower-bound caveat as
+  /// the tcp counters; zero unless fast_path was on).
+  uint64_t fast_commits = 0;
+  uint64_t fast_fallbacks = 0;
 
   /// Soak-driver results (zero when the soak was disabled).
   uint64_t soak_ops_ok = 0;

@@ -77,8 +77,18 @@ Result<std::string> AwaitCatchUp(RealCluster& cluster, NodeId node,
                           " did not catch up; last stats: " + last);
 }
 
+/// One benchmark cell: which mode, whether the servers run the fast
+/// path, and which node takes the measured load.
+struct CellSpec {
+  ProtocolMode mode = ProtocolMode::kLeaderZone;
+  bool fast_path = false;
+  NodeId target = 0;
+  std::string label;
+};
+
 Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
-                                  ProtocolMode mode) {
+                                  const CellSpec& cell) {
+  const ProtocolMode mode = cell.mode;
   RealClusterOptions copts;
   copts.server_binary = options.server_binary;
   copts.zones = 2;
@@ -92,12 +102,20 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
     copts.extra_args.push_back("--reactors=" +
                                std::to_string(options.reactors));
   }
+  if (options.reply_flush_us > 0) {
+    copts.extra_args.push_back("--reply-flush-us=" +
+                               std::to_string(options.reply_flush_us));
+  }
+  if (cell.fast_path) copts.extra_args.push_back("--fast-path");
   RealCluster cluster(copts);
   Status st = cluster.Start();
   if (!st.ok()) return st;
 
   RealnetModeResult result;
   result.mode = mode;
+  result.label = cell.label.empty() ? ProtocolModeName(mode) : cell.label;
+  result.fast_path = cell.fast_path;
+  result.target_node = cell.target;
 
   // Warmup with a blocking client: absorb the initial leader election so
   // the measured phase starts against a settled cluster.
@@ -107,9 +125,11 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
   st = CommitPuts(client, 8, 900000, nullptr);
   if (!st.ok()) return st;
 
-  // Phase 1: measured open-loop async load against the leader.
+  // Phase 1: measured open-loop async load against the cell's target
+  // (the leader for the standard cells, an edge follower for the
+  // edge-classic/edge-fast pair).
   LoadGenOptions lg;
-  lg.endpoints = {cluster.endpoint(0)};
+  lg.endpoints = {cluster.endpoint(cell.target)};
   lg.connections = options.connections;
   lg.pipeline = options.pipeline;
   lg.rate = options.rate;
@@ -128,7 +148,11 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
   result.measured_ops_failed = load->ops_failed;
   result.elapsed_seconds = load->elapsed_seconds;
   result.throughput_ops = load->achieved_ops;
-  result.offered_ops = load->offered_ops;
+  // In a closed loop every reply funds the next request, so offered ==
+  // achieved by construction; reporting the configured 0 made the JSON
+  // rows read as "no load was offered".
+  result.offered_ops =
+      options.rate > 0 ? load->offered_ops : load->achieved_ops;
   result.latency = std::move(load->latency);
 
   // Phase 2: SIGKILL the last follower (zone 1 keeps a live node, so
@@ -175,6 +199,8 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
     result.tcp_writev_calls += StatsU64(stats.value(), "tcp_writev_calls");
     result.tcp_frames_coalesced +=
         StatsU64(stats.value(), "tcp_frames_coalesced");
+    result.fast_commits += StatsU64(stats.value(), "fast_commits");
+    result.fast_fallbacks += StatsU64(stats.value(), "fast_fallbacks");
   }
 
   client.Close();
@@ -187,12 +213,29 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
 
 Result<RealnetBenchReport> RunRealnetBench(const RealnetBenchOptions& options) {
   RealnetBenchReport report;
+  std::vector<CellSpec> cells;
   for (ProtocolMode mode : options.modes) {
-    DPAXOS_INFO("realnet: running mode " << ProtocolModeName(mode));
-    Result<RealnetModeResult> result = RunMode(options, mode);
+    cells.push_back(CellSpec{mode, /*fast_path=*/false, /*target=*/0, ""});
+  }
+  if (options.fast_path_cells && !options.modes.empty()) {
+    // The edge pair runs the first mode with the load aimed at a
+    // follower: "edge-classic" pays forward-to-leader + classic commit,
+    // "edge-fast" lets the origin drive the fast quorum directly — the
+    // round trip the fast path collapses.
+    const ProtocolMode mode = options.modes.front();
+    const std::string base = ProtocolModeName(mode);
+    cells.push_back(CellSpec{mode, /*fast_path=*/false, options.edge_node,
+                             base + "/edge-classic"});
+    cells.push_back(CellSpec{mode, /*fast_path=*/true, options.edge_node,
+                             base + "/edge-fast"});
+  }
+  for (const CellSpec& cell : cells) {
+    const std::string label =
+        cell.label.empty() ? ProtocolModeName(cell.mode) : cell.label;
+    DPAXOS_INFO("realnet: running cell " << label);
+    Result<RealnetModeResult> result = RunMode(options, cell);
     if (!result.ok()) {
-      return Status::Internal(std::string(ProtocolModeName(mode)) + ": " +
-                              result.status().ToString());
+      return Status::Internal(label + ": " + result.status().ToString());
     }
     report.results.push_back(std::move(result.value()));
   }
@@ -215,15 +258,24 @@ std::string RealnetReportToJson(const RealnetBenchOptions& options,
   for (size_t i = 0; i < report.results.size(); ++i) {
     const RealnetModeResult& r = report.results[i];
     snprintf(buf, sizeof(buf),
-             "    {\"mode\": \"%s\", \"measured_ops\": %llu, "
+             "    {\"mode\": \"%s\", \"label\": \"%s\", "
+             "\"fast_path\": %s, \"target_node\": %u,\n"
+             "     \"measured_ops\": %llu, "
              "\"measured_ops_failed\": %llu, \"ops_while_down\": %llu,\n"
              "     \"elapsed_s\": %.3f, \"throughput_ops\": %.1f, "
              "\"offered_ops\": %.1f,\n",
              ProtocolModeName(r.mode),
+             r.label.empty() ? ProtocolModeName(r.mode) : r.label.c_str(),
+             r.fast_path ? "true" : "false", r.target_node,
              static_cast<unsigned long long>(r.measured_ops),
              static_cast<unsigned long long>(r.measured_ops_failed),
              static_cast<unsigned long long>(r.ops_while_down),
              r.elapsed_seconds, r.throughput_ops, r.offered_ops);
+    out += buf;
+    snprintf(buf, sizeof(buf),
+             "     \"fast\": {\"commits\": %llu, \"fallbacks\": %llu},\n",
+             static_cast<unsigned long long>(r.fast_commits),
+             static_cast<unsigned long long>(r.fast_fallbacks));
     out += buf;
     snprintf(buf, sizeof(buf),
              "     \"latency_ms\": {\"mean\": %.3f, \"p50\": %.3f, "

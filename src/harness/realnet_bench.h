@@ -36,6 +36,19 @@ struct RealnetBenchOptions {
   double rate = 0;
   /// Reactor threads per server process (passed as --reactors).
   uint32_t reactors = 2;
+  /// Reply-batch hold time in microseconds (passed as --reply-flush-us
+  /// when nonzero); widens the writev coalescing window, see
+  /// docs/perf.md.
+  uint32_t reply_flush_us = 0;
+  /// Add the edge-write comparison cells: the same open-loop load aimed
+  /// at a NON-leader node, once classic (forwarded to the leader) and
+  /// once with --fast-path (origin drives the fast quorum directly).
+  /// The pair is what shows the collapsed round trip in the JSON.
+  bool fast_path_cells = true;
+  /// Which node the edge cells target (must not be the leader hint and
+  /// must survive the kill phase; the 2x2 cluster uses zone 1's first
+  /// node).
+  NodeId edge_node = 2;
   /// Output path; empty skips the file.
   std::string json_path = "BENCH_realnet.json";
   /// Directory for per-node server logs; empty inherits stdio.
@@ -44,6 +57,11 @@ struct RealnetBenchOptions {
 
 struct RealnetModeResult {
   ProtocolMode mode = ProtocolMode::kLeaderZone;
+  /// Row label in the table/JSON: the mode name for the standard cells,
+  /// "<mode>/edge-classic" or "<mode>/edge-fast" for the edge pair.
+  std::string label;
+  bool fast_path = false;       ///< servers ran with --fast-path
+  NodeId target_node = 0;       ///< node the measured load was aimed at
   /// Client ops acknowledged OK in the measured (healthy-cluster) phase.
   /// Separate from any internal/recovery traffic by construction.
   uint64_t measured_ops = 0;
@@ -64,6 +82,10 @@ struct RealnetModeResult {
   uint64_t tcp_bytes_out = 0;
   uint64_t tcp_writev_calls = 0;
   uint64_t tcp_frames_coalesced = 0;
+  /// Fast-path protocol counters summed over all nodes at mode end
+  /// (zero unless the cell ran with --fast-path).
+  uint64_t fast_commits = 0;
+  uint64_t fast_fallbacks = 0;
 };
 
 struct RealnetBenchReport {

@@ -17,6 +17,7 @@
 #ifndef DPAXOS_NET_TCP_EVENT_LOOP_H_
 #define DPAXOS_NET_TCP_EVENT_LOOP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -121,7 +122,10 @@ class EventLoop final : public EventScheduler {
   int epoll_fd_ = -1;
   int wakeup_fd_ = -1;
   uint64_t clock_origin_ns_ = 0;
-  volatile bool stop_ = false;
+  /// Stop() is callable from any thread (and from signal handlers via
+  /// the flag-only path), so the flag must be an atomic, not volatile —
+  /// volatile orders nothing and is a formal data race under TSan.
+  std::atomic<bool> stop_{false};
 
   uint64_t next_seq_ = 1;
   size_t pending_timers_ = 0;

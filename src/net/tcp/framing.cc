@@ -4,22 +4,34 @@
 #include <utility>
 
 #include "common/codec.h"
+#include "common/crc32.h"
 
 namespace dpaxos {
 
 void AppendFrame(std::string_view body, std::string* out) {
   ByteWriter writer(out);
-  writer.Reserve(4 + body.size());
+  writer.Reserve(kFrameHeaderBytes + body.size());
   writer.PutU32(static_cast<uint32_t>(body.size()));
+  writer.PutU32(Crc32(body));
   out->append(body);
 }
 
 void AppendNodeMessageFrame(std::string_view wire_bytes, std::string* out) {
+  // The body is [type byte | wire bytes]; checksum both without
+  // materializing the concatenation: write the header with a zero CRC,
+  // append the body, then patch the CRC over the body range in place.
   ByteWriter writer(out);
-  writer.Reserve(4 + 1 + wire_bytes.size());
+  writer.Reserve(kFrameHeaderBytes + 1 + wire_bytes.size());
   writer.PutU32(static_cast<uint32_t>(1 + wire_bytes.size()));
+  const size_t crc_at = out->size();
+  writer.PutU32(0);
   writer.PutU8(static_cast<uint8_t>(FrameType::kNodeMessage));
   out->append(wire_bytes);
+  const uint32_t crc =
+      Crc32(std::string_view(*out).substr(crc_at + 4, 1 + wire_bytes.size()));
+  for (int i = 0; i < 4; ++i) {
+    (*out)[crc_at + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
 }
 
 std::string EncodeHelloFrame(const Hello& hello) {
@@ -151,9 +163,22 @@ FrameDecoder::Next FrameDecoder::Pop(std::string_view* body) {
     Fail("frame exceeds max size");
     return Next::kError;
   }
-  if (available - 4 < length) return Next::kNeedMore;
-  *body = std::string_view(buffer_).substr(pos_ + 4, length);
-  pos_ += 4 + static_cast<size_t>(length);
+  if (available < kFrameHeaderBytes) return Next::kNeedMore;
+  if (available - kFrameHeaderBytes < length) return Next::kNeedMore;
+  uint32_t expected_crc = 0;
+  std::memcpy(&expected_crc, buffer_.data() + pos_ + 4, 4);
+  const std::string_view candidate =
+      std::string_view(buffer_).substr(pos_ + kFrameHeaderBytes, length);
+  // Verify before yielding: a frame that was damaged in flight but whose
+  // fields would still parse must never reach the caller — mis-learned
+  // state (a flipped Decide payload) is unrecoverable, a closed
+  // connection is routine.
+  if (Crc32(candidate) != expected_crc) {
+    Fail("frame checksum mismatch");
+    return Next::kError;
+  }
+  *body = candidate;
+  pos_ += kFrameHeaderBytes + static_cast<size_t>(length);
   return Next::kFrame;
 }
 

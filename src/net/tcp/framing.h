@@ -1,8 +1,17 @@
-// Length-prefixed framing for the real-network runtime.
+// Length-prefixed, checksummed framing for the real-network runtime.
 //
-// Stream layout:  repeated [ u32 LE body_length | body ]
+// Stream layout:  repeated [ u32 LE body_length | u32 LE crc32(body) | body ]
 // Body layout:    [ u8 FrameType | type-specific fields ]  (LE codec from
 // common/codec.h, same primitives as the protocol wire format).
+//
+// The CRC (common/crc32.h, same IEEE 802.3 checksum as the snapshot
+// envelope) exists because a mangled frame that still *decodes* is far
+// worse than one that doesn't: a bit-flipped DecideMsg whose fields all
+// parse would be learned into one node's decided log and never repaired
+// (anti-entropy fills holes, it does not re-audit decided slots). With
+// the checksum, any in-flight damage — whether to the header or the
+// body — fails the frame and closes the connection, which every caller
+// already handles by reconnecting.
 //
 // Frame types:
 //   kHello          — first frame on every connection; declares whether
@@ -17,9 +26,10 @@
 // Defensive decoding: FrameDecoder enforces a max-frame cap and rejects
 // zero-length bodies *before* trusting the length prefix — a hostile
 // 0xFFFFFFFF prefix can neither drive an allocation nor make the decoder
-// read past its buffer. A decoder error is terminal for the stream
-// (callers close the connection); this mirrors the protocol codec's
-// "clean Corruption, never crash" contract fuzzed in wire_fuzz_test.
+// read past its buffer — and verifies the body checksum before yielding
+// a frame. A decoder error is terminal for the stream (callers close
+// the connection); this mirrors the protocol codec's "clean Corruption,
+// never crash" contract fuzzed in wire_fuzz_test.
 #ifndef DPAXOS_NET_TCP_FRAMING_H_
 #define DPAXOS_NET_TCP_FRAMING_H_
 
@@ -78,7 +88,10 @@ struct ClientReply {
   uint64_t watermark = 0;
 };
 
-/// Append [length | body] to `out` (body supplied whole).
+/// Bytes of the frame header: u32 body_length + u32 crc32(body).
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Append [length | crc | body] to `out` (body supplied whole).
 void AppendFrame(std::string_view body, std::string* out);
 
 /// Append a kNodeMessage frame wrapping already-wire-encoded bytes.

@@ -84,6 +84,30 @@ Acceptor::ProposeOutcome Acceptor::OnPropose(const ProposeMsg& msg,
   return out;
 }
 
+Acceptor::FastVoteOutcome Acceptor::OnFastAccept(const Ballot& ballot,
+                                                 const Value& value,
+                                                 SlotId min_slot) {
+  FastVoteOutcome out;
+  if (ballot < rec_->promised) {
+    out.promised_ballot = rec_->promised;
+    return out;
+  }
+  rec_->promised = std::max(rec_->promised, ballot);
+
+  // Next free slot: past everything this acceptor has ever accepted and
+  // past the caller's fence. Monotone per acceptor, so two values fast-
+  // voted here never collide on a slot.
+  SlotId slot = min_slot;
+  const SlotId highest = HighestAcceptedSlot();
+  if (highest != kInvalidSlot && highest + 1 > slot) slot = highest + 1;
+
+  rec_->accepted.Put(slot, AcceptedEntry{slot, ballot, value, /*fast=*/true});
+  ++rec_->sync_writes;  // the vote is durable before we answer
+  out.voted = true;
+  out.slot = slot;
+  return out;
+}
+
 void Acceptor::ApplyGcThreshold(const Ballot& threshold, Timestamp now) {
   std::erase_if(rec_->intents, [&](const Intent& i) {
     if (i.ballot >= threshold) return false;

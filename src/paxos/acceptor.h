@@ -77,6 +77,37 @@ class Acceptor {
   /// promises p. Grants the piggybacked lease request on acceptance.
   ProposeOutcome OnPropose(const ProposeMsg& msg, Timestamp now);
 
+  // --- fast path (docs/PROTOCOL.md §fast-path) -------------------------
+
+  /// Outcome of a fast-round vote request.
+  struct FastVoteOutcome {
+    bool voted = false;
+    /// On vote: the slot this acceptor assigned to the value.
+    SlotId slot = 0;
+    /// On refusal: the conflicting promised ballot.
+    Ballot promised_ballot;
+  };
+
+  /// Vote `value` into this acceptor's next free slot at `ballot`, but
+  /// never below `min_slot` (the grant's fence plus the replica's decided
+  /// watermark — keeps fast votes out of slots committed at lower
+  /// ballots). The replica validates the grant (armed, right ballot,
+  /// membership) before calling; here we only enforce the promise
+  /// discipline and slot mechanics. Voting also promises `ballot`.
+  FastVoteOutcome OnFastAccept(const Ballot& ballot, const Value& value,
+                               SlotId min_slot);
+
+  /// Prepare-lite: raise the promised ballot to at least `ballot`
+  /// (durable when it actually rises). Fast grants carry this so a
+  /// lagging acceptor cannot later accept classic proposals from a
+  /// deposed leader whose ballot the grant supersedes.
+  bool PromiseAtLeast(const Ballot& ballot) {
+    if (ballot <= rec_->promised) return false;
+    rec_->promised = ballot;
+    ++rec_->sync_writes;
+    return true;
+  }
+
   /// Apply a GC threshold P: drop stored intents with ballot < P
   /// (paper Algorithm 3). The active lease holder's intent survives
   /// (Section 4.5: leases protect their intent from collection).

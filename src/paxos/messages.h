@@ -56,6 +56,10 @@ enum class WireType : uint8_t {
   // transfer; the tag is retired (decodes as unknown), never reused.
   kHeartbeat = 29,
   kSnapshotChunk = 30,
+  kFastAccept = 31,
+  kFastAccepted = 32,
+  kFastNack = 33,
+  kFastGrant = 34,
 };
 
 /// \brief Common base: every protocol message belongs to a partition.
@@ -102,10 +106,15 @@ struct PrepareMsg final : PaxosMessage {
 };
 
 /// An accepted (slot, ballot, value) triple reported in a promise.
+/// `fast` marks fast-round votes (acceptor-assigned slot, no leader
+/// relay): during recovery a classic entry beats a fast entry at the
+/// same ballot, because the leader only classic-proposes over fast votes
+/// once no fast value can reach unanimity (docs/PROTOCOL.md).
 struct AcceptedEntry {
   SlotId slot;
   Ballot ballot;
   Value value;
+  bool fast = false;
 };
 
 /// promise(q, v_q, p, intents): positive Leader Election vote.
@@ -134,7 +143,11 @@ struct PromiseMsg final : PaxosMessage {
 
   uint64_t SizeBytes() const override {
     uint64_t sz = kMessageHeaderBytes + 16 + IntentsWireSize(intents);
-    for (const AcceptedEntry& e : accepted) sz += 32 + e.value.size_bytes;
+    // The fast flag is modeled only on fast entries, so fast-path-off
+    // runs keep their historical bandwidth schedule bit-for-bit.
+    for (const AcceptedEntry& e : accepted) {
+      sz += 32 + e.value.size_bytes + (e.fast ? 1 : 0);
+    }
     // Modeled only when compaction is active, so compaction-off runs keep
     // their historical bandwidth schedule bit-for-bit.
     if (compacted_through != 0) sz += 8;
@@ -261,6 +274,105 @@ struct HeartbeatMsg final : PaxosMessage {
   const char* TypeName() const override { return "heartbeat"; }
   uint8_t wire_tag() const override {
     return static_cast<uint8_t>(WireType::kHeartbeat);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Fast path (relaxed quorum intersection; docs/PROTOCOL.md §fast-path)
+//
+// After winning an election with enable_fast_path on, the leader grants
+// a pinned fast quorum to every node. An edge proposer then sends
+// FastAccept straight to the fast quorum's acceptors; each acceptor
+// assigns the next free slot, votes durably, and answers the proposer
+// (and the leader, which tracks unanimity / conflicts). A value is
+// fast-committed when ALL fast-quorum members voted it into one slot —
+// one proposer->acceptors->proposer round trip, no leader relay.
+
+/// Leader -> everyone: arms fast-path proposing under `ballot`. Doubles
+/// as a prepare-lite (receivers promise the ballot); `first_slot` fences
+/// fast votes above every slot committed at earlier ballots.
+struct FastGrantMsg final : PaxosMessage {
+  FastGrantMsg(PartitionId p, Ballot b, SlotId first, std::vector<NodeId> q)
+      : PaxosMessage(p), ballot(b), first_slot(first), quorum(std::move(q)) {}
+
+  Ballot ballot;
+  SlotId first_slot;
+  /// The pinned fast quorum of this ballot (sorted, includes the leader).
+  std::vector<NodeId> quorum;
+
+  uint64_t SizeBytes() const override {
+    return kMessageHeaderBytes + 24 + 4 * quorum.size();
+  }
+  const char* TypeName() const override { return "fast-grant"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kFastGrant);
+  }
+};
+
+/// Proposer -> fast-quorum acceptor: vote `value` into your next free
+/// slot at `ballot`. `request_id` identifies the proposer's attempt so
+/// the leader can answer its fallback resolution like a forward.
+struct FastAcceptMsg final : PaxosMessage {
+  FastAcceptMsg(PartitionId p, Ballot b, uint64_t id, Value v)
+      : PaxosMessage(p), ballot(b), request_id(id), value(std::move(v)) {}
+
+  Ballot ballot;
+  uint64_t request_id;
+  Value value;
+
+  uint64_t SizeBytes() const override {
+    return kMessageHeaderBytes + 24 + value.size_bytes;
+  }
+  const char* TypeName() const override { return "fast-accept"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kFastAccept);
+  }
+};
+
+/// Acceptor -> proposer AND leader: durably voted (ballot, slot, value).
+/// Carries the value so the leader can classic-repropose it on conflict
+/// or timeout without another fetch.
+struct FastAcceptedMsg final : PaxosMessage {
+  FastAcceptedMsg(PartitionId p, Ballot b, SlotId s, NodeId prop,
+                  uint64_t id, Value v)
+      : PaxosMessage(p),
+        ballot(b),
+        slot(s),
+        proposer(prop),
+        request_id(id),
+        value(std::move(v)) {}
+
+  Ballot ballot;
+  SlotId slot;
+  NodeId proposer;
+  uint64_t request_id;
+  Value value;
+
+  uint64_t SizeBytes() const override {
+    return kMessageHeaderBytes + 36 + value.size_bytes;
+  }
+  const char* TypeName() const override { return "fast-accepted"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kFastAccepted);
+  }
+};
+
+/// Acceptor -> proposer: fast vote refused (stale grant ballot, no grant
+/// armed, or a higher promise). The proposer falls back to the classic
+/// forward path, toward `leader_hint` when known.
+struct FastNackMsg final : PaxosMessage {
+  FastNackMsg(PartitionId p, Ballot b, Ballot prom, uint64_t id)
+      : PaxosMessage(p), ballot(b), promised(prom), request_id(id) {}
+
+  Ballot ballot;
+  Ballot promised;
+  uint64_t request_id;
+  NodeId leader_hint = kInvalidNode;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 44; }
+  const char* TypeName() const override { return "fast-nack"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kFastNack);
   }
 };
 

@@ -304,11 +304,23 @@ void Replica::OnPromise(NodeId from, const PromiseMsg& msg) {
   election_->max_compacted =
       std::max(election_->max_compacted, msg.compacted_through);
 
-  // Adopt previously accepted values: highest ballot wins per slot.
+  // Adopt previously accepted values: highest ballot wins per slot. At
+  // equal ballots a classic entry beats a fast one (the leader only ever
+  // classic-proposes over a fast slot when unanimity was impossible —
+  // see docs/PROTOCOL.md §fast-path), and disagreeing all-fast entries
+  // are broken by smallest value id: deterministic, and safe because a
+  // disagreement proves the slot was never fast-committed.
   for (const AcceptedEntry& e : msg.accepted) {
     auto it = election_->adopted.find(e.slot);
-    if (it == election_->adopted.end() || it->second.ballot < e.ballot) {
+    if (it == election_->adopted.end()) {
       election_->adopted[e.slot] = e;
+      continue;
+    }
+    AcceptedEntry& cur = it->second;
+    if (e.ballot > cur.ballot) {
+      cur = e;
+    } else if (e.ballot == cur.ballot && cur.fast) {
+      if (!e.fast || e.value.id < cur.value.id) cur = e;
     }
   }
 
@@ -414,6 +426,27 @@ void Replica::FinishElection() {
     next_slot_ = max_adopted + 1;
   }
   if (RecoveryComplete()) OnRecoveryProgress();
+
+  // Fast path: pin this regime's fast quorum and fence it above every
+  // slot a lower ballot could have committed (everything below next_slot_
+  // was either adopted and re-proposed above, or provably undecided).
+  ClearFastSlots();
+  if (config_.enable_fast_path &&
+      quorums_->mode() != ProtocolMode::kLeaderless) {
+    std::vector<NodeId> fq = quorums_->FastQuorum(id_);
+    std::sort(fq.begin(), fq.end());
+    if (!fq.empty() &&
+        std::binary_search(fq.begin(), fq.end(), id_)) {
+      fast_grant_.ballot = ballot_;
+      fast_grant_.first_slot = next_slot_;
+      fast_grant_.quorum = fq;
+      auto grant = std::make_shared<FastGrantMsg>(config_.partition, ballot_,
+                                                  next_slot_, std::move(fq));
+      for (NodeId t : topology_->AllNodes()) {
+        if (t != id_) SendTo(t, grant);
+      }
+    }
+  }
 
   if (config_.enable_failure_detector) {
     if (watchdog_timer_ != 0) {
@@ -739,8 +772,18 @@ void Replica::Decide(SlotId slot) {
 
   const Value& value = fl.value;
   LearnDecided(slot, value);
-  if (fl.cb) fl.cb(Status::OK(), slot, sim_->Now() - fl.start);
+  if (fl.cb) {
+    // Under the lease fence the ack waits for watermark coverage; in
+    // every other configuration DeferOrAck fires it inline here.
+    DeferOrAck(slot, [this, cb = std::move(fl.cb), slot, start = fl.start] {
+      cb(Status::OK(), slot, sim_->Now() - start);
+    });
+  }
+  AnnounceDecide(slot, value);
+  DrainPending();
+}
 
+void Replica::AnnounceDecide(SlotId slot, const Value& value) {
   // Commit notification to learners.
   std::vector<NodeId> learners;
   switch (config_.decide_policy) {
@@ -762,7 +805,6 @@ void Replica::Decide(SlotId slot) {
       if (t != id_) SendTo(t, decide);
     }
   }
-  DrainPending();
 }
 
 void Replica::OnDecide(NodeId from, const DecideMsg& msg) {
@@ -804,7 +846,26 @@ void Replica::LearnDecided(SlotId slot, const Value& value) {
   // Advance over the contiguous decided run; each step is one O(1)
   // window probe.
   while (decided_.Contains(watermark_)) ++watermark_;
+  FlushDeferredAcks();
   if (decide_cb_) decide_cb_(slot, value);
+}
+
+void Replica::DeferOrAck(SlotId slot, std::function<void()> ack) {
+  if (!(config_.enable_leases && config_.enable_fast_path) ||
+      watermark_ > slot) {
+    ack();
+    return;
+  }
+  deferred_acks_.emplace(slot, std::move(ack));
+}
+
+void Replica::FlushDeferredAcks() {
+  while (!deferred_acks_.empty() &&
+         deferred_acks_.begin()->first < watermark_) {
+    auto fn = std::move(deferred_acks_.begin()->second);
+    deferred_acks_.erase(deferred_acks_.begin());
+    fn();  // may reenter (FinishForward -> client resubmit); entry gone
+  }
 }
 
 void Replica::DrainPending() {
@@ -837,6 +898,11 @@ void Replica::StepDown(const Ballot& preemptor) {
   }
   lease_until_ = 0;
   lease_votes_.clear();
+  // The fast-slot tracker is a leader structure; a deposed leader's
+  // unresolved fast votes are recovered by the next election. The grant
+  // itself stays: completed unanimities under it remain safe and visible
+  // to any later election (docs/PROTOCOL.md §fast-path).
+  ClearFastSlots();
   FailInFlight(Status::Aborted("leadership preempted"));
   auto queued = std::move(pending_);
   pending_.clear();
@@ -908,6 +974,14 @@ Status Replica::HandoffTo(NodeId new_leader) {
   }
   if (new_leader == id_) {
     return Status::InvalidArgument("cannot hand off to self");
+  }
+  if (config_.enable_fast_path && fast_grant_.valid() &&
+      fast_grant_.ballot == ballot_) {
+    // A handoff continues the same ballot with no promise barrier, so the
+    // new leader could classic-propose over a fast commit it never saw.
+    // Refusing forces the requester into an election, whose prepare round
+    // observes every fast vote.
+    return Status::FailedPrecondition("fast grant outstanding; elect instead");
   }
   auto msg = std::make_shared<RelinquishMsg>(
       config_.partition, ballot_, next_slot_, declared_intents_, lz_view_);
@@ -1010,6 +1084,22 @@ void Replica::OnRelinquish(NodeId from, const RelinquishMsg& msg) {
 // Request forwarding (remote clients)
 
 void Replica::SubmitOrForward(Value value, CommitCallback cb) {
+  // Fast path: with a grant armed, skip the leader relay and send the
+  // value straight to the fast quorum's acceptors; any nack, conflict or
+  // timeout falls back to the classic forward below (same request id).
+  if (config_.enable_fast_path && !is_leader() &&
+      quorums_->mode() != ProtocolMode::kLeaderless && fast_grant_.valid()) {
+    const uint64_t request_id = next_forward_id_++;
+    PendingForward& fw = pending_forwards_[request_id];
+    fw.value = std::move(value);
+    const Timestamp submitted = sim_->Now();
+    fw.cb = [this, submitted, inner = std::move(cb)](
+                const Status& st, SlotId slot, Duration) {
+      if (inner) inner(st, slot, sim_->Now() - submitted);
+    };
+    StartFastAttempt(request_id);
+    return;
+  }
   if (is_leader() || quorums_->mode() == ProtocolMode::kLeaderless ||
       leader_hint_ == kInvalidNode || leader_hint_ == id_) {
     Submit(std::move(value), std::move(cb));
@@ -1049,6 +1139,7 @@ void Replica::SendForward(uint64_t request_id) {
 
 void Replica::FinishForward(uint64_t request_id, const Status& status,
                             SlotId slot) {
+  CancelFastAttempt(request_id);  // the request is resolved either way
   auto it = pending_forwards_.find(request_id);
   if (it == pending_forwards_.end()) return;
   PendingForward fw = std::move(it->second);
@@ -1086,6 +1177,22 @@ void Replica::OnForward(NodeId from, const ForwardMsg& msg) {
 
 void Replica::OnForwardReply(NodeId from, const ForwardReplyMsg& msg) {
   (void)from;
+  // A reply for a live fast attempt resolves it: OK means the leader's
+  // tracker committed for us; anything else (a conflict-loser bounce) is
+  // a fallback, and the retry logic below re-drives it classically.
+  if (auto fa = fast_attempts_.find(msg.request_id);
+      fa != fast_attempts_.end()) {
+    if (fa->second.timer != 0) sim_->Cancel(fa->second.timer);
+    fast_attempts_.erase(fa);
+    if (msg.code != StatusCode::kOk) {
+      ++counters_.fast_fallbacks;
+    } else {
+      // Leader-acked fast commit: the safety-net reply resolved the
+      // attempt before (or instead of, under enable_leases) our own
+      // tally.
+      ++counters_.fast_commits;
+    }
+  }
   auto it = pending_forwards_.find(msg.request_id);
   if (it == pending_forwards_.end()) return;  // duplicate / late reply
   if (msg.code == StatusCode::kOk) {
@@ -1119,6 +1226,286 @@ void Replica::OnForwardReply(NodeId from, const ForwardReplyMsg& msg) {
     return;
   }
   SendForward(msg.request_id);
+}
+
+// -----------------------------------------------------------------------
+// Fast path (enable_fast_path; docs/PROTOCOL.md §fast-path)
+
+void Replica::StartFastAttempt(uint64_t request_id) {
+  auto fw = pending_forwards_.find(request_id);
+  DPAXOS_CHECK(fw != pending_forwards_.end());
+  FastAttempt& fa = fast_attempts_[request_id];
+  fa.ballot = fast_grant_.ballot;
+  fa.quorum_size = fast_grant_.quorum.size();
+  auto msg = std::make_shared<FastAcceptMsg>(
+      config_.partition, fast_grant_.ballot, request_id, fw->second.value);
+  // One round trip: straight to the fast quorum's acceptors (the leader
+  // is a member and tracks votes from its own copy's replies).
+  SendToAll(fast_grant_.quorum, msg);
+  fa.timer = ScheduleSafe(FastTimeout(), [this, request_id] {
+    auto it = fast_attempts_.find(request_id);
+    if (it == fast_attempts_.end()) return;
+    it->second.timer = 0;
+    FastFallback(request_id);
+  });
+}
+
+void Replica::FastFallback(uint64_t request_id) {
+  auto it = fast_attempts_.find(request_id);
+  if (it == fast_attempts_.end()) return;
+  if (it->second.timer != 0) sim_->Cancel(it->second.timer);
+  fast_attempts_.erase(it);
+  ++counters_.fast_fallbacks;
+  auto fw = pending_forwards_.find(request_id);
+  if (fw == pending_forwards_.end()) return;  // already resolved
+  if (!is_leader() && quorums_->mode() != ProtocolMode::kLeaderless &&
+      leader_hint_ != kInvalidNode && leader_hint_ != id_) {
+    SendForward(request_id);  // classic relay, same request id
+    return;
+  }
+  // No usable hint (or we got elected meanwhile): commit locally.
+  PendingForward local = std::move(fw->second);
+  pending_forwards_.erase(fw);
+  if (local.timer != 0) sim_->Cancel(local.timer);
+  Submit(std::move(local.value), std::move(local.cb));
+}
+
+void Replica::CancelFastAttempt(uint64_t request_id) {
+  auto it = fast_attempts_.find(request_id);
+  if (it == fast_attempts_.end()) return;
+  if (it->second.timer != 0) sim_->Cancel(it->second.timer);
+  fast_attempts_.erase(it);
+}
+
+void Replica::OnFastGrant(NodeId from, const FastGrantMsg& msg) {
+  (void)from;
+  ObserveBallot(msg.ballot);
+  if (!config_.enable_fast_path) return;
+  if (fast_grant_.valid() && msg.ballot < fast_grant_.ballot) return;
+  // Prepare-lite: promising the grant ballot keeps a deposed leader's
+  // classic proposals from landing under fast votes it cannot see.
+  if (acceptor_.PromiseAtLeast(msg.ballot) && sync_hook_) sync_hook_();
+  if (msg.ballot > ballot_ && role_ != Role::kFollower &&
+      msg.ballot.node != id_) {
+    StepDown(msg.ballot);
+  }
+  if (quorums_->mode() != ProtocolMode::kLeaderless) {
+    leader_hint_ = msg.ballot.node;
+  }
+  fast_grant_.ballot = msg.ballot;
+  fast_grant_.first_slot = msg.first_slot;
+  fast_grant_.quorum = msg.quorum;
+  DPAXOS_CHECK(std::is_sorted(fast_grant_.quorum.begin(),
+                              fast_grant_.quorum.end()));
+}
+
+void Replica::OnFastAccept(NodeId from, const FastAcceptMsg& msg) {
+  ObserveBallot(msg.ballot);
+  const bool eligible =
+      config_.enable_fast_path && fast_grant_.valid() &&
+      msg.ballot == fast_grant_.ballot &&
+      std::binary_search(fast_grant_.quorum.begin(), fast_grant_.quorum.end(),
+                         id_);
+  Acceptor::FastVoteOutcome out;
+  if (eligible) {
+    // Fence fast votes above every slot committed below the grant ballot
+    // (first_slot) and above what this node already knows decided; the
+    // leader additionally fences its own classic allocation cursor so a
+    // concurrent classic propose never lands under a local fast vote.
+    SlotId min_slot = std::max(fast_grant_.first_slot, watermark_);
+    if (role_ == Role::kLeader) min_slot = std::max(min_slot, next_slot_);
+    out = acceptor_.OnFastAccept(msg.ballot, msg.value, min_slot);
+  } else {
+    out.promised_ballot = acceptor_.promised();
+  }
+  if (!out.voted) {
+    auto nack = std::make_shared<FastNackMsg>(
+        config_.partition, msg.ballot, out.promised_ballot, msg.request_id);
+    nack->leader_hint = leader_hint_;
+    SendTo(from, nack);
+    return;
+  }
+  ++counters_.fast_votes;
+  if (role_ == Role::kLeader) {
+    next_slot_ = std::max(next_slot_, out.slot + 1);
+  }
+  auto reply = std::make_shared<FastAcceptedMsg>(
+      config_.partition, msg.ballot, out.slot, from, msg.request_id,
+      msg.value);
+  const NodeId leader = fast_grant_.ballot.node;
+  const auto deliver = [this, from, leader, reply] {
+    if (sync_hook_) sync_hook_();
+    SendTo(from, reply);
+    // The grant leader tracks every vote (unanimity and conflicts); our
+    // own copy reaches the local tracker through the loopback transport.
+    if (leader != from) SendTo(leader, reply);
+  };
+  if (config_.storage_sync_delay > 0) {
+    // The vote is durable before it is answered.
+    ScheduleSafe(config_.storage_sync_delay, deliver);
+  } else {
+    deliver();
+  }
+}
+
+void Replica::OnFastAccepted(NodeId from, const FastAcceptedMsg& msg) {
+  ObserveBallot(msg.ballot);
+  // Proposer-side tally (this copy was addressed to the proposer).
+  if (msg.proposer == id_) {
+    auto it = fast_attempts_.find(msg.request_id);
+    if (it != fast_attempts_.end() && msg.ballot == it->second.ballot) {
+      FastAttempt& fa = it->second;
+      fa.voters.insert(from);
+      std::set<NodeId>& slot_votes = fa.votes[msg.slot];
+      slot_votes.insert(from);
+      if (slot_votes.size() >= fa.quorum_size) {
+        if (config_.enable_leases) {
+          // Lease-local reads serve the leaseholder's decided prefix,
+          // so the commit point must be the LEADER's unanimity: an
+          // origin-side ack here could let the client read at the
+          // leaseholder before the leader observed the final vote.
+          // Wait for the safety-net ForwardReply (OnForwardReply
+          // finishes; the attempt timer still guards liveness).
+          return;
+        }
+        // Unanimity on one slot: committed in a single round trip.
+        if (fa.timer != 0) sim_->Cancel(fa.timer);
+        fast_attempts_.erase(it);
+        ++counters_.fast_commits;
+        FinishForward(msg.request_id, Status::OK(), msg.slot);
+        return;
+      }
+      if (fa.voters.size() >= fa.quorum_size) {
+        // Every member voted, but across different slots: unanimity is
+        // now impossible — do not wait out the timer.
+        FastFallback(msg.request_id);
+        return;
+      }
+    }
+  }
+  // Leader-side tracker (this copy was addressed to the grant leader).
+  if (role_ == Role::kLeader && msg.ballot == ballot_) {
+    TrackFastVote(from, msg.slot, msg.value, msg.proposer, msg.request_id);
+  }
+}
+
+void Replica::OnFastNack(NodeId from, const FastNackMsg& msg) {
+  (void)from;
+  ObserveBallot(msg.promised);
+  if (fast_attempts_.count(msg.request_id) == 0) return;
+  if (msg.leader_hint != kInvalidNode && msg.leader_hint != id_) {
+    leader_hint_ = msg.leader_hint;
+  }
+  FastFallback(msg.request_id);
+}
+
+void Replica::TrackFastVote(NodeId voter, SlotId slot, const Value& value,
+                            NodeId proposer, uint64_t request_id) {
+  if (!fast_grant_.valid() || fast_grant_.ballot != ballot_) return;
+  if (!std::binary_search(fast_grant_.quorum.begin(),
+                          fast_grant_.quorum.end(), voter)) {
+    return;
+  }
+  if (decided_.count(slot) > 0) return;  // already resolved
+  FastSlot& fs = fast_slots_[slot];
+  fs.votes[voter] = value.id;
+  fs.values.emplace(value.id, value);
+  fs.origins.emplace(value.id, std::make_pair(proposer, request_id));
+  if (fs.timer == 0) {
+    // Liveness net: a slot that never reaches unanimity (lost votes,
+    // nacked members) is resolved classically so the log has no holes.
+    fs.timer = ScheduleSafe(FastTimeout(), [this, slot] {
+      auto it = fast_slots_.find(slot);
+      if (it == fast_slots_.end()) return;
+      it->second.timer = 0;
+      ResolveFastSlot(slot);
+    });
+  }
+  if (fs.values.size() > 1) {
+    ResolveFastSlot(slot);  // two values on one slot: conflict
+    return;
+  }
+  if (fs.votes.size() >= fast_grant_.quorum.size()) {
+    // Unanimous: committed. (Our own acceptor is a member, so its vote —
+    // which advanced next_slot_ — is part of this count.)
+    FastSlot done = std::move(fs);
+    fast_slots_.erase(slot);
+    if (done.timer != 0) sim_->Cancel(done.timer);
+    next_slot_ = std::max(next_slot_, slot + 1);
+    const Value v = done.values.begin()->second;
+    LearnDecided(slot, v);
+    AnnounceDecide(slot, v);
+    // Safety net: resolve the proposer's forward even if its own tally
+    // copies were lost (duplicate replies are ignored there). Under the
+    // lease fence this reply IS the commit ack, so it too waits for
+    // watermark coverage.
+    DeferOrAck(slot, [this, proposer, request_id, slot] {
+      auto reply =
+          std::make_shared<ForwardReplyMsg>(config_.partition, request_id);
+      reply->code = StatusCode::kOk;
+      reply->slot = slot;
+      reply->leader_hint = id_;
+      SendTo(proposer, reply);
+    });
+    DrainPending();
+  }
+}
+
+void Replica::ResolveFastSlot(SlotId slot) {
+  auto it = fast_slots_.find(slot);
+  if (it == fast_slots_.end()) return;
+  FastSlot fs = std::move(it->second);
+  fast_slots_.erase(it);
+  if (fs.timer != 0) sim_->Cancel(fs.timer);
+  if (role_ != Role::kLeader) return;  // a later election recovers
+  if (fs.values.size() > 1) ++counters_.fast_conflicts;
+
+  const bool slot_taken =
+      decided_.count(slot) > 0 || inflight_.count(slot) > 0;
+  // Winner: the value our own acceptor fast-voted here if any (every
+  // fast-committable value must include our vote), else the smallest
+  // value id — deterministic without any RNG draw.
+  uint64_t winner_id = fs.values.begin()->first;
+  const AcceptedEntry* own = acceptor_.AcceptedFor(slot);
+  if (own != nullptr && own->fast && own->ballot == ballot_ &&
+      fs.values.count(own->value.id) > 0) {
+    winner_id = own->value.id;
+  }
+  // Bounce the losers (and, if the slot is already spoken for, everyone)
+  // back to their proposers: they re-drive the same request classically,
+  // which avoids committing a fallback value twice.
+  for (const auto& [vid, origin] : fs.origins) {
+    if (!slot_taken && vid == winner_id) continue;
+    auto reply =
+        std::make_shared<ForwardReplyMsg>(config_.partition, origin.second);
+    reply->code = StatusCode::kAborted;
+    reply->leader_hint = id_;
+    SendTo(origin.first, reply);
+  }
+  if (slot_taken) return;
+
+  next_slot_ = std::max(next_slot_, slot + 1);
+  Value winner = fs.values.at(winner_id);
+  CommitCallback cb = IgnoreCommit;
+  if (auto origin = fs.origins.find(winner_id); origin != fs.origins.end()) {
+    const NodeId prop = origin->second.first;
+    const uint64_t rid = origin->second.second;
+    cb = [this, prop, rid](const Status& st, SlotId s, Duration) {
+      auto reply = std::make_shared<ForwardReplyMsg>(config_.partition, rid);
+      reply->code = st.code();
+      reply->slot = s;
+      reply->leader_hint = id_;
+      SendTo(prop, reply);
+    };
+  }
+  StartPropose(slot, std::move(winner), std::move(cb));
+}
+
+void Replica::ClearFastSlots() {
+  for (auto& [slot, fs] : fast_slots_) {
+    if (fs.timer != 0) sim_->Cancel(fs.timer);
+  }
+  fast_slots_.clear();
 }
 
 // -----------------------------------------------------------------------
@@ -1445,6 +1832,7 @@ void Replica::InstallReassembledSnapshot() {
     log_start_ = std::max(log_start_, through);
     watermark_ = std::max(watermark_, through);
     while (decided_.Contains(watermark_)) ++watermark_;
+    FlushDeferredAcks();
     acceptor_.ReleaseAcceptedBelow(through);
     if (sync_hook_) sync_hook_();
   }
@@ -1835,6 +2223,14 @@ void Replica::HandleMessage(NodeId from, const MessagePtr& msg) {
       return OnLzStoreAck(from, static_cast<const LzStoreAckMsg&>(m));
     case WireType::kLzAnnounce:
       return OnLzAnnounce(from, static_cast<const LzAnnounceMsg&>(m));
+    case WireType::kFastGrant:
+      return OnFastGrant(from, static_cast<const FastGrantMsg&>(m));
+    case WireType::kFastAccept:
+      return OnFastAccept(from, static_cast<const FastAcceptMsg&>(m));
+    case WireType::kFastAccepted:
+      return OnFastAccepted(from, static_cast<const FastAcceptedMsg&>(m));
+    case WireType::kFastNack:
+      return OnFastNack(from, static_cast<const FastNackMsg&>(m));
     default:
       break;  // e.g. a GC poll reply, which the replica never consumes
   }

@@ -71,6 +71,11 @@ struct ProtocolCounters {
   /// (decide slot beyond the horizon, value conflict on a decided slot).
   /// Nonzero under on-the-wire corruption; see LearnDecided.
   uint64_t suspect_msgs_rejected = 0;
+  // Fast path (enable_fast_path; docs/PROTOCOL.md §fast-path).
+  uint64_t fast_commits = 0;    ///< proposer: one-round-trip completions
+  uint64_t fast_fallbacks = 0;  ///< proposer: attempts that left the fast path
+  uint64_t fast_votes = 0;      ///< acceptor: fast-round votes cast
+  uint64_t fast_conflicts = 0;  ///< leader: conflicting-vote resolutions
 };
 
 /// \brief One replica of one partition.
@@ -282,6 +287,19 @@ class Replica {
   /// Monotonic protocol event counters for observability.
   const ProtocolCounters& counters() const { return counters_; }
 
+  /// The fast-path grant this node currently holds (enable_fast_path):
+  /// the leader regime's ballot, the pinned fast quorum, and the slot
+  /// fence below which fast votes may not land. Volatile by design — a
+  /// restarted node nacks fast accepts until the next grant, which only
+  /// costs the proposer a classic fallback.
+  struct FastGrant {
+    Ballot ballot;
+    SlotId first_slot = 0;
+    std::vector<NodeId> quorum;  ///< sorted; empty = no grant armed
+    bool valid() const { return !quorum.empty(); }
+  };
+  const FastGrant& fast_grant() const { return fast_grant_; }
+
   /// Leader Election rounds this replica has completed successfully.
   uint64_t elections_won() const { return elections_won_; }
   /// Expansion rounds (second LE phases) this replica has issued.
@@ -369,6 +387,10 @@ class Replica {
   void OnRelinquish(NodeId from, const RelinquishMsg& msg);
   void OnForward(NodeId from, const ForwardMsg& msg);
   void OnForwardReply(NodeId from, const ForwardReplyMsg& msg);
+  void OnFastGrant(NodeId from, const FastGrantMsg& msg);
+  void OnFastAccept(NodeId from, const FastAcceptMsg& msg);
+  void OnFastAccepted(NodeId from, const FastAcceptedMsg& msg);
+  void OnFastNack(NodeId from, const FastNackMsg& msg);
   void OnLearnRequest(NodeId from, const LearnRequestMsg& msg);
   void OnLearnReply(NodeId from, const LearnReplyMsg& msg);
   void OnSnapshotRequest(NodeId from, const SnapshotRequestMsg& msg);
@@ -400,6 +422,9 @@ class Replica {
   void OnRecoveryProgress();
   void RetransmitPropose(SlotId slot);
   void Decide(SlotId slot);
+  /// Commit-notification fan-out per decide_policy (factored out of
+  /// Decide so fast unanimity commits share it).
+  void AnnounceDecide(SlotId slot, const Value& value);
   void LearnDecided(SlotId slot, const Value& value);
   void DrainPending();
   void StepDown(const Ballot& preemptor);
@@ -485,6 +510,16 @@ class Replica {
   // Learner state.
   DecidedLog decided_;
   SlotId watermark_ = 0;   // lowest slot not yet known decided
+  /// Lease fence (enable_leases && enable_fast_path): lease-local reads
+  /// serve the contiguous decided prefix [0, watermark_), so a commit
+  /// ack may only leave the leader once the watermark covers its slot.
+  /// Fast-mode decides complete out of order (a conflicted slot waits
+  /// out its fast timeout while higher slots commit unanimously), so
+  /// acks for slots above a hole park here until LearnDecided advances
+  /// the watermark past them.
+  std::multimap<SlotId, std::function<void()>> deferred_acks_;
+  void DeferOrAck(SlotId slot, std::function<void()> ack);
+  void FlushDeferredAcks();
   SlotId log_start_ = 0;   // lowest retained decided slot (truncation)
   DecideCallback decide_cb_;
   std::function<void()> sync_hook_;
@@ -501,6 +536,46 @@ class Replica {
   std::map<uint64_t, PendingForward> pending_forwards_;
   void SendForward(uint64_t request_id);
   void FinishForward(uint64_t request_id, const Status& status, SlotId slot);
+
+  // Fast path (enable_fast_path; docs/PROTOCOL.md §fast-path).
+  //
+  // Proposer-side attempt: rides the pending_forwards_ entry of the same
+  // request_id (fallback re-drives SendForward; the leader's conflict
+  // resolutions answer with ordinary ForwardReply messages).
+  struct FastAttempt {
+    Ballot ballot;           ///< the grant ballot this attempt targets
+    size_t quorum_size = 0;  ///< unanimity threshold (|fast quorum|)
+    std::map<SlotId, std::set<NodeId>> votes;  ///< voters per slot
+    std::set<NodeId> voters;                   ///< all members heard from
+    EventId timer = 0;
+  };
+  // Leader-side per-slot vote tracker: detects unanimity (commit) and
+  // conflicting values (classic re-proposal on the same slot).
+  struct FastSlot {
+    std::map<NodeId, uint64_t> votes;  ///< voter -> value id
+    std::map<uint64_t, Value> values;  ///< distinct values seen (by id)
+    /// value id -> (proposer, request id), for ForwardReply routing.
+    std::map<uint64_t, std::pair<NodeId, uint64_t>> origins;
+    EventId timer = 0;
+  };
+  FastGrant fast_grant_;
+  std::map<uint64_t, FastAttempt> fast_attempts_;
+  std::map<SlotId, FastSlot> fast_slots_;
+  void StartFastAttempt(uint64_t request_id);
+  /// Leave the fast path for `request_id` and re-drive it classically.
+  void FastFallback(uint64_t request_id);
+  /// Drop the attempt without re-driving (the forward already resolved).
+  void CancelFastAttempt(uint64_t request_id);
+  void TrackFastVote(NodeId voter, SlotId slot, const Value& value,
+                     NodeId proposer, uint64_t request_id);
+  /// Conflict/timeout resolution: classic-propose the winner on the same
+  /// slot, bounce the losers back to their proposers.
+  void ResolveFastSlot(SlotId slot);
+  void ClearFastSlots();
+  Duration FastTimeout() const {
+    return config_.fast_timeout > 0 ? config_.fast_timeout
+                                    : config_.propose_timeout;
+  }
 
   // Catch-up state.
   struct CatchUp {

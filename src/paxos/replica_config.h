@@ -77,6 +77,20 @@ struct ReplicaConfig {
   Duration heartbeat_interval = 500 * kMillisecond;
   Duration election_timeout = 2 * kSecond;
 
+  // --- Fast path (docs/PROTOCOL.md §fast-path) -----------------------------
+
+  /// Commit uncontended writes in one proposer->acceptors->proposer round
+  /// trip: the elected leader grants a pinned fast quorum, edge proposers
+  /// send FastAccept straight to its acceptors, and unanimity commits.
+  /// Conflicts, nacks and timeouts fall back to the classic forward path.
+  /// Off by default — fast-off runs are message-for-message identical to
+  /// the legacy protocol (golden schedules preserved).
+  bool enable_fast_path = false;
+
+  /// How long a proposer waits for fast-quorum unanimity before falling
+  /// back to the classic path. 0 borrows propose_timeout.
+  Duration fast_timeout = 0;
+
   // --- Liveness timers ---------------------------------------------------
 
   Duration le_timeout = 2 * kSecond;

@@ -96,11 +96,12 @@ void PutAcceptedEntry(W& w, const AcceptedEntry& e) {
   w.PutU64(e.slot);
   PutBallot(w, e.ballot);
   PutValue(w, e.value);
+  w.PutBool(e.fast);
 }
 
 bool ReadAcceptedEntry(ByteReader& r, AcceptedEntry* e) {
   return r.ReadU64(&e->slot) && ReadBallot(r, &e->ballot) &&
-         ReadValue(r, &e->value);
+         ReadValue(r, &e->value) && r.ReadBool(&e->fast);
 }
 
 // --- per-type encoders ----------------------------------------------------
@@ -296,6 +297,38 @@ void Encode(W& w, const SnapshotRequestMsg& m) {
 }
 
 template <typename W>
+void Encode(W& w, const FastGrantMsg& m) {
+  PutBallot(w, m.ballot);
+  w.PutU64(m.first_slot);
+  w.PutU32(static_cast<uint32_t>(m.quorum.size()));
+  for (NodeId n : m.quorum) w.PutU32(n);
+}
+
+template <typename W>
+void Encode(W& w, const FastAcceptMsg& m) {
+  PutBallot(w, m.ballot);
+  w.PutU64(m.request_id);
+  PutValue(w, m.value);
+}
+
+template <typename W>
+void Encode(W& w, const FastAcceptedMsg& m) {
+  PutBallot(w, m.ballot);
+  w.PutU64(m.slot);
+  w.PutU32(m.proposer);
+  w.PutU64(m.request_id);
+  PutValue(w, m.value);
+}
+
+template <typename W>
+void Encode(W& w, const FastNackMsg& m) {
+  PutBallot(w, m.ballot);
+  PutBallot(w, m.promised);
+  w.PutU64(m.request_id);
+  w.PutU32(m.leader_hint);
+}
+
+template <typename W>
 void Encode(W& w, const SnapshotChunkMsg& m) {
   w.PutU64(m.through_slot);
   w.PutU64(m.offset);
@@ -397,6 +430,18 @@ void EncodeBody(W& w, const Message& msg, WireType type) {
       return;
     case WireType::kHeartbeat:
       Encode(w, static_cast<const HeartbeatMsg&>(msg));
+      return;
+    case WireType::kFastGrant:
+      Encode(w, static_cast<const FastGrantMsg&>(msg));
+      return;
+    case WireType::kFastAccept:
+      Encode(w, static_cast<const FastAcceptMsg&>(msg));
+      return;
+    case WireType::kFastAccepted:
+      Encode(w, static_cast<const FastAcceptedMsg&>(msg));
+      return;
+    case WireType::kFastNack:
+      Encode(w, static_cast<const FastNackMsg&>(msg));
       return;
   }
   DPAXOS_CHECK_MSG(false, "unserializable message " << msg.TypeName());
@@ -651,6 +696,59 @@ MessagePtr DecodeLearnReply(ByteReader& r, PartitionId p) {
   return msg;
 }
 
+MessagePtr DecodeFastGrant(ByteReader& r, PartitionId p) {
+  Ballot ballot;
+  uint64_t first_slot = 0;
+  uint32_t count = 0;
+  if (!ReadBallot(r, &ballot) || !r.ReadU64(&first_slot) ||
+      !r.ReadU32(&count) || count > r.remaining() / 4 + 1) {
+    return nullptr;
+  }
+  std::vector<NodeId> quorum(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!r.ReadU32(&quorum[i])) return nullptr;
+  }
+  return std::make_shared<FastGrantMsg>(p, ballot, first_slot,
+                                        std::move(quorum));
+}
+
+MessagePtr DecodeFastAccept(ByteReader& r, PartitionId p) {
+  Ballot ballot;
+  uint64_t request_id = 0;
+  Value value;
+  if (!ReadBallot(r, &ballot) || !r.ReadU64(&request_id) ||
+      !ReadValue(r, &value)) {
+    return nullptr;
+  }
+  return std::make_shared<FastAcceptMsg>(p, ballot, request_id,
+                                         std::move(value));
+}
+
+MessagePtr DecodeFastAccepted(ByteReader& r, PartitionId p) {
+  Ballot ballot;
+  uint64_t slot = 0, request_id = 0;
+  uint32_t proposer = 0;
+  Value value;
+  if (!ReadBallot(r, &ballot) || !r.ReadU64(&slot) || !r.ReadU32(&proposer) ||
+      !r.ReadU64(&request_id) || !ReadValue(r, &value)) {
+    return nullptr;
+  }
+  return std::make_shared<FastAcceptedMsg>(p, ballot, slot, proposer,
+                                           request_id, std::move(value));
+}
+
+MessagePtr DecodeFastNack(ByteReader& r, PartitionId p) {
+  Ballot ballot, promised;
+  uint64_t request_id = 0;
+  if (!ReadBallot(r, &ballot) || !ReadBallot(r, &promised) ||
+      !r.ReadU64(&request_id)) {
+    return nullptr;
+  }
+  auto msg = std::make_shared<FastNackMsg>(p, ballot, promised, request_id);
+  if (!r.ReadU32(&msg->leader_hint)) return nullptr;
+  return msg;
+}
+
 MessagePtr DecodeSnapshotRequest(ByteReader& r, PartitionId p) {
   uint64_t offset = 0;
   if (!r.ReadU64(&offset)) return nullptr;
@@ -799,6 +897,18 @@ Result<MessagePtr> DeserializeMessage(std::string_view bytes) {
       }
       break;
     }
+    case WireType::kFastGrant:
+      msg = DecodeFastGrant(r, partition);
+      break;
+    case WireType::kFastAccept:
+      msg = DecodeFastAccept(r, partition);
+      break;
+    case WireType::kFastAccepted:
+      msg = DecodeFastAccepted(r, partition);
+      break;
+    case WireType::kFastNack:
+      msg = DecodeFastNack(r, partition);
+      break;
     default:
       return Status::Corruption("unknown wire type tag");
   }

@@ -29,6 +29,22 @@ QuorumRule QuorumSystem::ReplicationRuleForIntent(
                             static_cast<uint32_t>(intent_nodes.size()));
 }
 
+std::vector<NodeId> QuorumSystem::FastQuorum(NodeId leader) const {
+  // Expanding Quorums modes pin the fast quorum to the leader's primary
+  // declared intent: elections already detect stored intents and expand
+  // to intersect them, which is exactly the recovery-intersection the
+  // fast path needs (the intent interaction).
+  if (UsesIntents()) return IntentQuorum(leader);
+  return {};
+}
+
+bool QuorumSystem::FastIntersectsRecovery(
+    const std::vector<NodeId>& fast_quorum, const QuorumRule& recovery_rule) {
+  if (fast_quorum.empty()) return false;
+  return recovery_rule.AlwaysIntersects(
+      std::set<NodeId>(fast_quorum.begin(), fast_quorum.end()));
+}
+
 std::vector<NodeId> SmallestReplicationQuorum(const Topology& topology,
                                               NodeId leader,
                                               FaultTolerance ft) {
@@ -101,6 +117,27 @@ std::vector<NodeId> MajorityQuorumSystem::IntentQuorum(
   return {};
 }
 
+std::vector<NodeId> MajorityQuorumSystem::FastQuorum(NodeId leader) const {
+  // The smallest set every majority must meet: n - maj(n) + 1 nodes.
+  // Anchoring it at the leader (plus its nearest peers, zone by zone)
+  // keeps the leader inside every fast quorum and lets two far-apart
+  // leaders own disjoint fast quorums — the relaxation at work.
+  const uint32_t n = topology_->num_nodes();
+  const uint32_t size = n - MajorityOf(n) + 1;
+  std::vector<NodeId> quorum;
+  quorum.push_back(leader);
+  for (ZoneId z : topology_->ZonesByProximity(topology_->ZoneOf(leader))) {
+    for (NodeId node : topology_->NodesInZone(z)) {
+      if (quorum.size() >= size) break;
+      if (node != leader) quorum.push_back(node);
+    }
+    if (quorum.size() >= size) break;
+  }
+  DPAXOS_CHECK_EQ(quorum.size(), size);
+  std::sort(quorum.begin(), quorum.end());
+  return quorum;
+}
+
 // ---------------------------------------------------------------------
 // SubsetMajorityQuorumSystem
 
@@ -129,6 +166,26 @@ QuorumRule SubsetMajorityQuorumSystem::DefaultReplicationRule(
 std::vector<NodeId> SubsetMajorityQuorumSystem::IntentQuorum(
     NodeId /*leader*/) const {
   return {};
+}
+
+std::vector<NodeId> SubsetMajorityQuorumSystem::FastQuorum(
+    NodeId leader) const {
+  // Only member leaders can anchor a fast quorum; a non-member leader
+  // never arises in practice, but returning empty (= no fast path) is
+  // the safe answer if it does.
+  if (!std::binary_search(members_.begin(), members_.end(), leader)) {
+    return {};
+  }
+  const uint32_t m = static_cast<uint32_t>(members_.size());
+  const uint32_t size = m - MajorityOf(m) + 1;
+  std::vector<NodeId> quorum;
+  quorum.push_back(leader);
+  for (NodeId node : members_) {
+    if (quorum.size() >= size) break;
+    if (node != leader) quorum.push_back(node);
+  }
+  std::sort(quorum.begin(), quorum.end());
+  return quorum;
 }
 
 // ---------------------------------------------------------------------
@@ -170,6 +227,14 @@ QuorumRule ZoneCentricQuorumSystem::DefaultReplicationRule(
 std::vector<NodeId> ZoneCentricQuorumSystem::IntentQuorum(
     NodeId /*leader*/) const {
   return {};
+}
+
+std::vector<NodeId> ZoneCentricQuorumSystem::FastQuorum(NodeId leader) const {
+  // One concrete replication quorum — fd+1 nodes in each of the fz+1
+  // zones nearest the leader. Every leader-election quorum (|Z_i|-fd
+  // nodes in |Z|-fz zones) intersects it by Definition 1, so the
+  // recovery half of the relaxed predicate holds structurally.
+  return SmallestReplicationQuorum(*topology_, leader, ft_);
 }
 
 // ---------------------------------------------------------------------

@@ -99,6 +99,30 @@ class QuorumSystem {
   /// intersect detected intents (Expanding Quorums modes).
   virtual bool UsesIntents() const = 0;
 
+  /// Concrete fast-round quorum pinned to a leader regime (Fast Flexible
+  /// Paxos): the fixed acceptor set whose UNANIMOUS votes at the leader's
+  /// ballot commit a value in one proposer->acceptors->proposer round
+  /// trip. Invariants the protocol relies on:
+  ///   - the leader is a member (its own acceptor vote gates every fast
+  ///     commit, which is what makes same-ballot classic overwrites safe);
+  ///   - the set intersects every leader-election (recovery) quorum —
+  ///     structurally for majority / zone-centric geometries, or via the
+  ///     intent interaction for Expanding Quorums modes (this set IS the
+  ///     declared intent, which elections detect and expand around).
+  /// Fast quorums of DIFFERENT leaders need NOT intersect each other —
+  /// that is the relaxed intersection predicate (fast ∩ recovery
+  /// required, fast ∩ fast not); per-ballot uniqueness plus unanimity
+  /// stand in for fast/fast intersection. Empty = no fast path in this
+  /// geometry (e.g. a leader outside a subset system's member set).
+  virtual std::vector<NodeId> FastQuorum(NodeId leader) const;
+
+  /// The relaxed intersection predicate itself: `fast_quorum` is safe to
+  /// recover under `recovery_rule` iff every satisfying set of the rule
+  /// meets it. Exact (delegates to QuorumRule::AlwaysIntersects); the
+  /// oracle tests check it against brute-force subset enumeration.
+  static bool FastIntersectsRecovery(const std::vector<NodeId>& fast_quorum,
+                                     const QuorumRule& recovery_rule);
+
   const Topology& topology() const { return *topology_; }
   const FaultTolerance& fault_tolerance() const { return ft_; }
 
@@ -138,6 +162,7 @@ class MajorityQuorumSystem final : public QuorumSystem {
   QuorumRule DefaultReplicationRule(NodeId leader) const override;
   std::vector<NodeId> IntentQuorum(NodeId leader) const override;
   bool UsesIntents() const override { return false; }
+  std::vector<NodeId> FastQuorum(NodeId leader) const override;
 
  private:
   ProtocolMode mode_;
@@ -162,6 +187,7 @@ class SubsetMajorityQuorumSystem final : public QuorumSystem {
   QuorumRule DefaultReplicationRule(NodeId leader) const override;
   std::vector<NodeId> IntentQuorum(NodeId leader) const override;
   bool UsesIntents() const override { return false; }
+  std::vector<NodeId> FastQuorum(NodeId leader) const override;
 
   const std::vector<NodeId>& members() const { return members_; }
 
@@ -184,6 +210,7 @@ class ZoneCentricQuorumSystem final : public QuorumSystem {
   QuorumRule DefaultReplicationRule(NodeId leader) const override;
   std::vector<NodeId> IntentQuorum(NodeId leader) const override;
   bool UsesIntents() const override { return false; }
+  std::vector<NodeId> FastQuorum(NodeId leader) const override;
 };
 
 /// \brief Delegate Expanding Quorums (paper Section 4.3.1).

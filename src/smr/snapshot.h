@@ -25,6 +25,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/crc32.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -41,9 +42,8 @@ struct Snapshot {
   std::string payload;
 };
 
-/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) — the checksum
-/// the envelope embeds. Exposed so tests can forge/verify checksums.
-uint32_t Crc32(std::string_view bytes);
+// The envelope's checksum is Crc32 from common/crc32.h (included above
+// so existing callers keep finding it through this header).
 
 /// Wrap `payload` (covering slots [0, through_slot)) in the envelope.
 std::string EncodeSnapshot(SlotId through_slot, std::string_view payload);

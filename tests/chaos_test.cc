@@ -147,6 +147,44 @@ INSTANTIATE_TEST_SUITE_P(AllModes, ChaosRecoveryTest,
                            }
                          });
 
+// Fast-path commits under fire (docs/PROTOCOL.md §fast-path): zone-local
+// clients enter at follower origins whose writes ride the fast quorum,
+// while the schedule crashes nodes, cuts zones and drops frames. The
+// cells must show BOTH halves of the state machine — fast commits when
+// uncontended AND classic fallbacks when contended/faulted — and still
+// pass the same Wing–Gong + session-guarantee checkers with exactly-once
+// semantics.
+class ChaosFastPathTest : public testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosFastPathTest, FastAndFallbackCommitsStayLinearizable) {
+  const ChaosCase& c = GetParam();
+  ChaosOptions options;
+  options.mode = c.mode;
+  options.schedule = c.schedule;
+  options.seed = c.seed;
+  options.enable_fast_path = true;
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.consistency.ok()) << report.Summary();
+  EXPECT_TRUE(report.converged) << report.Summary();
+  EXPECT_GT(report.ops_committed, 50u) << report.Summary();
+  // The fast path actually ran...
+  EXPECT_GT(report.fast_commits, 0u) << report.Summary();
+  // ...and contention/faults genuinely forced classic fallbacks.
+  EXPECT_GT(report.fast_fallbacks, 0u) << report.Summary();
+  EXPECT_EQ(report.applied_writes, report.writes_eventually_applied)
+      << report.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, ChaosFastPathTest,
+    testing::Values(
+        ChaosCase{ProtocolMode::kMultiPaxos, "mixed", 31},
+        ChaosCase{ProtocolMode::kMultiPaxos, "lossy", 32},
+        ChaosCase{ProtocolMode::kFlexiblePaxos, "storm", 33},
+        ChaosCase{ProtocolMode::kLeaderZone, "mixed", 34},
+        ChaosCase{ProtocolMode::kLeaderZone, "partitions", 35}),
+    CaseName);
+
 // A schedule name unknown to the nemesis is reported, not silently run
 // fault-free.
 TEST(ChaosTest, UnknownScheduleIsReported) {

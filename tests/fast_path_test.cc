@@ -1,0 +1,314 @@
+// Fast-path commits (enable_fast_path; docs/PROTOCOL.md §fast-path):
+// uncontended writes reach the fast quorum's acceptors directly and
+// commit in one client round trip; conflicts, nacks, crashes and stale
+// grants fall back to the classic forward path without losing values.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "harness/cluster.h"
+#include "paxos/value.h"
+
+namespace dpaxos {
+namespace {
+
+ClusterOptions FastOptions() {
+  ClusterOptions options;
+  options.replica.enable_fast_path = true;
+  return options;
+}
+
+Result<Duration> DriveSubmitOrForward(Cluster& cluster, Replica* origin,
+                                      Value value) {
+  std::optional<Status> done;
+  Duration latency = 0;
+  origin->SubmitOrForward(std::move(value),
+                          [&](const Status& st, SlotId, Duration lat) {
+                            done = st;
+                            latency = lat;
+                          });
+  if (!cluster.RunUntil([&] { return done.has_value(); }, 60 * kSecond)) {
+    return Status::Internal("no progress");
+  }
+  if (!done->ok()) return *done;
+  return latency;
+}
+
+// The payload decided in `slot` at `replica`, or "" when undecided.
+std::string DecidedPayload(const Replica* replica, SlotId slot) {
+  for (const auto& [s, v] : replica->decided()) {
+    if (s == slot) return v.payload;
+  }
+  return "";
+}
+
+bool LogContainsPayload(const Replica* replica, const std::string& payload) {
+  for (const auto& [s, v] : replica->decided()) {
+    if (v.payload == payload) return true;
+  }
+  return false;
+}
+
+class FastPathTest : public ::testing::TestWithParam<ProtocolMode> {};
+
+// An election under enable_fast_path arms every node with the leader's
+// pinned fast quorum (the grant), fenced above the recovered prefix.
+TEST_P(FastPathTest, ElectionBroadcastsGrant) {
+  Cluster cluster(Topology::AwsSevenZones(), GetParam(), FastOptions());
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  cluster.sim().RunFor(2 * kSecond);  // let the grant broadcast land
+
+  const Replica::FastGrant& own = cluster.replica(leader)->fast_grant();
+  ASSERT_TRUE(own.valid());
+  EXPECT_EQ(own.ballot, cluster.replica(leader)->ballot());
+  EXPECT_TRUE(std::binary_search(own.quorum.begin(), own.quorum.end(),
+                                 leader));
+  // A remote node holds the same grant.
+  const Replica::FastGrant& remote =
+      cluster.ReplicaInZone(6)->fast_grant();
+  ASSERT_TRUE(remote.valid());
+  EXPECT_EQ(remote.ballot, own.ballot);
+  EXPECT_EQ(remote.quorum, own.quorum);
+}
+
+// The headline property: an uncontended remote write commits in one
+// origin->acceptors->origin round trip, strictly faster than the classic
+// origin->leader->quorum->leader->origin relay.
+TEST_P(FastPathTest, UncontendedCommitBeatsClassicForward) {
+  Duration classic = 0;
+  {
+    Cluster cluster(Topology::AwsSevenZones(), GetParam());
+    const NodeId leader = cluster.NodeInZone(0);
+    ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+    Replica* origin = cluster.ReplicaInZone(6);  // Mumbai
+    origin->set_leader_hint(leader);
+    Result<Duration> r =
+        DriveSubmitOrForward(cluster, origin, Value::Of(1, "classic"));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    classic = r.value();
+  }
+
+  Cluster cluster(Topology::AwsSevenZones(), GetParam(), FastOptions());
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  cluster.sim().RunFor(2 * kSecond);  // grant broadcast
+  Replica* origin = cluster.ReplicaInZone(6);
+  ASSERT_TRUE(origin->fast_grant().valid());
+
+  Result<Duration> fast =
+      DriveSubmitOrForward(cluster, origin, Value::Of(1, "fast"));
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  EXPECT_LT(fast.value(), classic);
+  EXPECT_EQ(origin->counters().fast_commits, 1u);
+  EXPECT_EQ(origin->counters().fast_fallbacks, 0u);
+
+  // The leader's tracker reached unanimity and decided the slot.
+  cluster.sim().RunFor(5 * kSecond);
+  EXPECT_TRUE(LogContainsPayload(cluster.replica(leader), "fast"));
+}
+
+// A crashed fast-quorum member makes unanimity impossible; the proposer
+// times out, falls back, and the classic majority still commits.
+TEST_P(FastPathTest, CrashedMemberFallsBackToClassic) {
+  ClusterOptions options = FastOptions();
+  options.replica.fast_timeout = 500 * kMillisecond;
+  Cluster cluster(Topology::AwsSevenZones(), GetParam(), options);
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  cluster.sim().RunFor(2 * kSecond);
+
+  Replica* origin = cluster.ReplicaInZone(6);
+  const Replica::FastGrant& grant = origin->fast_grant();
+  ASSERT_TRUE(grant.valid());
+  // Crash one non-leader member of the pinned quorum.
+  NodeId victim = kInvalidNode;
+  for (NodeId n : grant.quorum) {
+    if (n != leader && n != origin->id()) {
+      victim = n;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+  cluster.transport().Crash(victim);
+
+  Result<Duration> r =
+      DriveSubmitOrForward(cluster, origin, Value::Of(1, "survivor"));
+  EXPECT_EQ(origin->counters().fast_commits, 0u);
+  EXPECT_GE(origin->counters().fast_fallbacks, 1u);
+  if (GetParam() == ProtocolMode::kDelegate ||
+      GetParam() == ProtocolMode::kLeaderZone) {
+    // The pinned fast quorum IS the declared intent quorum, so the member
+    // crash stalls the classic path too: the fallback times out exactly
+    // like a fast-off forward would (no regression, just no progress
+    // until failover).
+    EXPECT_TRUE(r.status().IsTimedOut()) << r.status().ToString();
+    return;
+  }
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The origin is outside the decide fan-out; the leader learned it.
+  EXPECT_TRUE(LogContainsPayload(cluster.replica(leader), "survivor"));
+}
+
+// Contention: two origins race the same fast quorum. Whatever mix of
+// fast commits, slot splits and conflict resolutions results, both
+// requests succeed and both values appear in the decided log.
+TEST_P(FastPathTest, ContendingWritersBothCommit) {
+  Cluster cluster(Topology::AwsSevenZones(), GetParam(), FastOptions());
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  cluster.sim().RunFor(2 * kSecond);
+
+  Replica* east = cluster.ReplicaInZone(2);  // Virginia
+  Replica* far = cluster.ReplicaInZone(5);   // distant zone
+  ASSERT_TRUE(east->fast_grant().valid());
+  ASSERT_TRUE(far->fast_grant().valid());
+
+  std::optional<Status> done_a, done_b;
+  east->SubmitOrForward(Value::Of(1, "east-value"),
+                        [&](const Status& st, SlotId, Duration) {
+                          done_a = st;
+                        });
+  far->SubmitOrForward(Value::Of(2, "far-value"),
+                       [&](const Status& st, SlotId, Duration) {
+                         done_b = st;
+                       });
+  ASSERT_TRUE(cluster.RunUntil(
+      [&] { return done_a.has_value() && done_b.has_value(); },
+      60 * kSecond));
+  EXPECT_TRUE(done_a->ok()) << done_a->ToString();
+  EXPECT_TRUE(done_b->ok()) << done_b->ToString();
+
+  cluster.sim().RunFor(10 * kSecond);
+  EXPECT_TRUE(LogContainsPayload(cluster.replica(leader), "east-value"));
+  EXPECT_TRUE(LogContainsPayload(cluster.replica(leader), "far-value"));
+  // No replica ever saw two different values decided in one slot.
+  for (NodeId n : cluster.topology().AllNodes()) {
+    EXPECT_EQ(cluster.replica(n)->counters().suspect_msgs_rejected, 0u)
+        << "conflicting decision at node " << n;
+  }
+}
+
+// A proposer whose grant went stale (it slept through a leader change)
+// gets nacked by the acceptors and re-drives the request classically
+// against the leader hint the nack carries.
+TEST_P(FastPathTest, StaleGrantIsNackedAndFallsBack) {
+  Cluster cluster(Topology::AwsSevenZones(), GetParam(), FastOptions());
+  const NodeId first = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(first).ok());
+  cluster.sim().RunFor(2 * kSecond);
+
+  Replica* origin = cluster.ReplicaInZone(6);
+  ASSERT_TRUE(origin->fast_grant().valid());
+  const Ballot stale = origin->fast_grant().ballot;
+
+  // The origin sleeps through a leader change: the new grant never
+  // reaches it.
+  cluster.transport().Crash(origin->id());
+  const NodeId second = cluster.NodeInZone(2);
+  ASSERT_TRUE(cluster.ElectLeader(second).ok());
+  cluster.sim().RunFor(2 * kSecond);
+  cluster.transport().Recover(origin->id());
+  ASSERT_EQ(origin->fast_grant().ballot, stale);
+
+  Result<Duration> r =
+      DriveSubmitOrForward(cluster, origin, Value::Of(1, "after-change"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(origin->counters().fast_commits, 0u);
+  EXPECT_GE(origin->counters().fast_fallbacks, 1u);
+  EXPECT_TRUE(LogContainsPayload(cluster.replica(second), "after-change"));
+}
+
+// A fast-committed value survives a leader change: the next election's
+// prepare round observes the fast votes and re-proposes the value.
+TEST_P(FastPathTest, ElectionRecoversFastCommittedValue) {
+  Cluster cluster(Topology::AwsSevenZones(), GetParam(), FastOptions());
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  cluster.sim().RunFor(2 * kSecond);
+
+  Replica* origin = cluster.ReplicaInZone(6);
+  std::optional<Status> done;
+  SlotId fast_slot = kInvalidSlot;
+  origin->SubmitOrForward(Value::Of(7, "durable"),
+                          [&](const Status& st, SlotId s, Duration) {
+                            done = st;
+                            fast_slot = s;
+                          });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done.has_value(); },
+                               60 * kSecond));
+  ASSERT_TRUE(done->ok());
+  ASSERT_EQ(origin->counters().fast_commits, 1u);
+  ASSERT_NE(fast_slot, kInvalidSlot);
+
+  // Cut the leader off before stepping further, then elect a distant
+  // node: its recovery scan must adopt the fast vote.
+  cluster.transport().Crash(leader);
+  Replica* successor = cluster.ReplicaInZone(4);
+  ASSERT_TRUE(cluster.ElectLeader(successor->id()).ok());
+  ASSERT_TRUE(cluster.RunUntil(
+      [&] { return successor->DecidedWatermark() > fast_slot; },
+      60 * kSecond));
+  EXPECT_EQ(DecidedPayload(successor, fast_slot), "durable");
+}
+
+// With the flag on but no grant armed (no election yet), SubmitOrForward
+// behaves exactly like the classic path.
+TEST_P(FastPathTest, NoGrantMeansClassicBehaviour) {
+  Cluster cluster(Topology::AwsSevenZones(), GetParam(), FastOptions());
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  // Do NOT run the sim further: the grant broadcast is still in flight
+  // at the origin, so its grant is empty.
+  Replica* origin = cluster.ReplicaInZone(6);
+  origin->set_leader_hint(leader);
+  ASSERT_FALSE(origin->fast_grant().valid());
+  Result<Duration> r =
+      DriveSubmitOrForward(cluster, origin, Value::Of(1, "plain"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(origin->counters().fast_commits, 0u);
+}
+
+// A leader holding a live grant refuses a same-ballot handoff: the
+// promise-free transfer could hide completed fast commits from the new
+// leader (docs/PROTOCOL.md §fast-path).
+TEST_P(FastPathTest, HandoffRefusedWhileGrantLive) {
+  Cluster cluster(Topology::AwsSevenZones(), GetParam(), FastOptions());
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  const Status st = cluster.replica(leader)->HandoffTo(1);
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+}
+
+// Flag off: the fast counters stay untouched end to end.
+TEST_P(FastPathTest, DisabledPathLeavesCountersZero) {
+  Cluster cluster(Topology::AwsSevenZones(), GetParam());
+  const NodeId leader = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(leader).ok());
+  Replica* origin = cluster.ReplicaInZone(6);
+  origin->set_leader_hint(leader);
+  ASSERT_TRUE(
+      DriveSubmitOrForward(cluster, origin, Value::Of(1, "off")).ok());
+  for (NodeId n : cluster.topology().AllNodes()) {
+    const ProtocolCounters& c = cluster.replica(n)->counters();
+    EXPECT_EQ(c.fast_commits, 0u);
+    EXPECT_EQ(c.fast_votes, 0u);
+    EXPECT_EQ(c.fast_fallbacks, 0u);
+    EXPECT_EQ(c.fast_conflicts, 0u);
+    EXPECT_FALSE(cluster.replica(n)->fast_grant().valid());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, FastPathTest,
+    ::testing::Values(ProtocolMode::kMultiPaxos, ProtocolMode::kFlexiblePaxos,
+                      ProtocolMode::kDelegate, ProtocolMode::kLeaderZone),
+    [](const ::testing::TestParamInfo<ProtocolMode>& info) {
+      std::string name = ProtocolModeName(info.param);
+      std::erase(name, '-');
+      return name;
+    });
+
+}  // namespace
+}  // namespace dpaxos

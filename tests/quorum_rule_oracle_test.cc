@@ -5,11 +5,14 @@
 // every intersection argument in the protocol — shows up here.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "common/random.h"
+#include "net/topology.h"
 #include "quorum/quorum_rule.h"
+#include "quorum/quorum_system.h"
 
 namespace dpaxos {
 namespace {
@@ -153,6 +156,134 @@ TEST(QuorumRuleOracleTest, PickedSetsAreValidAndAvoidant) {
     const std::set<NodeId> set(picked.begin(), picked.end());
     EXPECT_TRUE(OracleSatisfied(rule, set)) << rule.ToString();
     for (NodeId n : set) EXPECT_EQ(avoid.count(n), 0u);
+  }
+}
+
+// --- fast-quorum / recovery-quorum intersection oracle ------------------
+//
+// The fast path's relaxed intersection predicate (docs/PROTOCOL.md
+// §fast-path): a leader's pinned fast quorum must intersect every
+// possible recovery (leader-election) quorum, but fast quorums of
+// different leaders need not intersect each other. These tests enumerate
+// every fast/recovery pair on small real DPaxos geometries and check
+// FastIntersectsRecovery against brute-force subset enumeration.
+
+// Brute-force ground truth: does EVERY subset satisfying `rule` meet
+// `fast`? Enumerates all 2^n node subsets of the topology.
+bool OracleFastIntersects(const std::vector<NodeId>& fast,
+                          const QuorumRule& rule, uint32_t num_nodes) {
+  const std::set<NodeId> fast_set(fast.begin(), fast.end());
+  for (uint32_t mask = 0; mask < (1u << num_nodes); ++mask) {
+    std::set<NodeId> acks;
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      if (mask & (1u << n)) acks.insert(n);
+    }
+    if (!OracleSatisfied(rule, acks)) continue;
+    bool overlaps = false;
+    for (NodeId n : acks) {
+      if (fast_set.count(n) > 0) overlaps = true;
+    }
+    if (!overlaps) return false;  // a recovery quorum that dodges `fast`
+  }
+  return true;
+}
+
+struct FastGeometry {
+  std::string name;
+  ProtocolMode mode;
+  uint32_t zones;
+  uint32_t nodes_per_zone;
+  FaultTolerance ft;
+};
+
+class FastQuorumOracleTest : public ::testing::TestWithParam<FastGeometry> {};
+
+TEST_P(FastQuorumOracleTest, PredicateMatchesBruteForceForEveryPair) {
+  const FastGeometry& g = GetParam();
+  const Topology topo =
+      Topology::Uniform(g.zones, g.nodes_per_zone, 100.0);
+  const uint32_t n = topo.num_nodes();
+  ASSERT_LE(n, 12u) << "universe too large to enumerate";
+  std::unique_ptr<QuorumSystem> qs = MakeQuorumSystem(g.mode, &topo, g.ft);
+
+  for (NodeId leader = 0; leader < n; ++leader) {
+    const std::vector<NodeId> fast = qs->FastQuorum(leader);
+    ASSERT_FALSE(fast.empty()) << "no fast quorum for leader " << leader;
+    // The leader gates every fast commit with its own acceptor vote.
+    EXPECT_NE(std::find(fast.begin(), fast.end(), leader), fast.end());
+
+    for (NodeId aspirant = 0; aspirant < n; ++aspirant) {
+      QuorumRule recovery = qs->LeaderElectionRule(aspirant, LeaderZoneView{});
+      if (qs->UsesIntents()) {
+        // Expanding Quorums: the fast quorum IS the declared intent, so a
+        // recovering election detects it and merges a one-node-overlap
+        // requirement into its rule (Replica::OnPromise does exactly this).
+        recovery = recovery.MergedWith(QuorumRule::Simple(fast, 1));
+      }
+      const bool oracle = OracleFastIntersects(fast, recovery, n);
+      EXPECT_EQ(QuorumSystem::FastIntersectsRecovery(fast, recovery), oracle)
+          << "leader " << leader << " aspirant " << aspirant << " "
+          << recovery.ToString();
+      // And the protocol-level safety requirement itself must hold.
+      EXPECT_TRUE(oracle) << "fast quorum of leader " << leader
+                          << " misses a recovery quorum of " << aspirant;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FastQuorumOracleTest,
+    ::testing::Values(
+        FastGeometry{"MultiPaxos3x3", ProtocolMode::kMultiPaxos, 3, 3,
+                     FaultTolerance{1, 1}},
+        FastGeometry{"ZoneCentric3x3", ProtocolMode::kFlexiblePaxos, 3, 3,
+                     FaultTolerance{1, 1}},
+        FastGeometry{"Delegate3x3", ProtocolMode::kDelegate, 3, 3,
+                     FaultTolerance{1, 1}},
+        FastGeometry{"LeaderZone3x3", ProtocolMode::kLeaderZone, 3, 3,
+                     FaultTolerance{1, 1}},
+        FastGeometry{"MultiPaxos5x2", ProtocolMode::kMultiPaxos, 5, 2,
+                     FaultTolerance{0, 2}},
+        FastGeometry{"ZoneCentric5x2", ProtocolMode::kFlexiblePaxos, 5, 2,
+                     FaultTolerance{0, 2}},
+        FastGeometry{"Delegate5x2", ProtocolMode::kDelegate, 5, 2,
+                     FaultTolerance{0, 2}},
+        FastGeometry{"LeaderZone5x2", ProtocolMode::kLeaderZone, 5, 2,
+                     FaultTolerance{0, 2}}),
+    [](const ::testing::TestParamInfo<FastGeometry>& info) {
+      return info.param.name;
+    });
+
+// The relaxation is real: on a wide zone-centric geometry two leaders'
+// fast quorums are DISJOINT, yet each still intersects every recovery
+// quorum — fast/fast intersection is genuinely not required.
+TEST(FastQuorumOracleTest, DisjointFastQuorumsStillRecoverable) {
+  const Topology topo = Topology::AwsSevenZones();
+  const FaultTolerance ft{1, 1};
+  ZoneCentricQuorumSystem qs(&topo, ft);
+
+  const NodeId california = 0;
+  const NodeId mumbai = topo.num_nodes() - 1;
+  ASSERT_NE(topo.ZoneOf(california), topo.ZoneOf(mumbai));
+  const std::vector<NodeId> fast_a = qs.FastQuorum(california);
+  const std::vector<NodeId> fast_b = qs.FastQuorum(mumbai);
+  ASSERT_FALSE(fast_a.empty());
+  ASSERT_FALSE(fast_b.empty());
+
+  std::set<NodeId> overlap;
+  for (NodeId a : fast_a) {
+    if (std::find(fast_b.begin(), fast_b.end(), a) != fast_b.end()) {
+      overlap.insert(a);
+    }
+  }
+  EXPECT_TRUE(overlap.empty())
+      << "expected disjoint fast quorums on opposite sides of the planet";
+
+  for (NodeId aspirant = 0; aspirant < topo.num_nodes(); ++aspirant) {
+    const QuorumRule recovery =
+        qs.LeaderElectionRule(aspirant, LeaderZoneView{});
+    EXPECT_TRUE(QuorumSystem::FastIntersectsRecovery(fast_a, recovery));
+    EXPECT_TRUE(QuorumSystem::FastIntersectsRecovery(fast_b, recovery));
   }
 }
 

@@ -109,5 +109,37 @@ TEST(RealChaosTest, MixedScheduleRunsCleanAndConverges) {
   EXPECT_GT(report.proxy.total_faults(), 0u);
 }
 
+// The fast-path cell: clients staggered across zone-local entry points
+// drive writes through the fast quorum while the mixed schedule kills,
+// pauses and corrupts. Both halves of the state machine must show up —
+// one-round fast commits when a quorum answers, classic fallbacks when
+// contention or injected faults starve the unanimous vote — and the
+// history must still be linearizable with every node converged.
+TEST(RealChaosTest, FastPathCommitsAndFallbacksStayLinearizable) {
+  RealChaosOptions options;
+  options.server_binary = DPAXOS_CLI_PATH;
+  options.mode = ProtocolMode::kLeaderZone;
+  options.schedule = "mixed";
+  options.seed = 11;
+  options.duration = 6 * kSecond;
+  options.num_clients = 3;
+  options.fast_path = true;
+  options.log_dir = TestLogDir();
+
+  RealChaosReport report = RunRealChaos(options);
+  SCOPED_TRACE(report.Summary());
+
+  EXPECT_TRUE(report.error.empty()) << report.error;
+  EXPECT_TRUE(report.consistency.ok());
+  EXPECT_TRUE(report.converged);
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.ops_committed, 0u);
+  // The fast path actually carried traffic, and faults/contention
+  // genuinely forced classic fallbacks.
+  EXPECT_GT(report.fast_commits, 0u);
+  EXPECT_GT(report.fast_fallbacks, 0u);
+  EXPECT_GT(report.proxy.total_faults(), 0u);
+}
+
 }  // namespace
 }  // namespace dpaxos

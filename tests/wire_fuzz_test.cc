@@ -43,6 +43,8 @@ std::vector<std::string> Corpus() {
   PromiseMsg promise(1, Ballot{9, 2}, false);
   promise.accepted.push_back(
       AcceptedEntry{5, Ballot{8, 1}, Value::Of(77, "payload\x00bytes")});
+  promise.accepted.push_back(
+      AcceptedEntry{6, Ballot{8, 1}, Value::Of(78, "fastvote"), true});
   promise.intents.push_back(SampleIntent(7, 4));
   promise.lz_view = view;
   corpus.push_back(SerializeMessage(promise));
@@ -80,6 +82,24 @@ std::vector<std::string> Corpus() {
                               /*total_bytes=*/1 << 20,
                               std::string(512, '\xAB'));
   corpus.push_back(SerializeMessage(snap_chunk));
+
+  // Fast-path messages (tags 31-34): the grant carries a NodeId vector
+  // (length-prefixed), accept/accepted carry full values, and the
+  // promise specimen above already covers the fast flag on entries.
+  FastGrantMsg fast_grant(2, Ballot{7, 1}, 40, {1, 4, 9, 12});
+  corpus.push_back(SerializeMessage(fast_grant));
+
+  FastAcceptMsg fast_accept(2, Ballot{7, 1}, 55,
+                            Value::Of(9, std::string(300, 'f')));
+  corpus.push_back(SerializeMessage(fast_accept));
+
+  FastAcceptedMsg fast_accepted(2, Ballot{7, 1}, 41, 4, 55,
+                                Value::Of(9, "fastv"));
+  corpus.push_back(SerializeMessage(fast_accepted));
+
+  FastNackMsg fast_nack(2, Ballot{7, 1}, Ballot{8, 2}, 55);
+  fast_nack.leader_hint = 3;
+  corpus.push_back(SerializeMessage(fast_nack));
 
   return corpus;
 }
@@ -302,10 +322,11 @@ TEST(FramingFuzzTest, FuzzedChunkedStreamNeverCrashes) {
 
 TEST(FramingFuzzTest, ParserTruncationsRejectCleanly) {
   const std::string bodies[] = {
-      EncodeHelloFrame(Hello{PeerKind::kNode, 3}).substr(4),
+      EncodeHelloFrame(Hello{PeerKind::kNode, 3}).substr(kFrameHeaderBytes),
       EncodeClientRequestFrame(ClientRequest{9, ClientOp::kGet, "k", ""})
-          .substr(4),
-      EncodeClientReplyFrame(ClientReply{9, 5, "oops"}).substr(4),
+          .substr(kFrameHeaderBytes),
+      EncodeClientReplyFrame(ClientReply{9, 5, "oops"})
+          .substr(kFrameHeaderBytes),
   };
   for (const std::string& body : bodies) {
     for (size_t cut = 0; cut <= body.size(); ++cut) {

@@ -96,6 +96,16 @@ TEST(WireSizeTest, AllMessageTypes) {
   CheckSize(SnapshotRequestMsg(1));
   CheckSize(SnapshotRequestMsg(1, 8192));
   CheckSize(SnapshotChunkMsg(1, 40, 8192, 65536, std::string(4096, 's')));
+  CheckSize(FastGrantMsg(1, Ballot{5, 2}, 40, {0, 1, 2, 7, 8, 9}));
+  CheckSize(FastAcceptMsg(1, Ballot{5, 2}, 77,
+                          Value::Of(4, std::string(2048, 'f'))));
+  CheckSize(FastAcceptedMsg(1, Ballot{5, 2}, 41, 3, 77,
+                            Value::Of(4, std::string(2048, 'f'))));
+  {
+    FastNackMsg m(1, Ballot{5, 2}, Ballot{6, 3}, 77);
+    m.leader_hint = 3;
+    CheckSize(m);
+  }
 }
 
 TEST(WireSizeTest, SyntheticValuesKeepTheirModelledSize) {

@@ -58,15 +58,58 @@ TEST(WireTest, PromiseRoundTrip) {
   PromiseMsg msg(1, Ballot{9, 2}, false);
   msg.accepted.push_back(
       AcceptedEntry{5, Ballot{8, 1}, Value::Of(77, "payload\x00bytes")});
+  // The fast flag must survive the codec: recovery ranks a classic
+  // entry above a fast entry at the same ballot, so dropping the bit
+  // on the wire would change election outcomes.
+  msg.accepted.push_back(
+      AcceptedEntry{6, Ballot{8, 1}, Value::Of(78, "fastvote"), true});
   msg.intents.push_back(SampleIntent(7, 4));
   msg.lz_view = SampleView();
   auto rt = RoundTrip(msg);
   ASSERT_NE(rt, nullptr);
-  ASSERT_EQ(rt->accepted.size(), 1u);
+  ASSERT_EQ(rt->accepted.size(), 2u);
   EXPECT_EQ(rt->accepted[0].slot, 5u);
   EXPECT_EQ(rt->accepted[0].ballot, (Ballot{8, 1}));
   EXPECT_EQ(rt->accepted[0].value, msg.accepted[0].value);
+  EXPECT_FALSE(rt->accepted[0].fast);
+  EXPECT_EQ(rt->accepted[1].slot, 6u);
+  EXPECT_TRUE(rt->accepted[1].fast);
   EXPECT_EQ(rt->intents[0], msg.intents[0]);
+}
+
+TEST(WireTest, FastPathMessagesRoundTrip) {
+  {
+    auto rt = RoundTrip(FastGrantMsg(2, Ballot{7, 1}, 40, {1, 4, 9}));
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->ballot, (Ballot{7, 1}));
+    EXPECT_EQ(rt->first_slot, 40u);
+    EXPECT_EQ(rt->quorum, (std::vector<NodeId>{1, 4, 9}));
+  }
+  {
+    auto rt =
+        RoundTrip(FastAcceptMsg(2, Ballot{7, 1}, 55, Value::Of(9, "fastv")));
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->request_id, 55u);
+    EXPECT_EQ(rt->value.payload, "fastv");
+  }
+  {
+    auto rt = RoundTrip(
+        FastAcceptedMsg(2, Ballot{7, 1}, 41, 4, 55, Value::Of(9, "fastv")));
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->slot, 41u);
+    EXPECT_EQ(rt->proposer, 4u);
+    EXPECT_EQ(rt->request_id, 55u);
+    EXPECT_EQ(rt->value.id, 9u);
+  }
+  {
+    FastNackMsg m(2, Ballot{7, 1}, Ballot{8, 2}, 55);
+    m.leader_hint = 3;
+    auto rt = RoundTrip(m);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->promised, (Ballot{8, 2}));
+    EXPECT_EQ(rt->request_id, 55u);
+    EXPECT_EQ(rt->leader_hint, 3u);
+  }
 }
 
 TEST(WireTest, ProposeAndAcceptRoundTrip) {

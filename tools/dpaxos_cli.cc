@@ -58,6 +58,9 @@ struct CliOptions {
   uint32_t window = 1;
   double reads = 0.0;
   bool leases = false;
+  /// Fast-path commits (docs/PROTOCOL.md §fast-path): applies to load/
+  /// election/chaos clusters, --serve replicas and realchaos servers.
+  bool fast_path = false;
   uint64_t seed = 42;
   std::string topology_csv;  // path to an RTT matrix, overrides --aws
 
@@ -108,6 +111,9 @@ struct CliOptions {
   // (which defaults to 2 when the flag is absent).
   uint32_t reactors = 0;
   bool reactors_set = false;
+  /// Reply-batch hold time for the reactor pool (--serve and realnet
+  /// children); 0 keeps the legacy end-of-round flush.
+  Duration reply_flush = 0;
 
   // --experiment=realchaos only.
   uint32_t soak_connections = 0;
@@ -130,6 +136,8 @@ void Usage() {
       "  --window=N             multi-programming level (default 1)\n"
       "  --reads=F              read-only fraction 0..1 (implies --leases)\n"
       "  --leases               enable master leases\n"
+      "  --fast-path            fast commits for uncontended writes\n"
+      "                         (load/chaos clusters, --serve, realchaos)\n"
       "  --seed=N               RNG seed (default 42)\n"
       "chaos experiment (nemesis + retrying clients + checker):\n"
       "  --schedule=NAME        mixed|storm|partitions|lossy|moves|\n"
@@ -153,6 +161,8 @@ void Usage() {
       "  --pipeline=N           in-flight ops per connection (default 256)\n"
       "  --rate=OPS             offered ops/s; 0 = closed loop (default)\n"
       "  --reactors=N           reactor threads per node (default 2)\n"
+      "  --reply-flush-us=US    reactor reply-batch hold time (0 = flush\n"
+      "                         each dispatch round; see docs/perf.md)\n"
       "  --logdir=DIR           per-node server logs (default: inherit)\n"
       "  --out=PATH             JSON output (default BENCH_realnet.json)\n"
       "realchaos experiment (proxied cluster + nemesis + checkers):\n"
@@ -224,6 +234,10 @@ bool ParseArgImpl(const std::string& arg, CliOptions* o) {
     if (o->reads > 0) o->leases = true;
   } else if (arg == "--leases") {
     o->leases = true;
+  } else if (arg == "--fast-path") {
+    o->fast_path = true;
+  } else if (value_of("--reply-flush-us", &v)) {
+    o->reply_flush = std::stoull(v) * kMicrosecond;
   } else if (value_of("--seed", &v)) {
     o->seed = std::stoull(v);
   } else if (value_of("--schedule", &v)) {
@@ -413,6 +427,7 @@ int RunChaosCli(const CliOptions& o, ProtocolMode mode) {
   chaos.duration = o.duration;
   chaos.enable_compaction = o.compaction;
   chaos.compaction_retained_suffix = o.retained;
+  chaos.enable_fast_path = o.fast_path;
 
   std::cout << "== dpaxos_cli: chaos / " << ProtocolModeName(mode)
             << ", schedule=" << chaos.schedule << ", " << chaos.zones
@@ -519,8 +534,10 @@ int RunServe(const CliOptions& o, ProtocolMode mode) {
   server.catchup_delay = o.catchup_delay;
   server.compaction_interval = o.compaction_interval;
   server.reactors = o.reactors;
+  server.reply_flush_delay = o.reply_flush;
   server.replica.enable_compaction = o.compaction_interval > 0;
   server.replica.compaction_retained_suffix = o.compaction_retain;
+  server.replica.enable_fast_path = o.fast_path;
   NodeServer node(std::move(server));
   Status st = node.Start();
   if (!st.ok()) {
@@ -610,6 +627,7 @@ int RunRealnetCli(const CliOptions& o) {
   bench.pipeline = o.pipeline;
   bench.rate = o.rate;
   if (o.reactors_set) bench.reactors = o.reactors;
+  bench.reply_flush_us = static_cast<uint32_t>(o.reply_flush / kMicrosecond);
   bench.json_path = o.out_set ? o.out : "BENCH_realnet.json";
   bench.log_dir = o.log_dir;
   std::cout << "== dpaxos_cli: realnet, 2 zones x 2 nodes on loopback, "
@@ -624,27 +642,29 @@ int RunRealnetCli(const CliOptions& o) {
     std::cerr << "realnet failed: " << report.status().ToString() << "\n";
     return 1;
   }
-  TablePrinter table({"mode", "ops", "ops/sec", "p50 (ms)", "p99 (ms)",
-                      "p999 (ms)", "frames/writev", "snap installs",
-                      "checksum match"});
+  TablePrinter table({"cell", "ops", "ops/sec", "p50 (ms)", "p99 (ms)",
+                      "p999 (ms)", "fast c/f", "frames/writev",
+                      "snap installs", "checksum match"});
   for (const RealnetModeResult& r : report->results) {
     const double frames_per_writev =
         r.tcp_writev_calls > 0
             ? static_cast<double>(r.tcp_writev_calls + r.tcp_frames_coalesced) /
                   static_cast<double>(r.tcp_writev_calls)
             : 0;
-    table.AddRow({ProtocolModeName(r.mode), std::to_string(r.measured_ops),
+    table.AddRow({r.label, std::to_string(r.measured_ops),
                   Fmt(r.throughput_ops, 1), Fmt(r.latency.P50Millis(), 2),
                   Fmt(r.latency.P99Millis(), 2),
-                  Fmt(r.latency.P999Millis(), 2), Fmt(frames_per_writev, 2),
+                  Fmt(r.latency.P999Millis(), 2),
+                  std::to_string(r.fast_commits) + "/" +
+                      std::to_string(r.fast_fallbacks),
+                  Fmt(frames_per_writev, 2),
                   std::to_string(r.snapshots_installed),
                   r.checksum_match ? "yes" : "NO"});
   }
   table.Print(std::cout);
   for (const RealnetModeResult& r : report->results) {
     if (r.snapshots_installed == 0 || r.checksum_match == 0) {
-      std::cerr << "\nrecovery check failed for "
-                << ProtocolModeName(r.mode) << "\n";
+      std::cerr << "\nrecovery check failed for " << r.label << "\n";
       return 1;
     }
   }
@@ -680,6 +700,7 @@ int RunRealChaosCli(const CliOptions& o, ProtocolMode mode) {
   chaos.duration = o.duration;
   chaos.soak_connections = o.soak_connections;
   chaos.log_dir = o.log_dir;
+  chaos.fast_path = o.fast_path;
   std::cout << "== dpaxos_cli: realchaos / " << ProtocolModeName(mode)
             << ", schedule=" << chaos.schedule << ", " << chaos.zones
             << " zones x " << chaos.nodes_per_zone
@@ -805,6 +826,7 @@ int main(int argc, char** argv) {
   cluster_options.seed = options.seed;
   cluster_options.replica.max_inflight = options.window;
   cluster_options.replica.enable_leases = options.leases;
+  cluster_options.replica.enable_fast_path = options.fast_path;
 
   Topology topology =
       options.aws ? Topology::AwsSevenZones(options.nodes)
