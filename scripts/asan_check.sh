@@ -20,7 +20,7 @@ cmake --build "$BUILD_DIR" \
     --target snapshot_test wire_fuzz_test wire_test catchup_test \
              restart_test chaos_test soak_test fast_path_test \
              chaos_proxy_test real_chaos_test mpsc_queue_test \
-             transport_test dpaxos_cli -j"$(nproc)"
+             transport_test wal_test dpaxos_cli -j"$(nproc)"
 
 # abort_on_error so the first report fails the gate instead of running on
 # poisoned state; detect_leaks covers the long-lived harness allocations.
@@ -47,5 +47,10 @@ export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1 ${ASAN_OPTIONS:-}"
 # construction over the outbound frame deque, partial-write walks).
 "$BUILD_DIR/tests/mpsc_queue_test"
 "$BUILD_DIR/tests/transport_test" --gtest_filter='TcpTransportTest.*'
+# WAL + fault-injecting Env: recovery parses raw frame bytes off disk
+# (torn tails, flipped bits — classic OOB territory), the group-commit
+# path retains reply callbacks across fsyncs, and the truncation/bit-flip
+# sweeps re-open the log hundreds of times.
+"$BUILD_DIR/tests/wal_test"
 
 echo "asan_check: PASS (no memory errors reported)"

@@ -9,6 +9,11 @@
 # adds two sanity gates: faults were actually injected, and the chaos
 # section landed in BENCH_realnet.json.
 #
+# A second pass runs the "disk" schedule against a DURABLE cluster
+# (per-node acceptor WALs + --disk-faults): lying fsyncs, a torn write
+# and a fsync EIO that panic the victim, then a whole-cluster power
+# loss recovered from the WAL directories alone.
+#
 # Usage: scripts/realnet_chaos_smoke.sh [duration-seconds]  (default: 8)
 # Env:   DPAXOS_CLI     path to dpaxos_cli (default: build/tools/dpaxos_cli)
 #        SMOKE_OUT_DIR  where BENCH_realnet.json and node logs go
@@ -52,6 +57,35 @@ grep -q "proxy faults=[1-9]" "$LOG" || {
 }
 grep -q '"chaos":' "$OUT_JSON" || {
   echo "realnet_chaos_smoke: FAIL (no chaos section in $OUT_JSON)" >&2
+  exit 1
+}
+
+echo "realnet_chaos_smoke: ${DURATION}s disk schedule (durable cluster)"
+DISK_LOG="$SMOKE_OUT_DIR/realchaos_disk.out"
+DATA_BASE="$SMOKE_OUT_DIR/wal"
+rm -rf "$DATA_BASE" && mkdir -p "$DATA_BASE"
+"$CLI" --experiment=realchaos \
+  --schedule=disk \
+  --duration="$DURATION" \
+  --seed=11 \
+  --data-dir="$DATA_BASE" \
+  --logdir="$SMOKE_OUT_DIR" \
+  --out="$OUT_JSON" | tee "$DISK_LOG"
+
+grep -q "REALCHAOS OK" "$DISK_LOG" || {
+  echo "realnet_chaos_smoke: FAIL (disk schedule: no REALCHAOS OK)" >&2
+  exit 1
+}
+grep -q "whole-cluster power loss" "$DISK_LOG" || {
+  echo "realnet_chaos_smoke: FAIL (disk schedule never lost power)" >&2
+  exit 1
+}
+grep -Eq "disk: faults_armed=[1-9]" "$DISK_LOG" || {
+  echo "realnet_chaos_smoke: FAIL (no disk faults armed)" >&2
+  exit 1
+}
+grep -Eq "wal_fsyncs=[1-9]" "$DISK_LOG" || {
+  echo "realnet_chaos_smoke: FAIL (durable cluster did no fdatasyncs)" >&2
   exit 1
 }
 

@@ -16,7 +16,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DDPAXOS_SANITIZE=thread
 cmake --build "$BUILD_DIR" \
     --target shard_runner_test bench_simperf mpsc_queue_test \
-             transport_test fast_path_test -j"$(nproc)"
+             transport_test fast_path_test wal_test -j"$(nproc)"
 
 # halt_on_error so the first race fails the gate instead of scrolling by.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -32,5 +32,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # lands on the pool's handoff queue from every reactor at once.
 "$BUILD_DIR/tests/transport_test" --gtest_filter='*ReactorPool*'
 "$BUILD_DIR/tests/fast_path_test"
+# WAL group commit: SyncThen callbacks scheduled through the event loop
+# vs the append path — single-threaded by design, but the death test and
+# simulator-driven batch release must stay clean under instrumentation.
+"$BUILD_DIR/tests/wal_test"
 
 echo "tsan_check: PASS (no data races reported)"

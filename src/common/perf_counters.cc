@@ -32,7 +32,11 @@ std::string PerfCounters::ToString() const {
       << " writev_calls=" << tcp_writev_calls
       << " frames_coalesced=" << tcp_frames_coalesced << "\n"
       << "reactor: rounds_busy=" << reactor_rounds_busy
-      << " rounds_idle=" << reactor_rounds_idle;
+      << " rounds_idle=" << reactor_rounds_idle << "\n"
+      << "wal: appends=" << wal_appends << " bytes=" << wal_bytes
+      << " fsyncs=" << wal_fsyncs
+      << " torn_tail_truncations=" << wal_torn_tail_truncations
+      << " sync_failures=" << wal_sync_failures;
   return out.str();
 }
 

@@ -62,7 +62,12 @@ namespace dpaxos {
   X(tcp_writev_calls)                 \
   X(tcp_frames_coalesced)             \
   X(reactor_rounds_busy)              \
-  X(reactor_rounds_idle)
+  X(reactor_rounds_idle)              \
+  X(wal_appends)                      \
+  X(wal_bytes)                        \
+  X(wal_fsyncs)                       \
+  X(wal_torn_tail_truncations)        \
+  X(wal_sync_failures)
 
 /// \brief Per-thread hot-path counters (see ThreadPerfCounters()).
 struct PerfCounters {
@@ -132,6 +137,15 @@ struct PerfCounters {
   /// busy-vs-idle split for multi-reactor NodeServers).
   uint64_t reactor_rounds_busy = 0;
   uint64_t reactor_rounds_idle = 0;
+
+  // --- acceptor write-ahead log (src/storage/wal.*) --------------------
+  // Mirrored from WalStats by the NodeServer stats sweep so WAL activity
+  // shows up alongside the tcp/reactor counters in --serve stats.
+  uint64_t wal_appends = 0;  ///< logical records journaled
+  uint64_t wal_bytes = 0;    ///< framed bytes appended
+  uint64_t wal_fsyncs = 0;   ///< fdatasync calls (group commits)
+  uint64_t wal_torn_tail_truncations = 0;  ///< torn tails repaired at open
+  uint64_t wal_sync_failures = 0;          ///< failed appends/fsyncs
 
   /// Counter-wise difference (this - since); used for warm-window deltas.
   PerfCounters DeltaSince(const PerfCounters& since) const {

@@ -28,7 +28,8 @@ Nemesis& Nemesis::Repeat(Duration start, Duration period, uint32_t count,
 }
 
 std::vector<std::string> Nemesis::ScheduleNames() {
-  return {"mixed", "storm", "partitions", "lossy", "moves", "recovery"};
+  return {"mixed", "storm", "partitions", "lossy", "moves", "recovery",
+          "disk"};
 }
 
 bool Nemesis::AddNamedSchedule(const std::string& name, Duration start,
@@ -118,6 +119,23 @@ bool Nemesis::AddNamedSchedule(const std::string& name, Duration start,
     Add(at(0.70), Op::kForceCompaction);
     Add(at(0.75), Op::kElectLeader);
     Add(at(0.80), Op::kRecoverAll);
+  } else if (name == "disk") {
+    // Durability emphasis: the crash-fault model is the sim twin of the
+    // on-disk WAL, so acked writes must ride out lossy restarts and even
+    // a whole-cluster power loss (acks only follow sync points).
+    Add(at(0.05), Op::kSyncAll);
+    Add(at(0.10), Op::kCrashNode);
+    Add(at(0.15), Op::kRestartNodeLossy);
+    Add(at(0.20), Op::kPowerLossAll);
+    Add(at(0.35), Op::kForceCompaction);
+    Add(at(0.40), Op::kSyncAll);
+    Add(at(0.45), Op::kCrashNode);
+    Add(at(0.50), Op::kIsolateZone);
+    Add(at(0.55), Op::kRestartNodeLossy);
+    Add(at(0.60), Op::kHealPartitions);
+    Add(at(0.65), Op::kPowerLossAll);
+    Add(at(0.80), Op::kSyncAll);
+    Add(at(0.85), Op::kRecoverAll);
   } else {
     return false;
   }
@@ -129,7 +147,9 @@ void Nemesis::Arm() {
   armed_ = true;
   bool lossy = false;
   for (const Step& s : steps_) {
-    lossy |= (s.op == Op::kRestartNodeLossy || s.op == Op::kCrashDuringInstall);
+    lossy |= (s.op == Op::kRestartNodeLossy ||
+              s.op == Op::kCrashDuringInstall || s.op == Op::kPowerLossAll ||
+              s.op == Op::kSyncAll);
   }
   if (lossy) {
     for (NodeId n : cluster_->topology().AllNodes()) {
@@ -184,6 +204,12 @@ void Nemesis::Execute(const Step& step) {
       break;
     case Op::kCorruptSnapshot:
       CorruptRandomSnapshot(step.partition);
+      break;
+    case Op::kSyncAll:
+      SyncAll();
+      break;
+    case Op::kPowerLossAll:
+      PowerLossAll(static_cast<Duration>(step.arg));
       break;
     case Op::kCrashDuringInstall: {
       // Tear a node mid-recovery: crash it now, then bring it back with
@@ -374,6 +400,33 @@ bool Nemesis::CorruptRandomSnapshot(PartitionId partition) {
   Note(std::string(flip ? "arm bit-flip" : "arm truncation") +
        " on next snapshot served by node " + std::to_string(victim->id()));
   return true;
+}
+
+void Nemesis::SyncAll() {
+  for (NodeId n : cluster_->topology().AllNodes()) {
+    if (IsHealthy(n)) cluster_->host(n)->storage().MarkAllSynced();
+  }
+  Note("sync all storages");
+}
+
+void Nemesis::PowerLossAll(Duration restart_after) {
+  // Deliberately ignores the per-zone fault budget: a rack power loss
+  // does not respect ft. Every node crashes NOW; the delayed wave of
+  // lossy restarts rolls each storage back to its last synced image.
+  for (NodeId n : cluster_->topology().AllNodes()) {
+    if (IsHealthy(n)) {
+      cluster_->transport().Crash(n);
+      crashed_.insert(n);
+    }
+  }
+  Note("whole-cluster power loss");
+  const Duration delay =
+      restart_after > 0 ? restart_after : 200 * kMillisecond;
+  cluster_->sim().Schedule(delay, [this] {
+    while (!crashed_.empty()) {
+      RestartRandomCrashedNode(/*lose_unsynced=*/true);
+    }
+  });
 }
 
 void Nemesis::Crash(NodeId node) {

@@ -42,6 +42,11 @@ class Nemesis {
     kCrashDuringInstall,// crash a node, then lossy-restart it `arg` us later
                         // (default 100ms) — tears any in-flight snapshot
                         // install and drops its unsynced writes
+    kSyncAll,           // fsync barrier: mark every node's storage synced
+    kPowerLossAll,      // crash EVERY node at once (rack power loss), then
+                        // lossy-restart them all `arg` us later (default
+                        // 200ms) — only writes synced at a protocol sync
+                        // point survive, cluster-wide
   };
 
   struct Step {
@@ -74,6 +79,9 @@ class Nemesis {
   ///   "moves"      — migration and handoff churn
   ///   "recovery"   — compaction sweeps, corrupted snapshots, lossy
   ///                  restarts and crash-during-install tears
+  ///   "disk"       — durability emphasis: sync barriers, lossy restarts
+  ///                  and whole-cluster power losses (every acked write
+  ///                  must survive because acks follow sync points)
   /// Returns false (and adds nothing) for an unknown name.
   bool AddNamedSchedule(const std::string& name, Duration start,
                         Duration horizon);
@@ -117,6 +125,15 @@ class Nemesis {
   /// Arms a one-shot fault on a random healthy node: the next snapshot
   /// it serves is corrupted (bit flip or truncation, coin-flipped).
   bool CorruptRandomSnapshot(PartitionId partition = 0);
+  /// Fsync barrier: capture every node's current state as its durable
+  /// image (no-op unless crash faults are on).
+  void SyncAll();
+  /// Whole-cluster power loss: crash every node simultaneously, then
+  /// lossy-restart all of them `restart_after` later (default 200ms).
+  /// Survives only what the crash-fault model had marked synced — the
+  /// sim twin of SIGKILLing a durable RealCluster and restarting from
+  /// the WAL directories alone.
+  void PowerLossAll(Duration restart_after = 0);
 
   // --- targeted primitives (surgical failure tests) ---------------------
   // No randomness and no fault-budget enforcement: these trust the

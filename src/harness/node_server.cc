@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "common/check.h"
@@ -70,6 +71,12 @@ Status NodeServer::Start() {
 
   host_ = std::make_unique<NodeHost>(&loop_, transport_.get(), &*topology_,
                                      options_.node);
+  if (!options_.data_dir.empty()) {
+    // Recover BEFORE AddReplica: the replica binds to the recovered
+    // record and resumes from its promises/accepted values/snapshot.
+    st = OpenWal();
+    if (!st.ok()) return st;
+  }
   ReplicaConfig config = options_.replica;
   // Every node applies the full log locally (serves reads + snapshots).
   config.decide_policy = DecidePolicy::kAll;
@@ -102,6 +109,42 @@ Status NodeServer::Start() {
       });
   if (options_.leader_hint != kInvalidNode) {
     replica_->set_leader_hint(options_.leader_hint);
+  }
+  if (wal_ != nullptr) {
+    // Reply-gated sync points ride the group commit; the compaction/
+    // install order uses the synchronous barrier. An fsync failure
+    // aborts the process inside the WAL (panic_on_sync_failure), so the
+    // barrier's sticky status here is only ever a shutdown race.
+    replica_->set_persist_gate(
+        [this](std::function<void()> done) { wal_->SyncThen(std::move(done)); });
+    replica_->set_persist_barrier([this] {
+      Status barrier = wal_->SyncNow();
+      if (!barrier.ok()) {
+        DPAXOS_WARN("node " << options_.node
+                            << " wal barrier failed: " << barrier.ToString());
+      }
+    });
+    // Restore the applied prefix from the snapshot at rest. After a
+    // whole-cluster power loss there is no live peer to pull it from:
+    // the disk is the only source, which is the point of WAL mode.
+    const std::string& durable = replica_->acceptor().snapshot_bytes();
+    if (!durable.empty()) {
+      Result<Snapshot> snap = DecodeSnapshot(durable);
+      Status restored =
+          snap.ok() ? kv_.RestoreFull(snap.value().payload) : snap.status();
+      if (restored.ok()) {
+        applier_.FastForwardTo(replica_->acceptor().snapshot_through());
+        DPAXOS_INFO("node " << options_.node
+                            << " restored snapshot from wal through "
+                            << replica_->acceptor().snapshot_through());
+      } else {
+        // The image at rest rotted. The compaction watermark survives
+        // (the log prefix is gone either way); relearn from peers.
+        DPAXOS_WARN("node " << options_.node << " dropped rotten snapshot: "
+                            << restored.ToString());
+        replica_->DropInstalledSnapshot();
+      }
+    }
   }
 
   transport_->set_client_request_handler(
@@ -291,8 +334,84 @@ void NodeServer::ScheduleCompactionSweep() {
       if (!st.ok() && !st.IsFailedPrecondition()) {
         DPAXOS_WARN("compaction failed: " << st.ToString());
       }
+      if (st.ok() && wal_ != nullptr) {
+        // The log prefix just shrank; fold the WAL down to full images
+        // so recovery time tracks the live state, not history.
+        Status ck = wal_->Checkpoint();
+        if (!ck.ok()) {
+          DPAXOS_WARN("wal checkpoint failed: " << ck.ToString());
+        }
+      }
     }
     ScheduleCompactionSweep();
+  });
+}
+
+Status NodeServer::OpenWal() {
+  Env* env = PosixEnv();
+  if (options_.disk_faults) {
+    fault_env_ = std::make_unique<FaultInjectingEnv>(PosixEnv());
+    env = fault_env_.get();
+  }
+  WalOptions wopts;
+  wopts.group_commit_delay = options_.wal_commit_delay;
+  Result<std::unique_ptr<Wal>> wal =
+      Wal::Open(env, options_.data_dir, wopts, &loop_);
+  if (!wal.ok()) {
+    // Corruption in a sealed segment (bit rot at rest): refuse to serve.
+    // A node running on a damaged promise record can break Paxos safety.
+    DPAXOS_WARN("node " << options_.node
+                        << " wal open failed: " << wal.status().ToString());
+    return wal.status();
+  }
+  host_->storage().AdoptWal(std::move(wal.value()));
+  wal_ = host_->storage().wal();
+  DPAXOS_INFO("node " << options_.node << " wal at " << options_.data_dir
+                      << " seq=" << wal_->active_seq() << " torn_repairs="
+                      << wal_->stats().torn_tail_truncations);
+  if (options_.disk_faults) ScheduleFaultPoll();
+  return Status::OK();
+}
+
+void NodeServer::ScheduleFaultPoll() {
+  loop_.Schedule(50 * kMillisecond, [this] {
+    // The control file is read through the REAL env: an armed eio_reads
+    // fault must not be able to sever the channel that armed it.
+    const std::string path = options_.data_dir + "/FAULTS";
+    if (PosixEnv()->FileExists(path)) {
+      Result<std::string> bytes = PosixEnv()->ReadFileToString(path);
+      if (bytes.ok()) {
+        DiskFaults& faults = fault_env_->faults();
+        const std::string& text = bytes.value();
+        size_t pos = 0;
+        while (pos < text.size()) {
+          size_t eol = text.find('\n', pos);
+          if (eol == std::string::npos) eol = text.size();
+          const std::string line = text.substr(pos, eol - pos);
+          pos = eol + 1;
+          long long n = 0;
+          if (sscanf(line.c_str(), "eio_appends=%lld", &n) == 1) {
+            faults.eio_appends = static_cast<int>(n);
+          } else if (sscanf(line.c_str(), "eio_syncs=%lld", &n) == 1) {
+            faults.eio_syncs = static_cast<int>(n);
+          } else if (sscanf(line.c_str(), "eio_reads=%lld", &n) == 1) {
+            faults.eio_reads = static_cast<int>(n);
+          } else if (sscanf(line.c_str(), "lying_syncs=%lld", &n) == 1) {
+            faults.lying_syncs = static_cast<int>(n);
+          } else if (sscanf(line.c_str(), "short_write=%lld", &n) == 1) {
+            faults.short_write_bytes = n;
+          } else if (sscanf(line.c_str(), "torn_tail=%lld", &n) == 1) {
+            faults.torn_tail_bytes = n;
+          } else if (!line.empty()) {
+            DPAXOS_WARN("node " << options_.node
+                                << " ignoring fault command: " << line);
+          }
+        }
+        DPAXOS_INFO("node " << options_.node << " armed disk faults");
+      }
+      PosixEnv()->DeleteFile(path);
+    }
+    ScheduleFaultPoll();
   });
 }
 
@@ -370,6 +489,17 @@ std::string NodeServer::StatsString() const {
   out += " reactors=" + std::to_string(reactors);
   out += " reactor_rounds_busy=" + std::to_string(rounds_busy);
   out += " reactor_rounds_idle=" + std::to_string(rounds_idle);
+  // Always emitted (zeros without --data-dir) so bench/checker parsing
+  // never has to branch on durability mode.
+  const WalStats ws = wal_ != nullptr ? wal_->stats() : WalStats{};
+  out += " wal=" + std::to_string(wal_ != nullptr ? 1 : 0);
+  out += " wal_appends=" + std::to_string(ws.appends);
+  out += " wal_bytes=" + std::to_string(ws.bytes);
+  out += " wal_fsyncs=" + std::to_string(ws.fsyncs);
+  out += " wal_torn_tail_truncations=" + std::to_string(ws.torn_tail_truncations);
+  out += " wal_sync_failures=" + std::to_string(ws.sync_failures);
+  out += " wal_segments=" + std::to_string(ws.segments_created);
+  out += " wal_checkpoints=" + std::to_string(ws.checkpoints);
   return out;
 }
 

@@ -35,6 +35,8 @@
 #include "quorum/quorum_system.h"
 #include "smr/kv_store.h"
 #include "smr/log_applier.h"
+#include "storage/env.h"
+#include "storage/wal.h"
 
 namespace dpaxos {
 
@@ -71,6 +73,19 @@ struct NodeServerOptions {
   /// Reply-batch hold time forwarded to the reactor pool (ignored when
   /// reactors == 0); see ReactorPoolOptions::reply_flush_delay.
   Duration reply_flush_delay = 0;
+  /// WAL mode (real durability, storage/wal.h): non-empty = open an
+  /// acceptor write-ahead log in this directory. Every promise/accept/
+  /// fast-vote reply then waits for the group-commit fdatasync, and a
+  /// restarted process recovers its acceptor state (and the applied
+  /// prefix, via the durable snapshot) from disk alone. Recovery
+  /// failures (Corruption in a sealed segment) make Start() fail: a node
+  /// with damaged durable state must not serve.
+  std::string data_dir;
+  /// Wrap the disk in a FaultInjectingEnv and poll <data_dir>/FAULTS for
+  /// fault commands (see docs/fault_model.md). Requires data_dir.
+  bool disk_faults = false;
+  /// Group-commit window for the WAL (WalOptions::group_commit_delay).
+  Duration wal_commit_delay = 0;
 };
 
 /// \brief One-process replica server speaking the net/tcp framing.
@@ -120,14 +135,23 @@ class NodeServer {
   void StartCatchUp();
   void ScheduleCompactionSweep();
   void ScheduleAntiEntropySweep();
+  /// WAL mode: open + recover the log, adopt it into the host's storage,
+  /// restore the applied prefix from the durable snapshot.
+  Status OpenWal();
+  /// disk_faults: poll <data_dir>/FAULTS for armed fault commands.
+  void ScheduleFaultPoll();
 
   NodeServerOptions options_;
   EventLoop loop_;
   std::optional<Topology> topology_;  ///< set by Start()
   std::unique_ptr<QuorumSystem> quorums_;
+  /// Declared before host_: the WAL (owned by the host's NodeStorage)
+  /// writes through this env, so it must be destroyed after the host.
+  std::unique_ptr<FaultInjectingEnv> fault_env_;
   std::unique_ptr<TcpTransport> transport_;
   std::unique_ptr<NodeHost> host_;
   Replica* replica_ = nullptr;
+  Wal* wal_ = nullptr;  ///< owned by host_->storage(); null without data_dir
   KvStateMachine kv_;
   LogApplier applier_{&kv_};
   uint64_t next_value_id_ = 1;

@@ -204,6 +204,14 @@ RealChaosReport RunRealChaos(const RealChaosOptions& options) {
   copts.listen_endpoints = real_endpoints;
   copts.peer_view = proxy.endpoints();
   if (options.fast_path) copts.extra_args.push_back("--fast-path");
+  if (options.durable) {
+    if (options.data_dir_base.empty()) {
+      return fail("durable mode requires data_dir_base");
+    }
+    copts.data_dir_base = options.data_dir_base;
+    copts.disk_faults = true;
+    copts.wal_commit_delay = options.wal_commit_delay;
+  }
   RealCluster cluster(copts);
   st = cluster.Start();
   if (!st.ok()) return fail("cluster: " + st.ToString());
@@ -306,6 +314,9 @@ RealChaosReport RunRealChaos(const RealChaosOptions& options) {
         StatsU64(stats.value(), "tcp_malformed_frames");
     report.fast_commits += StatsU64(stats.value(), "fast_commits");
     report.fast_fallbacks += StatsU64(stats.value(), "fast_fallbacks");
+    report.wal_fsyncs += StatsU64(stats.value(), "wal_fsyncs");
+    report.wal_torn_tail_truncations +=
+        StatsU64(stats.value(), "wal_torn_tail_truncations");
   }
 
   // 8. Verdicts.
@@ -326,6 +337,8 @@ RealChaosReport RunRealChaos(const RealChaosOptions& options) {
   report.nemesis_kills = nemesis.kills();
   report.nemesis_restarts = nemesis.restarts();
   report.nemesis_corrupt_bursts = nemesis.corrupt_bursts();
+  report.nemesis_disk_faults = nemesis.disk_faults_armed();
+  report.nemesis_power_losses = nemesis.power_losses();
   report.nemesis_log = nemesis.action_log();
 
   st = cluster.ShutdownAll();
@@ -377,6 +390,16 @@ std::string RealChaosReport::Summary() const {
            static_cast<unsigned long long>(tcp_dropped_frames),
            static_cast<unsigned long long>(tcp_malformed_frames));
   out += buf;
+  if (nemesis_disk_faults > 0 || nemesis_power_losses > 0 || wal_fsyncs > 0) {
+    snprintf(buf, sizeof(buf),
+             "disk: faults_armed=%llu power_losses=%llu wal_fsyncs=%llu "
+             "torn_tail_truncations=%llu\n",
+             static_cast<unsigned long long>(nemesis_disk_faults),
+             static_cast<unsigned long long>(nemesis_power_losses),
+             static_cast<unsigned long long>(wal_fsyncs),
+             static_cast<unsigned long long>(wal_torn_tail_truncations));
+    out += buf;
+  }
   if (fast_commits > 0 || fast_fallbacks > 0) {
     snprintf(buf, sizeof(buf), "fast path: commits=%llu fallbacks=%llu\n",
              static_cast<unsigned long long>(fast_commits),
@@ -407,11 +430,12 @@ std::string RealChaosSectionJson(const RealChaosOptions& options,
   std::string out = "{\n";
   snprintf(buf, sizeof(buf),
            "    \"mode\": \"%s\", \"schedule\": \"%s\", \"seed\": %llu, "
-           "\"duration_s\": %.1f, \"fast_path\": %s,\n",
+           "\"duration_s\": %.1f, \"fast_path\": %s, \"durable\": %s,\n",
            ProtocolModeName(options.mode), options.schedule.c_str(),
            static_cast<unsigned long long>(options.seed),
            static_cast<double>(options.duration) / 1e6,
-           options.fast_path ? "true" : "false");
+           options.fast_path ? "true" : "false",
+           options.durable ? "true" : "false");
   out += buf;
   snprintf(buf, sizeof(buf),
            "    \"ops\": {\"invoked\": %llu, \"ok\": %llu, \"failed\": %llu, "
@@ -459,6 +483,14 @@ std::string RealChaosSectionJson(const RealChaosOptions& options,
            "    \"fast\": {\"commits\": %llu, \"fallbacks\": %llu},\n",
            static_cast<unsigned long long>(report.fast_commits),
            static_cast<unsigned long long>(report.fast_fallbacks));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "    \"disk\": {\"faults_armed\": %llu, \"power_losses\": %llu, "
+           "\"wal_fsyncs\": %llu, \"torn_tail_truncations\": %llu},\n",
+           static_cast<unsigned long long>(report.nemesis_disk_faults),
+           static_cast<unsigned long long>(report.nemesis_power_losses),
+           static_cast<unsigned long long>(report.wal_fsyncs),
+           static_cast<unsigned long long>(report.wal_torn_tail_truncations));
   out += buf;
   snprintf(buf, sizeof(buf),
            "    \"checkers\": {\"violations\": %llu, \"keys_checked\": %llu, "

@@ -68,6 +68,15 @@ struct RealChaosOptions {
 
   /// Directory for per-node server logs; empty inherits stdio.
   std::string log_dir;
+
+  /// Durable mode: run every node with an acceptor WAL under
+  /// `<data_dir_base>/node<N>` and with --disk-faults, so disk nemesis
+  /// ops (and the "disk" schedule's whole-cluster power loss) apply.
+  /// Requires data_dir_base to be set.
+  bool durable = false;
+  std::string data_dir_base;
+  /// WAL group-commit window (forwarded as --wal-commit-us).
+  Duration wal_commit_delay = 0;
 };
 
 struct RealChaosReport {
@@ -87,7 +96,15 @@ struct RealChaosReport {
   uint64_t nemesis_kills = 0;
   uint64_t nemesis_restarts = 0;
   uint64_t nemesis_corrupt_bursts = 0;
+  uint64_t nemesis_disk_faults = 0;
+  uint64_t nemesis_power_losses = 0;
   std::vector<std::string> nemesis_log;
+
+  /// WAL counters summed post-quiesce (durable runs only; restarted
+  /// nodes reset theirs, so lower bounds — but recovery re-journals the
+  /// recovered state, so nonzero proves the WAL path was live).
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_torn_tail_truncations = 0;
 
   /// Node-side TCP damage counters, summed post-quiesce (restarted
   /// nodes reset theirs, so these are lower bounds under kill

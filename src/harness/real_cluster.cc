@@ -115,6 +115,14 @@ std::vector<std::string> RealCluster::BuildArgv(NodeId node) const {
     argv.push_back("--compaction-retain=" +
                    std::to_string(options_.compaction_retained_suffix));
   }
+  if (!options_.data_dir_base.empty()) {
+    argv.push_back("--data-dir=" + node_data_dir(node));
+    if (options_.wal_commit_delay > 0) {
+      argv.push_back("--wal-commit-us=" +
+                     std::to_string(options_.wal_commit_delay / kMicrosecond));
+    }
+    if (options_.disk_faults) argv.push_back("--disk-faults");
+  }
   for (const std::string& extra : options_.extra_args) argv.push_back(extra);
   return argv;
 }
@@ -211,6 +219,20 @@ Status RealCluster::Kill(NodeId node) {
   waitpid(pids_[node], nullptr, 0);
   pids_[node] = -1;
   return Status::OK();
+}
+
+bool RealCluster::ReapIfExited(NodeId node) {
+  DPAXOS_CHECK_LT(node, pids_.size());
+  if (pids_[node] <= 0) return true;
+  int wstatus = 0;
+  pid_t reaped = waitpid(pids_[node], &wstatus, WNOHANG);
+  if (reaped == pids_[node]) {
+    DPAXOS_INFO("node " << node << " self-exited (status " << wstatus << ")");
+    pids_[node] = -1;
+    paused_[node] = 0;
+    return true;
+  }
+  return false;
 }
 
 Status RealCluster::Pause(NodeId node) {

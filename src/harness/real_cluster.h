@@ -35,6 +35,17 @@ struct RealClusterOptions {
   uint64_t compaction_retained_suffix = 64;
   Duration compaction_interval = 200 * kMillisecond;
   Duration catchup_delay = 200 * kMillisecond;
+  /// Non-empty = durable mode: node N runs with
+  /// `--data-dir=<data_dir_base>/node<N>` (acceptor WAL, storage/wal.h).
+  /// A killed-and-restarted node then recovers from its disk instead of
+  /// starting empty — which is what makes whole-cluster power loss
+  /// (every node SIGKILLed at once) survivable.
+  std::string data_dir_base;
+  /// Durable mode: run children with --disk-faults so tests can arm
+  /// injected disk faults by writing <data_dir>/FAULTS control files.
+  bool disk_faults = false;
+  /// WAL group-commit window forwarded as --wal-commit-us.
+  Duration wal_commit_delay = 0;
   /// Extra `--flag=value` style args appended to every child's argv.
   std::vector<std::string> extra_args;
   /// Where child stdout/stderr goes: empty = inherit (interleaved on
@@ -78,6 +89,18 @@ class RealCluster {
 
   /// SIGKILL one node (crash fault: no shutdown path runs).
   Status Kill(NodeId node);
+
+  /// Reap a child that exited on its own (a WAL fsync-failure panic
+  /// aborts the process, for example). Returns true when the node is no
+  /// longer running — Restart() is then legal. False = still alive.
+  bool ReapIfExited(NodeId node);
+
+  /// Durable mode: node `n`'s WAL directory ("" when data_dir_base is
+  /// unset).
+  std::string node_data_dir(NodeId node) const {
+    if (options_.data_dir_base.empty()) return "";
+    return options_.data_dir_base + "/node" + std::to_string(node);
+  }
 
   /// SIGSTOP one node: the process is wedged mid-execution — sockets
   /// stay open and accept()ed but nothing is read, which is a *hung*

@@ -1,5 +1,6 @@
 #include "harness/real_nemesis.h"
 
+#include <stdio.h>
 #include <time.h>
 
 #include <algorithm>
@@ -40,7 +41,7 @@ RealNemesis& RealNemesis::Add(Duration at, Op op, double arg) {
 }
 
 std::vector<std::string> RealNemesis::ScheduleNames() {
-  return {"mixed", "partitions", "process", "lossy"};
+  return {"mixed", "partitions", "process", "lossy", "disk"};
 }
 
 bool RealNemesis::AddNamedSchedule(const std::string& name, Duration start,
@@ -97,6 +98,20 @@ bool RealNemesis::AddNamedSchedule(const std::string& name, Duration start,
     Add(at(0.60), Op::kClearFaults);
     Add(at(0.65), Op::kThrottle, 256 * 1024);
     Add(at(0.85), Op::kClearFaults);
+    return true;
+  }
+  if (name == "disk") {
+    // The disk joins the fault model. Torn write and fsync EIO both
+    // panic the victim (fail-stop); each is followed by a restart that
+    // reaps the self-exited process and recovers from its WAL. The
+    // finale kills the WHOLE cluster at once and restarts it from the
+    // per-node directories alone.
+    Add(at(0.05), Op::kDiskLyingFsync, victim);
+    Add(at(0.15), Op::kDiskTornWrite, victim);
+    Add(at(0.30), Op::kRestartNode, victim);
+    Add(at(0.42), Op::kDiskEioSync, victim);
+    Add(at(0.55), Op::kRestartNode, victim);
+    Add(at(0.70), Op::kPowerLossAll);
     return true;
   }
   return false;
@@ -193,6 +208,9 @@ void RealNemesis::Execute(const Step& step) {
     }
     case Op::kRestartNode: {
       const NodeId node = ClampNode(step.arg);
+      // A WAL panic aborts the process on its own; reap the zombie so
+      // the respawn below is legal after disk-fault steps too.
+      cluster_->ReapIfExited(node);
       // Readiness is probed on the node's REAL endpoint, so a standing
       // proxy fault cannot make a healthy respawn look dead.
       Status st = cluster_->Restart(node, 15 * kSecond);
@@ -221,7 +239,65 @@ void RealNemesis::Execute(const Step& step) {
       Note("close all links");
       return;
     }
+    case Op::kDiskTornWrite: {
+      const NodeId node = ClampNode(step.arg);
+      const bool armed = ArmDiskFault(node, "short_write=1\n");
+      Note("arm torn write on node " + std::to_string(node) +
+           (armed ? "" : " (skipped: not durable)"));
+      return;
+    }
+    case Op::kDiskEioSync: {
+      const NodeId node = ClampNode(step.arg);
+      const bool armed = ArmDiskFault(node, "eio_syncs=1\n");
+      Note("arm fsync EIO on node " + std::to_string(node) +
+           (armed ? "" : " (skipped: not durable)"));
+      return;
+    }
+    case Op::kDiskLyingFsync: {
+      const NodeId node = ClampNode(step.arg);
+      const bool armed = ArmDiskFault(node, "lying_syncs=4\n");
+      Note("arm lying fsyncs on node " + std::to_string(node) +
+           (armed ? "" : " (skipped: not durable)"));
+      return;
+    }
+    case Op::kPowerLossAll: {
+      if (cluster_->node_data_dir(0).empty()) {
+        // Without WAL directories nothing would survive: a power loss
+        // on a volatile cluster is state wipe, not a durability test.
+        Note("power loss skipped: cluster not durable");
+        return;
+      }
+      for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+        cluster_->ReapIfExited(n);
+        if (cluster_->alive(n) && cluster_->Kill(n).ok()) ++kills_;
+      }
+      ++power_losses_;
+      Note("whole-cluster power loss");
+      for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+        Status st = cluster_->Restart(n, 15 * kSecond);
+        if (st.ok()) ++restarts_;
+        Note("power-loss restart node " + std::to_string(n) +
+             (st.ok() ? "" : " (failed: " + st.ToString() + ")"));
+      }
+      return;
+    }
   }
+}
+
+bool RealNemesis::ArmDiskFault(NodeId node, const std::string& line) {
+  const std::string dir = cluster_->node_data_dir(node);
+  if (dir.empty()) return false;
+  const std::string tmp = dir + "/FAULTS.tmp";
+  FILE* f = fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote = fwrite(line.data(), 1, line.size(), f) == line.size();
+  fclose(f);
+  if (!wrote || rename(tmp.c_str(), (dir + "/FAULTS").c_str()) != 0) {
+    remove(tmp.c_str());
+    return false;
+  }
+  ++disk_faults_armed_;
+  return true;
 }
 
 void RealNemesis::Run() {
@@ -247,6 +323,7 @@ void RealNemesis::Quiesce() {
     }
   }
   for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    cluster_->ReapIfExited(n);  // a WAL panic leaves a zombie behind
     if (!cluster_->alive(n)) {
       Status st = cluster_->Restart(n, 15 * kSecond);
       Note("quiesce: restart node " + std::to_string(n) +

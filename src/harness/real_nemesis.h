@@ -41,6 +41,22 @@ class RealNemesis {
     kPauseNode,          // SIGSTOP node `arg` (hung, not dead)
     kResumeNode,         // SIGCONT node `arg`
     kCloseLinks,         // hard-close every live proxied connection
+
+    // Disk ops (durable clusters only: data_dir_base + --disk-faults).
+    // Faults are armed by dropping a FAULTS control file into node
+    // `arg`'s WAL directory; the server polls and applies it within
+    // ~50ms. Torn writes and fsync EIOs make the node panic (fail-stop
+    // per the fsyncgate policy), so schedules pair them with a
+    // kRestartNode that reaps the self-exited process first.
+    kDiskTornWrite,      // node arg: next WAL append tears (prefix lands,
+                         // then EIO) — panic; recovery truncates the tail
+    kDiskEioSync,        // node arg: next fdatasync returns EIO — panic,
+                         // no retry, withheld replies stay withheld
+    kDiskLyingFsync,     // node arg: next 4 fdatasyncs lie (no-op OK);
+                         // benign under SIGKILL (the page cache survives
+                         // process death) but exercises the accounting
+    kPowerLossAll,       // SIGKILL every node at once, then restart all —
+                         // recovery happens from the WAL directories alone
   };
 
   struct Step {
@@ -71,6 +87,10 @@ class RealNemesis {
   ///   "partitions" — repeated zone isolation / heal cycles, one asym
   ///   "process"    — kill/restart + pause/resume churn
   ///   "lossy"      — latency, drop, corruption and throttle bursts
+  ///   "disk"       — durable clusters: lying fsyncs, a torn write and a
+  ///                  fsync EIO (each panicking the victim, which is
+  ///                  then reaped + restarted to recover from its WAL),
+  ///                  capped by a whole-cluster power loss
   /// Returns false (and adds nothing) for an unknown name.
   bool AddNamedSchedule(const std::string& name, Duration start,
                         Duration horizon);
@@ -96,11 +116,17 @@ class RealNemesis {
   uint64_t kills() const { return kills_; }
   uint64_t restarts() const { return restarts_; }
   uint64_t corrupt_bursts() const { return corrupt_bursts_; }
+  uint64_t disk_faults_armed() const { return disk_faults_armed_; }
+  uint64_t power_losses() const { return power_losses_; }
 
  private:
   void Execute(const Step& step);
   void Note(const std::string& what);
   NodeId ClampNode(double arg) const;
+  /// Drop `line` into node's <data_dir>/FAULTS (tmp + rename, so the
+  /// server's poll never sees a half-written file). False if the
+  /// cluster is not durable or the write failed.
+  bool ArmDiskFault(NodeId node, const std::string& line);
 
   RealCluster* cluster_;
   ChaosProxy* proxy_;
@@ -115,6 +141,8 @@ class RealNemesis {
   uint64_t kills_ = 0;
   uint64_t restarts_ = 0;
   uint64_t corrupt_bursts_ = 0;
+  uint64_t disk_faults_armed_ = 0;
+  uint64_t power_losses_ = 0;
 };
 
 }  // namespace dpaxos

@@ -1,5 +1,6 @@
 #include "harness/realnet_bench.h"
 
+#include <stdlib.h>
 #include <time.h>
 
 #include <cstdio>
@@ -84,6 +85,9 @@ struct CellSpec {
   bool fast_path = false;
   NodeId target = 0;
   std::string label;
+  /// Durable cell: per-node WALs under `<data_dir_base>/<label>/nodeN`.
+  bool durable = false;
+  std::string data_dir_base;
 };
 
 Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
@@ -107,6 +111,10 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
                                std::to_string(options.reply_flush_us));
   }
   if (cell.fast_path) copts.extra_args.push_back("--fast-path");
+  if (cell.durable) {
+    copts.data_dir_base = cell.data_dir_base;
+    copts.wal_commit_delay = options.wal_commit_delay;
+  }
   RealCluster cluster(copts);
   Status st = cluster.Start();
   if (!st.ok()) return st;
@@ -116,6 +124,7 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
   result.label = cell.label.empty() ? ProtocolModeName(mode) : cell.label;
   result.fast_path = cell.fast_path;
   result.target_node = cell.target;
+  result.durable = cell.durable;
 
   // Warmup with a blocking client: absorb the initial leader election so
   // the measured phase starts against a settled cluster.
@@ -201,6 +210,9 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
         StatsU64(stats.value(), "tcp_frames_coalesced");
     result.fast_commits += StatsU64(stats.value(), "fast_commits");
     result.fast_fallbacks += StatsU64(stats.value(), "fast_fallbacks");
+    result.wal_appends += StatsU64(stats.value(), "wal_appends");
+    result.wal_bytes += StatsU64(stats.value(), "wal_bytes");
+    result.wal_fsyncs += StatsU64(stats.value(), "wal_fsyncs");
   }
 
   client.Close();
@@ -228,6 +240,27 @@ Result<RealnetBenchReport> RunRealnetBench(const RealnetBenchOptions& options) {
                              base + "/edge-classic"});
     cells.push_back(CellSpec{mode, /*fast_path=*/true, options.edge_node,
                              base + "/edge-fast"});
+  }
+  if (options.durable_cell && !options.modes.empty()) {
+    // The durability cell: the first mode again, but every ack waits
+    // for a real fdatasync into a per-node WAL. Against the volatile
+    // row of the same mode this is the measured price of durability —
+    // and the killed node restarts from its disk instead of empty.
+    std::string base = options.data_dir_base;
+    if (base.empty()) {
+      char tmpl[] = "/tmp/dpaxos_bench_wal.XXXXXX";
+      const char* made = mkdtemp(tmpl);
+      if (made == nullptr) {
+        return Status::Unavailable("mkdtemp for the durable cell failed");
+      }
+      base = made;
+    }
+    const ProtocolMode mode = options.modes.front();
+    CellSpec cell{mode, /*fast_path=*/false, /*target=*/0,
+                  std::string(ProtocolModeName(mode)) + "/durable"};
+    cell.durable = true;
+    cell.data_dir_base = base;
+    cells.push_back(cell);
   }
   for (const CellSpec& cell : cells) {
     const std::string label =
@@ -276,6 +309,20 @@ std::string RealnetReportToJson(const RealnetBenchOptions& options,
              "     \"fast\": {\"commits\": %llu, \"fallbacks\": %llu},\n",
              static_cast<unsigned long long>(r.fast_commits),
              static_cast<unsigned long long>(r.fast_fallbacks));
+    out += buf;
+    const double fsyncs_per_op =
+        r.measured_ops > 0
+            ? static_cast<double>(r.wal_fsyncs) /
+                  static_cast<double>(r.measured_ops)
+            : 0;
+    snprintf(buf, sizeof(buf),
+             "     \"durability\": {\"durable\": %s, \"wal_appends\": %llu, "
+             "\"wal_bytes\": %llu, \"wal_fsyncs\": %llu, "
+             "\"fsyncs_per_op\": %.3f},\n",
+             r.durable ? "true" : "false",
+             static_cast<unsigned long long>(r.wal_appends),
+             static_cast<unsigned long long>(r.wal_bytes),
+             static_cast<unsigned long long>(r.wal_fsyncs), fsyncs_per_op);
     out += buf;
     snprintf(buf, sizeof(buf),
              "     \"latency_ms\": {\"mean\": %.3f, \"p50\": %.3f, "

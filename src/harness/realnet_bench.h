@@ -49,6 +49,16 @@ struct RealnetBenchOptions {
   /// must survive the kill phase; the 2x2 cluster uses zone 1's first
   /// node).
   NodeId edge_node = 2;
+  /// Add the durability cell: the first mode re-run with per-node
+  /// acceptor WALs (every ack waits for a real fdatasync), so the JSON
+  /// shows the fsync cost next to the volatile row. The killed node
+  /// then restarts from its disk instead of empty.
+  bool durable_cell = true;
+  /// WAL directory base for the durable cell (node N gets
+  /// `<base>/node<N>`); empty = a fresh temp dir per run.
+  std::string data_dir_base;
+  /// Group-commit window for the durable cell (--wal-commit-us).
+  Duration wal_commit_delay = 0;
   /// Output path; empty skips the file.
   std::string json_path = "BENCH_realnet.json";
   /// Directory for per-node server logs; empty inherits stdio.
@@ -86,6 +96,12 @@ struct RealnetModeResult {
   /// (zero unless the cell ran with --fast-path).
   uint64_t fast_commits = 0;
   uint64_t fast_fallbacks = 0;
+  /// Durability: whether this cell ran with acceptor WALs, and the WAL
+  /// counters summed over all nodes at mode end (zero when volatile).
+  bool durable = false;
+  uint64_t wal_appends = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsyncs = 0;
 };
 
 struct RealnetBenchReport {

@@ -30,7 +30,8 @@ Acceptor::PrepareOutcome Acceptor::OnPrepare(const PrepareMsg& msg,
   // rounds and retransmissions of the same attempt; re-promising is
   // idempotent and required so an expansion-round target can vote.
   rec_->promised = msg.ballot;
-  ++rec_->sync_writes;  // the promise is durable before we answer
+  rec_->NoteMutation();  // the promise is durable before we answer
+  if (rec_->journal) rec_->journal->Promised(rec_->promised);
   out.promised = true;
   rec_->accepted.ForEachFrom(msg.first_slot, [&](const AcceptedEntry& entry) {
     out.accepted.push_back(entry);
@@ -50,10 +51,17 @@ Acceptor::ProposeOutcome Acceptor::OnPropose(const ProposeMsg& msg,
   // GC polling observes every received propose, accepted or not: the
   // sender necessarily completed a Leader Election with this ballot,
   // which is all Theorem 3 needs.
+  const Ballot prior_propose = rec_->max_propose_ballot;
+  const Ballot prior_recovered = rec_->max_recovered_ballot;
   rec_->max_propose_ballot = std::max(rec_->max_propose_ballot, msg.ballot);
   if (msg.recovery_complete) {
     rec_->max_recovered_ballot =
         std::max(rec_->max_recovered_ballot, msg.ballot);
+  }
+  if (rec_->journal && (rec_->max_propose_ballot != prior_propose ||
+                        rec_->max_recovered_ballot != prior_recovered)) {
+    rec_->journal->GcBallots(rec_->max_propose_ballot,
+                             rec_->max_recovered_ballot);
   }
 
   ProposeOutcome out;
@@ -67,9 +75,14 @@ Acceptor::ProposeOutcome Acceptor::OnPropose(const ProposeMsg& msg,
     return out;
   }
 
-  if (!leaderless_) rec_->promised = std::max(rec_->promised, msg.ballot);
-  rec_->accepted.Put(msg.slot, AcceptedEntry{msg.slot, msg.ballot, msg.value});
-  ++rec_->sync_writes;  // the acceptance is durable before we answer
+  if (!leaderless_ && msg.ballot > rec_->promised) {
+    rec_->promised = msg.ballot;
+    if (rec_->journal) rec_->journal->Promised(rec_->promised);
+  }
+  const AcceptedEntry entry{msg.slot, msg.ballot, msg.value};
+  rec_->accepted.Put(msg.slot, entry);
+  rec_->NoteMutation();  // the acceptance is durable before we answer
+  if (rec_->journal) rec_->journal->Accepted(entry);
   out.accepted = true;
 
   if (msg.lease_request) {
@@ -77,6 +90,9 @@ Acceptor::ProposeOutcome Acceptor::OnPropose(const ProposeMsg& msg,
     // prepares until it expires.
     rec_->lease_ballot = msg.ballot;
     rec_->lease_until = std::max(rec_->lease_until, msg.lease_until);
+    if (rec_->journal) {
+      rec_->journal->LeaseGranted(rec_->lease_ballot, rec_->lease_until);
+    }
     out.lease_vote = true;
     out.lease_until = rec_->lease_until;
   }
@@ -92,7 +108,10 @@ Acceptor::FastVoteOutcome Acceptor::OnFastAccept(const Ballot& ballot,
     out.promised_ballot = rec_->promised;
     return out;
   }
-  rec_->promised = std::max(rec_->promised, ballot);
+  if (ballot > rec_->promised) {
+    rec_->promised = ballot;
+    if (rec_->journal) rec_->journal->Promised(rec_->promised);
+  }
 
   // Next free slot: past everything this acceptor has ever accepted and
   // past the caller's fence. Monotone per acceptor, so two values fast-
@@ -101,15 +120,17 @@ Acceptor::FastVoteOutcome Acceptor::OnFastAccept(const Ballot& ballot,
   const SlotId highest = HighestAcceptedSlot();
   if (highest != kInvalidSlot && highest + 1 > slot) slot = highest + 1;
 
-  rec_->accepted.Put(slot, AcceptedEntry{slot, ballot, value, /*fast=*/true});
-  ++rec_->sync_writes;  // the vote is durable before we answer
+  const AcceptedEntry entry{slot, ballot, value, /*fast=*/true};
+  rec_->accepted.Put(slot, entry);
+  rec_->NoteMutation();  // the vote is durable before we answer
+  if (rec_->journal) rec_->journal->Accepted(entry);
   out.voted = true;
   out.slot = slot;
   return out;
 }
 
 void Acceptor::ApplyGcThreshold(const Ballot& threshold, Timestamp now) {
-  std::erase_if(rec_->intents, [&](const Intent& i) {
+  const size_t collected = std::erase_if(rec_->intents, [&](const Intent& i) {
     if (i.ballot >= threshold) return false;
     // The current lease holder's intent cannot be collected while the
     // lease is active: no other node can be elected before expiry, so
@@ -117,6 +138,9 @@ void Acceptor::ApplyGcThreshold(const Ballot& threshold, Timestamp now) {
     if (rec_->lease_until > now && i.ballot == rec_->lease_ballot) return false;
     return true;
   });
+  if (collected > 0 && rec_->journal) {
+    rec_->journal->IntentsChanged(rec_->intents);
+  }
 }
 
 const AcceptedEntry* Acceptor::AcceptedFor(SlotId slot) const {
@@ -124,12 +148,17 @@ const AcceptedEntry* Acceptor::AcceptedFor(SlotId slot) const {
 }
 
 void Acceptor::AddIntents(const std::vector<Intent>& intents) {
+  bool added = false;
   for (const Intent& in : intents) {
     const bool dup =
         std::any_of(rec_->intents.begin(), rec_->intents.end(),
                     [&](const Intent& have) { return have.ballot == in.ballot; });
-    if (!dup) rec_->intents.push_back(in);
+    if (!dup) {
+      rec_->intents.push_back(in);
+      added = true;
+    }
   }
+  if (added && rec_->journal) rec_->journal->IntentsChanged(rec_->intents);
 }
 
 }  // namespace dpaxos

@@ -104,7 +104,8 @@ class Acceptor {
   bool PromiseAtLeast(const Ballot& ballot) {
     if (ballot <= rec_->promised) return false;
     rec_->promised = ballot;
-    ++rec_->sync_writes;
+    rec_->NoteMutation();
+    if (rec_->journal) rec_->journal->Promised(rec_->promised);
     return true;
   }
 
@@ -131,7 +132,8 @@ class Acceptor {
   bool ConsumeRelinquish(const Ballot& ballot) {
     if (ballot <= rec_->relinquish_consumed) return false;
     rec_->relinquish_consumed = ballot;
-    ++rec_->sync_writes;
+    rec_->NoteMutation();
+    if (rec_->journal) rec_->journal->RelinquishConsumed(ballot);
     return true;
   }
 
@@ -159,7 +161,10 @@ class Acceptor {
   void StoreSnapshot(SlotId through, std::string bytes) {
     rec_->snapshot_through = through;
     rec_->snapshot_bytes = std::move(bytes);
-    ++rec_->sync_writes;
+    rec_->NoteMutation();
+    if (rec_->journal) {
+      rec_->journal->SnapshotStored(through, rec_->snapshot_bytes);
+    }
   }
 
   /// Release accepted entries below `through` and record the durable
@@ -168,7 +173,8 @@ class Acceptor {
   void ReleaseAcceptedBelow(SlotId through) {
     rec_->accepted.ReleaseBelow(through);
     if (through > rec_->compacted_through) rec_->compacted_through = through;
-    ++rec_->sync_writes;
+    rec_->NoteMutation();
+    if (rec_->journal) rec_->journal->PrefixReleased(through);
   }
 
   /// Discard the stored snapshot (e.g. it failed its CRC after a lossy
@@ -177,7 +183,8 @@ class Acceptor {
   void DropStoredSnapshot() {
     rec_->snapshot_through = 0;
     rec_->snapshot_bytes.clear();
-    ++rec_->sync_writes;
+    rec_->NoteMutation();
+    if (rec_->journal) rec_->journal->SnapshotDropped();
   }
 
   SlotId snapshot_through() const { return rec_->snapshot_through; }

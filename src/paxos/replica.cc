@@ -69,6 +69,31 @@ void Replica::SendToAll(const std::vector<NodeId>& targets,
   for (NodeId t : targets) transport_->Send(id_, t, msg);
 }
 
+void Replica::SyncThenDeliver(std::function<void()> deliver) {
+  if (persist_gate_) {
+    // WAL mode: the gate releases `deliver` once the journaled mutations
+    // are on disk (one group-commit fdatasync may release a batch). The
+    // callback can outlive this replica — the WAL lives in NodeStorage —
+    // so it guards on alive_ like every deferred closure.
+    persist_gate_([this, alive = alive_, deliver = std::move(deliver)] {
+      if (!*alive) return;
+      if (sync_hook_) sync_hook_();
+      deliver();
+    });
+    return;
+  }
+  if (config_.storage_sync_delay > 0) {
+    ScheduleSafe(config_.storage_sync_delay,
+                 [this, deliver = std::move(deliver)] {
+                   if (sync_hook_) sync_hook_();
+                   deliver();
+                 });
+  } else {
+    if (sync_hook_) sync_hook_();
+    deliver();
+  }
+}
+
 void Replica::ObserveBallot(const Ballot& ballot) {
   max_round_seen_ = std::max(max_round_seen_, ballot.round);
 }
@@ -581,16 +606,8 @@ void Replica::OnPrepare(NodeId from, const PrepareMsg& msg) {
   // compaction, keeping legacy message sizes bit-identical).
   promise->compacted_through = acceptor_.compacted_through();
   ++counters_.promises_sent;
-  if (config_.storage_sync_delay > 0) {
-    // The promise is durable before it is answered.
-    ScheduleSafe(config_.storage_sync_delay, [this, from, promise] {
-      if (sync_hook_) sync_hook_();
-      SendTo(from, promise);
-    });
-  } else {
-    if (sync_hook_) sync_hook_();
-    SendTo(from, promise);
-  }
+  // The promise is durable before it is answered.
+  SyncThenDeliver([this, from, promise] { SendTo(from, promise); });
 }
 
 void Replica::OnPrepareNack(NodeId from, const PrepareNackMsg& msg) {
@@ -722,16 +739,8 @@ void Replica::OnPropose(NodeId from, const ProposeMsg& msg) {
   accept->lease_vote = out.lease_vote;
   accept->lease_until = out.lease_until;
   ++counters_.accepts_sent;
-  if (config_.storage_sync_delay > 0) {
-    // The acceptance is durable before it is answered.
-    ScheduleSafe(config_.storage_sync_delay, [this, from, accept] {
-      if (sync_hook_) sync_hook_();
-      SendTo(from, accept);
-    });
-  } else {
-    if (sync_hook_) sync_hook_();
-    SendTo(from, accept);
-  }
+  // The acceptance is durable before it is answered.
+  SyncThenDeliver([this, from, accept] { SendTo(from, accept); });
 }
 
 void Replica::OnAccept(NodeId from, const AcceptMsg& msg) {
@@ -1333,19 +1342,13 @@ void Replica::OnFastAccept(NodeId from, const FastAcceptMsg& msg) {
       config_.partition, msg.ballot, out.slot, from, msg.request_id,
       msg.value);
   const NodeId leader = fast_grant_.ballot.node;
-  const auto deliver = [this, from, leader, reply] {
-    if (sync_hook_) sync_hook_();
+  // The vote is durable before it is answered.
+  SyncThenDeliver([this, from, leader, reply] {
     SendTo(from, reply);
     // The grant leader tracks every vote (unanimity and conflicts); our
     // own copy reaches the local tracker through the loopback transport.
     if (leader != from) SendTo(leader, reply);
-  };
-  if (config_.storage_sync_delay > 0) {
-    // The vote is durable before it is answered.
-    ScheduleSafe(config_.storage_sync_delay, deliver);
-  } else {
-    deliver();
-  }
+  });
 }
 
 void Replica::OnFastAccepted(NodeId from, const FastAcceptedMsg& msg) {
@@ -1665,19 +1668,19 @@ Status Replica::Compact(SlotId through) {
   const SlotId point = std::min({through, watermark_, covered});
   if (point <= log_start_) return Status::OK();  // nothing new to release
   acceptor_.StoreSnapshot(covered, std::move(envelope));
-  if (sync_hook_) sync_hook_();
+  StorageBarrier();
   // Snapshot durable: releasing the prefix is now crash-safe.
   decided_.TruncateTo(point);
   log_start_ = point;
   acceptor_.ReleaseAcceptedBelow(point);
-  if (sync_hook_) sync_hook_();
+  StorageBarrier();
   ++counters_.log_compactions;
   return Status::OK();
 }
 
 void Replica::DropInstalledSnapshot() {
   acceptor_.DropStoredSnapshot();
-  if (sync_hook_) sync_hook_();
+  StorageBarrier();
   // The compaction watermark survives: the prefix is gone either way,
   // so this replica must relearn state from its peers.
   decided_ = DecidedLog();
@@ -1827,14 +1830,14 @@ void Replica::InstallReassembledSnapshot() {
     // THEN truncate. A lossy restart between the two syncs keeps the
     // snapshot and merely re-releases the prefix.
     acceptor_.StoreSnapshot(through, std::move(envelope));
-    if (sync_hook_) sync_hook_();
+    StorageBarrier();
     decided_.TruncateTo(through);
     log_start_ = std::max(log_start_, through);
     watermark_ = std::max(watermark_, through);
     while (decided_.Contains(watermark_)) ++watermark_;
     FlushDeferredAcks();
     acceptor_.ReleaseAcceptedBelow(through);
-    if (sync_hook_) sync_hook_();
+    StorageBarrier();
   }
   // Resume pulling the residual log tail above the snapshot.
   CatchUpRequestNext();

@@ -183,6 +183,23 @@ class Replica {
   void set_sync_hook(std::function<void()> hook) {
     sync_hook_ = std::move(hook);
   }
+
+  /// Real-durability gate (WAL mode, storage/wal.h). `gate(done)` must
+  /// make every acceptor mutation journaled so far durable and then
+  /// invoke `done` — typically Wal::SyncThen, which batches many callers
+  /// behind one fdatasync (group commit). When set, it replaces the
+  /// modelled storage_sync_delay at every reply-gated sync point: the
+  /// promise/accept/fast-vote reply is only sent once the disk confirms.
+  void set_persist_gate(std::function<void(std::function<void()>)> gate) {
+    persist_gate_ = std::move(gate);
+  }
+
+  /// Synchronous durability barrier (WAL mode): flush + fdatasync now.
+  /// Used by the crash-consistent compaction/install order, which needs
+  /// write-snapshot → barrier → release-prefix → barrier.
+  void set_persist_barrier(std::function<void()> barrier) {
+    persist_barrier_ = std::move(barrier);
+  }
   const DecidedLog& decided() const { return decided_; }
   /// Lowest slot id not yet known decided (contiguous watermark).
   SlotId DecidedWatermark() const;
@@ -523,6 +540,20 @@ class Replica {
   SlotId log_start_ = 0;   // lowest retained decided slot (truncation)
   DecideCallback decide_cb_;
   std::function<void()> sync_hook_;
+  std::function<void(std::function<void()>)> persist_gate_;
+  std::function<void()> persist_barrier_;
+
+  /// Run `deliver` once the acceptor mutations behind it are durable:
+  /// through the persist gate (WAL mode), after the modelled
+  /// storage_sync_delay, or inline. Fires sync_hook_ first in all paths.
+  void SyncThenDeliver(std::function<void()> deliver);
+
+  /// Storage barrier at the compaction/install sync points: marks the
+  /// modelled sync and, in WAL mode, fsyncs the journal synchronously.
+  void StorageBarrier() {
+    if (sync_hook_) sync_hook_();
+    if (persist_barrier_) persist_barrier_();
+  }
 
   // Forwarding state (origin side).
   struct PendingForward {

@@ -1,0 +1,373 @@
+#include "storage/env.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dpaxos {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  return Status::Unavailable(std::string(op) + " " + path + ": " +
+                             strerror(err));
+}
+
+// ---------------------------------------------------------------------
+// PosixEnv
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnvImpl : public Env {
+ public:
+  Status CreateDir(const std::string& path) override {
+    // Create parents one component at a time (mkdir -p).
+    std::string prefix;
+    size_t pos = 0;
+    while (pos <= path.size()) {
+      size_t slash = path.find('/', pos);
+      if (slash == std::string::npos) slash = path.size();
+      prefix = path.substr(0, slash);
+      pos = slash + 1;
+      if (prefix.empty()) continue;
+      if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        return ErrnoStatus("mkdir", prefix, errno);
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | O_CLOEXEC;
+    flags |= truncate ? O_TRUNC : O_APPEND;
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(path, fd));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        ::close(fd);
+        return ErrnoStatus("read", path, err);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Result<std::vector<std::string>> GetChildren(
+      const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return ErrnoStatus("opendir", dir, errno);
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name != "." && name != "..") names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path, errno);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from, errno);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open(dir)", dir, errno);
+    Status st = Status::OK();
+    if (::fsync(fd) != 0) st = ErrnoStatus("fsync(dir)", dir, errno);
+    ::close(fd);
+    return st;
+  }
+
+  uint64_t FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return 0;
+    return static_cast<uint64_t>(st.st_size);
+  }
+};
+
+}  // namespace
+
+Env* PosixEnv() {
+  static PosixEnvImpl* env = new PosixEnvImpl();
+  return env;
+}
+
+// ---------------------------------------------------------------------
+// FaultInjectingEnv
+
+namespace {
+Status EioStatus(const char* op, const std::string& path) {
+  return Status::Unavailable(std::string(op) + " " + path +
+                             ": injected EIO");
+}
+}  // namespace
+
+/// Wraps a base WritableFile, routing durability bookkeeping and fault
+/// decisions through the owning FaultInjectingEnv.
+class FaultInjectingFile : public WritableFile {
+ public:
+  FaultInjectingFile(FaultInjectingEnv* env, std::string path,
+                     std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    DiskFaults& f = env_->faults_;
+    if (f.eio_appends > 0) {
+      --f.eio_appends;
+      return EioStatus("write", path_);
+    }
+    auto& state = env_->files_[path_];
+    if (f.short_write_bytes >= 0) {
+      // Persist only a prefix, then fail: the classic short write.
+      const auto keep = std::min<uint64_t>(
+          static_cast<uint64_t>(f.short_write_bytes), data.size());
+      f.short_write_bytes = -1;
+      Status st = base_->Append(data.substr(0, keep));
+      if (st.ok()) state.written += keep;
+      return EioStatus("short write", path_);
+    }
+    Status st = base_->Append(data);
+    if (st.ok()) state.written += data.size();
+    return st;
+  }
+
+  Status Sync() override {
+    DiskFaults& f = env_->faults_;
+    if (f.eio_syncs > 0) {
+      --f.eio_syncs;
+      return EioStatus("fdatasync", path_);
+    }
+    auto& state = env_->files_[path_];
+    if (f.lying_syncs > 0) {
+      // Report success without hardening anything. A later power loss
+      // (CrashAndLose) exposes the hole.
+      --f.lying_syncs;
+      return Status::OK();
+    }
+    Status st = base_->Sync();
+    if (st.ok()) {
+      state.durable = state.written;
+      ++env_->sync_calls_;
+    }
+    return st;
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base) : base_(base) {
+  DPAXOS_CHECK(base != nullptr);
+}
+
+FaultInjectingEnv::~FaultInjectingEnv() = default;
+
+Status FaultInjectingEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  auto base = base_->NewWritableFile(path, truncate);
+  if (!base.ok()) return base.status();
+  auto& state = files_[path];
+  if (truncate) {
+    state = FileState{};
+  } else {
+    // Reopened for append (recovery): whatever is on disk now is the
+    // durable baseline — the previous process's unsynced cache is gone.
+    state.written = base_->FileSize(path);
+    state.durable = state.written;
+  }
+  return std::unique_ptr<WritableFile>(std::make_unique<FaultInjectingFile>(
+      this, path, std::move(base.value())));
+}
+
+Result<std::string> FaultInjectingEnv::ReadFileToString(
+    const std::string& path) {
+  if (faults_.eio_reads > 0) {
+    --faults_.eio_reads;
+    return EioStatus("read", path);
+  }
+  return base_->ReadFileToString(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingEnv::GetChildren(
+    const std::string& dir) {
+  return base_->GetChildren(dir);
+}
+
+Status FaultInjectingEnv::DeleteFile(const std::string& path) {
+  files_.erase(path);
+  return base_->DeleteFile(path);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = it->second;
+    files_.erase(from);
+  }
+  return base_->RenameFile(from, to);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingEnv::Truncate(const std::string& path, uint64_t size) {
+  Status st = base_->Truncate(path, size);
+  if (st.ok()) {
+    auto it = files_.find(path);
+    if (it != files_.end()) {
+      it->second.written = std::min(it->second.written, size);
+      it->second.durable = std::min(it->second.durable, size);
+    }
+  }
+  return st;
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& dir) {
+  return base_->SyncDir(dir);
+}
+
+uint64_t FaultInjectingEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+Status FaultInjectingEnv::CrashAndLose() {
+  // The file with the largest unsynced tail is where a torn fragment
+  // (if armed) lands — in practice that is the active WAL segment.
+  std::string torn_victim;
+  uint64_t torn_tail = 0;
+  for (const auto& [path, state] : files_) {
+    if (state.written - state.durable > torn_tail) {
+      torn_tail = state.written - state.durable;
+      torn_victim = path;
+    }
+  }
+  for (auto& [path, state] : files_) {
+    uint64_t keep = state.durable;
+    if (path == torn_victim && faults_.torn_tail_bytes >= 0) {
+      keep += std::min<uint64_t>(
+          static_cast<uint64_t>(faults_.torn_tail_bytes), torn_tail);
+    }
+    if (!base_->FileExists(path)) continue;
+    if (base_->FileSize(path) > keep) {
+      Status st = base_->Truncate(path, keep);
+      if (!st.ok()) return st;
+    }
+    state.written = keep;
+    state.durable = keep;
+  }
+  faults_.torn_tail_bytes = -1;
+  return Status::OK();
+}
+
+Status FlipByteAt(Env* env, const std::string& path, uint64_t offset,
+                  uint8_t mask) {
+  auto bytes = env->ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  std::string data = std::move(bytes.value());
+  if (offset >= data.size()) {
+    return Status::OutOfRange("FlipByteAt: offset past EOF of " + path);
+  }
+  data[offset] = static_cast<char>(static_cast<uint8_t>(data[offset]) ^ mask);
+  auto file = env->NewWritableFile(path, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  Status st = file.value()->Append(data);
+  if (!st.ok()) return st;
+  st = file.value()->Sync();
+  if (!st.ok()) return st;
+  return file.value()->Close();
+}
+
+}  // namespace dpaxos

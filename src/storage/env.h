@@ -1,0 +1,167 @@
+// Filesystem abstraction for the durable storage layer.
+//
+// Env narrows POSIX to exactly the operations a write-ahead log needs —
+// append, fdatasync, rename-atomic manifest swap, directory fsync — so
+// the WAL can run either against the real disk (PosixEnv) or against a
+// FaultInjectingEnv that models the ways real disks betray you:
+//
+//   * short writes      — only a prefix of an append reaches the platter
+//   * torn tails        — power loss mid-sector leaves a partial record
+//   * bit rot           — a sealed file flips a byte at rest
+//   * EIO               — read/write/sync fail outright
+//   * lying fsync       — fdatasync reports success, data wasn't durable
+//
+// The fault env tracks, per file, how many bytes are actually durable
+// (hardened by a truthful sync) versus merely written to the OS cache.
+// CrashAndLose() then simulates power loss: every file is truncated back
+// to its durable prefix (plus an optional torn fragment of the unsynced
+// tail), which is exactly the state a WAL recovery scan must cope with.
+#ifndef DPAXOS_STORAGE_ENV_H_
+#define DPAXOS_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpaxos {
+
+/// \brief A sequentially-appended file (WAL segment or manifest temp).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Append bytes at the end of the file. On a short write the Status is
+  /// non-OK and the caller must treat the file tail as undefined.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Harden everything appended so far (fdatasync).
+  virtual Status Sync() = 0;
+
+  /// Close the descriptor. Does NOT imply Sync().
+  virtual Status Close() = 0;
+};
+
+/// \brief Minimal filesystem interface (see file comment).
+///
+/// All paths are plain strings; implementations do not interpret them
+/// beyond passing them to the OS (or keying fault state by them).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Create a directory (and parents). OK if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// Open `path` for appending. `truncate` discards existing contents;
+  /// otherwise appends after any existing bytes (recovery reopens the
+  /// active segment this way).
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Read the whole file into a string.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// Names (not paths) of directory entries, excluding "." / "..".
+  virtual Result<std::vector<std::string>> GetChildren(
+      const std::string& dir) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// Atomic replace: rename(from, to). The manifest swap depends on this
+  /// being all-or-nothing.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Truncate `path` to `size` bytes (torn-tail repair during recovery).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// fsync the directory itself so renames/creates/unlinks are durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  virtual uint64_t FileSize(const std::string& path) = 0;
+};
+
+/// Process-wide real-disk Env (thread-safe, stateless).
+Env* PosixEnv();
+
+/// Armed fault counters for FaultInjectingEnv; each trips on the next
+/// matching operation(s) and decrements toward zero.
+struct DiskFaults {
+  /// Next N appends fail with EIO before writing anything.
+  int eio_appends = 0;
+  /// Next N syncs fail with EIO (and harden nothing).
+  int eio_syncs = 0;
+  /// Next N whole-file reads fail with EIO.
+  int eio_reads = 0;
+  /// If >= 0: the next append persists only this many bytes of the
+  /// payload, then reports EIO (a short write). One-shot.
+  int64_t short_write_bytes = -1;
+  /// Next N syncs report OK but harden nothing ("lying fsync"). The
+  /// betrayal only becomes visible at the next CrashAndLose().
+  int lying_syncs = 0;
+  /// If >= 0: at the next CrashAndLose(), the file with the largest
+  /// unsynced tail keeps this many extra bytes of that tail — a torn
+  /// write that stopped mid-record. One-shot.
+  int64_t torn_tail_bytes = -1;
+};
+
+/// \brief Env wrapper that injects disk faults and simulates power loss.
+///
+/// Not thread-safe; intended for single-threaded tests and the NodeServer
+/// event loop. Tracks written-vs-durable sizes per path so CrashAndLose()
+/// can roll files back to what a real disk would have kept.
+class FaultInjectingEnv : public Env {
+ public:
+  explicit FaultInjectingEnv(Env* base);
+  ~FaultInjectingEnv() override;
+
+  /// Mutate to arm faults; consumed counters decrement automatically.
+  DiskFaults& faults() { return faults_; }
+
+  /// Simulate power loss: truncate every tracked file back to its
+  /// durable prefix (plus a torn fragment if torn_tail_bytes armed).
+  /// Open handles become invalid — the "process" died with the power.
+  Status CrashAndLose();
+
+  /// Truthful syncs forwarded to the base env (lying syncs excluded).
+  uint64_t sync_calls() const { return sync_calls_; }
+
+  // Env:
+  Status CreateDir(const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Result<std::vector<std::string>> GetChildren(const std::string& dir) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  bool FileExists(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+  uint64_t FileSize(const std::string& path) override;
+
+ private:
+  friend class FaultInjectingFile;
+  struct FileState {
+    uint64_t written = 0;  // bytes the process believes are in the file
+    uint64_t durable = 0;  // bytes a power loss would preserve
+  };
+
+  Env* base_;
+  DiskFaults faults_;
+  std::map<std::string, FileState> files_;
+  uint64_t sync_calls_ = 0;
+};
+
+/// Flip `mask` into the byte at `offset` of `path` (bit rot at rest).
+/// Reads, mutates, and rewrites the file through `env`.
+Status FlipByteAt(Env* env, const std::string& path, uint64_t offset,
+                  uint8_t mask);
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_STORAGE_ENV_H_

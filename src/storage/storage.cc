@@ -1,0 +1,27 @@
+#include "storage/storage.h"
+
+#include "common/check.h"
+#include "storage/wal.h"
+
+namespace dpaxos {
+
+NodeStorage::NodeStorage() = default;
+NodeStorage::~NodeStorage() = default;
+
+void NodeStorage::AdoptWal(std::unique_ptr<Wal> wal) {
+  DPAXOS_CHECK_MSG(!crash_faults_,
+                   "WAL mode and the in-memory crash-fault model are "
+                   "mutually exclusive");
+  DPAXOS_CHECK(wal_ == nullptr && records_.empty());
+  wal_ = std::move(wal);
+  records_ = wal_->TakeRecovered();
+  for (auto& [partition, rec] : records_) {
+    rec->journal = wal_->Attach(partition, rec.get());
+  }
+}
+
+void NodeStorage::BindJournal(PartitionId partition, AcceptorRecord* rec) {
+  rec->journal = wal_->Attach(partition, rec);
+}
+
+}  // namespace dpaxos

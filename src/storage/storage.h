@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.h"
@@ -22,6 +23,42 @@
 #include "storage/accepted_log.h"
 
 namespace dpaxos {
+
+class Wal;
+
+/// \brief Observer of every durable mutation to an AcceptorRecord.
+///
+/// In WAL mode (storage/wal.h) each record carries a journal that
+/// mirrors its mutations into CRC-framed log records; replaying the log
+/// at startup rebuilds the exact record. The acceptor calls these hooks
+/// at every mutation site, immediately after mutating the in-memory
+/// record — the journal encodes the new state, it never re-derives it.
+class AcceptorJournal {
+ public:
+  virtual ~AcceptorJournal() = default;
+
+  /// promised was set to `b`.
+  virtual void Promised(const Ballot& b) = 0;
+  /// accepted.Put(entry.slot, entry) was applied.
+  virtual void Accepted(const AcceptedEntry& entry) = 0;
+  /// The stored intent list changed (add or GC); `intents` is the full
+  /// new list. Journaling the result, not the rule, keeps replay free of
+  /// GC-policy logic.
+  virtual void IntentsChanged(const std::vector<Intent>& intents) = 0;
+  /// lease_ballot / lease_until were set.
+  virtual void LeaseGranted(const Ballot& b, Timestamp until) = 0;
+  /// relinquish_consumed was raised to `b`.
+  virtual void RelinquishConsumed(const Ballot& b) = 0;
+  /// max_propose_ballot / max_recovered_ballot were raised.
+  virtual void GcBallots(const Ballot& max_propose,
+                         const Ballot& max_recovered) = 0;
+  /// snapshot_bytes/snapshot_through were set (envelope already verified).
+  virtual void SnapshotStored(SlotId through, std::string_view envelope) = 0;
+  /// accepted entries below `through` released; compacted_through raised.
+  virtual void PrefixReleased(SlotId through) = 0;
+  /// The stored snapshot was discarded (compacted_through survives).
+  virtual void SnapshotDropped() = 0;
+};
 
 /// \brief The state an acceptor must persist (per partition).
 struct AcceptorRecord {
@@ -59,8 +96,23 @@ struct AcceptorRecord {
   SlotId compacted_through = 0;
 
   /// Count of synchronous writes ("fsyncs") this record absorbed.
-  /// Metrics only; each mutating acceptor step increments it once.
+  /// Metrics only. In the in-memory model each mutating acceptor step
+  /// counts as one write; in WAL mode the WAL credits one per real
+  /// fdatasync that covered a mutation of this record (group commit
+  /// batches many mutations into one).
   uint64_t sync_writes = 0;
+
+  /// Non-null in WAL mode: mirrors every mutation into the on-disk log.
+  /// Not owned (the WAL is). Copied along with the record by the sim
+  /// crash-fault model, which never combines with WAL mode.
+  AcceptorJournal* journal = nullptr;
+
+  /// Metrics hook for mutation sites: in the in-memory model every
+  /// mutation is its own synchronous write; in WAL mode the real
+  /// fdatasync count is credited by the WAL's sync path instead.
+  void NoteMutation() {
+    if (journal == nullptr) ++sync_writes;
+  }
 };
 
 /// \brief One node's persistent store, surviving process restarts.
@@ -69,16 +121,36 @@ struct AcceptorRecord {
 /// created on first access.
 class NodeStorage {
  public:
-  NodeStorage() = default;
+  // Out of line: the unique_ptr<Wal> member needs the complete type.
+  NodeStorage();
+  ~NodeStorage();
   NodeStorage(const NodeStorage&) = delete;
   NodeStorage& operator=(const NodeStorage&) = delete;
 
   /// Persistent acceptor record for `partition`; never null.
   AcceptorRecord* RecordFor(PartitionId partition) {
     auto& rec = records_[partition];
-    if (rec == nullptr) rec = std::make_unique<AcceptorRecord>();
+    if (rec == nullptr) {
+      rec = std::make_unique<AcceptorRecord>();
+      if (wal_ != nullptr) BindJournal(partition, rec.get());
+    }
     return rec.get();
   }
+
+  // --- WAL mode (real durability; storage/wal.h) -----------------------
+  //
+  // AdoptWal replaces the in-memory records with the ones the WAL
+  // recovered from disk and binds a journal to each, so every future
+  // acceptor mutation is mirrored to the log. Mutually exclusive with
+  // the crash-fault model below: in WAL mode the disk IS the crash-fault
+  // model (a restarted process re-opens the WAL and replays it).
+
+  /// Adopt an opened WAL: its recovered records become this store's
+  /// records. Must be called before any RecordFor() use by replicas.
+  void AdoptWal(std::unique_ptr<Wal> wal);
+
+  /// The adopted WAL, or nullptr in the in-memory model.
+  Wal* wal() { return wal_.get(); }
 
   bool HasRecord(PartitionId partition) const {
     return records_.count(partition) > 0;
@@ -117,6 +189,13 @@ class NodeStorage {
     synced_[partition] = *RecordFor(partition);
   }
 
+  /// Fsync barrier over every partition — what a nemesis "sync all"
+  /// step uses to place an explicit durability point.
+  void MarkAllSynced() {
+    if (!crash_faults_) return;
+    for (const auto& [partition, rec] : records_) synced_[partition] = *rec;
+  }
+
   void DropUnsynced() {
     if (!crash_faults_) return;
     for (auto& [partition, rec] : records_) {
@@ -130,9 +209,13 @@ class NodeStorage {
   }
 
  private:
+  // Out of line: needs the complete Wal type (storage.cc).
+  void BindJournal(PartitionId partition, AcceptorRecord* rec);
+
   std::map<PartitionId, std::unique_ptr<AcceptorRecord>> records_;
   bool crash_faults_ = false;
   std::map<PartitionId, AcceptorRecord> synced_;
+  std::unique_ptr<Wal> wal_;
 };
 
 }  // namespace dpaxos

@@ -132,6 +132,45 @@ TEST(ChaosRecoveryFaultTest, CorruptedSnapshotDetectedAndRecovered) {
       << report.Summary();
 }
 
+// The "disk" schedule (durability emphasis): explicit sync barriers,
+// lossy restarts, and whole-cluster power losses — every node crashed
+// at once, every node restarted lossy, so nothing survives anywhere
+// except each node's synced storage image. Acked writes must still be
+// exactly-once in the converged state: an acceptor syncs before it
+// replies, so the acked prefix is inside the synced image by
+// construction (the sim twin of the realnet acceptor WAL; see
+// docs/PROTOCOL.md "Durability").
+class ChaosDiskTest : public testing::TestWithParam<ProtocolMode> {};
+
+TEST_P(ChaosDiskTest, WholeClusterPowerLossKeepsAckedWrites) {
+  ChaosOptions options;
+  options.mode = GetParam();
+  options.schedule = "disk";
+  options.seed = 21;
+  const ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.consistency.ok()) << report.Summary();
+  EXPECT_TRUE(report.converged) << report.Summary();
+  EXPECT_GT(report.nemesis_actions, 5u) << report.Summary();
+  EXPECT_GT(report.ops_committed, 50u) << report.Summary();
+  EXPECT_EQ(report.applied_writes, report.writes_eventually_applied)
+      << report.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ChaosDiskTest,
+                         testing::Values(ProtocolMode::kMultiPaxos,
+                                         ProtocolMode::kFlexiblePaxos,
+                                         ProtocolMode::kLeaderZone),
+                         [](const testing::TestParamInfo<ProtocolMode>& i) {
+                           switch (i.param) {
+                             case ProtocolMode::kMultiPaxos:
+                               return std::string("MultiPaxos");
+                             case ProtocolMode::kFlexiblePaxos:
+                               return std::string("FPaxos");
+                             default:
+                               return std::string("LeaderZone");
+                           }
+                         });
+
 INSTANTIATE_TEST_SUITE_P(AllModes, ChaosRecoveryTest,
                          testing::Values(ProtocolMode::kMultiPaxos,
                                          ProtocolMode::kFlexiblePaxos,

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -33,6 +34,14 @@ RealClusterOptions BaseOptions(ProtocolMode mode, uint64_t seed) {
   const char* log_dir = std::getenv("DPAXOS_TEST_LOG_DIR");
   if (log_dir != nullptr) options.log_dir = log_dir;
   return options;
+}
+
+// Empty per-test scratch tree for durable-mode WAL directories.
+std::string FreshDataDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "dpaxos_real_" + name;
+  const std::string cmd = "rm -rf '" + dir + "' && mkdir -p '" + dir + "'";
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  return dir;
 }
 
 // Commits `n` puts through `node` and returns how many succeeded; each
@@ -130,6 +139,171 @@ TEST(RealClusterTest, KillRestartCatchesUpViaSnapshotOverTcp) {
   EXPECT_TRUE(converged) << "victim checksum=" << victim_sum
                          << " leader checksum=" << leader_sum
                          << " snapshots_installed=" << snapshots;
+
+  Status down = cluster.ShutdownAll();
+  EXPECT_TRUE(down.ok()) << down.ToString();
+}
+
+// Whole-cluster power loss: every node SIGKILLed at once, so no
+// survivor holds the state in memory — the restart recovers from the
+// per-node WAL directories alone. Every acknowledged write must still
+// be readable afterwards and all nodes must reconverge to the exact
+// pre-crash state-machine checksum.
+TEST(RealClusterTest, WholeClusterPowerLossRecoversFromDiskAlone) {
+  RealClusterOptions options = BaseOptions(ProtocolMode::kLeaderZone, 33);
+  options.data_dir_base = FreshDataDir("powerloss");
+  RealCluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  TcpClient client(0xD15C);
+  ASSERT_TRUE(client.Connect(cluster.endpoint(0), kCallTimeout).ok());
+  ASSERT_EQ(CommitPuts(client, 80, "p"), 80);
+
+  // Durable mode is actually on: real fdatasyncs happened before acks.
+  Result<std::string> stats = cluster.Stats(0);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(StatsField(stats.value(), "wal"), "1");
+  EXPECT_NE(StatsField(stats.value(), "wal_fsyncs"), "0");
+  EXPECT_NE(StatsField(stats.value(), "wal_fsyncs"), "");
+
+  std::string before;
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    std::string sum;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      Result<std::string> s = cluster.Stats(n);
+      ASSERT_TRUE(s.ok()) << s.status().ToString();
+      sum = StatsField(s.value(), "checksum");
+      if (n == 0 || sum == before) break;
+      usleep(50 * 1000);
+    }
+    if (n == 0) {
+      before = sum;
+    } else {
+      ASSERT_EQ(sum, before) << "node " << n << " diverged pre-crash";
+    }
+  }
+  ASSERT_FALSE(before.empty());
+
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    ASSERT_TRUE(cluster.Kill(n).ok());
+  }
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    ASSERT_TRUE(cluster.Restart(n).ok());
+  }
+
+  // 80 puts over keys p(i%64): keys p0..p15 were overwritten by the
+  // second lap (value v(k+64)), the rest hold their first write.
+  TcpClient after(0xD15D);
+  ASSERT_TRUE(after.Connect(cluster.endpoint(0), kCallTimeout).ok());
+  for (int k = 0; k < 64; ++k) {
+    const std::string key = "p" + std::to_string(k);
+    const std::string want = "v" + std::to_string(k < 16 ? k + 64 : k);
+    Result<std::string> got = after.Get(key, kCallTimeout);
+    for (int attempt = 0; attempt < 200 && !got.ok(); ++attempt) {
+      usleep(100 * 1000);
+      got = after.Get(key, kCallTimeout);
+    }
+    ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+    EXPECT_EQ(got.value(), want) << "acknowledged write lost for " << key;
+  }
+
+  // And the recovered cluster converges to the pre-crash checksum.
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    std::string sum;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      Result<std::string> s = cluster.Stats(n);
+      if (s.ok()) sum = StatsField(s.value(), "checksum");
+      if (sum == before) break;
+      usleep(100 * 1000);
+    }
+    EXPECT_EQ(sum, before) << "node " << n << " lost state at power loss";
+  }
+
+  Status down = cluster.ShutdownAll();
+  EXPECT_TRUE(down.ok()) << down.ToString();
+}
+
+// Bit rot on a node's WAL must fail recovery loudly (the server refuses
+// to start), never silently serve a diverged prefix. The operator
+// remedy — wipe the bad disk — lets the node rejoin empty and catch up
+// from the survivors.
+TEST(RealClusterTest, CorruptWalFailsStartupThenWipedNodeRejoins) {
+  RealClusterOptions options = BaseOptions(ProtocolMode::kLeaderZone, 44);
+  options.data_dir_base = FreshDataDir("bitrot");
+  // No checkpoints: segment 1 stays active and accumulates many delta
+  // frames, so a flip early in the file damages a non-final record
+  // (mid-file damage is Corruption; only a torn final record may be
+  // truncated).
+  options.enable_compaction = false;
+  RealCluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  TcpClient client(0xB17F);
+  ASSERT_TRUE(client.Connect(cluster.endpoint(0), kCallTimeout).ok());
+  ASSERT_EQ(CommitPuts(client, 60, "c"), 60);
+
+  // The leader is the node that journals accepted values in leader-zone
+  // mode — its WAL is the one with enough frames for a mid-file flip.
+  const NodeId victim = 0;
+  ASSERT_TRUE(cluster.Kill(victim).ok());
+
+  // Flip one byte inside the first record's body (frame layout:
+  // [len u32][crc u32][body...], so offset 12 is body byte 4).
+  const std::string seg = cluster.node_data_dir(victim) + "/wal-000001.log";
+  {
+    FILE* f = std::fopen(seg.c_str(), "r+b");
+    ASSERT_NE(f, nullptr) << seg;
+    ASSERT_EQ(std::fseek(f, 12, SEEK_SET), 0);
+    int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    ASSERT_EQ(std::fseek(f, 12, SEEK_SET), 0);
+    ASSERT_NE(std::fputc(byte ^ 0x10, f), EOF);
+    ASSERT_EQ(std::fclose(f), 0);
+  }
+
+  Status restarted = cluster.Restart(victim, 15 * kSecond);
+  EXPECT_FALSE(restarted.ok()) << "corrupt WAL must refuse to start";
+  ASSERT_FALSE(cluster.alive(victim));
+
+  const std::string wipe =
+      "rm -rf '" + cluster.node_data_dir(victim) + "'";
+  ASSERT_EQ(std::system(wipe.c_str()), 0);
+  ASSERT_TRUE(cluster.Restart(victim).ok());
+
+  // The rejoined node must lead a functioning cluster again: fresh
+  // writes commit and replicate, and the wiped node converges with a
+  // peer on a non-empty state.
+  TcpClient client2(0xB180);
+  ASSERT_TRUE(client2.Connect(cluster.endpoint(victim), kCallTimeout).ok());
+  int committed = 0;
+  for (int attempt = 0; attempt < 100 && committed < 20; ++attempt) {
+    if (client2
+            .Put("c2-" + std::to_string(committed),
+                 "v" + std::to_string(committed), kCallTimeout)
+            .ok()) {
+      ++committed;
+    } else {
+      usleep(100 * 1000);
+    }
+  }
+  ASSERT_EQ(committed, 20);
+
+  const NodeId witness = 1;
+  std::string witness_sum, victim_sum;
+  bool converged = false;
+  for (int attempt = 0; attempt < 300 && !converged; ++attempt) {
+    Result<std::string> witness_stats = cluster.Stats(witness);
+    Result<std::string> victim_stats = cluster.Stats(victim);
+    if (witness_stats.ok() && victim_stats.ok()) {
+      witness_sum = StatsField(witness_stats.value(), "checksum");
+      victim_sum = StatsField(victim_stats.value(), "checksum");
+      converged = !witness_sum.empty() && witness_sum != "0" &&
+                  witness_sum == victim_sum;
+    }
+    if (!converged) usleep(100 * 1000);
+  }
+  EXPECT_TRUE(converged) << "victim checksum=" << victim_sum
+                         << " witness checksum=" << witness_sum;
 
   Status down = cluster.ShutdownAll();
   EXPECT_TRUE(down.ok()) << down.ToString();

@@ -86,6 +86,9 @@ struct CliOptions {
   bool serve = false;
   NodeId node = 0;
   std::string cluster_spec;  // host:port,host:port,...
+  std::string data_dir;      // acceptor WAL directory ("" = in-memory)
+  bool disk_faults = false;  // FaultInjectingEnv + FAULTS control file
+  Duration wal_commit_delay = 0;
   NodeId hint = 0;
   Duration catchup_delay = 300 * kMillisecond;
   Duration compaction_interval = 0;  // 0 = compaction off
@@ -141,7 +144,7 @@ void Usage() {
       "  --seed=N               RNG seed (default 42)\n"
       "chaos experiment (nemesis + retrying clients + checker):\n"
       "  --schedule=NAME        mixed|storm|partitions|lossy|moves|\n"
-      "                         recovery|none\n"
+      "                         recovery|disk|none\n"
       "  --clients=N            client sessions (default 4)\n"
       "  --keys=N               key-pool size (default 16)\n"
       "  --compaction           enable log compaction + snapshot recovery\n"
@@ -166,8 +169,10 @@ void Usage() {
       "  --logdir=DIR           per-node server logs (default: inherit)\n"
       "  --out=PATH             JSON output (default BENCH_realnet.json)\n"
       "realchaos experiment (proxied cluster + nemesis + checkers):\n"
-      "  --schedule=NAME        mixed|partitions|process|lossy|none\n"
+      "  --schedule=NAME        mixed|partitions|process|lossy|disk|none\n"
       "  --clients=N --keys=N --reads=F --duration=SECONDS\n"
+      "  --data-dir=BASE        durable cluster: node N keeps its WAL in\n"
+      "                         BASE/nodeN (required for --schedule=disk)\n"
       "  --soak-connections=N   open-loop soak alongside the checked\n"
       "                         workload (default 0 = off)\n"
       "  --logdir=DIR           per-node server logs (default: inherit)\n"
@@ -181,6 +186,10 @@ void Usage() {
       "  --catchup-delay-ms=MS  snapshot catch-up delay after start\n"
       "  --compaction-interval-ms=MS   periodic compaction (0 = off)\n"
       "  --compaction-retain=N  decided suffix kept behind compaction\n"
+      "  --data-dir=DIR         acceptor WAL directory: replies wait for\n"
+      "                         fdatasync, restarts recover from disk\n"
+      "  --wal-commit-us=US     WAL group-commit window (default 0)\n"
+      "  --disk-faults          inject disk faults armed via DIR/FAULTS\n"
       "real-network client:\n"
       "  --client --connect=HOST:PORT [--id=N]\n"
       "  --put=K=V --get=K --stats --bench=N   ops, run in argv order\n"
@@ -261,6 +270,12 @@ bool ParseArgImpl(const std::string& arg, CliOptions* o) {
     o->node = static_cast<NodeId>(std::stoul(v));
   } else if (value_of("--cluster", &v)) {
     o->cluster_spec = v;
+  } else if (value_of("--data-dir", &v)) {
+    o->data_dir = v;
+  } else if (value_of("--wal-commit-us", &v)) {
+    o->wal_commit_delay = std::stoull(v) * kMicrosecond;
+  } else if (arg == "--disk-faults") {
+    o->disk_faults = true;
   } else if (value_of("--hint", &v)) {
     o->hint = static_cast<NodeId>(std::stoul(v));
   } else if (value_of("--catchup-delay-ms", &v)) {
@@ -538,6 +553,13 @@ int RunServe(const CliOptions& o, ProtocolMode mode) {
   server.replica.enable_compaction = o.compaction_interval > 0;
   server.replica.compaction_retained_suffix = o.compaction_retain;
   server.replica.enable_fast_path = o.fast_path;
+  server.data_dir = o.data_dir;
+  server.disk_faults = o.disk_faults;
+  server.wal_commit_delay = o.wal_commit_delay;
+  if (o.disk_faults && o.data_dir.empty()) {
+    std::cerr << "--disk-faults requires --data-dir\n";
+    return 2;
+  }
   NodeServer node(std::move(server));
   Status st = node.Start();
   if (!st.ok()) {
@@ -630,6 +652,8 @@ int RunRealnetCli(const CliOptions& o) {
   bench.reply_flush_us = static_cast<uint32_t>(o.reply_flush / kMicrosecond);
   bench.json_path = o.out_set ? o.out : "BENCH_realnet.json";
   bench.log_dir = o.log_dir;
+  bench.data_dir_base = o.data_dir;  // "" = temp dir for the durable cell
+  bench.wal_commit_delay = o.wal_commit_delay;
   std::cout << "== dpaxos_cli: realnet, 2 zones x 2 nodes on loopback, "
             << bench.requests << " ops/mode over " << bench.connections
             << " conns x " << bench.pipeline << " pipeline"
@@ -685,7 +709,8 @@ int RunRealChaosCli(const CliOptions& o, ProtocolMode mode) {
     const auto names = RealNemesis::ScheduleNames();
     if (std::find(names.begin(), names.end(), o.schedule) == names.end()) {
       std::cerr << "unknown --schedule " << o.schedule
-                << " (realchaos schedules: mixed|partitions|process|lossy)\n";
+                << " (realchaos schedules: "
+                   "mixed|partitions|process|lossy|disk)\n";
       return 2;
     }
   }
@@ -701,6 +726,15 @@ int RunRealChaosCli(const CliOptions& o, ProtocolMode mode) {
   chaos.soak_connections = o.soak_connections;
   chaos.log_dir = o.log_dir;
   chaos.fast_path = o.fast_path;
+  if (!o.data_dir.empty()) {
+    chaos.durable = true;
+    chaos.data_dir_base = o.data_dir;
+    chaos.wal_commit_delay = o.wal_commit_delay;
+  } else if (o.schedule == "disk") {
+    std::cerr << "--schedule=disk requires --data-dir=BASE "
+                 "(durable cluster)\n";
+    return 2;
+  }
   std::cout << "== dpaxos_cli: realchaos / " << ProtocolModeName(mode)
             << ", schedule=" << chaos.schedule << ", " << chaos.zones
             << " zones x " << chaos.nodes_per_zone
