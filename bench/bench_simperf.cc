@@ -191,6 +191,28 @@ int main(int argc, char** argv) {
     extras.scaling = &scaling;
   }
 
+  // Mobility tour (docs/PROTOCOL.md §ownership): the same single-client
+  // three-zone tour as `dpaxos_cli --experiment=simperf`, static vs
+  // adaptive ownership, so the JSON carries the steal counters and the
+  // post-migration latency collapse alongside the throughput sections.
+  const SimperfMobilityReport mobility = RunSimperfMobility(options);
+  std::cout << "\nmobility tour (static vs adaptive ownership):\n";
+  TablePrinter mobility_table(
+      {"cell", "zone", "ops", "p50 (ms)", "tail p50 (ms)", "steals"});
+  for (const SimperfMobilityCell& cell : mobility.cells) {
+    for (const SimperfMobilitySegment& seg : cell.segments) {
+      const bool last = &seg == &cell.segments.back();
+      mobility_table.AddRow(
+          {cell.label, std::to_string(seg.zone), std::to_string(seg.ops),
+           Fmt(seg.p50_ms, 2), Fmt(seg.tail_p50_ms, 2),
+           last ? std::to_string(cell.steals) : ""});
+    }
+  }
+  mobility_table.Print(std::cout);
+  std::cout << "adaptive_tracks_client: "
+            << (mobility.adaptive_tracks_client ? "yes" : "NO") << "\n";
+  extras.mobility = &mobility;
+
   const std::string json =
       SimperfJson(report, options.baseline_events_per_sec, extras);
   if (!WriteSimperfJson(out_path, json)) return 1;

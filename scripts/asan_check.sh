@@ -20,7 +20,8 @@ cmake --build "$BUILD_DIR" \
     --target snapshot_test wire_fuzz_test wire_test catchup_test \
              restart_test chaos_test soak_test fast_path_test \
              chaos_proxy_test real_chaos_test mpsc_queue_test \
-             transport_test wal_test dpaxos_cli -j"$(nproc)"
+             transport_test wal_test ownership_test mobility_test \
+             dpaxos_cli -j"$(nproc)"
 
 # abort_on_error so the first report fails the gate instead of running on
 # poisoned state; detect_leaks covers the long-lived harness allocations.
@@ -52,5 +53,11 @@ export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1 ${ASAN_OPTIONS:-}"
 # path retains reply callbacks across fsyncs, and the truncation/bit-flip
 # sweeps re-open the log hundreds of times.
 "$BUILD_DIR/tests/wal_test"
+# Ownership steal path: the transfer-record codec parses hostile
+# tagged values, the StealRequest/OwnershipGrant exchange moves Values
+# between steal state and the commit pipeline (callback-retaining), and
+# the crash-mid-steal fallback tears down a half-armed exchange.
+"$BUILD_DIR/tests/ownership_test"
+"$BUILD_DIR/tests/mobility_test"
 
 echo "asan_check: PASS (no memory errors reported)"

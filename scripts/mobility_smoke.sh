@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Mobility smoke: the realnet mobility cells end-to-end — a 2-zone
+# proxied multi-process cluster whose client moves zones mid-run, once
+# with a static leader (baseline) and once with --ownership servers that
+# steal the partition after the move via the protocol-level
+# StealRequest/OwnershipGrant exchange.
+#
+# The experiment itself enforces the headline gate (adaptive cells must
+# reach post-migration p50 < 2x the intra-zone RTT and complete >= 1
+# protocol steal, else dpaxos_cli exits nonzero); this script adds JSON
+# sanity gates on top: the mobility section landed, the adaptive cell
+# passed its gate, and at least one steal was protocol-visible.
+#
+# Usage: scripts/mobility_smoke.sh [ops-per-phase]   (default: 150)
+# Env:   DPAXOS_CLI     path to dpaxos_cli (default: build/tools/dpaxos_cli)
+#        SMOKE_OUT_DIR  where BENCH_realnet.json and node logs go
+#                       (default: a fresh temp dir, removed on success)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OPS="${1:-150}"
+CLI="${DPAXOS_CLI:-build/tools/dpaxos_cli}"
+
+if [[ ! -x "$CLI" ]]; then
+  echo "mobility_smoke: $CLI not found or not executable" >&2
+  echo "build it first: cmake --build build --target dpaxos_cli" >&2
+  exit 1
+fi
+
+CLEANUP_OUT=""
+if [[ -z "${SMOKE_OUT_DIR:-}" ]]; then
+  SMOKE_OUT_DIR="$(mktemp -d /tmp/dpaxos_mobility.XXXXXX)"
+  CLEANUP_OUT="$SMOKE_OUT_DIR"
+fi
+mkdir -p "$SMOKE_OUT_DIR"
+OUT_JSON="$SMOKE_OUT_DIR/BENCH_realnet.json"
+LOG="$SMOKE_OUT_DIR/mobility.out"
+
+echo "mobility_smoke: realnet bench + mobility cells, logs in $SMOKE_OUT_DIR"
+"$CLI" --experiment=realnet \
+  --mobility \
+  --requests=400 \
+  --connections=2 \
+  --pipeline=32 \
+  --seed=17 \
+  --logdir="$SMOKE_OUT_DIR" \
+  --out="$OUT_JSON" | tee "$LOG"
+
+# dpaxos_cli already exited 0, so the adaptive gate held; re-assert the
+# facts from the JSON so a silent wiring regression cannot sneak by.
+grep -q '"mobility":' "$OUT_JSON" || {
+  echo "mobility_smoke: FAIL (no mobility section in $OUT_JSON)" >&2
+  exit 1
+}
+grep -q '"label": "mobility/adaptive"' "$OUT_JSON" || {
+  echo "mobility_smoke: FAIL (no adaptive cell in $OUT_JSON)" >&2
+  exit 1
+}
+grep -q '"gate_pass": true' "$OUT_JSON" || {
+  echo "mobility_smoke: FAIL (post-migration p50 gate did not pass)" >&2
+  exit 1
+}
+grep -Eq '"completed": [1-9]' "$OUT_JSON" || {
+  echo "mobility_smoke: FAIL (no protocol steal completed)" >&2
+  exit 1
+}
+grep -q "mobility gate failed" "$LOG" && {
+  echo "mobility_smoke: FAIL (gate failure in output)" >&2
+  exit 1
+}
+
+echo "mobility_smoke: PASS"
+if [[ -n "$CLEANUP_OUT" ]]; then rm -rf "$CLEANUP_OUT"; fi

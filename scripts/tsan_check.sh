@@ -16,7 +16,8 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DDPAXOS_SANITIZE=thread
 cmake --build "$BUILD_DIR" \
     --target shard_runner_test bench_simperf mpsc_queue_test \
-             transport_test fast_path_test wal_test -j"$(nproc)"
+             transport_test fast_path_test wal_test ownership_test \
+             -j"$(nproc)"
 
 # halt_on_error so the first race fails the gate instead of scrolling by.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -36,5 +37,10 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # vs the append path — single-threaded by design, but the death test and
 # simulator-driven batch release must stay clean under instrumentation.
 "$BUILD_DIR/tests/wal_test"
+# Ownership steals: the placement counters ride ThreadPerfCounters
+# (thread-local by design) and the steal path retains callbacks across
+# election + commit — run it instrumented so any future threading of
+# the store surfaces immediately.
+"$BUILD_DIR/tests/ownership_test" --gtest_filter='ProtocolStealTest.*:OwnershipStoreTest.*'
 
 echo "tsan_check: PASS (no data races reported)"

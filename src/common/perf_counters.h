@@ -51,6 +51,10 @@ namespace dpaxos {
   X(store_partition_migrations)       \
   X(store_snapshot_transfers)         \
   X(store_snapshot_bytes)             \
+  X(placement_steals_attempted)       \
+  X(placement_steals_completed)       \
+  X(placement_steals_rejected)        \
+  X(placement_pingpongs_suppressed)   \
   X(tcp_bytes_in)                     \
   X(tcp_bytes_out)                    \
   X(tcp_frames_in)                    \
@@ -110,6 +114,20 @@ struct PerfCounters {
   /// incumbent's full decided log, and the chunk payload bytes moved.
   uint64_t store_snapshot_transfers = 0;
   uint64_t store_snapshot_bytes = 0;
+
+  // --- placement control loop (src/placement/*, docs/PROTOCOL.md
+  // §ownership) ---------------------------------------------------------
+  /// Protocol-level ownership steals the placement layer initiated.
+  uint64_t placement_steals_attempted = 0;
+  /// Steals whose takeover election committed a transfer record.
+  uint64_t placement_steals_completed = 0;
+  /// Steals the incumbent refused (busy, fast grant outstanding, not
+  /// leader). Timeouts are not rejections — they fall back to election.
+  uint64_t placement_steals_rejected = 0;
+  /// Advisor-recommended moves suppressed by the post-steal cooldown
+  /// (anti-ping-pong; hysteresis handles steady 50/50 splits, the
+  /// cooldown handles alternating bursts).
+  uint64_t placement_pingpongs_suppressed = 0;
 
   // --- real-network transport (src/net/tcp/*) --------------------------
   uint64_t tcp_bytes_in = 0;   ///< frame bytes read off sockets

@@ -28,13 +28,15 @@ ShardedStore::ShardedStore(Simulator* sim, const Topology* topology,
       topology_(topology),
       provider_(std::move(provider)),
       options_(options),
-      advisor_(topology, options.min_improvement, options.min_weight) {
+      advisor_(topology, options.min_improvement, options.min_weight),
+      directory_(options.num_partitions) {
   DPAXOS_CHECK(sim && topology);
   DPAXOS_CHECK(provider_ != nullptr);
   DPAXOS_CHECK_GT(options_.num_partitions, 0u);
   for (uint32_t p = 0; p < options_.num_partitions; ++p) {
     stats_.emplace_back(topology_->num_zones(), options_.stats_half_life);
     leaders_.push_back(kInvalidNode);
+    last_steal_.push_back(0);
   }
 }
 
@@ -47,9 +49,85 @@ NodeId ShardedStore::LeaderOf(PartitionId partition) const {
   return leaders_[partition];
 }
 
+void ShardedStore::ObserveDecided(PartitionId partition, SlotId slot,
+                                  const Value& value) {
+  std::optional<OwnershipRecord> record = DecodeOwnershipRecord(value);
+  // A record naming another partition inside this log would cross-wire
+  // the per-log slot ordering; treat it as not-a-record.
+  if (!record || record->partition != partition) return;
+  if (directory_.Observe(slot, *record)) {
+    leaders_[partition] = record->node;
+  }
+}
+
+void ShardedStore::StealViaProtocol(PartitionId partition, ZoneId zone,
+                                    std::function<void(const Status&)> done) {
+  const NodeId thief = topology_->NodesInZone(zone)[0];
+  Replica* replica = provider_(thief, partition);
+  DPAXOS_CHECK(replica != nullptr);
+  const NodeId previous = leaders_[partition];
+  const bool migrates =
+      previous != kInvalidNode && topology_->ZoneOf(previous) != zone;
+  const OwnershipRecord record{partition, zone, thief,
+                               directory_.epoch(partition) + 1};
+  Value value = MakeOwnershipTransferValue(record, ++transfer_seq_);
+  ++ThreadPerfCounters().placement_steals_attempted;
+
+  auto finish = [this, partition, thief, migrates,
+                 record, done = std::move(done)](const Status& st) {
+    PerfCounters& perf = ThreadPerfCounters();
+    if (st.ok()) {
+      leaders_[partition] = thief;
+      last_steal_[partition] = sim_->Now();
+      ++steals_;
+      ++perf.store_steals;
+      ++perf.placement_steals_completed;
+      if (migrates) ++perf.store_partition_migrations;
+      // The thief's contiguous watermark covers the record it just
+      // committed, so it is a valid (monotone) observation slot even
+      // though the commit callback does not carry the slot itself.
+      if (Replica* r = provider_(thief, partition)) {
+        directory_.Observe(r->DecidedWatermark(), record);
+      }
+      DPAXOS_DEBUG("partition " << partition
+                                << " ownership stolen by node " << thief);
+    } else if (st.code() == StatusCode::kFailedPrecondition) {
+      ++perf.placement_steals_rejected;
+    }
+    if (done) done(st);
+  };
+
+  if (previous == kInvalidNode) {
+    // First claim: elect over the empty log, then record the claim so
+    // every learner's directory starts from a decided entry.
+    replica->TryBecomeLeader(
+        [replica, value = std::move(value),
+         finish = std::move(finish)](const Status& st) mutable {
+          if (!st.ok()) {
+            finish(st);
+            return;
+          }
+          replica->Submit(std::move(value),
+                          [finish = std::move(finish)](const Status& cst,
+                                                       SlotId, Duration) {
+                            finish(cst);
+                          });
+        });
+    return;
+  }
+  if (Replica* old = provider_(previous, partition)) {
+    replica->PrimeBallot(old->ballot());
+  }
+  replica->StealOwnershipFrom(previous, std::move(value), std::move(finish));
+}
+
 void ShardedStore::Steal(PartitionId partition, ZoneId zone,
                          std::function<void(const Status&)> done) {
   DPAXOS_CHECK_LT(partition, leaders_.size());
+  if (options_.ownership) {
+    StealViaProtocol(partition, zone, std::move(done));
+    return;
+  }
   const NodeId thief = topology_->NodesInZone(zone)[0];
   Replica* replica = provider_(thief, partition);
   DPAXOS_CHECK(replica != nullptr);
@@ -124,7 +202,12 @@ void ShardedStore::Steal(PartitionId partition, ZoneId zone,
 
 void ShardedStore::RouteToLeader(PartitionId partition, ZoneId client_zone,
                                  Value value, Callback cb) {
-  const NodeId leader = leaders_[partition];
+  NodeId leader = leaders_[partition];
+  if (options_.ownership && directory_.has_owner(partition)) {
+    // The directory is the protocol-fed authority; leaders_ remains the
+    // operational fallback before the first record lands.
+    leader = directory_.owner_node(partition);
+  }
   DPAXOS_CHECK_NE(leader, kInvalidNode);
   // The client talks to its zone-local access replica, which forwards to
   // the leader if it is elsewhere.
@@ -168,8 +251,14 @@ void ShardedStore::Execute(const Transaction& txn, ZoneId client_zone,
     const PlacementAdvice advice =
         advisor_.Advise(stats_[partition], current_zone, sim_->Now());
     if (advice.should_move) {
-      steal_now = true;
-      target = advice.best_zone;
+      if (options_.ownership && options_.steal_cooldown > 0 &&
+          last_steal_[partition] != 0 &&
+          sim_->Now() - last_steal_[partition] < options_.steal_cooldown) {
+        ++ThreadPerfCounters().placement_pingpongs_suppressed;
+      } else {
+        steal_now = true;
+        target = advice.best_zone;
+      }
     }
   }
 

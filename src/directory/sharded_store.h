@@ -19,6 +19,7 @@
 #include "common/types.h"
 #include "net/topology.h"
 #include "paxos/replica.h"
+#include "placement/ownership.h"
 #include "placement/placement.h"
 #include "sim/simulator.h"
 #include "txn/transaction.h"
@@ -49,6 +50,18 @@ class ShardedStore {
     /// store_snapshot_transfers / store_snapshot_bytes.
     bool prefer_snapshot = true;
     uint64_t snapshot_handover_min_slots = 512;
+    /// Promote steals from harness-driven elections to the protocol-level
+    /// StealRequest/OwnershipGrant exchange: every placement change is
+    /// decided as an ownership-transfer record in the partition's own log
+    /// and learned through the OwnershipDirectory, which routing then
+    /// follows. Off preserves the legacy schedules bit-for-bit (goldens).
+    bool ownership = false;
+    /// Post-steal cooldown per partition (ownership mode): advisor-
+    /// recommended moves inside the window are suppressed and counted as
+    /// placement_pingpongs_suppressed. Hysteresis already holds steady
+    /// 50/50 splits; the cooldown stops alternating bursts from
+    /// ping-ponging a partition between zones.
+    Duration steal_cooldown = 10 * kSecond;
   };
 
   ShardedStore(Simulator* sim, const Topology* topology,
@@ -72,21 +85,37 @@ class ShardedStore {
   uint64_t steals() const { return steals_; }
 
   /// Force-steal `partition` into `zone` (manual placement override).
+  /// In ownership mode this runs the protocol-level steal — the change
+  /// is decided as a transfer record in the partition's log; otherwise
+  /// the legacy harness election.
   void Steal(PartitionId partition, ZoneId zone,
              std::function<void(const Status&)> done);
+
+  /// Ownership learned from decided transfer records (ownership mode).
+  const OwnershipDirectory& directory() const { return directory_; }
+
+  /// Feed one decided (slot, value) from `partition`'s log — harnesses
+  /// that wire replica decide callbacks use this to keep the directory
+  /// (and routing) protocol-fed on every replica, not just the thief.
+  void ObserveDecided(PartitionId partition, SlotId slot, const Value& value);
 
  private:
   void RouteToLeader(PartitionId partition, ZoneId client_zone, Value value,
                      Callback cb);
+  void StealViaProtocol(PartitionId partition, ZoneId zone,
+                        std::function<void(const Status&)> done);
 
   Simulator* sim_;
   const Topology* topology_;
   ReplicaProvider provider_;
   Options options_;
   PlacementAdvisor advisor_;
+  OwnershipDirectory directory_;
   std::vector<AccessStats> stats_;     // per partition
   std::vector<NodeId> leaders_;        // per partition; kInvalidNode = none
+  std::vector<Timestamp> last_steal_;  // per partition; 0 = never stolen
   uint64_t steals_ = 0;
+  uint64_t transfer_seq_ = 0;  // value-id disambiguator for records
 };
 
 }  // namespace dpaxos

@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/perf_counters.h"
 #include "paxos/wire.h"
 #include "smr/snapshot.h"
 #include "txn/transaction.h"
@@ -85,8 +86,12 @@ Status NodeServer::Start() {
     config.leaderless_total = topology_->num_nodes();
   }
   replica_ = host_->AddReplica(quorums_.get(), config);
-  replica_->set_decide_callback(
-      [this](SlotId slot, const Value& value) { applier_.OnDecided(slot, value); });
+  replica_->set_decide_callback([this](SlotId slot, const Value& value) {
+    // Ownership transfers are learned from the same decided stream the
+    // state machine consumes; the record value itself applies as a no-op.
+    if (directory_.has_value()) ObserveOwnership(slot, value);
+    applier_.OnDecided(slot, value);
+  });
   replica_->set_snapshot_hooks(
       [this](SlotId* through) {
         *through = applier_.applied_watermark();
@@ -177,6 +182,19 @@ Status NodeServer::Start() {
     transport_->set_accept_handoff([this](int fd) { reactors_->Adopt(fd); });
   }
 
+  if (options_.ownership) {
+    directory_.emplace(/*num_partitions=*/1);
+    access_stats_.emplace(options_.zones, options_.placement_stats_half_life);
+    advisor_topology_ = Topology::Uniform(options_.zones, nodes_per_zone,
+                                          options_.placement_inter_zone_rtt_ms,
+                                          options_.placement_intra_zone_rtt_ms);
+    advisor_.emplace(&*advisor_topology_, options_.placement_min_improvement,
+                     options_.placement_min_weight);
+    replica_->set_steal_invite_callback(
+        [this](NodeId incumbent) { StartProtocolSteal(incumbent); });
+    if (options_.placement_sweep_interval > 0) SchedulePlacementSweep();
+  }
+
   if (options_.catchup_on_start) {
     loop_.Schedule(options_.catchup_delay, [this] { StartCatchUp(); });
   }
@@ -196,6 +214,15 @@ void NodeServer::OnClientRequest(uint64_t conn, uint64_t client_id,
                                  const ClientRequest& req) {
   switch (req.op) {
     case ClientOp::kPut: {
+      if (options_.ownership) {
+        // Feed the placement loop from real request arrivals. Legacy
+        // clients (no declared zone) still commit, they just don't
+        // steer placement.
+        if (req.zone != kInvalidIdWire && req.zone < options_.zones) {
+          access_stats_->Record(req.zone, loop_.Now());
+        }
+        ++puts_since_sweep_;
+      }
       Transaction txn;
       txn.id = ((static_cast<uint64_t>(options_.node) + 1) << 40) |
                next_value_id_++;
@@ -212,6 +239,13 @@ void NodeServer::OnClientRequest(uint64_t conn, uint64_t client_id,
             reply.status_code = static_cast<uint8_t>(st.code());
             reply.value = st.ok() ? std::to_string(slot) : st.ToString();
             reply.watermark = st.ok() ? slot : 0;
+            // Misdirected request in ownership mode: it was still
+            // forwarded and answered, but hint the client toward the
+            // partition's owner for its next operation.
+            if (directory_.has_value() && directory_->has_owner(0) &&
+                directory_->owner_node(0) != options_.node) {
+              reply.redirect = directory_->owner_node(0);
+            }
             SendReply(conn, reply);
           });
       return;
@@ -441,6 +475,147 @@ void NodeServer::ScheduleAntiEntropySweep() {
   });
 }
 
+void NodeServer::ObserveOwnership(SlotId slot, const Value& value) {
+  if (!IsOwnershipValueId(value.id)) return;
+  std::optional<OwnershipRecord> record = DecodeOwnershipRecord(value);
+  // A NodeServer hosts exactly partition 0; a record naming any other
+  // partition in this log is hostile or corrupt, never applicable.
+  if (!record.has_value() || record->partition != 0) return;
+  if (!directory_->Observe(slot, *record)) return;
+  last_transfer_time_ = loop_.Now();
+  stalled_sweeps_ = 0;
+  if (record->node == options_.node) steal_inflight_ = false;
+  if (record->node != options_.node && record->node != kInvalidNode) {
+    // Route future submissions straight at the new owner.
+    replica_->set_leader_hint(record->node);
+  }
+  DPAXOS_INFO("node " << options_.node << " observed ownership transfer: owner="
+                      << record->node << " zone=" << record->zone
+                      << " epoch=" << record->epoch << " slot=" << slot);
+}
+
+void NodeServer::SchedulePlacementSweep() {
+  loop_.Schedule(options_.placement_sweep_interval, [this] {
+    const Timestamp now = loop_.Now();
+    const ZoneId my_zone = topology_->ZoneOf(options_.node);
+    const bool cooling = last_transfer_time_ != 0 &&
+                         now - last_transfer_time_ < options_.steal_cooldown;
+    // The incumbent this node would steal from: the directory's owner, or
+    // (before any transfer record exists) the configured initial leader.
+    NodeId incumbent = kInvalidNode;
+    ZoneId incumbent_zone = my_zone;
+    if (directory_->has_owner(0)) {
+      incumbent = directory_->owner_node(0);
+      incumbent_zone = directory_->owner_zone(0);
+    } else if (options_.leader_hint != kInvalidNode) {
+      incumbent = options_.leader_hint;
+      incumbent_zone = topology_->ZoneOf(options_.leader_hint);
+    }
+    if (replica_->is_leader()) {
+      // Owner side: each node only sees its own clients' arrivals, so
+      // the owner's advice covers traffic that reached it directly
+      // (centralized deployments); remote-zone arrivals trigger the
+      // thief side below on the nodes that actually receive them.
+      stalled_sweeps_ = 0;
+      const PlacementAdvice advice =
+          advisor_->Advise(*access_stats_, my_zone, now);
+      if (advice.should_move) {
+        if (cooling) {
+          ++pingpongs_suppressed_;
+          ++ThreadPerfCounters().placement_pingpongs_suppressed;
+        } else {
+          const NodeId thief =
+              topology_->NodesInZone(advice.best_zone).front();
+          if (thief != options_.node) {
+            DPAXOS_INFO("node " << options_.node << " placement: inviting "
+                                << thief << " (zone " << advice.best_zone
+                                << ") to steal; cost "
+                                << advice.current_cost_ms << "ms -> "
+                                << advice.best_cost_ms << "ms");
+            replica_->InviteSteal(thief);
+          }
+        }
+      }
+    } else if (incumbent != kInvalidNode && incumbent != options_.node) {
+      // Thief side: local arrivals say this zone is where the traffic
+      // is, yet the partition is owned elsewhere. The advisor's
+      // hysteresis (min_weight, min_improvement) and the post-transfer
+      // cooldown keep an even split from ping-ponging ownership.
+      if (!steal_inflight_ && incumbent_zone != my_zone) {
+        const PlacementAdvice advice =
+            advisor_->Advise(*access_stats_, incumbent_zone, now);
+        if (advice.should_move && advice.best_zone == my_zone) {
+          if (cooling) {
+            ++pingpongs_suppressed_;
+            ++ThreadPerfCounters().placement_pingpongs_suppressed;
+          } else {
+            StartProtocolSteal(incumbent);
+          }
+        }
+      }
+      // Rescue path: clients keep arriving here and the applied
+      // watermark is frozen — the incumbent is likely dead. Steal from
+      // it; if it really is dead the steal times out into an ordinary
+      // election and still commits the transfer record.
+      const SlotId wm = applier_.applied_watermark();
+      const bool stalled = options_.rescue_stalled_sweeps > 0 &&
+                           wm == placement_sweep_watermark_ &&
+                           puts_since_sweep_ > 0;
+      if (stalled) {
+        if (++stalled_sweeps_ >= options_.rescue_stalled_sweeps &&
+            !steal_inflight_) {
+          stalled_sweeps_ = 0;
+          ++rescues_started_;
+          DPAXOS_INFO("node " << options_.node
+                              << " placement: rescuing stalled partition from "
+                              << incumbent);
+          StartProtocolSteal(incumbent);
+        }
+      } else {
+        stalled_sweeps_ = 0;
+      }
+    }
+    placement_sweep_watermark_ = applier_.applied_watermark();
+    puts_since_sweep_ = 0;
+    SchedulePlacementSweep();
+  });
+}
+
+void NodeServer::StartProtocolSteal(NodeId incumbent) {
+  if (!options_.ownership || steal_inflight_) return;
+  if (incumbent == options_.node || replica_->is_leader()) return;
+  steal_inflight_ = true;
+  ++steals_attempted_;
+  ++ThreadPerfCounters().placement_steals_attempted;
+  OwnershipRecord record;
+  record.partition = 0;
+  record.zone = topology_->ZoneOf(options_.node);
+  record.node = options_.node;
+  record.epoch = directory_->epoch(0) + 1;
+  // Node id in the high bits keeps transfer value ids unique across
+  // concurrent thieves.
+  const uint64_t seq =
+      (static_cast<uint64_t>(options_.node) << 32) | ++transfer_seq_;
+  replica_->StealOwnershipFrom(
+      incumbent, MakeOwnershipTransferValue(record, seq),
+      [this, incumbent](const Status& st) {
+        steal_inflight_ = false;
+        if (st.ok()) {
+          ++steals_completed_;
+          ++ThreadPerfCounters().placement_steals_completed;
+          DPAXOS_INFO("node " << options_.node << " stole partition from "
+                              << incumbent);
+        } else {
+          if (st.IsFailedPrecondition()) {
+            ++steals_rejected_;
+            ++ThreadPerfCounters().placement_steals_rejected;
+          }
+          DPAXOS_INFO("node " << options_.node << " steal from " << incumbent
+                              << " failed: " << st.ToString());
+        }
+      });
+}
+
 std::string NodeServer::StatsString() const {
   const ProtocolCounters& pc = replica_->counters();
   const TcpTransportStats& ts = transport_->stats();
@@ -462,6 +637,27 @@ std::string NodeServer::StatsString() const {
   out += " fast_fallbacks=" + std::to_string(pc.fast_fallbacks);
   out += " fast_votes=" + std::to_string(pc.fast_votes);
   out += " fast_conflicts=" + std::to_string(pc.fast_conflicts);
+  // Ownership / placement fields: always emitted (zeros with ownership
+  // off) so bench parsing never branches on the mode.
+  out += " ownership=" + std::to_string(options_.ownership ? 1 : 0);
+  const bool have_owner = directory_.has_value() && directory_->has_owner(0);
+  out += " owner=" +
+         std::to_string(have_owner ? directory_->owner_node(0) : kInvalidNode);
+  out += " ownership_records=" +
+         std::to_string(directory_.has_value() ? directory_->records_observed()
+                                               : 0);
+  out += " steal_requests_sent=" + std::to_string(pc.steal_requests_sent);
+  out += " steal_requests_received=" +
+         std::to_string(pc.steal_requests_received);
+  out += " steals_granted=" + std::to_string(pc.steals_granted);
+  out += " steals_refused=" + std::to_string(pc.steals_refused);
+  out += " steals_won=" + std::to_string(pc.steals_won);
+  out += " placement_steals_attempted=" + std::to_string(steals_attempted_);
+  out += " placement_steals_completed=" + std::to_string(steals_completed_);
+  out += " placement_steals_rejected=" + std::to_string(steals_rejected_);
+  out += " placement_pingpongs_suppressed=" +
+         std::to_string(pingpongs_suppressed_);
+  out += " placement_rescues=" + std::to_string(rescues_started_);
   out += " tcp_bytes_in=" + std::to_string(ts.bytes_in);
   out += " tcp_bytes_out=" + std::to_string(ts.bytes_out);
   out += " tcp_reconnects=" + std::to_string(ts.reconnects);

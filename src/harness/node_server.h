@@ -32,6 +32,8 @@
 #include "net/topology.h"
 #include "paxos/node_host.h"
 #include "paxos/replica.h"
+#include "placement/ownership.h"
+#include "placement/placement.h"
 #include "quorum/quorum_system.h"
 #include "smr/kv_store.h"
 #include "smr/log_applier.h"
@@ -86,6 +88,31 @@ struct NodeServerOptions {
   bool disk_faults = false;
   /// Group-commit window for the WAL (WalOptions::group_commit_delay).
   Duration wal_commit_delay = 0;
+  /// Partition ownership mode (docs/PROTOCOL.md §ownership): learn the
+  /// owner from decided transfer records, stamp redirect hints on
+  /// misdirected requests, feed per-zone access stats from request
+  /// arrivals, and run the placement sweep — the owner invites protocol
+  /// steals toward the hottest zone; a non-owner seeing local traffic
+  /// with a stalled log rescues a dead incumbent by stealing from it.
+  bool ownership = false;
+  Duration placement_sweep_interval = 1 * kSecond;
+  /// Post-transfer cooldown before the sweep may move the partition
+  /// again (anti-ping-pong; counted as placement_pingpongs_suppressed).
+  Duration steal_cooldown = 10 * kSecond;
+  /// Advisor hysteresis (see PlacementAdvisor).
+  double placement_min_improvement = 0.3;
+  double placement_min_weight = 3.0;
+  Duration placement_stats_half_life = 10 * kSecond;
+  /// RTTs the advisor ranks zones by. The serving topology carries
+  /// placeholder latencies (real sockets impose their own), so the
+  /// advisor gets a dedicated topology reflecting the deployment's
+  /// actual zone asymmetry.
+  double placement_inter_zone_rtt_ms = 50.0;
+  double placement_intra_zone_rtt_ms = 2.0;
+  /// Consecutive stalled sweeps (no applied progress while local client
+  /// traffic keeps arriving) before a non-owner starts a rescue steal
+  /// against the incumbent.
+  uint32_t rescue_stalled_sweeps = 3;
 };
 
 /// \brief One-process replica server speaking the net/tcp framing.
@@ -135,6 +162,14 @@ class NodeServer {
   void StartCatchUp();
   void ScheduleCompactionSweep();
   void ScheduleAntiEntropySweep();
+  /// Ownership mode: decide-callback tap that feeds the directory (and
+  /// the forwarding hint) from decided transfer records.
+  void ObserveOwnership(SlotId slot, const Value& value);
+  /// Ownership mode: periodic placement sweep (owner side: advisor +
+  /// steal invitations; non-owner side: dead-incumbent rescue).
+  void SchedulePlacementSweep();
+  /// Thief side of a protocol steal (invited, or rescuing).
+  void StartProtocolSteal(NodeId incumbent);
   /// WAL mode: open + recover the log, adopt it into the host's storage,
   /// restore the applied prefix from the durable snapshot.
   Status OpenWal();
@@ -160,6 +195,23 @@ class NodeServer {
   uint64_t sweep_count_ = 0;
   uint64_t catchup_repairs_ = 0;
   bool started_ = false;
+  // Ownership mode state (options_.ownership; partition 0 is the only
+  // partition a NodeServer hosts).
+  std::optional<OwnershipDirectory> directory_;
+  std::optional<AccessStats> access_stats_;
+  std::optional<Topology> advisor_topology_;  ///< declared before advisor_
+  std::optional<PlacementAdvisor> advisor_;
+  bool steal_inflight_ = false;
+  uint64_t transfer_seq_ = 0;
+  Timestamp last_transfer_time_ = 0;  ///< loop time of last directory change
+  uint32_t stalled_sweeps_ = 0;
+  uint64_t puts_since_sweep_ = 0;
+  SlotId placement_sweep_watermark_ = 0;
+  uint64_t steals_attempted_ = 0;
+  uint64_t steals_completed_ = 0;
+  uint64_t steals_rejected_ = 0;
+  uint64_t pingpongs_suppressed_ = 0;
+  uint64_t rescues_started_ = 0;
   /// Declared LAST: destroyed first, which joins the reactor threads
   /// while the loop and transport they post to are still alive.
   std::unique_ptr<ReactorPool> reactors_;

@@ -45,6 +45,14 @@ struct ClientCtx {
   Rng rng{1};
   FailoverTcpClient* client = nullptr;
   uint64_t next_op = 1;
+  /// Ownership runs: wall-clock instant at which this client "moves" —
+  /// re-dials `move_endpoint` and declares `move_zone` from then on (0 =
+  /// never). The locality shift is what gives the placement sweep a
+  /// reason to steal mid-chaos.
+  Timestamp move_at = 0;
+  uint32_t move_zone = 0;
+  size_t move_endpoint = 0;
+  bool moved = false;
 };
 
 struct SharedState {
@@ -58,6 +66,11 @@ struct SharedState {
 void ClientLoop(const RealChaosOptions& options, ClientCtx* ctx,
                 SharedState* shared) {
   while (!shared->stop.load(std::memory_order_relaxed)) {
+    if (!ctx->moved && ctx->move_at != 0 && NowMicros() >= ctx->move_at) {
+      ctx->client->set_zone(ctx->move_zone);
+      ctx->client->set_endpoint(ctx->move_endpoint);
+      ctx->moved = true;
+    }
     const bool is_read = ctx->rng.NextBool(options.read_fraction);
     const std::string key =
         "k" + std::to_string(ctx->rng.NextBounded(options.num_keys));
@@ -204,6 +217,16 @@ RealChaosReport RunRealChaos(const RealChaosOptions& options) {
   copts.listen_endpoints = real_endpoints;
   copts.peer_view = proxy.endpoints();
   if (options.fast_path) copts.extra_args.push_back("--fast-path");
+  const bool ownership = options.ownership || options.schedule == "mobility";
+  if (ownership) {
+    copts.extra_args.push_back("--ownership");
+    copts.extra_args.push_back(
+        "--placement-sweep-ms=" +
+        std::to_string(options.placement_sweep / kMillisecond));
+    copts.extra_args.push_back(
+        "--steal-cooldown-ms=" +
+        std::to_string(options.steal_cooldown / kMillisecond));
+  }
   if (options.durable) {
     if (options.data_dir_base.empty()) {
       return fail("durable mode requires data_dir_base");
@@ -245,6 +268,21 @@ RealChaosReport RunRealChaos(const RealChaosOptions& options) {
     clients.push_back(std::make_unique<FailoverTcpClient>(
         ctxs[c].client_id, std::move(eps), fopts));
     ctxs[c].client = clients.back().get();
+    if (ownership) {
+      // The checked clients start parked in zone 0 (the leader hint's
+      // zone) and later migrate to zone 1, so the placement sweep sees
+      // the locality shift through real request arrivals.
+      ctxs[c].client->set_zone(0);
+      if (options.client_move_frac > 0 && options.zones > 1) {
+        ctxs[c].move_at =
+            NowMicros() + static_cast<Timestamp>(
+                              static_cast<double>(options.duration) *
+                              options.client_move_frac);
+        ctxs[c].move_zone = 1;
+        ctxs[c].move_endpoint =
+            options.nodes_per_zone + (c % options.nodes_per_zone);
+      }
+    }
   }
   std::vector<std::thread> client_threads;
   for (uint32_t c = 0; c < options.num_clients; ++c) {
@@ -317,6 +355,20 @@ RealChaosReport RunRealChaos(const RealChaosOptions& options) {
     report.wal_fsyncs += StatsU64(stats.value(), "wal_fsyncs");
     report.wal_torn_tail_truncations +=
         StatsU64(stats.value(), "wal_torn_tail_truncations");
+    report.steals_attempted +=
+        StatsU64(stats.value(), "placement_steals_attempted");
+    report.steals_completed +=
+        StatsU64(stats.value(), "placement_steals_completed");
+    report.steals_rejected +=
+        StatsU64(stats.value(), "placement_steals_rejected");
+    report.pingpongs_suppressed +=
+        StatsU64(stats.value(), "placement_pingpongs_suppressed");
+    report.placement_rescues += StatsU64(stats.value(), "placement_rescues");
+    report.steals_won += StatsU64(stats.value(), "steals_won");
+    const uint64_t records = StatsU64(stats.value(), "ownership_records");
+    if (records > report.ownership_records) {
+      report.ownership_records = records;
+    }
   }
 
   // 8. Verdicts.
@@ -406,6 +458,18 @@ std::string RealChaosReport::Summary() const {
              static_cast<unsigned long long>(fast_fallbacks));
     out += buf;
   }
+  if (steals_attempted > 0 || ownership_records > 0) {
+    snprintf(buf, sizeof(buf),
+             "ownership: steals=%llu/%llu rejected=%llu rescues=%llu "
+             "pingpongs_suppressed=%llu records=%llu\n",
+             static_cast<unsigned long long>(steals_completed),
+             static_cast<unsigned long long>(steals_attempted),
+             static_cast<unsigned long long>(steals_rejected),
+             static_cast<unsigned long long>(placement_rescues),
+             static_cast<unsigned long long>(pingpongs_suppressed),
+             static_cast<unsigned long long>(ownership_records));
+    out += buf;
+  }
   if (soak_ops_ok + soak_ops_failed > 0) {
     snprintf(buf, sizeof(buf),
              "soak: ok=%llu failed=%llu conn_errors=%llu achieved=%.1f/s "
@@ -483,6 +547,19 @@ std::string RealChaosSectionJson(const RealChaosOptions& options,
            "    \"fast\": {\"commits\": %llu, \"fallbacks\": %llu},\n",
            static_cast<unsigned long long>(report.fast_commits),
            static_cast<unsigned long long>(report.fast_fallbacks));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "    \"ownership\": {\"steals_attempted\": %llu, "
+           "\"steals_completed\": %llu, \"steals_rejected\": %llu, "
+           "\"rescues\": %llu, \"pingpongs_suppressed\": %llu, "
+           "\"steals_won\": %llu, \"records\": %llu},\n",
+           static_cast<unsigned long long>(report.steals_attempted),
+           static_cast<unsigned long long>(report.steals_completed),
+           static_cast<unsigned long long>(report.steals_rejected),
+           static_cast<unsigned long long>(report.placement_rescues),
+           static_cast<unsigned long long>(report.pingpongs_suppressed),
+           static_cast<unsigned long long>(report.steals_won),
+           static_cast<unsigned long long>(report.ownership_records));
   out += buf;
   snprintf(buf, sizeof(buf),
            "    \"disk\": {\"faults_armed\": %llu, \"power_losses\": %llu, "

@@ -77,6 +77,25 @@ struct RealChaosOptions {
   std::string data_dir_base;
   /// WAL group-commit window (forwarded as --wal-commit-us).
   Duration wal_commit_delay = 0;
+
+  /// Run every node with --ownership (partition ownership directory +
+  /// placement sweep). Required by — and forced on for — the "mobility"
+  /// schedule, which SIGKILLs the incumbent leader mid-run: with no
+  /// failure detector in the harness, the stalled-partition rescue steal
+  /// is what restores liveness, and the checkers then judge the history
+  /// across the ownership transfer.
+  bool ownership = false;
+  /// Placement sweep cadence / post-transfer cooldown forwarded to the
+  /// servers (--placement-sweep-ms / --steal-cooldown-ms).
+  Duration placement_sweep = 500 * kMillisecond;
+  Duration steal_cooldown = 5 * kSecond;
+  /// Ownership runs only: fraction of the run after which every checked
+  /// client "moves" — re-dials a zone-1 replica and declares zone 1 on
+  /// its requests — giving the placement sweep a locality shift to act
+  /// on. Sequenced after the mobility schedule's kill of node 0 (at
+  /// 20%), the steal this provokes finds its incumbent already dead and
+  /// must fall back to an ordinary takeover election. <= 0 disables.
+  double client_move_frac = 0.30;
 };
 
 struct RealChaosReport {
@@ -117,6 +136,16 @@ struct RealChaosReport {
   /// the tcp counters; zero unless fast_path was on).
   uint64_t fast_commits = 0;
   uint64_t fast_fallbacks = 0;
+
+  /// Ownership/steal counters summed post-quiesce (zero unless
+  /// ownership was on; same lower-bound caveat for killed nodes).
+  uint64_t steals_attempted = 0;
+  uint64_t steals_completed = 0;
+  uint64_t steals_rejected = 0;
+  uint64_t pingpongs_suppressed = 0;
+  uint64_t placement_rescues = 0;
+  uint64_t steals_won = 0;
+  uint64_t ownership_records = 0;  ///< max over nodes (directory depth)
 
   /// Soak-driver results (zero when the soak was disabled).
   uint64_t soak_ops_ok = 0;

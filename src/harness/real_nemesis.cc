@@ -41,7 +41,7 @@ RealNemesis& RealNemesis::Add(Duration at, Op op, double arg) {
 }
 
 std::vector<std::string> RealNemesis::ScheduleNames() {
-  return {"mixed", "partitions", "process", "lossy", "disk"};
+  return {"mixed", "partitions", "process", "lossy", "disk", "mobility"};
 }
 
 bool RealNemesis::AddNamedSchedule(const std::string& name, Duration start,
@@ -112,6 +112,22 @@ bool RealNemesis::AddNamedSchedule(const std::string& name, Duration start,
     Add(at(0.42), Op::kDiskEioSync, victim);
     Add(at(0.55), Op::kRestartNode, victim);
     Add(at(0.70), Op::kPowerLossAll);
+    return true;
+  }
+  if (name == "mobility") {
+    // The one schedule that deliberately targets node 0: it assumes the
+    // cluster runs with --ownership, where the stalled-partition rescue
+    // steal IS the failure detector. Killing the incumbent leader
+    // mid-run forces a protocol steal whose incumbent is dead — the
+    // thief's StealRequest times out into an ordinary election that
+    // still commits the transfer record — and the restart then rejoins
+    // as a follower learning the new owner from its own log. A latency
+    // burst is laid over the steal window so the handoff happens on
+    // degraded links, not a quiet network.
+    Add(at(0.10), Op::kDelayBurst, 10);
+    Add(at(0.20), Op::kKillNode, 0);
+    Add(at(0.55), Op::kClearFaults);
+    Add(at(0.65), Op::kRestartNode, 0);
     return true;
   }
   return false;

@@ -91,6 +91,11 @@ class RealNemesis {
   ///                  fsync EIO (each panicking the victim, which is
   ///                  then reaped + restarted to recover from its WAL),
   ///                  capped by a whole-cluster power loss
+  ///   "mobility"   — the exception to the spare-node-0 rule: SIGKILL
+  ///                  the incumbent leader mid-run (requires --ownership
+  ///                  servers, whose stalled-partition rescue steal
+  ///                  restores liveness), restart it late to rejoin
+  ///                  under the new owner
   /// Returns false (and adds nothing) for an unknown name.
   bool AddNamedSchedule(const std::string& name, Duration start,
                         Duration horizon);

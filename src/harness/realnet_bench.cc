@@ -4,11 +4,14 @@
 #include <time.h>
 
 #include <cstdio>
+#include <functional>
 #include <thread>
 
 #include "common/logging.h"
 #include "harness/load_gen.h"
 #include "harness/real_cluster.h"
+#include "net/tcp/chaos_proxy.h"
+#include "net/tcp/socket_util.h"
 #include "net/tcp/tcp_client.h"
 
 namespace dpaxos {
@@ -221,6 +224,207 @@ Result<RealnetModeResult> RunMode(const RealnetBenchOptions& options,
   return result;
 }
 
+// Drive one mobility phase: `ops` blocking puts through `client`,
+// per-op wall time into the phase histogram. The optional `stop` poll
+// ends the phase early (the adaptive moved phase runs until the steal
+// completes, not a fixed op count).
+RealnetMobilityPhase RunMobilityPhase(
+    FailoverTcpClient& client, const std::string& name, uint64_t ops,
+    uint64_t key_base, const std::function<bool(uint64_t)>& stop) {
+  RealnetMobilityPhase phase;
+  phase.name = name;
+  for (uint64_t i = 0; i < ops; ++i) {
+    const std::string key = "m" + std::to_string((key_base + i) % 512);
+    const std::string value = "v" + std::to_string(key_base + i);
+    const Timestamp t0 = NowMicros();
+    FailoverTcpClient::CallResult r =
+        client.Call(ClientOp::kPut, key, value);
+    if (r.status.ok()) {
+      phase.latency.Add(NowMicros() - t0);
+      ++phase.ops;
+    } else {
+      ++phase.ops_failed;
+    }
+    if (stop && stop(i)) break;
+  }
+  return phase;
+}
+
+// One mobility cell: 2x2 Leader Zone cluster, every inter-node link
+// through a latency-shaping proxy (inter-zone slow, intra-zone fast),
+// clients dialing their zone's replica DIRECTLY (the client link models
+// "nearest edge", the proxied peer links model the WAN). The client
+// commits from zone 0, moves to zone 1, and keeps committing. Adaptive
+// cells run --ownership: zone 1's replica sees the local traffic, the
+// placement sweep clears hysteresis, and it steals the partition via
+// the StealRequest/OwnershipGrant exchange — after which commits close
+// inside zone 1's quorum.
+Result<RealnetMobilityResult> RunMobilityCell(
+    const RealnetBenchOptions& options, bool adaptive) {
+  const uint32_t kNodes = 4;
+  Result<std::vector<uint16_t>> ports = PickFreeLoopbackPorts(kNodes);
+  if (!ports.ok()) return ports.status();
+  std::vector<HostPort> real_endpoints;
+  for (uint16_t port : ports.value()) {
+    real_endpoints.push_back(HostPort{"127.0.0.1", port});
+  }
+
+  ChaosProxyOptions popts;
+  popts.upstreams = real_endpoints;
+  popts.zones = 2;
+  popts.seed = options.seed;
+  ChaosProxy proxy(popts);
+  Status st = proxy.Start();
+  if (!st.ok()) return st;
+  auto shape = [&proxy](int32_t src_zone, int32_t dst_zone, double ms) {
+    LinkSelector sel;
+    sel.src_zone = src_zone;
+    sel.dst_zone = dst_zone;
+    LinkFault f;
+    f.latency = static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+    proxy.AddFault(sel, f);
+  };
+  shape(0, 1, options.mobility_inter_oneway_ms);
+  shape(1, 0, options.mobility_inter_oneway_ms);
+  shape(0, 0, options.mobility_intra_oneway_ms);
+  shape(1, 1, options.mobility_intra_oneway_ms);
+
+  RealClusterOptions copts;
+  copts.server_binary = options.server_binary;
+  copts.zones = 2;
+  copts.nodes_per_zone = 2;
+  copts.mode = ProtocolMode::kLeaderZone;  // zone-local commit quorums
+  copts.seed = options.seed;
+  copts.leader_hint = 0;
+  copts.enable_compaction = true;
+  copts.log_dir = options.log_dir;
+  copts.listen_endpoints = real_endpoints;
+  copts.peer_view = proxy.endpoints();
+  if (options.reactors > 0) {
+    copts.extra_args.push_back("--reactors=" +
+                               std::to_string(options.reactors));
+  }
+  if (adaptive) {
+    copts.extra_args.push_back("--ownership");
+    copts.extra_args.push_back("--placement-sweep-ms=300");
+    copts.extra_args.push_back("--steal-cooldown-ms=2000");
+  }
+  RealCluster cluster(copts);
+  st = cluster.Start();
+  if (!st.ok()) {
+    proxy.Stop();
+    return st;
+  }
+
+  RealnetMobilityResult result;
+  result.adaptive = adaptive;
+  result.label = adaptive ? "mobility/adaptive" : "mobility/static";
+  result.inter_oneway_ms = options.mobility_inter_oneway_ms;
+  result.intra_rtt_ms = 2 * options.mobility_intra_oneway_ms;
+
+  auto cleanup_fail = [&](const Status& why) -> Status {
+    cluster.ShutdownAll();
+    proxy.Stop();
+    return Status::Internal(result.label + ": " + why.ToString());
+  };
+
+  // Warmup: settle the initial leader at node 0 (zone 0).
+  TcpClient warm(/*client_id=*/7301);
+  st = warm.Connect(cluster.endpoint(0), 2 * kSecond);
+  if (!st.ok()) return cleanup_fail(st);
+  st = CommitPuts(warm, 8, 910000, nullptr);
+  if (!st.ok()) return cleanup_fail(st);
+  warm.Close();
+
+  // The mobile client: one identity for the whole tour, endpoint list
+  // indexed by node id so redirect hints resolve.
+  FailoverTcpClient mobile(/*client_id=*/7302, real_endpoints);
+  const uint64_t ops = options.mobility_phase_ops;
+
+  // Phase "local": the client lives in zone 0, dials node 0.
+  mobile.set_zone(0);
+  mobile.set_endpoint(0);
+  result.phases.push_back(
+      RunMobilityPhase(mobile, "local", ops, 0, nullptr));
+
+  // Phase "moved": the client moves to zone 1 and dials node 2. Static:
+  // every put is forwarded across the WAN to the stale leader. Adaptive:
+  // node 2's sweep sees the zone-1 traffic and steals the partition;
+  // the phase runs until the first completed steal shows in its stats.
+  mobile.set_zone(1);
+  mobile.set_endpoint(2);
+  const Timestamp moved_start = NowMicros();
+  std::function<bool(uint64_t)> stop;
+  if (adaptive) {
+    const Timestamp steal_deadline = moved_start + options.mobility_steal_wait;
+    stop = [&](uint64_t i) {
+      if ((i + 1) % 4 != 0) return false;
+      Result<std::string> stats = cluster.Stats(2);
+      if (stats.ok() &&
+          StatsU64(stats.value(), "placement_steals_completed") >= 1) {
+        return true;
+      }
+      return NowMicros() >= steal_deadline;
+    };
+  }
+  const uint64_t moved_ops = adaptive ? 100000 : ops;
+  result.phases.push_back(
+      RunMobilityPhase(mobile, "moved", moved_ops, 1000, stop));
+  if (adaptive) {
+    result.migration_seconds =
+        static_cast<double>(NowMicros() - moved_start) / 1e6;
+    Result<std::string> stats = cluster.Stats(2);
+    if (!stats.ok() ||
+        StatsU64(stats.value(), "placement_steals_completed") < 1) {
+      return cleanup_fail(Status::TimedOut(
+          "no protocol steal completed within the moved phase"));
+    }
+  }
+
+  // Phase "post": steady state after the move — the gated histogram.
+  result.phases.push_back(
+      RunMobilityPhase(mobile, "post", ops, 2000, nullptr));
+  mobile.Close();
+
+  // Straggler: a zone-0 client still dialing node 0 after the steal. In
+  // the adaptive cell its first reply carries a redirect hint to the new
+  // owner, which the failover client follows.
+  FailoverTcpClient straggler(/*client_id=*/7303, real_endpoints);
+  straggler.set_zone(0);
+  straggler.set_endpoint(0);
+  for (uint64_t i = 0; i < 5; ++i) {
+    straggler.Call(ClientOp::kPut, "m-straggler", "v" + std::to_string(i));
+  }
+  result.redirects_followed = straggler.redirects_followed();
+  straggler.Close();
+
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    Result<std::string> stats = cluster.Stats(n);
+    if (!stats.ok()) continue;
+    const std::string& s = stats.value();
+    result.steals_attempted += StatsU64(s, "placement_steals_attempted");
+    result.steals_completed += StatsU64(s, "placement_steals_completed");
+    result.steals_rejected += StatsU64(s, "placement_steals_rejected");
+    result.pingpongs_suppressed += StatsU64(s, "placement_pingpongs_suppressed");
+    result.steal_requests_sent += StatsU64(s, "steal_requests_sent");
+    result.steals_granted += StatsU64(s, "steals_granted");
+    result.steals_won += StatsU64(s, "steals_won");
+    const uint64_t records = StatsU64(s, "ownership_records");
+    if (records > result.ownership_records) result.ownership_records = records;
+  }
+
+  if (adaptive) {
+    const RealnetMobilityPhase& post = result.phases.back();
+    result.gate_pass = post.ops > 0 &&
+                       post.latency.P50Millis() < 2 * result.intra_rtt_ms;
+  }
+
+  st = cluster.ShutdownAll();
+  proxy.Stop();
+  if (!st.ok()) return Status::Internal(result.label + ": " + st.ToString());
+  return result;
+}
+
 }  // namespace
 
 Result<RealnetBenchReport> RunRealnetBench(const RealnetBenchOptions& options) {
@@ -271,6 +475,18 @@ Result<RealnetBenchReport> RunRealnetBench(const RealnetBenchOptions& options) {
       return Status::Internal(label + ": " + result.status().ToString());
     }
     report.results.push_back(std::move(result.value()));
+  }
+  if (options.mobility) {
+    // The pair shares one seed and one latency shape; only --ownership
+    // differs, so the adaptive row's post-migration drop is attributable
+    // to the protocol steal alone.
+    for (bool adaptive : {false, true}) {
+      DPAXOS_INFO("realnet: running cell mobility/"
+                  << (adaptive ? "adaptive" : "static"));
+      Result<RealnetMobilityResult> cell = RunMobilityCell(options, adaptive);
+      if (!cell.ok()) return cell.status();
+      report.mobility.push_back(std::move(cell.value()));
+    }
   }
   return report;
 }
@@ -360,6 +576,54 @@ std::string RealnetReportToJson(const RealnetBenchOptions& options,
     out += buf;
   }
   out += "  ],\n";
+  if (!report.mobility.empty()) {
+    out += "  \"mobility\": [\n";
+    for (size_t i = 0; i < report.mobility.size(); ++i) {
+      const RealnetMobilityResult& m = report.mobility[i];
+      snprintf(buf, sizeof(buf),
+               "    {\"label\": \"%s\", \"adaptive\": %s, "
+               "\"inter_oneway_ms\": %.1f, \"intra_rtt_ms\": %.1f, "
+               "\"gate_ms\": %.1f, \"gate_pass\": %s,\n"
+               "     \"migration_s\": %.3f, \"redirects_followed\": %llu,\n",
+               m.label.c_str(), m.adaptive ? "true" : "false",
+               m.inter_oneway_ms, m.intra_rtt_ms, 2 * m.intra_rtt_ms,
+               m.gate_pass ? "true" : "false", m.migration_seconds,
+               static_cast<unsigned long long>(m.redirects_followed));
+      out += buf;
+      snprintf(buf, sizeof(buf),
+               "     \"steals\": {\"attempted\": %llu, \"completed\": %llu, "
+               "\"rejected\": %llu, \"pingpongs_suppressed\": %llu,\n"
+               "      \"requests_sent\": %llu, \"granted\": %llu, "
+               "\"won\": %llu, \"ownership_records\": %llu},\n",
+               static_cast<unsigned long long>(m.steals_attempted),
+               static_cast<unsigned long long>(m.steals_completed),
+               static_cast<unsigned long long>(m.steals_rejected),
+               static_cast<unsigned long long>(m.pingpongs_suppressed),
+               static_cast<unsigned long long>(m.steal_requests_sent),
+               static_cast<unsigned long long>(m.steals_granted),
+               static_cast<unsigned long long>(m.steals_won),
+               static_cast<unsigned long long>(m.ownership_records));
+      out += buf;
+      out += "     \"phases\": [\n";
+      for (size_t p = 0; p < m.phases.size(); ++p) {
+        const RealnetMobilityPhase& ph = m.phases[p];
+        snprintf(buf, sizeof(buf),
+                 "      {\"name\": \"%s\", \"ops\": %llu, "
+                 "\"ops_failed\": %llu, \"latency_ms\": "
+                 "{\"mean\": %.3f, \"p50\": %.3f, \"p99\": %.3f, "
+                 "\"max\": %.3f}}%s\n",
+                 ph.name.c_str(), static_cast<unsigned long long>(ph.ops),
+                 static_cast<unsigned long long>(ph.ops_failed),
+                 ph.latency.MeanMillis(), ph.latency.P50Millis(),
+                 ph.latency.P99Millis(), ToMillis(ph.latency.Max()),
+                 p + 1 < m.phases.size() ? "," : "");
+        out += buf;
+      }
+      out += std::string("     ]}") +
+             (i + 1 < report.mobility.size() ? "," : "") + "\n";
+    }
+    out += "  ],\n";
+  }
   out += std::string("  \"clean_shutdown\": ") +
          (report.clean_shutdown ? "true" : "false") + "\n}\n";
   return out;

@@ -63,6 +63,22 @@ struct RealnetBenchOptions {
   std::string json_path = "BENCH_realnet.json";
   /// Directory for per-node server logs; empty inherits stdio.
   std::string log_dir;
+  /// Add the mobility pair: a 2x2 Leader Zone cluster behind a
+  /// latency-shaping ChaosProxy (inter-zone links slow, intra-zone links
+  /// fast), with a blocking client that starts in the leader's zone and
+  /// then "moves" to the far zone. The static cell leaves the leader
+  /// where it started; the adaptive cell runs --ownership, so the far
+  /// zone's replica steals the partition via the protocol and commit
+  /// latency falls back to near-local. The gate: adaptive post-migration
+  /// p50 < 2x the intra-zone RTT.
+  bool mobility = false;
+  /// Ops per mobility phase (local / moved / post).
+  uint64_t mobility_phase_ops = 150;
+  /// One-way proxy latencies shaping the zone asymmetry.
+  double mobility_inter_oneway_ms = 25.0;
+  double mobility_intra_oneway_ms = 3.0;
+  /// How long the adaptive moved phase waits for the protocol steal.
+  Duration mobility_steal_wait = 60 * kSecond;
 };
 
 struct RealnetModeResult {
@@ -104,8 +120,45 @@ struct RealnetModeResult {
   uint64_t wal_fsyncs = 0;
 };
 
+/// One phase of a mobility cell: a contiguous run of blocking puts from
+/// one (zone, endpoint) vantage.
+struct RealnetMobilityPhase {
+  std::string name;  ///< "local", "moved", "post"
+  uint64_t ops = 0;
+  uint64_t ops_failed = 0;
+  Histogram latency;  ///< per-op wall time, OK replies only
+};
+
+/// One mobility cell (static baseline or adaptive ownership).
+struct RealnetMobilityResult {
+  bool adaptive = false;  ///< servers ran with --ownership
+  std::string label;      ///< "mobility/static" or "mobility/adaptive"
+  std::vector<RealnetMobilityPhase> phases;
+  double inter_oneway_ms = 0;  ///< proxy-imposed inter-zone one-way
+  double intra_rtt_ms = 0;     ///< 2x intra-zone one-way (the gate base)
+  /// Adaptive: moved-phase seconds until the first completed protocol
+  /// steal was observed (0 for the static cell).
+  double migration_seconds = 0;
+  // Placement + steal counters summed over all nodes at cell end.
+  uint64_t steals_attempted = 0;
+  uint64_t steals_completed = 0;
+  uint64_t steals_rejected = 0;
+  uint64_t pingpongs_suppressed = 0;
+  uint64_t steal_requests_sent = 0;
+  uint64_t steals_granted = 0;
+  uint64_t steals_won = 0;
+  uint64_t ownership_records = 0;  ///< max over nodes (directory depth)
+  /// Redirect hints followed by the post-steal straggler client that
+  /// still dialed the old leader's zone.
+  uint64_t redirects_followed = 0;
+  /// Adaptive: post-migration p50 < 2x intra-zone RTT. Static cells
+  /// carry no gate and report true.
+  bool gate_pass = true;
+};
+
 struct RealnetBenchReport {
   std::vector<RealnetModeResult> results;
+  std::vector<RealnetMobilityResult> mobility;
   bool clean_shutdown = true;
 };
 

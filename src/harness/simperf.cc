@@ -9,11 +9,13 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/histogram.h"
 #include "directory/sharded_store.h"
 #include "harness/chaos.h"
 #include "harness/cluster.h"
 #include "harness/load_driver.h"
 #include "sim/shard_runner.h"
+#include "workload/mobility.h"
 
 namespace dpaxos {
 
@@ -439,6 +441,135 @@ SimperfScaling RunSimperfScaling(
   return scaling;
 }
 
+namespace {
+
+/// One mobility cell: a single client touring zones 0 -> 1 -> 2 over a
+/// uniform 3-zone topology, one partition behind a ShardedStore. The
+/// adaptive variant runs the ownership/stealing layer; the static one
+/// claims the partition in zone 0 and never moves it.
+SimperfMobilityCell RunMobilityCellSim(const SimperfOptions& options,
+                                       bool adaptive) {
+  const Duration dwell = options.smoke ? 20 * kSecond : 60 * kSecond;
+  const Duration think = 400 * kMillisecond;
+
+  SimperfMobilityCell cell;
+  cell.label = adaptive ? "adaptive" : "static";
+  cell.adaptive = adaptive;
+  const PerfCounters perf_before = SnapshotPerfCounters();
+
+  const Topology topology = Topology::Uniform(/*zones=*/3,
+                                              /*nodes_per_zone=*/2,
+                                              /*inter_zone_rtt_ms=*/80.0,
+                                              /*intra_zone_rtt_ms=*/4.0);
+  ClusterOptions cluster_options;
+  cluster_options.ft = FaultTolerance{0, 0};
+  cluster_options.seed = options.seed;
+  cluster_options.replica.decide_policy = DecidePolicy::kQuorum;
+  // Handoff elections recover a long undecided tail; the default bound
+  // preempts them mid-flight (see RunShardWorkload).
+  cluster_options.replica.le_timeout = 30 * kSecond;
+  cluster_options.partitions = {0};
+  PresizeForSimperf(&cluster_options, 1);
+  Cluster cluster(topology, ProtocolMode::kLeaderZone, cluster_options);
+
+  ShardedStore::Options store_options;
+  store_options.num_partitions = 1;
+  store_options.min_improvement = 0.2;
+  store_options.min_weight = 3.0;
+  store_options.stats_half_life = 10 * kSecond;
+  store_options.auto_steal = adaptive;
+  store_options.ownership = adaptive;
+  store_options.steal_cooldown = 5 * kSecond;
+  ShardedStore store(
+      &cluster.sim(), &cluster.topology(),
+      [&cluster](NodeId n, PartitionId p) { return cluster.replica(n, p); },
+      store_options);
+  const std::string key = KeyForPartition(store, 0);
+
+  const MobilitySchedule tour = MobilitySchedule::Tour({0, 1, 2}, dwell);
+  const size_t num_segments = tour.segments().size();
+  std::vector<Histogram> full(num_segments);
+  std::vector<Histogram> tail(num_segments);
+
+  uint64_t txn_id = 0;
+  const uint64_t total_ops =
+      static_cast<uint64_t>(num_segments) * (dwell / think);
+  for (uint64_t i = 0; i < total_ops; ++i) {
+    const Timestamp tick = static_cast<Timestamp>(i) * think;
+    // A steal + election near a segment boundary can outlast the think
+    // time, leaving Now() past the next tick; issue the op immediately
+    // rather than rewinding the clock.
+    if (tick > cluster.sim().Now()) cluster.sim().RunUntil(tick);
+    const ZoneId zone = tour.ZoneAt(tick);
+    const size_t segment = static_cast<size_t>(tick / dwell);
+
+    Transaction txn;
+    txn.id = ++txn_id;
+    txn.ops = {Operation::Put(key, "v")};
+    std::optional<Status> done;
+    const Timestamp t0 = cluster.sim().Now();
+    store.Execute(txn, zone,
+                  [&done](const Status& st, Duration) { done = st; });
+    while (!done.has_value() && cluster.sim().Step()) {
+    }
+    if (!done.has_value() || !done->ok()) continue;
+    // Client-perceived commit latency in virtual time, forwarding and
+    // handoffs included.
+    const Duration latency = cluster.sim().Now() - t0;
+    full[segment].Add(latency);
+    const Timestamp segment_start = static_cast<Timestamp>(segment) * dwell;
+    if (tick >= segment_start + dwell / 2) tail[segment].Add(latency);
+  }
+
+  for (size_t s = 0; s < num_segments; ++s) {
+    SimperfMobilitySegment seg;
+    seg.zone = tour.segments()[s].zone;
+    seg.ops = full[s].count();
+    seg.p50_ms = full[s].P50Millis();
+    seg.p99_ms = full[s].P99Millis();
+    seg.tail_ops = tail[s].count();
+    seg.tail_p50_ms = tail[s].P50Millis();
+    seg.tail_p99_ms = tail[s].P99Millis();
+    cell.segments.push_back(seg);
+  }
+  cell.steals = store.steals();
+  cell.ownership_records = store.directory().records_observed();
+  const PerfCounters delta =
+      SnapshotPerfCounters().DeltaSince(perf_before);
+  cell.steals_attempted = delta.placement_steals_attempted;
+  cell.steals_completed = delta.placement_steals_completed;
+  cell.steals_rejected = delta.placement_steals_rejected;
+  cell.pingpongs_suppressed = delta.placement_pingpongs_suppressed;
+  return cell;
+}
+
+}  // namespace
+
+SimperfMobilityReport RunSimperfMobility(const SimperfOptions& options) {
+  SimperfMobilityReport report;
+  report.zones = 3;
+  report.inter_zone_rtt_ms = 80.0;
+  report.intra_zone_rtt_ms = 4.0;
+  for (bool adaptive : {false, true}) {
+    report.cells.push_back(RunMobilityCellSim(options, adaptive));
+  }
+  // The gate: once the client settles in a new zone (second half of each
+  // post-move segment), the adaptive cell commits near-local while the
+  // static leader keeps paying the WAN forward.
+  const SimperfMobilityCell& fixed = report.cells[0];
+  const SimperfMobilityCell& adaptive = report.cells[1];
+  bool ok = adaptive.steals >= 2 && adaptive.ownership_records >= 2 &&
+            fixed.segments.size() == adaptive.segments.size();
+  for (size_t s = 1; ok && s < adaptive.segments.size(); ++s) {
+    ok = adaptive.segments[s].tail_ops > 0 &&
+         fixed.segments[s].tail_ops > 0 &&
+         adaptive.segments[s].tail_p50_ms * 2 <
+             fixed.segments[s].tail_p50_ms;
+  }
+  report.adaptive_tracks_client = ok;
+  return report;
+}
+
 std::string SimperfJson(const SimperfReport& report,
                         double baseline_events_per_sec,
                         const SimperfJsonExtras& extras) {
@@ -537,6 +668,38 @@ std::string SimperfJson(const SimperfReport& report,
           << p.wall_ms << ", \"events_per_sec\": " << p.events_per_sec
           << ", \"speedup_vs_one_thread\": " << p.speedup_vs_one_thread
           << "}" << (i + 1 < sc.points.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n  }";
+  }
+
+  if (extras.mobility != nullptr) {
+    const SimperfMobilityReport& m = *extras.mobility;
+    out << ",\n  \"mobility\": {\n"
+        << "    \"zones\": " << m.zones << ",\n"
+        << "    \"inter_zone_rtt_ms\": " << m.inter_zone_rtt_ms << ",\n"
+        << "    \"intra_zone_rtt_ms\": " << m.intra_zone_rtt_ms << ",\n"
+        << "    \"adaptive_tracks_client\": "
+        << (m.adaptive_tracks_client ? "true" : "false") << ",\n"
+        << "    \"cells\": [\n";
+    for (size_t c = 0; c < m.cells.size(); ++c) {
+      const SimperfMobilityCell& cell = m.cells[c];
+      out << "      {\"label\": \"" << cell.label << "\", \"adaptive\": "
+          << (cell.adaptive ? "true" : "false") << ", \"steals\": "
+          << cell.steals << ", \"ownership_records\": "
+          << cell.ownership_records << ",\n       \"steals_attempted\": "
+          << cell.steals_attempted << ", \"steals_completed\": "
+          << cell.steals_completed << ", \"steals_rejected\": "
+          << cell.steals_rejected << ", \"pingpongs_suppressed\": "
+          << cell.pingpongs_suppressed << ",\n       \"segments\": [\n";
+      for (size_t s = 0; s < cell.segments.size(); ++s) {
+        const SimperfMobilitySegment& seg = cell.segments[s];
+        out << "        {\"zone\": " << seg.zone << ", \"ops\": " << seg.ops
+            << ", \"p50_ms\": " << seg.p50_ms << ", \"p99_ms\": "
+            << seg.p99_ms << ", \"tail_p50_ms\": " << seg.tail_p50_ms
+            << ", \"tail_p99_ms\": " << seg.tail_p99_ms << "}"
+            << (s + 1 < cell.segments.size() ? "," : "") << "\n";
+      }
+      out << "       ]}" << (c + 1 < m.cells.size() ? "," : "") << "\n";
     }
     out << "    ]\n  }";
   }

@@ -184,6 +184,52 @@ struct SimperfScaling {
 SimperfScaling RunSimperfScaling(const SimperfOptions& options,
                                  const std::vector<uint32_t>& thread_counts);
 
+// --- mobility workload -------------------------------------------------
+
+/// One dwell segment of the mobility tour: the client parked in `zone`,
+/// commit latency split into the whole segment and its second half (the
+/// post-handoff steady state the paper's mobility story is about).
+struct SimperfMobilitySegment {
+  ZoneId zone = 0;
+  uint64_t ops = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t tail_ops = 0;
+  double tail_p50_ms = 0;  ///< second half of the segment only
+  double tail_p99_ms = 0;
+};
+
+/// One mobility cell: the same tour over the same topology, with the
+/// ownership/stealing layer either off (static leader) or on.
+struct SimperfMobilityCell {
+  std::string label;  ///< "static" or "adaptive"
+  bool adaptive = false;
+  uint64_t steals = 0;
+  uint64_t ownership_records = 0;  ///< directory records observed
+  uint64_t steals_attempted = 0;   ///< placement_steals_attempted delta
+  uint64_t steals_completed = 0;   ///< placement_steals_completed delta
+  uint64_t steals_rejected = 0;    ///< placement_steals_rejected delta
+  uint64_t pingpongs_suppressed = 0;
+  std::vector<SimperfMobilitySegment> segments;
+};
+
+/// The "mobility" section of BENCH_simperf.json: a single-client tour
+/// across a uniform 3-zone topology, static-leader baseline vs adaptive
+/// protocol-steal placement, per-segment commit p50/p99 in virtual time.
+struct SimperfMobilityReport {
+  uint32_t zones = 0;
+  double inter_zone_rtt_ms = 0;
+  double intra_zone_rtt_ms = 0;
+  std::vector<SimperfMobilityCell> cells;  ///< [static, adaptive]
+  /// Gate: in every post-move segment, the adaptive cell's tail p50 is
+  /// under half the static cell's (latency returned to near-local).
+  bool adaptive_tracks_client = false;
+};
+
+/// Run the mobility tour twice (static, adaptive). Deterministic in
+/// virtual time for a given seed.
+SimperfMobilityReport RunSimperfMobility(const SimperfOptions& options);
+
 // --- JSON --------------------------------------------------------------
 
 /// Optional sections of BENCH_simperf.json beyond baseline/current.
@@ -197,6 +243,7 @@ struct SimperfJsonExtras {
   double best_events_per_sec = 0;
   const ShardedSimperfReport* sharded = nullptr;
   const SimperfScaling* scaling = nullptr;
+  const SimperfMobilityReport* mobility = nullptr;
 };
 
 /// Render the full BENCH_simperf.json body.

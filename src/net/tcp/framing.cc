@@ -53,6 +53,7 @@ std::string EncodeClientRequestFrame(const ClientRequest& req) {
   writer.PutU8(static_cast<uint8_t>(req.op));
   writer.PutString(req.key);
   writer.PutString(req.value);
+  writer.PutU32(req.zone);
   std::string frame;
   AppendFrame(body, &frame);
   return frame;
@@ -66,6 +67,7 @@ std::string EncodeClientReplyFrame(const ClientReply& reply) {
   writer.PutU8(reply.status_code);
   writer.PutString(reply.value);
   writer.PutU64(reply.watermark);
+  writer.PutU32(reply.redirect);
   std::string frame;
   AppendFrame(body, &frame);
   return frame;
@@ -109,7 +111,8 @@ Result<ClientRequest> ParseClientRequest(std::string_view body) {
   uint8_t op = 0;
   if (!reader.ReadU64(&req.request_id) || !reader.ReadU8(&op) || op < 1 ||
       op > 3 || !reader.ReadString(&req.key) ||
-      !reader.ReadString(&req.value) || !reader.AtEnd()) {
+      !reader.ReadString(&req.value) || !reader.ReadU32(&req.zone) ||
+      !reader.AtEnd()) {
     return FrameCorruption("malformed client request");
   }
   req.op = static_cast<ClientOp>(op);
@@ -124,7 +127,8 @@ Result<ClientReply> ParseClientReply(std::string_view body) {
   ClientReply reply;
   if (!reader.ReadU64(&reply.request_id) ||
       !reader.ReadU8(&reply.status_code) || !reader.ReadString(&reply.value) ||
-      !reader.ReadU64(&reply.watermark) || !reader.AtEnd()) {
+      !reader.ReadU64(&reply.watermark) || !reader.ReadU32(&reply.redirect) ||
+      !reader.AtEnd()) {
     return FrameCorruption("malformed client reply");
   }
   return reply;

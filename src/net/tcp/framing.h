@@ -71,11 +71,20 @@ enum class ClientOp : uint8_t {
   kStats = 3,  ///< server/runtime introspection (key/value unused)
 };
 
+/// On-wire encoding of "no zone declared" / "no redirect" (uint32 max,
+/// matching kInvalidZone / kInvalidNode without pulling common/types.h
+/// into the wire contract).
+inline constexpr uint32_t kInvalidIdWire = 0xffffffffu;
+
 struct ClientRequest {
   uint64_t request_id = 0;  ///< echoed in the reply; unique per connection
   ClientOp op = ClientOp::kPut;
   std::string key;
   std::string value;
+  /// Zone the client issues from (feeds the server's per-zone access
+  /// statistics in ownership mode; see docs/PROTOCOL.md §ownership).
+  /// kInvalidIdWire = unknown, the legacy client default.
+  uint32_t zone = kInvalidIdWire;
 };
 
 struct ClientReply {
@@ -86,6 +95,12 @@ struct ClientReply {
   /// Reads: the watermark the value was read at (session-guarantee
   /// checking). Writes: the commit slot, 0 on failure.
   uint64_t watermark = 0;
+  /// Ownership-directory redirect hint: the node id the client should
+  /// talk to for this key's partition (kInvalidIdWire = none). Set on
+  /// misdirected requests in ownership mode; the request is still
+  /// forwarded and answered, so following the hint is an optimization,
+  /// never a correctness requirement.
+  uint32_t redirect = kInvalidIdWire;
 };
 
 /// Bytes of the frame header: u32 body_length + u32 crc32(body).

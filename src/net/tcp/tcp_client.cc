@@ -90,6 +90,7 @@ Result<ClientReply> TcpClient::CallWithId(uint64_t request_id, ClientOp op,
   req.op = op;
   req.key = std::string(key);
   req.value = std::string(value);
+  req.zone = zone_;
   const Timestamp deadline_ms = NowMillis() + timeout / kMillisecond;
   Status st = SendAll(EncodeClientRequestFrame(req), deadline_ms);
   if (!st.ok()) {
@@ -241,6 +242,17 @@ FailoverTcpClient::CallResult FailoverTcpClient::Call(ClientOp op,
           (op == ClientOp::kGet && code == StatusCode::kNotFound)) {
         result.reply = std::move(reply).value();
         result.status = Status::OK();
+        // Ownership redirect hint: the request was still answered (the
+        // server forwards misdirected work), but the NEXT operation
+        // should dial the partition's owner directly. Endpoint lists
+        // follow the --serve convention of index == node id.
+        const uint32_t hint = result.reply.redirect;
+        if (hint != kInvalidIdWire && hint < endpoints_.size() &&
+            hint != current_) {
+          client_.Close();
+          current_ = hint;
+          ++redirects_followed_;
+        }
         return result;
       }
       // Definitive server-side error (preempted proposal, forward

@@ -36,6 +36,11 @@ class TcpClient {
   bool connected() const { return fd_ >= 0; }
   uint64_t client_id() const { return client_id_; }
 
+  /// Zone stamped on every outgoing request (feeds server-side access
+  /// statistics in ownership mode). Default: undeclared.
+  void set_zone(uint32_t zone) { zone_ = zone; }
+  uint32_t zone() const { return zone_; }
+
   /// Send one request and block for its reply (matched by request_id;
   /// stale replies from timed-out predecessors are skipped).
   Result<ClientReply> Call(ClientOp op, std::string_view key,
@@ -60,6 +65,7 @@ class TcpClient {
 
   uint64_t client_id_;
   uint64_t next_request_id_ = 1;
+  uint32_t zone_ = kInvalidIdWire;
   int fd_ = -1;
   FrameDecoder decoder_;
 };
@@ -118,6 +124,22 @@ class FailoverTcpClient {
   /// Endpoint index the next attempt will dial (test introspection).
   size_t current_endpoint() const { return current_; }
 
+  /// Zone stamped on every request (see TcpClient::set_zone).
+  void set_zone(uint32_t zone) { client_.set_zone(zone); }
+  /// Point the next attempt at a specific endpoint (node id under the
+  /// --serve convention) — e.g. a mobile client dialing its new local
+  /// replica after moving zones. Out-of-range indices are ignored.
+  void set_endpoint(size_t idx) {
+    if (idx >= endpoints_.size() || idx == current_) return;
+    client_.Close();
+    current_ = idx;
+  }
+  /// Ownership-directory redirect hints acted upon: the endpoint list is
+  /// indexed by node id (the --serve convention), so a reply's redirect
+  /// rotates the next attempt straight to the partition's owner instead
+  /// of round-robining through dead weight.
+  uint64_t redirects_followed() const { return redirects_followed_; }
+
  private:
   std::vector<HostPort> endpoints_;
   Options options_;
@@ -125,6 +147,7 @@ class FailoverTcpClient {
   size_t current_ = 0;
   uint64_t next_request_id_ = 1;
   uint64_t total_failovers_ = 0;
+  uint64_t redirects_followed_ = 0;
 };
 
 }  // namespace dpaxos

@@ -60,6 +60,8 @@ enum class WireType : uint8_t {
   kFastAccepted = 32,
   kFastNack = 33,
   kFastGrant = 34,
+  kStealRequest = 35,
+  kOwnershipGrant = 36,
 };
 
 /// \brief Common base: every protocol message belongs to a partition.
@@ -553,6 +555,73 @@ struct RelinquishMsg final : PaxosMessage {
   const char* TypeName() const override { return "relinquish"; }
   uint8_t wire_tag() const override {
     return static_cast<uint8_t>(WireType::kRelinquish);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Partition ownership steals (docs/PROTOCOL.md §ownership)
+
+/// Why an ownership steal was refused (OwnershipGrantMsg::reason).
+enum class StealRefusal : uint8_t {
+  kNone = 0,       ///< granted
+  kNotLeader = 1,  ///< recipient does not lead; see leader_hint
+  kBusy = 2,       ///< in-flight/pending proposals; retry later
+  kFastGrant = 3,  ///< fast-path grant outstanding; elect instead
+};
+
+/// Ask the incumbent leader to cede partition ownership to the sender
+/// (thief side of a steal), or — with `invite` set — the incumbent's
+/// placement sweep asking the recipient to initiate a steal back at it.
+struct StealRequestMsg final : PaxosMessage {
+  StealRequestMsg(PartitionId p, Ballot b, ZoneId zone, bool inv)
+      : PaxosMessage(p), ballot(b), thief_zone(zone), invite(inv) {}
+
+  /// The thief's current ballot, for the incumbent's ObserveBallot;
+  /// concurrent steals are ultimately ordered by their election ballots.
+  Ballot ballot;
+  ZoneId thief_zone;
+  bool invite;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 17; }
+  const char* TypeName() const override { return "steal-request"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kStealRequest);
+  }
+};
+
+/// The incumbent's answer. A grant fences the incumbent's log — it has
+/// already stopped proposing when this message is sent — and carries
+/// what the thief needs to catch up before its takeover election.
+struct OwnershipGrantMsg final : PaxosMessage {
+  OwnershipGrantMsg(PartitionId p, bool g, StealRefusal r, Ballot b,
+                    SlotId next, uint64_t decided, bool snap, NodeId hint)
+      : PaxosMessage(p),
+        granted(g),
+        reason(r),
+        ballot(b),
+        next_slot(next),
+        decided_size(decided),
+        snapshot_ready(snap),
+        leader_hint(hint) {}
+
+  bool granted;
+  StealRefusal reason;
+  /// The incumbent's leadership ballot (grant) or its highest observed
+  /// ballot (refusal); the thief elects above it either way.
+  Ballot ballot;
+  /// Fence: the incumbent proposed nothing at or above this slot.
+  SlotId next_slot;
+  /// Incumbent's decided-log size, for the thief's catch-up gap.
+  uint64_t decided_size;
+  /// Incumbent can serve a snapshot transfer for the catch-up.
+  bool snapshot_ready;
+  /// On kNotLeader refusals: who the refuser believes leads.
+  NodeId leader_hint;
+
+  uint64_t SizeBytes() const override { return kMessageHeaderBytes + 40; }
+  const char* TypeName() const override { return "ownership-grant"; }
+  uint8_t wire_tag() const override {
+    return static_cast<uint8_t>(WireType::kOwnershipGrant);
   }
 };
 

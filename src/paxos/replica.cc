@@ -1090,6 +1090,157 @@ void Replica::OnRelinquish(NodeId from, const RelinquishMsg& msg) {
 }
 
 // -----------------------------------------------------------------------
+// Partition ownership steals (docs/PROTOCOL.md §ownership)
+
+void Replica::StealOwnershipFrom(NodeId incumbent, Value transfer_record,
+                                 StatusCallback cb) {
+  if (steal_cb_) {
+    if (cb) cb(Status::Aborted("steal already in progress"));
+    return;
+  }
+  if (incumbent == id_) {
+    if (cb) cb(Status::InvalidArgument("cannot steal from self"));
+    return;
+  }
+  steal_cb_ = std::move(cb);
+  steal_record_ = std::move(transfer_record);
+  if (role_ == Role::kLeader) {
+    // Degenerate steal: we already hold the log (e.g. a directory lagging
+    // a crash-recovery election). Just commit the transfer record.
+    StealElectAndRecord();
+    return;
+  }
+  ++counters_.steal_requests_sent;
+  SendTo(incumbent,
+         std::make_shared<StealRequestMsg>(config_.partition, ballot_, zone(),
+                                           /*invite=*/false));
+  steal_timer_ = ScheduleSafe(config_.propose_timeout, [this] {
+    steal_timer_ = 0;
+    if (!steal_cb_) return;
+    // Lost request, lost grant, or incumbent crash mid-handoff. If the
+    // incumbent fenced before dying, nobody leads now; if our request
+    // never arrived, the election preempts the incumbent by ballot
+    // order. Either way an ordinary Leader Election is safe and
+    // sufficient (docs/PROTOCOL.md §ownership).
+    StealElectAndRecord();
+  });
+}
+
+void Replica::InviteSteal(NodeId thief) {
+  if (thief == id_) return;
+  SendTo(thief, std::make_shared<StealRequestMsg>(config_.partition, ballot_,
+                                                  zone(), /*invite=*/true));
+}
+
+void Replica::OnStealRequest(NodeId from, const StealRequestMsg& msg) {
+  ++counters_.steal_requests_received;
+  ObserveBallot(msg.ballot);
+  if (msg.invite) {
+    // Incumbent -> would-be thief invitation (placement sweep). Acting on
+    // it is the host's decision; mid-steal or already-leading replicas
+    // ignore it.
+    if (steal_invite_cb_ && !steal_cb_ && role_ != Role::kLeader) {
+      steal_invite_cb_(from);
+    }
+    return;
+  }
+  StealRefusal refusal = StealRefusal::kNone;
+  if (role_ != Role::kLeader) {
+    refusal = StealRefusal::kNotLeader;
+  } else if (!inflight_.empty() || !pending_.empty()) {
+    refusal = StealRefusal::kBusy;
+  } else if (config_.enable_fast_path && fast_grant_.valid() &&
+             fast_grant_.ballot == ballot_) {
+    // Same hazard as HandoffTo: with a fast grant outstanding there may
+    // be fast commits only an election's prepare round observes, so the
+    // thief must win one rather than inherit the regime.
+    refusal = StealRefusal::kFastGrant;
+  }
+  if (refusal != StealRefusal::kNone) {
+    ++counters_.steals_refused;
+    SendTo(from, std::make_shared<OwnershipGrantMsg>(
+                     config_.partition, /*granted=*/false, refusal, ballot_,
+                     next_slot_, DecidedWatermark(), /*snapshot_ready=*/false,
+                     role_ == Role::kLeader ? id_ : leader_hint_));
+    return;
+  }
+  auto grant = std::make_shared<OwnershipGrantMsg>(
+      config_.partition, /*granted=*/true, StealRefusal::kNone, ballot_,
+      next_slot_, DecidedWatermark(), snapshot_serve_ready(), id_);
+  SendTo(from, grant);
+  ++counters_.steals_granted;
+  // Fence: after the grant is sent this replica stops acting as leader
+  // even if the grant is lost — the relinquish discipline. Unlike a
+  // handoff, leadership itself transfers by the thief's election, whose
+  // prepare round supersedes this ballot.
+  role_ = Role::kFollower;
+  leader_hint_ = from;
+  DPAXOS_DEBUG("node " << id_ << " granted ownership steal to " << from);
+}
+
+void Replica::OnOwnershipGrant(NodeId from, const OwnershipGrantMsg& msg) {
+  ObserveBallot(msg.ballot);
+  if (!steal_cb_) return;  // stale or duplicate grant
+  if (steal_timer_ != 0) {
+    sim_->Cancel(steal_timer_);
+    steal_timer_ = 0;
+  }
+  if (!msg.granted) {
+    if (msg.leader_hint != kInvalidNode && msg.leader_hint != id_) {
+      leader_hint_ = msg.leader_hint;
+    }
+    const char* why = msg.reason == StealRefusal::kNotLeader ? "not leader"
+                      : msg.reason == StealRefusal::kBusy
+                          ? "in-flight proposals pending"
+                          : "fast grant outstanding";
+    FinishSteal(Status::FailedPrecondition(std::string("steal refused: ") +
+                                           why));
+    return;
+  }
+  // The incumbent fenced its log. Catch up to its decided prefix before
+  // electing, so the election adopts little and the transfer record
+  // lands right at the fence; a failed catch-up is not fatal because the
+  // prepare round adopts whatever we missed.
+  const SlotId mine = DecidedWatermark();
+  const uint64_t gap = msg.decided_size > mine ? msg.decided_size - mine : 0;
+  StatusCallback next = [this](const Status&) { StealElectAndRecord(); };
+  if (msg.snapshot_ready && snapshot_transfer_ready() &&
+      gap >= config_.steal_snapshot_min_slots) {
+    CatchUpViaSnapshot({from}, std::move(next));
+  } else if (gap > 0) {
+    CatchUpFrom(from, std::move(next));
+  } else {
+    StealElectAndRecord();
+  }
+}
+
+void Replica::StealElectAndRecord() {
+  TryBecomeLeader([this](const Status& st) {
+    if (!st.ok()) {
+      FinishSteal(st);
+      return;
+    }
+    ++counters_.steals_won;
+    Value record = std::move(steal_record_);
+    steal_record_ = Value();
+    Submit(std::move(record),
+           [this](const Status& cst, SlotId, Duration) { FinishSteal(cst); });
+  });
+}
+
+void Replica::FinishSteal(const Status& status) {
+  if (steal_timer_ != 0) {
+    sim_->Cancel(steal_timer_);
+    steal_timer_ = 0;
+  }
+  steal_record_ = Value();
+  if (!steal_cb_) return;
+  auto cb = std::move(steal_cb_);
+  steal_cb_ = nullptr;
+  cb(status);
+}
+
+// -----------------------------------------------------------------------
 // Request forwarding (remote clients)
 
 void Replica::SubmitOrForward(Value value, CommitCallback cb) {
@@ -2190,6 +2341,10 @@ void Replica::HandleMessage(NodeId from, const MessagePtr& msg) {
       return OnHeartbeat(from, static_cast<const HeartbeatMsg&>(m));
     case WireType::kRelinquish:
       return OnRelinquish(from, static_cast<const RelinquishMsg&>(m));
+    case WireType::kStealRequest:
+      return OnStealRequest(from, static_cast<const StealRequestMsg&>(m));
+    case WireType::kOwnershipGrant:
+      return OnOwnershipGrant(from, static_cast<const OwnershipGrantMsg&>(m));
     case WireType::kForward:
       return OnForward(from, static_cast<const ForwardMsg&>(m));
     case WireType::kForwardReply:

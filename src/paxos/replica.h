@@ -76,6 +76,12 @@ struct ProtocolCounters {
   uint64_t fast_fallbacks = 0;  ///< proposer: attempts that left the fast path
   uint64_t fast_votes = 0;      ///< acceptor: fast-round votes cast
   uint64_t fast_conflicts = 0;  ///< leader: conflicting-vote resolutions
+  // Partition ownership steals (docs/PROTOCOL.md §ownership).
+  uint64_t steal_requests_sent = 0;      ///< thief: StealRequest issued
+  uint64_t steal_requests_received = 0;  ///< incumbent: requests + invites
+  uint64_t steals_granted = 0;  ///< incumbent: grants sent (log fenced)
+  uint64_t steals_refused = 0;  ///< incumbent: refusals sent
+  uint64_t steals_won = 0;      ///< thief: takeover elections completed
 };
 
 /// \brief One replica of one partition.
@@ -141,6 +147,33 @@ class Replica {
   /// relinquish message is sent this replica stops acting as leader even
   /// if the message is lost.
   Status HandoffTo(NodeId new_leader);
+
+  /// Partition ownership steal, thief side (docs/PROTOCOL.md
+  /// §ownership): ask `incumbent` to fence its log and grant us the
+  /// partition, catch up to its decided prefix (via snapshot transfer
+  /// when the gap warrants it), win a Leader Election, and commit
+  /// `transfer_record` — an opaque consensus value built by the host,
+  /// normally MakeOwnershipTransferValue — as the first entry of the new
+  /// regime. A refusal fails the callback with FailedPrecondition; a
+  /// lost request/grant or an incumbent crash mid-handoff falls back to
+  /// an ordinary Leader Election after propose_timeout and still commits
+  /// the record on victory.
+  void StealOwnershipFrom(NodeId incumbent, Value transfer_record,
+                          StatusCallback cb);
+
+  /// Ownership steal, incumbent side: invite `thief` to steal this
+  /// partition (the placement sweep runs on the owner, which cannot
+  /// grant to itself). The thief's steal-invite callback decides whether
+  /// to act; the invitation itself changes no state.
+  void InviteSteal(NodeId thief);
+
+  /// Invoked on a replica that received a steal invitation (InviteSteal)
+  /// while not leading and not already mid-steal. The host builds the
+  /// transfer record and calls StealOwnershipFrom(incumbent, ...).
+  using StealInviteCallback = std::function<void(NodeId incumbent)>;
+  void set_steal_invite_callback(StealInviteCallback cb) {
+    steal_invite_cb_ = std::move(cb);
+  }
 
   /// Voluntarily re-run a Leader Election while already leading, with no
   /// in-flight proposals. Declares fresh intents for the CURRENT location
@@ -402,6 +435,8 @@ class Replica {
   void OnHandoffRequest(NodeId from, const HandoffRequestMsg& msg);
   void OnHeartbeat(NodeId from, const HeartbeatMsg& msg);
   void OnRelinquish(NodeId from, const RelinquishMsg& msg);
+  void OnStealRequest(NodeId from, const StealRequestMsg& msg);
+  void OnOwnershipGrant(NodeId from, const OwnershipGrantMsg& msg);
   void OnForward(NodeId from, const ForwardMsg& msg);
   void OnForwardReply(NodeId from, const ForwardReplyMsg& msg);
   void OnFastGrant(NodeId from, const FastGrantMsg& msg);
@@ -516,6 +551,16 @@ class Replica {
   // Handoff state.
   StatusCallback handoff_cb_;
   EventId handoff_timer_ = 0;
+
+  // Ownership steal state (thief side; docs/PROTOCOL.md §ownership).
+  StatusCallback steal_cb_;
+  EventId steal_timer_ = 0;
+  Value steal_record_;  ///< transfer record to commit on victory
+  StealInviteCallback steal_invite_cb_;
+  /// Election + transfer-record commit (grant received, catch-up done,
+  /// or timeout fallback).
+  void StealElectAndRecord();
+  void FinishSteal(const Status& status);
 
   // Failure detector (enable_failure_detector).
   EventId heartbeat_timer_ = 0;   // leader side: periodic beacons

@@ -119,6 +119,14 @@ struct ReplicaConfig {
   /// snapshots in a handful of messages.
   uint64_t snapshot_chunk_bytes = 32768;
 
+  // --- Partition ownership steals (docs/PROTOCOL.md §ownership) -----------
+
+  /// Decided-slot gap above which a granted thief opens its catch-up
+  /// with a snapshot transfer instead of log pages (requires both sides
+  /// snapshot-capable). Mirrors the harness-level snapshot handover
+  /// threshold in ShardedStore.
+  uint64_t steal_snapshot_min_slots = 512;
+
   // --- Log compaction (default off; docs/PROTOCOL.md) ----------------------
 
   /// Allow Compact() to truncate the decided log and release the

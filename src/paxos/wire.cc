@@ -329,6 +329,24 @@ void Encode(W& w, const FastNackMsg& m) {
 }
 
 template <typename W>
+void Encode(W& w, const StealRequestMsg& m) {
+  PutBallot(w, m.ballot);
+  w.PutU32(m.thief_zone);
+  w.PutBool(m.invite);
+}
+
+template <typename W>
+void Encode(W& w, const OwnershipGrantMsg& m) {
+  w.PutBool(m.granted);
+  w.PutU8(static_cast<uint8_t>(m.reason));
+  PutBallot(w, m.ballot);
+  w.PutU64(m.next_slot);
+  w.PutU64(m.decided_size);
+  w.PutBool(m.snapshot_ready);
+  w.PutU32(m.leader_hint);
+}
+
+template <typename W>
 void Encode(W& w, const SnapshotChunkMsg& m) {
   w.PutU64(m.through_slot);
   w.PutU64(m.offset);
@@ -442,6 +460,12 @@ void EncodeBody(W& w, const Message& msg, WireType type) {
       return;
     case WireType::kFastNack:
       Encode(w, static_cast<const FastNackMsg&>(msg));
+      return;
+    case WireType::kStealRequest:
+      Encode(w, static_cast<const StealRequestMsg&>(msg));
+      return;
+    case WireType::kOwnershipGrant:
+      Encode(w, static_cast<const OwnershipGrantMsg&>(msg));
       return;
   }
   DPAXOS_CHECK_MSG(false, "unserializable message " << msg.TypeName());
@@ -749,6 +773,35 @@ MessagePtr DecodeFastNack(ByteReader& r, PartitionId p) {
   return msg;
 }
 
+MessagePtr DecodeStealRequest(ByteReader& r, PartitionId p) {
+  Ballot ballot;
+  uint32_t zone = 0;
+  bool invite = false;
+  if (!ReadBallot(r, &ballot) || !r.ReadU32(&zone) || !r.ReadBool(&invite)) {
+    return nullptr;
+  }
+  return std::make_shared<StealRequestMsg>(p, ballot, zone, invite);
+}
+
+MessagePtr DecodeOwnershipGrant(ByteReader& r, PartitionId p) {
+  bool granted = false;
+  uint8_t reason = 0;
+  Ballot ballot;
+  uint64_t next_slot = 0, decided = 0;
+  bool snapshot_ready = false;
+  uint32_t leader_hint = 0;
+  if (!r.ReadBool(&granted) || !r.ReadU8(&reason) ||
+      reason > static_cast<uint8_t>(StealRefusal::kFastGrant) ||
+      !ReadBallot(r, &ballot) || !r.ReadU64(&next_slot) ||
+      !r.ReadU64(&decided) || !r.ReadBool(&snapshot_ready) ||
+      !r.ReadU32(&leader_hint)) {
+    return nullptr;
+  }
+  return std::make_shared<OwnershipGrantMsg>(
+      p, granted, static_cast<StealRefusal>(reason), ballot, next_slot,
+      decided, snapshot_ready, leader_hint);
+}
+
 MessagePtr DecodeSnapshotRequest(ByteReader& r, PartitionId p) {
   uint64_t offset = 0;
   if (!r.ReadU64(&offset)) return nullptr;
@@ -908,6 +961,12 @@ Result<MessagePtr> DeserializeMessage(std::string_view bytes) {
       break;
     case WireType::kFastNack:
       msg = DecodeFastNack(r, partition);
+      break;
+    case WireType::kStealRequest:
+      msg = DecodeStealRequest(r, partition);
+      break;
+    case WireType::kOwnershipGrant:
+      msg = DecodeOwnershipGrant(r, partition);
       break;
     default:
       return Status::Corruption("unknown wire type tag");

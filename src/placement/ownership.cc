@@ -1,0 +1,121 @@
+#include "placement/ownership.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/codec.h"
+#include "txn/transaction.h"
+
+namespace dpaxos {
+
+namespace {
+
+// Magic prefix of the record key inside the carrier transaction. The
+// version byte rides in the key so a future format change is detectable
+// without a new value tag.
+constexpr char kRecordMagic[] = "\x7fOWN1";
+constexpr size_t kRecordMagicLen = 5;
+
+}  // namespace
+
+Value MakeOwnershipTransferValue(const OwnershipRecord& record,
+                                 uint64_t seq) {
+  std::string key(kRecordMagic, kRecordMagicLen);
+  ByteWriter writer(&key);
+  writer.PutU32(record.partition);
+  writer.PutU32(record.zone);
+  writer.PutU32(record.node);
+  writer.PutU64(record.epoch);
+
+  const uint64_t id = (static_cast<uint64_t>(kOwnershipValueTag) << 56) |
+                      (seq & ((1ULL << 56) - 1));
+  Transaction txn;
+  txn.id = id;  // client_id stays 0: untagged, exempt from dedup
+  txn.ops.push_back(Operation::Get(std::move(key)));
+  return Value::Of(id, EncodeBatch({txn}));
+}
+
+std::optional<OwnershipRecord> DecodeOwnershipRecord(const Value& value) {
+  if (!IsOwnershipValueId(value.id)) return std::nullopt;
+  Result<std::vector<Transaction>> batch = DecodeBatch(value.payload);
+  if (!batch.ok() || batch->size() != 1) return std::nullopt;
+  const Transaction& txn = batch->front();
+  if (txn.ops.size() != 1 ||
+      txn.ops.front().kind != Operation::Kind::kGet) {
+    return std::nullopt;
+  }
+  const std::string& key = txn.ops.front().key;
+  if (key.size() != kRecordMagicLen + 20 ||
+      std::memcmp(key.data(), kRecordMagic, kRecordMagicLen) != 0) {
+    return std::nullopt;
+  }
+  ByteReader reader(std::string_view(key).substr(kRecordMagicLen));
+  OwnershipRecord record;
+  uint32_t partition = 0, zone = 0, node = 0;
+  if (!reader.ReadU32(&partition) || !reader.ReadU32(&zone) ||
+      !reader.ReadU32(&node) || !reader.ReadU64(&record.epoch) ||
+      !reader.AtEnd()) {
+    return std::nullopt;
+  }
+  record.partition = partition;
+  record.zone = zone;
+  record.node = node;
+  return record;
+}
+
+OwnershipDirectory::OwnershipDirectory(uint32_t num_partitions)
+    : entries_(num_partitions) {
+  DPAXOS_CHECK_GT(num_partitions, 0u);
+}
+
+bool OwnershipDirectory::Observe(SlotId slot, const Value& value) {
+  std::optional<OwnershipRecord> record = DecodeOwnershipRecord(value);
+  if (!record) return false;
+  return Observe(slot, *record);
+}
+
+bool OwnershipDirectory::Observe(SlotId slot, const OwnershipRecord& record) {
+  if (record.partition >= entries_.size()) return false;
+  ++records_observed_;
+  Entry& entry = entries_[record.partition];
+  // Slot order is the authority: each partition's transfers are totally
+  // ordered by its own log, so the record at the highest slot wins and
+  // anything at or below what we already hold is a replay.
+  if (entry.valid && slot <= entry.slot) {
+    ++records_stale_;
+    return false;
+  }
+  entry.node = record.node;
+  entry.zone = record.zone;
+  entry.epoch = record.epoch;
+  entry.slot = slot;
+  entry.valid = true;
+  return true;
+}
+
+bool OwnershipDirectory::has_owner(PartitionId partition) const {
+  DPAXOS_CHECK_LT(partition, entries_.size());
+  return entries_[partition].valid;
+}
+
+NodeId OwnershipDirectory::owner_node(PartitionId partition) const {
+  DPAXOS_CHECK_LT(partition, entries_.size());
+  return entries_[partition].valid ? entries_[partition].node : kInvalidNode;
+}
+
+ZoneId OwnershipDirectory::owner_zone(PartitionId partition) const {
+  DPAXOS_CHECK_LT(partition, entries_.size());
+  return entries_[partition].zone;
+}
+
+uint64_t OwnershipDirectory::epoch(PartitionId partition) const {
+  DPAXOS_CHECK_LT(partition, entries_.size());
+  return entries_[partition].epoch;
+}
+
+SlotId OwnershipDirectory::record_slot(PartitionId partition) const {
+  DPAXOS_CHECK_LT(partition, entries_.size());
+  return entries_[partition].slot;
+}
+
+}  // namespace dpaxos

@@ -1,0 +1,112 @@
+// Partition ownership: the directory and the transfer-record codec
+// (docs/PROTOCOL.md §ownership).
+//
+// Ownership is decided IN the partition's own DPaxos log: a protocol
+// steal (Replica::StealOwnershipFrom) concludes with the new owner
+// committing an ownership-transfer record as its first proposal, so
+// every replica learns who owns the partition the same way it learns
+// every other decided value — no side channel, no gossip, and a replica
+// that catches up via snapshot + log replay reconstructs the directory
+// for free.
+//
+// The record rides inside a perfectly ordinary consensus value: a
+// one-transaction batch whose single operation is a Get of a magic key.
+// The KV state machine applies Gets as no-ops, so ownership metadata
+// never perturbs user state, checksums or dedup windows; the directory
+// recognises records cheaply by the tagged top byte of the value id
+// before paying for a batch decode.
+#ifndef DPAXOS_PLACEMENT_OWNERSHIP_H_
+#define DPAXOS_PLACEMENT_OWNERSHIP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "paxos/value.h"
+
+namespace dpaxos {
+
+/// \brief One decided ownership transfer: who owns `partition` now.
+struct OwnershipRecord {
+  PartitionId partition = 0;
+  ZoneId zone = 0;
+  NodeId node = kInvalidNode;
+  /// Transfer count for this partition (observability; ordering comes
+  /// from the log slot, not from the epoch).
+  uint64_t epoch = 0;
+
+  bool operator==(const OwnershipRecord& o) const {
+    return partition == o.partition && zone == o.zone && node == o.node &&
+           epoch == o.epoch;
+  }
+};
+
+/// Top byte of every transfer value's id. Client value ids are
+/// `((node + 1) << 40) | seq` (top byte 0) and the no-op filler is id 0,
+/// so the tag alone rules out non-records without touching the payload.
+inline constexpr uint8_t kOwnershipValueTag = 0xD1;
+
+inline bool IsOwnershipValueId(uint64_t id) {
+  return (id >> 56) == kOwnershipValueTag;
+}
+
+/// Build the consensus value that records `record` in the log. `seq`
+/// disambiguates successive transfers proposed by the same node (it
+/// lands in the low bits of the value id).
+Value MakeOwnershipTransferValue(const OwnershipRecord& record, uint64_t seq);
+
+/// Decode a transfer record from a decided value. nullopt for anything
+/// that is not a well-formed record (wrong id tag, undecodable batch,
+/// wrong shape, bad magic) — hostile or foreign values are never an
+/// error, just not records.
+std::optional<OwnershipRecord> DecodeOwnershipRecord(const Value& value);
+
+/// \brief Per-partition ownership learned from decided transfer records.
+///
+/// Records apply in slot order: an Observe with a slot at or below the
+/// partition's last recorded slot is stale (a replay or an out-of-order
+/// decide) and is counted but not applied. The directory is a pure
+/// learner — it never initiates anything.
+class OwnershipDirectory {
+ public:
+  explicit OwnershipDirectory(uint32_t num_partitions);
+
+  /// Feed one decided (slot, value). Returns true iff the value was a
+  /// transfer record for a known partition and it advanced the entry.
+  bool Observe(SlotId slot, const Value& value);
+
+  /// Same, for a record already decoded by the caller.
+  bool Observe(SlotId slot, const OwnershipRecord& record);
+
+  bool has_owner(PartitionId partition) const;
+  NodeId owner_node(PartitionId partition) const;
+  /// Only meaningful when has_owner(partition).
+  ZoneId owner_zone(PartitionId partition) const;
+  uint64_t epoch(PartitionId partition) const;
+  /// Slot of the record currently governing `partition` (0 = none).
+  SlotId record_slot(PartitionId partition) const;
+
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(entries_.size());
+  }
+  uint64_t records_observed() const { return records_observed_; }
+  uint64_t records_stale() const { return records_stale_; }
+
+ private:
+  struct Entry {
+    NodeId node = kInvalidNode;
+    ZoneId zone = 0;
+    uint64_t epoch = 0;
+    SlotId slot = 0;
+    bool valid = false;
+  };
+
+  std::vector<Entry> entries_;
+  uint64_t records_observed_ = 0;
+  uint64_t records_stale_ = 0;
+};
+
+}  // namespace dpaxos
+
+#endif  // DPAXOS_PLACEMENT_OWNERSHIP_H_

@@ -1,0 +1,150 @@
+// Mobility: the placement layer must chase a moving client (the simperf
+// mobility cell's gate) without ping-ponging ownership when traffic is
+// genuinely split between zones.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/perf_counters.h"
+#include "directory/sharded_store.h"
+#include "harness/cluster.h"
+#include "harness/simperf.h"
+
+namespace dpaxos {
+namespace {
+
+std::unique_ptr<Cluster> MakeCluster() {
+  ClusterOptions options;
+  options.replica.le_timeout = 30 * kSecond;
+  return std::make_unique<Cluster>(Topology::AwsSevenZones(),
+                                   ProtocolMode::kLeaderZone, options);
+}
+
+ShardedStore MakeStore(Cluster& cluster, ShardedStore::Options options) {
+  options.num_partitions = 1;
+  options.ownership = true;
+  return ShardedStore(
+      &cluster.sim(), &cluster.topology(),
+      [&cluster](NodeId n, PartitionId p) { return cluster.replica(n, p); },
+      options);
+}
+
+Result<Duration> RunPut(Cluster& cluster, ShardedStore& store, uint64_t id,
+                        ZoneId zone) {
+  Transaction txn;
+  txn.id = id;
+  txn.ops = {Operation::Put("k", "v")};
+  std::optional<Status> done;
+  Duration latency = 0;
+  store.Execute(txn, zone, [&](const Status& st, Duration lat) {
+    done = st;
+    latency = lat;
+  });
+  while (!done.has_value() && cluster.sim().Step()) {
+  }
+  if (!done.has_value()) return Status::Internal("no progress");
+  if (!done->ok()) return *done;
+  return latency;
+}
+
+// A steady 50/50 split between two distant zones must be held by
+// hysteresis alone: moving the leader between California and Mumbai
+// changes nothing for a balanced workload, so the advisor never
+// recommends it and ownership never oscillates.
+TEST(MobilityPlacementTest, Oscillating5050TrafficDoesNotPingPong) {
+  auto cluster = MakeCluster();
+  ShardedStore::Options sopts;
+  sopts.stats_half_life = 3600 * kSecond;  // no decay-driven drift
+  ShardedStore store = MakeStore(*cluster, sopts);
+
+  const PerfCounters before = SnapshotPerfCounters();
+  // Claim, then alternate strictly between zone 0 and zone 6.
+  uint64_t id = 1;
+  ASSERT_TRUE(RunPut(*cluster, store, id++, 0).ok());
+  for (int i = 0; i < 40; ++i) {
+    cluster->sim().RunFor(kSecond);
+    Result<Duration> r = RunPut(*cluster, store, id++, i % 2 == 0 ? 6 : 0);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  // Exactly the first claim; no move ever cleared hysteresis, so the
+  // cooldown never even had to fire.
+  EXPECT_EQ(store.steals(), 1u);
+  EXPECT_EQ(store.directory().epoch(0), 1u);
+  const PerfCounters after = SnapshotPerfCounters();
+  EXPECT_EQ(after.placement_pingpongs_suppressed -
+                before.placement_pingpongs_suppressed,
+            0u);
+  EXPECT_EQ(
+      after.placement_steals_completed - before.placement_steals_completed,
+      1u);
+}
+
+// Alternating BURSTS (not a steady split) do clear hysteresis each time
+// the trailing window flips; the post-steal cooldown is what stops the
+// partition from ping-ponging, and every suppressed move is counted.
+TEST(MobilityPlacementTest, AlternatingBurstsSuppressedByCooldown) {
+  auto cluster = MakeCluster();
+  ShardedStore::Options sopts;
+  sopts.stats_half_life = 5 * kSecond;  // forget the old zone quickly
+  sopts.steal_cooldown = 600 * kSecond;
+  ShardedStore store = MakeStore(*cluster, sopts);
+
+  const PerfCounters before = SnapshotPerfCounters();
+  uint64_t id = 1;
+  ASSERT_TRUE(RunPut(*cluster, store, id++, 0).ok());
+  // Four alternating 10-op bursts, 2s apart: each burst shifts the
+  // access center entirely, so the advisor recommends a move every
+  // burst — but inside the cooldown only the counter moves.
+  for (int burst = 0; burst < 4; ++burst) {
+    const ZoneId zone = burst % 2 == 0 ? 6 : 0;
+    for (int i = 0; i < 10; ++i) {
+      cluster->sim().RunFor(2 * kSecond);
+      ASSERT_TRUE(RunPut(*cluster, store, id++, zone).ok());
+    }
+  }
+  EXPECT_EQ(store.steals(), 1u);  // the claim; every move was suppressed
+  const PerfCounters after = SnapshotPerfCounters();
+  EXPECT_GE(after.placement_pingpongs_suppressed -
+                before.placement_pingpongs_suppressed,
+            1u);
+}
+
+// The BENCH_simperf mobility cell end-to-end in smoke mode: the adaptive
+// track must steal ownership along the client's tour and return commit
+// latency to near-local in every post-move segment, while the static
+// track stays pinned to the origin zone.
+TEST(MobilityPlacementTest, SimperfMobilitySmokeTracksClient) {
+  SimperfOptions options;
+  options.smoke = true;
+  const SimperfMobilityReport report = RunSimperfMobility(options);
+  EXPECT_EQ(report.zones, 3u);
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_FALSE(report.cells[0].adaptive);
+  EXPECT_TRUE(report.cells[1].adaptive);
+  ASSERT_EQ(report.cells[0].segments.size(), report.cells[1].segments.size());
+  EXPECT_GE(report.cells[0].segments.size(), 3u);
+
+  // The adaptive cell stole the partition toward at least the two later
+  // zones and learned the transfers from decided records.
+  EXPECT_GE(report.cells[1].steals, 2u);
+  EXPECT_GE(report.cells[1].ownership_records, 2u);
+  // The static cell never moved.
+  EXPECT_EQ(report.cells[0].steals, 1u);
+
+  // The headline gate: post-move tail p50 near-local for the adaptive
+  // cell, at least 2x better than the static leader's WAN latency.
+  EXPECT_TRUE(report.adaptive_tracks_client);
+  for (size_t s = 1; s < report.cells[1].segments.size(); ++s) {
+    const SimperfMobilitySegment& adaptive = report.cells[1].segments[s];
+    const SimperfMobilitySegment& pinned = report.cells[0].segments[s];
+    ASSERT_GT(adaptive.tail_ops, 0u);
+    ASSERT_GT(pinned.tail_ops, 0u);
+    EXPECT_LT(adaptive.tail_p50_ms * 2, pinned.tail_p50_ms)
+        << "segment " << s << " did not return to near-local latency";
+  }
+}
+
+}  // namespace
+}  // namespace dpaxos

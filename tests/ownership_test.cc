@@ -1,0 +1,428 @@
+// Partition ownership (docs/PROTOCOL.md §ownership): the transfer-record
+// codec, the OwnershipDirectory learner, and the protocol-level steal —
+// StealRequest/OwnershipGrant exchange, refusals, the crash-mid-steal
+// election fallback, and the placement counters the store keeps.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/perf_counters.h"
+#include "directory/sharded_store.h"
+#include "harness/cluster.h"
+#include "placement/ownership.h"
+
+namespace dpaxos {
+namespace {
+
+OwnershipRecord SampleRecord() {
+  OwnershipRecord record;
+  record.partition = 3;
+  record.zone = 6;
+  record.node = 19;
+  record.epoch = 7;
+  return record;
+}
+
+TEST(OwnershipRecordTest, RoundTripsThroughCarrierValue) {
+  const OwnershipRecord record = SampleRecord();
+  const Value value = MakeOwnershipTransferValue(record, /*seq=*/42);
+  EXPECT_TRUE(IsOwnershipValueId(value.id));
+  const std::optional<OwnershipRecord> decoded =
+      DecodeOwnershipRecord(value);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(OwnershipRecordTest, SequenceDisambiguatesValueIds) {
+  const Value a = MakeOwnershipTransferValue(SampleRecord(), 1);
+  const Value b = MakeOwnershipTransferValue(SampleRecord(), 2);
+  EXPECT_NE(a.id, b.id);
+  EXPECT_TRUE(IsOwnershipValueId(a.id));
+  EXPECT_TRUE(IsOwnershipValueId(b.id));
+}
+
+TEST(OwnershipRecordTest, OrdinaryValuesAreNotRecords) {
+  // Client ids have a zero top byte; the tag check alone rejects them.
+  EXPECT_FALSE(DecodeOwnershipRecord(Value::Of(7, "payload")).has_value());
+  EXPECT_FALSE(DecodeOwnershipRecord(Value()).has_value());
+  // The no-op filler (id 0) is not a record either.
+  EXPECT_FALSE(DecodeOwnershipRecord(Value::Of(0, "")).has_value());
+}
+
+TEST(OwnershipRecordTest, HostileTaggedValuesDecodeToNothing) {
+  const uint64_t tagged_id = (static_cast<uint64_t>(kOwnershipValueTag)
+                              << 56) |
+                             99;
+  // Tagged id but garbage payload: not a batch at all.
+  EXPECT_FALSE(
+      DecodeOwnershipRecord(Value::Of(tagged_id, "garbage")).has_value());
+  // Tagged id with an empty payload.
+  EXPECT_FALSE(DecodeOwnershipRecord(Value::Of(tagged_id, "")).has_value());
+  // A well-formed record whose key is truncated/extended by one byte
+  // must be rejected by the length check, never mis-decoded.
+  const Value good = MakeOwnershipTransferValue(SampleRecord(), 1);
+  for (int delta : {-1, 1}) {
+    Result<std::vector<Transaction>> batch = DecodeBatch(good.payload);
+    ASSERT_TRUE(batch.ok());
+    Transaction txn = batch->front();
+    std::string key = txn.ops.front().key;
+    if (delta < 0) {
+      key.pop_back();
+    } else {
+      key.push_back('\x00');
+    }
+    txn.ops.front() = Operation::Get(key);
+    EXPECT_FALSE(
+        DecodeOwnershipRecord(Value::Of(good.id, EncodeBatch({txn})))
+            .has_value());
+  }
+  // Right shape but a Put instead of a Get: wrong carrier op.
+  {
+    Result<std::vector<Transaction>> batch = DecodeBatch(good.payload);
+    ASSERT_TRUE(batch.ok());
+    Transaction txn = batch->front();
+    txn.ops.front() = Operation::Put(txn.ops.front().key, "");
+    EXPECT_FALSE(
+        DecodeOwnershipRecord(Value::Of(good.id, EncodeBatch({txn})))
+            .has_value());
+  }
+}
+
+TEST(OwnershipDirectoryTest, AppliesRecordsInSlotOrder) {
+  OwnershipDirectory directory(4);
+  EXPECT_FALSE(directory.has_owner(2));
+  EXPECT_EQ(directory.owner_node(2), kInvalidNode);
+
+  OwnershipRecord first{2, 1, 5, 1};
+  EXPECT_TRUE(directory.Observe(10, first));
+  EXPECT_TRUE(directory.has_owner(2));
+  EXPECT_EQ(directory.owner_node(2), 5u);
+  EXPECT_EQ(directory.owner_zone(2), 1u);
+  EXPECT_EQ(directory.epoch(2), 1u);
+  EXPECT_EQ(directory.record_slot(2), 10u);
+
+  // A later slot advances the entry; the same or an earlier slot is a
+  // replay and changes nothing.
+  OwnershipRecord second{2, 3, 11, 2};
+  EXPECT_TRUE(directory.Observe(20, second));
+  EXPECT_EQ(directory.owner_node(2), 11u);
+  OwnershipRecord replay{2, 0, 99, 9};
+  EXPECT_FALSE(directory.Observe(20, replay));
+  EXPECT_FALSE(directory.Observe(15, replay));
+  EXPECT_EQ(directory.owner_node(2), 11u);
+  EXPECT_EQ(directory.records_observed(), 4u);
+  EXPECT_EQ(directory.records_stale(), 2u);
+}
+
+TEST(OwnershipDirectoryTest, RejectsOutOfRangePartitions) {
+  OwnershipDirectory directory(2);
+  // A hostile record naming a partition the directory does not track is
+  // dropped without counting, crashing, or touching any entry.
+  for (PartitionId p : {2u, 31u, 0xFFFFFFFFu}) {
+    OwnershipRecord hostile{p, 0, 1, 1};
+    EXPECT_FALSE(directory.Observe(5, hostile));
+  }
+  EXPECT_EQ(directory.records_observed(), 0u);
+  EXPECT_FALSE(directory.has_owner(0));
+  EXPECT_FALSE(directory.has_owner(1));
+}
+
+// --- protocol-level steals in the simulator ----------------------------
+
+ClusterOptions StealOptions() {
+  ClusterOptions options;
+  // Handoff/steal elections recover mid-flight state; the default 2s
+  // le_timeout can preempt them under WAN RTTs.
+  options.replica.le_timeout = 30 * kSecond;
+  return options;
+}
+
+class ProtocolStealTest : public ::testing::TestWithParam<ProtocolMode> {};
+
+TEST_P(ProtocolStealTest, StealTransfersLeadershipAndCommitsRecord) {
+  Cluster cluster(Topology::AwsSevenZones(), GetParam(), StealOptions());
+  const NodeId incumbent = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(incumbent).ok());
+  for (uint64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(cluster.Commit(incumbent, Value::Of(i, "v")).ok());
+  }
+
+  const NodeId thief = cluster.NodeInZone(6);
+  Replica* thief_replica = cluster.replica(thief);
+  thief_replica->PrimeBallot(cluster.replica(incumbent)->ballot());
+  const OwnershipRecord record{0, 6, thief, 1};
+  std::optional<Status> done;
+  thief_replica->StealOwnershipFrom(
+      incumbent, MakeOwnershipTransferValue(record, 1),
+      [&](const Status& st) { done = st; });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done.has_value(); },
+                               120 * kSecond));
+  ASSERT_TRUE(done->ok()) << done->ToString();
+  EXPECT_TRUE(thief_replica->is_leader());
+  EXPECT_FALSE(cluster.replica(incumbent)->is_leader());
+
+  // The exchange ran (no timeout fallback) and the thief's first decided
+  // entry past the adopted prefix is the transfer record.
+  EXPECT_EQ(thief_replica->counters().steal_requests_sent, 1u);
+  EXPECT_EQ(thief_replica->counters().steals_won, 1u);
+  EXPECT_EQ(cluster.replica(incumbent)->counters().steal_requests_received,
+            1u);
+  EXPECT_EQ(cluster.replica(incumbent)->counters().steals_granted, 1u);
+  bool found = false;
+  for (const auto& [slot, value] : thief_replica->decided()) {
+    const std::optional<OwnershipRecord> decoded =
+        DecodeOwnershipRecord(value);
+    if (decoded.has_value()) {
+      EXPECT_EQ(*decoded, record);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // The stolen partition still serves.
+  EXPECT_TRUE(cluster.Commit(thief, Value::Of(10, "after")).ok());
+}
+
+TEST_P(ProtocolStealTest, IncumbentCrashMidStealFallsBackToElection) {
+  Cluster cluster(Topology::AwsSevenZones(), GetParam(), StealOptions());
+  const NodeId incumbent = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(incumbent).ok());
+  ASSERT_TRUE(cluster.Commit(incumbent, Value::Of(1, "v")).ok());
+
+  // The incumbent dies before it can answer: the StealRequest blackholes
+  // and after propose_timeout the thief falls back to an ordinary
+  // election, which preempts the dead leader's ballot and still commits
+  // the transfer record.
+  cluster.transport().Crash(incumbent);
+  const NodeId thief = cluster.NodeInZone(6);
+  Replica* thief_replica = cluster.replica(thief);
+  thief_replica->PrimeBallot(cluster.replica(incumbent)->ballot());
+  const OwnershipRecord record{0, 6, thief, 1};
+  std::optional<Status> done;
+  thief_replica->StealOwnershipFrom(
+      incumbent, MakeOwnershipTransferValue(record, 1),
+      [&](const Status& st) { done = st; });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done.has_value(); },
+                               120 * kSecond));
+  ASSERT_TRUE(done->ok()) << done->ToString();
+  EXPECT_TRUE(thief_replica->is_leader());
+  // No grant ever arrived; the win came from the fallback election.
+  EXPECT_EQ(thief_replica->counters().steals_won, 1u);
+  bool found = false;
+  for (const auto& [slot, value] : thief_replica->decided()) {
+    if (DecodeOwnershipRecord(value).has_value()) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(cluster.Commit(thief, Value::Of(2, "after")).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ProtocolStealTest,
+    ::testing::Values(ProtocolMode::kMultiPaxos, ProtocolMode::kLeaderZone),
+    [](const ::testing::TestParamInfo<ProtocolMode>& info) {
+      std::string name = ProtocolModeName(info.param);
+      std::erase(name, '-');
+      return name;
+    });
+
+TEST(ProtocolStealTest, FastGrantOutstandingRefusesSteal) {
+  ClusterOptions options = StealOptions();
+  options.replica.enable_fast_path = true;
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kMultiPaxos,
+                  options);
+  const NodeId incumbent = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(incumbent).ok());
+  cluster.sim().RunFor(2 * kSecond);  // let the fast grant broadcast land
+  ASSERT_TRUE(cluster.replica(incumbent)->fast_grant().valid());
+
+  const NodeId thief = cluster.NodeInZone(6);
+  Replica* thief_replica = cluster.replica(thief);
+  std::optional<Status> done;
+  thief_replica->StealOwnershipFrom(
+      incumbent, MakeOwnershipTransferValue({0, 6, thief, 1}, 1),
+      [&](const Status& st) { done = st; });
+  ASSERT_TRUE(cluster.RunUntil([&] { return done.has_value(); },
+                               60 * kSecond));
+  // With fast commits possibly unobserved by the incumbent, only an
+  // election may take over — the steal is refused, not granted.
+  EXPECT_TRUE(done->IsFailedPrecondition()) << done->ToString();
+  EXPECT_FALSE(thief_replica->is_leader());
+  EXPECT_TRUE(cluster.replica(incumbent)->is_leader());
+  EXPECT_EQ(cluster.replica(incumbent)->counters().steals_refused, 1u);
+  EXPECT_EQ(cluster.replica(incumbent)->counters().steals_granted, 0u);
+}
+
+TEST(ProtocolStealTest, InviteStealFiresHostCallback) {
+  Cluster cluster(Topology::AwsSevenZones(), ProtocolMode::kLeaderZone,
+                  StealOptions());
+  const NodeId incumbent = cluster.NodeInZone(0);
+  ASSERT_TRUE(cluster.ElectLeader(incumbent).ok());
+
+  const NodeId thief = cluster.NodeInZone(3);
+  std::optional<NodeId> invited_by;
+  cluster.replica(thief)->set_steal_invite_callback(
+      [&](NodeId from) { invited_by = from; });
+  // A leader ignores invitations addressed to itself.
+  std::optional<NodeId> self_invited;
+  cluster.replica(incumbent)->set_steal_invite_callback(
+      [&](NodeId from) { self_invited = from; });
+
+  cluster.replica(incumbent)->InviteSteal(thief);
+  cluster.replica(incumbent)->InviteSteal(incumbent);  // no-op
+  ASSERT_TRUE(
+      cluster.RunUntil([&] { return invited_by.has_value(); }, 10 * kSecond));
+  EXPECT_EQ(*invited_by, incumbent);
+  cluster.sim().RunFor(5 * kSecond);
+  EXPECT_FALSE(self_invited.has_value());
+}
+
+// --- the store's ownership mode ----------------------------------------
+
+constexpr uint32_t kPartitions = 2;
+
+std::unique_ptr<Cluster> MakeOwnershipCluster(
+    ClusterOptions options = StealOptions()) {
+  options.partitions.clear();
+  for (uint32_t p = 0; p < kPartitions; ++p) options.partitions.push_back(p);
+  return std::make_unique<Cluster>(Topology::AwsSevenZones(),
+                                   ProtocolMode::kLeaderZone, options);
+}
+
+ShardedStore MakeOwnershipStore(Cluster& cluster,
+                                ShardedStore::Options options = {}) {
+  options.num_partitions = kPartitions;
+  options.ownership = true;
+  return ShardedStore(
+      &cluster.sim(), &cluster.topology(),
+      [&cluster](NodeId n, PartitionId p) { return cluster.replica(n, p); },
+      options);
+}
+
+std::string KeyIn(const ShardedStore& store, PartitionId partition) {
+  for (int i = 0;; ++i) {
+    std::string key = "key" + std::to_string(i);
+    if (store.PartitionOf(key) == partition) return key;
+  }
+}
+
+Transaction TxnOn(uint64_t id, const std::string& key) {
+  Transaction txn;
+  txn.id = id;
+  txn.ops = {Operation::Put(key, "v")};
+  return txn;
+}
+
+Result<Duration> RunTxn(Cluster& cluster, ShardedStore& store,
+                        const Transaction& txn, ZoneId zone) {
+  std::optional<Status> done;
+  Duration latency = 0;
+  store.Execute(txn, zone, [&](const Status& st, Duration lat) {
+    done = st;
+    latency = lat;
+  });
+  while (!done.has_value() && cluster.sim().Step()) {
+  }
+  if (!done.has_value()) return Status::Internal("no progress");
+  if (!done->ok()) return *done;
+  return latency;
+}
+
+TEST(OwnershipStoreTest, StealGoesThroughProtocolAndFeedsDirectory) {
+  auto cluster = MakeOwnershipCluster();
+  ShardedStore::Options sopts;
+  sopts.auto_steal = false;
+  ShardedStore store = MakeOwnershipStore(*cluster, sopts);
+
+  const PerfCounters before = SnapshotPerfCounters();
+  // First access claims partition 1 for zone 2 — already a protocol
+  // steal: the claim commits a transfer record the directory learns.
+  ASSERT_TRUE(RunTxn(*cluster, store, TxnOn(1, KeyIn(store, 1)), 2).ok());
+  ASSERT_TRUE(store.directory().has_owner(1));
+  EXPECT_EQ(cluster->topology().ZoneOf(store.directory().owner_node(1)), 2u);
+  EXPECT_EQ(store.directory().epoch(1), 1u);
+
+  // A manual steal to zone 5 runs the StealRequest/OwnershipGrant
+  // exchange against the incumbent and bumps the epoch.
+  std::optional<Status> stolen;
+  store.Steal(1, 5, [&](const Status& st) { stolen = st; });
+  ASSERT_TRUE(
+      cluster->RunUntil([&] { return stolen.has_value(); }, 120 * kSecond));
+  ASSERT_TRUE(stolen->ok()) << stolen->ToString();
+  EXPECT_EQ(cluster->topology().ZoneOf(store.directory().owner_node(1)), 5u);
+  EXPECT_EQ(store.directory().epoch(1), 2u);
+  EXPECT_EQ(store.LeaderOf(1), store.directory().owner_node(1));
+  const NodeId owner = store.directory().owner_node(1);
+  EXPECT_GE(cluster->replica(owner, 1)->counters().steals_won, 1u);
+
+  const PerfCounters after = SnapshotPerfCounters();
+  EXPECT_EQ(after.placement_steals_attempted -
+                before.placement_steals_attempted,
+            2u);
+  EXPECT_EQ(after.placement_steals_completed -
+                before.placement_steals_completed,
+            2u);
+
+  // Routing follows the directory: a zone-5 access is now local-fast.
+  Result<Duration> local = RunTxn(*cluster, store, TxnOn(2, KeyIn(store, 1)),
+                                  5);
+  ASSERT_TRUE(local.ok());
+  EXPECT_LT(local.value(), FromMillis(20));
+}
+
+TEST(OwnershipStoreTest, ObserveDecidedIgnoresCrossPartitionRecords) {
+  auto cluster = MakeOwnershipCluster();
+  ShardedStore::Options sopts;
+  sopts.auto_steal = false;
+  ShardedStore store = MakeOwnershipStore(*cluster, sopts);
+  ASSERT_TRUE(RunTxn(*cluster, store, TxnOn(1, KeyIn(store, 0)), 0).ok());
+  const NodeId owner = store.directory().owner_node(0);
+  ASSERT_NE(owner, kInvalidNode);
+
+  // A record naming partition 1 decided inside partition 0's log would
+  // cross-wire the slot ordering; ObserveDecided must drop it.
+  const Value hostile = MakeOwnershipTransferValue({1, 6, 19, 5}, 99);
+  store.ObserveDecided(0, /*slot=*/1000, hostile);
+  EXPECT_FALSE(store.directory().has_owner(1));
+  // Same for an out-of-range partition id.
+  const Value bogus = MakeOwnershipTransferValue({77, 6, 19, 5}, 100);
+  store.ObserveDecided(0, /*slot=*/1001, bogus);
+  EXPECT_EQ(store.directory().owner_node(0), owner);
+}
+
+TEST(OwnershipStoreTest, FastGrantRefusalCountsAsRejected) {
+  ClusterOptions copts = StealOptions();
+  copts.replica.enable_fast_path = true;
+  auto cluster = MakeOwnershipCluster(copts);
+  ShardedStore::Options sopts;
+  sopts.auto_steal = false;
+  ShardedStore store = MakeOwnershipStore(*cluster, sopts);
+  ASSERT_TRUE(RunTxn(*cluster, store, TxnOn(1, KeyIn(store, 0)), 0).ok());
+  cluster->sim().RunFor(2 * kSecond);  // fast grant broadcast lands
+  ASSERT_TRUE(
+      cluster->replica(store.directory().owner_node(0), 0)->fast_grant()
+          .valid());
+
+  const PerfCounters before = SnapshotPerfCounters();
+  std::optional<Status> stolen;
+  store.Steal(0, 6, [&](const Status& st) { stolen = st; });
+  ASSERT_TRUE(
+      cluster->RunUntil([&] { return stolen.has_value(); }, 60 * kSecond));
+  EXPECT_TRUE(stolen->IsFailedPrecondition()) << stolen->ToString();
+  const PerfCounters after = SnapshotPerfCounters();
+  EXPECT_EQ(after.placement_steals_attempted -
+                before.placement_steals_attempted,
+            1u);
+  EXPECT_EQ(
+      after.placement_steals_rejected - before.placement_steals_rejected,
+      1u);
+  EXPECT_EQ(
+      after.placement_steals_completed - before.placement_steals_completed,
+      0u);
+  // Ownership did not move.
+  EXPECT_EQ(cluster->topology().ZoneOf(store.directory().owner_node(0)), 0u);
+}
+
+}  // namespace
+}  // namespace dpaxos

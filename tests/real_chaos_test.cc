@@ -141,6 +141,45 @@ TEST(RealChaosTest, FastPathCommitsAndFallbacksStayLinearizable) {
   EXPECT_GT(report.proxy.total_faults(), 0u);
 }
 
+// The mobility cell: --ownership servers under the "mobility" schedule,
+// the one schedule that deliberately SIGKILLs node 0 (the leader hint /
+// presumed incumbent owner). The checked clients start parked in zone 0
+// and migrate to zone 1 AFTER the kill, so the protocol steal their
+// traffic provokes finds its incumbent already dead: the thief's
+// StealRequest times out into an ordinary takeover election that still
+// commits the ownership-transfer record, and the restarted incumbent
+// rejoins as a follower learning the new owner from its own log. The
+// same linearizability + session checkers judge the history across the
+// transfer.
+TEST(RealChaosTest, MobilityScheduleStealsFromDeadIncumbent) {
+  RealChaosOptions options;
+  options.server_binary = DPAXOS_CLI_PATH;
+  options.mode = ProtocolMode::kLeaderZone;
+  options.schedule = "mobility";
+  options.seed = 42;
+  options.duration = 10 * kSecond;
+  options.num_clients = 4;
+  options.log_dir = TestLogDir();
+
+  RealChaosReport report = RunRealChaos(options);
+  SCOPED_TRACE(report.Summary());
+
+  EXPECT_TRUE(report.error.empty()) << report.error;
+  EXPECT_TRUE(report.consistency.ok());
+  EXPECT_TRUE(report.converged);
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.ops_committed, 0u);
+  // The incumbent really was killed and restarted...
+  EXPECT_GE(report.nemesis_kills, 1u);
+  EXPECT_GE(report.nemesis_restarts, 1u);
+  // ...and ownership moved through the protocol, not around it: a steal
+  // was attempted, its takeover election won, and the transfer record
+  // was decided into the partition's log.
+  EXPECT_GE(report.steals_attempted, 1u);
+  EXPECT_GE(report.steals_won, 1u);
+  EXPECT_GE(report.ownership_records, 1u);
+}
+
 // The durability cell: a durable (WAL-backed) cluster under the "disk"
 // schedule — lying fsyncs, a torn write and a fsync EIO that panic the
 // victim (recovered from its own WAL on restart), capped by a

@@ -101,6 +101,17 @@ std::vector<std::string> Corpus() {
   fast_nack.leader_hint = 3;
   corpus.push_back(SerializeMessage(fast_nack));
 
+  // Ownership steal messages (tags 35-36): the request is the smallest
+  // flag-bearing message, the grant carries an enum byte the decoder
+  // range-checks.
+  StealRequestMsg steal(1, Ballot{9, 3}, /*zone=*/4, /*inv=*/false);
+  corpus.push_back(SerializeMessage(steal));
+
+  OwnershipGrantMsg grant(1, /*g=*/true, StealRefusal::kNone, Ballot{9, 3},
+                          /*next=*/70, /*decided=*/69, /*snap=*/true,
+                          /*hint=*/2);
+  corpus.push_back(SerializeMessage(grant));
+
   return corpus;
 }
 
@@ -178,6 +189,38 @@ TEST(WireFuzzTest, HostileLengthPrefixes) {
       hostile[pos + 2] = '\xff';
       hostile[pos + 3] = '\xff';
       DecodeMustNotCrash(hostile);
+    }
+  }
+}
+
+// A hostile peer can put ANY partition id in a StealRequest — the codec
+// is partition-agnostic by design (the header carries a raw u32), so the
+// decode must succeed structurally and hand the bogus id up unchanged
+// for the replica/server layer to drop. What must never happen is a
+// crash, a clamp, or a re-encode mismatch.
+TEST(WireFuzzTest, HostileStealRequestPartitionIds) {
+  const PartitionId hostile_ids[] = {1, 31, 1u << 20, 0x7FFFFFFFu,
+                                     0xFFFFFFFFu};
+  for (PartitionId p : hostile_ids) {
+    StealRequestMsg m(p, Ballot{0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFu},
+                      /*zone=*/0xFFFFFFFFu, /*inv=*/false);
+    const std::string bytes = SerializeMessage(m);
+    Result<MessagePtr> decoded = DeserializeMessage(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    auto typed =
+        std::dynamic_pointer_cast<const StealRequestMsg>(decoded.value());
+    ASSERT_NE(typed, nullptr);
+    EXPECT_EQ(typed->partition, p);  // no clamping — rejection is upstairs
+    EXPECT_EQ(SerializeMessage(*typed), bytes);
+    // Then every truncation and byte-flip of the hostile specimen stays
+    // clean too.
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      DecodeMustNotCrash(bytes.substr(0, cut));
+    }
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      std::string flipped = bytes;
+      flipped[i] = static_cast<char>(flipped[i] ^ 0x80);
+      DecodeMustNotCrash(flipped);
     }
   }
 }

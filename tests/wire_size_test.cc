@@ -106,6 +106,12 @@ TEST(WireSizeTest, AllMessageTypes) {
     m.leader_hint = 3;
     CheckSize(m);
   }
+  CheckSize(StealRequestMsg(1, Ballot{5, 2}, 4, false));
+  CheckSize(StealRequestMsg(1, Ballot{5, 2}, 4, true));
+  CheckSize(OwnershipGrantMsg(1, true, StealRefusal::kNone, Ballot{5, 2}, 40,
+                              39, true, 2));
+  CheckSize(OwnershipGrantMsg(1, false, StealRefusal::kFastGrant,
+                              Ballot{5, 2}, 0, 0, false, 7));
 }
 
 TEST(WireSizeTest, SyntheticValuesKeepTheirModelledSize) {

@@ -202,6 +202,55 @@ TEST(WireTest, LeaderZoneMessagesRoundTrip) {
   RoundTrip(LzAnnounceMsg(0, SampleView()));
 }
 
+TEST(WireTest, OwnershipMessagesRoundTrip) {
+  {
+    StealRequestMsg m(3, Ballot{12, 4}, /*zone=*/6, /*inv=*/false);
+    auto rt = RoundTrip(m);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->ballot, (Ballot{12, 4}));
+    EXPECT_EQ(rt->thief_zone, 6u);
+    EXPECT_FALSE(rt->invite);
+  }
+  {
+    StealRequestMsg m(0, Ballot{1, 0}, 2, /*inv=*/true);
+    auto rt = RoundTrip(m);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_TRUE(rt->invite);
+  }
+  {
+    OwnershipGrantMsg m(3, /*g=*/true, StealRefusal::kNone, Ballot{12, 4},
+                        /*next=*/88, /*decided=*/87, /*snap=*/true,
+                        /*hint=*/4);
+    auto rt = RoundTrip(m);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_TRUE(rt->granted);
+    EXPECT_EQ(rt->reason, StealRefusal::kNone);
+    EXPECT_EQ(rt->ballot, (Ballot{12, 4}));
+    EXPECT_EQ(rt->next_slot, 88u);
+    EXPECT_EQ(rt->decided_size, 87u);
+    EXPECT_TRUE(rt->snapshot_ready);
+    EXPECT_EQ(rt->leader_hint, 4u);
+  }
+  {
+    // Every refusal reason survives the codec; an out-of-range reason
+    // byte must be rejected, not silently clamped.
+    for (StealRefusal r : {StealRefusal::kNotLeader, StealRefusal::kBusy,
+                           StealRefusal::kFastGrant}) {
+      OwnershipGrantMsg m(1, false, r, Ballot{5, 5}, 0, 0, false, 9);
+      auto rt = RoundTrip(m);
+      ASSERT_NE(rt, nullptr);
+      EXPECT_FALSE(rt->granted);
+      EXPECT_EQ(rt->reason, r);
+    }
+    OwnershipGrantMsg bad(1, false, StealRefusal::kBusy, Ballot{5, 5}, 0, 0,
+                          false, 9);
+    std::string bytes = SerializeMessage(bad);
+    // The reason byte sits right after tag+partition+granted flag.
+    bytes[6] = '\x17';
+    EXPECT_FALSE(DeserializeMessage(bytes).ok());
+  }
+}
+
 TEST(WireTest, ForwardingAndCatchUpRoundTrip) {
   {
     auto rt = RoundTrip(ForwardMsg(2, 55, Value::Of(9, "fwd")));

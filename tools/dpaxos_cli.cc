@@ -120,6 +120,14 @@ struct CliOptions {
 
   // --experiment=realchaos only.
   uint32_t soak_connections = 0;
+
+  // Partition ownership (docs/PROTOCOL.md §ownership): --serve nodes
+  // learn/steal ownership, realchaos clusters run with it on, realnet
+  // adds the mobility cells.
+  bool ownership = false;
+  Duration placement_sweep = 1 * kSecond;
+  Duration steal_cooldown = 10 * kSecond;
+  bool mobility = false;
 };
 
 void Usage() {
@@ -163,13 +171,17 @@ void Usage() {
       "  --connections=N        open-loop driver connections (default 4)\n"
       "  --pipeline=N           in-flight ops per connection (default 256)\n"
       "  --rate=OPS             offered ops/s; 0 = closed loop (default)\n"
+      "  --mobility             add the mobility cells: a client\n"
+      "                         population that moves zones mid-run,\n"
+      "                         static-leader vs --ownership adaptive\n"
       "  --reactors=N           reactor threads per node (default 2)\n"
       "  --reply-flush-us=US    reactor reply-batch hold time (0 = flush\n"
       "                         each dispatch round; see docs/perf.md)\n"
       "  --logdir=DIR           per-node server logs (default: inherit)\n"
       "  --out=PATH             JSON output (default BENCH_realnet.json)\n"
       "realchaos experiment (proxied cluster + nemesis + checkers):\n"
-      "  --schedule=NAME        mixed|partitions|process|lossy|disk|none\n"
+      "  --schedule=NAME        mixed|partitions|process|lossy|disk|\n"
+      "                         mobility|none\n"
       "  --clients=N --keys=N --reads=F --duration=SECONDS\n"
       "  --data-dir=BASE        durable cluster: node N keeps its WAL in\n"
       "                         BASE/nodeN (required for --schedule=disk)\n"
@@ -190,6 +202,12 @@ void Usage() {
       "                         fdatasync, restarts recover from disk\n"
       "  --wal-commit-us=US     WAL group-commit window (default 0)\n"
       "  --disk-faults          inject disk faults armed via DIR/FAULTS\n"
+      "  --ownership            partition ownership: learn the owner from\n"
+      "                         decided transfer records, redirect\n"
+      "                         misdirected clients, steal the partition\n"
+      "                         toward observed traffic\n"
+      "  --placement-sweep-ms=MS   placement sweep period (default 1000)\n"
+      "  --steal-cooldown-ms=MS    post-transfer cooldown (default 10000)\n"
       "real-network client:\n"
       "  --client --connect=HOST:PORT [--id=N]\n"
       "  --put=K=V --get=K --stats --bench=N   ops, run in argv order\n"
@@ -311,6 +329,14 @@ bool ParseArgImpl(const std::string& arg, CliOptions* o) {
     o->reactors_set = true;
   } else if (value_of("--soak-connections", &v)) {
     o->soak_connections = static_cast<uint32_t>(std::stoul(v));
+  } else if (arg == "--ownership") {
+    o->ownership = true;
+  } else if (value_of("--placement-sweep-ms", &v)) {
+    o->placement_sweep = std::stoull(v) * kMillisecond;
+  } else if (value_of("--steal-cooldown-ms", &v)) {
+    o->steal_cooldown = std::stoull(v) * kMillisecond;
+  } else if (arg == "--mobility") {
+    o->mobility = true;
   } else if (value_of("--logdir", &v)) {
     o->log_dir = v;
   } else if (arg == "--version") {
@@ -471,6 +497,26 @@ int RunChaosCli(const CliOptions& o, ProtocolMode mode) {
 /// Shard-parallel simperf: per-shard table (including the ShardedStore
 /// steal/migration counters) plus the aggregate, written to JSON with the
 /// "sharded" section. Results are bit-identical for any --threads value.
+void PrintSimperfMobility(const SimperfMobilityReport& mobility) {
+  std::cout << "\nmobility tour (3 zones, inter "
+            << Fmt(mobility.inter_zone_rtt_ms, 0) << "ms / intra "
+            << Fmt(mobility.intra_zone_rtt_ms, 0) << "ms RTT):\n";
+  TablePrinter table({"cell", "zone", "ops", "p50 (ms)", "p99 (ms)",
+                      "tail p50 (ms)", "steals"});
+  for (const SimperfMobilityCell& cell : mobility.cells) {
+    for (const SimperfMobilitySegment& seg : cell.segments) {
+      const bool last = &seg == &cell.segments.back();
+      table.AddRow({cell.label, std::to_string(seg.zone),
+                    std::to_string(seg.ops), Fmt(seg.p50_ms, 2),
+                    Fmt(seg.p99_ms, 2), Fmt(seg.tail_p50_ms, 2),
+                    last ? std::to_string(cell.steals) : ""});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "adaptive_tracks_client: "
+            << (mobility.adaptive_tracks_client ? "yes" : "NO") << "\n";
+}
+
 int RunSimperfShardedCli(const CliOptions& o) {
   SimperfOptions options;
   options.smoke = o.smoke;
@@ -513,8 +559,11 @@ int RunSimperfShardedCli(const CliOptions& o) {
   legacy.smoke = o.smoke;
   legacy.seed = o.seed;
   const SimperfReport current = RunSimperf(legacy);
+  const SimperfMobilityReport mobility = RunSimperfMobility(legacy);
+  PrintSimperfMobility(mobility);
   SimperfJsonExtras extras;
   extras.sharded = &report;
+  extras.mobility = &mobility;
   if (!WriteSimperfJson(
           o.out, SimperfJson(current, legacy.baseline_events_per_sec,
                              extras))) {
@@ -556,6 +605,9 @@ int RunServe(const CliOptions& o, ProtocolMode mode) {
   server.data_dir = o.data_dir;
   server.disk_faults = o.disk_faults;
   server.wal_commit_delay = o.wal_commit_delay;
+  server.ownership = o.ownership;
+  server.placement_sweep_interval = o.placement_sweep;
+  server.steal_cooldown = o.steal_cooldown;
   if (o.disk_faults && o.data_dir.empty()) {
     std::cerr << "--disk-faults requires --data-dir\n";
     return 2;
@@ -654,6 +706,7 @@ int RunRealnetCli(const CliOptions& o) {
   bench.log_dir = o.log_dir;
   bench.data_dir_base = o.data_dir;  // "" = temp dir for the durable cell
   bench.wal_commit_delay = o.wal_commit_delay;
+  bench.mobility = o.mobility;
   std::cout << "== dpaxos_cli: realnet, 2 zones x 2 nodes on loopback, "
             << bench.requests << " ops/mode over " << bench.connections
             << " conns x " << bench.pipeline << " pipeline"
@@ -692,6 +745,39 @@ int RunRealnetCli(const CliOptions& o) {
       return 1;
     }
   }
+  if (!report->mobility.empty()) {
+    std::cout << "\nmobility (leader-zone, inter "
+              << Fmt(report->mobility.front().inter_oneway_ms, 0)
+              << "ms one-way, gate: post p50 < 2x intra RTT):\n";
+    TablePrinter mob({"cell", "phase", "ops", "p50 (ms)", "p99 (ms)",
+                      "steals", "migration (s)", "redirects", "gate"});
+    for (const RealnetMobilityResult& m : report->mobility) {
+      for (const RealnetMobilityPhase& ph : m.phases) {
+        const bool last = &ph == &m.phases.back();
+        mob.AddRow({m.label, ph.name, std::to_string(ph.ops),
+                    Fmt(ph.latency.P50Millis(), 2),
+                    Fmt(ph.latency.P99Millis(), 2),
+                    last ? std::to_string(m.steals_completed) + "/" +
+                               std::to_string(m.steals_attempted)
+                         : "",
+                    last ? Fmt(m.migration_seconds, 2) : "",
+                    last ? std::to_string(m.redirects_followed) : "",
+                    last ? (m.gate_pass ? (m.adaptive ? "pass" : "-")
+                                        : "FAIL")
+                         : ""});
+      }
+    }
+    mob.Print(std::cout);
+    for (const RealnetMobilityResult& m : report->mobility) {
+      if (m.adaptive && (!m.gate_pass || m.steals_completed == 0)) {
+        std::cerr << "\nmobility gate failed for " << m.label
+                  << ": steals=" << m.steals_completed << " post_p50="
+                  << Fmt(m.phases.back().latency.P50Millis(), 2)
+                  << "ms (limit " << Fmt(2 * m.intra_rtt_ms, 1) << "ms)\n";
+        return 1;
+      }
+    }
+  }
   if (!bench.json_path.empty()) {
     std::ofstream out_file(bench.json_path);
     if (!out_file) {
@@ -710,7 +796,7 @@ int RunRealChaosCli(const CliOptions& o, ProtocolMode mode) {
     if (std::find(names.begin(), names.end(), o.schedule) == names.end()) {
       std::cerr << "unknown --schedule " << o.schedule
                 << " (realchaos schedules: "
-                   "mixed|partitions|process|lossy|disk)\n";
+                   "mixed|partitions|process|lossy|disk|mobility)\n";
       return 2;
     }
   }
@@ -726,6 +812,7 @@ int RunRealChaosCli(const CliOptions& o, ProtocolMode mode) {
   chaos.soak_connections = o.soak_connections;
   chaos.log_dir = o.log_dir;
   chaos.fast_path = o.fast_path;
+  chaos.ownership = o.ownership || o.schedule == "mobility";
   if (!o.data_dir.empty()) {
     chaos.durable = true;
     chaos.data_dir_base = o.data_dir;
@@ -800,8 +887,13 @@ int RunSimperfCli(const CliOptions& o) {
             << "baseline " << Fmt(options.baseline_events_per_sec, 0)
             << " -> current " << Fmt(report.EventsPerSec(), 0)
             << " events/sec\n";
-  if (!WriteSimperfJson(o.out, report.ToJson(
-                                   options.baseline_events_per_sec))) {
+  const SimperfMobilityReport mobility = RunSimperfMobility(options);
+  PrintSimperfMobility(mobility);
+  SimperfJsonExtras extras;
+  extras.mobility = &mobility;
+  if (!WriteSimperfJson(
+          o.out, SimperfJson(report, options.baseline_events_per_sec,
+                             extras))) {
     return 1;
   }
   std::cout << "wrote " << o.out << "\n";
